@@ -1,0 +1,25 @@
+//! # hyperprov-baseline
+//!
+//! Comparison systems for the HyperProv reproduction:
+//!
+//! * [`PowChain`] — a ProvChain-like public proof-of-work anchor chain
+//!   (exponential block intervals, bounded blocks, k-confirmation
+//!   finality, load-independent mining energy), and
+//! * [`OnChainProvChaincode`]/[`OnChainNetwork`] — HyperProv *without*
+//!   off-chain storage: the payload rides through endorsement, ordering
+//!   and commit and is replicated into every peer's state database.
+//!
+//! Together they quantify the paper's two design arguments: permissioned
+//! beats public on resource cost, and metadata-only beats payload-on-chain
+//! on throughput as item sizes grow.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod deploy;
+mod onchain;
+mod pow;
+
+pub use deploy::{OnChainClient, OnChainNetwork};
+pub use onchain::{OnChainProvChaincode, ONCHAIN_NAME};
+pub use pow::{PowChain, PowCommit, PowConfig, PowTx};

@@ -1,0 +1,118 @@
+//! The on-chain-data baseline: HyperProv without off-chain storage.
+//!
+//! HyperProv's design "limits recording only provenance metadata in the
+//! blockchain while moving actual data to off-chain storage". This
+//! baseline removes that design choice — the full payload travels through
+//! endorsement, ordering and commit and is replicated into every peer's
+//! state database — so the benches can show why the paper's choice
+//! matters: block sizes, commit costs and network traffic all grow with
+//! the item size, collapsing throughput for large items.
+
+use hyperprov_fabric::{Chaincode, ChaincodeError, ChaincodeStub};
+use hyperprov_ledger::{Digest, Encode, Encoder};
+
+/// Namespace of the on-chain-data contract.
+pub const ONCHAIN_NAME: &str = "onchain-prov";
+
+/// A provenance contract that stores the payload itself on-chain.
+///
+/// Functions: `post <key> <payload>` and `get <key>` (returns checksum
+/// header plus payload).
+#[derive(Debug, Clone, Default)]
+pub struct OnChainProvChaincode;
+
+impl OnChainProvChaincode {
+    /// Creates the contract.
+    pub fn new() -> Self {
+        OnChainProvChaincode
+    }
+}
+
+impl Chaincode for OnChainProvChaincode {
+    fn name(&self) -> &str {
+        ONCHAIN_NAME
+    }
+
+    fn invoke(&self, stub: &mut ChaincodeStub<'_>) -> Result<Vec<u8>, ChaincodeError> {
+        match stub.function() {
+            "post" => {
+                let key = stub.arg_str(0)?.to_owned();
+                let payload = stub.arg_bytes(1)?.to_vec();
+                // Store checksum header + full payload in state.
+                let checksum = Digest::of(&payload);
+                let mut enc = Encoder::new();
+                enc.put_digest(&checksum);
+                enc.put_bytes(&payload);
+                stub.put_state(&key, enc.into_bytes());
+                Ok(checksum.to_bytes())
+            }
+            "get" => {
+                let key = stub.arg_str(0)?.to_owned();
+                stub.get_state(&key).ok_or(ChaincodeError::NotFound(key))
+            }
+            other => Err(ChaincodeError::UnknownFunction(other.to_owned())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperprov_fabric::{MspBuilder, MspId};
+    use hyperprov_ledger::{Decoder, HistoryDb, StateDb};
+
+    fn run(
+        function: &str,
+        args: Vec<Vec<u8>>,
+        state: &StateDb,
+    ) -> (Result<Vec<u8>, ChaincodeError>, hyperprov_ledger::RwSet) {
+        let mut b = MspBuilder::new(1);
+        let cert = b.enroll("c", &MspId::new("org1")).certificate().clone();
+        let history = HistoryDb::new();
+        let mut stub = ChaincodeStub::new(ONCHAIN_NAME, function, &args, &cert, state, &history);
+        let result = OnChainProvChaincode::new().invoke(&mut stub);
+        let (rwset, _, _) = stub.into_results();
+        (result, rwset)
+    }
+
+    #[test]
+    fn post_writes_full_payload_to_state() {
+        let state = StateDb::new();
+        let payload = vec![7u8; 10_000];
+        let (result, rwset) = run(
+            "post",
+            vec![b"k".to_vec(), payload.clone()],
+            &state,
+        );
+        let checksum = <Digest as hyperprov_ledger::Decode>::from_bytes(&result.unwrap()).unwrap();
+        assert_eq!(checksum, Digest::of(&payload));
+        // The write set carries the whole payload — the cost HyperProv's
+        // off-chain design avoids.
+        assert!(rwset.write_bytes() > 10_000);
+    }
+
+    #[test]
+    fn get_round_trips_payload() {
+        let mut state = StateDb::new();
+        let payload = b"the payload".to_vec();
+        let (result, rwset) = run("post", vec![b"k".to_vec(), payload.clone()], &state);
+        result.unwrap();
+        state.apply_writes(&rwset.writes, hyperprov_ledger::Version::new(1, 0));
+        let (result, _) = run("get", vec![b"k".to_vec()], &state);
+        let bytes = result.unwrap();
+        let mut dec = Decoder::new(&bytes);
+        let checksum = dec.get_digest().unwrap();
+        let back = dec.get_bytes().unwrap();
+        assert_eq!(checksum, Digest::of(&payload));
+        assert_eq!(back, payload);
+    }
+
+    #[test]
+    fn missing_key_and_function_rejected() {
+        let state = StateDb::new();
+        let (result, _) = run("get", vec![b"ghost".to_vec()], &state);
+        assert!(matches!(result, Err(ChaincodeError::NotFound(_))));
+        let (result, _) = run("nope", vec![], &state);
+        assert!(matches!(result, Err(ChaincodeError::UnknownFunction(_))));
+    }
+}

@@ -1,0 +1,190 @@
+//! Criterion micro-benchmarks for the substrate hot paths: hashing,
+//! canonical codec, Merkle roots, state-DB operations, endorsement-policy
+//! evaluation and a full single-transaction pipeline step.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hyperprov::{HyperProvChaincode, RecordInput, CHAINCODE_NAME};
+use hyperprov_fabric::{
+    endorse, Chaincode, ChaincodeRegistry, ChaincodeStub, EndorsementPolicy, MspBuilder, MspId,
+    Proposal, SignedProposal,
+};
+use hyperprov_ledger::{
+    Decode, Digest, Encode, HistoryDb, KvWrite, MerkleTree, StateDb, StateKey, Version,
+};
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [1usize << 10, 1 << 16, 1 << 20] {
+        let data = vec![0xA5u8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
+            b.iter(|| Digest::of(data));
+        });
+    }
+    group.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut b = MspBuilder::new(1);
+    let cert = b.enroll("client", &MspId::new("org1")).certificate().clone();
+    let record = hyperprov::ProvenanceRecord::from_input(
+        "item-key",
+        RecordInput::new(Digest::of(b"payload"))
+            .with_location("sshfs://store0/abcdef", 4096)
+            .with_parents(vec!["p1".into(), "p2".into(), "p3".into()])
+            .with_meta("sensor", "cam-3")
+            .with_meta("format", "jpeg"),
+        cert,
+    );
+    let bytes = record.to_bytes();
+    let mut group = c.benchmark_group("codec");
+    group.bench_function("record_encode", |bencher| {
+        bencher.iter(|| record.to_bytes());
+    });
+    group.bench_function("record_decode", |bencher| {
+        bencher.iter(|| hyperprov::ProvenanceRecord::from_bytes(&bytes).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_merkle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merkle_root");
+    for n in [10usize, 100, 1000] {
+        let leaves: Vec<Digest> = (0..n).map(|i| Digest::of(&(i as u64).to_le_bytes())).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &leaves, |b, leaves| {
+            b.iter(|| MerkleTree::root_of(leaves));
+        });
+    }
+    group.finish();
+}
+
+fn bench_statedb(c: &mut Criterion) {
+    let mut db = StateDb::new();
+    for i in 0..10_000u32 {
+        db.apply_write(
+            &KvWrite {
+                key: StateKey::new("cc", format!("key-{i:06}")),
+                value: Some(vec![0u8; 128]),
+            },
+            Version::new(1, i),
+        );
+    }
+    let mut group = c.benchmark_group("statedb");
+    group.bench_function("point_get", |b| {
+        b.iter(|| db.get(&StateKey::new("cc", "key-004999")));
+    });
+    group.bench_function("range_100", |b| {
+        b.iter(|| db.range("cc", "key-005000", "key-005100").count());
+    });
+    group.bench_function("apply_write", |b| {
+        let mut db = db.clone();
+        let mut i = 0u32;
+        b.iter(|| {
+            i += 1;
+            db.apply_write(
+                &KvWrite {
+                    key: StateKey::new("cc", format!("w-{i}")),
+                    value: Some(vec![0u8; 128]),
+                },
+                Version::new(2, i),
+            );
+        });
+    });
+    group.finish();
+}
+
+fn bench_policy(c: &mut Criterion) {
+    let orgs: Vec<MspId> = (0..8).map(|i| MspId::new(format!("org{i}"))).collect();
+    let policy = EndorsementPolicy::out_of(
+        5,
+        orgs.iter()
+            .cloned()
+            .map(EndorsementPolicy::signed_by)
+            .collect(),
+    );
+    let endorsers: Vec<MspId> = orgs[..5].to_vec();
+    c.bench_function("policy_eval_5_of_8", |b| {
+        b.iter(|| policy.is_satisfied_by(endorsers.iter()));
+    });
+}
+
+fn bench_endorse(c: &mut Criterion) {
+    let mut builder = MspBuilder::new(1);
+    let peer = builder.enroll("peer0", &MspId::new("org1"));
+    let client = builder.enroll("client0", &MspId::new("org1"));
+    let msp = builder.build();
+    let mut registry = ChaincodeRegistry::new();
+    registry.install(Arc::new(HyperProvChaincode::new()));
+    let state = StateDb::new();
+    let history = HistoryDb::new();
+    let input = RecordInput::new(Digest::of(b"data")).with_location("sshfs://s/x", 4096);
+    let proposal = Proposal {
+        channel: "ch".into(),
+        chaincode: CHAINCODE_NAME.into(),
+        function: "post".into(),
+        args: vec![b"item".to_vec(), input.to_bytes()],
+        creator: client.certificate().clone(),
+        nonce: 1,
+    };
+    let signed = SignedProposal {
+        signature: client.sign(&proposal.to_bytes()),
+        proposal,
+    };
+    c.bench_function("endorse_hyperprov_post", |b| {
+        b.iter(|| endorse(&peer, &registry, &msp, &state, &history, &signed));
+    });
+}
+
+fn bench_chaincode_lineage(c: &mut Criterion) {
+    // Pre-build a 32-deep lineage chain in a state DB, then measure the
+    // chaincode-side BFS.
+    let mut builder = MspBuilder::new(1);
+    let client = builder.enroll("client0", &MspId::new("org1"));
+    let cert = client.certificate().clone();
+    let cc = HyperProvChaincode::new();
+    let mut state = StateDb::new();
+    let history = HistoryDb::new();
+    for i in 0..32u32 {
+        let parents = if i == 0 {
+            vec![]
+        } else {
+            vec![format!("n{}", i - 1)]
+        };
+        let input = RecordInput::new(Digest::of(&i.to_le_bytes())).with_parents(parents);
+        let args = vec![format!("n{i}").into_bytes(), input.to_bytes()];
+        let mut stub = ChaincodeStub::new(CHAINCODE_NAME, "post", &args, &cert, &state, &history);
+        cc.invoke(&mut stub).unwrap();
+        let (rwset, _, _) = stub.into_results();
+        state.apply_writes(&rwset.writes, Version::new(u64::from(i) + 1, 0));
+    }
+    let args = vec![b"n31".to_vec(), b"64".to_vec()];
+    c.bench_function("chaincode_lineage_depth32", |b| {
+        b.iter(|| {
+            let mut stub =
+                ChaincodeStub::new(CHAINCODE_NAME, "get_lineage", &args, &cert, &state, &history);
+            cc.invoke(&mut stub).unwrap()
+        });
+    });
+}
+
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_sha256,
+    bench_codec,
+    bench_merkle,
+    bench_statedb,
+    bench_policy,
+    bench_endorse,
+    bench_chaincode_lineage
+}
+criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! Regenerates Fig. 1: throughput and response times vs data-item size on
+//! the desktop testbed.
+
+use hyperprov_bench::experiments::{emit, size_sweep, Platform};
+
+fn main() {
+    let quick = hyperprov_bench::quick_flag();
+    let table = size_sweep(Platform::Desktop, quick);
+    emit(&table, "fig1_desktop");
+}

@@ -1,0 +1,10 @@
+//! Regenerates Fig. 2: throughput and response times vs data-item size on
+//! the Raspberry Pi testbed.
+
+use hyperprov_bench::experiments::{emit, size_sweep, Platform};
+
+fn main() {
+    let quick = hyperprov_bench::quick_flag();
+    let table = size_sweep(Platform::Rpi, quick);
+    emit(&table, "fig2_rpi");
+}

@@ -1,0 +1,10 @@
+//! Regenerates Fig. 3: energy consumption on RPi over 10-minute intervals
+//! at increasing load levels.
+
+use hyperprov_bench::experiments::{emit, energy_profile};
+
+fn main() {
+    let quick = hyperprov_bench::quick_flag();
+    let table = energy_profile(quick);
+    emit(&table, "fig3_energy");
+}

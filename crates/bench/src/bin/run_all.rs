@@ -1,0 +1,17 @@
+//! Runs every figure and table, saving CSVs under `results/`.
+
+use hyperprov_bench::experiments::{
+    baseline_comparison, batch_sweep, contention_sweep, emit, energy_profile, query_latency,
+    size_sweep, Platform,
+};
+
+fn main() {
+    let quick = hyperprov_bench::quick_flag();
+    emit(&size_sweep(Platform::Desktop, quick), "fig1_desktop");
+    emit(&size_sweep(Platform::Rpi, quick), "fig2_rpi");
+    emit(&energy_profile(quick), "fig3_energy");
+    emit(&batch_sweep(quick), "table_batch_sweep");
+    emit(&query_latency(quick), "table_query_latency");
+    emit(&baseline_comparison(quick), "table_baselines");
+    emit(&contention_sweep(quick), "table_contention");
+}

@@ -1,0 +1,9 @@
+//! T-QUERY: query latency by client operator.
+
+use hyperprov_bench::experiments::{emit, query_latency};
+
+fn main() {
+    let quick = hyperprov_bench::quick_flag();
+    let table = query_latency(quick);
+    emit(&table, "table_query_latency");
+}

@@ -1,0 +1,89 @@
+//! T-MVCC: ablation — MVCC invalidation under key contention.
+//!
+//! Fabric's optimistic concurrency (and therefore HyperProv's) invalidates
+//! a transaction whose read versions changed between endorsement and
+//! commit. Independent clients posting to a shared ("hot") key race inside
+//! blocks; this sweep measures the invalidation rate as the hot fraction
+//! grows — the cost of using HyperProv for high-contention keys.
+
+use hyperprov::{ClientCommand, HyperProvError, HyperProvNetwork, NetworkConfig, OpId};
+use hyperprov_ledger::ValidationCode;
+use hyperprov_sim::{DetRng, SimDuration, SimTime};
+
+use crate::runner::run_open_loop;
+use crate::table::Table;
+use crate::workload::{payload, poisson_arrivals, KeyChooser};
+
+/// Runs the contention sweep.
+pub fn contention_sweep(quick: bool) -> Table {
+    let (fractions, rate, duration, clients): (Vec<f64>, f64, SimDuration, usize) = if quick {
+        (vec![0.0, 0.8], 30.0, SimDuration::from_secs(10), 4)
+    } else {
+        (
+            vec![0.0, 0.1, 0.3, 0.5, 0.8, 1.0],
+            50.0,
+            SimDuration::from_secs(30),
+            8,
+        )
+    };
+
+    let mut table = Table::new(
+        "T-MVCC: invalidation rate vs hot-key fraction (open loop, desktop)",
+        &[
+            "hot fraction",
+            "offered (tx/s)",
+            "committed valid",
+            "mvcc conflicts",
+            "conflict rate",
+        ],
+    );
+
+    for &fraction in &fractions {
+        let mut net = HyperProvNetwork::build(&NetworkConfig::desktop(clients).with_seed(3));
+        let mut rng = DetRng::new(3).fork("contention");
+        let mut chooser = KeyChooser::new(fraction, rng.fork("keys"));
+        let schedule: Vec<(SimTime, usize, ClientCommand)> =
+            poisson_arrivals(&mut rng.fork("arrivals"), rate, duration, clients)
+                .into_iter()
+                .map(|(t, c)| {
+                    let key = chooser.next_key();
+                    let body = payload(&mut rng, 64);
+                    (
+                        t,
+                        c,
+                        ClientCommand::Post {
+                            key,
+                            input: hyperprov::RecordInput::new(hyperprov_ledger::Digest::of(&body)),
+                            op: OpId(0),
+                        },
+                    )
+                })
+                .collect();
+        let result = run_open_loop(&mut net, schedule, SimDuration::from_secs(15));
+        let mut valid = 0u64;
+        let mut conflicts = 0u64;
+        let mut other = 0u64;
+        for (_, completion) in &result.completions {
+            match &completion.outcome {
+                Ok(_) => valid += 1,
+                Err(HyperProvError::Invalidated(ValidationCode::MvccReadConflict)) => {
+                    conflicts += 1
+                }
+                Err(_) => other += 1,
+            }
+        }
+        let total = valid + conflicts + other;
+        table.push_row(vec![
+            format!("{fraction:.1}"),
+            format!("{rate:.0}"),
+            valid.to_string(),
+            conflicts.to_string(),
+            if total > 0 {
+                format!("{:.1}%", conflicts as f64 / total as f64 * 100.0)
+            } else {
+                "-".into()
+            },
+        ]);
+    }
+    table
+}

@@ -1,0 +1,166 @@
+//! Figures 1 and 2: throughput and response time vs data-item size, on
+//! the desktop (Fig. 1) and Raspberry Pi (Fig. 2) testbeds.
+//!
+//! "Fig. 1 shows how increasing the size of data items impacts both
+//! throughput and response times, when off-chain storage is involved [...]
+//! which incurs the overhead of data transfer and checksum calculation.
+//! Fig. 2 shows similar trend [...] for RPi though greater variation,
+//! however absolute performance for RPi is lower than desktop machines."
+
+use hyperprov::{HyperProvNetwork, NetworkConfig};
+use hyperprov_fabric::BatchConfig;
+use hyperprov_sim::{DetRng, SimDuration};
+
+use crate::runner::{run_closed_loop, Summary};
+use crate::table::{fmt_bytes, Table};
+use crate::workload::{payload, store_cmd};
+
+/// Which testbed to sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Platform {
+    /// The 4-desktop setup (Fig. 1).
+    Desktop,
+    /// The 4-RPi setup (Fig. 2).
+    Rpi,
+}
+
+impl Platform {
+    fn config(self, clients: usize) -> NetworkConfig {
+        match self {
+            Platform::Desktop => NetworkConfig::desktop(clients),
+            Platform::Rpi => NetworkConfig::rpi(clients),
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Platform::Desktop => "desktop",
+            Platform::Rpi => "rpi",
+        }
+    }
+}
+
+/// Runs the data-size sweep for one platform, producing the figure's
+/// series: `size, throughput (tx/s) ± std, response time (ms) ± std`.
+pub fn size_sweep(platform: Platform, quick: bool) -> Table {
+    let (sizes, clients, duration, seeds): (Vec<usize>, usize, SimDuration, u64) = if quick {
+        (
+            vec![1 << 10, 1 << 16, 1 << 20],
+            16,
+            SimDuration::from_secs(10),
+            1,
+        )
+    } else {
+        (
+            vec![
+                1 << 10, // 1 KiB
+                1 << 12,
+                1 << 14,
+                1 << 16, // 64 KiB
+                1 << 18,
+                1 << 20, // 1 MiB
+                1 << 22,
+                1 << 24, // 16 MiB
+            ],
+            32,
+            SimDuration::from_secs(30),
+            3,
+        )
+    };
+
+    let fig = match platform {
+        Platform::Desktop => "Fig. 1",
+        Platform::Rpi => "Fig. 2",
+    };
+    let mut table = Table::new(
+        format!(
+            "{fig}: throughput and response times vs data size ({})",
+            platform.name()
+        ),
+        &[
+            "data size",
+            "throughput (tx/s)",
+            "tput std",
+            "resp time (ms)",
+            "resp p95 (ms)",
+            "resp std (ms)",
+            "errors",
+        ],
+    );
+
+    for &size in &sizes {
+        let mut tputs = Vec::new();
+        let mut lat_means = Vec::new();
+        let mut lat_p95s = Vec::new();
+        let mut lat_stds = Vec::new();
+        let mut errors = 0u64;
+        for seed in 0..seeds {
+            let summary = run_one(platform, clients, size, duration, 100 + seed);
+            tputs.push(summary.throughput);
+            lat_means.push(summary.mean_latency_ms());
+            lat_p95s.push(summary.latency_ms(0.95));
+            lat_stds.push(summary.stddev_latency_ms());
+            errors += summary.err;
+        }
+        table.push_row(vec![
+            fmt_bytes(size as u64),
+            format!("{:.1}", mean(&tputs)),
+            format!("{:.1}", std_dev(&tputs)),
+            format!("{:.1}", mean(&lat_means)),
+            format!("{:.1}", mean(&lat_p95s)),
+            format!("{:.1}", mean(&lat_stds)),
+            errors.to_string(),
+        ]);
+    }
+    table
+}
+
+fn run_one(
+    platform: Platform,
+    clients: usize,
+    size: usize,
+    duration: SimDuration,
+    seed: u64,
+) -> Summary {
+    let config = platform
+        .config(clients)
+        .with_seed(seed)
+        .with_batch(BatchConfig {
+            // The thesis tunes the batch timeout well below the default
+            // 2 s for throughput experiments; 100 ms keeps batching
+            // without letting the timeout dominate small-item latencies.
+            timeout: SimDuration::from_millis(100),
+            ..BatchConfig::default()
+        });
+    let mut net = HyperProvNetwork::build(&config);
+    let mut rng = DetRng::new(seed).fork("payload");
+    let result = run_closed_loop(
+        &mut net,
+        duration,
+        SimDuration::from_secs(10),
+        move |client, seq| {
+            let data = payload(&mut rng, size);
+            store_cmd(format!("item-c{client}-s{seq}"), data)
+        },
+    );
+    Summary::of(&result.completions, result.span)
+}
+
+/// Arithmetic mean.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (0 for < 2 samples).
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}

@@ -1,0 +1,130 @@
+//! Figure 3: energy consumption on the Raspberry Pi over 10-minute
+//! intervals at increasing load levels.
+//!
+//! "Measurements of the energy consumption of RPi devices running both
+//! peer and client processes for 10 minutes [...] highlight that running
+//! HyperProv without any active transactions barely consumes any power
+//! (2.71 W) compared to an idle RPi running without HLF, while at the peak
+//! load level consumes only 10.7 % more as compared to idle, and maximum
+//! up to 3.64 W."
+//!
+//! We meter the device hosting peer 0 *and* client 0 (their utilisations
+//! sum, clamped at one core) with a virtual 1 Hz power meter over each
+//! 10-minute interval.
+
+use hyperprov::{HyperProvNetwork, NetworkConfig};
+use hyperprov_device::{EnergyModel, PowerMeter};
+use hyperprov_sim::{DetRng, SimDuration, SimTime};
+
+use crate::runner::{run_open_loop, Summary};
+use crate::table::Table;
+use crate::workload::{payload, poisson_arrivals, store_cmd};
+
+/// Runs the energy profile. Each load level is a fresh 10-minute run (a
+/// shortened interval in quick mode).
+pub fn energy_profile(quick: bool) -> Table {
+    let interval = if quick {
+        SimDuration::from_secs(60)
+    } else {
+        SimDuration::from_secs(600)
+    };
+    let rates: Vec<f64> = if quick {
+        vec![0.0, 5.0, 20.0]
+    } else {
+        vec![0.0, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0]
+    };
+
+    let mut table = Table::new(
+        "Fig. 3: energy consumption on RPi, 10-minute intervals",
+        &[
+            "load level",
+            "offered (tx/s)",
+            "achieved (tx/s)",
+            "avg power (W)",
+            "peak power (W)",
+            "energy (J)",
+            "vs HLF-idle",
+        ],
+    );
+
+    // Reference row: an idle RPi with no HLF software at all.
+    let model = EnergyModel::raspberry_pi();
+    let idle_no_hlf = model.power(0.0, false);
+    table.push_row(vec![
+        "idle (no HLF)".into(),
+        "0.0".into(),
+        "0.0".into(),
+        format!("{idle_no_hlf:.2}"),
+        format!("{idle_no_hlf:.2}"),
+        format!("{:.0}", idle_no_hlf * interval.as_secs_f64()),
+        "-".into(),
+    ]);
+
+    let hlf_idle = model.power(0.0, true);
+    for &rate in &rates {
+        let (achieved, avg, peak) = run_level(rate, interval, quick);
+        let label = if rate == 0.0 {
+            "HLF idle".to_owned()
+        } else {
+            format!("{rate:.0} tx/s")
+        };
+        table.push_row(vec![
+            label,
+            format!("{rate:.1}"),
+            format!("{achieved:.1}"),
+            format!("{avg:.2}"),
+            format!("{peak:.2}"),
+            format!("{:.0}", avg * interval.as_secs_f64()),
+            format!("{:+.1}%", (avg / hlf_idle - 1.0) * 100.0),
+        ]);
+    }
+
+    // Peak: offer well beyond the device's capacity (open loop).
+    let (achieved, avg, peak) = run_level(120.0, interval, quick);
+    table.push_row(vec![
+        "peak (saturated)".into(),
+        "120.0".into(),
+        format!("{achieved:.1}"),
+        format!("{avg:.2}"),
+        format!("{peak:.2}"),
+        format!("{:.0}", avg * interval.as_secs_f64()),
+        format!("{:+.1}%", (avg / hlf_idle - 1.0) * 100.0),
+    ]);
+    table
+}
+
+fn meter(net: &HyperProvNetwork, from: SimTime, to: SimTime) -> (f64, f64) {
+    let meter = PowerMeter::new(EnergyModel::raspberry_pi(), SimDuration::from_secs(1));
+    let peer_cpu = net.sim.cpu(net.peers[0]);
+    let client_cpu = net.sim.cpu(net.clients[0]);
+    let cpus = [peer_cpu, client_cpu];
+    (
+        meter.average_watts_combined(&cpus, from, to, true),
+        meter.peak_watts_combined(&cpus, from, to, true),
+    )
+}
+
+fn run_level(rate: f64, interval: SimDuration, quick: bool) -> (f64, f64, f64) {
+    let mut net = HyperProvNetwork::build(&NetworkConfig::rpi(1).with_seed(42));
+    let mut rng = DetRng::new(42).fork("fig3");
+    let size = if quick { 512 } else { 1024 };
+    let schedule: Vec<_> = poisson_arrivals(&mut rng.fork("arrivals"), rate, interval, 1)
+        .into_iter()
+        .enumerate()
+        .map(|(i, (t, c))| {
+            let data = payload(&mut rng, size);
+            (t, c, store_cmd(format!("item-{i}"), data))
+        })
+        .collect();
+    let start = net.sim.now();
+    let result = run_open_loop(&mut net, schedule, SimDuration::from_secs(5));
+    // Meter exactly the 10-minute interval.
+    let end = start + interval;
+    if net.sim.now() < end {
+        net.sim.run_until(end);
+    }
+    let summary = Summary::of(&result.completions, interval);
+    let (avg, peak) = meter(&net, start, end);
+    (summary.throughput, avg, peak)
+}
+

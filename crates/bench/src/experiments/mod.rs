@@ -1,0 +1,39 @@
+//! The paper's experiments, one module per figure/table.
+//!
+//! Every experiment returns a [`crate::Table`] whose rows regenerate the
+//! corresponding artefact of the paper (see DESIGN.md §5 for the index).
+//! Pass `quick = true` to run shortened sweeps (used by the test suite);
+//! the binaries default to the full parameters.
+
+mod baselines;
+mod contention;
+mod fig12;
+mod fig3;
+mod queries;
+
+pub use baselines::baseline_comparison;
+pub use contention::contention_sweep;
+pub use fig12::{size_sweep, Platform};
+pub use fig3::energy_profile;
+pub use queries::{batch_sweep, query_latency};
+
+use std::path::Path;
+
+use crate::table::Table;
+
+/// Where CSV outputs land (`<repo>/results`).
+pub fn results_dir() -> std::path::PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench; results live at the repo root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results")
+}
+
+/// Prints a table and saves its CSV under [`results_dir`].
+pub fn emit(table: &Table, csv_name: &str) {
+    println!("{table}");
+    match table.save_csv(&results_dir(), csv_name) {
+        Ok(path) => println!("[saved {}]\n", path.display()),
+        Err(err) => eprintln!("[warning: could not save CSV: {err}]\n"),
+    }
+}

@@ -1,0 +1,29 @@
+//! # hyperprov-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! HyperProv paper (and the thesis-style extended tables). See DESIGN.md
+//! §5 for the experiment index and EXPERIMENTS.md for paper-vs-measured
+//! results.
+//!
+//! Binaries (each accepts `--quick`):
+//!
+//! * `fig1_desktop`, `fig2_rpi` — throughput/response-time vs item size,
+//! * `fig3_energy` — RPi power over 10-minute intervals by load level,
+//! * `table_batch_sweep`, `table_query_latency`, `table_baselines`,
+//!   `table_contention` — the extended tables, and
+//! * `run_all` — everything, saving CSVs under `results/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod runner;
+pub mod table;
+pub mod workload;
+
+pub use table::Table;
+
+/// Parses the conventional `--quick` flag from `std::env::args`.
+pub fn quick_flag() -> bool {
+    std::env::args().any(|a| a == "--quick" || a == "-q")
+}

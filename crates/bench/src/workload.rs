@@ -1,0 +1,178 @@
+//! Workload generation: payloads, arrival processes and key choosers.
+
+use hyperprov::ClientCommand;
+use hyperprov_sim::{DetRng, SimDuration, SimTime};
+use rand::Rng;
+
+/// Deterministic pseudo-random payload of `size` bytes.
+pub fn payload(rng: &mut DetRng, size: usize) -> Vec<u8> {
+    let mut data = vec![0u8; size];
+    rng.fill_bytes_compat(&mut data);
+    data
+}
+
+/// Extension shim so callers do not need the `RngCore` trait in scope.
+trait FillBytes {
+    fn fill_bytes_compat(&mut self, dest: &mut [u8]);
+}
+impl FillBytes for DetRng {
+    fn fill_bytes_compat(&mut self, dest: &mut [u8]) {
+        rand::RngCore::fill_bytes(self, dest);
+    }
+}
+
+/// A Poisson arrival schedule: `rate` events/second over `duration`,
+/// round-robined across `clients`.
+pub fn poisson_arrivals(
+    rng: &mut DetRng,
+    rate: f64,
+    duration: SimDuration,
+    clients: usize,
+) -> Vec<(SimTime, usize)> {
+    assert!(clients > 0, "need at least one client");
+    let mut out = Vec::new();
+    if rate <= 0.0 {
+        return out;
+    }
+    let mut t = SimTime::ZERO;
+    let mut i = 0usize;
+    loop {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let gap = SimDuration::from_secs_f64(-u.ln() / rate);
+        t += gap;
+        if t.as_nanos() > duration.as_nanos() {
+            return out;
+        }
+        out.push((t, i % clients));
+        i += 1;
+    }
+}
+
+/// A uniform (fixed-interval) arrival schedule.
+pub fn uniform_arrivals(rate: f64, duration: SimDuration, clients: usize) -> Vec<(SimTime, usize)> {
+    assert!(clients > 0, "need at least one client");
+    let mut out = Vec::new();
+    if rate <= 0.0 {
+        return out;
+    }
+    let gap = SimDuration::from_secs_f64(1.0 / rate);
+    let mut t = SimTime::ZERO + gap;
+    let mut i = 0usize;
+    while t.as_nanos() <= duration.as_nanos() {
+        out.push((t, i % clients));
+        i += 1;
+        t += gap;
+    }
+    out
+}
+
+/// Chooses keys with a *hot fraction*: with probability `hot_fraction` the
+/// single hot key, otherwise a fresh unique key.
+#[derive(Debug)]
+pub struct KeyChooser {
+    hot_fraction: f64,
+    counter: u64,
+    rng: DetRng,
+}
+
+impl KeyChooser {
+    /// Creates a chooser; `hot_fraction` in `[0, 1]`.
+    pub fn new(hot_fraction: f64, rng: DetRng) -> Self {
+        KeyChooser {
+            hot_fraction: hot_fraction.clamp(0.0, 1.0),
+            counter: 0,
+            rng,
+        }
+    }
+
+    /// The next key.
+    pub fn next_key(&mut self) -> String {
+        self.counter += 1;
+        if self.hot_fraction > 0.0 && self.rng.gen_range(0.0..1.0) < self.hot_fraction {
+            "hot-item".to_owned()
+        } else {
+            format!("item-{}", self.counter)
+        }
+    }
+}
+
+/// Builds a `StoreData` command with a generated payload (op id is
+/// assigned by the driver).
+pub fn store_cmd(key: String, data: Vec<u8>) -> ClientCommand {
+    ClientCommand::StoreData {
+        key,
+        data,
+        parents: vec![],
+        metadata: vec![],
+        op: hyperprov::OpId(0),
+    }
+}
+
+/// Builds a metadata-only `Post` command.
+pub fn post_cmd(key: String, payload_checksum_of: &[u8]) -> ClientCommand {
+    ClientCommand::Post {
+        key,
+        input: hyperprov::RecordInput::new(hyperprov_ledger::Digest::of(payload_checksum_of)),
+        op: hyperprov::OpId(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_is_deterministic_per_seed() {
+        let mut a = DetRng::new(3);
+        let mut b = DetRng::new(3);
+        assert_eq!(payload(&mut a, 100), payload(&mut b, 100));
+        let mut c = DetRng::new(4);
+        assert_ne!(payload(&mut a, 100), payload(&mut c, 100));
+    }
+
+    #[test]
+    fn poisson_rate_roughly_matches() {
+        let mut rng = DetRng::new(1);
+        let arrivals = poisson_arrivals(&mut rng, 100.0, SimDuration::from_secs(100), 4);
+        let n = arrivals.len() as f64;
+        assert!((8_000.0..12_000.0).contains(&n), "{n}");
+        // Sorted, client round-robin.
+        assert!(arrivals.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert_eq!(arrivals[0].1, 0);
+        assert_eq!(arrivals[1].1, 1);
+    }
+
+    #[test]
+    fn zero_rate_produces_nothing() {
+        let mut rng = DetRng::new(1);
+        assert!(poisson_arrivals(&mut rng, 0.0, SimDuration::from_secs(10), 1).is_empty());
+        assert!(uniform_arrivals(0.0, SimDuration::from_secs(10), 1).is_empty());
+    }
+
+    #[test]
+    fn uniform_arrivals_exact_count() {
+        let arrivals = uniform_arrivals(10.0, SimDuration::from_secs(5), 2);
+        assert_eq!(arrivals.len(), 50);
+        assert_eq!(arrivals[0].0, SimTime::from_nanos(100_000_000));
+    }
+
+    #[test]
+    fn key_chooser_extremes() {
+        let mut unique = KeyChooser::new(0.0, DetRng::new(1));
+        let keys: Vec<String> = (0..10).map(|_| unique.next_key()).collect();
+        let mut dedup = keys.clone();
+        dedup.dedup();
+        assert_eq!(keys.len(), dedup.len());
+        assert!(!keys.iter().any(|k| k == "hot-item"));
+
+        let mut hot = KeyChooser::new(1.0, DetRng::new(1));
+        assert!((0..10).all(|_| hot.next_key() == "hot-item"));
+    }
+
+    #[test]
+    fn mixed_hot_fraction_in_band() {
+        let mut chooser = KeyChooser::new(0.5, DetRng::new(7));
+        let hot = (0..1000).filter(|_| chooser.next_key() == "hot-item").count();
+        assert!((400..600).contains(&hot), "{hot}");
+    }
+}

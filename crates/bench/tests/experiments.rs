@@ -1,0 +1,53 @@
+//! Guard tests for the experiment harness: quick-mode runs must produce
+//! tables with the shapes the paper reports.
+
+use hyperprov_bench::experiments::{batch_sweep, contention_sweep, query_latency};
+
+#[test]
+fn contention_conflicts_grow_with_hot_fraction() {
+    let table = contention_sweep(true);
+    assert_eq!(table.len(), 2); // fractions 0.0 and 0.8 in quick mode
+    let cold_conflicts = table.cell_f64(0, 3).unwrap();
+    let hot_conflicts = table.cell_f64(1, 3).unwrap();
+    assert_eq!(cold_conflicts, 0.0, "unique keys cannot conflict");
+    assert!(
+        hot_conflicts > 0.0,
+        "hot-key contention must produce MVCC conflicts: {table}"
+    );
+    // Work was actually committed in both settings.
+    assert!(table.cell_f64(0, 2).unwrap() > 0.0);
+    assert!(table.cell_f64(1, 2).unwrap() > 0.0);
+}
+
+#[test]
+fn batch_size_one_has_lowest_latency() {
+    let table = batch_sweep(true);
+    assert_eq!(table.len(), 2); // batch sizes 1 and 10 in quick mode
+    let p50_batch1 = table.cell_f64(0, 2).unwrap();
+    let p50_batch10 = table.cell_f64(1, 2).unwrap();
+    assert!(
+        p50_batch1 < p50_batch10,
+        "immediate cuts must beat timeout-bound batches: {table}"
+    );
+    assert!(table.cell_f64(0, 1).unwrap() > 0.0);
+}
+
+#[test]
+fn query_latency_table_covers_all_operators() {
+    let table = query_latency(true);
+    assert_eq!(table.len(), 5);
+    for row in 0..table.len() {
+        let mean = table.cell_f64(row, 1).unwrap();
+        let p95 = table.cell_f64(row, 2).unwrap();
+        assert!(mean > 0.0, "row {row} has zero latency: {table}");
+        assert!(p95 + 1e-9 >= mean * 0.5, "p95 sane for row {row}");
+        assert!(table.cell_f64(row, 3).unwrap() > 0.0);
+    }
+    // Lineage over the whole chain must cost more than a point get.
+    let get_mean = table.cell_f64(0, 1).unwrap();
+    let lineage_mean = table.cell_f64(4, 1).unwrap();
+    assert!(
+        lineage_mean >= get_mean,
+        "lineage should not be cheaper than a point get: {table}"
+    );
+}

@@ -1,0 +1,504 @@
+//! The HyperProv smart contract.
+//!
+//! Implements the on-chain half of the paper's operator set: `post`,
+//! `get`, `get_history`, `get_keys_by_checksum`, `get_lineage`, `list`
+//! and `delete`. Records live under `item~<key>` composite keys; a second
+//! composite index `cs~<checksum>~<key>` supports reverse lookup from a
+//! checksum to the items carrying it (the paper's built-in queries for
+//! lightweight provenance retrieval).
+
+use std::collections::{HashSet, VecDeque};
+
+use hyperprov_fabric::{Chaincode, ChaincodeError, ChaincodeStub};
+use hyperprov_ledger::{Decode, Digest, Encode};
+
+use crate::record::{
+    encode_history, encode_lineage, HistoryRecord, LineageEntry, ProvenanceRecord, RecordInput,
+};
+
+/// The chaincode (namespace) name.
+pub const CHAINCODE_NAME: &str = "hyperprov";
+
+/// Maximum lineage traversal depth accepted by `get_lineage`.
+pub const MAX_LINEAGE_DEPTH: u32 = 64;
+
+/// The HyperProv chaincode.
+///
+/// Install it on every peer of the channel:
+///
+/// ```
+/// use hyperprov::HyperProvChaincode;
+/// use hyperprov_fabric::{Chaincode, ChaincodeRegistry};
+/// use std::sync::Arc;
+///
+/// let mut registry = ChaincodeRegistry::new();
+/// registry.install(Arc::new(HyperProvChaincode::new()));
+/// assert!(registry.get("hyperprov").is_some());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct HyperProvChaincode {
+    /// Reject posts whose parents are not on the ledger.
+    require_parents: bool,
+}
+
+impl HyperProvChaincode {
+    /// Creates the contract with parent validation enabled.
+    pub fn new() -> Self {
+        HyperProvChaincode {
+            require_parents: true,
+        }
+    }
+
+    /// Creates a permissive variant that does not check parent existence
+    /// (used by the on-chain baseline to isolate storage cost).
+    pub fn permissive() -> Self {
+        HyperProvChaincode {
+            require_parents: false,
+        }
+    }
+
+    fn item_key(stub: &ChaincodeStub<'_>, key: &str) -> Result<String, ChaincodeError> {
+        stub.create_composite_key("item", &[key])
+    }
+
+    fn cs_key(
+        stub: &ChaincodeStub<'_>,
+        checksum: &Digest,
+        key: &str,
+    ) -> Result<String, ChaincodeError> {
+        stub.create_composite_key("cs", &[&checksum.to_hex(), key])
+    }
+
+    fn load(
+        stub: &mut ChaincodeStub<'_>,
+        key: &str,
+    ) -> Result<Option<ProvenanceRecord>, ChaincodeError> {
+        let ik = Self::item_key(stub, key)?;
+        match stub.get_state(&ik) {
+            Some(bytes) => ProvenanceRecord::from_bytes(&bytes)
+                .map(Some)
+                .map_err(|e| ChaincodeError::Rejected(format!("corrupt record: {e}"))),
+            None => Ok(None),
+        }
+    }
+
+    fn post(&self, stub: &mut ChaincodeStub<'_>) -> Result<Vec<u8>, ChaincodeError> {
+        let key = stub.arg_str(0)?.to_owned();
+        if key.is_empty() || key.contains(hyperprov_fabric::COMPOSITE_SEP) {
+            return Err(ChaincodeError::BadArgs("invalid item key".to_owned()));
+        }
+        let input = RecordInput::from_bytes(stub.arg_bytes(1)?)
+            .map_err(|e| ChaincodeError::BadArgs(format!("malformed record input: {e}")))?;
+
+        if self.require_parents {
+            for parent in &input.parents {
+                if parent == &key {
+                    return Err(ChaincodeError::Rejected(
+                        "item cannot be its own parent".to_owned(),
+                    ));
+                }
+                if Self::load(stub, parent)?.is_none() {
+                    return Err(ChaincodeError::Rejected(format!(
+                        "parent {parent:?} does not exist"
+                    )));
+                }
+            }
+        }
+
+        // If the key already exists this is a version update; drop the old
+        // checksum index entry.
+        if let Some(previous) = Self::load(stub, &key)? {
+            if previous.checksum != input.checksum {
+                let old_cs = Self::cs_key(stub, &previous.checksum, &key)?;
+                stub.del_state(&old_cs);
+            }
+        }
+
+        let record =
+            ProvenanceRecord::from_input(key.clone(), input, stub.creator().clone());
+        let ik = Self::item_key(stub, &key)?;
+        let ck = Self::cs_key(stub, &record.checksum, &key)?;
+        stub.put_state(&ik, record.to_bytes());
+        stub.put_state(&ck, key.clone().into_bytes());
+        stub.set_event("post", key.into_bytes());
+        Ok(record.to_bytes())
+    }
+
+    fn get(&self, stub: &mut ChaincodeStub<'_>) -> Result<Vec<u8>, ChaincodeError> {
+        let key = stub.arg_str(0)?.to_owned();
+        match Self::load(stub, &key)? {
+            Some(record) => Ok(record.to_bytes()),
+            None => Err(ChaincodeError::NotFound(key)),
+        }
+    }
+
+    fn get_history(&self, stub: &mut ChaincodeStub<'_>) -> Result<Vec<u8>, ChaincodeError> {
+        let key = stub.arg_str(0)?.to_owned();
+        let ik = Self::item_key(stub, &key)?;
+        let entries: Vec<HistoryRecord> = stub
+            .get_history_for_key(&ik)
+            .into_iter()
+            .map(|e| {
+                let record = e
+                    .value
+                    .as_deref()
+                    .and_then(|bytes| ProvenanceRecord::from_bytes(bytes).ok());
+                HistoryRecord {
+                    tx_id: e.tx_id.0,
+                    block: e.version.block_num,
+                    record,
+                }
+            })
+            .collect();
+        if entries.is_empty() {
+            return Err(ChaincodeError::NotFound(key));
+        }
+        Ok(encode_history(&entries))
+    }
+
+    fn get_keys_by_checksum(
+        &self,
+        stub: &mut ChaincodeStub<'_>,
+    ) -> Result<Vec<u8>, ChaincodeError> {
+        let hex = stub.arg_str(0)?.to_owned();
+        let checksum = Digest::from_hex(&hex)
+            .ok_or_else(|| ChaincodeError::BadArgs("checksum must be 64 hex chars".to_owned()))?;
+        let hits = stub.get_state_by_partial_composite_key("cs", &[&checksum.to_hex()])?;
+        let keys: Vec<String> = hits
+            .into_iter()
+            .filter_map(|(_, v)| String::from_utf8(v).ok())
+            .collect();
+        Ok(keys.to_bytes())
+    }
+
+    fn get_lineage(&self, stub: &mut ChaincodeStub<'_>) -> Result<Vec<u8>, ChaincodeError> {
+        let key = stub.arg_str(0)?.to_owned();
+        let max_depth: u32 = stub
+            .arg_str(1)?
+            .parse()
+            .map_err(|_| ChaincodeError::BadArgs("depth must be an integer".to_owned()))?;
+        let max_depth = max_depth.min(MAX_LINEAGE_DEPTH);
+
+        let root = Self::load(stub, &key)?.ok_or(ChaincodeError::NotFound(key.clone()))?;
+        let mut seen: HashSet<String> = HashSet::new();
+        seen.insert(key);
+        let mut queue: VecDeque<(u32, ProvenanceRecord)> = VecDeque::new();
+        queue.push_back((0, root));
+        let mut out = Vec::new();
+        while let Some((depth, record)) = queue.pop_front() {
+            if depth < max_depth {
+                for parent in &record.parents {
+                    if seen.insert(parent.clone()) {
+                        if let Some(prec) = Self::load(stub, parent)? {
+                            queue.push_back((depth + 1, prec));
+                        }
+                    }
+                }
+            }
+            out.push(LineageEntry { depth, record });
+        }
+        Ok(encode_lineage(&out))
+    }
+
+    fn list(&self, stub: &mut ChaincodeStub<'_>) -> Result<Vec<u8>, ChaincodeError> {
+        let hits = stub.get_state_by_partial_composite_key("item", &[])?;
+        let mut keys = Vec::with_capacity(hits.len());
+        for (composite, _) in hits {
+            let parts = ChaincodeStub::split_composite_key(&composite);
+            if parts.len() == 2 && parts[0] == "item" {
+                keys.push(parts[1].to_owned());
+            }
+        }
+        Ok(keys.to_bytes())
+    }
+
+    fn delete(&self, stub: &mut ChaincodeStub<'_>) -> Result<Vec<u8>, ChaincodeError> {
+        let key = stub.arg_str(0)?.to_owned();
+        let record = Self::load(stub, &key)?.ok_or(ChaincodeError::NotFound(key.clone()))?;
+        let ik = Self::item_key(stub, &key)?;
+        let ck = Self::cs_key(stub, &record.checksum, &key)?;
+        stub.del_state(&ik);
+        stub.del_state(&ck);
+        stub.set_event("delete", key.into_bytes());
+        Ok(Vec::new())
+    }
+}
+
+impl Chaincode for HyperProvChaincode {
+    fn name(&self) -> &str {
+        CHAINCODE_NAME
+    }
+
+    fn invoke(&self, stub: &mut ChaincodeStub<'_>) -> Result<Vec<u8>, ChaincodeError> {
+        match stub.function() {
+            "post" => self.post(stub),
+            "get" => self.get(stub),
+            "get_history" => self.get_history(stub),
+            "get_keys_by_checksum" => self.get_keys_by_checksum(stub),
+            "get_lineage" => self.get_lineage(stub),
+            "list" => self.list(stub),
+            "delete" => self.delete(stub),
+            other => Err(ChaincodeError::UnknownFunction(other.to_owned())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperprov_fabric::{Certificate, MspBuilder, MspId};
+    use hyperprov_ledger::{HistoryDb, KvWrite, StateDb, StateKey, TxId, Version};
+
+    /// A tiny single-peer harness that executes invocations and applies
+    /// their write sets directly (no consensus), for chaincode-level tests.
+    struct Harness {
+        cc: HyperProvChaincode,
+        state: StateDb,
+        history: HistoryDb,
+        cert: Certificate,
+        next_height: u64,
+    }
+
+    impl Harness {
+        fn new() -> Self {
+            let mut b = MspBuilder::new(1);
+            let cert = b.enroll("client", &MspId::new("org1")).certificate().clone();
+            Harness {
+                cc: HyperProvChaincode::new(),
+                state: StateDb::new(),
+                history: HistoryDb::new(),
+                cert,
+                next_height: 1,
+            }
+        }
+
+        fn invoke(&mut self, function: &str, args: Vec<Vec<u8>>) -> Result<Vec<u8>, ChaincodeError> {
+            let mut stub = ChaincodeStub::new(
+                CHAINCODE_NAME,
+                function,
+                &args,
+                &self.cert,
+                &self.state,
+                &self.history,
+            );
+            let result = self.cc.invoke(&mut stub);
+            let (rwset, _, _) = stub.into_results();
+            if result.is_ok() {
+                let version = Version::new(self.next_height, 0);
+                self.next_height += 1;
+                self.state.apply_writes(&rwset.writes, version);
+                self.history.append(
+                    TxId(Digest::of(&self.next_height.to_le_bytes())),
+                    version,
+                    &rwset.writes,
+                );
+            }
+            result
+        }
+
+        fn post(&mut self, key: &str, input: &RecordInput) -> Result<ProvenanceRecord, ChaincodeError> {
+            let bytes = self.invoke(
+                "post",
+                vec![key.as_bytes().to_vec(), input.to_bytes()],
+            )?;
+            Ok(ProvenanceRecord::from_bytes(&bytes).unwrap())
+        }
+    }
+
+    fn input(data: &[u8]) -> RecordInput {
+        RecordInput::new(Digest::of(data)).with_location("sshfs://s/x", data.len() as u64)
+    }
+
+    #[test]
+    fn post_then_get() {
+        let mut h = Harness::new();
+        let rec = h.post("item1", &input(b"data")).unwrap();
+        assert_eq!(rec.creator.subject, "client");
+        let got = h.invoke("get", vec![b"item1".to_vec()]).unwrap();
+        assert_eq!(ProvenanceRecord::from_bytes(&got).unwrap(), rec);
+    }
+
+    #[test]
+    fn get_missing_fails() {
+        let mut h = Harness::new();
+        assert!(matches!(
+            h.invoke("get", vec![b"ghost".to_vec()]),
+            Err(ChaincodeError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn post_rejects_missing_parent_and_self_parent() {
+        let mut h = Harness::new();
+        let bad = input(b"d").with_parents(vec!["nonexistent".into()]);
+        assert!(matches!(
+            h.post("child", &bad),
+            Err(ChaincodeError::Rejected(_))
+        ));
+        let selfp = input(b"d").with_parents(vec!["loop".into()]);
+        assert!(matches!(
+            h.post("loop", &selfp),
+            Err(ChaincodeError::Rejected(_))
+        ));
+        // Permissive variant allows it.
+        let mut hp = Harness::new();
+        hp.cc = HyperProvChaincode::permissive();
+        assert!(hp.post("child", &bad).is_ok());
+    }
+
+    #[test]
+    fn post_with_existing_parents_links_lineage() {
+        let mut h = Harness::new();
+        h.post("a", &input(b"a")).unwrap();
+        h.post("b", &input(b"b")).unwrap();
+        h.post(
+            "c",
+            &input(b"c").with_parents(vec!["a".into(), "b".into()]),
+        )
+        .unwrap();
+        let bytes = h
+            .invoke("get_lineage", vec![b"c".to_vec(), b"5".to_vec()])
+            .unwrap();
+        let lineage = crate::record::decode_lineage(&bytes).unwrap();
+        assert_eq!(lineage.len(), 3);
+        assert_eq!(lineage[0].depth, 0);
+        assert_eq!(lineage[0].record.key, "c");
+        let depths: Vec<u32> = lineage.iter().map(|e| e.depth).collect();
+        assert_eq!(depths, vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn lineage_depth_limit_and_diamond_dedup() {
+        let mut h = Harness::new();
+        // a <- b <- c, and a <- c directly (diamond).
+        h.post("a", &input(b"a")).unwrap();
+        h.post("b", &input(b"b").with_parents(vec!["a".into()])).unwrap();
+        h.post(
+            "c",
+            &input(b"c").with_parents(vec!["b".into(), "a".into()]),
+        )
+        .unwrap();
+        let bytes = h
+            .invoke("get_lineage", vec![b"c".to_vec(), b"10".to_vec()])
+            .unwrap();
+        let lineage = crate::record::decode_lineage(&bytes).unwrap();
+        // a appears once even though reachable along two paths.
+        assert_eq!(lineage.len(), 3);
+        // Depth 0 only.
+        let bytes = h
+            .invoke("get_lineage", vec![b"c".to_vec(), b"0".to_vec()])
+            .unwrap();
+        assert_eq!(crate::record::decode_lineage(&bytes).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn history_tracks_versions_and_delete() {
+        let mut h = Harness::new();
+        h.post("item", &input(b"v1")).unwrap();
+        h.post("item", &input(b"v2")).unwrap();
+        h.invoke("delete", vec![b"item".to_vec()]).unwrap();
+        // After delete, get_history still answers from the history index.
+        let bytes = h.invoke("get_history", vec![b"item".to_vec()]).unwrap();
+        let history = crate::record::decode_history(&bytes).unwrap();
+        assert_eq!(history.len(), 3);
+        assert_eq!(
+            history[0].record.as_ref().unwrap().checksum,
+            Digest::of(b"v1")
+        );
+        assert_eq!(
+            history[1].record.as_ref().unwrap().checksum,
+            Digest::of(b"v2")
+        );
+        assert!(history[2].record.is_none());
+        // But get fails.
+        assert!(h.invoke("get", vec![b"item".to_vec()]).is_err());
+    }
+
+    #[test]
+    fn checksum_index_finds_all_items_and_updates() {
+        let mut h = Harness::new();
+        let cs = Digest::of(b"same-bytes");
+        h.post("copy1", &RecordInput::new(cs)).unwrap();
+        h.post("copy2", &RecordInput::new(cs)).unwrap();
+        let bytes = h
+            .invoke(
+                "get_keys_by_checksum",
+                vec![cs.to_hex().into_bytes()],
+            )
+            .unwrap();
+        let keys = Vec::<String>::from_bytes(&bytes).unwrap();
+        assert_eq!(keys, vec!["copy1", "copy2"]);
+        // Re-post copy1 with different contents: index entry moves.
+        h.post("copy1", &RecordInput::new(Digest::of(b"changed")))
+            .unwrap();
+        let bytes = h
+            .invoke("get_keys_by_checksum", vec![cs.to_hex().into_bytes()])
+            .unwrap();
+        let keys = Vec::<String>::from_bytes(&bytes).unwrap();
+        assert_eq!(keys, vec!["copy2"]);
+    }
+
+    #[test]
+    fn list_returns_item_keys_only() {
+        let mut h = Harness::new();
+        h.post("zeta", &input(b"1")).unwrap();
+        h.post("alpha", &input(b"2")).unwrap();
+        let bytes = h.invoke("list", vec![]).unwrap();
+        let keys = Vec::<String>::from_bytes(&bytes).unwrap();
+        assert_eq!(keys, vec!["alpha", "zeta"]); // lexicographic
+    }
+
+    #[test]
+    fn bad_arguments_rejected() {
+        let mut h = Harness::new();
+        assert!(matches!(
+            h.invoke("post", vec![b"k".to_vec(), b"junk".to_vec()]),
+            Err(ChaincodeError::BadArgs(_))
+        ));
+        assert!(matches!(
+            h.invoke("post", vec![Vec::new(), input(b"x").to_bytes()]),
+            Err(ChaincodeError::BadArgs(_))
+        ));
+        assert!(matches!(
+            h.invoke("get_keys_by_checksum", vec![b"nothex".to_vec()]),
+            Err(ChaincodeError::BadArgs(_))
+        ));
+        assert!(matches!(
+            h.invoke("get_lineage", vec![b"k".to_vec(), b"NaN".to_vec()]),
+            Err(ChaincodeError::BadArgs(_))
+        ));
+        assert!(matches!(
+            h.invoke("frobnicate", vec![]),
+            Err(ChaincodeError::UnknownFunction(_))
+        ));
+    }
+
+    #[test]
+    fn creator_comes_from_transaction_not_input() {
+        // Even though RecordInput has no creator field, double-check the
+        // stored creator matches the stub's certificate.
+        let mut h = Harness::new();
+        let rec = h.post("item", &input(b"x")).unwrap();
+        assert_eq!(rec.creator, h.cert);
+    }
+
+    #[test]
+    fn corrupt_stored_record_reported() {
+        let mut h = Harness::new();
+        h.post("item", &input(b"x")).unwrap();
+        // Corrupt the stored bytes directly.
+        let sep = hyperprov_fabric::COMPOSITE_SEP;
+        let ik = format!("item{sep}item{sep}");
+        h.state.apply_write(
+            &KvWrite {
+                key: StateKey::new(CHAINCODE_NAME, &ik),
+                value: Some(vec![0xFF]),
+            },
+            Version::new(99, 0),
+        );
+        assert!(matches!(
+            h.invoke("get", vec![b"item".to_vec()]),
+            Err(ChaincodeError::Rejected(_))
+        ));
+    }
+}

@@ -1,0 +1,731 @@
+//! The HyperProv client library — the Rust equivalent of the paper's
+//! NodeJS client, hiding Fabric and off-chain storage behind a handful of
+//! operators: `post`, `get`, `store_data`, `get_data`, `check_data`,
+//! `get_history`, `get_keys_by_checksum`, `get_lineage`, `delete`.
+//!
+//! [`HyperProvClient`] is a simulation actor; it receives
+//! [`ClientCommand`]s (injected by the synchronous facade or by a workload
+//! driver), drives the blockchain gateway and the storage node, and pushes
+//! [`ClientCompletion`]s into a shared queue the caller drains.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::rc::Rc;
+
+use hyperprov_fabric::{
+    CostModel, Gateway, GatewayEvent, GATEWAY_NOOP_TOKEN,
+};
+use hyperprov_ledger::{Decode, Digest, TxId, ValidationCode};
+use hyperprov_offchain::{StoreError, StoreMsg};
+use hyperprov_sim::{Actor, ActorId, Carries, Context, Event, SimTime};
+
+use crate::chaincode::CHAINCODE_NAME;
+use crate::record::{
+    decode_history, decode_lineage, HistoryRecord, LineageEntry, ProvenanceRecord, RecordInput,
+};
+
+/// Identifies one client operation, assigned by the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpId(pub u64);
+
+/// An operation submitted to a [`HyperProvClient`].
+#[derive(Debug, Clone)]
+pub enum ClientCommand {
+    /// Record provenance metadata for an item (payload already placed).
+    Post {
+        /// Item key.
+        key: String,
+        /// The record content.
+        input: RecordInput,
+        /// Operation id echoed in the completion.
+        op: OpId,
+    },
+    /// Store a payload off-chain, then post its metadata — the paper's
+    /// `StoreData`.
+    StoreData {
+        /// Item key.
+        key: String,
+        /// The payload.
+        data: Vec<u8>,
+        /// Parent item keys.
+        parents: Vec<String>,
+        /// Custom metadata.
+        metadata: Vec<(String, String)>,
+        /// Operation id echoed in the completion.
+        op: OpId,
+    },
+    /// Fetch the on-chain record.
+    Get {
+        /// Item key.
+        key: String,
+        /// Operation id echoed in the completion.
+        op: OpId,
+    },
+    /// Fetch the record, then the payload, and verify the checksum — the
+    /// paper's `GetData`.
+    GetData {
+        /// Item key.
+        key: String,
+        /// Operation id echoed in the completion.
+        op: OpId,
+    },
+    /// Like `GetData` but reports integrity as a boolean instead of
+    /// failing.
+    CheckData {
+        /// Item key.
+        key: String,
+        /// Operation id echoed in the completion.
+        op: OpId,
+    },
+    /// Fetch the full version history of an item.
+    GetHistory {
+        /// Item key.
+        key: String,
+        /// Operation id echoed in the completion.
+        op: OpId,
+    },
+    /// Reverse lookup: which items carry this checksum?
+    GetKeysByChecksum {
+        /// The checksum to look up.
+        checksum: Digest,
+        /// Operation id echoed in the completion.
+        op: OpId,
+    },
+    /// Ancestor traversal up to `depth`.
+    GetLineage {
+        /// Item key.
+        key: String,
+        /// Maximum traversal depth.
+        depth: u32,
+        /// Operation id echoed in the completion.
+        op: OpId,
+    },
+    /// Remove an item's current record (history remains on-chain).
+    Delete {
+        /// Item key.
+        key: String,
+        /// Operation id echoed in the completion.
+        op: OpId,
+    },
+    /// List every live item key on the ledger.
+    List {
+        /// Operation id echoed in the completion.
+        op: OpId,
+    },
+}
+
+impl ClientCommand {
+    /// The operation id carried by this command.
+    pub fn op(&self) -> OpId {
+        match self {
+            ClientCommand::Post { op, .. }
+            | ClientCommand::StoreData { op, .. }
+            | ClientCommand::Get { op, .. }
+            | ClientCommand::GetData { op, .. }
+            | ClientCommand::CheckData { op, .. }
+            | ClientCommand::GetHistory { op, .. }
+            | ClientCommand::GetKeysByChecksum { op, .. }
+            | ClientCommand::GetLineage { op, .. }
+            | ClientCommand::Delete { op, .. }
+            | ClientCommand::List { op } => *op,
+        }
+    }
+}
+
+/// Errors surfaced by client operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HyperProvError {
+    /// The chaincode or a peer rejected the request before ordering.
+    Rejected(String),
+    /// The transaction was ordered but invalidated at commit.
+    Invalidated(ValidationCode),
+    /// Off-chain storage failed.
+    Storage(StoreError),
+    /// The fetched payload does not match the on-chain checksum.
+    IntegrityViolation {
+        /// Checksum recorded on-chain.
+        expected: Digest,
+        /// Checksum of the fetched bytes.
+        actual: Digest,
+    },
+    /// A response could not be decoded.
+    Malformed(String),
+}
+
+impl fmt::Display for HyperProvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HyperProvError::Rejected(why) => write!(f, "rejected: {why}"),
+            HyperProvError::Invalidated(code) => write!(f, "invalidated at commit: {code}"),
+            HyperProvError::Storage(err) => write!(f, "off-chain storage: {err}"),
+            HyperProvError::IntegrityViolation { expected, actual } => write!(
+                f,
+                "integrity violation: chain records {} but data hashes to {}",
+                expected.short(),
+                actual.short()
+            ),
+            HyperProvError::Malformed(why) => write!(f, "malformed response: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for HyperProvError {}
+
+/// Successful operation results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpOutput {
+    /// A post/store/delete transaction committed validly.
+    Committed {
+        /// The stored record as returned by the chaincode (None for
+        /// deletes).
+        record: Option<ProvenanceRecord>,
+        /// The committing transaction.
+        tx_id: TxId,
+    },
+    /// A `get` finished.
+    Record(ProvenanceRecord),
+    /// A `get_data` finished and verified.
+    Data {
+        /// The on-chain record.
+        record: ProvenanceRecord,
+        /// The verified payload.
+        data: Vec<u8>,
+    },
+    /// A `check_data` finished.
+    Checked {
+        /// Whether the payload matched the on-chain checksum.
+        ok: bool,
+    },
+    /// A `get_history` finished.
+    History(Vec<HistoryRecord>),
+    /// A `get_keys_by_checksum` finished.
+    Keys(Vec<String>),
+    /// A `get_lineage` finished.
+    Lineage(Vec<LineageEntry>),
+}
+
+/// A finished client operation.
+#[derive(Debug, Clone)]
+pub struct ClientCompletion {
+    /// The operation.
+    pub op: OpId,
+    /// When the command entered the client.
+    pub started: SimTime,
+    /// When the completion was produced.
+    pub finished: SimTime,
+    /// The outcome.
+    pub outcome: Result<OpOutput, HyperProvError>,
+}
+
+impl ClientCompletion {
+    /// End-to-end latency of the operation.
+    pub fn latency(&self) -> hyperprov_sim::SimDuration {
+        self.finished - self.started
+    }
+}
+
+/// Shared queue the embedding code drains for completions.
+pub type CompletionQueue = Rc<RefCell<VecDeque<ClientCompletion>>>;
+
+#[derive(Debug)]
+enum OpState {
+    /// Waiting for a transaction to commit.
+    AwaitCommit,
+    /// Waiting for the chaincode `get` before fetching the payload.
+    AwaitRecordThenData {
+        check_only: bool,
+    },
+    /// Waiting for the storage node to return the payload.
+    AwaitPayload {
+        record: Box<ProvenanceRecord>,
+        check_only: bool,
+    },
+    /// Waiting for the storage put before posting metadata.
+    AwaitStorePut {
+        key: String,
+        input: Box<RecordInput>,
+    },
+    /// Waiting for a plain query response.
+    AwaitQuery(QueryKind),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum QueryKind {
+    Get,
+    History,
+    Keys,
+    Lineage,
+    List,
+}
+
+#[derive(Debug)]
+struct OpCtx {
+    op: OpId,
+    started: SimTime,
+    state: OpState,
+}
+
+/// The client actor.
+pub struct HyperProvClient {
+    gateway: Gateway,
+    storage: ActorId,
+    location_prefix: String,
+    costs: CostModel,
+    completions: CompletionQueue,
+    by_tx: HashMap<TxId, OpCtx>,
+    by_store_token: HashMap<u64, OpCtx>,
+    next_store_token: u64,
+}
+
+impl HyperProvClient {
+    /// Creates a client bound to a gateway and a storage node.
+    ///
+    /// `location_prefix` is prepended to content digests to form the
+    /// on-chain `location` field (e.g. `"sshfs://store0/"`).
+    pub fn new(
+        gateway: Gateway,
+        storage: ActorId,
+        location_prefix: impl Into<String>,
+        costs: CostModel,
+    ) -> (Self, CompletionQueue) {
+        let completions: CompletionQueue = Rc::new(RefCell::new(VecDeque::new()));
+        (
+            HyperProvClient {
+                gateway,
+                storage,
+                location_prefix: location_prefix.into(),
+                costs,
+                completions: completions.clone(),
+                by_tx: HashMap::new(),
+                by_store_token: HashMap::new(),
+                next_store_token: 0,
+            },
+            completions,
+        )
+    }
+
+    /// Number of operations currently in flight.
+    pub fn inflight(&self) -> usize {
+        self.by_tx.len() + self.by_store_token.len()
+    }
+
+    fn complete(
+        &mut self,
+        now: SimTime,
+        op_ctx: OpCtx,
+        outcome: Result<OpOutput, HyperProvError>,
+    ) {
+        self.completions.borrow_mut().push_back(ClientCompletion {
+            op: op_ctx.op,
+            started: op_ctx.started,
+            finished: now,
+            outcome,
+        });
+    }
+
+    fn start(&mut self, ctx: &mut Context<'_, NodeMsgOf>, cmd: ClientCommand) {
+        let now = ctx.now();
+        let op = cmd.op();
+        match cmd {
+            ClientCommand::Post { key, input, op } => {
+                let tx_id = self.gateway.invoke(
+                    ctx,
+                    CHAINCODE_NAME,
+                    "post",
+                    vec![key.into_bytes(), hyperprov_ledger::Encode::to_bytes(&input)],
+                );
+                self.by_tx.insert(
+                    tx_id,
+                    OpCtx {
+                        op,
+                        started: now,
+                        state: OpState::AwaitCommit,
+                    },
+                );
+            }
+            ClientCommand::StoreData {
+                key,
+                data,
+                parents,
+                metadata,
+                op,
+            } => {
+                // Client-side checksum of the payload: the dominant client
+                // CPU cost for large items (per the paper's Fig. 1 and 2).
+                let checksum = Digest::of(&data);
+                ctx.execute(self.costs.hash_cost(data.len() as u64), GATEWAY_NOOP_TOKEN);
+                let mut input = RecordInput::new(checksum)
+                    .with_location(
+                        format!("{}{}", self.location_prefix, checksum.to_hex()),
+                        data.len() as u64,
+                    )
+                    .with_parents(parents)
+                    .with_timestamp(now.as_nanos() / 1_000_000);
+                for (k, v) in metadata {
+                    input = input.with_meta(k, v);
+                }
+                self.next_store_token += 1;
+                let token = self.next_store_token;
+                self.by_store_token.insert(
+                    token,
+                    OpCtx {
+                        op,
+                        started: now,
+                        state: OpState::AwaitStorePut {
+                            key,
+                            input: Box::new(input),
+                        },
+                    },
+                );
+                let msg = StoreMsg::Put {
+                    name: checksum.to_hex(),
+                    data,
+                    token,
+                };
+                let bytes = msg.wire_size();
+                let storage = self.storage;
+                ctx.send(storage, bytes, NodeMsgOf::wrap(msg));
+            }
+            ClientCommand::Get { key, op } => {
+                self.start_query(ctx, now, op, "get", vec![key.into_bytes()], QueryKind::Get);
+            }
+            ClientCommand::GetData { key, op } => {
+                let tx_id =
+                    self.gateway
+                        .query(ctx, CHAINCODE_NAME, "get", vec![key.into_bytes()]);
+                self.by_tx.insert(
+                    tx_id,
+                    OpCtx {
+                        op,
+                        started: now,
+                        state: OpState::AwaitRecordThenData { check_only: false },
+                    },
+                );
+            }
+            ClientCommand::CheckData { key, op } => {
+                let tx_id =
+                    self.gateway
+                        .query(ctx, CHAINCODE_NAME, "get", vec![key.into_bytes()]);
+                self.by_tx.insert(
+                    tx_id,
+                    OpCtx {
+                        op,
+                        started: now,
+                        state: OpState::AwaitRecordThenData { check_only: true },
+                    },
+                );
+            }
+            ClientCommand::GetHistory { key, op } => {
+                self.start_query(
+                    ctx,
+                    now,
+                    op,
+                    "get_history",
+                    vec![key.into_bytes()],
+                    QueryKind::History,
+                );
+            }
+            ClientCommand::GetKeysByChecksum { checksum, op } => {
+                self.start_query(
+                    ctx,
+                    now,
+                    op,
+                    "get_keys_by_checksum",
+                    vec![checksum.to_hex().into_bytes()],
+                    QueryKind::Keys,
+                );
+            }
+            ClientCommand::GetLineage { key, depth, op } => {
+                self.start_query(
+                    ctx,
+                    now,
+                    op,
+                    "get_lineage",
+                    vec![key.into_bytes(), depth.to_string().into_bytes()],
+                    QueryKind::Lineage,
+                );
+            }
+            ClientCommand::Delete { key, op } => {
+                let tx_id =
+                    self.gateway
+                        .invoke(ctx, CHAINCODE_NAME, "delete", vec![key.into_bytes()]);
+                self.by_tx.insert(
+                    tx_id,
+                    OpCtx {
+                        op,
+                        started: now,
+                        state: OpState::AwaitCommit,
+                    },
+                );
+            }
+            ClientCommand::List { op } => {
+                self.start_query(ctx, now, op, "list", vec![], QueryKind::List);
+            }
+        }
+        let _ = op;
+    }
+
+    fn start_query(
+        &mut self,
+        ctx: &mut Context<'_, NodeMsgOf>,
+        now: SimTime,
+        op: OpId,
+        function: &str,
+        args: Vec<Vec<u8>>,
+        kind: QueryKind,
+    ) {
+        let tx_id = self.gateway.query(ctx, CHAINCODE_NAME, function, args);
+        self.by_tx.insert(
+            tx_id,
+            OpCtx {
+                op,
+                started: now,
+                state: OpState::AwaitQuery(kind),
+            },
+        );
+    }
+
+    fn on_gateway_event(&mut self, ctx: &mut Context<'_, NodeMsgOf>, event: GatewayEvent) {
+        let now = ctx.now();
+        match event {
+            GatewayEvent::TxCommitted {
+                tx_id,
+                code,
+                payload,
+                ..
+            } => {
+                if let Some(op_ctx) = self.by_tx.remove(&tx_id) {
+                    let outcome = if code.is_valid() {
+                        let record = ProvenanceRecord::from_bytes(&payload).ok();
+                        Ok(OpOutput::Committed { record, tx_id })
+                    } else {
+                        Err(HyperProvError::Invalidated(code))
+                    };
+                    self.complete(now, op_ctx, outcome);
+                }
+            }
+            GatewayEvent::TxFailed { tx_id, reason } => {
+                if let Some(op_ctx) = self.by_tx.remove(&tx_id) {
+                    self.complete(now, op_ctx, Err(HyperProvError::Rejected(reason)));
+                }
+            }
+            GatewayEvent::QueryDone { tx_id, result, .. } => {
+                let Some(op_ctx) = self.by_tx.remove(&tx_id) else {
+                    return;
+                };
+                let OpCtx { op, started, state } = op_ctx;
+                let rebuilt = |state| OpCtx { op, started, state };
+                match (result, state) {
+                    (Err(reason), state) => {
+                        self.complete(now, rebuilt(state), Err(HyperProvError::Rejected(reason)));
+                    }
+                    (Ok(bytes), OpState::AwaitQuery(kind)) => {
+                        let outcome = decode_query(kind, &bytes);
+                        self.complete(now, rebuilt(OpState::AwaitQuery(kind)), outcome);
+                    }
+                    (Ok(bytes), OpState::AwaitRecordThenData { check_only }) => {
+                        match ProvenanceRecord::from_bytes(&bytes) {
+                            Ok(record) if record.has_offchain_data() => {
+                                self.next_store_token += 1;
+                                let token = self.next_store_token;
+                                // The object name is the checksum hex (the
+                                // location's last path component).
+                                let name = record
+                                    .location
+                                    .rsplit('/')
+                                    .next()
+                                    .unwrap_or(&record.location)
+                                    .to_owned();
+                                self.by_store_token.insert(
+                                    token,
+                                    rebuilt(OpState::AwaitPayload {
+                                        record: Box::new(record),
+                                        check_only,
+                                    }),
+                                );
+                                let msg = StoreMsg::Get { name, token };
+                                let bytes = msg.wire_size();
+                                let storage = self.storage;
+                                ctx.send(storage, bytes, NodeMsgOf::wrap(msg));
+                            }
+                            Ok(_) => {
+                                self.complete(
+                                    now,
+                                    rebuilt(OpState::AwaitRecordThenData { check_only }),
+                                    Err(HyperProvError::Rejected(
+                                        "item has no off-chain payload".to_owned(),
+                                    )),
+                                );
+                            }
+                            Err(err) => {
+                                self.complete(
+                                    now,
+                                    rebuilt(OpState::AwaitRecordThenData { check_only }),
+                                    Err(HyperProvError::Malformed(err.to_string())),
+                                );
+                            }
+                        }
+                    }
+                    (Ok(_), state) => {
+                        self.complete(
+                            now,
+                            rebuilt(state),
+                            Err(HyperProvError::Malformed(
+                                "unexpected query response".to_owned(),
+                            )),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_store_msg(&mut self, ctx: &mut Context<'_, NodeMsgOf>, msg: StoreMsg) {
+        let now = ctx.now();
+        match msg {
+            StoreMsg::PutAck { token, result, .. } => {
+                let Some(op_ctx) = self.by_store_token.remove(&token) else {
+                    return;
+                };
+                let OpCtx { op, started, state } = op_ctx;
+                match (result, state) {
+                    (Ok(()), OpState::AwaitStorePut { key, input }) => {
+                        // Payload stored: now post the metadata on-chain.
+                        let tx_id = self.gateway.invoke(
+                            ctx,
+                            CHAINCODE_NAME,
+                            "post",
+                            vec![
+                                key.into_bytes(),
+                                hyperprov_ledger::Encode::to_bytes(input.as_ref()),
+                            ],
+                        );
+                        self.by_tx.insert(
+                            tx_id,
+                            OpCtx {
+                                op,
+                                started,
+                                state: OpState::AwaitCommit,
+                            },
+                        );
+                    }
+                    (Err(err), state) => {
+                        self.complete(
+                            now,
+                            OpCtx { op, started, state },
+                            Err(HyperProvError::Storage(err)),
+                        );
+                    }
+                    (Ok(()), state) => {
+                        self.complete(
+                            now,
+                            OpCtx { op, started, state },
+                            Err(HyperProvError::Malformed("unexpected put ack".to_owned())),
+                        );
+                    }
+                }
+            }
+            StoreMsg::GetResult { token, result, .. } => {
+                let Some(op_ctx) = self.by_store_token.remove(&token) else {
+                    return;
+                };
+                let OpCtx { op, started, state } = op_ctx;
+                let OpState::AwaitPayload { record, check_only } = state else {
+                    return;
+                };
+                let outcome = match result {
+                    Ok(data) => {
+                        // Client-side verification hash.
+                        ctx.execute(
+                            self.costs.hash_cost(data.len() as u64),
+                            GATEWAY_NOOP_TOKEN,
+                        );
+                        let actual = Digest::of(&data);
+                        let ok = actual == record.checksum;
+                        if check_only {
+                            Ok(OpOutput::Checked { ok })
+                        } else if ok {
+                            Ok(OpOutput::Data {
+                                record: *record,
+                                data,
+                            })
+                        } else {
+                            Err(HyperProvError::IntegrityViolation {
+                                expected: record.checksum,
+                                actual,
+                            })
+                        }
+                    }
+                    Err(err) => {
+                        if check_only {
+                            Ok(OpOutput::Checked { ok: false })
+                        } else {
+                            Err(HyperProvError::Storage(err))
+                        }
+                    }
+                };
+                self.complete(
+                    now,
+                    OpCtx {
+                        op,
+                        started,
+                        state: OpState::AwaitCommit,
+                    },
+                    outcome,
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+fn decode_query(kind: QueryKind, bytes: &[u8]) -> Result<OpOutput, HyperProvError> {
+    let malformed = |e: hyperprov_ledger::CodecError| HyperProvError::Malformed(e.to_string());
+    match kind {
+        QueryKind::Get => Ok(OpOutput::Record(
+            ProvenanceRecord::from_bytes(bytes).map_err(malformed)?,
+        )),
+        QueryKind::History => Ok(OpOutput::History(
+            decode_history(bytes).map_err(malformed)?,
+        )),
+        QueryKind::Keys | QueryKind::List => Ok(OpOutput::Keys(
+            Vec::<String>::from_bytes(bytes).map_err(malformed)?,
+        )),
+        QueryKind::Lineage => Ok(OpOutput::Lineage(
+            decode_lineage(bytes).map_err(malformed)?,
+        )),
+    }
+}
+
+/// The message type [`HyperProvClient`] is written against.
+pub type NodeMsgOf = crate::net::NodeMsg;
+
+impl Actor<NodeMsgOf> for HyperProvClient {
+    fn on_event(&mut self, ctx: &mut Context<'_, NodeMsgOf>, event: Event<NodeMsgOf>) {
+        match event {
+            Event::Message { msg, .. } => match msg {
+                crate::net::NodeMsg::Client(cmd) => self.start(ctx, cmd),
+                crate::net::NodeMsg::Fabric(fmsg) => {
+                    let events = self.gateway.handle(ctx, fmsg);
+                    for ev in events {
+                        self.on_gateway_event(ctx, ev);
+                    }
+                }
+                crate::net::NodeMsg::Store(smsg) => self.on_store_msg(ctx, smsg),
+            },
+            Event::Timer { .. } => {
+                // CPU-accounting noop timers (hashing, signing).
+            }
+        }
+    }
+}
+
+impl fmt::Debug for HyperProvClient {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HyperProvClient")
+            .field("inflight_tx", &self.by_tx.len())
+            .field("inflight_store", &self.by_store_token.len())
+            .finish()
+    }
+}

@@ -1,0 +1,279 @@
+//! Network deployment: assemble peers, orderer, off-chain storage and
+//! clients into one simulation, with device profiles matching the paper's
+//! desktop and Raspberry Pi testbeds.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use hyperprov_device::{link_between, DeviceProfile};
+use hyperprov_fabric::{
+    BatchConfig, ChaincodeRegistry, ChannelPolicies, Committer, CostModel, EndorsementPolicy,
+    Gateway, MspBuilder, MspId, PeerActor, SoloOrdererActor,
+};
+use hyperprov_offchain::{MemoryStore, StorageActor, StorageCosts};
+use hyperprov_sim::{ActorId, Simulation};
+
+use crate::chaincode::HyperProvChaincode;
+use crate::client::{CompletionQueue, HyperProvClient};
+use crate::net::NodeMsg;
+
+/// Configuration of a HyperProv network.
+#[derive(Debug, Clone)]
+pub struct NetworkConfig {
+    /// Simulation seed (determinism knob).
+    pub seed: u64,
+    /// One device per peer node; peer `i` belongs to `org(i+1)`.
+    pub peer_devices: Vec<DeviceProfile>,
+    /// The machine hosting the ordering service.
+    pub orderer_device: DeviceProfile,
+    /// The machine hosting the off-chain store (always separate, per the
+    /// paper).
+    pub storage_device: DeviceProfile,
+    /// One device per client process. Client `i` endorses at and
+    /// subscribes to peer `i % peers`.
+    pub client_devices: Vec<DeviceProfile>,
+    /// Orderer batching parameters.
+    pub batch: BatchConfig,
+    /// Endorsement policy for the HyperProv chaincode.
+    pub policy: EndorsementPolicy,
+    /// How many endorsements clients collect before submitting.
+    pub endorsements_needed: usize,
+    /// The reference CPU cost table.
+    pub costs: CostModel,
+    /// SSHFS service costs.
+    pub storage_costs: StorageCosts,
+    /// Install the permissive chaincode variant (no parent checks).
+    pub permissive: bool,
+}
+
+impl NetworkConfig {
+    /// The paper's desktop testbed: two Xeon E5-1603 (one also hosting the
+    /// orderer), one i7-4700MQ, one i3-2310M; SSHFS on a separate machine.
+    pub fn desktop(clients: usize) -> Self {
+        let peer_devices = vec![
+            DeviceProfile::xeon_e5_1603(),
+            DeviceProfile::xeon_e5_1603(),
+            DeviceProfile::core_i7_4700mq(),
+            DeviceProfile::core_i3_2310m(),
+        ];
+        NetworkConfig {
+            seed: 1,
+            orderer_device: DeviceProfile::xeon_e5_1603(),
+            storage_device: DeviceProfile::xeon_e5_1603(),
+            client_devices: vec![DeviceProfile::xeon_e5_1603(); clients.max(1)],
+            policy: EndorsementPolicy::any_of(
+                (1..=peer_devices.len()).map(|i| MspId::new(format!("org{i}"))),
+            ),
+            peer_devices,
+            batch: BatchConfig::default(),
+            endorsements_needed: 1,
+            costs: CostModel::default(),
+            storage_costs: StorageCosts::default(),
+            permissive: false,
+        }
+    }
+
+    /// The paper's edge testbed: four Raspberry Pi 3B+ devices on one
+    /// switch (one also hosts the orderer); SSHFS on a separate node.
+    pub fn rpi(clients: usize) -> Self {
+        let rpi = DeviceProfile::raspberry_pi_3b_plus();
+        NetworkConfig {
+            seed: 1,
+            peer_devices: vec![rpi.clone(); 4],
+            orderer_device: rpi.clone(),
+            storage_device: rpi.clone(),
+            client_devices: vec![rpi; clients.max(1)],
+            policy: EndorsementPolicy::any_of((1..=4).map(|i| MspId::new(format!("org{i}")))),
+            batch: BatchConfig::default(),
+            endorsements_needed: 1,
+            costs: CostModel::default(),
+            storage_costs: StorageCosts::default(),
+            permissive: false,
+        }
+    }
+
+    /// Sets the seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the batch configuration.
+    #[must_use]
+    pub fn with_batch(mut self, batch: BatchConfig) -> Self {
+        self.batch = batch;
+        self
+    }
+}
+
+/// A built network, ready to run.
+pub struct HyperProvNetwork {
+    /// The simulation (owns all actors).
+    pub sim: Simulation<NodeMsg>,
+    /// Peer actor ids, in org order.
+    pub peers: Vec<ActorId>,
+    /// The orderer actor.
+    pub orderer: ActorId,
+    /// The storage node actor.
+    pub storage: ActorId,
+    /// Client actor ids.
+    pub clients: Vec<ActorId>,
+    /// Completion queues, one per client.
+    pub completions: Vec<CompletionQueue>,
+    /// Shared handles to each peer's ledger (for audits and tests).
+    pub ledgers: Vec<Rc<RefCell<Committer>>>,
+    /// The off-chain object store (shared with the storage actor).
+    pub store: Arc<MemoryStore>,
+    /// Devices, in actor-id order, for energy metering.
+    pub devices: Vec<DeviceProfile>,
+}
+
+impl HyperProvNetwork {
+    /// Builds a network from a configuration.
+    ///
+    /// Actor layout: peers `0..P`, orderer `P`, storage `P+1`, clients
+    /// `P+2...`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has no peers or no clients.
+    pub fn build(config: &NetworkConfig) -> Self {
+        assert!(!config.peer_devices.is_empty(), "need at least one peer");
+        assert!(!config.client_devices.is_empty(), "need at least one client");
+        let n_peers = config.peer_devices.len();
+
+        // Enrol identities.
+        let mut msp_builder = MspBuilder::new(config.seed);
+        let peer_identities: Vec<_> = (0..n_peers)
+            .map(|i| msp_builder.enroll(&format!("peer{i}"), &MspId::new(format!("org{}", i + 1))))
+            .collect();
+        let client_identities: Vec<_> = (0..config.client_devices.len())
+            .map(|i| {
+                let org = MspId::new(format!("org{}", (i % n_peers) + 1));
+                msp_builder.enroll(&format!("client{i}"), &org)
+            })
+            .collect();
+        let msp = msp_builder.build();
+
+        // Install the chaincode.
+        let mut registry = ChaincodeRegistry::new();
+        let chaincode = if config.permissive {
+            HyperProvChaincode::permissive()
+        } else {
+            HyperProvChaincode::new()
+        };
+        registry.install(Arc::new(chaincode));
+
+        // Predictable actor ids.
+        let peer_ids: Vec<ActorId> = (0..n_peers as u32).map(ActorId).collect();
+        let orderer_id = ActorId(n_peers as u32);
+        let storage_id = ActorId(n_peers as u32 + 1);
+        let client_ids: Vec<ActorId> = (0..config.client_devices.len() as u32)
+            .map(|i| ActorId(n_peers as u32 + 2 + i))
+            .collect();
+
+        let mut sim: Simulation<NodeMsg> = Simulation::new(config.seed);
+        let mut ledgers = Vec::new();
+        let mut devices = Vec::new();
+
+        for (i, identity) in peer_identities.iter().enumerate() {
+            let committer = Rc::new(RefCell::new(Committer::new(
+                msp.clone(),
+                ChannelPolicies::new(config.policy.clone()),
+            )));
+            ledgers.push(committer.clone());
+            let mut actor = PeerActor::<NodeMsg>::new(
+                identity.clone(),
+                registry.clone(),
+                committer,
+                config.costs,
+                format!("peer{i}"),
+            );
+            for (c, &cid) in client_ids.iter().enumerate() {
+                if c % n_peers == i {
+                    actor.subscribe(cid);
+                }
+            }
+            let id = sim.add_actor_with_speed(Box::new(actor), config.peer_devices[i].cpu_speed);
+            debug_assert_eq!(id, peer_ids[i]);
+            devices.push(config.peer_devices[i].clone());
+        }
+
+        let orderer_actor =
+            SoloOrdererActor::<NodeMsg>::new(config.batch, peer_ids.clone(), config.costs);
+        let id = sim.add_actor_with_speed(Box::new(orderer_actor), config.orderer_device.cpu_speed);
+        debug_assert_eq!(id, orderer_id);
+        devices.push(config.orderer_device.clone());
+
+        let store = Arc::new(MemoryStore::new());
+        let storage_actor =
+            StorageActor::<NodeMsg>::new(store.clone(), config.storage_costs);
+        let id = sim.add_actor_with_speed(Box::new(storage_actor), config.storage_device.cpu_speed);
+        debug_assert_eq!(id, storage_id);
+        devices.push(config.storage_device.clone());
+
+        let mut clients = Vec::new();
+        let mut completions = Vec::new();
+        for (i, identity) in client_identities.iter().enumerate() {
+            // Endorse at the client's home peer first, then the others, so
+            // `endorsements_needed` > 1 spreads across orgs.
+            let home = i % n_peers;
+            let mut endorsers = vec![peer_ids[home]];
+            endorsers.extend(peer_ids.iter().copied().filter(|&p| p != peer_ids[home]));
+            let gateway = Gateway::new(
+                identity.clone(),
+                "hyperprov-channel",
+                endorsers,
+                orderer_id,
+                config.endorsements_needed,
+                config.costs,
+            );
+            let (client_actor, queue) =
+                HyperProvClient::new(gateway, storage_id, "sshfs://store0/", config.costs);
+            let id = sim
+                .add_actor_with_speed(Box::new(client_actor), config.client_devices[i].cpu_speed);
+            debug_assert_eq!(id, client_ids[i]);
+            clients.push(id);
+            completions.push(queue);
+            devices.push(config.client_devices[i].clone());
+        }
+
+        // Wire pairwise links from device NICs (one shared switch).
+        let all: Vec<(ActorId, &DeviceProfile)> = devices
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (ActorId(i as u32), d))
+            .collect();
+        for (a, da) in &all {
+            for (b, db) in &all {
+                if a != b {
+                    sim.network_mut().set_link(*a, *b, link_between(da, db));
+                }
+            }
+        }
+
+        HyperProvNetwork {
+            sim,
+            peers: peer_ids,
+            orderer: orderer_id,
+            storage: storage_id,
+            clients: client_ids,
+            completions,
+            ledgers,
+            store,
+            devices,
+        }
+    }
+}
+
+impl std::fmt::Debug for HyperProvNetwork {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HyperProvNetwork")
+            .field("peers", &self.peers.len())
+            .field("clients", &self.clients.len())
+            .field("now", &self.sim.now())
+            .finish()
+    }
+}

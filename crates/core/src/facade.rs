@@ -1,0 +1,318 @@
+//! A synchronous facade over a simulated HyperProv network.
+//!
+//! Examples and applications call blocking methods (`store_data`, `get`,
+//! `get_lineage`, ...) on [`HyperProv`]; each call injects a command into
+//! a client actor and advances virtual time until the completion arrives.
+//! This is the experience of using the paper's NodeJS client library, with
+//! the whole distributed deployment running inside the process.
+
+use hyperprov_ledger::Digest;
+use hyperprov_sim::{SimDuration, SimTime};
+
+use crate::client::{ClientCommand, HyperProvError, OpId, OpOutput};
+use crate::deploy::{HyperProvNetwork, NetworkConfig};
+use crate::net::NodeMsg;
+use crate::record::{HistoryRecord, LineageEntry, ProvenanceRecord, RecordInput};
+
+/// How long (virtual time) to wait for one operation before giving up.
+const OP_TIMEOUT: SimDuration = SimDuration::from_secs(30);
+
+/// A running HyperProv deployment with a blocking client API.
+///
+/// # Examples
+///
+/// ```
+/// use hyperprov::HyperProv;
+///
+/// let mut hp = HyperProv::desktop();
+/// let record = hp.store_data("readings", b"1,2,3".to_vec(), vec![], vec![])?;
+/// let (back, data) = hp.get_data("readings")?;
+/// assert_eq!(data, b"1,2,3");
+/// assert_eq!(back.checksum, record.checksum);
+/// # Ok::<(), hyperprov::HyperProvError>(())
+/// ```
+#[derive(Debug)]
+pub struct HyperProv {
+    net: HyperProvNetwork,
+    next_op: u64,
+}
+
+impl HyperProv {
+    /// Builds and starts the desktop-testbed deployment with one client.
+    pub fn desktop() -> Self {
+        HyperProv::with_config(&NetworkConfig::desktop(1))
+    }
+
+    /// Builds and starts the Raspberry Pi edge deployment with one client.
+    pub fn rpi() -> Self {
+        HyperProv::with_config(&NetworkConfig::rpi(1))
+    }
+
+    /// Builds a deployment from an explicit configuration.
+    pub fn with_config(config: &NetworkConfig) -> Self {
+        HyperProv {
+            net: HyperProvNetwork::build(config),
+            next_op: 0,
+        }
+    }
+
+    /// The underlying network (actors, ledgers, store, metrics).
+    pub fn network(&self) -> &HyperProvNetwork {
+        &self.net
+    }
+
+    /// Mutable access to the underlying network.
+    pub fn network_mut(&mut self) -> &mut HyperProvNetwork {
+        &mut self.net
+    }
+
+    /// Current virtual time of the deployment.
+    pub fn now(&self) -> SimTime {
+        self.net.sim.now()
+    }
+
+    fn call(&mut self, cmd: ClientCommand) -> Result<OpOutput, HyperProvError> {
+        let op = cmd.op();
+        let client = self.net.clients[0];
+        self.net.sim.inject_message(client, NodeMsg::Client(cmd));
+        let deadline = self.net.sim.now() + OP_TIMEOUT;
+        loop {
+            // Drain completions looking for ours.
+            let hit = {
+                let mut queue = self.net.completions[0].borrow_mut();
+                let mut found = None;
+                while let Some(completion) = queue.pop_front() {
+                    if completion.op == op {
+                        found = Some(completion);
+                        break;
+                    }
+                    // Drop completions of abandoned ops (shouldn't happen
+                    // through this facade).
+                }
+                found
+            };
+            if let Some(completion) = hit {
+                return completion.outcome;
+            }
+            if self.net.sim.now() >= deadline {
+                return Err(HyperProvError::Rejected(format!(
+                    "operation timed out after {OP_TIMEOUT} of virtual time"
+                )));
+            }
+            if self.net.sim.run_events(256) == 0 {
+                // No immediately-runnable events: advance the clock so
+                // pending timers (e.g. the orderer's batch timeout) fire.
+                let now = self.net.sim.now();
+                self.net.sim.run_until(now + SimDuration::from_millis(100));
+            }
+        }
+    }
+
+    fn op(&mut self) -> OpId {
+        self.next_op += 1;
+        OpId(self.next_op)
+    }
+
+    /// Stores `data` off-chain and posts its provenance record — the
+    /// paper's `StoreData`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`HyperProvError`] if storage or the transaction fails.
+    pub fn store_data(
+        &mut self,
+        key: &str,
+        data: Vec<u8>,
+        parents: Vec<String>,
+        metadata: Vec<(String, String)>,
+    ) -> Result<ProvenanceRecord, HyperProvError> {
+        let op = self.op();
+        match self.call(ClientCommand::StoreData {
+            key: key.to_owned(),
+            data,
+            parents,
+            metadata,
+            op,
+        })? {
+            OpOutput::Committed {
+                record: Some(record),
+                ..
+            } => Ok(record),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Posts a metadata-only provenance record — the paper's `Post`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`HyperProvError`] if the transaction fails or is
+    /// invalidated.
+    pub fn post(
+        &mut self,
+        key: &str,
+        input: RecordInput,
+    ) -> Result<ProvenanceRecord, HyperProvError> {
+        let op = self.op();
+        match self.call(ClientCommand::Post {
+            key: key.to_owned(),
+            input,
+            op,
+        })? {
+            OpOutput::Committed {
+                record: Some(record),
+                ..
+            } => Ok(record),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Fetches the current on-chain record of `key` — the paper's `Get`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HyperProvError::Rejected`] if the key does not exist.
+    pub fn get(&mut self, key: &str) -> Result<ProvenanceRecord, HyperProvError> {
+        let op = self.op();
+        match self.call(ClientCommand::Get {
+            key: key.to_owned(),
+            op,
+        })? {
+            OpOutput::Record(record) => Ok(record),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Fetches the record and its off-chain payload, verifying the
+    /// checksum — the paper's `GetData`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HyperProvError::IntegrityViolation`] if the payload was
+    /// tampered with.
+    pub fn get_data(&mut self, key: &str) -> Result<(ProvenanceRecord, Vec<u8>), HyperProvError> {
+        let op = self.op();
+        match self.call(ClientCommand::GetData {
+            key: key.to_owned(),
+            op,
+        })? {
+            OpOutput::Data { record, data } => Ok((record, data)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Verifies the off-chain payload against the on-chain checksum,
+    /// returning `true` when intact — the paper's `CheckData`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`HyperProvError`] if the record itself cannot be read.
+    pub fn check_data(&mut self, key: &str) -> Result<bool, HyperProvError> {
+        let op = self.op();
+        match self.call(ClientCommand::CheckData {
+            key: key.to_owned(),
+            op,
+        })? {
+            OpOutput::Checked { ok } => Ok(ok),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Fetches the full version history of `key`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HyperProvError::Rejected`] if the key was never posted.
+    pub fn get_history(&mut self, key: &str) -> Result<Vec<HistoryRecord>, HyperProvError> {
+        let op = self.op();
+        match self.call(ClientCommand::GetHistory {
+            key: key.to_owned(),
+            op,
+        })? {
+            OpOutput::History(entries) => Ok(entries),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Reverse lookup from a checksum to item keys.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`HyperProvError`] if the query fails.
+    pub fn get_keys_by_checksum(
+        &mut self,
+        checksum: Digest,
+    ) -> Result<Vec<String>, HyperProvError> {
+        let op = self.op();
+        match self.call(ClientCommand::GetKeysByChecksum { checksum, op })? {
+            OpOutput::Keys(keys) => Ok(keys),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Ancestor lineage of `key`, breadth-first to `depth`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HyperProvError::Rejected`] if the key does not exist.
+    pub fn get_lineage(
+        &mut self,
+        key: &str,
+        depth: u32,
+    ) -> Result<Vec<LineageEntry>, HyperProvError> {
+        let op = self.op();
+        match self.call(ClientCommand::GetLineage {
+            key: key.to_owned(),
+            depth,
+            op,
+        })? {
+            OpOutput::Lineage(entries) => Ok(entries),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Exports peer 0's block chain in the persistent chain format (see
+    /// [`hyperprov_ledger::BlockStore::write_to`]); a restarted peer can
+    /// rebuild its full state from it via
+    /// [`hyperprov_fabric::Committer::replay`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer I/O errors.
+    pub fn export_chain<W: std::io::Write>(&self, writer: W) -> std::io::Result<()> {
+        self.net.ledgers[0].borrow().store().write_to(writer)
+    }
+
+    /// Lists every live item key on the ledger, lexicographically.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`HyperProvError`] if the query fails.
+    pub fn list(&mut self) -> Result<Vec<String>, HyperProvError> {
+        let op = self.op();
+        match self.call(ClientCommand::List { op })? {
+            OpOutput::Keys(keys) => Ok(keys),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Deletes the current record of `key` (history remains on-chain).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`HyperProvError`] if the transaction fails.
+    pub fn delete(&mut self, key: &str) -> Result<(), HyperProvError> {
+        let op = self.op();
+        match self.call(ClientCommand::Delete {
+            key: key.to_owned(),
+            op,
+        })? {
+            OpOutput::Committed { .. } => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+}
+
+fn unexpected(output: OpOutput) -> HyperProvError {
+    HyperProvError::Malformed(format!("unexpected operation output: {output:?}"))
+}

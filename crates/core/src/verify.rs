@@ -1,0 +1,152 @@
+//! Integrity auditing: cross-check the blockchain, the world state and
+//! the off-chain store.
+//!
+//! This is the "counteract accidental or malicious data manipulation"
+//! promise of the paper made executable: an auditor holding a peer's
+//! ledger and access to the off-chain store can detect (a) tampered chain
+//! history, (b) corrupted state records and (c) off-chain payloads that no
+//! longer match their on-chain checksums.
+
+use std::fmt;
+
+use hyperprov_fabric::Committer;
+use hyperprov_ledger::{Decode, Digest, StateKey};
+use hyperprov_offchain::ObjectStore;
+
+use crate::chaincode::CHAINCODE_NAME;
+use crate::record::ProvenanceRecord;
+
+/// One problem found by an audit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuditFinding {
+    /// The block chain fails hash verification.
+    ChainBroken {
+        /// Description from the chain verifier.
+        detail: String,
+    },
+    /// A state record cannot be decoded.
+    CorruptRecord {
+        /// The item key.
+        key: String,
+    },
+    /// An item's payload is missing from the off-chain store.
+    MissingPayload {
+        /// The item key.
+        key: String,
+        /// The expected object name.
+        object: String,
+    },
+    /// An item's payload no longer matches its on-chain checksum.
+    TamperedPayload {
+        /// The item key.
+        key: String,
+        /// Checksum recorded on-chain.
+        expected: Digest,
+        /// Checksum of the stored bytes.
+        actual: Digest,
+    },
+}
+
+impl fmt::Display for AuditFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuditFinding::ChainBroken { detail } => write!(f, "chain broken: {detail}"),
+            AuditFinding::CorruptRecord { key } => write!(f, "corrupt record: {key}"),
+            AuditFinding::MissingPayload { key, object } => {
+                write!(f, "missing payload for {key} (object {object})")
+            }
+            AuditFinding::TamperedPayload { key, expected, actual } => write!(
+                f,
+                "tampered payload for {key}: chain says {} but store holds {}",
+                expected.short(),
+                actual.short()
+            ),
+        }
+    }
+}
+
+/// The result of an audit pass.
+#[derive(Debug, Clone, Default)]
+pub struct AuditReport {
+    /// Problems found (empty = everything verified).
+    pub findings: Vec<AuditFinding>,
+    /// Items whose records decoded correctly.
+    pub records_checked: u64,
+    /// Payloads fetched and re-hashed.
+    pub payloads_checked: u64,
+    /// Blocks whose hashes were re-verified.
+    pub blocks_checked: u64,
+}
+
+impl AuditReport {
+    /// True when no findings were produced.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Extracts every current provenance record from a peer's world state.
+pub fn current_records(committer: &Committer) -> Vec<(String, Result<ProvenanceRecord, ()>)> {
+    let sep = hyperprov_fabric::COMPOSITE_SEP;
+    let prefix = format!("item{sep}");
+    let mut out = Vec::new();
+    for (state_key, value) in committer.state().scan_prefix(CHAINCODE_NAME, &prefix) {
+        let StateKey { key, .. } = state_key;
+        let item_key = key
+            .trim_start_matches(&prefix)
+            .trim_end_matches(sep)
+            .to_owned();
+        match ProvenanceRecord::from_bytes(&value.value) {
+            Ok(record) => out.push((item_key, Ok(record))),
+            Err(_) => out.push((item_key, Err(()))),
+        }
+    }
+    out
+}
+
+/// Audits one peer's ledger against an off-chain store.
+pub fn audit(committer: &Committer, store: &dyn ObjectStore) -> AuditReport {
+    let mut report = AuditReport::default();
+
+    // 1. Chain integrity.
+    report.blocks_checked = committer.store().height();
+    if let Err(err) = committer.store().verify_chain() {
+        report.findings.push(AuditFinding::ChainBroken {
+            detail: err.to_string(),
+        });
+    }
+
+    // 2. Record decodability and payload integrity.
+    for (key, record) in current_records(committer) {
+        match record {
+            Err(()) => report.findings.push(AuditFinding::CorruptRecord { key }),
+            Ok(record) => {
+                report.records_checked += 1;
+                if !record.has_offchain_data() {
+                    continue;
+                }
+                let object = record
+                    .location
+                    .rsplit('/')
+                    .next()
+                    .unwrap_or(&record.location)
+                    .to_owned();
+                match store.get(&object) {
+                    Err(_) => report.findings.push(AuditFinding::MissingPayload { key, object }),
+                    Ok(data) => {
+                        report.payloads_checked += 1;
+                        let actual = Digest::of(&data);
+                        if actual != record.checksum {
+                            report.findings.push(AuditFinding::TamperedPayload {
+                                key,
+                                expected: record.checksum,
+                                actual,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    report
+}

@@ -1,0 +1,308 @@
+//! End-to-end tests of the full HyperProv deployment: client library,
+//! Fabric pipeline, off-chain storage and auditing, all under virtual
+//! time.
+
+use hyperprov::{
+    audit, AuditFinding, HyperProv, HyperProvError, NetworkConfig, OpmGraph, RecordInput,
+};
+use hyperprov_ledger::Digest;
+
+#[test]
+fn store_get_round_trip_desktop() {
+    let mut hp = HyperProv::desktop();
+    let payload = b"sensor frame 001".to_vec();
+    let record = hp
+        .store_data("frame-001", payload.clone(), vec![], vec![("camera".into(), "north".into())])
+        .unwrap();
+    assert_eq!(record.checksum, Digest::of(&payload));
+    assert_eq!(record.size, payload.len() as u64);
+    assert!(record.location.starts_with("sshfs://store0/"));
+    assert_eq!(record.meta("camera"), Some("north"));
+    assert_eq!(record.creator.subject, "client0");
+
+    let fetched = hp.get("frame-001").unwrap();
+    assert_eq!(fetched, record);
+
+    let (rec2, data) = hp.get_data("frame-001").unwrap();
+    assert_eq!(rec2.checksum, record.checksum);
+    assert_eq!(data, payload);
+    assert!(hp.check_data("frame-001").unwrap());
+}
+
+#[test]
+fn missing_key_is_rejected() {
+    let mut hp = HyperProv::desktop();
+    match hp.get("nonexistent") {
+        Err(HyperProvError::Rejected(reason)) => assert!(reason.contains("not found")),
+        other => panic!("expected rejection, got {other:?}"),
+    }
+}
+
+#[test]
+fn lineage_chain_traversal() {
+    let mut hp = HyperProv::desktop();
+    hp.store_data("raw", b"raw data".to_vec(), vec![], vec![]).unwrap();
+    hp.store_data("cleaned", b"clean data".to_vec(), vec!["raw".into()], vec![])
+        .unwrap();
+    hp.store_data(
+        "model",
+        b"weights".to_vec(),
+        vec!["cleaned".into()],
+        vec![],
+    )
+    .unwrap();
+    hp.store_data(
+        "report",
+        b"pdf".to_vec(),
+        vec!["model".into(), "cleaned".into()],
+        vec![],
+    )
+    .unwrap();
+
+    let lineage = hp.get_lineage("report", 10).unwrap();
+    let keys: Vec<&str> = lineage.iter().map(|e| e.record.key.as_str()).collect();
+    assert_eq!(keys, vec!["report", "model", "cleaned", "raw"]);
+    let depths: Vec<u32> = lineage.iter().map(|e| e.depth).collect();
+    assert_eq!(depths, vec![0, 1, 1, 2]);
+
+    // Depth-limited traversal stops early.
+    let shallow = hp.get_lineage("report", 1).unwrap();
+    assert_eq!(shallow.len(), 3); // report + model + cleaned
+
+    // OPM export covers the whole graph.
+    let records: Vec<_> = lineage.iter().map(|e| e.record.clone()).collect();
+    let graph = OpmGraph::from_records(records.iter());
+    assert_eq!(graph.nodes_of(hyperprov::OpmNodeKind::Artifact).len(), 4);
+    assert!(graph.to_dot().contains("wasDerivedFrom"));
+}
+
+#[test]
+fn missing_parent_rejected_by_chaincode() {
+    let mut hp = HyperProv::desktop();
+    let err = hp
+        .store_data("orphan", b"x".to_vec(), vec!["ghost".into()], vec![])
+        .unwrap_err();
+    match err {
+        HyperProvError::Rejected(reason) => assert!(reason.contains("ghost")),
+        other => panic!("expected rejection, got {other:?}"),
+    }
+}
+
+#[test]
+fn history_records_every_version() {
+    let mut hp = HyperProv::desktop();
+    hp.store_data("doc", b"v1".to_vec(), vec![], vec![]).unwrap();
+    hp.store_data("doc", b"v2".to_vec(), vec![], vec![]).unwrap();
+    hp.store_data("doc", b"v3 final".to_vec(), vec![], vec![]).unwrap();
+    let history = hp.get_history("doc").unwrap();
+    assert_eq!(history.len(), 3);
+    let checksums: Vec<Digest> = history
+        .iter()
+        .map(|h| h.record.as_ref().unwrap().checksum)
+        .collect();
+    assert_eq!(
+        checksums,
+        vec![Digest::of(b"v1"), Digest::of(b"v2"), Digest::of(b"v3 final")]
+    );
+    // Blocks are increasing.
+    assert!(history.windows(2).all(|w| w[0].block <= w[1].block));
+}
+
+#[test]
+fn checksum_reverse_lookup() {
+    let mut hp = HyperProv::desktop();
+    let payload = b"shared bytes".to_vec();
+    hp.store_data("copy-a", payload.clone(), vec![], vec![]).unwrap();
+    hp.store_data("copy-b", payload.clone(), vec![], vec![]).unwrap();
+    hp.store_data("other", b"different".to_vec(), vec![], vec![]).unwrap();
+    let keys = hp.get_keys_by_checksum(Digest::of(&payload)).unwrap();
+    assert_eq!(keys, vec!["copy-a", "copy-b"]);
+}
+
+#[test]
+fn delete_removes_current_but_keeps_history() {
+    let mut hp = HyperProv::desktop();
+    hp.store_data("temp", b"x".to_vec(), vec![], vec![]).unwrap();
+    hp.delete("temp").unwrap();
+    assert!(hp.get("temp").is_err());
+    let history = hp.get_history("temp").unwrap();
+    assert_eq!(history.len(), 2);
+    assert!(history[1].record.is_none()); // the delete marker
+}
+
+#[test]
+fn tampering_detected_end_to_end() {
+    let mut hp = HyperProv::desktop();
+    let record = hp
+        .store_data("victim", b"original".to_vec(), vec![], vec![])
+        .unwrap();
+
+    // Corrupt the off-chain object behind HyperProv's back.
+    let object = record.location.rsplit('/').next().unwrap().to_owned();
+    assert!(hp.network().store.tamper(&object, b"evil bytes"));
+
+    // get_data detects the mismatch.
+    match hp.get_data("victim") {
+        Err(HyperProvError::IntegrityViolation { expected, actual }) => {
+            assert_eq!(expected, Digest::of(b"original"));
+            assert_eq!(actual, Digest::of(b"evil bytes"));
+        }
+        other => panic!("expected integrity violation, got {other:?}"),
+    }
+    // check_data reports false rather than failing.
+    assert!(!hp.check_data("victim").unwrap());
+
+    // The auditor sees it too.
+    let ledger = hp.network().ledgers[0].clone();
+    let report = audit(&ledger.borrow(), hp.network().store.as_ref());
+    assert!(!report.is_clean());
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| matches!(f, AuditFinding::TamperedPayload { key, .. } if key == "victim")));
+}
+
+#[test]
+fn audit_clean_network_and_ledger_convergence() {
+    let mut hp = HyperProv::desktop();
+    for i in 0..8 {
+        hp.store_data(&format!("item{i}"), vec![i as u8; 64], vec![], vec![])
+            .unwrap();
+    }
+    // All four peers converge to the same chain tip and state.
+    let heights: Vec<u64> = hp
+        .network()
+        .ledgers
+        .iter()
+        .map(|l| l.borrow().height())
+        .collect();
+    assert!(heights.iter().all(|&h| h == heights[0] && h > 0));
+    let tips: Vec<_> = hp
+        .network()
+        .ledgers
+        .iter()
+        .map(|l| l.borrow().store().tip_hash())
+        .collect();
+    assert!(tips.iter().all(|t| *t == tips[0]));
+
+    for ledger in &hp.network().ledgers {
+        let report = audit(&ledger.borrow(), hp.network().store.as_ref());
+        assert!(report.is_clean(), "{:?}", report.findings);
+        assert_eq!(report.records_checked, 8);
+        assert_eq!(report.payloads_checked, 8);
+    }
+}
+
+#[test]
+fn missing_payload_detected_by_audit() {
+    let mut hp = HyperProv::desktop();
+    let record = hp
+        .store_data("gone", b"data".to_vec(), vec![], vec![])
+        .unwrap();
+    let object = record.location.rsplit('/').next().unwrap().to_owned();
+    use hyperprov_offchain::ObjectStore;
+    hp.network().store.delete(&object).unwrap();
+    let ledger = hp.network().ledgers[0].clone();
+    let report = audit(&ledger.borrow(), hp.network().store.as_ref());
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| matches!(f, AuditFinding::MissingPayload { key, .. } if key == "gone")));
+}
+
+#[test]
+fn rpi_network_works_but_is_slower() {
+    // Cut a block per transaction so the 2 s batch timeout does not mask
+    // the platform difference.
+    let batch = hyperprov_fabric::BatchConfig {
+        max_message_count: 1,
+        ..hyperprov_fabric::BatchConfig::default()
+    };
+    let run = |mut hp: HyperProv| {
+        let t0 = hp.now();
+        hp.store_data("item", vec![7u8; 256 * 1024], vec![], vec![])
+            .unwrap();
+        hp.now() - t0
+    };
+    let desktop = run(HyperProv::with_config(
+        &NetworkConfig::desktop(1).with_batch(batch),
+    ));
+    let rpi = run(HyperProv::with_config(&NetworkConfig::rpi(1).with_batch(batch)));
+    assert!(
+        rpi > desktop,
+        "rpi {rpi} should be slower than desktop {desktop}"
+    );
+    // The paper reports roughly an order of magnitude; allow a wide band
+    // but require a clear gap.
+    let ratio = rpi.as_secs_f64() / desktop.as_secs_f64();
+    assert!(ratio > 1.5, "ratio={ratio}");
+}
+
+#[test]
+fn post_metadata_only_item() {
+    let mut hp = HyperProv::desktop();
+    let input = RecordInput::new(Digest::of(b"external dataset v1"))
+        .with_meta("source", "satellite")
+        .with_timestamp(1_600_000_000_000);
+    let record = hp.post("external", input).unwrap();
+    assert!(!record.has_offchain_data());
+    // get_data on a metadata-only item is rejected.
+    assert!(matches!(
+        hp.get_data("external"),
+        Err(HyperProvError::Rejected(_))
+    ));
+    // but get works.
+    assert_eq!(hp.get("external").unwrap().meta("source"), Some("satellite"));
+}
+
+#[test]
+fn list_enumerates_live_items() {
+    let mut hp = HyperProv::desktop();
+    assert!(hp.list().unwrap().is_empty());
+    hp.store_data("zebra", b"z".to_vec(), vec![], vec![]).unwrap();
+    hp.store_data("apple", b"a".to_vec(), vec![], vec![]).unwrap();
+    hp.store_data("mango", b"m".to_vec(), vec![], vec![]).unwrap();
+    assert_eq!(hp.list().unwrap(), vec!["apple", "mango", "zebra"]);
+    hp.delete("mango").unwrap();
+    assert_eq!(hp.list().unwrap(), vec!["apple", "zebra"]);
+}
+
+#[test]
+fn exported_chain_replays_into_identical_ledger() {
+    let mut hp = HyperProv::desktop();
+    hp.store_data("x", b"one".to_vec(), vec![], vec![]).unwrap();
+    hp.store_data("y", b"two".to_vec(), vec!["x".into()], vec![]).unwrap();
+    let mut buf = Vec::new();
+    hp.export_chain(&mut buf).unwrap();
+
+    let loaded = hyperprov_ledger::BlockStore::read_from(buf.as_slice()).unwrap();
+    let original = hp.network().ledgers[0].borrow();
+    let rebuilt = hyperprov_fabric::Committer::replay(
+        original.msp().clone(),
+        hyperprov_fabric::ChannelPolicies::new(hyperprov_fabric::EndorsementPolicy::any_of(
+            (1..=4).map(|i| hyperprov_fabric::MspId::new(format!("org{i}"))),
+        )),
+        loaded.iter().cloned(),
+    )
+    .unwrap();
+    assert_eq!(rebuilt.store().tip_hash(), original.store().tip_hash());
+    // The rebuilt peer serves the same records.
+    let records = hyperprov::current_records(&rebuilt);
+    assert_eq!(records.len(), 2);
+    assert!(records.iter().all(|(_, r)| r.is_ok()));
+}
+
+#[test]
+fn deterministic_replay_same_seed() {
+    let run = |seed: u64| {
+        let config = NetworkConfig::desktop(1).with_seed(seed);
+        let mut hp = HyperProv::with_config(&config);
+        for i in 0..5 {
+            hp.store_data(&format!("k{i}"), vec![i as u8; 1000], vec![], vec![])
+                .unwrap();
+        }
+        hp.now()
+    };
+    assert_eq!(run(11), run(11));
+    assert_ne!(run(11), run(12));
+}

@@ -1,0 +1,113 @@
+//! Property-based tests of the provenance record model and the HyperProv
+//! chaincode invariants.
+
+use hyperprov::{
+    decode_history, decode_lineage, encode_history, encode_lineage, HistoryRecord, LineageEntry,
+    ProvenanceRecord, RecordInput,
+};
+use hyperprov_fabric::{Certificate, MspBuilder, MspId};
+use hyperprov_ledger::{Decode, Digest, Encode};
+use proptest::prelude::*;
+
+fn cert() -> Certificate {
+    let mut b = MspBuilder::new(1);
+    b.enroll("client", &MspId::new("org1")).certificate().clone()
+}
+
+fn arb_input() -> impl Strategy<Value = RecordInput> {
+    (
+        any::<[u8; 32]>(),
+        ".{0,40}",
+        any::<u64>(),
+        proptest::collection::vec("[a-zA-Z0-9 _./-]{1,16}", 0..5),
+        proptest::collection::vec(("[a-z]{1,8}", ".{0,16}"), 0..4),
+        any::<u64>(),
+    )
+        .prop_map(|(checksum, location, size, parents, metadata, ts)| {
+            let mut input = RecordInput::new(Digest::from(checksum))
+                .with_location(location, size)
+                .with_parents(parents)
+                .with_timestamp(ts);
+            for (k, v) in metadata {
+                input = input.with_meta(k, v);
+            }
+            input
+        })
+}
+
+proptest! {
+    #[test]
+    fn record_input_round_trips(input in arb_input()) {
+        let bytes = input.to_bytes();
+        prop_assert_eq!(RecordInput::from_bytes(&bytes).unwrap(), input);
+    }
+
+    #[test]
+    fn provenance_record_round_trips(input in arb_input(), key in ".{1,32}") {
+        let record = ProvenanceRecord::from_input(key, input, cert());
+        let bytes = record.to_bytes();
+        prop_assert_eq!(ProvenanceRecord::from_bytes(&bytes).unwrap(), record);
+    }
+
+    #[test]
+    fn record_encoding_canonical(input in arb_input()) {
+        let a = ProvenanceRecord::from_input("k", input.clone(), cert());
+        let b = ProvenanceRecord::from_input("k", input, cert());
+        prop_assert_eq!(a.to_bytes(), b.to_bytes());
+        prop_assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn metadata_always_sorted(pairs in proptest::collection::vec(("[a-z]{1,6}", "[a-z]{0,6}"), 0..8)) {
+        let mut input = RecordInput::new(Digest::ZERO);
+        for (k, v) in pairs {
+            input = input.with_meta(k, v);
+        }
+        let sorted = input.metadata.windows(2).all(|w| w[0] <= w[1]);
+        prop_assert!(sorted);
+    }
+
+    #[test]
+    fn history_codec_round_trips(
+        inputs in proptest::collection::vec(arb_input(), 0..5),
+        deletes in any::<u8>(),
+    ) {
+        let entries: Vec<HistoryRecord> = inputs
+            .into_iter()
+            .enumerate()
+            .map(|(i, input)| HistoryRecord {
+                tx_id: Digest::of(&(i as u64).to_le_bytes()),
+                block: i as u64,
+                record: if deletes & (1 << (i % 8)) != 0 {
+                    None
+                } else {
+                    Some(ProvenanceRecord::from_input(format!("k{i}"), input, cert()))
+                },
+            })
+            .collect();
+        let bytes = encode_history(&entries);
+        prop_assert_eq!(decode_history(&bytes).unwrap(), entries);
+    }
+
+    #[test]
+    fn lineage_codec_round_trips(inputs in proptest::collection::vec(arb_input(), 0..5)) {
+        let entries: Vec<LineageEntry> = inputs
+            .into_iter()
+            .enumerate()
+            .map(|(i, input)| LineageEntry {
+                depth: i as u32,
+                record: ProvenanceRecord::from_input(format!("k{i}"), input, cert()),
+            })
+            .collect();
+        let bytes = encode_lineage(&entries);
+        prop_assert_eq!(decode_lineage(&bytes).unwrap(), entries);
+    }
+
+    #[test]
+    fn junk_never_panics(junk in proptest::collection::vec(any::<u8>(), 0..150)) {
+        let _ = ProvenanceRecord::from_bytes(&junk);
+        let _ = RecordInput::from_bytes(&junk);
+        let _ = decode_history(&junk);
+        let _ = decode_lineage(&junk);
+    }
+}

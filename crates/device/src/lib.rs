@@ -1,0 +1,19 @@
+//! # hyperprov-device
+//!
+//! Hardware models for the paper's two testbeds: desktop x86-64 machines
+//! and Raspberry Pi 3B+ edge devices.
+//!
+//! * [`DeviceProfile`] — CPU speed factor, NIC characteristics and energy
+//!   parameters per machine model,
+//! * [`EnergyModel`]/[`PowerMeter`] — the virtual ODROID power meter that
+//!   regenerates Figure 3, and
+//! * [`link_between`] — pairwise link selection for a shared switch.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod energy;
+mod profile;
+
+pub use energy::{EnergyModel, PowerMeter, PowerSample};
+pub use profile::{link_between, DeviceProfile};

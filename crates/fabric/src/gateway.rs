@@ -1,0 +1,334 @@
+//! The client gateway: drives the endorse → submit → commit flow.
+//!
+//! [`Gateway`] is embedded inside an application actor (the HyperProv
+//! client, a workload generator, ...). The host actor forwards incoming
+//! [`FabricMsg`]s to [`Gateway::handle`] and reacts to the returned
+//! [`GatewayEvent`]s. This mirrors the role of the paper's NodeJS client
+//! library sitting on top of the Fabric SDK.
+
+use std::collections::HashMap;
+
+use hyperprov_ledger::{Encode, TxId, ValidationCode};
+use hyperprov_sim::{ActorId, Context, SimTime};
+
+use crate::costs::CostModel;
+use crate::identity::SigningIdentity;
+use crate::messages::{
+    CommitEvent, Endorsement, Envelope, Proposal, ProposalResponse, SignedProposal,
+};
+use crate::nodes::{Carries, FabricMsg};
+
+/// Completion notifications surfaced to the host actor.
+#[derive(Debug, Clone)]
+pub enum GatewayEvent {
+    /// The transaction was committed (validly or not) in a block.
+    TxCommitted {
+        /// The transaction.
+        tx_id: TxId,
+        /// Validation outcome.
+        code: ValidationCode,
+        /// End-to-end latency from `invoke` to commit notification.
+        latency: hyperprov_sim::SimDuration,
+        /// The chaincode's response payload agreed at endorsement.
+        payload: Vec<u8>,
+    },
+    /// The transaction failed before ordering (endorsement error or
+    /// mismatching endorsements).
+    TxFailed {
+        /// The transaction.
+        tx_id: TxId,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// An endorse-only query finished.
+    QueryDone {
+        /// The query's proposal id.
+        tx_id: TxId,
+        /// Chaincode result.
+        result: Result<Vec<u8>, String>,
+        /// Latency from `query` to response.
+        latency: hyperprov_sim::SimDuration,
+    },
+}
+
+/// Timer token used by the gateway for CPU-accounting work that needs no
+/// action on completion. Host actors will observe `Event::Timer` with this
+/// token and must ignore it.
+pub const GATEWAY_NOOP_TOKEN: u64 = u64::MAX;
+
+#[derive(Debug)]
+enum Inflight {
+    Tx {
+        started: SimTime,
+        needed: usize,
+        proposal: Proposal,
+        responses: Vec<ProposalResponse>,
+        submitted: bool,
+    },
+    Query {
+        started: SimTime,
+    },
+}
+
+/// A Fabric client endpoint bound to endorsers and an orderer.
+#[derive(Debug)]
+pub struct Gateway {
+    identity: SigningIdentity,
+    channel: String,
+    endorsers: Vec<ActorId>,
+    orderer: ActorId,
+    endorsements_needed: usize,
+    costs: CostModel,
+    nonce: u64,
+    inflight: HashMap<TxId, Inflight>,
+}
+
+impl Gateway {
+    /// Creates a gateway.
+    ///
+    /// `endorsements_needed` is how many successful endorsements to collect
+    /// before submitting (derive it from the chaincode's policy via
+    /// [`crate::EndorsementPolicy::min_endorsers`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `endorsers` is empty or `endorsements_needed` exceeds the
+    /// endorser count.
+    pub fn new(
+        identity: SigningIdentity,
+        channel: impl Into<String>,
+        endorsers: Vec<ActorId>,
+        orderer: ActorId,
+        endorsements_needed: usize,
+        costs: CostModel,
+    ) -> Self {
+        assert!(!endorsers.is_empty(), "gateway needs at least one endorser");
+        assert!(
+            endorsements_needed >= 1 && endorsements_needed <= endorsers.len(),
+            "endorsements_needed must be in 1..=endorsers.len()"
+        );
+        Gateway {
+            identity,
+            channel: channel.into(),
+            endorsers,
+            orderer,
+            endorsements_needed,
+            costs,
+            nonce: 0,
+            inflight: HashMap::new(),
+        }
+    }
+
+    /// The client certificate this gateway signs with.
+    pub fn identity(&self) -> &SigningIdentity {
+        &self.identity
+    }
+
+    /// Number of transactions/queries awaiting completion.
+    pub fn inflight_len(&self) -> usize {
+        self.inflight.len()
+    }
+
+    fn make_signed<M: Carries<FabricMsg>>(
+        &mut self,
+        ctx: &mut Context<'_, M>,
+        chaincode: &str,
+        function: &str,
+        args: Vec<Vec<u8>>,
+    ) -> SignedProposal {
+        self.nonce += 1;
+        let proposal = Proposal {
+            channel: self.channel.clone(),
+            chaincode: chaincode.to_owned(),
+            function: function.to_owned(),
+            args,
+            creator: self.identity.certificate().clone(),
+            nonce: self.nonce,
+        };
+        let bytes = proposal.to_bytes();
+        // Charge client CPU (signing + hashing); results ship immediately —
+        // the charge models utilisation/energy, not a response gate.
+        ctx.execute(
+            self.costs.client_proposal_cost(bytes.len() as u64),
+            GATEWAY_NOOP_TOKEN,
+        );
+        SignedProposal {
+            signature: self.identity.sign(&bytes),
+            proposal,
+        }
+    }
+
+    /// Starts a full transaction: endorse on `endorsements_needed`
+    /// endorsers, then order, then wait for the commit event.
+    pub fn invoke<M: Carries<FabricMsg>>(
+        &mut self,
+        ctx: &mut Context<'_, M>,
+        chaincode: &str,
+        function: &str,
+        args: Vec<Vec<u8>>,
+    ) -> TxId {
+        let sp = self.make_signed(ctx, chaincode, function, args);
+        let tx_id = sp.proposal.tx_id();
+        self.inflight.insert(
+            tx_id,
+            Inflight::Tx {
+                started: ctx.now(),
+                needed: self.endorsements_needed,
+                proposal: sp.proposal.clone(),
+                responses: Vec::new(),
+                submitted: false,
+            },
+        );
+        let bytes = sp.proposal.wire_size() + 32;
+        let targets: Vec<ActorId> = self.endorsers[..self.endorsements_needed].to_vec();
+        for dst in targets {
+            ctx.send(dst, bytes, M::wrap(FabricMsg::SubmitProposal(sp.clone())));
+        }
+        tx_id
+    }
+
+    /// Starts an endorse-only query against the first endorser.
+    pub fn query<M: Carries<FabricMsg>>(
+        &mut self,
+        ctx: &mut Context<'_, M>,
+        chaincode: &str,
+        function: &str,
+        args: Vec<Vec<u8>>,
+    ) -> TxId {
+        let sp = self.make_signed(ctx, chaincode, function, args);
+        let tx_id = sp.proposal.tx_id();
+        self.inflight.insert(tx_id, Inflight::Query { started: ctx.now() });
+        let bytes = sp.proposal.wire_size() + 32;
+        let dst = self.endorsers[0];
+        ctx.send(dst, bytes, M::wrap(FabricMsg::SubmitProposal(sp)));
+        tx_id
+    }
+
+    /// Feeds an incoming Fabric message to the gateway. Returns any
+    /// completions. Non-gateway messages are ignored.
+    pub fn handle<M: Carries<FabricMsg>>(
+        &mut self,
+        ctx: &mut Context<'_, M>,
+        msg: FabricMsg,
+    ) -> Vec<GatewayEvent> {
+        match msg {
+            FabricMsg::ProposalResult(resp) => self.on_response(ctx, resp),
+            FabricMsg::Commit(event) => self.on_commit(ctx, event),
+            _ => Vec::new(),
+        }
+    }
+
+    fn on_response<M: Carries<FabricMsg>>(
+        &mut self,
+        ctx: &mut Context<'_, M>,
+        resp: ProposalResponse,
+    ) -> Vec<GatewayEvent> {
+        let tx_id = resp.tx_id;
+        match self.inflight.get_mut(&tx_id) {
+            Some(Inflight::Query { started }) => {
+                let latency = ctx.now() - *started;
+                self.inflight.remove(&tx_id);
+                vec![GatewayEvent::QueryDone {
+                    tx_id,
+                    result: resp.result,
+                    latency,
+                }]
+            }
+            Some(Inflight::Tx {
+                needed,
+                responses,
+                submitted,
+                ..
+            }) => {
+                if *submitted {
+                    return Vec::new(); // stale extra endorsement
+                }
+                if let Err(reason) = &resp.result {
+                    // Fail fast, as the Fabric SDK does.
+                    let reason = reason.clone();
+                    self.inflight.remove(&tx_id);
+                    return vec![GatewayEvent::TxFailed { tx_id, reason }];
+                }
+                responses.push(resp);
+                if responses.len() < *needed {
+                    return Vec::new();
+                }
+                // All endorsements collected: check they agree.
+                let first = &responses[0];
+                let agree = responses
+                    .iter()
+                    .all(|r| r.rwset == first.rwset && r.result == first.result);
+                if !agree {
+                    self.inflight.remove(&tx_id);
+                    return vec![GatewayEvent::TxFailed {
+                        tx_id,
+                        reason: "endorsement mismatch across peers".to_owned(),
+                    }];
+                }
+                self.submit(ctx, tx_id);
+                Vec::new()
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Assembles the envelope from the stored proposal and collected
+    /// endorsements and broadcasts it to the orderer.
+    fn submit<M: Carries<FabricMsg>>(&mut self, ctx: &mut Context<'_, M>, tx_id: TxId) {
+        let Some(Inflight::Tx {
+            proposal,
+            responses,
+            submitted,
+            ..
+        }) = self.inflight.get_mut(&tx_id)
+        else {
+            return;
+        };
+        let first = &responses[0];
+        let envelope = Envelope {
+            proposal: proposal.clone(),
+            payload: first.result.clone().unwrap_or_default(),
+            rwset: first.rwset.clone(),
+            event: first.event.clone(),
+            endorsements: responses
+                .iter()
+                .map(|r| Endorsement {
+                    endorser: r.endorser.clone(),
+                    signature: r.signature,
+                })
+                .collect(),
+        };
+        *submitted = true;
+        let bytes = envelope.wire_size();
+        let orderer = self.orderer;
+        ctx.send(orderer, bytes, M::wrap(FabricMsg::Broadcast(envelope)));
+    }
+
+    fn on_commit<M: Carries<FabricMsg>>(
+        &mut self,
+        ctx: &mut Context<'_, M>,
+        event: CommitEvent,
+    ) -> Vec<GatewayEvent> {
+        match self.inflight.remove(&event.tx_id) {
+            Some(Inflight::Tx { started, responses, .. }) => {
+                let latency = ctx.now() - started;
+                let payload = responses
+                    .first()
+                    .and_then(|r| r.result.clone().ok())
+                    .unwrap_or_default();
+                vec![GatewayEvent::TxCommitted {
+                    tx_id: event.tx_id,
+                    code: event.code,
+                    latency,
+                    payload,
+                }]
+            }
+            Some(other) => {
+                // A query cannot commit; put it back.
+                self.inflight.insert(event.tx_id, other);
+                Vec::new()
+            }
+            None => Vec::new(),
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! # hyperprov-fabric
+//!
+//! A from-scratch, Fabric-like permissioned blockchain implementing the
+//! execute-order-validate pipeline HyperProv runs on:
+//!
+//! * [`Msp`]/[`Certificate`]/[`SigningIdentity`] — membership and
+//!   signatures (see DESIGN.md for the crypto substitution),
+//! * [`Chaincode`]/[`ChaincodeStub`] — the smart-contract shim with state,
+//!   history, range and composite-key queries,
+//! * [`endorse`] — proposal simulation and endorsement,
+//! * [`BlockCutter`]/[`BatchConfig`] — ordering-service batching,
+//! * [`RaftNode`] — a compact Raft for replicated ordering,
+//! * [`Committer`] — VSCC endorsement-policy + MVCC validation and commit,
+//! * [`PeerActor`]/[`SoloOrdererActor`]/[`RaftOrdererActor`] — simulation
+//!   actors that charge device CPU costs, and
+//! * [`Gateway`] — the client SDK equivalent.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chaincode;
+mod committer;
+mod costs;
+mod endorser;
+mod gateway;
+mod identity;
+mod messages;
+mod nodes;
+mod orderer;
+mod policy;
+mod raft;
+
+pub use chaincode::{
+    Chaincode, ChaincodeError, ChaincodeRegistry, ChaincodeStub, StubStats, COMPOSITE_SEP,
+};
+pub use committer::{ChannelPolicies, CommitOutcome, Committer};
+pub use costs::CostModel;
+pub use endorser::endorse;
+pub use gateway::{Gateway, GatewayEvent, GATEWAY_NOOP_TOKEN};
+pub use identity::{CertId, Certificate, Msp, MspBuilder, MspId, Signature, SigningIdentity};
+pub use messages::{
+    endorsement_message, payload_checksum, ChaincodeEvent, CommitEvent, Endorsement, Envelope,
+    Proposal, ProposalResponse, SignedProposal,
+};
+pub use nodes::{Carries, FabricMsg, PeerActor, RaftOrdererActor, SoloOrdererActor, RAFT_TICK_TOKEN};
+pub use orderer::{BatchConfig, BlockAssembler, BlockCutter, CutterOutput};
+pub use policy::EndorsementPolicy;
+pub use raft::{LogEntry, PeerIdx, RaftConfig, RaftMsg, RaftNode, RaftOutput, Role};

@@ -1,0 +1,463 @@
+//! Wire messages of the execute-order-validate pipeline: proposals,
+//! proposal responses, endorsements and transaction envelopes.
+//!
+//! All messages have a canonical encoding (hashing and signing operate on
+//! those bytes), mirroring Fabric's protobuf envelopes.
+
+use hyperprov_ledger::{
+    decode_seq, encode_seq, CodecError, Decode, Decoder, Digest, Encode, Encoder, RawEnvelope,
+    RwSet, TxId,
+};
+
+use crate::identity::{Certificate, Signature};
+
+/// A client's request to execute a chaincode function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Proposal {
+    /// Channel name.
+    pub channel: String,
+    /// Target chaincode (namespace).
+    pub chaincode: String,
+    /// Function to invoke.
+    pub function: String,
+    /// Invocation arguments.
+    pub args: Vec<Vec<u8>>,
+    /// Submitting client's certificate.
+    pub creator: Certificate,
+    /// Client-chosen nonce making the tx id unique.
+    pub nonce: u64,
+}
+
+impl Proposal {
+    /// The transaction id: digest of the canonical proposal encoding.
+    pub fn tx_id(&self) -> TxId {
+        TxId(self.digest())
+    }
+
+    /// Approximate wire size in bytes (used by the network model).
+    pub fn wire_size(&self) -> u64 {
+        self.to_bytes().len() as u64
+    }
+}
+
+impl Encode for Proposal {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_str(&self.channel);
+        enc.put_str(&self.chaincode);
+        enc.put_str(&self.function);
+        enc.put_varint(self.args.len() as u64);
+        for a in &self.args {
+            enc.put_bytes(a);
+        }
+        self.creator.encode(enc);
+        enc.put_u64(self.nonce);
+    }
+}
+impl Decode for Proposal {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let channel = dec.get_str()?;
+        let chaincode = dec.get_str()?;
+        let function = dec.get_str()?;
+        let n = dec.get_varint()?;
+        if n > dec.remaining() as u64 {
+            return Err(CodecError::LengthOverrun {
+                declared: n,
+                remaining: dec.remaining(),
+            });
+        }
+        let mut args = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            args.push(dec.get_bytes()?);
+        }
+        Ok(Proposal {
+            channel,
+            chaincode,
+            function,
+            args,
+            creator: Certificate::decode(dec)?,
+            nonce: dec.get_u64()?,
+        })
+    }
+}
+
+/// A proposal plus the client's signature over it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignedProposal {
+    /// The proposal.
+    pub proposal: Proposal,
+    /// Client signature over the proposal's canonical encoding.
+    pub signature: Signature,
+}
+
+impl Encode for SignedProposal {
+    fn encode(&self, enc: &mut Encoder) {
+        self.proposal.encode(enc);
+        self.signature.encode(enc);
+    }
+}
+impl Decode for SignedProposal {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(SignedProposal {
+            proposal: Proposal::decode(dec)?,
+            signature: Signature::decode(dec)?,
+        })
+    }
+}
+
+/// A named event attached to a transaction by chaincode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaincodeEvent {
+    /// Event name.
+    pub name: String,
+    /// Event payload.
+    pub payload: Vec<u8>,
+}
+
+impl Encode for ChaincodeEvent {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_str(&self.name);
+        enc.put_bytes(&self.payload);
+    }
+}
+impl Decode for ChaincodeEvent {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(ChaincodeEvent {
+            name: dec.get_str()?,
+            payload: dec.get_bytes()?,
+        })
+    }
+}
+
+impl From<(String, Vec<u8>)> for ChaincodeEvent {
+    fn from((name, payload): (String, Vec<u8>)) -> Self {
+        ChaincodeEvent { name, payload }
+    }
+}
+
+/// The outcome an endorsing peer returns for a proposal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProposalResponse {
+    /// Transaction id of the endorsed proposal.
+    pub tx_id: TxId,
+    /// The endorsing peer's certificate.
+    pub endorser: Certificate,
+    /// Chaincode return value, or the rejection message.
+    pub result: Result<Vec<u8>, String>,
+    /// Read/write set produced by simulation (empty on rejection).
+    pub rwset: RwSet,
+    /// Chaincode event raised during simulation, if any.
+    pub event: Option<ChaincodeEvent>,
+    /// Endorser's signature over [`endorsement_message`].
+    ///
+    /// [`endorsement_message`]: endorsement_message
+    pub signature: Signature,
+}
+
+impl ProposalResponse {
+    /// True if the chaincode executed successfully.
+    pub fn is_success(&self) -> bool {
+        self.result.is_ok()
+    }
+
+    /// Approximate wire size in bytes.
+    pub fn wire_size(&self) -> u64 {
+        self.to_bytes().len() as u64
+    }
+}
+
+impl Encode for ProposalResponse {
+    fn encode(&self, enc: &mut Encoder) {
+        self.tx_id.encode(enc);
+        self.endorser.encode(enc);
+        match &self.result {
+            Ok(payload) => {
+                enc.put_u8(1);
+                enc.put_bytes(payload);
+            }
+            Err(msg) => {
+                enc.put_u8(0);
+                enc.put_str(msg);
+            }
+        }
+        self.rwset.encode(enc);
+        self.event.encode(enc);
+        self.signature.encode(enc);
+    }
+}
+impl Decode for ProposalResponse {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let tx_id = TxId::decode(dec)?;
+        let endorser = Certificate::decode(dec)?;
+        let result = match dec.get_u8()? {
+            1 => Ok(dec.get_bytes()?),
+            0 => Err(dec.get_str()?),
+            _ => return Err(CodecError::Invalid("result tag not 0 or 1")),
+        };
+        Ok(ProposalResponse {
+            tx_id,
+            endorser,
+            result,
+            rwset: RwSet::decode(dec)?,
+            event: Option::<ChaincodeEvent>::decode(dec)?,
+            signature: Signature::decode(dec)?,
+        })
+    }
+}
+
+/// The bytes an endorser signs: binds tx id, response payload and rwset.
+pub fn endorsement_message(tx_id: &TxId, payload: &[u8], rwset: &RwSet) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    tx_id.encode(&mut enc);
+    enc.put_bytes(payload);
+    rwset.encode(&mut enc);
+    enc.into_bytes()
+}
+
+/// One peer's endorsement attached to a transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Endorsement {
+    /// The endorsing peer's certificate.
+    pub endorser: Certificate,
+    /// Signature over [`endorsement_message`].
+    pub signature: Signature,
+}
+
+impl Encode for Endorsement {
+    fn encode(&self, enc: &mut Encoder) {
+        self.endorser.encode(enc);
+        self.signature.encode(enc);
+    }
+}
+impl Decode for Endorsement {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(Endorsement {
+            endorser: Certificate::decode(dec)?,
+            signature: Signature::decode(dec)?,
+        })
+    }
+}
+
+/// A fully-assembled transaction submitted to ordering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// The original proposal (committers re-check creator and target).
+    pub proposal: Proposal,
+    /// The agreed response payload.
+    pub payload: Vec<u8>,
+    /// The agreed read/write set.
+    pub rwset: RwSet,
+    /// Chaincode event raised during simulation, if any.
+    pub event: Option<ChaincodeEvent>,
+    /// Endorsements collected by the client.
+    pub endorsements: Vec<Endorsement>,
+}
+
+impl Envelope {
+    /// The transaction id (derived from the proposal).
+    pub fn tx_id(&self) -> TxId {
+        self.proposal.tx_id()
+    }
+
+    /// The message each endorsement must have signed.
+    pub fn endorsement_message(&self) -> Vec<u8> {
+        endorsement_message(&self.tx_id(), &self.payload, &self.rwset)
+    }
+
+    /// Serialises into the opaque [`RawEnvelope`] stored in blocks.
+    pub fn to_raw(&self) -> RawEnvelope {
+        RawEnvelope {
+            tx_id: self.tx_id(),
+            bytes: self.to_bytes(),
+        }
+    }
+
+    /// Decodes an envelope back out of a block.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] if the raw bytes are malformed.
+    pub fn from_raw(raw: &RawEnvelope) -> Result<Envelope, CodecError> {
+        Envelope::from_bytes(&raw.bytes)
+    }
+
+    /// Approximate wire size in bytes.
+    pub fn wire_size(&self) -> u64 {
+        self.to_bytes().len() as u64
+    }
+}
+
+impl Encode for Envelope {
+    fn encode(&self, enc: &mut Encoder) {
+        self.proposal.encode(enc);
+        enc.put_bytes(&self.payload);
+        self.rwset.encode(enc);
+        self.event.encode(enc);
+        encode_seq(&self.endorsements, enc);
+    }
+}
+impl Decode for Envelope {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(Envelope {
+            proposal: Proposal::decode(dec)?,
+            payload: dec.get_bytes()?,
+            rwset: RwSet::decode(dec)?,
+            event: Option::<ChaincodeEvent>::decode(dec)?,
+            endorsements: decode_seq(dec)?,
+        })
+    }
+}
+
+/// A commit notification delivered to subscribed clients.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitEvent {
+    /// The committed transaction.
+    pub tx_id: TxId,
+    /// Block that contains it.
+    pub block_number: u64,
+    /// Validation outcome.
+    pub code: hyperprov_ledger::ValidationCode,
+    /// Chaincode event attached by the contract, if any.
+    pub chaincode_event: Option<ChaincodeEvent>,
+}
+
+/// Digest of arbitrary payload bytes — convenience for checksum fields.
+pub fn payload_checksum(data: &[u8]) -> Digest {
+    Digest::of(data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::identity::{MspBuilder, MspId};
+    use hyperprov_ledger::{KvWrite, StateKey};
+
+    fn cert() -> Certificate {
+        let mut b = MspBuilder::new(3);
+        b.enroll("c", &MspId::new("org1")).certificate().clone()
+    }
+
+    fn proposal() -> Proposal {
+        Proposal {
+            channel: "ch1".into(),
+            chaincode: "hyperprov".into(),
+            function: "post".into(),
+            args: vec![b"key".to_vec(), b"checksum".to_vec()],
+            creator: cert(),
+            nonce: 42,
+        }
+    }
+
+    #[test]
+    fn proposal_round_trip_and_txid_stability() {
+        let p = proposal();
+        let back = Proposal::from_bytes(&p.to_bytes()).unwrap();
+        assert_eq!(back, p);
+        assert_eq!(back.tx_id(), p.tx_id());
+        // Nonce changes the tx id.
+        let mut p2 = p.clone();
+        p2.nonce = 43;
+        assert_ne!(p2.tx_id(), p.tx_id());
+        assert!(p.wire_size() > 0);
+    }
+
+    #[test]
+    fn signed_proposal_round_trip() {
+        let mut b = MspBuilder::new(3);
+        let id = b.enroll("c", &MspId::new("org1"));
+        let msp = b.build();
+        let p = Proposal {
+            creator: id.certificate().clone(),
+            ..proposal()
+        };
+        let sp = SignedProposal {
+            signature: id.sign(&p.to_bytes()),
+            proposal: p,
+        };
+        let back = SignedProposal::from_bytes(&sp.to_bytes()).unwrap();
+        assert_eq!(back, sp);
+        assert!(msp.verify(
+            &back.proposal.creator,
+            &back.proposal.to_bytes(),
+            &back.signature
+        ));
+    }
+
+    #[test]
+    fn proposal_response_round_trips_both_variants() {
+        let ok = ProposalResponse {
+            tx_id: proposal().tx_id(),
+            endorser: cert(),
+            result: Ok(b"payload".to_vec()),
+            rwset: RwSet::new(),
+            event: Some(ChaincodeEvent {
+                name: "posted".into(),
+                payload: b"e".to_vec(),
+            }),
+            signature: Signature(Digest::of(b"sig")),
+        };
+        assert!(ok.is_success());
+        assert_eq!(
+            ProposalResponse::from_bytes(&ok.to_bytes()).unwrap(),
+            ok
+        );
+        let err = ProposalResponse {
+            result: Err("rejected: dup".to_owned()),
+            ..ok
+        };
+        assert!(!err.is_success());
+        assert_eq!(
+            ProposalResponse::from_bytes(&err.to_bytes()).unwrap(),
+            err
+        );
+    }
+
+    #[test]
+    fn envelope_round_trip_via_raw() {
+        let rwset = RwSet {
+            reads: vec![],
+            writes: vec![KvWrite {
+                key: StateKey::new("hyperprov", "item"),
+                value: Some(b"record".to_vec()),
+            }],
+        };
+        let env = Envelope {
+            proposal: proposal(),
+            payload: b"resp".to_vec(),
+            rwset,
+            event: None,
+            endorsements: vec![Endorsement {
+                endorser: cert(),
+                signature: Signature(Digest::of(b"e")),
+            }],
+        };
+        let raw = env.to_raw();
+        assert_eq!(raw.tx_id, env.tx_id());
+        let back = Envelope::from_raw(&raw).unwrap();
+        assert_eq!(back, env);
+    }
+
+    #[test]
+    fn endorsement_message_binds_all_parts() {
+        let tx = proposal().tx_id();
+        let rw = RwSet::new();
+        let base = endorsement_message(&tx, b"p", &rw);
+        assert_ne!(base, endorsement_message(&tx, b"q", &rw));
+        let rw2 = RwSet {
+            reads: vec![],
+            writes: vec![KvWrite {
+                key: StateKey::new("cc", "k"),
+                value: None,
+            }],
+        };
+        assert_ne!(base, endorsement_message(&tx, b"p", &rw2));
+    }
+
+    #[test]
+    fn malformed_envelope_rejected() {
+        let raw = RawEnvelope {
+            tx_id: proposal().tx_id(),
+            bytes: vec![1, 2, 3],
+        };
+        assert!(Envelope::from_raw(&raw).is_err());
+    }
+}

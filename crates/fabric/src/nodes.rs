@@ -1,0 +1,552 @@
+//! Simulation actors for the Fabric network: peers and ordering nodes.
+//!
+//! Node logic (endorsement, commit, batching, consensus) lives in the
+//! sans-IO modules; the actors here glue it to the discrete-event kernel:
+//! they charge CPU costs, queue outputs until the virtual CPU finishes,
+//! and ship messages through the simulated network.
+//!
+//! Work is *performed* at message arrival (so state mutations happen in
+//! arrival order — equivalent to a FIFO service discipline) but results
+//! become *visible* only after the modelled CPU time elapses, which is
+//! what produces the latency/throughput curves of the paper's figures.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
+
+use hyperprov_ledger::{Block, RawEnvelope};
+use hyperprov_sim::{Actor, ActorId, Context, Event, SimDuration, TimerId};
+
+use crate::chaincode::ChaincodeRegistry;
+use crate::committer::Committer;
+use crate::costs::CostModel;
+use crate::endorser::endorse;
+use crate::identity::SigningIdentity;
+use crate::messages::{CommitEvent, Envelope, ProposalResponse, SignedProposal};
+use crate::orderer::{BatchConfig, BlockAssembler, BlockCutter};
+use crate::raft::{RaftConfig, RaftMsg, RaftNode};
+
+/// Messages exchanged by Fabric nodes.
+#[derive(Debug, Clone)]
+pub enum FabricMsg {
+    /// Client → endorsing peer.
+    SubmitProposal(SignedProposal),
+    /// Endorsing peer → client.
+    ProposalResult(ProposalResponse),
+    /// Client → orderer: an assembled transaction.
+    Broadcast(Envelope),
+    /// Orderer → peers: a cut block.
+    DeliverBlock(Block),
+    /// Peer → orderer: re-deliver blocks from a height (Fabric's deliver
+    /// service; used to catch up after partitions).
+    DeliverRequest {
+        /// First block height the peer is missing.
+        from: u64,
+    },
+    /// Committing peer → subscribed client.
+    Commit(CommitEvent),
+    /// Orderer ↔ orderer consensus traffic.
+    Raft(Box<RaftMsg<Vec<RawEnvelope>>>),
+}
+
+impl FabricMsg {
+    /// Approximate wire size used by the network model.
+    pub fn wire_size(&self) -> u64 {
+        match self {
+            FabricMsg::SubmitProposal(sp) => sp.proposal.wire_size() + 32,
+            FabricMsg::ProposalResult(pr) => pr.wire_size(),
+            FabricMsg::Broadcast(env) => env.wire_size(),
+            FabricMsg::DeliverBlock(b) => b.wire_size(),
+            FabricMsg::DeliverRequest { .. } => 64,
+            FabricMsg::Commit(_) => 128,
+            FabricMsg::Raft(m) => match m.as_ref() {
+                RaftMsg::AppendEntries { entries, .. } => {
+                    128 + entries
+                        .iter()
+                        .map(|e| e.payload.iter().map(|r| r.bytes.len() as u64 + 40).sum::<u64>())
+                        .sum::<u64>()
+                }
+                _ => 64,
+            },
+        }
+    }
+}
+
+pub use hyperprov_sim::Carries;
+
+impl Carries<FabricMsg> for FabricMsg {
+    fn wrap(inner: FabricMsg) -> Self {
+        inner
+    }
+    fn peel(self) -> Result<FabricMsg, Self> {
+        Ok(self)
+    }
+}
+
+/// Deferred sends released when the node's CPU finishes a job.
+#[derive(Debug, Default)]
+struct Outbox<M> {
+    next_token: u64,
+    pending: HashMap<u64, Vec<(ActorId, u64, M)>>,
+}
+
+impl<M> Outbox<M> {
+    fn new() -> Self {
+        Outbox {
+            // Tokens below 16 are reserved for actor-internal timers.
+            next_token: 16,
+            pending: HashMap::new(),
+        }
+    }
+
+    fn defer(&mut self, sends: Vec<(ActorId, u64, M)>) -> u64 {
+        self.next_token += 1;
+        let token = self.next_token;
+        self.pending.insert(token, sends);
+        token
+    }
+
+    fn release(&mut self, token: u64) -> Option<Vec<(ActorId, u64, M)>> {
+        self.pending.remove(&token)
+    }
+}
+
+/// A Fabric peer: endorses proposals and commits delivered blocks.
+pub struct PeerActor<M> {
+    identity: SigningIdentity,
+    registry: ChaincodeRegistry,
+    committer: Rc<RefCell<Committer>>,
+    costs: CostModel,
+    /// Clients that receive [`FabricMsg::Commit`] notifications.
+    subscribers: Vec<ActorId>,
+    /// Blocks that arrived ahead of the next expected height.
+    block_buffer: BTreeMap<u64, Block>,
+    /// Height of an outstanding catch-up request, to avoid repeats.
+    catchup_from: Option<u64>,
+    outbox: Outbox<M>,
+    metric_prefix: String,
+}
+
+impl<M: Carries<FabricMsg>> PeerActor<M> {
+    /// Creates a peer.
+    pub fn new(
+        identity: SigningIdentity,
+        registry: ChaincodeRegistry,
+        committer: Rc<RefCell<Committer>>,
+        costs: CostModel,
+        metric_prefix: impl Into<String>,
+    ) -> Self {
+        PeerActor {
+            identity,
+            registry,
+            committer,
+            costs,
+            subscribers: Vec::new(),
+            block_buffer: BTreeMap::new(),
+            catchup_from: None,
+            outbox: Outbox::new(),
+            metric_prefix: metric_prefix.into(),
+        }
+    }
+
+    /// Subscribes a client to commit events.
+    pub fn subscribe(&mut self, client: ActorId) {
+        if !self.subscribers.contains(&client) {
+            self.subscribers.push(client);
+        }
+    }
+
+    /// Shared handle to this peer's ledger (tests and audits).
+    pub fn committer(&self) -> Rc<RefCell<Committer>> {
+        self.committer.clone()
+    }
+
+    fn on_proposal(&mut self, ctx: &mut Context<'_, M>, src: ActorId, sp: SignedProposal) {
+        let committer = self.committer.borrow();
+        let (response, stats) = endorse(
+            &self.identity,
+            &self.registry,
+            committer.msp(),
+            committer.state(),
+            committer.history(),
+            &sp,
+        );
+        drop(committer);
+        let cost = self.costs.endorse_cost(&sp.proposal, &stats);
+        ctx.metrics().incr(&format!("{}.endorsed", self.metric_prefix), 1);
+        let bytes = response.wire_size();
+        let token = self
+            .outbox
+            .defer(vec![(src, bytes, M::wrap(FabricMsg::ProposalResult(response)))]);
+        ctx.execute(cost, token);
+    }
+
+    fn on_block(&mut self, ctx: &mut Context<'_, M>, src: ActorId, block: Block) {
+        let next = self.committer.borrow().height();
+        if block.header.number < next {
+            return; // duplicate delivery (multi-orderer dissemination)
+        }
+        self.block_buffer.insert(block.header.number, block);
+        // Commit every consecutive block now available.
+        loop {
+            let height = self.committer.borrow().height();
+            match self.block_buffer.remove(&height) {
+                Some(block) => self.commit_one(ctx, block),
+                None => break,
+            }
+        }
+        // Gap detected (a future block is buffered but the next expected
+        // one is missing): ask the sender to re-deliver — Fabric's deliver
+        // service, which is how a peer catches up after a partition heals.
+        let height = self.committer.borrow().height();
+        if !self.block_buffer.is_empty() {
+            if self.catchup_from != Some(height) {
+                self.catchup_from = Some(height);
+                ctx.metrics()
+                    .incr(&format!("{}.catchup_requests", self.metric_prefix), 1);
+                let msg = FabricMsg::DeliverRequest { from: height };
+                let bytes = msg.wire_size();
+                ctx.send(src, bytes, M::wrap(msg));
+            }
+        } else {
+            self.catchup_from = None;
+        }
+    }
+
+    fn commit_one(&mut self, ctx: &mut Context<'_, M>, block: Block) {
+        let mut cost = self.costs.block_cost(block.wire_size());
+        for raw in &block.envelopes {
+            if let Ok(env) = Envelope::from_raw(raw) {
+                cost += self.costs.validate_cost(&env);
+                cost += self
+                    .costs
+                    .apply_cost(env.rwset.write_bytes() as u64, env.rwset.writes.len() as u64);
+            }
+        }
+        match self.committer.borrow_mut().commit_block(block) {
+            Ok(outcome) => {
+                let prefix = &self.metric_prefix;
+                ctx.metrics().incr(&format!("{prefix}.blocks"), 1);
+                ctx.metrics().incr(&format!("{prefix}.tx.valid"), outcome.valid as u64);
+                ctx.metrics().incr(&format!("{prefix}.tx.invalid"), outcome.invalid as u64);
+                let mut sends = Vec::new();
+                for event in outcome.events {
+                    for &client in &self.subscribers {
+                        sends.push((client, 128, M::wrap(FabricMsg::Commit(event.clone()))));
+                    }
+                }
+                let token = self.outbox.defer(sends);
+                ctx.execute(cost, token);
+            }
+            Err(err) => {
+                ctx.metrics()
+                    .incr(&format!("{}.commit_errors", self.metric_prefix), 1);
+                let _ = err;
+            }
+        }
+    }
+}
+
+impl<M: Carries<FabricMsg>> Actor<M> for PeerActor<M> {
+    fn on_event(&mut self, ctx: &mut Context<'_, M>, event: Event<M>) {
+        match event {
+            Event::Message { src, msg } => match msg.peel() {
+                Ok(FabricMsg::SubmitProposal(sp)) => self.on_proposal(ctx, src, sp),
+                Ok(FabricMsg::DeliverBlock(block)) => self.on_block(ctx, src, block),
+                Ok(_) | Err(_) => {}
+            },
+            Event::Timer { token } => {
+                if let Some(sends) = self.outbox.release(token) {
+                    for (dst, bytes, msg) in sends {
+                        ctx.send(dst, bytes, msg);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Timer token used by orderers for the batch timeout.
+const BATCH_TIMER: u64 = 1;
+/// Timer token used by raft orderers for consensus ticks.
+const RAFT_TICK: u64 = 2;
+
+/// A single-node ("solo") ordering service, as used by the paper's setup.
+pub struct SoloOrdererActor<M> {
+    cutter: BlockCutter,
+    assembler: BlockAssembler,
+    peers: Vec<ActorId>,
+    costs: CostModel,
+    batch_timer: Option<TimerId>,
+    /// Recently cut blocks, retained for the deliver (catch-up) service.
+    retained: std::collections::VecDeque<Block>,
+    retain_limit: usize,
+    outbox: Outbox<M>,
+}
+
+impl<M: Carries<FabricMsg>> SoloOrdererActor<M> {
+    /// Creates a solo orderer delivering blocks to `peers`.
+    pub fn new(config: BatchConfig, peers: Vec<ActorId>, costs: CostModel) -> Self {
+        SoloOrdererActor {
+            cutter: BlockCutter::new(config),
+            assembler: BlockAssembler::new(),
+            peers,
+            costs,
+            batch_timer: None,
+            retained: std::collections::VecDeque::new(),
+            retain_limit: 64,
+            outbox: Outbox::new(),
+        }
+    }
+
+    fn retain(&mut self, block: &Block) {
+        self.retained.push_back(block.clone());
+        while self.retained.len() > self.retain_limit {
+            self.retained.pop_front();
+        }
+    }
+
+    fn deliver_batches(&mut self, ctx: &mut Context<'_, M>, batches: Vec<Vec<RawEnvelope>>, cost: SimDuration) {
+        if batches.is_empty() {
+            return;
+        }
+        let mut sends = Vec::new();
+        for batch in batches {
+            let block = self.assembler.assemble(batch);
+            ctx.metrics().incr("orderer.blocks_cut", 1);
+            self.retain(&block);
+            let bytes = block.wire_size();
+            for &peer in &self.peers {
+                sends.push((peer, bytes, M::wrap(FabricMsg::DeliverBlock(block.clone()))));
+            }
+        }
+        let token = self.outbox.defer(sends);
+        ctx.execute(cost, token);
+    }
+
+    fn rearm_timer(&mut self, ctx: &mut Context<'_, M>, needed: bool) {
+        match (needed, self.batch_timer) {
+            (true, None) => {
+                let timeout = self.cutter.config().timeout;
+                self.batch_timer = Some(ctx.set_timer(timeout, BATCH_TIMER));
+            }
+            (false, Some(t)) => {
+                ctx.cancel_timer(t);
+                self.batch_timer = None;
+            }
+            _ => {}
+        }
+    }
+}
+
+impl<M: Carries<FabricMsg>> Actor<M> for SoloOrdererActor<M> {
+    fn on_event(&mut self, ctx: &mut Context<'_, M>, event: Event<M>) {
+        match event {
+            Event::Message { src, msg } => match msg.peel() {
+                Ok(FabricMsg::Broadcast(env)) => {
+                    let raw = env.to_raw();
+                    let cost = self.costs.order_cost(raw.bytes.len() as u64);
+                    ctx.metrics().incr("orderer.broadcasts", 1);
+                    let out = self.cutter.offer(raw);
+                    // Timer follows pending state: cancel (batch cut) or arm.
+                    if !out.batches.is_empty() {
+                        if let Some(t) = self.batch_timer.take() {
+                            ctx.cancel_timer(t);
+                        }
+                    }
+                    let needed = out.timer_needed;
+                    self.deliver_batches(ctx, out.batches, cost);
+                    self.rearm_timer(ctx, needed);
+                }
+                Ok(FabricMsg::DeliverRequest { from }) => {
+                    ctx.metrics().incr("orderer.deliver_requests", 1);
+                    for block in self.retained.iter() {
+                        if block.header.number >= from {
+                            let bytes = block.wire_size();
+                            ctx.send(src, bytes, M::wrap(FabricMsg::DeliverBlock(block.clone())));
+                        }
+                    }
+                }
+                Ok(_) | Err(_) => {}
+            },
+            Event::Timer { token: BATCH_TIMER } => {
+                self.batch_timer = None;
+                if let Some(batch) = self.cutter.cut() {
+                    ctx.metrics().incr("orderer.timeout_cuts", 1);
+                    let cost = self.costs.block_base;
+                    self.deliver_batches(ctx, vec![batch], cost);
+                }
+            }
+            Event::Timer { token } => {
+                if let Some(sends) = self.outbox.release(token) {
+                    for (dst, bytes, msg) in sends {
+                        ctx.send(dst, bytes, msg);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A Raft-replicated ordering node. Run one actor per cluster member; each
+/// member that applies a committed batch delivers the resulting block to
+/// all peers (peers deduplicate by height).
+pub struct RaftOrdererActor<M> {
+    raft: RaftNode<Vec<RawEnvelope>>,
+    cutter: BlockCutter,
+    assembler: BlockAssembler,
+    /// Actor ids of the raft cluster, indexed by raft peer index.
+    cluster: Vec<ActorId>,
+    peers: Vec<ActorId>,
+    costs: CostModel,
+    tick: SimDuration,
+    batch_timer: Option<TimerId>,
+    /// Recently applied blocks, retained for the deliver service.
+    retained: std::collections::VecDeque<Block>,
+    retain_limit: usize,
+    outbox: Outbox<M>,
+}
+
+impl<M: Carries<FabricMsg>> RaftOrdererActor<M> {
+    /// Creates raft orderer `index` of `cluster.len()` members.
+    pub fn new(
+        index: usize,
+        cluster: Vec<ActorId>,
+        peers: Vec<ActorId>,
+        batch: BatchConfig,
+        raft_config: RaftConfig,
+        tick: SimDuration,
+        seed: u64,
+        costs: CostModel,
+    ) -> Self {
+        RaftOrdererActor {
+            raft: RaftNode::new(index, cluster.len(), raft_config, seed),
+            cutter: BlockCutter::new(batch),
+            assembler: BlockAssembler::new(),
+            cluster,
+            peers,
+            costs,
+            tick,
+            batch_timer: None,
+            retained: std::collections::VecDeque::new(),
+            retain_limit: 64,
+            outbox: Outbox::new(),
+        }
+    }
+
+    /// True if this member currently leads the cluster.
+    pub fn is_leader(&self) -> bool {
+        self.raft.is_leader()
+    }
+
+    fn ship(&mut self, ctx: &mut Context<'_, M>, out: crate::raft::RaftOutput<Vec<RawEnvelope>>) {
+        for (dst, msg) in out.messages {
+            let wrapped = FabricMsg::Raft(Box::new(msg));
+            let bytes = wrapped.wire_size();
+            ctx.send(self.cluster[dst], bytes, M::wrap(wrapped));
+        }
+        for (_, batch) in out.committed {
+            let block = self.assembler.assemble(batch);
+            ctx.metrics().incr("orderer.blocks_cut", 1);
+            self.retained.push_back(block.clone());
+            while self.retained.len() > self.retain_limit {
+                self.retained.pop_front();
+            }
+            let bytes = block.wire_size();
+            let mut sends = Vec::new();
+            for &peer in &self.peers {
+                sends.push((peer, bytes, M::wrap(FabricMsg::DeliverBlock(block.clone()))));
+            }
+            let cost = self.costs.block_cost(bytes);
+            let token = self.outbox.defer(sends);
+            ctx.execute(cost, token);
+        }
+    }
+
+    fn propose_batches(&mut self, ctx: &mut Context<'_, M>, batches: Vec<Vec<RawEnvelope>>) {
+        for batch in batches {
+            match self.raft.propose(batch) {
+                Ok(out) => self.ship(ctx, out),
+                Err(_) => ctx.metrics().incr("orderer.dropped_not_leader", 1),
+            }
+        }
+    }
+}
+
+impl<M: Carries<FabricMsg>> Actor<M> for RaftOrdererActor<M> {
+    fn on_event(&mut self, ctx: &mut Context<'_, M>, event: Event<M>) {
+        match event {
+            Event::Message { src, msg } => match msg.peel() {
+                Ok(FabricMsg::DeliverRequest { from }) => {
+                    ctx.metrics().incr("orderer.deliver_requests", 1);
+                    for block in self.retained.iter() {
+                        if block.header.number >= from {
+                            let bytes = block.wire_size();
+                            ctx.send(src, bytes, M::wrap(FabricMsg::DeliverBlock(block.clone())));
+                        }
+                    }
+                }
+                Ok(FabricMsg::Broadcast(env)) => {
+                    if self.raft.is_leader() {
+                        let raw = env.to_raw();
+                        let cost = self.costs.order_cost(raw.bytes.len() as u64);
+                        ctx.metrics().incr("orderer.broadcasts", 1);
+                        // Admission cost is charged but does not gate
+                        // consensus messages (they are network-bound).
+                        ctx.execute(cost, 0);
+                        let out = self.cutter.offer(raw);
+                        if !out.batches.is_empty() {
+                            if let Some(t) = self.batch_timer.take() {
+                                ctx.cancel_timer(t);
+                            }
+                        }
+                        let needed = out.timer_needed;
+                        self.propose_batches(ctx, out.batches);
+                        if needed && self.batch_timer.is_none() {
+                            let timeout = self.cutter.config().timeout;
+                            self.batch_timer = Some(ctx.set_timer(timeout, BATCH_TIMER));
+                        }
+                    } else if let Some(leader) = self.raft.leader_hint() {
+                        // Redirect to the current leader.
+                        let bytes = env.wire_size();
+                        let dst = self.cluster[leader];
+                        ctx.send(dst, bytes, M::wrap(FabricMsg::Broadcast(env)));
+                        ctx.metrics().incr("orderer.redirects", 1);
+                    } else {
+                        ctx.metrics().incr("orderer.dropped_no_leader", 1);
+                    }
+                }
+                Ok(FabricMsg::Raft(raft_msg)) => {
+                    let out = self.raft.step(*raft_msg);
+                    self.ship(ctx, out);
+                }
+                Ok(_) | Err(_) => {}
+            },
+            Event::Timer { token: RAFT_TICK } => {
+                let out = self.raft.tick();
+                self.ship(ctx, out);
+                let tick = self.tick;
+                ctx.set_timer(tick, RAFT_TICK);
+            }
+            Event::Timer { token: BATCH_TIMER } => {
+                self.batch_timer = None;
+                if let Some(batch) = self.cutter.cut() {
+                    ctx.metrics().incr("orderer.timeout_cuts", 1);
+                    self.propose_batches(ctx, vec![batch]);
+                }
+            }
+            Event::Timer { token } => {
+                if let Some(sends) = self.outbox.release(token) {
+                    for (dst, bytes, msg) in sends {
+                        ctx.send(dst, bytes, msg);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Kick-off token: schedule this timer on each raft orderer at start so it
+/// begins ticking (use [`hyperprov_sim::Simulation::start_timer`] with
+/// [`RAFT_TICK_TOKEN`]).
+pub const RAFT_TICK_TOKEN: u64 = RAFT_TICK;

@@ -1,0 +1,385 @@
+//! End-to-end tests of the execute-order-validate pipeline under the
+//! discrete-event simulator: clients, endorsing/committing peers and
+//! (solo or raft) orderers wired through the simulated network.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use hyperprov_fabric::{
+    BatchConfig, Chaincode, ChaincodeError, ChaincodeRegistry, ChaincodeStub, ChannelPolicies,
+    Committer, CostModel, EndorsementPolicy, FabricMsg, Gateway, GatewayEvent, MspBuilder, MspId,
+    PeerActor, RaftConfig, RaftOrdererActor, SigningIdentity, SoloOrdererActor, RAFT_TICK_TOKEN,
+};
+use hyperprov_ledger::ValidationCode;
+use hyperprov_sim::{Actor, ActorId, Context, Event, SimDuration, SimTime, Simulation};
+
+/// A counter chaincode: `inc <key>` reads, increments, writes.
+struct CounterCc;
+impl Chaincode for CounterCc {
+    fn name(&self) -> &str {
+        "counter"
+    }
+    fn invoke(&self, stub: &mut ChaincodeStub<'_>) -> Result<Vec<u8>, ChaincodeError> {
+        match stub.function() {
+            "inc" => {
+                let key = stub.arg_str(0)?.to_owned();
+                let current = stub
+                    .get_state(&key)
+                    .map(|v| u64::from_le_bytes(v.try_into().unwrap_or([0u8; 8])))
+                    .unwrap_or(0);
+                stub.put_state(&key, (current + 1).to_le_bytes().to_vec());
+                Ok(current.to_le_bytes().to_vec())
+            }
+            "put" => {
+                let key = stub.arg_str(0)?.to_owned();
+                let value = stub.arg_bytes(1)?.to_vec();
+                stub.put_state(&key, value);
+                Ok(Vec::new())
+            }
+            "get" => {
+                let key = stub.arg_str(0)?.to_owned();
+                stub.get_state(&key).ok_or(ChaincodeError::NotFound(key))
+            }
+            other => Err(ChaincodeError::UnknownFunction(other.to_owned())),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct DriverLog {
+    committed: Vec<(ValidationCode, SimDuration)>,
+    failed: Vec<String>,
+    queries: Vec<Result<Vec<u8>, String>>,
+}
+
+/// Closed-loop client: issues `remaining` transactions one at a time.
+struct ClientDriver {
+    gateway: Gateway,
+    remaining: u32,
+    key_of: Box<dyn FnMut(u32) -> String>,
+    log: Rc<RefCell<DriverLog>>,
+}
+
+impl Actor<FabricMsg> for ClientDriver {
+    fn on_event(&mut self, ctx: &mut Context<'_, FabricMsg>, event: Event<FabricMsg>) {
+        match event {
+            Event::Timer { token: 0 } => self.next(ctx),
+            Event::Timer { .. } => {}
+            Event::Message { msg, .. } => {
+                for ev in self.gateway.handle(ctx, msg) {
+                    match ev {
+                        GatewayEvent::TxCommitted { code, latency, .. } => {
+                            self.log.borrow_mut().committed.push((code, latency));
+                            self.next(ctx);
+                        }
+                        GatewayEvent::TxFailed { reason, .. } => {
+                            self.log.borrow_mut().failed.push(reason);
+                            self.next(ctx);
+                        }
+                        GatewayEvent::QueryDone { result, .. } => {
+                            self.log.borrow_mut().queries.push(result);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl ClientDriver {
+    fn next(&mut self, ctx: &mut Context<'_, FabricMsg>) {
+        if self.remaining == 0 {
+            return;
+        }
+        self.remaining -= 1;
+        let n = self.remaining;
+        let key = (self.key_of)(n);
+        self.gateway
+            .invoke(ctx, "counter", "inc", vec![key.into_bytes()]);
+    }
+}
+
+struct TestNet {
+    sim: Simulation<FabricMsg>,
+    peers: Vec<ActorId>,
+    log: Rc<RefCell<DriverLog>>,
+}
+
+/// Builds: 4 peers (org1..org4), 1 solo orderer, 1 client, counter
+/// chaincode with an any-org policy.
+fn build_solo_net(txs: u32, batch: BatchConfig, hot_key: bool) -> TestNet {
+    let mut msp_builder = MspBuilder::new(7);
+    let orgs: Vec<MspId> = (1..=4).map(|i| MspId::new(format!("org{i}"))).collect();
+    let peer_ids: Vec<SigningIdentity> = orgs
+        .iter()
+        .enumerate()
+        .map(|(i, org)| msp_builder.enroll(&format!("peer{i}"), org))
+        .collect();
+    let client_id = msp_builder.enroll("client0", &orgs[0]);
+    let msp = msp_builder.build();
+
+    let mut registry = ChaincodeRegistry::new();
+    registry.install(Arc::new(CounterCc));
+
+    let policy = EndorsementPolicy::any_of(orgs.clone());
+    let costs = CostModel::default();
+
+    let mut sim = Simulation::new(42);
+    let mut peers = Vec::new();
+    let mut peer_actors: Vec<PeerActor<FabricMsg>> = peer_ids
+        .iter()
+        .enumerate()
+        .map(|(i, identity)| {
+            PeerActor::new(
+                identity.clone(),
+                registry.clone(),
+                Rc::new(RefCell::new(Committer::new(
+                    msp.clone(),
+                    ChannelPolicies::new(policy.clone()),
+                ))),
+                costs,
+                format!("peer{i}"),
+            )
+        })
+        .collect();
+
+    // Actor ids are assigned in add order: peers 0..4, orderer 4, client 5.
+    let client_actor_id = ActorId(5);
+    peer_actors[0].subscribe(client_actor_id);
+
+    for actor in peer_actors {
+        peers.push(sim.add_actor(Box::new(actor)));
+    }
+    let orderer = sim.add_actor(Box::new(SoloOrdererActor::<FabricMsg>::new(
+        batch,
+        peers.clone(),
+        costs,
+    )));
+
+    let log = Rc::new(RefCell::new(DriverLog::default()));
+    let gateway = Gateway::new(client_id, "ch1", peers.clone(), orderer, 1, costs);
+    let driver = ClientDriver {
+        gateway,
+        remaining: txs,
+        key_of: if hot_key {
+            Box::new(|_| "hot".to_owned())
+        } else {
+            Box::new(|n| format!("key{n}"))
+        },
+        log: log.clone(),
+    };
+    let client = sim.add_actor(Box::new(driver));
+    assert_eq!(client, client_actor_id);
+    sim.start_timer(client, SimDuration::ZERO, 0);
+    TestNet { sim, peers, log }
+}
+
+#[test]
+fn closed_loop_transactions_all_commit() {
+    let mut net = build_solo_net(20, BatchConfig::default(), false);
+    net.sim.run_until(SimTime::from_secs(120));
+    let log = net.log.borrow();
+    assert_eq!(log.committed.len(), 20, "failed: {:?}", log.failed);
+    assert!(log.failed.is_empty());
+    for (code, latency) in &log.committed {
+        assert_eq!(*code, ValidationCode::Valid);
+        // Each closed-loop tx waits for the 2s batch timeout at most.
+        assert!(*latency <= SimDuration::from_secs(3), "{latency}");
+        assert!(*latency >= SimDuration::from_micros(100), "{latency}");
+    }
+}
+
+#[test]
+fn batch_size_one_cuts_immediately_and_lowers_latency() {
+    let fast_batch = BatchConfig {
+        max_message_count: 1,
+        ..BatchConfig::default()
+    };
+    let mut net = build_solo_net(10, fast_batch, false);
+    net.sim.run_until(SimTime::from_secs(60));
+    let log = net.log.borrow();
+    assert_eq!(log.committed.len(), 10);
+    for (_, latency) in &log.committed {
+        // No batch-timeout stall: commits land in ~10s of milliseconds.
+        assert!(*latency < SimDuration::from_millis(100), "{latency}");
+    }
+    assert_eq!(net.sim.metrics().counter("orderer.blocks_cut"), 10);
+    assert_eq!(net.sim.metrics().counter("orderer.timeout_cuts"), 0);
+}
+
+#[test]
+fn closed_loop_hot_key_still_commits_serially() {
+    // A closed-loop client on one hot key never conflicts with itself.
+    let mut net = build_solo_net(10, BatchConfig::default(), true);
+    net.sim.run_until(SimTime::from_secs(120));
+    let log = net.log.borrow();
+    assert_eq!(log.committed.len(), 10);
+    assert!(log
+        .committed
+        .iter()
+        .all(|(code, _)| *code == ValidationCode::Valid));
+}
+
+#[test]
+fn all_peers_converge_to_same_chain() {
+    let mut net = build_solo_net(15, BatchConfig::default(), false);
+    net.sim.run_until(SimTime::from_secs(120));
+    // Inspect peer metrics: all four peers committed the same number of
+    // valid transactions and blocks.
+    let m = net.sim.metrics();
+    let blocks0 = m.counter("peer0.blocks");
+    assert!(blocks0 > 0);
+    for i in 1..4 {
+        assert_eq!(m.counter(&format!("peer{i}.blocks")), blocks0);
+        assert_eq!(
+            m.counter(&format!("peer{i}.tx.valid")),
+            m.counter("peer0.tx.valid")
+        );
+    }
+    assert_eq!(m.counter("peer0.tx.valid"), 15);
+    assert_eq!(m.counter("peer0.tx.invalid"), 0);
+    let _ = &net.peers;
+}
+
+/// Raft variant: 3 orderers, peers receive blocks from every applying
+/// member and deduplicate.
+#[test]
+fn raft_ordering_service_commits_transactions() {
+    let mut msp_builder = MspBuilder::new(9);
+    let org = MspId::new("org1");
+    let peer_identity = msp_builder.enroll("peer0", &org);
+    let client_id = msp_builder.enroll("client0", &org);
+    let msp = msp_builder.build();
+
+    let mut registry = ChaincodeRegistry::new();
+    registry.install(Arc::new(CounterCc));
+    let costs = CostModel::default();
+    let policy = EndorsementPolicy::any_of([org.clone()]);
+
+    let mut sim = Simulation::new(11);
+    // Layout: peer=0, orderers=1,2,3, client=4.
+    let peer_actor_id = ActorId(0);
+    let orderer_ids: Vec<ActorId> = (1..=3).map(ActorId).collect();
+    let client_actor_id = ActorId(4);
+
+    let mut peer = PeerActor::<FabricMsg>::new(
+        peer_identity,
+        registry,
+        Rc::new(RefCell::new(Committer::new(
+            msp.clone(),
+            ChannelPolicies::new(policy),
+        ))),
+        costs,
+        "peer0",
+    );
+    peer.subscribe(client_actor_id);
+    let got_peer = sim.add_actor(Box::new(peer));
+    assert_eq!(got_peer, peer_actor_id);
+
+    let batch = BatchConfig {
+        max_message_count: 1,
+        ..BatchConfig::default()
+    };
+    for i in 0..3 {
+        let actor = RaftOrdererActor::<FabricMsg>::new(
+            i,
+            orderer_ids.clone(),
+            vec![peer_actor_id],
+            batch,
+            RaftConfig::default(),
+            SimDuration::from_millis(50),
+            77,
+            costs,
+        );
+        let id = sim.add_actor(Box::new(actor));
+        assert_eq!(id, orderer_ids[i]);
+        sim.start_timer(id, SimDuration::ZERO, RAFT_TICK_TOKEN);
+    }
+
+    let log = Rc::new(RefCell::new(DriverLog::default()));
+    // Point the gateway at orderer 0; it redirects to the leader if needed.
+    let gateway = Gateway::new(client_id, "ch1", vec![peer_actor_id], orderer_ids[0], 1, costs);
+    let driver = ClientDriver {
+        gateway,
+        remaining: 8,
+        key_of: Box::new(|n| format!("key{n}")),
+        log: log.clone(),
+    };
+    let client = sim.add_actor(Box::new(driver));
+    assert_eq!(client, client_actor_id);
+
+    // Give raft time to elect before starting the workload.
+    sim.start_timer(client, SimDuration::from_secs(5), 0);
+    sim.run_until(SimTime::from_secs(300));
+
+    let log = log.borrow();
+    assert_eq!(log.committed.len(), 8, "failed: {:?}", log.failed);
+    assert!(log
+        .committed
+        .iter()
+        .all(|(code, _)| *code == ValidationCode::Valid));
+    // Peer deduplicated multi-orderer deliveries: 8 blocks committed once.
+    assert_eq!(sim.metrics().counter("peer0.blocks"), 8);
+}
+
+#[test]
+fn endorsement_failure_reported_to_client() {
+    // Query a missing key: chaincode rejects, gateway surfaces QueryDone Err.
+    let mut msp_builder = MspBuilder::new(5);
+    let org = MspId::new("org1");
+    let peer_identity = msp_builder.enroll("peer0", &org);
+    let client_id = msp_builder.enroll("client0", &org);
+    let msp = msp_builder.build();
+    let mut registry = ChaincodeRegistry::new();
+    registry.install(Arc::new(CounterCc));
+    let costs = CostModel::default();
+
+    struct QueryOnce {
+        gateway: Gateway,
+        log: Rc<RefCell<DriverLog>>,
+    }
+    impl Actor<FabricMsg> for QueryOnce {
+        fn on_event(&mut self, ctx: &mut Context<'_, FabricMsg>, event: Event<FabricMsg>) {
+            match event {
+                Event::Timer { token: 0 } => {
+                    self.gateway
+                        .query(ctx, "counter", "get", vec![b"missing".to_vec()]);
+                }
+                Event::Timer { .. } => {}
+                Event::Message { msg, .. } => {
+                    for ev in self.gateway.handle(ctx, msg) {
+                        if let GatewayEvent::QueryDone { result, .. } = ev {
+                            self.log.borrow_mut().queries.push(result);
+                            ctx.stop();
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let mut sim = Simulation::new(3);
+    let peer = PeerActor::<FabricMsg>::new(
+        peer_identity,
+        registry,
+        Rc::new(RefCell::new(Committer::new(
+            msp.clone(),
+            ChannelPolicies::new(EndorsementPolicy::any_of([org.clone()])),
+        ))),
+        costs,
+        "peer0",
+    );
+    let peer_id = sim.add_actor(Box::new(peer));
+    let log = Rc::new(RefCell::new(DriverLog::default()));
+    let gateway = Gateway::new(client_id, "ch1", vec![peer_id], peer_id, 1, costs);
+    let client = sim.add_actor(Box::new(QueryOnce {
+        gateway,
+        log: log.clone(),
+    }));
+    sim.start_timer(client, SimDuration::ZERO, 0);
+    sim.run_until(SimTime::from_secs(10));
+    let log = log.borrow();
+    assert_eq!(log.queries.len(), 1);
+    assert!(log.queries[0].as_ref().unwrap_err().contains("not found"));
+}

@@ -1,0 +1,210 @@
+//! Property-based tests of the Fabric substrate: endorsement-policy
+//! algebra, block-cutter conservation and message codec round-trips.
+
+use hyperprov_fabric::{
+    BatchConfig, BlockAssembler, BlockCutter, Certificate, EndorsementPolicy, Envelope, MspBuilder,
+    MspId, Proposal, ProposalResponse, Signature,
+};
+use hyperprov_ledger::{Decode, Digest, Encode, RawEnvelope, RwSet, TxId};
+use hyperprov_sim::SimDuration;
+use proptest::prelude::*;
+
+fn org(i: u8) -> MspId {
+    MspId::new(format!("org{i}"))
+}
+
+fn cert() -> Certificate {
+    let mut b = MspBuilder::new(1);
+    b.enroll("x", &org(1)).certificate().clone()
+}
+
+proptest! {
+    #[test]
+    fn majority_policy_matches_count(
+        n_orgs in 1u8..8,
+        endorser_mask in any::<u8>(),
+    ) {
+        let orgs: Vec<MspId> = (0..n_orgs).map(org).collect();
+        let policy = EndorsementPolicy::majority_of(orgs.clone());
+        let endorsers: Vec<MspId> = orgs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| endorser_mask & (1 << i) != 0)
+            .map(|(_, o)| o.clone())
+            .collect();
+        let expected = endorsers.len() > orgs.len() / 2;
+        prop_assert_eq!(policy.is_satisfied_by(endorsers.iter()), expected);
+    }
+
+    #[test]
+    fn adding_endorsers_never_breaks_satisfaction(
+        n_orgs in 1u8..6,
+        threshold in 1usize..6,
+        mask in any::<u8>(),
+        extra in 0u8..6,
+    ) {
+        let orgs: Vec<MspId> = (0..n_orgs).map(org).collect();
+        let threshold = threshold.min(orgs.len());
+        let policy = EndorsementPolicy::out_of(
+            threshold,
+            orgs.iter().cloned().map(EndorsementPolicy::signed_by).collect(),
+        );
+        let mut endorsers: Vec<MspId> = orgs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, o)| o.clone())
+            .collect();
+        let before = policy.is_satisfied_by(endorsers.iter());
+        endorsers.push(org(extra % n_orgs));
+        let after = policy.is_satisfied_by(endorsers.iter());
+        // Monotonicity: extra endorsements can only help.
+        prop_assert!(!before || after);
+    }
+
+    #[test]
+    fn cutter_conserves_and_bounds_envelopes(
+        sizes in proptest::collection::vec(1usize..2000, 1..60),
+        max_count in 1usize..12,
+        preferred in 500u64..4000,
+    ) {
+        let mut cutter = BlockCutter::new(BatchConfig {
+            max_message_count: max_count,
+            preferred_max_bytes: preferred,
+            timeout: SimDuration::from_secs(1),
+        });
+        let mut batched = 0usize;
+        let mut seen_batches = Vec::new();
+        for (i, &size) in sizes.iter().enumerate() {
+            let env = RawEnvelope {
+                tx_id: TxId(Digest::of(&(i as u64).to_le_bytes())),
+                bytes: vec![0u8; size],
+            };
+            let out = cutter.offer(env);
+            for batch in out.batches {
+                batched += batch.len();
+                seen_batches.push(batch);
+            }
+        }
+        if let Some(rest) = cutter.cut() {
+            batched += rest.len();
+            seen_batches.push(rest);
+        }
+        // Conservation: every envelope ends up in exactly one batch.
+        prop_assert_eq!(batched, sizes.len());
+        for batch in &seen_batches {
+            prop_assert!(!batch.is_empty());
+            prop_assert!(batch.len() <= max_count);
+            // Byte bound holds unless the batch is a single oversized
+            // message.
+            let bytes: u64 = batch.iter().map(|e| e.bytes.len() as u64).sum();
+            prop_assert!(bytes <= preferred || batch.len() == 1);
+        }
+        // Order preserved across batches.
+        let flat: Vec<u64> = seen_batches
+            .iter()
+            .flatten()
+            .map(|e| e.bytes.len() as u64)
+            .collect();
+        let expected: Vec<u64> = sizes.iter().map(|&s| s as u64).collect();
+        prop_assert_eq!(flat, expected);
+    }
+
+    #[test]
+    fn assembled_chains_always_verify(
+        batch_sizes in proptest::collection::vec(0usize..6, 1..12),
+    ) {
+        let mut assembler = BlockAssembler::new();
+        let mut store = hyperprov_ledger::BlockStore::new();
+        let mut n = 0u64;
+        for &count in &batch_sizes {
+            let batch: Vec<RawEnvelope> = (0..count)
+                .map(|_| {
+                    n += 1;
+                    RawEnvelope {
+                        tx_id: TxId(Digest::of(&n.to_le_bytes())),
+                        bytes: n.to_le_bytes().to_vec(),
+                    }
+                })
+                .collect();
+            let block = assembler.assemble(batch);
+            store.append(block).unwrap();
+        }
+        prop_assert!(store.verify_chain().is_ok());
+    }
+
+    #[test]
+    fn proposal_codec_round_trips(
+        channel in "[a-z]{1,10}",
+        chaincode in "[a-z]{1,10}",
+        function in "[a-z_]{1,12}",
+        args in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 0..5),
+        nonce in any::<u64>(),
+    ) {
+        let p = Proposal {
+            channel,
+            chaincode,
+            function,
+            args,
+            creator: cert(),
+            nonce,
+        };
+        let back = Proposal::from_bytes(&p.to_bytes()).unwrap();
+        prop_assert_eq!(back.tx_id(), p.tx_id());
+        prop_assert_eq!(back, p);
+    }
+
+    #[test]
+    fn envelope_codec_round_trips(payload in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let env = Envelope {
+            proposal: Proposal {
+                channel: "ch".into(),
+                chaincode: "cc".into(),
+                function: "f".into(),
+                args: vec![payload.clone()],
+                creator: cert(),
+                nonce: 5,
+            },
+            payload,
+            rwset: RwSet::new(),
+            event: None,
+            endorsements: vec![],
+        };
+        let raw = env.to_raw();
+        prop_assert_eq!(Envelope::from_raw(&raw).unwrap(), env);
+    }
+
+    #[test]
+    fn response_codec_round_trips(ok in any::<bool>(), body in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let resp = ProposalResponse {
+            tx_id: TxId(Digest::of(b"t")),
+            endorser: cert(),
+            result: if ok {
+                Ok(body.clone())
+            } else {
+                Err(String::from_utf8_lossy(&body).into_owned())
+            },
+            rwset: RwSet::new(),
+            event: None,
+            signature: Signature(Digest::of(b"s")),
+        };
+        prop_assert_eq!(ProposalResponse::from_bytes(&resp.to_bytes()).unwrap(), resp);
+    }
+
+    #[test]
+    fn signatures_verify_only_for_signer_and_message(
+        msg1 in proptest::collection::vec(any::<u8>(), 1..64),
+        msg2 in proptest::collection::vec(any::<u8>(), 1..64),
+    ) {
+        let mut b = MspBuilder::new(9);
+        let alice = b.enroll("alice", &org(1));
+        let bob = b.enroll("bob", &org(2));
+        let msp = b.build();
+        let sig = alice.sign(&msg1);
+        prop_assert!(msp.verify(alice.certificate(), &msg1, &sig));
+        if msg1 != msg2 {
+            prop_assert!(!msp.verify(alice.certificate(), &msg2, &sig));
+        }
+        prop_assert!(!msp.verify(bob.certificate(), &msg1, &sig));
+    }
+}

@@ -1,0 +1,345 @@
+//! Append-only block storage with chain verification and a tx-id index.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use crate::block::Block;
+use crate::codec::{Decode, Decoder, Encode, Encoder};
+use crate::hash::Digest;
+use crate::tx::TxId;
+
+/// Magic prefix of the persisted chain format.
+const CHAIN_MAGIC: &[u8; 8] = b"HPCHAIN1";
+
+/// Error appending or verifying blocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChainError {
+    /// Block number is not `height()`.
+    WrongNumber {
+        /// Number carried by the offered block.
+        got: u64,
+        /// Number the chain expects next.
+        expected: u64,
+    },
+    /// `prev_hash` does not match the current tip.
+    BrokenLink {
+        /// Height at which the link is broken.
+        at: u64,
+    },
+    /// `data_hash` does not match the block's envelopes.
+    BadDataHash {
+        /// Height of the offending block.
+        at: u64,
+    },
+}
+
+impl fmt::Display for ChainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChainError::WrongNumber { got, expected } => {
+                write!(f, "block number {got} where {expected} was expected")
+            }
+            ChainError::BrokenLink { at } => write!(f, "prev_hash mismatch at height {at}"),
+            ChainError::BadDataHash { at } => write!(f, "data hash mismatch at height {at}"),
+        }
+    }
+}
+
+impl std::error::Error for ChainError {}
+
+/// An append-only chain of verified blocks.
+///
+/// # Examples
+///
+/// ```
+/// use hyperprov_ledger::{Block, BlockStore, Digest};
+///
+/// let mut store = BlockStore::new();
+/// let genesis = Block::build(0, Digest::ZERO, vec![]);
+/// store.append(genesis)?;
+/// assert_eq!(store.height(), 1);
+/// # Ok::<(), hyperprov_ledger::ChainError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BlockStore {
+    blocks: Vec<Block>,
+    tx_index: HashMap<TxId, (u64, u32)>,
+}
+
+impl BlockStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        BlockStore::default()
+    }
+
+    /// Chain height (number of blocks; the next block number).
+    pub fn height(&self) -> u64 {
+        self.blocks.len() as u64
+    }
+
+    /// Header hash of the last block, or [`Digest::ZERO`] if empty.
+    pub fn tip_hash(&self) -> Digest {
+        self.blocks
+            .last()
+            .map(|b| b.header.hash())
+            .unwrap_or(Digest::ZERO)
+    }
+
+    /// Verifies and appends a block.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ChainError`] if the number, link, or data hash is wrong;
+    /// the store is unchanged on error.
+    pub fn append(&mut self, block: Block) -> Result<(), ChainError> {
+        let expected = self.height();
+        if block.header.number != expected {
+            return Err(ChainError::WrongNumber {
+                got: block.header.number,
+                expected,
+            });
+        }
+        if block.header.prev_hash != self.tip_hash() {
+            return Err(ChainError::BrokenLink { at: expected });
+        }
+        if !block.verify_data_hash() {
+            return Err(ChainError::BadDataHash { at: expected });
+        }
+        for (i, env) in block.envelopes.iter().enumerate() {
+            self.tx_index
+                .insert(env.tx_id, (block.header.number, i as u32));
+        }
+        self.blocks.push(block);
+        Ok(())
+    }
+
+    /// The block at `number`, if committed.
+    pub fn block(&self, number: u64) -> Option<&Block> {
+        self.blocks.get(number as usize)
+    }
+
+    /// Locates a transaction: `(block number, tx index)`.
+    pub fn find_tx(&self, tx_id: &TxId) -> Option<(u64, u32)> {
+        self.tx_index.get(tx_id).copied()
+    }
+
+    /// Iterates all blocks in order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Block> {
+        self.blocks.iter()
+    }
+
+    /// Total committed transactions.
+    pub fn tx_count(&self) -> u64 {
+        self.blocks.iter().map(|b| b.len() as u64).sum()
+    }
+
+    /// Serialises the whole chain to a writer (a `&mut` reference works
+    /// too, since `Write` is implemented for `&mut W`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_to<W: Write>(&self, mut writer: W) -> io::Result<()> {
+        let mut enc = Encoder::new();
+        enc.put_varint(self.blocks.len() as u64);
+        for block in &self.blocks {
+            block.encode(&mut enc);
+        }
+        writer.write_all(CHAIN_MAGIC)?;
+        writer.write_all(&enc.into_bytes())?;
+        Ok(())
+    }
+
+    /// Reads a chain back, re-verifying every hash link and data hash —
+    /// a tampered file is rejected, not loaded.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` for a bad magic, malformed encoding or a
+    /// chain that fails verification; propagates reader I/O errors.
+    pub fn read_from<R: Read>(mut reader: R) -> io::Result<BlockStore> {
+        let mut magic = [0u8; 8];
+        reader.read_exact(&mut magic)?;
+        if &magic != CHAIN_MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a HyperProv chain file",
+            ));
+        }
+        let mut buf = Vec::new();
+        reader.read_to_end(&mut buf)?;
+        let mut dec = Decoder::new(&buf);
+        let invalid = |e: crate::codec::CodecError| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("malformed chain: {e}"))
+        };
+        let n = dec.get_varint().map_err(invalid)?;
+        let mut store = BlockStore::new();
+        for _ in 0..n {
+            let block = Block::decode(&mut dec).map_err(invalid)?;
+            store.append(block).map_err(|e| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("chain invalid: {e}"))
+            })?;
+        }
+        dec.finish().map_err(invalid)?;
+        Ok(store)
+    }
+
+    /// Re-verifies the entire chain (hash links and data hashes), returning
+    /// the first inconsistency. Used by tamper-detection audits.
+    pub fn verify_chain(&self) -> Result<(), ChainError> {
+        let mut prev = Digest::ZERO;
+        for (i, block) in self.blocks.iter().enumerate() {
+            if block.header.number != i as u64 {
+                return Err(ChainError::WrongNumber {
+                    got: block.header.number,
+                    expected: i as u64,
+                });
+            }
+            if block.header.prev_hash != prev {
+                return Err(ChainError::BrokenLink { at: i as u64 });
+            }
+            if !block.verify_data_hash() {
+                return Err(ChainError::BadDataHash { at: i as u64 });
+            }
+            prev = block.header.hash();
+        }
+        Ok(())
+    }
+}
+
+impl<'a> IntoIterator for &'a BlockStore {
+    type Item = &'a Block;
+    type IntoIter = std::slice::Iter<'a, Block>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::RawEnvelope;
+
+    fn env(tag: &[u8]) -> RawEnvelope {
+        RawEnvelope {
+            tx_id: TxId(Digest::of(tag)),
+            bytes: tag.to_vec(),
+        }
+    }
+
+    fn chain_of(n: u64) -> BlockStore {
+        let mut store = BlockStore::new();
+        for i in 0..n {
+            let block = Block::build(i, store.tip_hash(), vec![env(format!("tx{i}").as_bytes())]);
+            store.append(block).unwrap();
+        }
+        store
+    }
+
+    #[test]
+    fn append_and_lookup() {
+        let store = chain_of(3);
+        assert_eq!(store.height(), 3);
+        assert_eq!(store.tx_count(), 3);
+        let (blk, idx) = store.find_tx(&TxId(Digest::of(b"tx1"))).unwrap();
+        assert_eq!((blk, idx), (1, 0));
+        assert!(store.find_tx(&TxId(Digest::of(b"nope"))).is_none());
+        assert_eq!(store.block(2).unwrap().header.number, 2);
+        assert!(store.block(3).is_none());
+    }
+
+    #[test]
+    fn wrong_number_rejected() {
+        let mut store = chain_of(1);
+        let bad = Block::build(5, store.tip_hash(), vec![]);
+        assert_eq!(
+            store.append(bad),
+            Err(ChainError::WrongNumber { got: 5, expected: 1 })
+        );
+        assert_eq!(store.height(), 1);
+    }
+
+    #[test]
+    fn broken_link_rejected() {
+        let mut store = chain_of(1);
+        let bad = Block::build(1, Digest::of(b"wrong"), vec![]);
+        assert_eq!(store.append(bad), Err(ChainError::BrokenLink { at: 1 }));
+    }
+
+    #[test]
+    fn bad_data_hash_rejected() {
+        let mut store = chain_of(1);
+        let mut bad = Block::build(1, store.tip_hash(), vec![env(b"x")]);
+        bad.envelopes[0].bytes = b"tampered".to_vec();
+        assert_eq!(store.append(bad), Err(ChainError::BadDataHash { at: 1 }));
+    }
+
+    #[test]
+    fn verify_chain_detects_retroactive_tamper() {
+        let mut store = chain_of(5);
+        assert!(store.verify_chain().is_ok());
+        // Tamper with an old envelope directly.
+        store.blocks[2].envelopes[0].bytes = b"evil".to_vec();
+        assert_eq!(store.verify_chain(), Err(ChainError::BadDataHash { at: 2 }));
+        // Recompute that block's data hash to hide the tamper: the link
+        // from block 3 now breaks instead.
+        let envs = store.blocks[2].envelopes.clone();
+        let rebuilt = Block::build(2, store.blocks[1].header.hash(), envs);
+        store.blocks[2] = rebuilt;
+        assert_eq!(store.verify_chain(), Err(ChainError::BrokenLink { at: 3 }));
+    }
+
+    #[test]
+    fn iterator_walks_in_order() {
+        let store = chain_of(4);
+        let numbers: Vec<u64> = store.iter().map(|b| b.header.number).collect();
+        assert_eq!(numbers, vec![0, 1, 2, 3]);
+        let numbers2: Vec<u64> = (&store).into_iter().map(|b| b.header.number).collect();
+        assert_eq!(numbers2, numbers);
+    }
+
+    #[test]
+    fn persistence_round_trips_and_verifies() {
+        let store = chain_of(5);
+        let mut buf = Vec::new();
+        store.write_to(&mut buf).unwrap();
+        let loaded = BlockStore::read_from(buf.as_slice()).unwrap();
+        assert_eq!(loaded.height(), 5);
+        assert_eq!(loaded.tip_hash(), store.tip_hash());
+        assert_eq!(loaded.tx_count(), store.tx_count());
+        assert!(loaded.find_tx(&TxId(Digest::of(b"tx3"))).is_some());
+    }
+
+    #[test]
+    fn persistence_rejects_bad_magic_and_tampering() {
+        let store = chain_of(3);
+        let mut buf = Vec::new();
+        store.write_to(&mut buf).unwrap();
+        // Wrong magic.
+        let mut bad = buf.clone();
+        bad[0] ^= 0xFF;
+        assert!(BlockStore::read_from(bad.as_slice()).is_err());
+        // Flip a byte inside a block body: the data hash check fires.
+        let mut tampered = buf.clone();
+        let mid = buf.len() - 4;
+        tampered[mid] ^= 0xFF;
+        assert!(BlockStore::read_from(tampered.as_slice()).is_err());
+        // Truncated file.
+        assert!(BlockStore::read_from(&buf[..buf.len() - 3]).is_err());
+        // Empty chain round-trips.
+        let empty = BlockStore::new();
+        let mut buf = Vec::new();
+        empty.write_to(&mut buf).unwrap();
+        assert_eq!(BlockStore::read_from(buf.as_slice()).unwrap().height(), 0);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(!ChainError::WrongNumber { got: 1, expected: 0 }
+            .to_string()
+            .is_empty());
+        assert!(!ChainError::BrokenLink { at: 2 }.to_string().is_empty());
+        assert!(!ChainError::BadDataHash { at: 3 }.to_string().is_empty());
+    }
+}

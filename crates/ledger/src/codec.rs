@@ -1,0 +1,625 @@
+//! Canonical binary encoding for ledger data structures.
+//!
+//! Everything that is hashed or signed (transactions, block headers,
+//! provenance records) must serialise to a *unique* byte string, so the
+//! ledger defines its own deterministic codec rather than relying on a
+//! general-purpose format: fixed little-endian integers where size matters,
+//! LEB128 varints for lengths, length-prefixed byte strings, and no
+//! optional field reordering.
+
+use std::fmt;
+
+use crate::hash::Digest;
+
+/// Error returned when decoding malformed bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended before the value was complete.
+    UnexpectedEof,
+    /// Input contained bytes after the decoded value.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        remaining: usize,
+    },
+    /// A length-prefixed string was not valid UTF-8.
+    InvalidUtf8,
+    /// A varint exceeded 64 bits.
+    VarintOverflow,
+    /// A declared length exceeds the remaining input.
+    LengthOverrun {
+        /// The declared length.
+        declared: u64,
+        /// Bytes actually remaining.
+        remaining: usize,
+    },
+    /// A domain-specific invariant failed.
+    Invalid(&'static str),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEof => write!(f, "unexpected end of input"),
+            CodecError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after value")
+            }
+            CodecError::InvalidUtf8 => write!(f, "invalid UTF-8 in string"),
+            CodecError::VarintOverflow => write!(f, "varint exceeds 64 bits"),
+            CodecError::LengthOverrun { declared, remaining } => {
+                write!(f, "declared length {declared} exceeds remaining {remaining} bytes")
+            }
+            CodecError::Invalid(what) => write!(f, "invalid value: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Serialises values into a canonical byte string.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Encoder { buf: Vec::new() }
+    }
+
+    /// Creates an encoder with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Encoder {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Consumes the encoder and returns the bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a bool as one byte (0 or 1).
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    /// Writes a fixed-width little-endian u32.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a fixed-width little-endian u64.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes an unsigned LEB128 varint.
+    pub fn put_varint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                break;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    /// Writes a varint length followed by the raw bytes.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_varint(v.len() as u64);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Writes a UTF-8 string (varint length + bytes).
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+
+    /// Writes a digest as 32 raw bytes.
+    pub fn put_digest(&mut self, d: &Digest) {
+        self.buf.extend_from_slice(&d.0);
+    }
+}
+
+/// Deserialises values from a byte string.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Creates a decoder over `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        Decoder { data, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Fails unless the input was fully consumed.
+    pub fn finish(&self) -> Result<(), CodecError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(CodecError::TrailingBytes {
+                remaining: self.remaining(),
+            })
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a bool; any byte other than 0/1 is an error.
+    pub fn get_bool(&mut self) -> Result<bool, CodecError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(CodecError::Invalid("bool byte not 0 or 1")),
+        }
+    }
+
+    /// Reads a fixed-width little-endian u32.
+    pub fn get_u32(&mut self) -> Result<u32, CodecError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a fixed-width little-endian u64.
+    pub fn get_u64(&mut self) -> Result<u64, CodecError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads an unsigned LEB128 varint.
+    pub fn get_varint(&mut self) -> Result<u64, CodecError> {
+        let mut value = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.get_u8()?;
+            if shift == 63 && byte > 1 {
+                return Err(CodecError::VarintOverflow);
+            }
+            value |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(CodecError::VarintOverflow);
+            }
+        }
+    }
+
+    /// Reads a varint-length-prefixed byte string.
+    pub fn get_bytes(&mut self) -> Result<Vec<u8>, CodecError> {
+        let len = self.get_varint()?;
+        if len > self.remaining() as u64 {
+            return Err(CodecError::LengthOverrun {
+                declared: len,
+                remaining: self.remaining(),
+            });
+        }
+        Ok(self.take(len as usize)?.to_vec())
+    }
+
+    /// Reads a varint-length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String, CodecError> {
+        let bytes = self.get_bytes()?;
+        String::from_utf8(bytes).map_err(|_| CodecError::InvalidUtf8)
+    }
+
+    /// Reads a 32-byte digest.
+    pub fn get_digest(&mut self) -> Result<Digest, CodecError> {
+        let b = self.take(32)?;
+        let mut out = [0u8; 32];
+        out.copy_from_slice(b);
+        Ok(Digest(out))
+    }
+}
+
+/// Types with a canonical binary encoding.
+pub trait Encode {
+    /// Appends this value's canonical encoding to `enc`.
+    fn encode(&self, enc: &mut Encoder);
+
+    /// Convenience: the canonical encoding as a fresh byte vector.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        self.encode(&mut enc);
+        enc.into_bytes()
+    }
+
+    /// Convenience: SHA-256 of the canonical encoding.
+    fn digest(&self) -> Digest {
+        Digest::of(&self.to_bytes())
+    }
+}
+
+/// Types decodable from their canonical binary encoding.
+pub trait Decode: Sized {
+    /// Decodes one value from the decoder, advancing it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on malformed input.
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError>;
+
+    /// Decodes a value that must occupy the *entire* input.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on malformed input or trailing bytes.
+    fn from_bytes(data: &[u8]) -> Result<Self, CodecError> {
+        let mut dec = Decoder::new(data);
+        let v = Self::decode(&mut dec)?;
+        dec.finish()?;
+        Ok(v)
+    }
+}
+
+impl Encode for u8 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u8(*self);
+    }
+}
+impl Decode for u8 {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        dec.get_u8()
+    }
+}
+
+impl Encode for u32 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u32(*self);
+    }
+}
+impl Decode for u32 {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        dec.get_u32()
+    }
+}
+
+impl Encode for u64 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(*self);
+    }
+}
+impl Decode for u64 {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        dec.get_u64()
+    }
+}
+
+impl Encode for bool {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_bool(*self);
+    }
+}
+impl Decode for bool {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        dec.get_bool()
+    }
+}
+
+impl Encode for String {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_str(self);
+    }
+}
+impl Decode for String {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        dec.get_str()
+    }
+}
+
+impl Encode for Vec<u8> {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_bytes(self);
+    }
+}
+impl Decode for Vec<u8> {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        dec.get_bytes()
+    }
+}
+
+impl Encode for Digest {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_digest(self);
+    }
+}
+impl Decode for Digest {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        dec.get_digest()
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            None => enc.put_u8(0),
+            Some(v) => {
+                enc.put_u8(1);
+                v.encode(enc);
+            }
+        }
+    }
+}
+impl<T: Decode> Decode for Option<T> {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        match dec.get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(dec)?)),
+            _ => Err(CodecError::Invalid("option tag not 0 or 1")),
+        }
+    }
+}
+
+/// `Vec<T>` encodes as a varint count followed by each element.
+/// (`Vec<u8>` has its own more compact impl above.)
+macro_rules! impl_vec_codec {
+    ($t:ty) => {
+        impl Encode for Vec<$t> {
+            fn encode(&self, enc: &mut Encoder) {
+                enc.put_varint(self.len() as u64);
+                for item in self {
+                    item.encode(enc);
+                }
+            }
+        }
+        impl Decode for Vec<$t> {
+            fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+                let n = dec.get_varint()?;
+                // Guard: each element needs at least one byte.
+                if n > dec.remaining() as u64 {
+                    return Err(CodecError::LengthOverrun {
+                        declared: n,
+                        remaining: dec.remaining(),
+                    });
+                }
+                let mut out = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    out.push(<$t>::decode(dec)?);
+                }
+                Ok(out)
+            }
+        }
+    };
+}
+
+impl_vec_codec!(String);
+impl_vec_codec!(Digest);
+
+/// Encodes a homogeneous slice with a varint count prefix; pairs with
+/// [`decode_seq`].
+pub fn encode_seq<T: Encode>(items: &[T], enc: &mut Encoder) {
+    enc.put_varint(items.len() as u64);
+    for item in items {
+        item.encode(enc);
+    }
+}
+
+/// Decodes a sequence written by [`encode_seq`].
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] on malformed input.
+pub fn decode_seq<T: Decode>(dec: &mut Decoder<'_>) -> Result<Vec<T>, CodecError> {
+    let n = dec.get_varint()?;
+    if n > dec.remaining() as u64 {
+        return Err(CodecError::LengthOverrun {
+            declared: n,
+            remaining: dec.remaining(),
+        });
+    }
+    let mut out = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        out.push(T::decode(dec)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut enc = Encoder::new();
+        enc.put_u8(0xAB);
+        enc.put_bool(true);
+        enc.put_u32(0xDEADBEEF);
+        enc.put_u64(u64::MAX - 1);
+        enc.put_str("héllo");
+        enc.put_bytes(&[1, 2, 3]);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(dec.get_u8().unwrap(), 0xAB);
+        assert!(dec.get_bool().unwrap());
+        assert_eq!(dec.get_u32().unwrap(), 0xDEADBEEF);
+        assert_eq!(dec.get_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(dec.get_str().unwrap(), "héllo");
+        assert_eq!(dec.get_bytes().unwrap(), vec![1, 2, 3]);
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn varint_boundaries() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            let mut enc = Encoder::new();
+            enc.put_varint(v);
+            let bytes = enc.into_bytes();
+            let mut dec = Decoder::new(&bytes);
+            assert_eq!(dec.get_varint().unwrap(), v);
+            dec.finish().unwrap();
+        }
+    }
+
+    #[test]
+    fn varint_compactness() {
+        let mut enc = Encoder::new();
+        enc.put_varint(127);
+        assert_eq!(enc.len(), 1);
+        let mut enc = Encoder::new();
+        enc.put_varint(128);
+        assert_eq!(enc.len(), 2);
+    }
+
+    #[test]
+    fn varint_overflow_rejected() {
+        // 10 bytes of continuation with high bits set overflows u64.
+        let bytes = [0xFFu8; 10];
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(dec.get_varint(), Err(CodecError::VarintOverflow));
+    }
+
+    #[test]
+    fn eof_detected() {
+        let mut dec = Decoder::new(&[1, 2]);
+        assert_eq!(dec.get_u32(), Err(CodecError::UnexpectedEof));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected_by_from_bytes() {
+        let mut enc = Encoder::new();
+        enc.put_u8(7);
+        enc.put_u8(8);
+        let bytes = enc.into_bytes();
+        assert_eq!(
+            u8::from_bytes(&bytes),
+            Err(CodecError::TrailingBytes { remaining: 1 })
+        );
+    }
+
+    #[test]
+    fn bad_bool_and_option_tags() {
+        let mut dec = Decoder::new(&[2]);
+        assert!(matches!(dec.get_bool(), Err(CodecError::Invalid(_))));
+        assert!(matches!(
+            Option::<u8>::from_bytes(&[9]),
+            Err(CodecError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn length_overrun_rejected() {
+        // Declares 100 bytes but provides 2.
+        let mut enc = Encoder::new();
+        enc.put_varint(100);
+        enc.put_u8(0);
+        enc.put_u8(0);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert!(matches!(
+            dec.get_bytes(),
+            Err(CodecError::LengthOverrun { declared: 100, .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut enc = Encoder::new();
+        enc.put_bytes(&[0xFF, 0xFE]);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(dec.get_str(), Err(CodecError::InvalidUtf8));
+    }
+
+    #[test]
+    fn option_round_trip() {
+        let some = Some("x".to_owned());
+        let none: Option<String> = None;
+        assert_eq!(
+            Option::<String>::from_bytes(&some.to_bytes()).unwrap(),
+            some
+        );
+        assert_eq!(
+            Option::<String>::from_bytes(&none.to_bytes()).unwrap(),
+            none
+        );
+    }
+
+    #[test]
+    fn vec_of_strings_round_trip() {
+        let v = vec!["a".to_owned(), "bb".to_owned(), String::new()];
+        assert_eq!(Vec::<String>::from_bytes(&v.to_bytes()).unwrap(), v);
+    }
+
+    #[test]
+    fn digest_round_trip() {
+        let d = Digest::of(b"digest");
+        assert_eq!(Digest::from_bytes(&d.to_bytes()).unwrap(), d);
+        assert_eq!(d.to_bytes().len(), 32);
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let v = vec!["k1".to_owned(), "k2".to_owned()];
+        assert_eq!(v.to_bytes(), v.clone().to_bytes());
+        assert_eq!(v.digest(), v.digest());
+    }
+
+    #[test]
+    fn seq_helpers_round_trip() {
+        let items = vec![1u64, 2, 3];
+        let mut enc = Encoder::new();
+        encode_seq(&items, &mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        let back: Vec<u64> = decode_seq(&mut dec).unwrap();
+        assert_eq!(back, items);
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            CodecError::UnexpectedEof,
+            CodecError::TrailingBytes { remaining: 3 },
+            CodecError::InvalidUtf8,
+            CodecError::VarintOverflow,
+            CodecError::LengthOverrun {
+                declared: 9,
+                remaining: 1,
+            },
+            CodecError::Invalid("x"),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! # hyperprov-ledger
+//!
+//! Blockchain ledger substrate for the HyperProv reproduction — the pieces
+//! Hyperledger Fabric gets from its `common`, `ledger` and `protoutil`
+//! packages, built from scratch:
+//!
+//! * [`Sha256`]/[`Digest`]/[`hmac_sha256`] — hashing (FIPS 180-4, validated
+//!   against NIST/RFC vectors),
+//! * [`Encode`]/[`Decode`] — a canonical deterministic binary codec,
+//! * [`MerkleTree`]/[`MerkleProof`] — block data commitments,
+//! * [`Block`]/[`BlockHeader`]/[`BlockStore`] — the hash chain,
+//! * [`RwSet`]/[`Version`]/[`ValidationCode`] — transaction simulation
+//!   artefacts for execute-order-validate,
+//! * [`StateDb`] — the versioned world state with range queries, and
+//! * [`HistoryDb`] — per-key write history for provenance queries.
+//!
+//! This crate is deliberately independent of the simulator: it is pure data
+//! structures and can be reused by a wall-clock deployment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod block;
+mod blockstore;
+mod codec;
+mod hash;
+mod history;
+mod merkle;
+mod statedb;
+mod tx;
+
+pub use block::{Block, BlockHeader, BlockMetadata, RawEnvelope};
+pub use blockstore::{BlockStore, ChainError};
+pub use codec::{decode_seq, encode_seq, CodecError, Decode, Decoder, Encode, Encoder};
+pub use hash::{hmac_sha256, Digest, Sha256};
+pub use history::{HistoryDb, HistoryEntry};
+pub use merkle::{MerkleProof, MerkleTree};
+pub use statedb::{StateDb, VersionedValue};
+pub use tx::{KvRead, KvWrite, RwSet, StateKey, TxId, ValidationCode, Version};

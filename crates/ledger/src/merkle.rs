@@ -1,0 +1,220 @@
+//! Binary Merkle trees over transaction digests.
+//!
+//! Block headers commit to their transaction set through a Merkle root, so
+//! a light client can verify that one transaction belongs to a block with a
+//! logarithmic [`MerkleProof`]. Odd levels duplicate the trailing node
+//! (Bitcoin-style), and the empty tree has the all-zero root.
+
+use crate::hash::Digest;
+
+/// A Merkle tree built over a list of leaf digests.
+///
+/// # Examples
+///
+/// ```
+/// use hyperprov_ledger::{Digest, MerkleTree};
+///
+/// let leaves: Vec<Digest> = (0..5u8).map(|i| Digest::of(&[i])).collect();
+/// let tree = MerkleTree::build(leaves.clone());
+/// let proof = tree.prove(3).unwrap();
+/// assert!(proof.verify(&tree.root(), &leaves[3]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MerkleTree {
+    /// levels[0] = leaves, levels.last() = [root]
+    levels: Vec<Vec<Digest>>,
+}
+
+/// A proof that a leaf at a given index is included under a Merkle root.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MerkleProof {
+    /// Index of the proven leaf in the original leaf list.
+    pub leaf_index: usize,
+    /// Sibling digests from leaf level up to (excluding) the root.
+    pub siblings: Vec<Digest>,
+}
+
+impl MerkleTree {
+    /// Builds a tree from leaf digests (possibly empty).
+    pub fn build(leaves: Vec<Digest>) -> Self {
+        let mut levels = vec![leaves];
+        while levels.last().map(Vec::len).unwrap_or(0) > 1 {
+            let prev = levels.last().expect("at least one level");
+            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
+            for pair in prev.chunks(2) {
+                let left = &pair[0];
+                let right = pair.get(1).unwrap_or(left);
+                next.push(Digest::combine(left, right));
+            }
+            levels.push(next);
+        }
+        MerkleTree { levels }
+    }
+
+    /// Computes only the root of a leaf list, without keeping the tree.
+    pub fn root_of(leaves: &[Digest]) -> Digest {
+        if leaves.is_empty() {
+            return Digest::ZERO;
+        }
+        let mut level = leaves.to_vec();
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(2));
+            for pair in level.chunks(2) {
+                let left = &pair[0];
+                let right = pair.get(1).unwrap_or(left);
+                next.push(Digest::combine(left, right));
+            }
+            level = next;
+        }
+        level[0]
+    }
+
+    /// The root digest; the all-zero digest for an empty tree.
+    pub fn root(&self) -> Digest {
+        self.levels
+            .last()
+            .and_then(|l| l.first())
+            .copied()
+            .unwrap_or(Digest::ZERO)
+    }
+
+    /// Number of leaves.
+    pub fn len(&self) -> usize {
+        self.levels.first().map(Vec::len).unwrap_or(0)
+    }
+
+    /// True if the tree has no leaves.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Produces an inclusion proof for the leaf at `index`, or `None` if
+    /// the index is out of range.
+    pub fn prove(&self, index: usize) -> Option<MerkleProof> {
+        if index >= self.len() {
+            return None;
+        }
+        let mut siblings = Vec::new();
+        let mut idx = index;
+        for level in &self.levels[..self.levels.len() - 1] {
+            let sibling_idx = idx ^ 1;
+            let sibling = level.get(sibling_idx).unwrap_or(&level[idx]);
+            siblings.push(*sibling);
+            idx /= 2;
+        }
+        Some(MerkleProof {
+            leaf_index: index,
+            siblings,
+        })
+    }
+}
+
+impl MerkleProof {
+    /// Verifies that `leaf` at `self.leaf_index` hashes up to `root`.
+    pub fn verify(&self, root: &Digest, leaf: &Digest) -> bool {
+        let mut acc = *leaf;
+        let mut idx = self.leaf_index;
+        for sibling in &self.siblings {
+            acc = if idx % 2 == 0 {
+                Digest::combine(&acc, sibling)
+            } else {
+                Digest::combine(sibling, &acc)
+            };
+            idx /= 2;
+        }
+        acc == *root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaves(n: u8) -> Vec<Digest> {
+        (0..n).map(|i| Digest::of(&[i])).collect()
+    }
+
+    #[test]
+    fn empty_tree_has_zero_root() {
+        let tree = MerkleTree::build(Vec::new());
+        assert!(tree.is_empty());
+        assert_eq!(tree.root(), Digest::ZERO);
+        assert_eq!(MerkleTree::root_of(&[]), Digest::ZERO);
+        assert!(tree.prove(0).is_none());
+    }
+
+    #[test]
+    fn single_leaf_root_is_leaf() {
+        let l = leaves(1);
+        let tree = MerkleTree::build(l.clone());
+        assert_eq!(tree.root(), l[0]);
+        let proof = tree.prove(0).unwrap();
+        assert!(proof.siblings.is_empty());
+        assert!(proof.verify(&tree.root(), &l[0]));
+    }
+
+    #[test]
+    fn two_leaves_root_is_combined() {
+        let l = leaves(2);
+        let tree = MerkleTree::build(l.clone());
+        assert_eq!(tree.root(), Digest::combine(&l[0], &l[1]));
+    }
+
+    #[test]
+    fn odd_count_duplicates_last() {
+        let l = leaves(3);
+        let tree = MerkleTree::build(l.clone());
+        let left = Digest::combine(&l[0], &l[1]);
+        let right = Digest::combine(&l[2], &l[2]);
+        assert_eq!(tree.root(), Digest::combine(&left, &right));
+    }
+
+    #[test]
+    fn root_of_matches_build() {
+        for n in 0..20u8 {
+            let l = leaves(n);
+            assert_eq!(MerkleTree::root_of(&l), MerkleTree::build(l).root());
+        }
+    }
+
+    #[test]
+    fn all_proofs_verify() {
+        for n in 1..=17u8 {
+            let l = leaves(n);
+            let tree = MerkleTree::build(l.clone());
+            let root = tree.root();
+            for (i, leaf) in l.iter().enumerate() {
+                let proof = tree.prove(i).unwrap();
+                assert!(proof.verify(&root, leaf), "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn proof_rejects_wrong_leaf_and_root() {
+        let l = leaves(8);
+        let tree = MerkleTree::build(l.clone());
+        let proof = tree.prove(2).unwrap();
+        assert!(!proof.verify(&tree.root(), &l[3]));
+        assert!(!proof.verify(&Digest::of(b"bogus"), &l[2]));
+        // Tampered sibling fails.
+        let mut bad = proof.clone();
+        bad.siblings[0] = Digest::of(b"evil");
+        assert!(!bad.verify(&tree.root(), &l[2]));
+        // Wrong index fails.
+        let mut shifted = proof;
+        shifted.leaf_index = 3;
+        assert!(!shifted.verify(&tree.root(), &l[2]));
+    }
+
+    #[test]
+    fn changing_any_leaf_changes_root() {
+        let l = leaves(6);
+        let base = MerkleTree::root_of(&l);
+        for i in 0..l.len() {
+            let mut altered = l.clone();
+            altered[i] = Digest::of(b"altered");
+            assert_ne!(MerkleTree::root_of(&altered), base, "leaf {i}");
+        }
+    }
+}

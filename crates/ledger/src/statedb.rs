@@ -1,0 +1,243 @@
+//! The versioned world state: current value + write version per key.
+//!
+//! Backed by an ordered map so chaincode range queries (`GetStateByRange`,
+//! composite-key scans) work exactly as in Fabric's LevelDB state database.
+//! MVCC validation compares the versions recorded in a transaction's read
+//! set against this database at commit time.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+use crate::tx::{KvRead, KvWrite, StateKey, Version};
+
+/// A current state value together with the version that wrote it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VersionedValue {
+    /// The stored bytes.
+    pub value: Vec<u8>,
+    /// Height `(block, tx)` of the writing transaction.
+    pub version: Version,
+}
+
+/// The world state database.
+///
+/// # Examples
+///
+/// ```
+/// use hyperprov_ledger::{KvWrite, StateDb, StateKey, Version};
+///
+/// let mut db = StateDb::new();
+/// db.apply_write(
+///     &KvWrite { key: StateKey::new("cc", "k"), value: Some(b"v".to_vec()) },
+///     Version::new(1, 0),
+/// );
+/// assert_eq!(db.get(&StateKey::new("cc", "k")).unwrap().value, b"v");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StateDb {
+    map: BTreeMap<StateKey, VersionedValue>,
+}
+
+impl StateDb {
+    /// Creates an empty state database.
+    pub fn new() -> Self {
+        StateDb::default()
+    }
+
+    /// Current value and version for `key`, if present.
+    pub fn get(&self, key: &StateKey) -> Option<&VersionedValue> {
+        self.map.get(key)
+    }
+
+    /// Current version for `key`, if present.
+    pub fn version(&self, key: &StateKey) -> Option<Version> {
+        self.map.get(key).map(|v| v.version)
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Applies one write at the given version (delete when value is None).
+    pub fn apply_write(&mut self, write: &KvWrite, version: Version) {
+        match &write.value {
+            Some(value) => {
+                self.map.insert(
+                    write.key.clone(),
+                    VersionedValue {
+                        value: value.clone(),
+                        version,
+                    },
+                );
+            }
+            None => {
+                self.map.remove(&write.key);
+            }
+        }
+    }
+
+    /// Applies a whole write set at the given version.
+    pub fn apply_writes(&mut self, writes: &[KvWrite], version: Version) {
+        for w in writes {
+            self.apply_write(w, version);
+        }
+    }
+
+    /// MVCC check: true iff every recorded read still observes the same
+    /// version in current state.
+    pub fn validate_reads(&self, reads: &[KvRead]) -> bool {
+        reads.iter().all(|r| self.version(&r.key) == r.version)
+    }
+
+    /// Iterates keys in `namespace` whose key is in `[start, end)`,
+    /// in lexicographic order. An empty `end` means "to the end of the
+    /// namespace" (Fabric's open-ended range query).
+    pub fn range<'a>(
+        &'a self,
+        namespace: &'a str,
+        start: &str,
+        end: &str,
+    ) -> impl Iterator<Item = (&'a StateKey, &'a VersionedValue)> + 'a {
+        let lower = StateKey::new(namespace, start);
+        let upper: Bound<StateKey> = if end.is_empty() {
+            // End of namespace: first key of the "next" namespace.
+            Bound::Excluded(StateKey {
+                namespace: format!("{namespace}\u{0}"),
+                key: String::new(),
+            })
+        } else {
+            Bound::Excluded(StateKey::new(namespace, end))
+        };
+        self.map
+            .range((Bound::Included(lower), upper))
+            .filter(move |(k, _)| k.namespace == namespace)
+    }
+
+    /// Iterates keys in `namespace` starting with `prefix` (composite-key
+    /// scans).
+    pub fn scan_prefix<'a>(
+        &'a self,
+        namespace: &'a str,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = (&'a StateKey, &'a VersionedValue)> + 'a {
+        let lower = StateKey::new(namespace, prefix);
+        self.map
+            .range((Bound::Included(lower), Bound::Unbounded))
+            .take_while(move |(k, _)| k.namespace == namespace && k.key.starts_with(prefix))
+    }
+
+    /// Total bytes of stored values, for resource accounting.
+    pub fn value_bytes(&self) -> u64 {
+        self.map.values().map(|v| v.value.len() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn put(db: &mut StateDb, ns: &str, k: &str, v: &[u8], ver: Version) {
+        db.apply_write(
+            &KvWrite {
+                key: StateKey::new(ns, k),
+                value: Some(v.to_vec()),
+            },
+            ver,
+        );
+    }
+
+    #[test]
+    fn put_get_delete() {
+        let mut db = StateDb::new();
+        put(&mut db, "cc", "a", b"1", Version::new(1, 0));
+        assert_eq!(db.get(&StateKey::new("cc", "a")).unwrap().value, b"1");
+        assert_eq!(db.version(&StateKey::new("cc", "a")), Some(Version::new(1, 0)));
+        db.apply_write(
+            &KvWrite {
+                key: StateKey::new("cc", "a"),
+                value: None,
+            },
+            Version::new(2, 0),
+        );
+        assert!(db.get(&StateKey::new("cc", "a")).is_none());
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn overwrite_updates_version() {
+        let mut db = StateDb::new();
+        put(&mut db, "cc", "a", b"1", Version::new(1, 0));
+        put(&mut db, "cc", "a", b"2", Version::new(1, 1));
+        let vv = db.get(&StateKey::new("cc", "a")).unwrap();
+        assert_eq!(vv.value, b"2");
+        assert_eq!(vv.version, Version::new(1, 1));
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn mvcc_validation() {
+        let mut db = StateDb::new();
+        put(&mut db, "cc", "a", b"1", Version::new(1, 0));
+        let good = vec![KvRead {
+            key: StateKey::new("cc", "a"),
+            version: Some(Version::new(1, 0)),
+        }];
+        let stale = vec![KvRead {
+            key: StateKey::new("cc", "a"),
+            version: Some(Version::new(0, 0)),
+        }];
+        let phantom = vec![KvRead {
+            key: StateKey::new("cc", "missing"),
+            version: None,
+        }];
+        let appeared = vec![KvRead {
+            key: StateKey::new("cc", "a"),
+            version: None,
+        }];
+        assert!(db.validate_reads(&good));
+        assert!(!db.validate_reads(&stale));
+        assert!(db.validate_reads(&phantom));
+        assert!(!db.validate_reads(&appeared));
+        assert!(db.validate_reads(&[]));
+    }
+
+    #[test]
+    fn range_respects_bounds_and_namespace() {
+        let mut db = StateDb::new();
+        for (ns, k) in [("a", "k1"), ("cc", "k1"), ("cc", "k2"), ("cc", "k3"), ("zz", "k0")] {
+            put(&mut db, ns, k, b"v", Version::new(1, 0));
+        }
+        let keys: Vec<String> = db.range("cc", "k1", "k3").map(|(k, _)| k.key.clone()).collect();
+        assert_eq!(keys, vec!["k1", "k2"]);
+        let all: Vec<String> = db.range("cc", "", "").map(|(k, _)| k.key.clone()).collect();
+        assert_eq!(all, vec!["k1", "k2", "k3"]);
+    }
+
+    #[test]
+    fn scan_prefix_matches_composite_keys() {
+        let mut db = StateDb::new();
+        for k in ["owner~org1~item1", "owner~org1~item2", "owner~org2~item3", "other"] {
+            put(&mut db, "cc", k, b"v", Version::new(1, 0));
+        }
+        let hits: Vec<String> = db
+            .scan_prefix("cc", "owner~org1~")
+            .map(|(k, _)| k.key.clone())
+            .collect();
+        assert_eq!(hits, vec!["owner~org1~item1", "owner~org1~item2"]);
+        assert_eq!(db.scan_prefix("cc", "nope").count(), 0);
+    }
+
+    #[test]
+    fn value_bytes_accounts_sizes() {
+        let mut db = StateDb::new();
+        put(&mut db, "cc", "a", &[0u8; 10], Version::new(1, 0));
+        put(&mut db, "cc", "b", &[0u8; 5], Version::new(1, 1));
+        assert_eq!(db.value_bytes(), 15);
+    }
+}

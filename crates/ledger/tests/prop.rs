@@ -1,0 +1,189 @@
+//! Property-based tests of the ledger substrate: canonical codec
+//! round-trips, Merkle proofs, MVCC coherence and hash-chain integrity
+//! under arbitrary inputs.
+
+use hyperprov_ledger::{
+    Block, BlockStore, Decode, Digest, Encode, Encoder, KvRead, KvWrite, MerkleTree, RawEnvelope,
+    RwSet, StateDb, StateKey, TxId, ValidationCode, Version,
+};
+use proptest::prelude::*;
+
+fn arb_digest() -> impl Strategy<Value = Digest> {
+    any::<[u8; 32]>().prop_map(Digest::from)
+}
+
+fn arb_state_key() -> impl Strategy<Value = StateKey> {
+    ("[a-z]{1,8}", ".{0,24}").prop_map(|(ns, key)| StateKey::new(ns, key))
+}
+
+fn arb_version() -> impl Strategy<Value = Version> {
+    (0u64..1_000_000, 0u32..10_000).prop_map(|(b, t)| Version::new(b, t))
+}
+
+fn arb_write() -> impl Strategy<Value = KvWrite> {
+    (arb_state_key(), proptest::option::of(proptest::collection::vec(any::<u8>(), 0..64)))
+        .prop_map(|(key, value)| KvWrite { key, value })
+}
+
+fn arb_read() -> impl Strategy<Value = KvRead> {
+    (arb_state_key(), proptest::option::of(arb_version()))
+        .prop_map(|(key, version)| KvRead { key, version })
+}
+
+fn arb_rwset() -> impl Strategy<Value = RwSet> {
+    (
+        proptest::collection::vec(arb_read(), 0..8),
+        proptest::collection::vec(arb_write(), 0..8),
+    )
+        .prop_map(|(reads, writes)| RwSet { reads, writes })
+}
+
+proptest! {
+    #[test]
+    fn varint_round_trips(v in any::<u64>()) {
+        let mut enc = Encoder::new();
+        enc.put_varint(v);
+        let bytes = enc.into_bytes();
+        let mut dec = hyperprov_ledger::Decoder::new(&bytes);
+        prop_assert_eq!(dec.get_varint().unwrap(), v);
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn string_round_trips(s in ".{0,100}") {
+        let owned = s.to_owned();
+        let bytes = owned.to_bytes();
+        prop_assert_eq!(String::from_bytes(&bytes).unwrap(), owned);
+    }
+
+    #[test]
+    fn rwset_round_trips(rw in arb_rwset()) {
+        let bytes = rw.to_bytes();
+        prop_assert_eq!(RwSet::from_bytes(&bytes).unwrap(), rw);
+    }
+
+    #[test]
+    fn rwset_encoding_is_injective_on_samples(a in arb_rwset(), b in arb_rwset()) {
+        // Canonical encoding: equal bytes iff equal values.
+        prop_assert_eq!(a.to_bytes() == b.to_bytes(), a == b);
+    }
+
+    #[test]
+    fn digest_hex_round_trips(d in arb_digest()) {
+        prop_assert_eq!(Digest::from_hex(&d.to_hex()), Some(d));
+    }
+
+    #[test]
+    fn decoding_random_junk_never_panics(junk in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let _ = RwSet::from_bytes(&junk);
+        let _ = Block::from_bytes(&junk);
+        let _ = String::from_bytes(&junk);
+        let _ = Vec::<String>::from_bytes(&junk);
+    }
+
+    #[test]
+    fn merkle_proofs_verify_for_every_leaf(
+        seeds in proptest::collection::vec(any::<u64>(), 1..40)
+    ) {
+        let leaves: Vec<Digest> = seeds.iter().map(|s| Digest::of(&s.to_le_bytes())).collect();
+        let tree = MerkleTree::build(leaves.clone());
+        let root = tree.root();
+        for (i, leaf) in leaves.iter().enumerate() {
+            let proof = tree.prove(i).unwrap();
+            prop_assert!(proof.verify(&root, leaf));
+        }
+        prop_assert_eq!(MerkleTree::root_of(&leaves), root);
+    }
+
+    #[test]
+    fn merkle_proof_rejects_wrong_leaf(
+        seeds in proptest::collection::vec(any::<u64>(), 2..20),
+        wrong in any::<u64>(),
+    ) {
+        let leaves: Vec<Digest> = seeds.iter().map(|s| Digest::of(&s.to_le_bytes())).collect();
+        let tree = MerkleTree::build(leaves.clone());
+        let proof = tree.prove(0).unwrap();
+        let fake = Digest::of(&wrong.to_le_bytes());
+        prop_assume!(fake != leaves[0]);
+        prop_assert!(!proof.verify(&tree.root(), &fake));
+    }
+
+    #[test]
+    fn statedb_reads_after_writes_validate(writes in proptest::collection::vec(arb_write(), 1..20)) {
+        let mut db = StateDb::new();
+        db.apply_writes(&writes, Version::new(1, 0));
+        // Reads at the observed versions always validate.
+        let reads: Vec<KvRead> = writes
+            .iter()
+            .map(|w| KvRead {
+                key: w.key.clone(),
+                version: db.version(&w.key),
+            })
+            .collect();
+        prop_assert!(db.validate_reads(&reads));
+        // After any key is overwritten at a later version, its read fails.
+        if let Some(w) = writes.first() {
+            db.apply_write(
+                &KvWrite { key: w.key.clone(), value: Some(vec![1]) },
+                Version::new(2, 0),
+            );
+            let stale = KvRead { key: w.key.clone(), version: reads[0].version };
+            if reads[0].version != db.version(&w.key) {
+                prop_assert!(!db.validate_reads(std::slice::from_ref(&stale)));
+            }
+        }
+    }
+
+    #[test]
+    fn blockstore_chain_always_verifies(
+        tx_counts in proptest::collection::vec(0usize..5, 1..10)
+    ) {
+        let mut store = BlockStore::new();
+        let mut n = 0u64;
+        for (height, &count) in tx_counts.iter().enumerate() {
+            let envelopes: Vec<RawEnvelope> = (0..count)
+                .map(|i| {
+                    n += 1;
+                    RawEnvelope {
+                        tx_id: TxId(Digest::of(&n.to_le_bytes())),
+                        bytes: vec![i as u8; 10],
+                    }
+                })
+                .collect();
+            let block = Block::build(height as u64, store.tip_hash(), envelopes);
+            store.append(block).unwrap();
+        }
+        prop_assert!(store.verify_chain().is_ok());
+        prop_assert_eq!(store.tx_count(), n);
+        // Every transaction is findable.
+        for i in 1..=n {
+            prop_assert!(store.find_tx(&TxId(Digest::of(&i.to_le_bytes()))).is_some());
+        }
+    }
+
+    #[test]
+    fn validation_codes_stable(code in 0u8..6) {
+        let vc = ValidationCode::from_u8(code).unwrap();
+        prop_assert_eq!(vc.as_u8(), code);
+    }
+
+    #[test]
+    fn block_round_trips(
+        n in 0usize..6,
+        codes in proptest::collection::vec(0u8..6, 0..6)
+    ) {
+        let envelopes: Vec<RawEnvelope> = (0..n)
+            .map(|i| RawEnvelope {
+                tx_id: TxId(Digest::of(&[i as u8])),
+                bytes: vec![i as u8; i + 1],
+            })
+            .collect();
+        let mut block = Block::build(3, Digest::of(b"prev"), envelopes);
+        block.metadata.codes = codes
+            .iter()
+            .map(|&c| ValidationCode::from_u8(c).unwrap())
+            .collect();
+        let bytes = block.to_bytes();
+        prop_assert_eq!(Block::from_bytes(&bytes).unwrap(), block);
+    }
+}

@@ -1,0 +1,21 @@
+//! # hyperprov-offchain
+//!
+//! Off-chain payload storage for HyperProv. The chain records only
+//! metadata (checksum, location, lineage); the payload itself lives in an
+//! [`ObjectStore`]:
+//!
+//! * [`MemoryStore`] — in-memory backend for simulations and tests,
+//! * [`FsStore`] — a real directory-backed backend,
+//! * [`ContentStore`] — content-addressed wrapper (name = SHA-256), and
+//! * [`StorageActor`]/[`StoreMsg`] — the simulated remote SSHFS node with
+//!   per-operation SSH overhead and per-byte service cost, matching the
+//!   paper's "off-chain storage always runs on a separate node" setup.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod sshfs;
+mod store;
+
+pub use sshfs::{StorageActor, StorageCosts, StoreMsg};
+pub use store::{validate_name, ContentStore, FsStore, MemoryStore, ObjectStore, StoreError};

@@ -1,0 +1,215 @@
+//! Per-node CPU model: a serialising execution resource with a relative
+//! speed factor and a busy-interval log for utilisation and energy queries.
+//!
+//! Each actor owns one [`CpuResource`]. Work is expressed as a *reference
+//! cost* (the virtual time the work would take on a 1.0-speed reference
+//! core); a node's actual service time is `cost / speed`. Tasks queue FIFO,
+//! modelling the single-threaded chaincode/commit path that dominates the
+//! paper's measurements.
+
+use crate::time::{SimDuration, SimTime};
+
+/// A serialising CPU with a relative speed factor.
+#[derive(Debug, Clone)]
+pub struct CpuResource {
+    speed: f64,
+    busy_until: SimTime,
+    /// Non-overlapping busy intervals in increasing order.
+    segments: Vec<(SimTime, SimTime)>,
+    total_busy: SimDuration,
+}
+
+impl CpuResource {
+    /// Creates a CPU with the given relative speed (1.0 = reference core).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speed` is not finite and positive.
+    pub fn new(speed: f64) -> Self {
+        assert!(
+            speed.is_finite() && speed > 0.0,
+            "CPU speed must be positive, got {speed}"
+        );
+        CpuResource {
+            speed,
+            busy_until: SimTime::ZERO,
+            segments: Vec::new(),
+            total_busy: SimDuration::ZERO,
+        }
+    }
+
+    /// The relative speed factor.
+    pub fn speed(&self) -> f64 {
+        self.speed
+    }
+
+    /// Schedules `reference_cost` worth of work submitted at `now`.
+    ///
+    /// Returns `(start, completion)`: the work starts when the CPU frees up
+    /// and runs for `reference_cost / speed`.
+    pub fn execute(&mut self, now: SimTime, reference_cost: SimDuration) -> (SimTime, SimTime) {
+        // Rounded integer scaling: at speed 1.0 the service time is exact
+        // (a float multiply would truncate a nanosecond).
+        let service = if self.speed == 1.0 {
+            reference_cost
+        } else {
+            SimDuration::from_nanos(
+                (reference_cost.as_nanos() as f64 / self.speed).round() as u64
+            )
+        };
+        let start = if self.busy_until > now {
+            self.busy_until
+        } else {
+            now
+        };
+        let end = start + service;
+        self.busy_until = end;
+        if !service.is_zero() {
+            // Coalesce with the previous segment when contiguous.
+            if let Some(last) = self.segments.last_mut() {
+                if last.1 == start {
+                    last.1 = end;
+                } else {
+                    self.segments.push((start, end));
+                }
+            } else {
+                self.segments.push((start, end));
+            }
+            self.total_busy += service;
+        }
+        (start, end)
+    }
+
+    /// The instant after which the CPU is idle.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Total busy time accumulated so far.
+    pub fn total_busy(&self) -> SimDuration {
+        self.total_busy
+    }
+
+    /// Busy time that falls within the window `[from, to)`.
+    pub fn busy_between(&self, from: SimTime, to: SimTime) -> SimDuration {
+        if to <= from {
+            return SimDuration::ZERO;
+        }
+        // First segment that may overlap: last with start < to, walking from
+        // a binary-search lower bound on segments ending after `from`.
+        let idx = self.segments.partition_point(|&(_, end)| end <= from);
+        let mut acc = SimDuration::ZERO;
+        for &(s, e) in &self.segments[idx..] {
+            if s >= to {
+                break;
+            }
+            let lo = if s > from { s } else { from };
+            let hi = if e < to { e } else { to };
+            if hi > lo {
+                acc += hi - lo;
+            }
+        }
+        acc
+    }
+
+    /// Fraction of the window `[from, to)` the CPU was busy, in `[0, 1]`.
+    pub fn utilization(&self, from: SimTime, to: SimTime) -> f64 {
+        if to <= from {
+            return 0.0;
+        }
+        let window = to - from;
+        self.busy_between(from, to).as_secs_f64() / window.as_secs_f64()
+    }
+}
+
+impl Default for CpuResource {
+    fn default() -> Self {
+        CpuResource::new(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    fn d(secs: u64) -> SimDuration {
+        SimDuration::from_secs(secs)
+    }
+
+    #[test]
+    fn idle_cpu_starts_immediately() {
+        let mut cpu = CpuResource::new(1.0);
+        let (start, end) = cpu.execute(t(5), d(2));
+        assert_eq!(start, t(5));
+        assert_eq!(end, t(7));
+    }
+
+    #[test]
+    fn tasks_queue_fifo() {
+        let mut cpu = CpuResource::new(1.0);
+        cpu.execute(t(0), d(3));
+        let (start, end) = cpu.execute(t(1), d(1));
+        assert_eq!(start, t(3));
+        assert_eq!(end, t(4));
+    }
+
+    #[test]
+    fn speed_scales_service_time() {
+        let mut fast = CpuResource::new(2.0);
+        let (_, end) = fast.execute(t(0), d(4));
+        assert_eq!(end, t(2));
+        let mut slow = CpuResource::new(0.5);
+        let (_, end) = slow.execute(t(0), d(4));
+        assert_eq!(end, t(8));
+    }
+
+    #[test]
+    fn busy_between_partial_overlaps() {
+        let mut cpu = CpuResource::new(1.0);
+        cpu.execute(t(1), d(2)); // busy [1, 3)
+        cpu.execute(t(5), d(2)); // busy [5, 7)
+        assert_eq!(cpu.busy_between(t(0), t(10)), d(4));
+        assert_eq!(cpu.busy_between(t(2), t(6)), d(2)); // [2,3) + [5,6)
+        assert_eq!(cpu.busy_between(t(3), t(5)), SimDuration::ZERO);
+        assert_eq!(cpu.busy_between(t(6), t(6)), SimDuration::ZERO);
+        assert_eq!(cpu.busy_between(t(9), t(2)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn contiguous_segments_coalesce() {
+        let mut cpu = CpuResource::new(1.0);
+        cpu.execute(t(0), d(1));
+        cpu.execute(t(0), d(1)); // queues, contiguous
+        assert_eq!(cpu.segments.len(), 1);
+        assert_eq!(cpu.segments[0], (t(0), t(2)));
+        assert_eq!(cpu.total_busy(), d(2));
+    }
+
+    #[test]
+    fn utilization_fraction() {
+        let mut cpu = CpuResource::new(1.0);
+        cpu.execute(t(0), d(5));
+        assert!((cpu.utilization(t(0), t(10)) - 0.5).abs() < 1e-9);
+        assert!((cpu.utilization(t(0), t(5)) - 1.0).abs() < 1e-9);
+        assert_eq!(cpu.utilization(t(5), t(5)), 0.0);
+    }
+
+    #[test]
+    fn zero_cost_work_is_free() {
+        let mut cpu = CpuResource::new(1.0);
+        let (s, e) = cpu.execute(t(3), SimDuration::ZERO);
+        assert_eq!(s, e);
+        assert_eq!(cpu.total_busy(), SimDuration::ZERO);
+        assert!(cpu.segments.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "CPU speed")]
+    fn invalid_speed_panics() {
+        let _ = CpuResource::new(0.0);
+    }
+}

@@ -1,0 +1,612 @@
+//! The discrete-event engine: actors, events, and the virtual-time loop.
+//!
+//! Components (peers, orderers, clients, storage nodes) implement [`Actor`]
+//! and exchange messages of a user-chosen type `M` through a
+//! [`Simulation`]. The engine owns the event queue, the [`Network`] model,
+//! one [`CpuResource`] and one forked [`DetRng`] per actor, and a shared
+//! [`Metrics`] registry.
+//!
+//! Execution is fully deterministic: events are ordered by
+//! `(time, sequence-number)` and all randomness flows from the simulation
+//! seed.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::cpu::CpuResource;
+use crate::metrics::Metrics;
+use crate::net::{Delivery, Network};
+use crate::rng::DetRng;
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies an actor registered with a [`Simulation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ActorId(pub u32);
+
+impl std::fmt::Display for ActorId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "actor#{}", self.0)
+    }
+}
+
+/// Handle to a pending timer, usable to cancel it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerId(u64);
+
+/// An event delivered to an actor.
+#[derive(Debug)]
+pub enum Event<M> {
+    /// A message from another actor (possibly itself) via the network.
+    Message {
+        /// The sending actor.
+        src: ActorId,
+        /// The payload.
+        msg: M,
+    },
+    /// A timer set with [`Context::set_timer`] or the completion of CPU work
+    /// submitted with [`Context::execute`] fired.
+    Timer {
+        /// The token the actor associated with the timer.
+        token: u64,
+    },
+}
+
+/// Embeds one component's message type into a larger application message
+/// enum, so independently-written actors (blockchain peers, storage nodes,
+/// application clients) can share one simulation.
+pub trait Carries<T>: Sized {
+    /// Wraps an inner message.
+    fn wrap(inner: T) -> Self;
+    /// Extracts the inner message, or gives the value back.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(self)` when the value carries a different payload kind.
+    fn peel(self) -> Result<T, Self>;
+}
+
+/// A simulation participant.
+///
+/// Actors are single-threaded state machines: the engine calls
+/// [`Actor::on_event`] once per delivered event, in virtual-time order.
+pub trait Actor<M> {
+    /// Handles one event. Use `ctx` to read the clock, send messages,
+    /// set timers, run CPU work and record metrics.
+    fn on_event(&mut self, ctx: &mut Context<'_, M>, event: Event<M>);
+}
+
+struct QueueItem<M> {
+    time: SimTime,
+    seq: u64,
+    target: ActorId,
+    event: Event<M>,
+    /// Non-zero when this entry is a cancellable timer.
+    timer_id: u64,
+}
+
+impl<M> PartialEq for QueueItem<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for QueueItem<M> {}
+impl<M> PartialOrd for QueueItem<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for QueueItem<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we need earliest-first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// Engine state shared with actors during event handling.
+pub struct Kernel<M> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<QueueItem<M>>,
+    network: Network,
+    cpus: Vec<CpuResource>,
+    rngs: Vec<DetRng>,
+    metrics: Metrics,
+    cancelled: HashSet<u64>,
+    next_timer: u64,
+    stopped: bool,
+    events_processed: u64,
+}
+
+impl<M> Kernel<M> {
+    fn push(&mut self, time: SimTime, target: ActorId, event: Event<M>, timer_id: u64) {
+        self.seq += 1;
+        self.queue.push(QueueItem {
+            time,
+            seq: self.seq,
+            target,
+            event,
+            timer_id,
+        });
+    }
+}
+
+/// Capabilities available to an actor while it handles an event.
+pub struct Context<'a, M> {
+    id: ActorId,
+    kernel: &'a mut Kernel<M>,
+}
+
+impl<M> Context<'_, M> {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.kernel.now
+    }
+
+    /// This actor's id.
+    pub fn id(&self) -> ActorId {
+        self.id
+    }
+
+    /// Sends `msg` to `dst` through the network, accounting `bytes` of
+    /// payload against the link. Dropped messages (partition/loss) are
+    /// counted under the `net.dropped` metric.
+    pub fn send(&mut self, dst: ActorId, bytes: u64, msg: M) {
+        let src = self.id;
+        let rng = &mut self.kernel.rngs[src.0 as usize];
+        match self.kernel.network.offer(self.kernel.now, src, dst, bytes, rng) {
+            Delivery::At(t) => self.kernel.push(t, dst, Event::Message { src, msg }, 0),
+            Delivery::Dropped => self.kernel.metrics.incr("net.dropped", 1),
+        }
+    }
+
+    /// Delivers `msg` to `dst` at the current instant, bypassing the
+    /// network. Intended for co-located processes (e.g. a client embedded
+    /// in a peer's node).
+    pub fn send_local(&mut self, dst: ActorId, msg: M) {
+        let src = self.id;
+        self.kernel.push(self.kernel.now, dst, Event::Message { src, msg }, 0);
+    }
+
+    /// Fires [`Event::Timer`] with `token` on this actor after `delay`.
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) -> TimerId {
+        self.kernel.next_timer += 1;
+        let id = self.kernel.next_timer;
+        let at = self.kernel.now + delay;
+        let target = self.id;
+        self.kernel.push(at, target, Event::Timer { token }, id);
+        TimerId(id)
+    }
+
+    /// Cancels a pending timer. Cancelling an already-fired timer is a
+    /// no-op.
+    pub fn cancel_timer(&mut self, timer: TimerId) {
+        self.kernel.cancelled.insert(timer.0);
+    }
+
+    /// Submits CPU work of the given reference cost to this actor's CPU;
+    /// [`Event::Timer`] with `token` fires when the work completes (after
+    /// queueing behind earlier work).
+    pub fn execute(&mut self, reference_cost: SimDuration, token: u64) -> TimerId {
+        let (_, end) = self.kernel.cpus[self.id.0 as usize].execute(self.kernel.now, reference_cost);
+        self.kernel.next_timer += 1;
+        let id = self.kernel.next_timer;
+        let target = self.id;
+        self.kernel.push(end, target, Event::Timer { token }, id);
+        TimerId(id)
+    }
+
+    /// This actor's deterministic random stream.
+    pub fn rng(&mut self) -> &mut DetRng {
+        &mut self.kernel.rngs[self.id.0 as usize]
+    }
+
+    /// The shared metrics registry.
+    pub fn metrics(&mut self) -> &mut Metrics {
+        &mut self.kernel.metrics
+    }
+
+    /// Read access to this actor's CPU (e.g. to check backlog).
+    pub fn cpu(&self) -> &CpuResource {
+        &self.kernel.cpus[self.id.0 as usize]
+    }
+
+    /// Mutable access to the network, for fault-injection actors.
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.kernel.network
+    }
+
+    /// Requests that the simulation stop after the current event.
+    pub fn stop(&mut self) {
+        self.kernel.stopped = true;
+    }
+}
+
+/// A deterministic discrete-event simulation over message type `M`.
+///
+/// # Examples
+///
+/// ```
+/// use hyperprov_sim::{Actor, Context, Event, SimDuration, Simulation};
+///
+/// struct Echo;
+/// impl Actor<String> for Echo {
+///     fn on_event(&mut self, ctx: &mut Context<'_, String>, event: Event<String>) {
+///         if let Event::Message { src, msg } = event {
+///             ctx.metrics().incr("echoed", 1);
+///             ctx.send(src, msg.len() as u64, msg);
+///         }
+///     }
+/// }
+///
+/// struct Starter { peer: hyperprov_sim::ActorId }
+/// impl Actor<String> for Starter {
+///     fn on_event(&mut self, ctx: &mut Context<'_, String>, event: Event<String>) {
+///         match event {
+///             Event::Timer { .. } => ctx.send(self.peer, 5, "hello".into()),
+///             Event::Message { .. } => ctx.stop(),
+///         }
+///     }
+/// }
+///
+/// let mut sim = Simulation::new(1);
+/// let echo = sim.add_actor(Box::new(Echo));
+/// let starter = sim.add_actor(Box::new(Starter { peer: echo }));
+/// sim.start_timer(starter, SimDuration::ZERO, 0);
+/// sim.run();
+/// assert_eq!(sim.metrics().counter("echoed"), 1);
+/// ```
+pub struct Simulation<M> {
+    kernel: Kernel<M>,
+    actors: Vec<Option<Box<dyn Actor<M>>>>,
+    root_rng: DetRng,
+}
+
+impl<M> Simulation<M> {
+    /// Creates an empty simulation with the given random seed.
+    pub fn new(seed: u64) -> Self {
+        Simulation {
+            kernel: Kernel {
+                now: SimTime::ZERO,
+                seq: 0,
+                queue: BinaryHeap::new(),
+                network: Network::new(crate::net::LinkSpec::lan()),
+                cpus: Vec::new(),
+                rngs: Vec::new(),
+                metrics: Metrics::new(),
+                cancelled: HashSet::new(),
+                next_timer: 0,
+                stopped: false,
+                events_processed: 0,
+            },
+            actors: Vec::new(),
+            root_rng: DetRng::new(seed),
+        }
+    }
+
+    /// Registers an actor with a reference-speed CPU; returns its id.
+    pub fn add_actor(&mut self, actor: Box<dyn Actor<M>>) -> ActorId {
+        self.add_actor_with_speed(actor, 1.0)
+    }
+
+    /// Registers an actor with the given relative CPU speed.
+    pub fn add_actor_with_speed(&mut self, actor: Box<dyn Actor<M>>, cpu_speed: f64) -> ActorId {
+        let id = ActorId(self.actors.len() as u32);
+        self.actors.push(Some(actor));
+        self.kernel.cpus.push(CpuResource::new(cpu_speed));
+        self.kernel.rngs.push(self.root_rng.fork_index(id.0 as u64));
+        id
+    }
+
+    /// Schedules an initial [`Event::Timer`] for `target`.
+    pub fn start_timer(&mut self, target: ActorId, delay: SimDuration, token: u64) {
+        let at = self.kernel.now + delay;
+        self.kernel.push(at, target, Event::Timer { token }, 0);
+    }
+
+    /// Injects a message event from outside the simulation (src == dst).
+    pub fn inject_message(&mut self, target: ActorId, msg: M) {
+        let now = self.kernel.now;
+        self.kernel.push(now, target, Event::Message { src: target, msg }, 0);
+    }
+
+    /// Mutable access to the network, for topology setup and partitions.
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.kernel.network
+    }
+
+    /// Read access to the network.
+    pub fn network(&self) -> &Network {
+        &self.kernel.network
+    }
+
+    /// The metrics registry.
+    pub fn metrics(&self) -> &Metrics {
+        &self.kernel.metrics
+    }
+
+    /// Mutable access to the metrics registry.
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.kernel.metrics
+    }
+
+    /// Read access to an actor's CPU resource (for energy accounting).
+    pub fn cpu(&self, id: ActorId) -> &CpuResource {
+        &self.kernel.cpus[id.0 as usize]
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.kernel.now
+    }
+
+    /// Number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.kernel.events_processed
+    }
+
+    /// True if an actor called [`Context::stop`].
+    pub fn is_stopped(&self) -> bool {
+        self.kernel.stopped
+    }
+
+    /// Processes a single event. Returns `false` when the queue is empty or
+    /// the simulation was stopped.
+    pub fn step(&mut self) -> bool {
+        if self.kernel.stopped {
+            return false;
+        }
+        loop {
+            let item = match self.kernel.queue.pop() {
+                Some(item) => item,
+                None => return false,
+            };
+            if item.timer_id != 0 && self.kernel.cancelled.remove(&item.timer_id) {
+                continue; // skip cancelled timer
+            }
+            debug_assert!(item.time >= self.kernel.now, "time went backwards");
+            self.kernel.now = item.time;
+            self.kernel.events_processed += 1;
+            let slot = item.target.0 as usize;
+            let mut actor = self.actors[slot]
+                .take()
+                .unwrap_or_else(|| panic!("event for unknown or re-entered {}", item.target));
+            {
+                let mut ctx = Context {
+                    id: item.target,
+                    kernel: &mut self.kernel,
+                };
+                actor.on_event(&mut ctx, item.event);
+            }
+            self.actors[slot] = Some(actor);
+            return true;
+        }
+    }
+
+    /// Runs until the queue is empty or an actor stops the simulation.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Runs events with `time <= limit`; afterwards the clock reads `limit`
+    /// (even if the queue still holds later events).
+    pub fn run_until(&mut self, limit: SimTime) {
+        loop {
+            if self.kernel.stopped {
+                break;
+            }
+            match self.kernel.queue.peek() {
+                Some(item) if item.time <= limit => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        if self.kernel.now < limit {
+            self.kernel.now = limit;
+        }
+    }
+
+    /// Runs at most `max_events` events; returns how many were processed.
+    pub fn run_events(&mut self, max_events: u64) -> u64 {
+        let mut n = 0;
+        while n < max_events && self.step() {
+            n += 1;
+        }
+        n
+    }
+}
+
+impl<M> std::fmt::Debug for Simulation<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.kernel.now)
+            .field("actors", &self.actors.len())
+            .field("queued", &self.kernel.queue.len())
+            .field("events_processed", &self.kernel.events_processed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    enum Msg {
+        Ping(u32),
+        Pong(u32),
+    }
+
+    struct Ponger;
+    impl Actor<Msg> for Ponger {
+        fn on_event(&mut self, ctx: &mut Context<'_, Msg>, event: Event<Msg>) {
+            if let Event::Message { src, msg: Msg::Ping(n) } = event {
+                ctx.send(src, 8, Msg::Pong(n));
+            }
+        }
+    }
+
+    struct Pinger {
+        peer: ActorId,
+        remaining: u32,
+        received: Vec<u32>,
+    }
+    impl Actor<Msg> for Pinger {
+        fn on_event(&mut self, ctx: &mut Context<'_, Msg>, event: Event<Msg>) {
+            match event {
+                Event::Timer { .. } => {
+                    if self.remaining > 0 {
+                        self.remaining -= 1;
+                        ctx.send(self.peer, 8, Msg::Ping(self.remaining));
+                        ctx.set_timer(SimDuration::from_millis(10), 0);
+                    }
+                }
+                Event::Message { msg: Msg::Pong(n), .. } => {
+                    self.received.push(n);
+                    let now = ctx.now();
+                    ctx.metrics().incr("pongs", 1);
+                    ctx.metrics().record("pong.arrival", now.as_nanos());
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn ping_pong_round_trips() {
+        let mut sim = Simulation::new(7);
+        let ponger = sim.add_actor(Box::new(Ponger));
+        let pinger = sim.add_actor(Box::new(Pinger {
+            peer: ponger,
+            remaining: 3,
+            received: Vec::new(),
+        }));
+        sim.start_timer(pinger, SimDuration::ZERO, 0);
+        sim.run();
+        assert_eq!(sim.metrics().counter("pongs"), 3);
+        assert!(sim.now() >= SimTime::from_nanos(200_000)); // 2x latency
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let run = |seed| {
+            let mut sim = Simulation::new(seed);
+            let ponger = sim.add_actor(Box::new(Ponger));
+            let pinger = sim.add_actor(Box::new(Pinger {
+                peer: ponger,
+                remaining: 10,
+                received: Vec::new(),
+            }));
+            sim.network_mut().set_default_link(crate::net::LinkSpec {
+                latency: SimDuration::from_micros(500),
+                bandwidth_bps: 10_000_000,
+                jitter_frac: 0.3,
+            });
+            sim.start_timer(pinger, SimDuration::ZERO, 0);
+            sim.run();
+            let arrivals = sim.metrics().histogram("pong.arrival").unwrap().sum();
+            (arrivals, sim.events_processed())
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42).0, run(43).0);
+    }
+
+    struct TimerCanceller {
+        fired: u64,
+    }
+    impl Actor<()> for TimerCanceller {
+        fn on_event(&mut self, ctx: &mut Context<'_, ()>, event: Event<()>) {
+            match event {
+                Event::Timer { token: 0 } => {
+                    let keep = ctx.set_timer(SimDuration::from_millis(1), 1);
+                    let drop_ = ctx.set_timer(SimDuration::from_millis(2), 2);
+                    let _ = keep;
+                    ctx.cancel_timer(drop_);
+                }
+                Event::Timer { token } => {
+                    self.fired += token;
+                    ctx.metrics().incr("fired", token);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn cancelled_timers_do_not_fire() {
+        let mut sim = Simulation::new(1);
+        let a = sim.add_actor(Box::new(TimerCanceller { fired: 0 }));
+        sim.start_timer(a, SimDuration::ZERO, 0);
+        sim.run();
+        assert_eq!(sim.metrics().counter("fired"), 1);
+    }
+
+    struct Worker;
+    impl Actor<()> for Worker {
+        fn on_event(&mut self, ctx: &mut Context<'_, ()>, event: Event<()>) {
+            if let Event::Timer { token: 0 } = event {
+                ctx.execute(SimDuration::from_millis(50), 1);
+                ctx.execute(SimDuration::from_millis(50), 2);
+            } else if let Event::Timer { token } = event {
+                let now = ctx.now();
+                ctx.metrics().push_series("done", now, token as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn cpu_work_serialises() {
+        let mut sim = Simulation::new(1);
+        let w = sim.add_actor_with_speed(Box::new(Worker), 0.5); // half speed
+        sim.start_timer(w, SimDuration::ZERO, 0);
+        sim.run();
+        let s = sim.metrics().series("done").unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].0, SimTime::from_nanos(100_000_000)); // 50ms/0.5
+        assert_eq!(s[1].0, SimTime::from_nanos(200_000_000));
+        assert_eq!(sim.cpu(w).total_busy(), SimDuration::from_millis(200));
+    }
+
+    #[test]
+    fn run_until_advances_clock_to_limit() {
+        let mut sim: Simulation<()> = Simulation::new(1);
+        let a = sim.add_actor(Box::new(TimerCanceller { fired: 0 }));
+        sim.start_timer(a, SimDuration::from_secs(10), 0);
+        sim.run_until(SimTime::from_secs(5));
+        assert_eq!(sim.now(), SimTime::from_secs(5));
+        assert_eq!(sim.events_processed(), 0);
+        sim.run_until(SimTime::from_secs(20));
+        assert!(sim.events_processed() > 0);
+        assert_eq!(sim.now(), SimTime::from_secs(20));
+    }
+
+    #[test]
+    fn partition_drops_messages_and_counts() {
+        let mut sim = Simulation::new(1);
+        let ponger = sim.add_actor(Box::new(Ponger));
+        let pinger = sim.add_actor(Box::new(Pinger {
+            peer: ponger,
+            remaining: 2,
+            received: Vec::new(),
+        }));
+        sim.network_mut().partition(pinger, ponger);
+        sim.start_timer(pinger, SimDuration::ZERO, 0);
+        sim.run();
+        assert_eq!(sim.metrics().counter("pongs"), 0);
+        assert_eq!(sim.metrics().counter("net.dropped"), 2);
+    }
+
+    #[test]
+    fn run_events_limits_work() {
+        let mut sim = Simulation::new(1);
+        let ponger = sim.add_actor(Box::new(Ponger));
+        let pinger = sim.add_actor(Box::new(Pinger {
+            peer: ponger,
+            remaining: 100,
+            received: Vec::new(),
+        }));
+        sim.start_timer(pinger, SimDuration::ZERO, 0);
+        let n = sim.run_events(5);
+        assert_eq!(n, 5);
+    }
+}

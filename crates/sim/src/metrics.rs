@@ -1,0 +1,193 @@
+//! Metrics collected during a simulation run.
+//!
+//! A [`Metrics`] registry holds named counters, gauges, latency histograms
+//! and time series. Components record into it through [`crate::Context`];
+//! the benchmark harness reads it back after the run.
+
+use std::collections::BTreeMap;
+
+use crate::histogram::Histogram;
+use crate::time::{SimDuration, SimTime};
+
+/// A named registry of counters, gauges, histograms and time series.
+///
+/// Names are free-form dotted strings such as `"peer0.commit.latency"`.
+/// All maps are ordered so report output is deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+    series: BTreeMap<String, Vec<(SimTime, f64)>>,
+}
+
+impl Metrics {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Adds `delta` to the named counter, creating it at zero if absent.
+    pub fn incr(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += delta;
+    }
+
+    /// Reads a counter; absent counters read as zero.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets the named gauge to `value`.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_owned(), value);
+    }
+
+    /// Reads a gauge, if present.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Records a raw sample into the named histogram.
+    pub fn record(&mut self, name: &str, value: u64) {
+        self.histograms
+            .entry(name.to_owned())
+            .or_default()
+            .record(value);
+    }
+
+    /// Records a duration (as nanoseconds) into the named histogram.
+    pub fn record_duration(&mut self, name: &str, d: SimDuration) {
+        self.record(name, d.as_nanos());
+    }
+
+    /// Reads a histogram, if present.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Appends a `(time, value)` point to the named time series.
+    pub fn push_series(&mut self, name: &str, t: SimTime, value: f64) {
+        self.series.entry(name.to_owned()).or_default().push((t, value));
+    }
+
+    /// Reads a time series, if present.
+    pub fn series(&self, name: &str) -> Option<&[(SimTime, f64)]> {
+        self.series.get(name).map(Vec::as_slice)
+    }
+
+    /// Iterates over all counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterates over all histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Merges another registry into this one (counters add, gauges take the
+    /// other's value, histograms merge, series concatenate).
+    pub fn merge(&mut self, other: &Metrics) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+        for (k, s) in &other.series {
+            self.series.entry(k.clone()).or_default().extend_from_slice(s);
+        }
+    }
+
+    /// Renders a human-readable dump of all metrics, for debugging.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            out.push_str(&format!("counter {k} = {v}\n"));
+        }
+        for (k, v) in &self.gauges {
+            out.push_str(&format!("gauge   {k} = {v}\n"));
+        }
+        for (k, h) in &self.histograms {
+            out.push_str(&format!("hist    {k}: {}\n", h.summary()));
+        }
+        for (k, s) in &self.series {
+            out.push_str(&format!("series  {k}: {} points\n", s.len()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::new();
+        assert_eq!(m.counter("tx"), 0);
+        m.incr("tx", 2);
+        m.incr("tx", 3);
+        assert_eq!(m.counter("tx"), 5);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let mut m = Metrics::new();
+        assert_eq!(m.gauge("w"), None);
+        m.set_gauge("w", 1.5);
+        m.set_gauge("w", 2.5);
+        assert_eq!(m.gauge("w"), Some(2.5));
+    }
+
+    #[test]
+    fn histograms_record_durations() {
+        let mut m = Metrics::new();
+        m.record_duration("lat", SimDuration::from_micros(5));
+        m.record_duration("lat", SimDuration::from_micros(15));
+        let h = m.histogram("lat").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), 5_000);
+    }
+
+    #[test]
+    fn series_preserve_order() {
+        let mut m = Metrics::new();
+        m.push_series("p", SimTime::from_secs(1), 1.0);
+        m.push_series("p", SimTime::from_secs(2), 2.0);
+        let s = m.series("p").unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[1], (SimTime::from_secs(2), 2.0));
+    }
+
+    #[test]
+    fn merge_combines_all_kinds() {
+        let mut a = Metrics::new();
+        a.incr("c", 1);
+        a.record("h", 10);
+        let mut b = Metrics::new();
+        b.incr("c", 2);
+        b.record("h", 20);
+        b.set_gauge("g", 9.0);
+        b.push_series("s", SimTime::ZERO, 0.0);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 3);
+        assert_eq!(a.histogram("h").unwrap().count(), 2);
+        assert_eq!(a.gauge("g"), Some(9.0));
+        assert_eq!(a.series("s").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn render_is_deterministic_and_nonempty() {
+        let mut m = Metrics::new();
+        m.incr("b", 1);
+        m.incr("a", 1);
+        let r = m.render();
+        let pos_a = r.find("counter a").unwrap();
+        let pos_b = r.find("counter b").unwrap();
+        assert!(pos_a < pos_b);
+    }
+}

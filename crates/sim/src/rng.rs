@@ -1,0 +1,202 @@
+//! Deterministic random number generation for reproducible simulations.
+//!
+//! The kernel needs randomness (network jitter, workload inter-arrival
+//! times) that is *bit-for-bit reproducible* across runs and independent of
+//! the `rand` crate's default generators. [`DetRng`] implements
+//! xoshiro256** seeded through SplitMix64, the construction recommended by
+//! the xoshiro authors, and plugs into the `rand` ecosystem through
+//! [`rand::RngCore`].
+//!
+//! Streams can be *forked* by label ([`DetRng::fork`]) so that independent
+//! components (each peer's jitter, the workload generator, ...) consume
+//! independent streams: adding a consumer never perturbs the draws seen by
+//! another.
+
+use rand::{Error, RngCore, SeedableRng};
+
+/// SplitMix64 step, used for seeding and label mixing.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic xoshiro256** generator.
+///
+/// # Examples
+///
+/// ```
+/// use hyperprov_sim::DetRng;
+/// use rand::Rng;
+///
+/// let mut a = DetRng::new(42);
+/// let mut b = DetRng::new(42);
+/// assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetRng {
+    s: [u64; 4],
+}
+
+impl DetRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        DetRng { s }
+    }
+
+    /// Derives an independent generator for a labelled sub-component.
+    ///
+    /// Forking with the same label always yields the same stream; different
+    /// labels yield decorrelated streams.
+    pub fn fork(&self, label: &str) -> DetRng {
+        // Mix the label into a fresh seed via SplitMix64 over the bytes,
+        // combined with this generator's current state (not advancing it).
+        let mut h = self.s[0] ^ self.s[2].rotate_left(17);
+        for chunk in label.as_bytes().chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            h ^= u64::from_le_bytes(word);
+            h = splitmix64(&mut h);
+        }
+        DetRng::new(h)
+    }
+
+    /// Derives an independent generator for a numbered sub-component.
+    pub fn fork_index(&self, index: u64) -> DetRng {
+        let mut h = self.s[1] ^ index.wrapping_mul(0xA076_1D64_78BD_642F);
+        h = splitmix64(&mut h);
+        DetRng::new(h)
+    }
+
+    fn next(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl RngCore for DetRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.next()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl SeedableRng for DetRng {
+    type Seed = [u8; 8];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        DetRng::new(u64::from_le_bytes(seed))
+    }
+
+    fn seed_from_u64(state: u64) -> Self {
+        DetRng::new(state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::new(7);
+        let mut b = DetRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = DetRng::new(1);
+        let mut b = DetRng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn xoshiro_reference_vector() {
+        // Reference: xoshiro256** initialised with state [1, 2, 3, 4]
+        // produces 11520 as its first output (result = rotl(2*5,7)*9).
+        let mut rng = DetRng { s: [1, 2, 3, 4] };
+        assert_eq!(rng.next_u64(), 11520);
+        assert_eq!(rng.next_u64(), 0);
+        assert_eq!(rng.next_u64(), 1_509_978_240);
+    }
+
+    #[test]
+    fn fork_is_stable_and_decorrelated() {
+        let root = DetRng::new(99);
+        let mut a1 = root.fork("peer-0");
+        let mut a2 = root.fork("peer-0");
+        let mut b = root.fork("peer-1");
+        assert_eq!(a1.next_u64(), a2.next_u64());
+        assert_ne!(a1.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn fork_does_not_advance_parent() {
+        let root = DetRng::new(5);
+        let before = root.clone();
+        let _ = root.fork("x");
+        let _ = root.fork_index(3);
+        assert_eq!(root, before);
+    }
+
+    #[test]
+    fn fill_bytes_handles_partial_chunks() {
+        let mut rng = DetRng::new(3);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        // Same draw through next_u64 path.
+        let mut rng2 = DetRng::new(3);
+        let w0 = rng2.next_u64().to_le_bytes();
+        let w1 = rng2.next_u64().to_le_bytes();
+        assert_eq!(&buf[..8], &w0);
+        assert_eq!(&buf[8..13], &w1[..5]);
+    }
+
+    #[test]
+    fn usable_with_rand_distributions() {
+        let mut rng = DetRng::new(11);
+        let x: f64 = rng.gen_range(0.0..1.0);
+        assert!((0.0..1.0).contains(&x));
+        let n: u32 = rng.gen_range(1..=6);
+        assert!((1..=6).contains(&n));
+    }
+}
