@@ -1,0 +1,9 @@
+#!/usr/bin/env sh
+# Local CI gate: formatting, lints, release build, tests.
+# Run from the repo root; fails fast on the first broken step.
+set -eu
+
+cargo fmt --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo build --release
+cargo test -q

@@ -80,7 +80,10 @@ impl Actor<NodeMsg> for OnChainClient {
                             GatewayEvent::TxCommitted { tx_id, code, .. } => {
                                 if let Some((op, started)) = self.inflight.remove(&tx_id) {
                                     let outcome = if code.is_valid() {
-                                        Ok(OpOutput::Committed { record: None, tx_id })
+                                        Ok(OpOutput::Committed {
+                                            record: None,
+                                            tx_id,
+                                        })
                                     } else {
                                         Err(HyperProvError::Invalidated(code))
                                     };
@@ -228,8 +231,7 @@ impl OnChainNetwork {
                 config.costs,
             );
             let (client, queue) = OnChainClient::new(gateway);
-            let id = sim
-                .add_actor_with_speed(Box::new(client), config.client_devices[i].cpu_speed);
+            let id = sim.add_actor_with_speed(Box::new(client), config.client_devices[i].cpu_speed);
             debug_assert_eq!(id, client_ids[i]);
             completions.push(queue);
         }

@@ -79,11 +79,7 @@ mod tests {
     fn post_writes_full_payload_to_state() {
         let state = StateDb::new();
         let payload = vec![7u8; 10_000];
-        let (result, rwset) = run(
-            "post",
-            vec![b"k".to_vec(), payload.clone()],
-            &state,
-        );
+        let (result, rwset) = run("post", vec![b"k".to_vec(), payload.clone()], &state);
         let checksum = <Digest as hyperprov_ledger::Decode>::from_bytes(&result.unwrap()).unwrap();
         assert_eq!(checksum, Digest::of(&payload));
         // The write set carries the whole payload — the cost HyperProv's

@@ -28,7 +28,10 @@ fn bench_sha256(c: &mut Criterion) {
 
 fn bench_codec(c: &mut Criterion) {
     let mut b = MspBuilder::new(1);
-    let cert = b.enroll("client", &MspId::new("org1")).certificate().clone();
+    let cert = b
+        .enroll("client", &MspId::new("org1"))
+        .certificate()
+        .clone();
     let record = hyperprov::ProvenanceRecord::from_input(
         "item-key",
         RecordInput::new(Digest::of(b"payload"))
@@ -52,7 +55,9 @@ fn bench_codec(c: &mut Criterion) {
 fn bench_merkle(c: &mut Criterion) {
     let mut group = c.benchmark_group("merkle_root");
     for n in [10usize, 100, 1000] {
-        let leaves: Vec<Digest> = (0..n).map(|i| Digest::of(&(i as u64).to_le_bytes())).collect();
+        let leaves: Vec<Digest> = (0..n)
+            .map(|i| Digest::of(&(i as u64).to_le_bytes()))
+            .collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &leaves, |b, leaves| {
             b.iter(|| MerkleTree::root_of(leaves));
         });
@@ -162,8 +167,14 @@ fn bench_chaincode_lineage(c: &mut Criterion) {
     let args = vec![b"n31".to_vec(), b"64".to_vec()];
     c.bench_function("chaincode_lineage_depth32", |b| {
         b.iter(|| {
-            let mut stub =
-                ChaincodeStub::new(CHAINCODE_NAME, "get_lineage", &args, &cert, &state, &history);
+            let mut stub = ChaincodeStub::new(
+                CHAINCODE_NAME,
+                "get_lineage",
+                &args,
+                &cert,
+                &state,
+                &history,
+            );
             cc.invoke(&mut stub).unwrap()
         });
     });

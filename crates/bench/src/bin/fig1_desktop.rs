@@ -1,10 +1,18 @@
 //! Regenerates Fig. 1: throughput and response times vs data-item size on
-//! the desktop testbed.
+//! the desktop testbed, plus the per-stage latency breakdown and the JSON
+//! metrics export.
 
-use hyperprov_bench::experiments::{emit, size_sweep, Platform};
+use hyperprov_bench::experiments::{
+    render_and_save, render_and_save_metrics, size_sweep, Platform,
+};
 
 fn main() {
     let quick = hyperprov_bench::quick_flag();
-    let table = size_sweep(Platform::Desktop, quick);
-    emit(&table, "fig1_desktop");
+    let report = size_sweep(Platform::Desktop, quick);
+    print!("{}", render_and_save(&report.table, "fig1_desktop"));
+    print!(
+        "{}",
+        render_and_save(&report.breakdown, "fig1_desktop_stages")
+    );
+    print!("{}", render_and_save_metrics(&report.exporter));
 }

@@ -1,10 +1,15 @@
 //! Regenerates Fig. 2: throughput and response times vs data-item size on
-//! the Raspberry Pi testbed.
+//! the Raspberry Pi testbed, plus the per-stage latency breakdown and the
+//! JSON metrics export.
 
-use hyperprov_bench::experiments::{emit, size_sweep, Platform};
+use hyperprov_bench::experiments::{
+    render_and_save, render_and_save_metrics, size_sweep, Platform,
+};
 
 fn main() {
     let quick = hyperprov_bench::quick_flag();
-    let table = size_sweep(Platform::Rpi, quick);
-    emit(&table, "fig2_rpi");
+    let report = size_sweep(Platform::Rpi, quick);
+    print!("{}", render_and_save(&report.table, "fig2_rpi"));
+    print!("{}", render_and_save(&report.breakdown, "fig2_rpi_stages"));
+    print!("{}", render_and_save_metrics(&report.exporter));
 }

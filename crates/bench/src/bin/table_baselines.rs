@@ -1,9 +1,9 @@
 //! T-BASE: HyperProv vs on-chain data vs ProvChain-like PoW.
 
-use hyperprov_bench::experiments::{baseline_comparison, emit};
+use hyperprov_bench::experiments::{baseline_comparison, render_and_save};
 
 fn main() {
     let quick = hyperprov_bench::quick_flag();
     let table = baseline_comparison(quick);
-    emit(&table, "table_baselines");
+    print!("{}", render_and_save(&table, "table_baselines"));
 }

@@ -1,9 +1,9 @@
 //! T-TPUT: throughput vs orderer batch size.
 
-use hyperprov_bench::experiments::{batch_sweep, emit};
+use hyperprov_bench::experiments::{batch_sweep, render_and_save};
 
 fn main() {
     let quick = hyperprov_bench::quick_flag();
     let table = batch_sweep(quick);
-    emit(&table, "table_batch_sweep");
+    print!("{}", render_and_save(&table, "table_batch_sweep"));
 }

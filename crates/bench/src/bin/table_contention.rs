@@ -1,9 +1,9 @@
 //! T-MVCC: MVCC invalidation under key contention.
 
-use hyperprov_bench::experiments::{contention_sweep, emit};
+use hyperprov_bench::experiments::{contention_sweep, render_and_save};
 
 fn main() {
     let quick = hyperprov_bench::quick_flag();
     let table = contention_sweep(quick);
-    emit(&table, "table_contention");
+    print!("{}", render_and_save(&table, "table_contention"));
 }

@@ -1,9 +1,9 @@
 //! T-QUERY: query latency by client operator.
 
-use hyperprov_bench::experiments::{emit, query_latency};
+use hyperprov_bench::experiments::{query_latency, render_and_save};
 
 fn main() {
     let quick = hyperprov_bench::quick_flag();
     let table = query_latency(quick);
-    emit(&table, "table_query_latency");
+    print!("{}", render_and_save(&table, "table_query_latency"));
 }

@@ -48,20 +48,25 @@ pub fn baseline_comparison(quick: bool) -> Table {
         // --- HyperProv (off-chain payloads) ---
         let config = hyperprov_config(clients);
         let mut net = HyperProvNetwork::build(&config);
-        let (summary, span, chain_bytes) = run_fabric(&mut net, size, ops, |net| {
-            chain_bytes_of(&net.ledgers)
-        });
+        let (summary, span, chain_bytes) =
+            run_fabric(&mut net, size, ops, |net| chain_bytes_of(&net.ledgers));
         let energy = fabric_energy_per_tx(&net, &summary, span);
         push(&mut table, "HyperProv", size, &summary, chain_bytes, energy);
 
         // --- On-chain data baseline ---
         let config = hyperprov_config(clients);
         let mut net = OnChainNetwork::build(&config);
-        let (summary, span, chain_bytes) = run_fabric(&mut net, size, ops, |net| {
-            chain_bytes_of(&net.ledgers)
-        });
+        let (summary, span, chain_bytes) =
+            run_fabric(&mut net, size, ops, |net| chain_bytes_of(&net.ledgers));
         let energy = onchain_energy_per_tx(&net, &summary, span);
-        push(&mut table, "on-chain data", size, &summary, chain_bytes, energy);
+        push(
+            &mut table,
+            "on-chain data",
+            size,
+            &summary,
+            chain_bytes,
+            energy,
+        );
 
         // --- ProvChain-like PoW anchor ---
         let (summary_tput, latency_ms, bytes_per_tx, energy) =
@@ -107,9 +112,7 @@ fn run_fabric<N: Driveable>(
     (summary, span, bytes)
 }
 
-fn chain_bytes_of(
-    ledgers: &[std::rc::Rc<std::cell::RefCell<hyperprov_fabric::Committer>>],
-) -> u64 {
+fn chain_bytes_of(ledgers: &[std::rc::Rc<std::cell::RefCell<hyperprov_fabric::Committer>>]) -> u64 {
     let ledger = ledgers[0].borrow();
     ledger
         .store()
@@ -119,12 +122,15 @@ fn chain_bytes_of(
         .sum()
 }
 
-fn push(table: &mut Table, system: &str, size: usize, summary: &Summary, chain_bytes: u64, energy: f64) {
-    let per_tx = if summary.ok > 0 {
-        chain_bytes / summary.ok
-    } else {
-        0
-    };
+fn push(
+    table: &mut Table,
+    system: &str,
+    size: usize,
+    summary: &Summary,
+    chain_bytes: u64,
+    energy: f64,
+) {
+    let per_tx = chain_bytes.checked_div(summary.ok).unwrap_or(0);
     table.push_row(vec![
         system.into(),
         fmt_bytes(size as u64),

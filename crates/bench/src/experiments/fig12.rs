@@ -7,10 +7,13 @@
 //! Fig. 2 shows similar trend [...] for RPi though greater variation,
 //! however absolute performance for RPi is lower than desktop machines."
 
+use std::collections::BTreeMap;
+
 use hyperprov::{HyperProvNetwork, NetworkConfig};
 use hyperprov_fabric::BatchConfig;
-use hyperprov_sim::{DetRng, SimDuration};
+use hyperprov_sim::{DetRng, Histogram, SimDuration};
 
+use crate::report::{breakdown_table, merge_stages, MetricsExporter};
 use crate::runner::{run_closed_loop, Summary};
 use crate::table::{fmt_bytes, Table};
 use crate::workload::{payload, store_cmd};
@@ -41,9 +44,21 @@ impl Platform {
     }
 }
 
+/// A size sweep plus its observability artefacts.
+#[derive(Debug)]
+pub struct SweepReport {
+    /// The figure's series table (throughput / response time vs size).
+    pub table: Table,
+    /// Per-stage latency breakdown aggregated over every run of the sweep.
+    pub breakdown: Table,
+    /// One metrics + trace snapshot per `(size, seed)` run.
+    pub exporter: MetricsExporter,
+}
+
 /// Runs the data-size sweep for one platform, producing the figure's
-/// series: `size, throughput (tx/s) ± std, response time (ms) ± std`.
-pub fn size_sweep(platform: Platform, quick: bool) -> Table {
+/// series (`size, throughput (tx/s) ± std, response time (ms) ± std`)
+/// plus the stage-attribution report and JSON export.
+pub fn size_sweep(platform: Platform, quick: bool) -> SweepReport {
     let (sizes, clients, duration, seeds): (Vec<usize>, usize, SimDuration, u64) = if quick {
         (
             vec![1 << 10, 1 << 16, 1 << 20],
@@ -89,6 +104,11 @@ pub fn size_sweep(platform: Platform, quick: bool) -> Table {
         ],
     );
 
+    let mut exporter = MetricsExporter::new(match platform {
+        Platform::Desktop => "fig1_desktop",
+        Platform::Rpi => "fig2_rpi",
+    });
+    let mut stages: BTreeMap<String, Histogram> = BTreeMap::new();
     for &size in &sizes {
         let mut tputs = Vec::new();
         let mut lat_means = Vec::new();
@@ -96,7 +116,15 @@ pub fn size_sweep(platform: Platform, quick: bool) -> Table {
         let mut lat_stds = Vec::new();
         let mut errors = 0u64;
         for seed in 0..seeds {
-            let summary = run_one(platform, clients, size, duration, 100 + seed);
+            let summary = run_one(
+                platform,
+                clients,
+                size,
+                duration,
+                100 + seed,
+                &mut exporter,
+                &mut stages,
+            );
             tputs.push(summary.throughput);
             lat_means.push(summary.mean_latency_ms());
             lat_p95s.push(summary.latency_ms(0.95));
@@ -113,15 +141,26 @@ pub fn size_sweep(platform: Platform, quick: bool) -> Table {
             errors.to_string(),
         ]);
     }
-    table
+    let breakdown = breakdown_table(
+        format!("{fig}: per-stage latency breakdown ({})", platform.name()),
+        &stages,
+    );
+    SweepReport {
+        table,
+        breakdown,
+        exporter,
+    }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_one(
     platform: Platform,
     clients: usize,
     size: usize,
     duration: SimDuration,
     seed: u64,
+    exporter: &mut MetricsExporter,
+    stages: &mut BTreeMap<String, Histogram>,
 ) -> Summary {
     let config = platform
         .config(clients)
@@ -144,6 +183,8 @@ fn run_one(
             store_cmd(format!("item-c{client}-s{seq}"), data)
         },
     );
+    exporter.add_run(&format!("size={size} seed={seed}"), &net.sim);
+    merge_stages(stages, &net.sim);
     Summary::of(&result.completions, result.span)
 }
 

@@ -127,4 +127,3 @@ fn run_level(rate: f64, interval: SimDuration, quick: bool) -> (f64, f64, f64) {
     let (avg, peak) = meter(&net, start, end);
     (summary.throughput, avg, peak)
 }
-

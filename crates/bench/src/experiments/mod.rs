@@ -29,11 +29,24 @@ pub fn results_dir() -> std::path::PathBuf {
         .join("results")
 }
 
-/// Prints a table and saves its CSV under [`results_dir`].
-pub fn emit(table: &Table, csv_name: &str) {
-    println!("{table}");
-    match table.save_csv(&results_dir(), csv_name) {
-        Ok(path) => println!("[saved {}]\n", path.display()),
-        Err(err) => eprintln!("[warning: could not save CSV: {err}]\n"),
+/// Saves a table's CSV under [`results_dir`] and renders the table plus a
+/// save-status line. Library code never prints; the binaries write the
+/// returned string to stdout.
+#[must_use = "the rendered report must be printed by the calling binary"]
+pub fn render_and_save(table: &Table, csv_name: &str) -> String {
+    let status = match table.save_csv(&results_dir(), csv_name) {
+        Ok(path) => format!("[saved {}]", path.display()),
+        Err(err) => format!("[warning: could not save CSV: {err}]"),
+    };
+    format!("{table}{status}\n")
+}
+
+/// Saves a [`crate::report::MetricsExporter`]'s JSON under [`results_dir`]
+/// and renders a save-status line for the calling binary to print.
+#[must_use = "the rendered status must be printed by the calling binary"]
+pub fn render_and_save_metrics(exporter: &crate::report::MetricsExporter) -> String {
+    match exporter.save() {
+        Ok(path) => format!("[saved {}]\n", path.display()),
+        Err(err) => format!("[warning: could not save metrics JSON: {err}]\n"),
     }
 }

@@ -10,6 +10,9 @@ use crate::runner::{run_closed_loop, run_closed_loop_counted, run_open_loop, Sum
 use crate::table::Table;
 use crate::workload::{payload, post_cmd, store_cmd};
 
+/// Builds the `i`-th command of a query-operator case.
+type CommandFactory = Box<dyn Fn(u64) -> ClientCommand>;
+
 /// T-TPUT: peak throughput and latency vs the orderer's
 /// `MaxMessageCount`, metadata-only posts.
 pub fn batch_sweep(quick: bool) -> Table {
@@ -65,10 +68,12 @@ pub fn query_latency(quick: bool) -> Table {
 
     // Build and preload one network: a lineage chain of `lineage_depth`
     // plus `preload` independent items, with a few versions on one key.
-    let config = NetworkConfig::desktop(1).with_seed(5).with_batch(BatchConfig {
-        max_message_count: 1,
-        ..BatchConfig::default()
-    });
+    let config = NetworkConfig::desktop(1)
+        .with_seed(5)
+        .with_batch(BatchConfig {
+            max_message_count: 1,
+            ..BatchConfig::default()
+        });
     let mut net = HyperProvNetwork::build(&config);
     let mut rng = DetRng::new(5).fork("query");
 
@@ -116,7 +121,7 @@ pub fn query_latency(quick: bool) -> Table {
 
     let last_chain = chain_keys.last().expect("non-empty chain").clone();
     let shared_checksum = Digest::of(&shared_payload);
-    let cases: Vec<(&str, Box<dyn Fn(u64) -> ClientCommand>)> = vec![
+    let cases: Vec<(&str, CommandFactory)> = vec![
         (
             "get",
             Box::new(move |i| ClientCommand::Get {

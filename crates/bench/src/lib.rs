@@ -17,10 +17,12 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod report;
 pub mod runner;
 pub mod table;
 pub mod workload;
 
+pub use report::MetricsExporter;
 pub use table::Table;
 
 /// Parses the conventional `--quick` flag from `std::env::args`.

@@ -1,0 +1,217 @@
+//! Observability reporting: per-stage latency breakdowns and the
+//! machine-readable metrics export.
+//!
+//! Every experiment run leaves a [`hyperprov_sim::Tracer`] full of stage
+//! spans and a [`hyperprov_sim::Metrics`] registry behind. This module
+//! turns them into two artefacts:
+//!
+//! * a *stage breakdown* [`Table`] (count, mean, p50/p95/p99 per pipeline
+//!   stage) answering "where did the time go", and
+//! * a [`MetricsExporter`] that serializes counters/gauges/histograms/
+//!   series and span summaries to pretty-printed JSON under `results/`.
+//!
+//! All output is deterministic: stages appear in pipeline order, metric
+//! names are sorted, floats use shortest round-trip formatting and no
+//! wall-clock data is recorded — two same-seed runs produce byte-identical
+//! files.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::PathBuf;
+
+use hyperprov_sim::{json, Histogram, Simulation};
+
+use crate::experiments::results_dir;
+use crate::table::Table;
+
+/// Pipeline stages in pipeline order, used to sort breakdown rows.
+/// Stages a run never recorded are skipped; stages not listed here sort
+/// after these, alphabetically.
+const STAGE_ORDER: &[&str] = &[
+    "op",
+    "offchain.put",
+    "offchain.get",
+    "offchain.server",
+    "endorse",
+    "endorse.exec",
+    "order.queue",
+    "order.deliver",
+    "validate",
+    "commit_wait",
+    "query",
+];
+
+/// Merges a simulation's per-stage span histograms into `into` (keyed by
+/// stage name), so breakdowns can aggregate over many runs.
+pub fn merge_stages<M>(into: &mut BTreeMap<String, Histogram>, sim: &Simulation<M>) {
+    for (stage, hist) in sim.tracer().stage_histograms() {
+        into.entry(stage.to_owned()).or_default().merge(hist);
+    }
+}
+
+/// Renders aggregated stage histograms as a latency breakdown table
+/// (milliseconds), rows in pipeline order.
+pub fn breakdown_table(title: impl Into<String>, stages: &BTreeMap<String, Histogram>) -> Table {
+    let mut table = Table::new(
+        title,
+        &[
+            "stage",
+            "spans",
+            "mean (ms)",
+            "p50 (ms)",
+            "p95 (ms)",
+            "p99 (ms)",
+        ],
+    );
+    let rank = |stage: &str| {
+        STAGE_ORDER
+            .iter()
+            .position(|s| *s == stage)
+            .unwrap_or(STAGE_ORDER.len())
+    };
+    let mut names: Vec<&String> = stages.keys().collect();
+    names.sort_by_key(|n| (rank(n), n.as_str()));
+    for name in names {
+        let h = &stages[name];
+        table.push_row(vec![
+            name.clone(),
+            h.count().to_string(),
+            format!("{:.3}", h.mean() / 1e6),
+            format!("{:.3}", h.quantile(0.50) as f64 / 1e6),
+            format!("{:.3}", h.quantile(0.95) as f64 / 1e6),
+            format!("{:.3}", h.quantile(0.99) as f64 / 1e6),
+        ]);
+    }
+    table
+}
+
+/// Convenience: the breakdown of a single simulation run.
+pub fn stage_breakdown<M>(title: impl Into<String>, sim: &Simulation<M>) -> Table {
+    let mut stages = BTreeMap::new();
+    merge_stages(&mut stages, sim);
+    breakdown_table(title, &stages)
+}
+
+/// Collects per-run metric and trace snapshots of one experiment and
+/// serializes them to `results/<experiment>.metrics.json`.
+#[derive(Debug, Clone)]
+pub struct MetricsExporter {
+    experiment: String,
+    runs: Vec<String>,
+}
+
+impl MetricsExporter {
+    /// Creates an exporter for the named experiment (also the file stem).
+    pub fn new(experiment: impl Into<String>) -> Self {
+        MetricsExporter {
+            experiment: experiment.into(),
+            runs: Vec::new(),
+        }
+    }
+
+    /// Snapshots a finished run's metrics registry and tracer under a
+    /// caller-chosen label (keep labels deterministic, e.g.
+    /// `"size=1024 seed=100"` — they end up in the export verbatim).
+    pub fn add_run<M>(&mut self, label: &str, sim: &Simulation<M>) {
+        self.runs.push(
+            json::Obj::new()
+                .str("label", label)
+                .raw("metrics", &sim.metrics().snapshot_json())
+                .raw("trace", &sim.tracer().snapshot_json())
+                .build(),
+        );
+    }
+
+    /// Number of snapshotted runs.
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// True if no runs have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Renders the full export as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        json::pretty(
+            &json::Obj::new()
+                .str("experiment", &self.experiment)
+                .raw("runs", &json::array(self.runs.iter().cloned()))
+                .build(),
+        )
+    }
+
+    /// Writes the export under [`results_dir`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the directory or file cannot be written.
+    pub fn save(&self) -> io::Result<PathBuf> {
+        let dir = results_dir();
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.metrics.json", self.experiment));
+        fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim_with_spans() -> Simulation<()> {
+        let mut sim: Simulation<()> = Simulation::new(7);
+        sim.metrics_mut().incr("tx", 3);
+        let tracer = sim.tracer_mut();
+        tracer.span_start(hyperprov_sim::SimTime::ZERO, "tx1", "endorse", "");
+        tracer.span_end(
+            hyperprov_sim::SimTime::from_nanos(2_000_000),
+            "tx1",
+            "endorse",
+            "",
+        );
+        sim
+    }
+
+    #[test]
+    fn breakdown_lists_stages_in_pipeline_order() {
+        let mut stages = BTreeMap::new();
+        let mut h = Histogram::new();
+        h.record(1_000_000);
+        stages.insert("commit_wait".to_owned(), h.clone());
+        stages.insert("endorse".to_owned(), h.clone());
+        stages.insert("zz.custom".to_owned(), h);
+        let table = breakdown_table("t", &stages);
+        assert_eq!(table.cell(0, 0), Some("endorse"));
+        assert_eq!(table.cell(1, 0), Some("commit_wait"));
+        assert_eq!(table.cell(2, 0), Some("zz.custom"));
+        assert_eq!(table.cell_f64(0, 2), Some(1.0));
+    }
+
+    #[test]
+    fn exporter_is_deterministic() {
+        let build = || {
+            let sim = sim_with_spans();
+            let mut exporter = MetricsExporter::new("unit");
+            exporter.add_run("seed=7", &sim);
+            exporter.to_json()
+        };
+        let a = build();
+        assert_eq!(a, build());
+        assert!(a.contains("\"experiment\": \"unit\""));
+        assert!(a.contains("\"tx\": 3"));
+        assert!(a.contains("\"endorse\""));
+        assert!(!build().is_empty());
+    }
+
+    #[test]
+    fn stage_breakdown_reads_the_tracer() {
+        let sim = sim_with_spans();
+        let table = stage_breakdown("t", &sim);
+        assert_eq!(table.len(), 1);
+        assert_eq!(table.cell(0, 0), Some("endorse"));
+        assert_eq!(table.cell_f64(0, 2), Some(2.0));
+    }
+}

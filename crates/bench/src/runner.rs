@@ -129,9 +129,9 @@ pub fn run_closed_loop<N: Driveable>(
         net.sim_mut().inject_message(target, NodeMsg::Client(cmd));
     };
 
-    for c in 0..n {
+    for (c, busy) in inflight.iter_mut().enumerate() {
         issue(net, c, &mut seq, &mut next_op);
-        inflight[c] = true;
+        *busy = true;
     }
 
     loop {

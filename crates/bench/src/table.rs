@@ -54,7 +54,10 @@ impl Table {
 
     /// A cell by (row, column), if present.
     pub fn cell(&self, row: usize, col: usize) -> Option<&str> {
-        self.rows.get(row).and_then(|r| r.get(col)).map(String::as_str)
+        self.rows
+            .get(row)
+            .and_then(|r| r.get(col))
+            .map(String::as_str)
     }
 
     /// A numeric cell parsed as f64 (commas stripped).

@@ -172,7 +172,9 @@ mod tests {
     #[test]
     fn mixed_hot_fraction_in_band() {
         let mut chooser = KeyChooser::new(0.5, DetRng::new(7));
-        let hot = (0..1000).filter(|_| chooser.next_key() == "hot-item").count();
+        let hot = (0..1000)
+            .filter(|_| chooser.next_key() == "hot-item")
+            .count();
         assert!((400..600).contains(&hot), "{hot}");
     }
 }

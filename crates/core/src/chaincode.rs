@@ -114,8 +114,7 @@ impl HyperProvChaincode {
             }
         }
 
-        let record =
-            ProvenanceRecord::from_input(key.clone(), input, stub.creator().clone());
+        let record = ProvenanceRecord::from_input(key.clone(), input, stub.creator().clone());
         let ik = Self::item_key(stub, &key)?;
         let ck = Self::cs_key(stub, &record.checksum, &key)?;
         stub.put_state(&ik, record.to_bytes());
@@ -262,7 +261,10 @@ mod tests {
     impl Harness {
         fn new() -> Self {
             let mut b = MspBuilder::new(1);
-            let cert = b.enroll("client", &MspId::new("org1")).certificate().clone();
+            let cert = b
+                .enroll("client", &MspId::new("org1"))
+                .certificate()
+                .clone();
             Harness {
                 cc: HyperProvChaincode::new(),
                 state: StateDb::new(),
@@ -272,7 +274,11 @@ mod tests {
             }
         }
 
-        fn invoke(&mut self, function: &str, args: Vec<Vec<u8>>) -> Result<Vec<u8>, ChaincodeError> {
+        fn invoke(
+            &mut self,
+            function: &str,
+            args: Vec<Vec<u8>>,
+        ) -> Result<Vec<u8>, ChaincodeError> {
             let mut stub = ChaincodeStub::new(
                 CHAINCODE_NAME,
                 function,
@@ -296,11 +302,12 @@ mod tests {
             result
         }
 
-        fn post(&mut self, key: &str, input: &RecordInput) -> Result<ProvenanceRecord, ChaincodeError> {
-            let bytes = self.invoke(
-                "post",
-                vec![key.as_bytes().to_vec(), input.to_bytes()],
-            )?;
+        fn post(
+            &mut self,
+            key: &str,
+            input: &RecordInput,
+        ) -> Result<ProvenanceRecord, ChaincodeError> {
+            let bytes = self.invoke("post", vec![key.as_bytes().to_vec(), input.to_bytes()])?;
             Ok(ProvenanceRecord::from_bytes(&bytes).unwrap())
         }
     }
@@ -351,11 +358,8 @@ mod tests {
         let mut h = Harness::new();
         h.post("a", &input(b"a")).unwrap();
         h.post("b", &input(b"b")).unwrap();
-        h.post(
-            "c",
-            &input(b"c").with_parents(vec!["a".into(), "b".into()]),
-        )
-        .unwrap();
+        h.post("c", &input(b"c").with_parents(vec!["a".into(), "b".into()]))
+            .unwrap();
         let bytes = h
             .invoke("get_lineage", vec![b"c".to_vec(), b"5".to_vec()])
             .unwrap();
@@ -372,12 +376,10 @@ mod tests {
         let mut h = Harness::new();
         // a <- b <- c, and a <- c directly (diamond).
         h.post("a", &input(b"a")).unwrap();
-        h.post("b", &input(b"b").with_parents(vec!["a".into()])).unwrap();
-        h.post(
-            "c",
-            &input(b"c").with_parents(vec!["b".into(), "a".into()]),
-        )
-        .unwrap();
+        h.post("b", &input(b"b").with_parents(vec!["a".into()]))
+            .unwrap();
+        h.post("c", &input(b"c").with_parents(vec!["b".into(), "a".into()]))
+            .unwrap();
         let bytes = h
             .invoke("get_lineage", vec![b"c".to_vec(), b"10".to_vec()])
             .unwrap();
@@ -421,10 +423,7 @@ mod tests {
         h.post("copy1", &RecordInput::new(cs)).unwrap();
         h.post("copy2", &RecordInput::new(cs)).unwrap();
         let bytes = h
-            .invoke(
-                "get_keys_by_checksum",
-                vec![cs.to_hex().into_bytes()],
-            )
+            .invoke("get_keys_by_checksum", vec![cs.to_hex().into_bytes()])
             .unwrap();
         let keys = Vec::<String>::from_bytes(&bytes).unwrap();
         assert_eq!(keys, vec!["copy1", "copy2"]);

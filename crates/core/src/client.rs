@@ -13,9 +13,7 @@ use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::rc::Rc;
 
-use hyperprov_fabric::{
-    CostModel, Gateway, GatewayEvent, GATEWAY_NOOP_TOKEN,
-};
+use hyperprov_fabric::{CostModel, Gateway, GatewayEvent, GATEWAY_NOOP_TOKEN};
 use hyperprov_ledger::{Decode, Digest, TxId, ValidationCode};
 use hyperprov_offchain::{StoreError, StoreMsg};
 use hyperprov_sim::{Actor, ActorId, Carries, Context, Event, SimTime};
@@ -231,23 +229,21 @@ pub type CompletionQueue = Rc<RefCell<VecDeque<ClientCompletion>>>;
 #[derive(Debug)]
 enum OpState {
     /// Waiting for a transaction to commit.
-    AwaitCommit,
+    Commit,
     /// Waiting for the chaincode `get` before fetching the payload.
-    AwaitRecordThenData {
-        check_only: bool,
-    },
+    RecordThenData { check_only: bool },
     /// Waiting for the storage node to return the payload.
-    AwaitPayload {
+    Payload {
         record: Box<ProvenanceRecord>,
         check_only: bool,
     },
     /// Waiting for the storage put before posting metadata.
-    AwaitStorePut {
+    StorePut {
         key: String,
         input: Box<RecordInput>,
     },
     /// Waiting for a plain query response.
-    AwaitQuery(QueryKind),
+    Query(QueryKind),
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -264,6 +260,11 @@ struct OpCtx {
     op: OpId,
     started: SimTime,
     state: OpState,
+}
+
+/// The span-trace key of a client operation, e.g. `"op-7"`.
+fn op_trace(op: OpId) -> String {
+    format!("op-{}", op.0)
 }
 
 /// The client actor.
@@ -312,14 +313,15 @@ impl HyperProvClient {
 
     fn complete(
         &mut self,
-        now: SimTime,
+        ctx: &mut Context<'_, NodeMsgOf>,
         op_ctx: OpCtx,
         outcome: Result<OpOutput, HyperProvError>,
     ) {
+        ctx.span_end(&op_trace(op_ctx.op), "op", "");
         self.completions.borrow_mut().push_back(ClientCompletion {
             op: op_ctx.op,
             started: op_ctx.started,
-            finished: now,
+            finished: ctx.now(),
             outcome,
         });
     }
@@ -327,6 +329,8 @@ impl HyperProvClient {
     fn start(&mut self, ctx: &mut Context<'_, NodeMsgOf>, cmd: ClientCommand) {
         let now = ctx.now();
         let op = cmd.op();
+        // End-to-end operator span, closed when the completion is queued.
+        ctx.span_start(&op_trace(op), "op", "");
         match cmd {
             ClientCommand::Post { key, input, op } => {
                 let tx_id = self.gateway.invoke(
@@ -340,7 +344,7 @@ impl HyperProvClient {
                     OpCtx {
                         op,
                         started: now,
-                        state: OpState::AwaitCommit,
+                        state: OpState::Commit,
                     },
                 );
             }
@@ -372,12 +376,15 @@ impl HyperProvClient {
                     OpCtx {
                         op,
                         started: now,
-                        state: OpState::AwaitStorePut {
+                        state: OpState::StorePut {
                             key,
                             input: Box::new(input),
                         },
                     },
                 );
+                // Off-chain transfer phase of a StoreData, closed on the
+                // PutAck.
+                ctx.span_start(&op_trace(op), "offchain.put", "");
                 let msg = StoreMsg::Put {
                     name: checksum.to_hex(),
                     data,
@@ -391,28 +398,28 @@ impl HyperProvClient {
                 self.start_query(ctx, now, op, "get", vec![key.into_bytes()], QueryKind::Get);
             }
             ClientCommand::GetData { key, op } => {
-                let tx_id =
-                    self.gateway
-                        .query(ctx, CHAINCODE_NAME, "get", vec![key.into_bytes()]);
+                let tx_id = self
+                    .gateway
+                    .query(ctx, CHAINCODE_NAME, "get", vec![key.into_bytes()]);
                 self.by_tx.insert(
                     tx_id,
                     OpCtx {
                         op,
                         started: now,
-                        state: OpState::AwaitRecordThenData { check_only: false },
+                        state: OpState::RecordThenData { check_only: false },
                     },
                 );
             }
             ClientCommand::CheckData { key, op } => {
-                let tx_id =
-                    self.gateway
-                        .query(ctx, CHAINCODE_NAME, "get", vec![key.into_bytes()]);
+                let tx_id = self
+                    .gateway
+                    .query(ctx, CHAINCODE_NAME, "get", vec![key.into_bytes()]);
                 self.by_tx.insert(
                     tx_id,
                     OpCtx {
                         op,
                         started: now,
-                        state: OpState::AwaitRecordThenData { check_only: true },
+                        state: OpState::RecordThenData { check_only: true },
                     },
                 );
             }
@@ -455,7 +462,7 @@ impl HyperProvClient {
                     OpCtx {
                         op,
                         started: now,
-                        state: OpState::AwaitCommit,
+                        state: OpState::Commit,
                     },
                 );
             }
@@ -463,7 +470,6 @@ impl HyperProvClient {
                 self.start_query(ctx, now, op, "list", vec![], QueryKind::List);
             }
         }
-        let _ = op;
     }
 
     fn start_query(
@@ -481,13 +487,12 @@ impl HyperProvClient {
             OpCtx {
                 op,
                 started: now,
-                state: OpState::AwaitQuery(kind),
+                state: OpState::Query(kind),
             },
         );
     }
 
     fn on_gateway_event(&mut self, ctx: &mut Context<'_, NodeMsgOf>, event: GatewayEvent) {
-        let now = ctx.now();
         match event {
             GatewayEvent::TxCommitted {
                 tx_id,
@@ -502,12 +507,12 @@ impl HyperProvClient {
                     } else {
                         Err(HyperProvError::Invalidated(code))
                     };
-                    self.complete(now, op_ctx, outcome);
+                    self.complete(ctx, op_ctx, outcome);
                 }
             }
             GatewayEvent::TxFailed { tx_id, reason } => {
                 if let Some(op_ctx) = self.by_tx.remove(&tx_id) {
-                    self.complete(now, op_ctx, Err(HyperProvError::Rejected(reason)));
+                    self.complete(ctx, op_ctx, Err(HyperProvError::Rejected(reason)));
                 }
             }
             GatewayEvent::QueryDone { tx_id, result, .. } => {
@@ -518,13 +523,13 @@ impl HyperProvClient {
                 let rebuilt = |state| OpCtx { op, started, state };
                 match (result, state) {
                     (Err(reason), state) => {
-                        self.complete(now, rebuilt(state), Err(HyperProvError::Rejected(reason)));
+                        self.complete(ctx, rebuilt(state), Err(HyperProvError::Rejected(reason)));
                     }
-                    (Ok(bytes), OpState::AwaitQuery(kind)) => {
+                    (Ok(bytes), OpState::Query(kind)) => {
                         let outcome = decode_query(kind, &bytes);
-                        self.complete(now, rebuilt(OpState::AwaitQuery(kind)), outcome);
+                        self.complete(ctx, rebuilt(OpState::Query(kind)), outcome);
                     }
-                    (Ok(bytes), OpState::AwaitRecordThenData { check_only }) => {
+                    (Ok(bytes), OpState::RecordThenData { check_only }) => {
                         match ProvenanceRecord::from_bytes(&bytes) {
                             Ok(record) if record.has_offchain_data() => {
                                 self.next_store_token += 1;
@@ -539,11 +544,14 @@ impl HyperProvClient {
                                     .to_owned();
                                 self.by_store_token.insert(
                                     token,
-                                    rebuilt(OpState::AwaitPayload {
+                                    rebuilt(OpState::Payload {
                                         record: Box::new(record),
                                         check_only,
                                     }),
                                 );
+                                // Off-chain fetch phase of a GetData /
+                                // CheckData, closed on the GetResult.
+                                ctx.span_start(&op_trace(op), "offchain.get", "");
                                 let msg = StoreMsg::Get { name, token };
                                 let bytes = msg.wire_size();
                                 let storage = self.storage;
@@ -551,8 +559,8 @@ impl HyperProvClient {
                             }
                             Ok(_) => {
                                 self.complete(
-                                    now,
-                                    rebuilt(OpState::AwaitRecordThenData { check_only }),
+                                    ctx,
+                                    rebuilt(OpState::RecordThenData { check_only }),
                                     Err(HyperProvError::Rejected(
                                         "item has no off-chain payload".to_owned(),
                                     )),
@@ -560,8 +568,8 @@ impl HyperProvClient {
                             }
                             Err(err) => {
                                 self.complete(
-                                    now,
-                                    rebuilt(OpState::AwaitRecordThenData { check_only }),
+                                    ctx,
+                                    rebuilt(OpState::RecordThenData { check_only }),
                                     Err(HyperProvError::Malformed(err.to_string())),
                                 );
                             }
@@ -569,7 +577,7 @@ impl HyperProvClient {
                     }
                     (Ok(_), state) => {
                         self.complete(
-                            now,
+                            ctx,
                             rebuilt(state),
                             Err(HyperProvError::Malformed(
                                 "unexpected query response".to_owned(),
@@ -582,15 +590,15 @@ impl HyperProvClient {
     }
 
     fn on_store_msg(&mut self, ctx: &mut Context<'_, NodeMsgOf>, msg: StoreMsg) {
-        let now = ctx.now();
         match msg {
             StoreMsg::PutAck { token, result, .. } => {
                 let Some(op_ctx) = self.by_store_token.remove(&token) else {
                     return;
                 };
                 let OpCtx { op, started, state } = op_ctx;
+                ctx.span_end(&op_trace(op), "offchain.put", "");
                 match (result, state) {
-                    (Ok(()), OpState::AwaitStorePut { key, input }) => {
+                    (Ok(()), OpState::StorePut { key, input }) => {
                         // Payload stored: now post the metadata on-chain.
                         let tx_id = self.gateway.invoke(
                             ctx,
@@ -606,20 +614,20 @@ impl HyperProvClient {
                             OpCtx {
                                 op,
                                 started,
-                                state: OpState::AwaitCommit,
+                                state: OpState::Commit,
                             },
                         );
                     }
                     (Err(err), state) => {
                         self.complete(
-                            now,
+                            ctx,
                             OpCtx { op, started, state },
                             Err(HyperProvError::Storage(err)),
                         );
                     }
                     (Ok(()), state) => {
                         self.complete(
-                            now,
+                            ctx,
                             OpCtx { op, started, state },
                             Err(HyperProvError::Malformed("unexpected put ack".to_owned())),
                         );
@@ -631,16 +639,14 @@ impl HyperProvClient {
                     return;
                 };
                 let OpCtx { op, started, state } = op_ctx;
-                let OpState::AwaitPayload { record, check_only } = state else {
+                ctx.span_end(&op_trace(op), "offchain.get", "");
+                let OpState::Payload { record, check_only } = state else {
                     return;
                 };
                 let outcome = match result {
                     Ok(data) => {
                         // Client-side verification hash.
-                        ctx.execute(
-                            self.costs.hash_cost(data.len() as u64),
-                            GATEWAY_NOOP_TOKEN,
-                        );
+                        ctx.execute(self.costs.hash_cost(data.len() as u64), GATEWAY_NOOP_TOKEN);
                         let actual = Digest::of(&data);
                         let ok = actual == record.checksum;
                         if check_only {
@@ -666,11 +672,11 @@ impl HyperProvClient {
                     }
                 };
                 self.complete(
-                    now,
+                    ctx,
                     OpCtx {
                         op,
                         started,
-                        state: OpState::AwaitCommit,
+                        state: OpState::Commit,
                     },
                     outcome,
                 );
@@ -686,15 +692,11 @@ fn decode_query(kind: QueryKind, bytes: &[u8]) -> Result<OpOutput, HyperProvErro
         QueryKind::Get => Ok(OpOutput::Record(
             ProvenanceRecord::from_bytes(bytes).map_err(malformed)?,
         )),
-        QueryKind::History => Ok(OpOutput::History(
-            decode_history(bytes).map_err(malformed)?,
-        )),
+        QueryKind::History => Ok(OpOutput::History(decode_history(bytes).map_err(malformed)?)),
         QueryKind::Keys | QueryKind::List => Ok(OpOutput::Keys(
             Vec::<String>::from_bytes(bytes).map_err(malformed)?,
         )),
-        QueryKind::Lineage => Ok(OpOutput::Lineage(
-            decode_lineage(bytes).map_err(malformed)?,
-        )),
+        QueryKind::Lineage => Ok(OpOutput::Lineage(decode_lineage(bytes).map_err(malformed)?)),
     }
 }
 

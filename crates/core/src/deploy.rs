@@ -141,7 +141,10 @@ impl HyperProvNetwork {
     /// Panics if the configuration has no peers or no clients.
     pub fn build(config: &NetworkConfig) -> Self {
         assert!(!config.peer_devices.is_empty(), "need at least one peer");
-        assert!(!config.client_devices.is_empty(), "need at least one client");
+        assert!(
+            !config.client_devices.is_empty(),
+            "need at least one client"
+        );
         let n_peers = config.peer_devices.len();
 
         // Enrol identities.
@@ -208,8 +211,7 @@ impl HyperProvNetwork {
         devices.push(config.orderer_device.clone());
 
         let store = Arc::new(MemoryStore::new());
-        let storage_actor =
-            StorageActor::<NodeMsg>::new(store.clone(), config.storage_costs);
+        let storage_actor = StorageActor::<NodeMsg>::new(store.clone(), config.storage_costs);
         let id = sim.add_actor_with_speed(Box::new(storage_actor), config.storage_device.cpu_speed);
         debug_assert_eq!(id, storage_id);
         devices.push(config.storage_device.clone());

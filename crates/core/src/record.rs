@@ -232,10 +232,7 @@ impl Encode for HistoryRecord {
     fn encode(&self, enc: &mut Encoder) {
         enc.put_digest(&self.tx_id);
         enc.put_u64(self.block);
-        self.record
-            .as_ref()
-            .map(Encode::to_bytes)
-            .encode(enc);
+        self.record.as_ref().map(Encode::to_bytes).encode(enc);
     }
 }
 impl Decode for HistoryRecord {
@@ -247,7 +244,11 @@ impl Decode for HistoryRecord {
             Some(bytes) => Some(ProvenanceRecord::from_bytes(&bytes)?),
             None => None,
         };
-        Ok(HistoryRecord { tx_id, block, record })
+        Ok(HistoryRecord {
+            tx_id,
+            block,
+            record,
+        })
     }
 }
 
@@ -320,7 +321,9 @@ mod tests {
 
     fn cert() -> Certificate {
         let mut b = MspBuilder::new(1);
-        b.enroll("client", &MspId::new("org1")).certificate().clone()
+        b.enroll("client", &MspId::new("org1"))
+            .certificate()
+            .clone()
     }
 
     fn sample() -> ProvenanceRecord {

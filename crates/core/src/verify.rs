@@ -55,7 +55,11 @@ impl fmt::Display for AuditFinding {
             AuditFinding::MissingPayload { key, object } => {
                 write!(f, "missing payload for {key} (object {object})")
             }
-            AuditFinding::TamperedPayload { key, expected, actual } => write!(
+            AuditFinding::TamperedPayload {
+                key,
+                expected,
+                actual,
+            } => write!(
                 f,
                 "tampered payload for {key}: chain says {} but store holds {}",
                 expected.short(),
@@ -106,10 +110,12 @@ pub fn current_records(committer: &Committer) -> Vec<(String, Result<ProvenanceR
 
 /// Audits one peer's ledger against an off-chain store.
 pub fn audit(committer: &Committer, store: &dyn ObjectStore) -> AuditReport {
-    let mut report = AuditReport::default();
+    let mut report = AuditReport {
+        blocks_checked: committer.store().height(),
+        ..AuditReport::default()
+    };
 
     // 1. Chain integrity.
-    report.blocks_checked = committer.store().height();
     if let Err(err) = committer.store().verify_chain() {
         report.findings.push(AuditFinding::ChainBroken {
             detail: err.to_string(),
@@ -132,7 +138,9 @@ pub fn audit(committer: &Committer, store: &dyn ObjectStore) -> AuditReport {
                     .unwrap_or(&record.location)
                     .to_owned();
                 match store.get(&object) {
-                    Err(_) => report.findings.push(AuditFinding::MissingPayload { key, object }),
+                    Err(_) => report
+                        .findings
+                        .push(AuditFinding::MissingPayload { key, object }),
                     Ok(data) => {
                         report.payloads_checked += 1;
                         let actual = Digest::of(&data);

@@ -12,7 +12,12 @@ fn store_get_round_trip_desktop() {
     let mut hp = HyperProv::desktop();
     let payload = b"sensor frame 001".to_vec();
     let record = hp
-        .store_data("frame-001", payload.clone(), vec![], vec![("camera".into(), "north".into())])
+        .store_data(
+            "frame-001",
+            payload.clone(),
+            vec![],
+            vec![("camera".into(), "north".into())],
+        )
         .unwrap();
     assert_eq!(record.checksum, Digest::of(&payload));
     assert_eq!(record.size, payload.len() as u64);
@@ -41,16 +46,17 @@ fn missing_key_is_rejected() {
 #[test]
 fn lineage_chain_traversal() {
     let mut hp = HyperProv::desktop();
-    hp.store_data("raw", b"raw data".to_vec(), vec![], vec![]).unwrap();
-    hp.store_data("cleaned", b"clean data".to_vec(), vec!["raw".into()], vec![])
+    hp.store_data("raw", b"raw data".to_vec(), vec![], vec![])
         .unwrap();
     hp.store_data(
-        "model",
-        b"weights".to_vec(),
-        vec!["cleaned".into()],
+        "cleaned",
+        b"clean data".to_vec(),
+        vec!["raw".into()],
         vec![],
     )
     .unwrap();
+    hp.store_data("model", b"weights".to_vec(), vec!["cleaned".into()], vec![])
+        .unwrap();
     hp.store_data(
         "report",
         b"pdf".to_vec(),
@@ -91,9 +97,12 @@ fn missing_parent_rejected_by_chaincode() {
 #[test]
 fn history_records_every_version() {
     let mut hp = HyperProv::desktop();
-    hp.store_data("doc", b"v1".to_vec(), vec![], vec![]).unwrap();
-    hp.store_data("doc", b"v2".to_vec(), vec![], vec![]).unwrap();
-    hp.store_data("doc", b"v3 final".to_vec(), vec![], vec![]).unwrap();
+    hp.store_data("doc", b"v1".to_vec(), vec![], vec![])
+        .unwrap();
+    hp.store_data("doc", b"v2".to_vec(), vec![], vec![])
+        .unwrap();
+    hp.store_data("doc", b"v3 final".to_vec(), vec![], vec![])
+        .unwrap();
     let history = hp.get_history("doc").unwrap();
     assert_eq!(history.len(), 3);
     let checksums: Vec<Digest> = history
@@ -102,7 +111,11 @@ fn history_records_every_version() {
         .collect();
     assert_eq!(
         checksums,
-        vec![Digest::of(b"v1"), Digest::of(b"v2"), Digest::of(b"v3 final")]
+        vec![
+            Digest::of(b"v1"),
+            Digest::of(b"v2"),
+            Digest::of(b"v3 final")
+        ]
     );
     // Blocks are increasing.
     assert!(history.windows(2).all(|w| w[0].block <= w[1].block));
@@ -112,9 +125,12 @@ fn history_records_every_version() {
 fn checksum_reverse_lookup() {
     let mut hp = HyperProv::desktop();
     let payload = b"shared bytes".to_vec();
-    hp.store_data("copy-a", payload.clone(), vec![], vec![]).unwrap();
-    hp.store_data("copy-b", payload.clone(), vec![], vec![]).unwrap();
-    hp.store_data("other", b"different".to_vec(), vec![], vec![]).unwrap();
+    hp.store_data("copy-a", payload.clone(), vec![], vec![])
+        .unwrap();
+    hp.store_data("copy-b", payload.clone(), vec![], vec![])
+        .unwrap();
+    hp.store_data("other", b"different".to_vec(), vec![], vec![])
+        .unwrap();
     let keys = hp.get_keys_by_checksum(Digest::of(&payload)).unwrap();
     assert_eq!(keys, vec!["copy-a", "copy-b"]);
 }
@@ -122,7 +138,8 @@ fn checksum_reverse_lookup() {
 #[test]
 fn delete_removes_current_but_keeps_history() {
     let mut hp = HyperProv::desktop();
-    hp.store_data("temp", b"x".to_vec(), vec![], vec![]).unwrap();
+    hp.store_data("temp", b"x".to_vec(), vec![], vec![])
+        .unwrap();
     hp.delete("temp").unwrap();
     assert!(hp.get("temp").is_err());
     let history = hp.get_history("temp").unwrap();
@@ -227,7 +244,9 @@ fn rpi_network_works_but_is_slower() {
     let desktop = run(HyperProv::with_config(
         &NetworkConfig::desktop(1).with_batch(batch),
     ));
-    let rpi = run(HyperProv::with_config(&NetworkConfig::rpi(1).with_batch(batch)));
+    let rpi = run(HyperProv::with_config(
+        &NetworkConfig::rpi(1).with_batch(batch),
+    ));
     assert!(
         rpi > desktop,
         "rpi {rpi} should be slower than desktop {desktop}"
@@ -252,16 +271,22 @@ fn post_metadata_only_item() {
         Err(HyperProvError::Rejected(_))
     ));
     // but get works.
-    assert_eq!(hp.get("external").unwrap().meta("source"), Some("satellite"));
+    assert_eq!(
+        hp.get("external").unwrap().meta("source"),
+        Some("satellite")
+    );
 }
 
 #[test]
 fn list_enumerates_live_items() {
     let mut hp = HyperProv::desktop();
     assert!(hp.list().unwrap().is_empty());
-    hp.store_data("zebra", b"z".to_vec(), vec![], vec![]).unwrap();
-    hp.store_data("apple", b"a".to_vec(), vec![], vec![]).unwrap();
-    hp.store_data("mango", b"m".to_vec(), vec![], vec![]).unwrap();
+    hp.store_data("zebra", b"z".to_vec(), vec![], vec![])
+        .unwrap();
+    hp.store_data("apple", b"a".to_vec(), vec![], vec![])
+        .unwrap();
+    hp.store_data("mango", b"m".to_vec(), vec![], vec![])
+        .unwrap();
     assert_eq!(hp.list().unwrap(), vec!["apple", "mango", "zebra"]);
     hp.delete("mango").unwrap();
     assert_eq!(hp.list().unwrap(), vec!["apple", "zebra"]);
@@ -271,7 +296,8 @@ fn list_enumerates_live_items() {
 fn exported_chain_replays_into_identical_ledger() {
     let mut hp = HyperProv::desktop();
     hp.store_data("x", b"one".to_vec(), vec![], vec![]).unwrap();
-    hp.store_data("y", b"two".to_vec(), vec!["x".into()], vec![]).unwrap();
+    hp.store_data("y", b"two".to_vec(), vec!["x".into()], vec![])
+        .unwrap();
     let mut buf = Vec::new();
     hp.export_chain(&mut buf).unwrap();
 

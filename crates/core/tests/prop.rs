@@ -11,7 +11,9 @@ use proptest::prelude::*;
 
 fn cert() -> Certificate {
     let mut b = MspBuilder::new(1);
-    b.enroll("client", &MspId::new("org1")).certificate().clone()
+    b.enroll("client", &MspId::new("org1"))
+        .certificate()
+        .clone()
 }
 
 fn arb_input() -> impl Strategy<Value = RecordInput> {

@@ -12,9 +12,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
-use hyperprov_ledger::{
-    HistoryDb, HistoryEntry, KvRead, KvWrite, RwSet, StateDb, StateKey,
-};
+use hyperprov_ledger::{HistoryDb, HistoryEntry, KvRead, KvWrite, RwSet, StateDb, StateKey};
 
 use crate::identity::Certificate;
 
@@ -187,7 +185,8 @@ impl<'a> ChaincodeStub<'a> {
         match self.write_index.get(&skey) {
             Some(&idx) => self.rwset.writes[idx].value = value,
             None => {
-                self.write_index.insert(skey.clone(), self.rwset.writes.len());
+                self.write_index
+                    .insert(skey.clone(), self.rwset.writes.len());
                 self.rwset.writes.push(KvWrite { key: skey, value });
             }
         }
@@ -342,7 +341,9 @@ impl fmt::Debug for ChaincodeRegistry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut names: Vec<&String> = self.map.keys().collect();
         names.sort();
-        f.debug_struct("ChaincodeRegistry").field("installed", &names).finish()
+        f.debug_struct("ChaincodeRegistry")
+            .field("installed", &names)
+            .finish()
     }
 }
 
@@ -436,8 +437,13 @@ mod tests {
         let (state, history, cert) = fixtures();
         let args = vec![];
         let stub = ChaincodeStub::new("cc", "f", &args, &cert, &state, &history);
-        let key = stub.create_composite_key("owner", &["org1", "item1"]).unwrap();
-        assert_eq!(ChaincodeStub::split_composite_key(&key), vec!["owner", "org1", "item1"]);
+        let key = stub
+            .create_composite_key("owner", &["org1", "item1"])
+            .unwrap();
+        assert_eq!(
+            ChaincodeStub::split_composite_key(&key),
+            vec!["owner", "org1", "item1"]
+        );
         assert!(stub
             .create_composite_key("bad", &[&format!("a{COMPOSITE_SEP}b")])
             .is_err());

@@ -316,7 +316,10 @@ mod tests {
         assert_eq!(out.valid, 1);
         assert_eq!(out.invalid, 0);
         assert_eq!(out.events[0].code, ValidationCode::Valid);
-        assert_eq!(c.state().get(&StateKey::new("cc", "k")).unwrap().value, b"v");
+        assert_eq!(
+            c.state().get(&StateKey::new("cc", "k")).unwrap().value,
+            b"v"
+        );
         assert_eq!(c.history().history(&StateKey::new("cc", "k")).len(), 1);
         assert_eq!(c.height(), 1);
     }
@@ -364,7 +367,10 @@ mod tests {
         let out = c.commit_block(block_of(&c, vec![e1, e2])).unwrap();
         assert_eq!(out.events[0].code, ValidationCode::Valid);
         assert_eq!(out.events[1].code, ValidationCode::MvccReadConflict);
-        assert_eq!(c.state().get(&StateKey::new("cc", "k")).unwrap().value, vec![1]);
+        assert_eq!(
+            c.state().get(&StateKey::new("cc", "k")).unwrap().value,
+            vec![1]
+        );
     }
 
     #[test]
@@ -399,7 +405,10 @@ mod tests {
         let bad = Block::build(7, Digest::ZERO, vec![env.to_raw()]);
         assert!(matches!(
             c.commit_block(bad),
-            Err(ChainError::WrongNumber { got: 7, expected: 0 })
+            Err(ChainError::WrongNumber {
+                got: 7,
+                expected: 0
+            })
         ));
         assert_eq!(c.height(), 0);
         assert!(c.state().is_empty());
@@ -437,7 +446,9 @@ mod tests {
         let mut original = committer(&n, policy.clone());
         // Build a few blocks, including one MVCC conflict.
         let e1 = envelope(&n, 1, write_set("a", b"1"), &[0]);
-        original.commit_block(block_of(&original, vec![e1])).unwrap();
+        original
+            .commit_block(block_of(&original, vec![e1]))
+            .unwrap();
         let conflicting = RwSet {
             reads: vec![KvRead {
                 key: StateKey::new("cc", "a"),
@@ -450,7 +461,9 @@ mod tests {
         };
         let e2 = envelope(&n, 2, conflicting, &[0]);
         let e3 = envelope(&n, 3, write_set("b", b"3"), &[0]);
-        original.commit_block(block_of(&original, vec![e2, e3])).unwrap();
+        original
+            .commit_block(block_of(&original, vec![e2, e3]))
+            .unwrap();
 
         // Persist and replay through a fresh committer.
         let mut buf = Vec::new();
@@ -473,11 +486,19 @@ mod tests {
         );
         // Same world state.
         assert_eq!(
-            rebuilt.state().get(&StateKey::new("cc", "a")).unwrap().value,
+            rebuilt
+                .state()
+                .get(&StateKey::new("cc", "a"))
+                .unwrap()
+                .value,
             b"1"
         );
         assert_eq!(
-            rebuilt.state().get(&StateKey::new("cc", "b")).unwrap().value,
+            rebuilt
+                .state()
+                .get(&StateKey::new("cc", "b"))
+                .unwrap()
+                .value,
             b"3"
         );
         assert_eq!(
@@ -494,10 +515,7 @@ mod tests {
             "cc",
             EndorsementPolicy::all_of([MspId::new("org1"), MspId::new("org2")]),
         );
-        assert_eq!(
-            policies.policy_for("cc").min_endorsers(),
-            2
-        );
+        assert_eq!(policies.policy_for("cc").min_endorsers(), 2);
         assert_eq!(policies.policy_for("other").min_endorsers(), 1);
         let mut c = Committer::new(n.msp.clone(), policies);
         let env = envelope(&n, 1, write_set("k", b"v"), &[0, 1]);

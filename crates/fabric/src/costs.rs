@@ -126,7 +126,10 @@ mod tests {
     fn hash_cost_scales_linearly() {
         let m = model();
         assert_eq!(m.hash_cost(0), SimDuration::ZERO);
-        assert_eq!(m.hash_cost(2000).as_nanos(), 2 * m.hash_cost(1000).as_nanos());
+        assert_eq!(
+            m.hash_cost(2000).as_nanos(),
+            2 * m.hash_cost(1000).as_nanos()
+        );
     }
 
     #[test]

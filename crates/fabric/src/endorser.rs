@@ -37,7 +37,10 @@ pub fn endorse(
 
     // Authenticate the client.
     if !msp.verify(&proposal.creator, &proposal.to_bytes(), &signed.signature) {
-        return (fail("invalid client signature".to_owned()), StubStats::default());
+        return (
+            fail("invalid client signature".to_owned()),
+            StubStats::default(),
+        );
     }
 
     // Dispatch to the chaincode.
@@ -103,8 +106,7 @@ mod tests {
                 }
                 "get" => {
                     let key = stub.arg_str(0)?.to_owned();
-                    stub.get_state(&key)
-                        .ok_or(ChaincodeError::NotFound(key))
+                    stub.get_state(&key).ok_or(ChaincodeError::NotFound(key))
                 }
                 other => Err(ChaincodeError::UnknownFunction(other.to_owned())),
             }
@@ -138,7 +140,12 @@ mod tests {
         }
     }
 
-    fn signed(client: &SigningIdentity, chaincode: &str, function: &str, args: Vec<Vec<u8>>) -> SignedProposal {
+    fn signed(
+        client: &SigningIdentity,
+        chaincode: &str,
+        function: &str,
+        args: Vec<Vec<u8>>,
+    ) -> SignedProposal {
         let proposal = Proposal {
             channel: "ch".into(),
             chaincode: chaincode.into(),

@@ -14,7 +14,7 @@ use hyperprov_sim::{ActorId, Context, SimTime};
 use crate::costs::CostModel;
 use crate::identity::SigningIdentity;
 use crate::messages::{
-    CommitEvent, Endorsement, Envelope, Proposal, ProposalResponse, SignedProposal,
+    tx_trace, CommitEvent, Endorsement, Envelope, Proposal, ProposalResponse, SignedProposal,
 };
 use crate::nodes::{Carries, FabricMsg};
 
@@ -61,7 +61,7 @@ enum Inflight {
     Tx {
         started: SimTime,
         needed: usize,
-        proposal: Proposal,
+        proposal: Box<Proposal>,
         responses: Vec<ProposalResponse>,
         submitted: bool,
     },
@@ -169,12 +169,15 @@ impl Gateway {
     ) -> TxId {
         let sp = self.make_signed(ctx, chaincode, function, args);
         let tx_id = sp.proposal.tx_id();
+        // The endorse span covers the whole client-side collection phase:
+        // it closes in `submit` (or on failure), where `commit_wait` opens.
+        ctx.span_start(&tx_trace(&tx_id), "endorse", "");
         self.inflight.insert(
             tx_id,
             Inflight::Tx {
                 started: ctx.now(),
                 needed: self.endorsements_needed,
-                proposal: sp.proposal.clone(),
+                proposal: Box::new(sp.proposal.clone()),
                 responses: Vec::new(),
                 submitted: false,
             },
@@ -197,7 +200,9 @@ impl Gateway {
     ) -> TxId {
         let sp = self.make_signed(ctx, chaincode, function, args);
         let tx_id = sp.proposal.tx_id();
-        self.inflight.insert(tx_id, Inflight::Query { started: ctx.now() });
+        ctx.span_start(&tx_trace(&tx_id), "query", "");
+        self.inflight
+            .insert(tx_id, Inflight::Query { started: ctx.now() });
         let bytes = sp.proposal.wire_size() + 32;
         let dst = self.endorsers[0];
         ctx.send(dst, bytes, M::wrap(FabricMsg::SubmitProposal(sp)));
@@ -228,6 +233,7 @@ impl Gateway {
             Some(Inflight::Query { started }) => {
                 let latency = ctx.now() - *started;
                 self.inflight.remove(&tx_id);
+                ctx.span_end(&tx_trace(&tx_id), "query", "");
                 vec![GatewayEvent::QueryDone {
                     tx_id,
                     result: resp.result,
@@ -247,6 +253,8 @@ impl Gateway {
                     // Fail fast, as the Fabric SDK does.
                     let reason = reason.clone();
                     self.inflight.remove(&tx_id);
+                    ctx.span_end(&tx_trace(&tx_id), "endorse", "");
+                    ctx.trace_event(&tx_trace(&tx_id), "endorse.rejected", &reason);
                     return vec![GatewayEvent::TxFailed { tx_id, reason }];
                 }
                 responses.push(resp);
@@ -260,6 +268,8 @@ impl Gateway {
                     .all(|r| r.rwset == first.rwset && r.result == first.result);
                 if !agree {
                     self.inflight.remove(&tx_id);
+                    ctx.span_end(&tx_trace(&tx_id), "endorse", "");
+                    ctx.trace_event(&tx_trace(&tx_id), "endorse.mismatch", "");
                     return vec![GatewayEvent::TxFailed {
                         tx_id,
                         reason: "endorsement mismatch across peers".to_owned(),
@@ -286,7 +296,7 @@ impl Gateway {
         };
         let first = &responses[0];
         let envelope = Envelope {
-            proposal: proposal.clone(),
+            proposal: proposal.as_ref().clone(),
             payload: first.result.clone().unwrap_or_default(),
             rwset: first.rwset.clone(),
             event: first.event.clone(),
@@ -302,6 +312,12 @@ impl Gateway {
         let bytes = envelope.wire_size();
         let orderer = self.orderer;
         ctx.send(orderer, bytes, M::wrap(FabricMsg::Broadcast(envelope)));
+        // Endorsements are in; from here the client just waits for the
+        // commit notification. The two spans are contiguous, so their
+        // durations sum exactly to the end-to-end invoke latency.
+        let trace = tx_trace(&tx_id);
+        ctx.span_end(&trace, "endorse", "");
+        ctx.span_start(&trace, "commit_wait", "");
     }
 
     fn on_commit<M: Carries<FabricMsg>>(
@@ -310,8 +326,11 @@ impl Gateway {
         event: CommitEvent,
     ) -> Vec<GatewayEvent> {
         match self.inflight.remove(&event.tx_id) {
-            Some(Inflight::Tx { started, responses, .. }) => {
+            Some(Inflight::Tx {
+                started, responses, ..
+            }) => {
                 let latency = ctx.now() - started;
+                ctx.span_end(&tx_trace(&event.tx_id), "commit_wait", "");
                 let payload = responses
                     .first()
                     .and_then(|r| r.result.clone().ok())

@@ -16,9 +16,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
-use hyperprov_ledger::{
-    hmac_sha256, CodecError, Decode, Decoder, Digest, Encode, Encoder,
-};
+use hyperprov_ledger::{hmac_sha256, CodecError, Decode, Decoder, Digest, Encode, Encoder};
 
 /// An organisation (membership service provider) identifier.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -160,7 +158,10 @@ pub struct Msp {
 impl Msp {
     /// True if the certificate is enrolled (same subject/org/id).
     pub fn is_enrolled(&self, cert: &Certificate) -> bool {
-        self.certs.get(&cert.id).map(|(c, _)| c == cert).unwrap_or(false)
+        self.certs
+            .get(&cert.id)
+            .map(|(c, _)| c == cert)
+            .unwrap_or(false)
     }
 
     /// Verifies `sig` over `message` for `cert`.
@@ -169,9 +170,7 @@ impl Msp {
     /// contents, or wrong tags.
     pub fn verify(&self, cert: &Certificate, message: &[u8], sig: &Signature) -> bool {
         match self.certs.get(&cert.id) {
-            Some((enrolled, secret)) if enrolled == cert => {
-                hmac_sha256(secret, message) == sig.0
-            }
+            Some((enrolled, secret)) if enrolled == cert => hmac_sha256(secret, message) == sig.0,
             _ => false,
         }
     }

@@ -39,10 +39,12 @@ pub use endorser::endorse;
 pub use gateway::{Gateway, GatewayEvent, GATEWAY_NOOP_TOKEN};
 pub use identity::{CertId, Certificate, Msp, MspBuilder, MspId, Signature, SigningIdentity};
 pub use messages::{
-    endorsement_message, payload_checksum, ChaincodeEvent, CommitEvent, Endorsement, Envelope,
-    Proposal, ProposalResponse, SignedProposal,
+    endorsement_message, payload_checksum, tx_trace, ChaincodeEvent, CommitEvent, Endorsement,
+    Envelope, Proposal, ProposalResponse, SignedProposal,
 };
-pub use nodes::{Carries, FabricMsg, PeerActor, RaftOrdererActor, SoloOrdererActor, RAFT_TICK_TOKEN};
+pub use nodes::{
+    Carries, FabricMsg, PeerActor, RaftOrdererActor, SoloOrdererActor, RAFT_TICK_TOKEN,
+};
 pub use orderer::{BatchConfig, BlockAssembler, BlockCutter, CutterOutput};
 pub use policy::EndorsementPolicy;
 pub use raft::{LogEntry, PeerIdx, RaftConfig, RaftMsg, RaftNode, RaftOutput, Role};

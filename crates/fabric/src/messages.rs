@@ -11,6 +11,15 @@ use hyperprov_ledger::{
 
 use crate::identity::{Certificate, Signature};
 
+/// The span-trace key of a transaction: its full tx-id hex string.
+///
+/// Every pipeline stage derives the key the same way, so client-side and
+/// server-side spans of one transaction share a trace (see the
+/// "Observability" section of DESIGN.md for the span taxonomy).
+pub fn tx_trace(tx_id: &TxId) -> String {
+    tx_id.0.to_hex()
+}
+
 /// A client's request to execute a chaincode function.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Proposal {
@@ -396,19 +405,13 @@ mod tests {
             signature: Signature(Digest::of(b"sig")),
         };
         assert!(ok.is_success());
-        assert_eq!(
-            ProposalResponse::from_bytes(&ok.to_bytes()).unwrap(),
-            ok
-        );
+        assert_eq!(ProposalResponse::from_bytes(&ok.to_bytes()).unwrap(), ok);
         let err = ProposalResponse {
             result: Err("rejected: dup".to_owned()),
             ..ok
         };
         assert!(!err.is_success());
-        assert_eq!(
-            ProposalResponse::from_bytes(&err.to_bytes()).unwrap(),
-            err
-        );
+        assert_eq!(ProposalResponse::from_bytes(&err.to_bytes()).unwrap(), err);
     }
 
     #[test]

@@ -22,7 +22,7 @@ use crate::committer::Committer;
 use crate::costs::CostModel;
 use crate::endorser::endorse;
 use crate::identity::SigningIdentity;
-use crate::messages::{CommitEvent, Envelope, ProposalResponse, SignedProposal};
+use crate::messages::{tx_trace, CommitEvent, Envelope, ProposalResponse, SignedProposal};
 use crate::orderer::{BatchConfig, BlockAssembler, BlockCutter};
 use crate::raft::{RaftConfig, RaftMsg, RaftNode};
 
@@ -63,7 +63,12 @@ impl FabricMsg {
                 RaftMsg::AppendEntries { entries, .. } => {
                     128 + entries
                         .iter()
-                        .map(|e| e.payload.iter().map(|r| r.bytes.len() as u64 + 40).sum::<u64>())
+                        .map(|e| {
+                            e.payload
+                                .iter()
+                                .map(|r| r.bytes.len() as u64 + 40)
+                                .sum::<u64>()
+                        })
                         .sum::<u64>()
                 }
                 _ => 64,
@@ -83,11 +88,25 @@ impl Carries<FabricMsg> for FabricMsg {
     }
 }
 
+/// A span to close when a deferred job's CPU time finishes. Spans are
+/// keyed by `(trace, stage, detail)` (see `hyperprov_sim::Tracer`), so the
+/// closing instruction can travel with the outbox entry instead of the
+/// message.
+#[derive(Debug, Clone)]
+struct SpanClose {
+    trace: String,
+    stage: &'static str,
+    detail: String,
+}
+
+/// One deferred batch: messages to ship plus spans to close on release.
+type Deferred<M> = (Vec<(ActorId, u64, M)>, Vec<SpanClose>);
+
 /// Deferred sends released when the node's CPU finishes a job.
 #[derive(Debug, Default)]
 struct Outbox<M> {
     next_token: u64,
-    pending: HashMap<u64, Vec<(ActorId, u64, M)>>,
+    pending: HashMap<u64, Deferred<M>>,
 }
 
 impl<M> Outbox<M> {
@@ -99,15 +118,24 @@ impl<M> Outbox<M> {
         }
     }
 
-    fn defer(&mut self, sends: Vec<(ActorId, u64, M)>) -> u64 {
+    fn defer(&mut self, sends: Vec<(ActorId, u64, M)>, closes: Vec<SpanClose>) -> u64 {
         self.next_token += 1;
         let token = self.next_token;
-        self.pending.insert(token, sends);
+        self.pending.insert(token, (sends, closes));
         token
     }
 
-    fn release(&mut self, token: u64) -> Option<Vec<(ActorId, u64, M)>> {
-        self.pending.remove(&token)
+    /// Releases a finished job: closes its spans at the current virtual
+    /// time, then ships the deferred messages.
+    fn release(&mut self, ctx: &mut Context<'_, M>, token: u64) {
+        if let Some((sends, closes)) = self.pending.remove(&token) {
+            for close in closes {
+                ctx.span_end(&close.trace, close.stage, &close.detail);
+            }
+            for (dst, bytes, msg) in sends {
+                ctx.send(dst, bytes, msg);
+            }
+        }
     }
 }
 
@@ -173,11 +201,21 @@ impl<M: Carries<FabricMsg>> PeerActor<M> {
         );
         drop(committer);
         let cost = self.costs.endorse_cost(&sp.proposal, &stats);
-        ctx.metrics().incr(&format!("{}.endorsed", self.metric_prefix), 1);
+        ctx.metrics()
+            .incr(&format!("{}.endorsed", self.metric_prefix), 1);
+        // Per-peer execution span: chaincode simulation + signing, closed
+        // when the virtual CPU finishes and the response ships.
+        let trace = tx_trace(&sp.proposal.tx_id());
+        ctx.span_start(&trace, "endorse.exec", &self.metric_prefix);
         let bytes = response.wire_size();
-        let token = self
-            .outbox
-            .defer(vec![(src, bytes, M::wrap(FabricMsg::ProposalResult(response)))]);
+        let token = self.outbox.defer(
+            vec![(src, bytes, M::wrap(FabricMsg::ProposalResult(response)))],
+            vec![SpanClose {
+                trace,
+                stage: "endorse.exec",
+                detail: self.metric_prefix.clone(),
+            }],
+        );
         ctx.execute(cost, token);
     }
 
@@ -218,27 +256,43 @@ impl<M: Carries<FabricMsg>> PeerActor<M> {
         for raw in &block.envelopes {
             if let Ok(env) = Envelope::from_raw(raw) {
                 cost += self.costs.validate_cost(&env);
-                cost += self
-                    .costs
-                    .apply_cost(env.rwset.write_bytes() as u64, env.rwset.writes.len() as u64);
+                cost += self.costs.apply_cost(
+                    env.rwset.write_bytes() as u64,
+                    env.rwset.writes.len() as u64,
+                );
             }
         }
+        // The validate span covers VSCC + MVCC + state apply for the whole
+        // block on this peer; it closes once the modelled CPU finishes.
+        let trace = format!("block-{}", block.header.number);
+        ctx.span_start(&trace, "validate", &self.metric_prefix);
         match self.committer.borrow_mut().commit_block(block) {
             Ok(outcome) => {
                 let prefix = &self.metric_prefix;
                 ctx.metrics().incr(&format!("{prefix}.blocks"), 1);
-                ctx.metrics().incr(&format!("{prefix}.tx.valid"), outcome.valid as u64);
-                ctx.metrics().incr(&format!("{prefix}.tx.invalid"), outcome.invalid as u64);
+                ctx.metrics()
+                    .incr(&format!("{prefix}.tx.valid"), outcome.valid as u64);
+                ctx.metrics()
+                    .incr(&format!("{prefix}.tx.invalid"), outcome.invalid as u64);
                 let mut sends = Vec::new();
                 for event in outcome.events {
                     for &client in &self.subscribers {
                         sends.push((client, 128, M::wrap(FabricMsg::Commit(event.clone()))));
                     }
                 }
-                let token = self.outbox.defer(sends);
+                let detail = self.metric_prefix.clone();
+                let token = self.outbox.defer(
+                    sends,
+                    vec![SpanClose {
+                        trace,
+                        stage: "validate",
+                        detail,
+                    }],
+                );
                 ctx.execute(cost, token);
             }
             Err(err) => {
+                ctx.span_end(&trace, "validate", &self.metric_prefix);
                 ctx.metrics()
                     .incr(&format!("{}.commit_errors", self.metric_prefix), 1);
                 let _ = err;
@@ -256,11 +310,7 @@ impl<M: Carries<FabricMsg>> Actor<M> for PeerActor<M> {
                 Ok(_) | Err(_) => {}
             },
             Event::Timer { token } => {
-                if let Some(sends) = self.outbox.release(token) {
-                    for (dst, bytes, msg) in sends {
-                        ctx.send(dst, bytes, msg);
-                    }
-                }
+                self.outbox.release(ctx, token);
             }
         }
     }
@@ -306,21 +356,44 @@ impl<M: Carries<FabricMsg>> SoloOrdererActor<M> {
         }
     }
 
-    fn deliver_batches(&mut self, ctx: &mut Context<'_, M>, batches: Vec<Vec<RawEnvelope>>, cost: SimDuration) {
+    fn deliver_batches(
+        &mut self,
+        ctx: &mut Context<'_, M>,
+        batches: Vec<Vec<RawEnvelope>>,
+        cost: SimDuration,
+    ) {
         if batches.is_empty() {
             return;
         }
         let mut sends = Vec::new();
+        let mut closes = Vec::new();
         for batch in batches {
             let block = self.assembler.assemble(batch);
             ctx.metrics().incr("orderer.blocks_cut", 1);
+            let trace = format!("block-{}", block.header.number);
+            for raw in &block.envelopes {
+                // The tx has left the cutter's pending queue.
+                ctx.span_end(&tx_trace(&raw.tx_id), "order.queue", "");
+            }
+            ctx.trace_event(
+                &trace,
+                "block.cut",
+                &format!("txs={}", block.envelopes.len()),
+            );
+            // Block assembly + dissemination, closed at CPU finish.
+            ctx.span_start(&trace, "order.deliver", "");
+            closes.push(SpanClose {
+                trace,
+                stage: "order.deliver",
+                detail: String::new(),
+            });
             self.retain(&block);
             let bytes = block.wire_size();
             for &peer in &self.peers {
                 sends.push((peer, bytes, M::wrap(FabricMsg::DeliverBlock(block.clone()))));
             }
         }
-        let token = self.outbox.defer(sends);
+        let token = self.outbox.defer(sends, closes);
         ctx.execute(cost, token);
     }
 
@@ -347,6 +420,8 @@ impl<M: Carries<FabricMsg>> Actor<M> for SoloOrdererActor<M> {
                     let raw = env.to_raw();
                     let cost = self.costs.order_cost(raw.bytes.len() as u64);
                     ctx.metrics().incr("orderer.broadcasts", 1);
+                    // Time the tx spends waiting for its batch to cut.
+                    ctx.span_start(&tx_trace(&raw.tx_id), "order.queue", "");
                     let out = self.cutter.offer(raw);
                     // Timer follows pending state: cancel (batch cut) or arm.
                     if !out.batches.is_empty() {
@@ -378,11 +453,7 @@ impl<M: Carries<FabricMsg>> Actor<M> for SoloOrdererActor<M> {
                 }
             }
             Event::Timer { token } => {
-                if let Some(sends) = self.outbox.release(token) {
-                    for (dst, bytes, msg) in sends {
-                        ctx.send(dst, bytes, msg);
-                    }
-                }
+                self.outbox.release(ctx, token);
             }
         }
     }
@@ -393,6 +464,9 @@ impl<M: Carries<FabricMsg>> Actor<M> for SoloOrdererActor<M> {
 /// all peers (peers deduplicate by height).
 pub struct RaftOrdererActor<M> {
     raft: RaftNode<Vec<RawEnvelope>>,
+    /// This member's cluster index, used as span detail so the per-member
+    /// `order.deliver` spans of one block do not collide.
+    index: usize,
     cutter: BlockCutter,
     assembler: BlockAssembler,
     /// Actor ids of the raft cluster, indexed by raft peer index.
@@ -409,6 +483,7 @@ pub struct RaftOrdererActor<M> {
 
 impl<M: Carries<FabricMsg>> RaftOrdererActor<M> {
     /// Creates raft orderer `index` of `cluster.len()` members.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         index: usize,
         cluster: Vec<ActorId>,
@@ -421,6 +496,7 @@ impl<M: Carries<FabricMsg>> RaftOrdererActor<M> {
     ) -> Self {
         RaftOrdererActor {
             raft: RaftNode::new(index, cluster.len(), raft_config, seed),
+            index,
             cutter: BlockCutter::new(batch),
             assembler: BlockAssembler::new(),
             cluster,
@@ -448,6 +524,16 @@ impl<M: Carries<FabricMsg>> RaftOrdererActor<M> {
         for (_, batch) in out.committed {
             let block = self.assembler.assemble(batch);
             ctx.metrics().incr("orderer.blocks_cut", 1);
+            let trace = format!("block-{}", block.header.number);
+            if self.raft.is_leader() {
+                // Queue spans open where the Broadcast was admitted; only
+                // that member (the leader, barring elections) closes them.
+                for raw in &block.envelopes {
+                    ctx.span_end(&tx_trace(&raw.tx_id), "order.queue", "");
+                }
+            }
+            let detail = self.index.to_string();
+            ctx.span_start(&trace, "order.deliver", &detail);
             self.retained.push_back(block.clone());
             while self.retained.len() > self.retain_limit {
                 self.retained.pop_front();
@@ -458,7 +544,14 @@ impl<M: Carries<FabricMsg>> RaftOrdererActor<M> {
                 sends.push((peer, bytes, M::wrap(FabricMsg::DeliverBlock(block.clone()))));
             }
             let cost = self.costs.block_cost(bytes);
-            let token = self.outbox.defer(sends);
+            let token = self.outbox.defer(
+                sends,
+                vec![SpanClose {
+                    trace,
+                    stage: "order.deliver",
+                    detail,
+                }],
+            );
             ctx.execute(cost, token);
         }
     }
@@ -491,6 +584,7 @@ impl<M: Carries<FabricMsg>> Actor<M> for RaftOrdererActor<M> {
                         let raw = env.to_raw();
                         let cost = self.costs.order_cost(raw.bytes.len() as u64);
                         ctx.metrics().incr("orderer.broadcasts", 1);
+                        ctx.span_start(&tx_trace(&raw.tx_id), "order.queue", "");
                         // Admission cost is charged but does not gate
                         // consensus messages (they are network-bound).
                         ctx.execute(cost, 0);
@@ -536,11 +630,7 @@ impl<M: Carries<FabricMsg>> Actor<M> for RaftOrdererActor<M> {
                 }
             }
             Event::Timer { token } => {
-                if let Some(sends) = self.outbox.release(token) {
-                    for (dst, bytes, msg) in sends {
-                        ctx.send(dst, bytes, msg);
-                    }
-                }
+                self.outbox.release(ctx, token);
             }
         }
     }

@@ -88,8 +88,7 @@ impl BlockCutter {
         }
 
         // Would overflow the preferred size: cut pending first.
-        if !self.pending.is_empty() && self.pending_bytes + size > self.config.preferred_max_bytes
-        {
+        if !self.pending.is_empty() && self.pending_bytes + size > self.config.preferred_max_bytes {
             batches.push(self.take_pending());
         }
 

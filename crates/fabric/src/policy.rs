@@ -69,10 +69,8 @@ impl EndorsementPolicy {
 
     /// A strict majority (`floor(n/2) + 1`) of the given organisations.
     pub fn majority_of(orgs: impl IntoIterator<Item = MspId>) -> Self {
-        let leaves: Vec<EndorsementPolicy> = orgs
-            .into_iter()
-            .map(EndorsementPolicy::SignedBy)
-            .collect();
+        let leaves: Vec<EndorsementPolicy> =
+            orgs.into_iter().map(EndorsementPolicy::SignedBy).collect();
         let n = leaves.len() / 2 + 1;
         EndorsementPolicy::OutOf(n, leaves)
     }
@@ -91,9 +89,7 @@ impl EndorsementPolicy {
                 // An empty Or is unsatisfiable, like Fabric's empty NOutOf.
                 subs.iter().any(|p| p.eval(set))
             }
-            EndorsementPolicy::OutOf(n, subs) => {
-                subs.iter().filter(|p| p.eval(set)).count() >= *n
-            }
+            EndorsementPolicy::OutOf(n, subs) => subs.iter().filter(|p| p.eval(set)).count() >= *n,
         }
     }
 

@@ -352,12 +352,8 @@ impl<T: Clone> RaftNode<T> {
             } else {
                 self.log[(prev_index - 1) as usize].term
             };
-            let entries: Vec<LogEntry<T>> = self
-                .log
-                .iter()
-                .skip((next - 1) as usize)
-                .cloned()
-                .collect();
+            let entries: Vec<LogEntry<T>> =
+                self.log.iter().skip((next - 1) as usize).cloned().collect();
             out.messages.push((
                 peer,
                 RaftMsg::AppendEntries {
@@ -382,7 +378,11 @@ impl<T: Clone> RaftNode<T> {
                 last_log_index,
                 last_log_term,
             } => self.on_request_vote(term, candidate, last_log_index, last_log_term),
-            RaftMsg::VoteReply { term, granted, from } => self.on_vote_reply(term, granted, from),
+            RaftMsg::VoteReply {
+                term,
+                granted,
+                from,
+            } => self.on_vote_reply(term, granted, from),
             RaftMsg::AppendEntries {
                 term,
                 leader,
@@ -566,7 +566,8 @@ impl<T: Clone> RaftNode<T> {
         while self.applied_index < self.commit_index {
             self.applied_index += 1;
             let entry = &self.log[(self.applied_index - 1) as usize];
-            out.committed.push((self.applied_index, entry.payload.clone()));
+            out.committed
+                .push((self.applied_index, entry.payload.clone()));
         }
     }
 }
@@ -733,7 +734,11 @@ mod tests {
             c.dispatch(leader, out);
         }
         c.run_ticks(80);
-        assert_eq!(c.committed[leader].len(), before, "minority must not commit");
+        assert_eq!(
+            c.committed[leader].len(),
+            before,
+            "minority must not commit"
+        );
         assert!(!c.committed.iter().flatten().any(|&(_, v)| v == 666));
         // Majority side elected a new leader and can commit.
         let majority_leader = (0..5)

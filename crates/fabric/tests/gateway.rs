@@ -97,8 +97,13 @@ fn build(
             msp.clone(),
             ChannelPolicies::new(policy.clone()),
         )));
-        let mut peer =
-            PeerActor::<FabricMsg>::new(identity.clone(), registry, committer, costs, format!("p{i}"));
+        let mut peer = PeerActor::<FabricMsg>::new(
+            identity.clone(),
+            registry,
+            committer,
+            costs,
+            format!("p{i}"),
+        );
         if i == 0 {
             peer.subscribe(client_actor);
         }

@@ -299,7 +299,14 @@ fn raft_ordering_service_commits_transactions() {
 
     let log = Rc::new(RefCell::new(DriverLog::default()));
     // Point the gateway at orderer 0; it redirects to the leader if needed.
-    let gateway = Gateway::new(client_id, "ch1", vec![peer_actor_id], orderer_ids[0], 1, costs);
+    let gateway = Gateway::new(
+        client_id,
+        "ch1",
+        vec![peer_actor_id],
+        orderer_ids[0],
+        1,
+        costs,
+    );
     let driver = ClientDriver {
         gateway,
         remaining: 8,

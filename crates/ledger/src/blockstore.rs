@@ -255,7 +255,10 @@ mod tests {
         let bad = Block::build(5, store.tip_hash(), vec![]);
         assert_eq!(
             store.append(bad),
-            Err(ChainError::WrongNumber { got: 5, expected: 1 })
+            Err(ChainError::WrongNumber {
+                got: 5,
+                expected: 1
+            })
         );
         assert_eq!(store.height(), 1);
     }
@@ -336,9 +339,12 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(!ChainError::WrongNumber { got: 1, expected: 0 }
-            .to_string()
-            .is_empty());
+        assert!(!ChainError::WrongNumber {
+            got: 1,
+            expected: 0
+        }
+        .to_string()
+        .is_empty());
         assert!(!ChainError::BrokenLink { at: 2 }.to_string().is_empty());
         assert!(!ChainError::BadDataHash { at: 3 }.to_string().is_empty());
     }

@@ -45,8 +45,14 @@ impl fmt::Display for CodecError {
             }
             CodecError::InvalidUtf8 => write!(f, "invalid UTF-8 in string"),
             CodecError::VarintOverflow => write!(f, "varint exceeds 64 bits"),
-            CodecError::LengthOverrun { declared, remaining } => {
-                write!(f, "declared length {declared} exceeds remaining {remaining} bytes")
+            CodecError::LengthOverrun {
+                declared,
+                remaining,
+            } => {
+                write!(
+                    f,
+                    "declared length {declared} exceeds remaining {remaining} bytes"
+                )
             }
             CodecError::Invalid(what) => write!(f, "invalid value: {what}"),
         }

@@ -50,11 +50,14 @@ impl HistoryDb {
     /// Records all writes of one valid transaction.
     pub fn append(&mut self, tx_id: TxId, version: Version, writes: &[KvWrite]) {
         for w in writes {
-            self.map.entry(w.key.clone()).or_default().push(HistoryEntry {
-                tx_id,
-                version,
-                value: w.value.clone(),
-            });
+            self.map
+                .entry(w.key.clone())
+                .or_default()
+                .push(HistoryEntry {
+                    tx_id,
+                    version,
+                    value: w.value.clone(),
+                });
             self.total_entries += 1;
         }
     }
@@ -92,9 +95,21 @@ mod tests {
     fn history_preserves_order_including_deletes() {
         let mut db = HistoryDb::new();
         let key = StateKey::new("cc", "k");
-        db.append(TxId(Digest::of(b"t1")), Version::new(1, 0), &[w(&key, Some(b"a"))]);
-        db.append(TxId(Digest::of(b"t2")), Version::new(2, 0), &[w(&key, None)]);
-        db.append(TxId(Digest::of(b"t3")), Version::new(3, 1), &[w(&key, Some(b"b"))]);
+        db.append(
+            TxId(Digest::of(b"t1")),
+            Version::new(1, 0),
+            &[w(&key, Some(b"a"))],
+        );
+        db.append(
+            TxId(Digest::of(b"t2")),
+            Version::new(2, 0),
+            &[w(&key, None)],
+        );
+        db.append(
+            TxId(Digest::of(b"t3")),
+            Version::new(3, 1),
+            &[w(&key, Some(b"b"))],
+        );
         let h = db.history(&key);
         assert_eq!(h.len(), 3);
         assert_eq!(h[0].value.as_deref(), Some(b"a".as_slice()));

@@ -115,7 +115,7 @@ impl MerkleProof {
         let mut acc = *leaf;
         let mut idx = self.leaf_index;
         for sibling in &self.siblings {
-            acc = if idx % 2 == 0 {
+            acc = if idx.is_multiple_of(2) {
                 Digest::combine(&acc, sibling)
             } else {
                 Digest::combine(sibling, &acc)

@@ -157,7 +157,10 @@ mod tests {
         let mut db = StateDb::new();
         put(&mut db, "cc", "a", b"1", Version::new(1, 0));
         assert_eq!(db.get(&StateKey::new("cc", "a")).unwrap().value, b"1");
-        assert_eq!(db.version(&StateKey::new("cc", "a")), Some(Version::new(1, 0)));
+        assert_eq!(
+            db.version(&StateKey::new("cc", "a")),
+            Some(Version::new(1, 0))
+        );
         db.apply_write(
             &KvWrite {
                 key: StateKey::new("cc", "a"),
@@ -210,10 +213,19 @@ mod tests {
     #[test]
     fn range_respects_bounds_and_namespace() {
         let mut db = StateDb::new();
-        for (ns, k) in [("a", "k1"), ("cc", "k1"), ("cc", "k2"), ("cc", "k3"), ("zz", "k0")] {
+        for (ns, k) in [
+            ("a", "k1"),
+            ("cc", "k1"),
+            ("cc", "k2"),
+            ("cc", "k3"),
+            ("zz", "k0"),
+        ] {
             put(&mut db, ns, k, b"v", Version::new(1, 0));
         }
-        let keys: Vec<String> = db.range("cc", "k1", "k3").map(|(k, _)| k.key.clone()).collect();
+        let keys: Vec<String> = db
+            .range("cc", "k1", "k3")
+            .map(|(k, _)| k.key.clone())
+            .collect();
         assert_eq!(keys, vec!["k1", "k2"]);
         let all: Vec<String> = db.range("cc", "", "").map(|(k, _)| k.key.clone()).collect();
         assert_eq!(all, vec!["k1", "k2", "k3"]);
@@ -222,7 +234,12 @@ mod tests {
     #[test]
     fn scan_prefix_matches_composite_keys() {
         let mut db = StateDb::new();
-        for k in ["owner~org1~item1", "owner~org1~item2", "owner~org2~item3", "other"] {
+        for k in [
+            "owner~org1~item1",
+            "owner~org1~item2",
+            "owner~org2~item3",
+            "other",
+        ] {
             put(&mut db, "cc", k, b"v", Version::new(1, 0));
         }
         let hits: Vec<String> = db

@@ -282,8 +282,7 @@ impl Encode for ValidationCode {
 }
 impl Decode for ValidationCode {
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
-        ValidationCode::from_u8(dec.get_u8()?)
-            .ok_or(CodecError::Invalid("unknown validation code"))
+        ValidationCode::from_u8(dec.get_u8()?).ok_or(CodecError::Invalid("unknown validation code"))
     }
 }
 

@@ -21,7 +21,10 @@ fn arb_version() -> impl Strategy<Value = Version> {
 }
 
 fn arb_write() -> impl Strategy<Value = KvWrite> {
-    (arb_state_key(), proptest::option::of(proptest::collection::vec(any::<u8>(), 0..64)))
+    (
+        arb_state_key(),
+        proptest::option::of(proptest::collection::vec(any::<u8>(), 0..64)),
+    )
         .prop_map(|(key, value)| KvWrite { key, value })
 }
 

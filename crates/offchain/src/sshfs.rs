@@ -67,15 +67,25 @@ pub enum StoreMsg {
 }
 
 impl StoreMsg {
+    /// The object name the message refers to.
+    pub fn object_name(&self) -> &str {
+        match self {
+            StoreMsg::Put { name, .. }
+            | StoreMsg::PutAck { name, .. }
+            | StoreMsg::Get { name, .. }
+            | StoreMsg::GetResult { name, .. }
+            | StoreMsg::Delete { name, .. }
+            | StoreMsg::DeleteAck { name, .. } => name,
+        }
+    }
+
     /// Approximate wire size for the network model (requests carry their
     /// payload; replies carry the fetched bytes).
     pub fn wire_size(&self) -> u64 {
         match self {
             StoreMsg::Put { name, data, .. } => name.len() as u64 + data.len() as u64 + 64,
             StoreMsg::GetResult { name, result, .. } => {
-                name.len() as u64
-                    + result.as_ref().map(|d| d.len() as u64).unwrap_or(16)
-                    + 64
+                name.len() as u64 + result.as_ref().map(|d| d.len() as u64).unwrap_or(16) + 64
             }
             StoreMsg::Get { name, .. }
             | StoreMsg::PutAck { name, .. }
@@ -155,6 +165,9 @@ impl<M: Carries<StoreMsg>> StorageActor<M> {
     ) {
         self.next_job += 1;
         let job = self.next_job;
+        // Server-side service span (SSH overhead + per-byte I/O); the job
+        // number disambiguates concurrent operations on one object.
+        ctx.span_start(reply.object_name(), "offchain.server", &job.to_string());
         self.outbox.insert(job, (dst, reply));
         ctx.execute(self.costs.service_time(bytes_moved), job);
     }
@@ -214,6 +227,7 @@ impl<M: Carries<StoreMsg>> Actor<M> for StorageActor<M> {
             }
             Event::Timer { token } => {
                 if let Some((dst, reply)) = self.outbox.remove(&token) {
+                    ctx.span_end(reply.object_name(), "offchain.server", &token.to_string());
                     let bytes = reply.wire_size();
                     ctx.send(dst, bytes, M::wrap(reply));
                 }
@@ -255,7 +269,11 @@ mod tests {
                 Event::Message { msg, .. } => {
                     let mut seen = self.seen.borrow_mut();
                     match msg {
-                        StoreMsg::PutAck { name, token, result } => {
+                        StoreMsg::PutAck {
+                            name,
+                            token,
+                            result,
+                        } => {
                             seen.acks.push((name, token, result.is_ok()));
                         }
                         StoreMsg::GetResult { token, result, .. } => {

@@ -53,9 +53,7 @@ impl CpuResource {
         let service = if self.speed == 1.0 {
             reference_cost
         } else {
-            SimDuration::from_nanos(
-                (reference_cost.as_nanos() as f64 / self.speed).round() as u64
-            )
+            SimDuration::from_nanos((reference_cost.as_nanos() as f64 / self.speed).round() as u64)
         };
         let start = if self.busy_until > now {
             self.busy_until

@@ -18,6 +18,7 @@ use crate::metrics::Metrics;
 use crate::net::{Delivery, Network};
 use crate::rng::DetRng;
 use crate::time::{SimDuration, SimTime};
+use crate::trace::{SpanId, Tracer, TracerConfig};
 
 /// Identifies an actor registered with a [`Simulation`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -111,6 +112,7 @@ pub struct Kernel<M> {
     cpus: Vec<CpuResource>,
     rngs: Vec<DetRng>,
     metrics: Metrics,
+    tracer: Tracer,
     cancelled: HashSet<u64>,
     next_timer: u64,
     stopped: bool,
@@ -153,7 +155,11 @@ impl<M> Context<'_, M> {
     pub fn send(&mut self, dst: ActorId, bytes: u64, msg: M) {
         let src = self.id;
         let rng = &mut self.kernel.rngs[src.0 as usize];
-        match self.kernel.network.offer(self.kernel.now, src, dst, bytes, rng) {
+        match self
+            .kernel
+            .network
+            .offer(self.kernel.now, src, dst, bytes, rng)
+        {
             Delivery::At(t) => self.kernel.push(t, dst, Event::Message { src, msg }, 0),
             Delivery::Dropped => self.kernel.metrics.incr("net.dropped", 1),
         }
@@ -164,7 +170,8 @@ impl<M> Context<'_, M> {
     /// in a peer's node).
     pub fn send_local(&mut self, dst: ActorId, msg: M) {
         let src = self.id;
-        self.kernel.push(self.kernel.now, dst, Event::Message { src, msg }, 0);
+        self.kernel
+            .push(self.kernel.now, dst, Event::Message { src, msg }, 0);
     }
 
     /// Fires [`Event::Timer`] with `token` on this actor after `delay`.
@@ -187,7 +194,8 @@ impl<M> Context<'_, M> {
     /// [`Event::Timer`] with `token` fires when the work completes (after
     /// queueing behind earlier work).
     pub fn execute(&mut self, reference_cost: SimDuration, token: u64) -> TimerId {
-        let (_, end) = self.kernel.cpus[self.id.0 as usize].execute(self.kernel.now, reference_cost);
+        let (_, end) =
+            self.kernel.cpus[self.id.0 as usize].execute(self.kernel.now, reference_cost);
         self.kernel.next_timer += 1;
         let id = self.kernel.next_timer;
         let target = self.id;
@@ -203,6 +211,37 @@ impl<M> Context<'_, M> {
     /// The shared metrics registry.
     pub fn metrics(&mut self) -> &mut Metrics {
         &mut self.kernel.metrics
+    }
+
+    /// The shared span tracer.
+    pub fn tracer(&mut self) -> &mut Tracer {
+        &mut self.kernel.tracer
+    }
+
+    /// Opens a tracing span for `(trace, stage, detail)` at the current
+    /// virtual time. See [`Tracer::span_start`].
+    pub fn span_start(&mut self, trace: &str, stage: &'static str, detail: &str) -> SpanId {
+        let now = self.kernel.now;
+        self.kernel.tracer.span_start(now, trace, stage, detail)
+    }
+
+    /// Closes the matching open span at the current virtual time,
+    /// returning its duration. See [`Tracer::span_end`].
+    pub fn span_end(
+        &mut self,
+        trace: &str,
+        stage: &'static str,
+        detail: &str,
+    ) -> Option<SimDuration> {
+        let now = self.kernel.now;
+        self.kernel.tracer.span_end(now, trace, stage, detail)
+    }
+
+    /// Records a point trace event at the current virtual time. See
+    /// [`Tracer::event`].
+    pub fn trace_event(&mut self, trace: &str, name: &'static str, detail: &str) {
+        let now = self.kernel.now;
+        self.kernel.tracer.event(now, trace, name, detail);
     }
 
     /// Read access to this actor's CPU (e.g. to check backlog).
@@ -273,6 +312,7 @@ impl<M> Simulation<M> {
                 cpus: Vec::new(),
                 rngs: Vec::new(),
                 metrics: Metrics::new(),
+                tracer: Tracer::new(TracerConfig::default()),
                 cancelled: HashSet::new(),
                 next_timer: 0,
                 stopped: false,
@@ -306,7 +346,8 @@ impl<M> Simulation<M> {
     /// Injects a message event from outside the simulation (src == dst).
     pub fn inject_message(&mut self, target: ActorId, msg: M) {
         let now = self.kernel.now;
-        self.kernel.push(now, target, Event::Message { src: target, msg }, 0);
+        self.kernel
+            .push(now, target, Event::Message { src: target, msg }, 0);
     }
 
     /// Mutable access to the network, for topology setup and partitions.
@@ -327,6 +368,22 @@ impl<M> Simulation<M> {
     /// Mutable access to the metrics registry.
     pub fn metrics_mut(&mut self) -> &mut Metrics {
         &mut self.kernel.metrics
+    }
+
+    /// The span tracer.
+    pub fn tracer(&self) -> &Tracer {
+        &self.kernel.tracer
+    }
+
+    /// Mutable access to the span tracer.
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.kernel.tracer
+    }
+
+    /// Replaces the tracer (e.g. to change capacity/sampling, or to
+    /// disable tracing entirely with [`Tracer::disabled`]).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.kernel.tracer = tracer;
     }
 
     /// Read access to an actor's CPU resource (for energy accounting).
@@ -440,7 +497,11 @@ mod tests {
     struct Ponger;
     impl Actor<Msg> for Ponger {
         fn on_event(&mut self, ctx: &mut Context<'_, Msg>, event: Event<Msg>) {
-            if let Event::Message { src, msg: Msg::Ping(n) } = event {
+            if let Event::Message {
+                src,
+                msg: Msg::Ping(n),
+            } = event
+            {
                 ctx.send(src, 8, Msg::Pong(n));
             }
         }
@@ -454,14 +515,14 @@ mod tests {
     impl Actor<Msg> for Pinger {
         fn on_event(&mut self, ctx: &mut Context<'_, Msg>, event: Event<Msg>) {
             match event {
-                Event::Timer { .. } => {
-                    if self.remaining > 0 {
-                        self.remaining -= 1;
-                        ctx.send(self.peer, 8, Msg::Ping(self.remaining));
-                        ctx.set_timer(SimDuration::from_millis(10), 0);
-                    }
+                Event::Timer { .. } if self.remaining > 0 => {
+                    self.remaining -= 1;
+                    ctx.send(self.peer, 8, Msg::Ping(self.remaining));
+                    ctx.set_timer(SimDuration::from_millis(10), 0);
                 }
-                Event::Message { msg: Msg::Pong(n), .. } => {
+                Event::Message {
+                    msg: Msg::Pong(n), ..
+                } => {
                     self.received.push(n);
                     let now = ctx.now();
                     ctx.metrics().incr("pongs", 1);

@@ -1,0 +1,188 @@
+//! A minimal deterministic JSON writer.
+//!
+//! The benchmark harness serializes metrics and span summaries to
+//! `results/*.json`; byte-identical output across same-seed runs is a
+//! hard requirement, so this writer has no map reordering, no
+//! locale-dependent number formatting and no timestamps — fields appear
+//! exactly in the order the caller emits them.
+
+/// Escapes `s` for inclusion in a JSON string literal (without quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` deterministically; non-finite values become `null`
+/// (JSON has no NaN/Infinity).
+pub fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        // Rust's shortest round-trip formatting is deterministic across
+        // runs and platforms for the same bit pattern.
+        let s = format!("{v}");
+        if s.contains('.') || s.contains('e') || s.contains("inf") {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Builds one JSON object with caller-ordered fields.
+#[derive(Debug, Default)]
+pub struct Obj {
+    fields: Vec<String>,
+}
+
+impl Obj {
+    /// Creates an empty object.
+    pub fn new() -> Self {
+        Obj::default()
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.fields
+            .push(format!("\"{}\":\"{}\"", escape(key), escape(value)));
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64(mut self, key: &str, value: u64) -> Self {
+        self.fields.push(format!("\"{}\":{}", escape(key), value));
+        self
+    }
+
+    /// Adds a float field.
+    pub fn f64(mut self, key: &str, value: f64) -> Self {
+        self.fields
+            .push(format!("\"{}\":{}", escape(key), fmt_f64(value)));
+        self
+    }
+
+    /// Adds a pre-rendered JSON value (object, array, literal).
+    pub fn raw(mut self, key: &str, value: &str) -> Self {
+        self.fields.push(format!("\"{}\":{}", escape(key), value));
+        self
+    }
+
+    /// Renders the object.
+    pub fn build(self) -> String {
+        format!("{{{}}}", self.fields.join(","))
+    }
+}
+
+/// Renders a JSON array from pre-rendered element strings.
+pub fn array<I: IntoIterator<Item = String>>(items: I) -> String {
+    let items: Vec<String> = items.into_iter().collect();
+    format!("[{}]", items.join(","))
+}
+
+/// Pretty-prints compact JSON produced by this module with two-space
+/// indentation, so `results/*.json` stays diffable. Assumes valid JSON
+/// input (as produced by [`Obj`] / [`array`]).
+pub fn pretty(json: &str) -> String {
+    let mut out = String::with_capacity(json.len() * 2);
+    let mut indent = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    for c in json.chars() {
+        if in_string {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                out.push(c);
+            }
+            '{' | '[' => {
+                indent += 1;
+                out.push(c);
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+            }
+            '}' | ']' => {
+                indent = indent.saturating_sub(1);
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push(c);
+            }
+            ',' => {
+                out.push(c);
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+            }
+            ':' => {
+                out.push(c);
+                out.push(' ');
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn floats_format_deterministically() {
+        assert_eq!(fmt_f64(1.5), "1.5");
+        assert_eq!(fmt_f64(2.0), "2.0");
+        assert_eq!(fmt_f64(f64::NAN), "null");
+        assert_eq!(fmt_f64(0.1 + 0.2), "0.30000000000000004");
+    }
+
+    #[test]
+    fn objects_preserve_field_order() {
+        let o = Obj::new().str("b", "x").u64("a", 7).build();
+        assert_eq!(o, "{\"b\":\"x\",\"a\":7}");
+    }
+
+    #[test]
+    fn arrays_join_elements() {
+        assert_eq!(array(["1".to_owned(), "2".to_owned()]), "[1,2]");
+    }
+
+    #[test]
+    fn pretty_round_trips_structure() {
+        let compact = Obj::new()
+            .raw("a", &array(["1".into(), "2".into()]))
+            .str("s", "x,y:{}")
+            .build();
+        let pretty = pretty(&compact);
+        assert!(pretty.contains("\"a\": [\n"));
+        // Punctuation inside strings is untouched.
+        assert!(pretty.contains("\"x,y:{}\""));
+        let reparse: String = pretty.split_whitespace().collect::<String>();
+        assert!(reparse.contains("\"a\":[1,2]"));
+    }
+}

@@ -9,8 +9,10 @@
 //! * a network model with latency/bandwidth/jitter, partitions and loss
 //!   ([`Network`], [`LinkSpec`]),
 //! * per-actor serialising CPU resources with busy-interval accounting
-//!   ([`CpuResource`]) — the basis for the energy model, and
-//! * metrics ([`Metrics`], [`Histogram`]).
+//!   ([`CpuResource`]) — the basis for the energy model,
+//! * metrics ([`Metrics`], [`Histogram`]), and
+//! * virtual-time span tracing with bounded memory ([`Tracer`],
+//!   [`Span`], [`TracerConfig`]).
 //!
 //! The paper's testbed — four machines and a switch — maps to one actor per
 //! process (peer, orderer, off-chain store, client) with CPU speeds and
@@ -44,10 +46,12 @@
 mod cpu;
 mod engine;
 mod histogram;
+pub mod json;
 mod metrics;
 mod net;
 mod rng;
 mod time;
+mod trace;
 
 pub use cpu::CpuResource;
 pub use engine::{Actor, ActorId, Carries, Context, Event, Simulation, TimerId};
@@ -56,3 +60,4 @@ pub use metrics::Metrics;
 pub use net::{Delivery, LinkSpec, Network};
 pub use rng::DetRng;
 pub use time::{SimDuration, SimTime};
+pub use trace::{Span, SpanId, TraceEvent, Tracer, TracerConfig};

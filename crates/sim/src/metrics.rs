@@ -67,7 +67,10 @@ impl Metrics {
 
     /// Appends a `(time, value)` point to the named time series.
     pub fn push_series(&mut self, name: &str, t: SimTime, value: f64) {
-        self.series.entry(name.to_owned()).or_default().push((t, value));
+        self.series
+            .entry(name.to_owned())
+            .or_default()
+            .push((t, value));
     }
 
     /// Reads a time series, if present.
@@ -98,8 +101,44 @@ impl Metrics {
             self.histograms.entry(k.clone()).or_default().merge(h);
         }
         for (k, s) in &other.series {
-            self.series.entry(k.clone()).or_default().extend_from_slice(s);
+            self.series
+                .entry(k.clone())
+                .or_default()
+                .extend_from_slice(s);
         }
+    }
+
+    /// Serializes the whole registry to a compact JSON string with
+    /// deterministic ordering (names sorted, histograms reduced to
+    /// summary statistics). Two registries with identical contents
+    /// produce byte-identical output.
+    pub fn snapshot_json(&self) -> String {
+        use crate::json::{array, fmt_f64, Obj};
+        let mut counters = Obj::new();
+        for (k, v) in &self.counters {
+            counters = counters.u64(k, *v);
+        }
+        let mut gauges = Obj::new();
+        for (k, v) in &self.gauges {
+            gauges = gauges.f64(k, *v);
+        }
+        let mut histograms = Obj::new();
+        for (k, h) in &self.histograms {
+            histograms = histograms.raw(k, &histogram_json(h));
+        }
+        let mut series = Obj::new();
+        for (k, s) in &self.series {
+            let points = s
+                .iter()
+                .map(|(t, v)| format!("[{},{}]", t.as_nanos(), fmt_f64(*v)));
+            series = series.raw(k, &array(points));
+        }
+        Obj::new()
+            .raw("counters", &counters.build())
+            .raw("gauges", &gauges.build())
+            .raw("histograms", &histograms.build())
+            .raw("series", &series.build())
+            .build()
     }
 
     /// Renders a human-readable dump of all metrics, for debugging.
@@ -119,6 +158,22 @@ impl Metrics {
         }
         out
     }
+}
+
+/// Summary-statistics JSON object for one histogram (nanosecond units).
+pub(crate) fn histogram_json(h: &Histogram) -> String {
+    let sum = u64::try_from(h.sum()).unwrap_or(u64::MAX);
+    crate::json::Obj::new()
+        .u64("count", h.count())
+        .u64("min", if h.is_empty() { 0 } else { h.min() })
+        .u64("max", if h.is_empty() { 0 } else { h.max() })
+        .f64("mean", h.mean())
+        .f64("stddev", h.stddev())
+        .u64("sum", sum)
+        .u64("p50", h.quantile(0.50))
+        .u64("p95", h.quantile(0.95))
+        .u64("p99", h.quantile(0.99))
+        .build()
 }
 
 #[cfg(test)]
@@ -178,6 +233,30 @@ mod tests {
         assert_eq!(a.histogram("h").unwrap().count(), 2);
         assert_eq!(a.gauge("g"), Some(9.0));
         assert_eq!(a.series("s").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn snapshot_json_is_deterministic_and_complete() {
+        let build = || {
+            let mut m = Metrics::new();
+            m.incr("tx.committed", 3);
+            m.set_gauge("load", 0.75);
+            m.record_duration("lat", SimDuration::from_micros(10));
+            m.record_duration("lat", SimDuration::from_micros(30));
+            m.push_series("tput", SimTime::from_secs(1), 12.5);
+            m.snapshot_json()
+        };
+        let a = build();
+        assert_eq!(a, build());
+        assert!(a.contains("\"tx.committed\":3"));
+        assert!(a.contains("\"load\":0.75"));
+        assert!(a.contains("\"count\":2"));
+        assert!(a.contains("[1000000000,12.5]"));
+        // Counters come before gauges, gauges before histograms.
+        let c = a.find("\"counters\"").unwrap();
+        let g = a.find("\"gauges\"").unwrap();
+        let h = a.find("\"histograms\"").unwrap();
+        assert!(c < g && g < h);
     }
 
     #[test]

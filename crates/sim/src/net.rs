@@ -267,7 +267,10 @@ mod tests {
         let mut rng = DetRng::new(1);
         net.partition(a, b);
         assert!(net.is_blocked(a, b) && net.is_blocked(b, a));
-        assert_eq!(net.offer(SimTime::ZERO, a, b, 1, &mut rng), Delivery::Dropped);
+        assert_eq!(
+            net.offer(SimTime::ZERO, a, b, 1, &mut rng),
+            Delivery::Dropped
+        );
         net.heal(a, b);
         assert!(matches!(
             net.offer(SimTime::ZERO, a, b, 1, &mut rng),
@@ -297,7 +300,10 @@ mod tests {
         net.set_loss_probability(1.0);
         let mut rng = DetRng::new(1);
         for _ in 0..10 {
-            assert_eq!(net.offer(SimTime::ZERO, a, b, 1, &mut rng), Delivery::Dropped);
+            assert_eq!(
+                net.offer(SimTime::ZERO, a, b, 1, &mut rng),
+                Delivery::Dropped
+            );
         }
     }
 

@@ -1,0 +1,509 @@
+//! Virtual-time span tracing.
+//!
+//! A [`Tracer`] records *spans* — named intervals of virtual time keyed by
+//! a trace id (transaction id, client operation id) — and point *events*.
+//! Pipeline actors open a span when a unit of work enters a stage and
+//! close it when the work leaves; because messages in the simulation do
+//! not carry tracing context, spans are addressed by their
+//! `(trace, stage, detail)` key so any actor (or a deferred completion)
+//! can close a span another event handler opened.
+//!
+//! Memory is bounded: finished spans and events live in ring buffers of
+//! configurable capacity, and traces can be sampled (`sample_every = N`
+//! keeps full span records for one trace in N). Aggregate per-stage
+//! latency histograms are updated on every span close *before* any
+//! eviction or sampling, so stage breakdowns remain exact even when
+//! individual span records are dropped.
+//!
+//! Everything is deterministic: ids and sequence numbers come from a
+//! monotonic counter, sampling uses a seed-free FNV hash of the trace
+//! key, and all iteration orders are defined.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::histogram::Histogram;
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies a span within one [`Tracer`]. Ids are assigned from a
+/// monotonic counter and never reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpanId(pub u64);
+
+/// Configuration for a [`Tracer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TracerConfig {
+    /// Maximum finished span records retained (ring buffer).
+    pub span_capacity: usize,
+    /// Maximum point events retained (ring buffer).
+    pub event_capacity: usize,
+    /// Keep full span/event records for one trace in `sample_every`
+    /// (1 = record every trace). Aggregate stage histograms always see
+    /// every span regardless of sampling.
+    pub sample_every: u64,
+}
+
+impl Default for TracerConfig {
+    fn default() -> Self {
+        TracerConfig {
+            span_capacity: 4096,
+            event_capacity: 4096,
+            sample_every: 1,
+        }
+    }
+}
+
+/// A finished span: one stage's interval of virtual time for one trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Unique id within the tracer.
+    pub id: SpanId,
+    /// The enclosing span at open time, if any (same trace).
+    pub parent: Option<SpanId>,
+    /// Trace key, e.g. a transaction id in hex or `"op-7"`.
+    pub trace: String,
+    /// Pipeline stage name, e.g. `"endorse"` (see DESIGN.md taxonomy).
+    pub stage: &'static str,
+    /// Disambiguator within the stage, e.g. `"peer0"`; empty if unused.
+    pub detail: String,
+    /// Virtual time the span opened.
+    pub start: SimTime,
+    /// Virtual time the span closed.
+    pub end: SimTime,
+    /// Global open-order sequence number (total order across the run).
+    pub seq: u64,
+}
+
+impl Span {
+    /// The span's duration.
+    pub fn duration(&self) -> SimDuration {
+        self.end - self.start
+    }
+}
+
+/// A point event attached to a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Trace key the event belongs to.
+    pub trace: String,
+    /// Event name, e.g. `"block.cut"`.
+    pub name: &'static str,
+    /// Free-form detail, e.g. `"txs=12"`; empty if unused.
+    pub detail: String,
+    /// Virtual time of the event.
+    pub at: SimTime,
+    /// Global sequence number shared with span opens.
+    pub seq: u64,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct SpanKey {
+    trace: String,
+    stage: &'static str,
+    detail: String,
+}
+
+#[derive(Debug, Clone)]
+struct OpenSpan {
+    id: SpanId,
+    parent: Option<SpanId>,
+    start: SimTime,
+    seq: u64,
+    sampled: bool,
+}
+
+/// Records spans and events on virtual time with bounded memory.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    config: TracerConfig,
+    enabled: bool,
+    next_seq: u64,
+    open: BTreeMap<SpanKey, OpenSpan>,
+    finished: VecDeque<Span>,
+    events: VecDeque<TraceEvent>,
+    stage_hist: BTreeMap<&'static str, Histogram>,
+    spans_started: u64,
+    spans_finished: u64,
+    spans_evicted: u64,
+    events_recorded: u64,
+    events_evicted: u64,
+    unmatched_ends: u64,
+    duplicate_starts: u64,
+}
+
+impl Tracer {
+    /// Creates an enabled tracer with the given configuration.
+    pub fn new(config: TracerConfig) -> Self {
+        Tracer {
+            config,
+            enabled: true,
+            ..Tracer::default()
+        }
+    }
+
+    /// Creates a disabled tracer; every call is a no-op.
+    pub fn disabled() -> Self {
+        Tracer::default()
+    }
+
+    /// Whether the tracer records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> TracerConfig {
+        self.config
+    }
+
+    /// Opens a span for `(trace, stage, detail)` at virtual time `now`.
+    /// If another span of the same trace is open, the most recently
+    /// opened one becomes this span's parent. Re-opening a key that is
+    /// already open replaces the older open span (counted under
+    /// `duplicate_starts`).
+    pub fn span_start(
+        &mut self,
+        now: SimTime,
+        trace: &str,
+        stage: &'static str,
+        detail: &str,
+    ) -> SpanId {
+        if !self.enabled {
+            return SpanId(0);
+        }
+        self.next_seq += 1;
+        let seq = self.next_seq;
+        let id = SpanId(seq);
+        let parent = self
+            .open
+            .iter()
+            .filter(|(k, _)| k.trace == trace)
+            .max_by_key(|(_, v)| v.seq)
+            .map(|(_, v)| v.id);
+        let key = SpanKey {
+            trace: trace.to_owned(),
+            stage,
+            detail: detail.to_owned(),
+        };
+        let open = OpenSpan {
+            id,
+            parent,
+            start: now,
+            seq,
+            sampled: self.is_sampled(trace),
+        };
+        if self.open.insert(key, open).is_some() {
+            self.duplicate_starts += 1;
+        }
+        self.spans_started += 1;
+        id
+    }
+
+    /// Closes the open span for `(trace, stage, detail)` at `now`,
+    /// recording its duration into the stage histogram. Returns the
+    /// duration, or `None` if no matching span is open (counted under
+    /// `unmatched_ends`).
+    pub fn span_end(
+        &mut self,
+        now: SimTime,
+        trace: &str,
+        stage: &'static str,
+        detail: &str,
+    ) -> Option<SimDuration> {
+        if !self.enabled {
+            return None;
+        }
+        let key = SpanKey {
+            trace: trace.to_owned(),
+            stage,
+            detail: detail.to_owned(),
+        };
+        let Some(open) = self.open.remove(&key) else {
+            self.unmatched_ends += 1;
+            return None;
+        };
+        let duration = now - open.start;
+        self.stage_hist
+            .entry(stage)
+            .or_default()
+            .record(duration.as_nanos());
+        self.spans_finished += 1;
+        if open.sampled {
+            if self.finished.len() == self.config.span_capacity {
+                self.finished.pop_front();
+                self.spans_evicted += 1;
+            }
+            if self.config.span_capacity > 0 {
+                self.finished.push_back(Span {
+                    id: open.id,
+                    parent: open.parent,
+                    trace: key.trace,
+                    stage,
+                    detail: key.detail,
+                    start: open.start,
+                    end: now,
+                    seq: open.seq,
+                });
+            }
+        }
+        Some(duration)
+    }
+
+    /// Records a point event on `trace` at `now`.
+    pub fn event(&mut self, now: SimTime, trace: &str, name: &'static str, detail: &str) {
+        if !self.enabled {
+            return;
+        }
+        self.next_seq += 1;
+        self.events_recorded += 1;
+        if !self.is_sampled(trace) {
+            return;
+        }
+        if self.events.len() == self.config.event_capacity {
+            self.events.pop_front();
+            self.events_evicted += 1;
+        }
+        if self.config.event_capacity > 0 {
+            self.events.push_back(TraceEvent {
+                trace: trace.to_owned(),
+                name,
+                detail: detail.to_owned(),
+                at: now,
+                seq: self.next_seq,
+            });
+        }
+    }
+
+    fn is_sampled(&self, trace: &str) -> bool {
+        if self.config.sample_every <= 1 {
+            return true;
+        }
+        fnv1a(trace.as_bytes()).is_multiple_of(self.config.sample_every)
+    }
+
+    /// Finished span records, oldest first (sampled traces only; bounded
+    /// by `span_capacity`).
+    pub fn finished_spans(&self) -> impl Iterator<Item = &Span> {
+        self.finished.iter()
+    }
+
+    /// Recorded events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Per-stage latency histograms (nanoseconds), in stage-name order.
+    /// These aggregate **every** finished span, independent of sampling
+    /// and ring-buffer eviction.
+    pub fn stage_histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> {
+        self.stage_hist.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// The stage histogram for `stage`, if any span of it finished.
+    pub fn stage_histogram(&self, stage: &str) -> Option<&Histogram> {
+        self.stage_hist.get(stage)
+    }
+
+    /// Number of spans currently open (work in flight).
+    pub fn open_spans(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Total spans opened.
+    pub fn spans_started(&self) -> u64 {
+        self.spans_started
+    }
+
+    /// Total spans closed.
+    pub fn spans_finished(&self) -> u64 {
+        self.spans_finished
+    }
+
+    /// Finished span records evicted from the ring buffer.
+    pub fn spans_evicted(&self) -> u64 {
+        self.spans_evicted
+    }
+
+    /// Total events recorded (including ones sampled out or evicted).
+    pub fn events_recorded(&self) -> u64 {
+        self.events_recorded
+    }
+
+    /// `span_end` calls that found no matching open span.
+    pub fn unmatched_ends(&self) -> u64 {
+        self.unmatched_ends
+    }
+
+    /// `span_start` calls that replaced a still-open span with the same
+    /// key.
+    pub fn duplicate_starts(&self) -> u64 {
+        self.duplicate_starts
+    }
+
+    /// Serializes a deterministic summary of the tracer to compact JSON:
+    /// lifecycle counters plus per-stage latency statistics (nanosecond
+    /// units). Individual span/event records are omitted — the ring
+    /// buffers depend on sampling, while the aggregates here are exact.
+    pub fn snapshot_json(&self) -> String {
+        use crate::json::Obj;
+        let mut stages = Obj::new();
+        for (stage, hist) in &self.stage_hist {
+            stages = stages.raw(stage, &crate::metrics::histogram_json(hist));
+        }
+        Obj::new()
+            .u64("spans_started", self.spans_started)
+            .u64("spans_finished", self.spans_finished)
+            .u64("spans_open", self.open.len() as u64)
+            .u64("spans_evicted", self.spans_evicted)
+            .u64("events_recorded", self.events_recorded)
+            .u64("unmatched_ends", self.unmatched_ends)
+            .u64("duplicate_starts", self.duplicate_starts)
+            .raw("stages", &stages.build())
+            .build()
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn span_lifecycle_records_duration() {
+        let mut tr = Tracer::new(TracerConfig::default());
+        tr.span_start(t(100), "tx1", "endorse", "peer0");
+        let d = tr.span_end(t(350), "tx1", "endorse", "peer0").unwrap();
+        assert_eq!(d, SimDuration::from_nanos(250));
+        assert_eq!(tr.open_spans(), 0);
+        assert_eq!(tr.spans_finished(), 1);
+        let span = tr.finished_spans().next().unwrap();
+        assert_eq!(span.trace, "tx1");
+        assert_eq!(span.stage, "endorse");
+        assert_eq!(span.duration(), SimDuration::from_nanos(250));
+        assert_eq!(tr.stage_histogram("endorse").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn children_nest_under_latest_open_span() {
+        let mut tr = Tracer::new(TracerConfig::default());
+        let root = tr.span_start(t(0), "tx1", "e2e", "");
+        let child = tr.span_start(t(10), "tx1", "endorse", "");
+        let grandchild = tr.span_start(t(20), "tx1", "endorse.exec", "peer0");
+        let other = tr.span_start(t(20), "tx2", "e2e", "");
+        tr.span_end(t(30), "tx1", "endorse.exec", "peer0");
+        tr.span_end(t(40), "tx1", "endorse", "");
+        tr.span_end(t(50), "tx1", "e2e", "");
+        tr.span_end(t(50), "tx2", "e2e", "");
+        let spans: Vec<&Span> = tr.finished_spans().collect();
+        let find = |id: SpanId| spans.iter().find(|s| s.id == id).unwrap();
+        assert_eq!(find(root).parent, None);
+        assert_eq!(find(child).parent, Some(root));
+        assert_eq!(find(grandchild).parent, Some(child));
+        assert_eq!(find(other).parent, None);
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest_and_counts() {
+        let mut tr = Tracer::new(TracerConfig {
+            span_capacity: 3,
+            ..TracerConfig::default()
+        });
+        for i in 0..5u64 {
+            let trace = format!("tx{i}");
+            tr.span_start(t(i * 10), &trace, "commit", "");
+            tr.span_end(t(i * 10 + 5), &trace, "commit", "");
+        }
+        assert_eq!(tr.finished_spans().count(), 3);
+        assert_eq!(tr.spans_evicted(), 2);
+        let oldest = tr.finished_spans().next().unwrap();
+        assert_eq!(oldest.trace, "tx2");
+        // Aggregates saw all five spans despite eviction.
+        assert_eq!(tr.stage_histogram("commit").unwrap().count(), 5);
+    }
+
+    #[test]
+    fn sampling_thins_records_but_not_aggregates() {
+        let mut tr = Tracer::new(TracerConfig {
+            sample_every: 4,
+            ..TracerConfig::default()
+        });
+        for i in 0..100u64 {
+            let trace = format!("tx{i}");
+            tr.span_start(t(i), &trace, "order", "");
+            tr.span_end(t(i + 1), &trace, "order", "");
+            tr.event(t(i), &trace, "enqueue", "");
+        }
+        let kept = tr.finished_spans().count();
+        assert!(kept < 100, "sampling kept everything");
+        assert!(kept > 0, "sampling kept nothing");
+        assert_eq!(tr.stage_histogram("order").unwrap().count(), 100);
+        assert_eq!(tr.events_recorded(), 100);
+        assert_eq!(tr.events().count(), kept);
+    }
+
+    #[test]
+    fn unmatched_and_duplicate_spans_are_counted() {
+        let mut tr = Tracer::new(TracerConfig::default());
+        assert!(tr.span_end(t(5), "tx1", "endorse", "").is_none());
+        assert_eq!(tr.unmatched_ends(), 1);
+        tr.span_start(t(0), "tx1", "endorse", "");
+        tr.span_start(t(1), "tx1", "endorse", "");
+        assert_eq!(tr.duplicate_starts(), 1);
+        // The replacement span is the one that closes.
+        let d = tr.span_end(t(3), "tx1", "endorse", "").unwrap();
+        assert_eq!(d, SimDuration::from_nanos(2));
+    }
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        let mut tr = Tracer::disabled();
+        tr.span_start(t(0), "tx1", "endorse", "");
+        assert!(tr.span_end(t(1), "tx1", "endorse", "").is_none());
+        tr.event(t(0), "tx1", "x", "");
+        assert_eq!(tr.spans_started(), 0);
+        assert_eq!(tr.unmatched_ends(), 0);
+        assert_eq!(tr.events_recorded(), 0);
+        assert_eq!(tr.finished_spans().count(), 0);
+    }
+
+    #[test]
+    fn snapshot_json_is_deterministic() {
+        let build = || {
+            let mut tr = Tracer::new(TracerConfig::default());
+            tr.span_start(t(0), "tx1", "endorse", "");
+            tr.span_end(t(7), "tx1", "endorse", "");
+            tr.event(t(8), "tx1", "done", "");
+            tr.snapshot_json()
+        };
+        let a = build();
+        assert_eq!(a, build());
+        assert!(a.contains("\"spans_finished\":1"));
+        assert!(a.contains("\"endorse\""));
+        assert!(a.contains("\"p99\":7"));
+    }
+
+    #[test]
+    fn events_ring_respects_capacity() {
+        let mut tr = Tracer::new(TracerConfig {
+            event_capacity: 2,
+            ..TracerConfig::default()
+        });
+        tr.event(t(0), "a", "e", "");
+        tr.event(t(1), "b", "e", "");
+        tr.event(t(2), "c", "e", "");
+        let traces: Vec<&str> = tr.events().map(|e| e.trace.as_str()).collect();
+        assert_eq!(traces, ["b", "c"]);
+        assert_eq!(tr.events_recorded(), 3);
+    }
+}

@@ -1,7 +1,9 @@
 //! Property-based tests of the simulation kernel: histogram accuracy,
 //! CPU busy accounting and network serialisation invariants.
 
-use hyperprov_sim::{CpuResource, DetRng, Delivery, Histogram, LinkSpec, Network, SimDuration, SimTime};
+use hyperprov_sim::{
+    CpuResource, Delivery, DetRng, Histogram, LinkSpec, Network, SimDuration, SimTime,
+};
 use proptest::prelude::*;
 
 proptest! {

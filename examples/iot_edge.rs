@@ -58,7 +58,11 @@ fn main() -> Result<(), HyperProvError> {
             report.blocks_checked,
             report.records_checked,
             report.payloads_checked,
-            if report.is_clean() { "CLEAN" } else { "FINDINGS!" }
+            if report.is_clean() {
+                "CLEAN"
+            } else {
+                "FINDINGS!"
+            }
         );
         assert!(report.is_clean());
     }

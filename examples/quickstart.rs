@@ -43,7 +43,10 @@ fn main() -> Result<(), HyperProvError> {
         "sensor-readings-2026-07-06",
         b"temperature,humidity\n21.5,0.50\n".to_vec(),
         vec![],
-        vec![("sensor".into(), "bme280-north".into()), ("revised".into(), "true".into())],
+        vec![
+            ("sensor".into(), "bme280-north".into()),
+            ("revised".into(), "true".into()),
+        ],
     )?;
     let history = hp.get_history("sensor-readings-2026-07-06")?;
     println!("history has {} versions:", history.len());

@@ -12,8 +12,18 @@ fn main() -> Result<(), HyperProvError> {
     let mut hp = HyperProv::desktop();
 
     // Stage 0: two raw instrument dumps.
-    hp.store_data("raw/run-a.csv", csv(1), vec![], meta("instrument", "spectrometer-A"))?;
-    hp.store_data("raw/run-b.csv", csv(2), vec![], meta("instrument", "spectrometer-B"))?;
+    hp.store_data(
+        "raw/run-a.csv",
+        csv(1),
+        vec![],
+        meta("instrument", "spectrometer-A"),
+    )?;
+    hp.store_data(
+        "raw/run-b.csv",
+        csv(2),
+        vec![],
+        meta("instrument", "spectrometer-B"),
+    )?;
 
     // Stage 1: cleaning merges both runs.
     hp.store_data(

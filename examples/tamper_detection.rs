@@ -12,18 +12,31 @@ fn main() -> Result<(), HyperProvError> {
 
     // A lab stores three evidence files.
     let originals: Vec<(String, Vec<u8>)> = (0..3)
-        .map(|i| (format!("evidence-{i}"), format!("exhibit #{i} contents").into_bytes()))
+        .map(|i| {
+            (
+                format!("evidence-{i}"),
+                format!("exhibit #{i} contents").into_bytes(),
+            )
+        })
         .collect();
     for (key, data) in &originals {
         hp.store_data(key, data.clone(), vec![], vec![])?;
     }
     let ledger0 = hp.network().ledgers[0].clone();
     let clean = audit(&ledger0.borrow(), hp.network().store.as_ref()).is_clean();
-    println!("stored {} evidence items; audit: clean = {clean}", originals.len());
+    println!(
+        "stored {} evidence items; audit: clean = {clean}",
+        originals.len()
+    );
 
     // --- Attack 1: corrupt the off-chain payload in place. ---
     let record = hp.get("evidence-1")?;
-    let object = record.location.rsplit('/').next().expect("location").to_owned();
+    let object = record
+        .location
+        .rsplit('/')
+        .next()
+        .expect("location")
+        .to_owned();
     hp.network().store.tamper(&object, b"doctored contents");
     println!("\nattacker overwrote off-chain object {}", &object[..8]);
 
@@ -53,7 +66,12 @@ fn main() -> Result<(), HyperProvError> {
 
     // --- Attack 2: delete the object outright. ---
     let record = hp.get("evidence-2")?;
-    let object = record.location.rsplit('/').next().expect("location").to_owned();
+    let object = record
+        .location
+        .rsplit('/')
+        .next()
+        .expect("location")
+        .to_owned();
     hp.network().store.delete(&object).expect("delete");
     let report = audit(&ledger.borrow(), hp.network().store.as_ref());
     assert!(report

@@ -42,13 +42,8 @@ fn hyperprov_over_raft_ordering_survives_leader_loss() {
         msp.clone(),
         ChannelPolicies::new(EndorsementPolicy::any_of([org.clone()])),
     )));
-    let mut peer = PeerActor::<NodeMsg>::new(
-        peer_identity,
-        registry,
-        committer.clone(),
-        costs,
-        "peer0",
-    );
+    let mut peer =
+        PeerActor::<NodeMsg>::new(peer_identity, registry, committer.clone(), costs, "peer0");
     peer.subscribe(client_id);
     assert_eq!(sim.add_actor(Box::new(peer)), peer_id);
 
@@ -92,7 +87,7 @@ fn hyperprov_over_raft_ordering_survives_leader_loss() {
     sim.run_until(SimTime::from_secs(10));
 
     // Store three items through the raft-ordered chain.
-    let mut submit = |sim: &mut Simulation<NodeMsg>, op: u64, key: &str| {
+    let submit = |sim: &mut Simulation<NodeMsg>, op: u64, key: &str| {
         sim.inject_message(
             client_id,
             NodeMsg::Client(ClientCommand::StoreData {
@@ -131,7 +126,11 @@ fn hyperprov_over_raft_ordering_survives_leader_loss() {
     sim.run_until(SimTime::from_secs(90));
     submit(&mut sim, 3, "gamma");
     sim.run_until(SimTime::from_secs(140));
-    let done: Vec<_> = completions.borrow().iter().map(|c| c.outcome.is_ok()).collect();
+    let done: Vec<_> = completions
+        .borrow()
+        .iter()
+        .map(|c| c.outcome.is_ok())
+        .collect();
     assert_eq!(done, vec![true], "gamma should commit after failover");
 
     // Ledger is consistent and audits clean.
@@ -169,7 +168,9 @@ fn multi_client_convergence_across_orgs() {
         assert_eq!(queue.len(), 1, "client {i}");
         let completion = &queue[0];
         match &completion.outcome {
-            Ok(OpOutput::Committed { record: Some(r), .. }) => {
+            Ok(OpOutput::Committed {
+                record: Some(r), ..
+            }) => {
                 // Each record is attributed to its submitting client.
                 assert_eq!(r.creator.subject, format!("client{i}"));
             }
@@ -198,8 +199,13 @@ fn rpi_session_energy_in_calibrated_band() {
     let mut hp = HyperProv::rpi();
     let start = hp.now();
     for i in 0..4 {
-        hp.store_data(&format!("edge-{i}"), vec![i as u8; 8 * 1024], vec![], vec![])
-            .unwrap();
+        hp.store_data(
+            &format!("edge-{i}"),
+            vec![i as u8; 8 * 1024],
+            vec![],
+            vec![],
+        )
+        .unwrap();
     }
     let end = hp.now();
     let meter = PowerMeter::new(EnergyModel::raspberry_pi(), SimDuration::from_secs(1));
@@ -212,7 +218,8 @@ fn rpi_session_energy_in_calibrated_band() {
     );
     // And the device profile agrees with the paper's ~order-of-magnitude
     // CPU gap.
-    let gap = DeviceProfile::xeon_e5_1603().cpu_speed / DeviceProfile::raspberry_pi_3b_plus().cpu_speed;
+    let gap =
+        DeviceProfile::xeon_e5_1603().cpu_speed / DeviceProfile::raspberry_pi_3b_plus().cpu_speed;
     assert!(gap > 5.0);
 }
 

@@ -1,0 +1,338 @@
+//! Offline stand-in for the `criterion` crate (0.5 API subset).
+//!
+//! Implements enough of criterion's surface for the workspace's
+//! micro-benchmarks: `Criterion` with the builder knobs the benches use,
+//! benchmark groups with throughput annotation, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros. Measurement is a plain
+//! wall-clock loop (warm-up, then timed batches) with min/mean/max
+//! reporting — no statistical analysis, plots or HTML output. When the
+//! binary is invoked with `--test` (as `cargo test` does for bench
+//! targets), every benchmark body runs exactly once so test runs stay
+//! fast.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 50,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+            test_mode: false,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up time per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Applies command-line arguments (`--test`, optional name filter),
+    /// mirroring criterion's harness-mode CLI handling.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => self.test_mode = true,
+                "--bench" | "--nocapture" | "-q" | "--quiet" => {}
+                // Flags that take a value we do not interpret.
+                "--sample-size" | "--measurement-time" | "--warm-up-time" | "--save-baseline"
+                | "--baseline" => {
+                    let _ = args.next();
+                }
+                other if other.starts_with('-') => {}
+                filter => self.filter = Some(filter.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(name, None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    fn run<F>(&mut self, name: &str, throughput: Option<Throughput>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            test_mode: self.test_mode,
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(name, throughput, self.test_mode);
+    }
+}
+
+/// Group of benchmarks sharing a name prefix and throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with a throughput unit.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id);
+        self.criterion.run(&name, self.throughput, f);
+        self
+    }
+
+    /// Runs one parameterised benchmark within the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id.id);
+        self.criterion.run(&name, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier for a parameterised benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a benchmark function name and a parameter.
+    pub fn new(function: &str, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Builds an id from the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Throughput annotation for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Timing harness handed to each benchmark body.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    samples: Vec<f64>, // nanoseconds per iteration
+}
+
+impl Bencher {
+    /// Measures `routine`, retaining per-iteration timings.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        if self.test_mode {
+            black_box(routine());
+            self.samples.push(0.0);
+            return;
+        }
+        // Warm up and estimate the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        // Size batches so all samples together fill the measurement time.
+        let budget = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let batch = ((budget / per_iter.max(1e-9)) as u64).clamp(1, 10_000_000);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let nanos = start.elapsed().as_nanos() as f64 / batch as f64;
+            self.samples.push(nanos);
+        }
+    }
+
+    fn report(&self, name: &str, throughput: Option<Throughput>, test_mode: bool) {
+        if test_mode {
+            println!("{name:<40} ok (test mode, 1 iteration)");
+            return;
+        }
+        if self.samples.is_empty() {
+            println!("{name:<40} no samples");
+            return;
+        }
+        let min = self.samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = self.samples.iter().copied().fold(0.0f64, f64::max);
+        let mean = self.samples.iter().sum::<f64>() / self.samples.len() as f64;
+        let mut line = format!(
+            "{name:<40} time: [{} {} {}]",
+            fmt_nanos(min),
+            fmt_nanos(mean),
+            fmt_nanos(max)
+        );
+        if let Some(t) = throughput {
+            let (amount, unit) = match t {
+                Throughput::Bytes(b) => (b as f64, "B"),
+                Throughput::Elements(e) => (e as f64, "elem"),
+            };
+            let rate = amount / (mean / 1e9);
+            line.push_str(&format!("  thrpt: {}", fmt_rate(rate, unit)));
+        }
+        println!("{line}");
+    }
+}
+
+fn fmt_nanos(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn fmt_rate(per_sec: f64, unit: &str) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.2} G{unit}/s", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.2} M{unit}/s", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.2} k{unit}/s", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} {unit}/s")
+    }
+}
+
+/// Declares a benchmark group runner, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::configure_from_args($config);
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+        let mut group = c.benchmark_group("grp");
+        group.throughput(Throughput::Bytes(1024));
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u32, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn nanos_formatting() {
+        assert_eq!(fmt_nanos(500.0), "500.0 ns");
+        assert_eq!(fmt_nanos(1_500.0), "1.50 µs");
+        assert_eq!(fmt_nanos(2_500_000.0), "2.50 ms");
+    }
+}

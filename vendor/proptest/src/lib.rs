@@ -1,0 +1,543 @@
+//! Offline stand-in for the `proptest` crate (API subset).
+//!
+//! The build environment has no crates.io access, so this crate
+//! re-implements the slice of proptest the workspace's property tests
+//! use: the [`Strategy`] trait with `prop_map`, `any::<T>()` for a few
+//! primitive types, integer/float range strategies, regex-lite string
+//! patterns (`"[a-z]{1,8}"`, `".{0,24}"`), tuple strategies,
+//! [`collection::vec`], [`option::of`], and the `proptest!` /
+//! `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from real proptest, deliberate for this workspace:
+//! - No shrinking: a failing case reports its inputs' debug summary and
+//!   the case seed, not a minimised counterexample.
+//! - Fully deterministic: the case RNG is seeded from the property's
+//!   name, so failures reproduce exactly across runs and machines.
+
+#![forbid(unsafe_code)]
+
+/// Number of successful cases each property must pass.
+const CASES: u32 = 256;
+/// Upper bound on `prop_assume!` rejections before the run aborts.
+const MAX_REJECTS: u32 = 65_536;
+
+/// Outcome of a single generated test case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The property does not hold; carries the failure message.
+    Fail(String),
+    /// The case was rejected by `prop_assume!`; try another input.
+    Reject(String),
+}
+
+/// Deterministic generator driving input synthesis (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator from a property name so each property has a
+    /// stable, independent input stream.
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a over the name bytes.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, 1)`.
+    pub fn next_unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw from `[lo, hi]` (inclusive).
+    pub fn next_in(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        let width = hi - lo;
+        if width == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.next_u64() % (width + 1)
+    }
+
+    /// Returns `true` with probability `p`.
+    pub fn next_bool(&mut self, p: f64) -> bool {
+        self.next_unit_f64() < p
+    }
+}
+
+/// A generator of test-case inputs, mirroring `proptest::strategy::Strategy`.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value from `rng`.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adaptor produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Types with a canonical whole-domain strategy, used by [`any`].
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value from `rng`.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for [u8; 32] {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        let mut out = [0u8; 32];
+        for chunk in out.chunks_mut(8) {
+            chunk.copy_from_slice(&rng.next_u64().to_le_bytes());
+        }
+        out
+    }
+}
+
+/// Strategy over a type's whole domain, mirroring `proptest::arbitrary::any`.
+pub fn any<A: Arbitrary>() -> Any<A> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug)]
+pub struct Any<A> {
+    _marker: std::marker::PhantomData<fn() -> A>,
+}
+
+impl<A: Arbitrary> Strategy for Any<A> {
+    type Value = A;
+    fn generate(&self, rng: &mut TestRng) -> A {
+        A::arbitrary(rng)
+    }
+}
+
+macro_rules! uint_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                rng.next_in(self.start as u64, self.end as u64 - 1) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                rng.next_in(*self.start() as u64, *self.end() as u64) as $t
+            }
+        }
+    )*};
+}
+uint_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.next_unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for std::ops::RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range strategy");
+        // next_unit_f64 is [0, 1); fold a coin flip in so the upper bound
+        // is actually reachable.
+        if rng.next_bool(1.0 / 4096.0) {
+            hi
+        } else {
+            lo + rng.next_unit_f64() * (hi - lo)
+        }
+    }
+}
+
+/// String strategy from a regex-like pattern. Supported syntax is the
+/// subset the workspace tests use: a sequence of atoms, each either a
+/// character class `[a-z0-9 _./-]` or `.` (printable ASCII), followed by
+/// an optional `{m,n}` repetition (default exactly one).
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_pattern(self, rng)
+    }
+}
+
+fn generate_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0usize;
+    let mut out = String::new();
+    while i < chars.len() {
+        // Parse one atom into a candidate character set.
+        let set: Vec<char> = match chars[i] {
+            '.' => {
+                i += 1;
+                (0x20u8..0x7f).map(char::from).collect()
+            }
+            '[' => {
+                i += 1;
+                let mut set = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (lo, hi) = (chars[i], chars[i + 2]);
+                        assert!(lo <= hi, "bad class range in pattern {pattern:?}");
+                        set.extend((lo..=hi).filter(|c| c.is_ascii()));
+                        i += 3;
+                    } else {
+                        set.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                assert!(
+                    i < chars.len(),
+                    "unterminated character class in pattern {pattern:?}"
+                );
+                i += 1; // consume ']'
+                set
+            }
+            other => {
+                panic!("unsupported pattern atom {other:?} in {pattern:?}")
+            }
+        };
+        assert!(!set.is_empty(), "empty character class in {pattern:?}");
+        // Parse the optional {m,n} repetition.
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unterminated repetition in {pattern:?}"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            let (m, n) = body
+                .split_once(',')
+                .unwrap_or_else(|| panic!("repetition must be {{m,n}} in {pattern:?}"));
+            i = close + 1;
+            (
+                m.trim().parse::<usize>().expect("bad repetition bound"),
+                n.trim().parse::<usize>().expect("bad repetition bound"),
+            )
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "inverted repetition in {pattern:?}");
+        let count = rng.next_in(min as u64, max as u64) as usize;
+        for _ in 0..count {
+            out.push(set[rng.next_in(0, set.len() as u64 - 1) as usize]);
+        }
+    }
+    out
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Length bounds accepted by [`vec`].
+    pub trait IntoSizeRange {
+        /// Returns the inclusive `(min, max)` length bounds.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for std::ops::Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty vec length range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.start() <= self.end(), "empty vec length range");
+            (*self.start(), *self.end())
+        }
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self)
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        VecStrategy { element, min, max }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.next_in(self.min as u64, self.max as u64) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies, mirroring `proptest::option`.
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Strategy producing `Some(inner)` three times in four, else `None`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// Strategy returned by [`of`].
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_bool(0.75) {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Drives one property: repeatedly generates inputs and runs `case`
+/// until [`CASES`] cases pass, panicking on the first failure.
+pub fn run_cases<F>(name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let mut rng = TestRng::from_name(name);
+    let mut passed = 0u32;
+    let mut rejects = 0u32;
+    while passed < CASES {
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejects += 1;
+                assert!(
+                    rejects <= MAX_REJECTS,
+                    "property {name}: too many prop_assume! rejections ({rejects})"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("property {name} failed after {passed} passing cases: {msg}")
+            }
+        }
+    }
+}
+
+/// Declares property-based tests; each argument is drawn from its
+/// strategy for every generated case.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases(stringify!($name), |__pt_rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), __pt_rng);)+
+                    let __pt_case = move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    };
+                    __pt_case()
+                });
+            }
+        )*
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(::std::format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(::std::format!(
+                $($fmt)+
+            )));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__pt_l, __pt_r) = (&$left, &$right);
+        if !(*__pt_l == *__pt_r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(::std::format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __pt_l,
+                __pt_r
+            )));
+        }
+    }};
+}
+
+/// Rejects (skips) the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// Commonly imported names, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{any, Arbitrary, Strategy, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn patterns_respect_class_and_length() {
+        let mut rng = TestRng::from_name("patterns");
+        for _ in 0..200 {
+            let s = crate::generate_pattern("[a-z]{1,8}", &mut rng);
+            assert!((1..=8).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+            let t = crate::generate_pattern("[a-zA-Z0-9 _./-]{1,16}", &mut rng);
+            assert!((1..=16).contains(&t.len()));
+            assert!(t
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || " _./-".contains(c)));
+            let dot = crate::generate_pattern(".{0,24}", &mut rng);
+            assert!(dot.len() <= 24);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name() {
+        let strat = crate::collection::vec(any::<u64>(), 1..10);
+        let mut a = TestRng::from_name("x");
+        let mut b = TestRng::from_name("x");
+        assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+    }
+
+    proptest! {
+        #[test]
+        fn macro_round_trip(
+            v in crate::collection::vec(0u64..1000, 0..20),
+            flag in any::<bool>(),
+            label in "[a-z]{1,4}",
+            opt in crate::option::of(0u32..10),
+        ) {
+            prop_assert!(v.iter().all(|&x| x < 1000));
+            prop_assert_eq!(flag, flag);
+            prop_assert!(!label.is_empty() && label.len() <= 4);
+            if let Some(x) = opt {
+                prop_assert!(x < 10, "opt out of range: {x}");
+            }
+        }
+
+        #[test]
+        fn assume_skips_but_completes(a in 0u64..100, b in 0u64..100) {
+            prop_assume!(a != b);
+            prop_assert!(a != b);
+        }
+    }
+}
