@@ -1,5 +1,6 @@
 #!/usr/bin/env sh
-# Local CI gate: formatting, lints, release build, tests.
+# Local CI gate: formatting, lints, release build, tests, then smoke-runs
+# the examples and the overload sweep.
 # Run from the repo root; fails fast on the first broken step.
 set -eu
 
@@ -7,3 +8,11 @@ cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo build --release
 cargo test -q
+
+# The examples double as end-to-end smoke tests of the public API.
+for example in quickstart iot_edge scientific_workflow tamper_detection; do
+    cargo run --release --example "$example"
+done
+
+# Exercises the bounded-admission-queue path end to end.
+cargo run --release -p hyperprov-bench --bin table_overload -- --quick

@@ -22,7 +22,7 @@ use hyperprov_fabric::{
     PeerActor, SoloOrdererActor,
 };
 use hyperprov_ledger::TxId;
-use hyperprov_sim::{Actor, ActorId, Context, Event, SimTime, Simulation};
+use hyperprov_sim::{Actor, ActorId, Context, Event, ServiceHarness, SimTime, Simulation};
 
 use crate::onchain::{OnChainProvChaincode, ONCHAIN_NAME};
 
@@ -35,6 +35,7 @@ pub struct OnChainClient {
     gateway: Gateway,
     completions: CompletionQueue,
     inflight: HashMap<TxId, (hyperprov::OpId, SimTime)>,
+    harness: ServiceHarness<NodeMsg>,
 }
 
 impl OnChainClient {
@@ -46,6 +47,7 @@ impl OnChainClient {
                 gateway,
                 completions: completions.clone(),
                 inflight: HashMap::new(),
+                harness: ServiceHarness::new("onchain-client"),
             },
             completions,
         )
@@ -59,6 +61,7 @@ impl Actor<NodeMsg> for OnChainClient {
                 NodeMsg::Client(ClientCommand::StoreData { key, data, op, .. }) => {
                     let tx_id = self.gateway.invoke(
                         ctx,
+                        &mut self.harness,
                         ONCHAIN_NAME,
                         "post",
                         vec![key.into_bytes(), data],
@@ -66,9 +69,13 @@ impl Actor<NodeMsg> for OnChainClient {
                     self.inflight.insert(tx_id, (op, ctx.now()));
                 }
                 NodeMsg::Client(ClientCommand::Get { key, op }) => {
-                    let tx_id =
-                        self.gateway
-                            .query(ctx, ONCHAIN_NAME, "get", vec![key.into_bytes()]);
+                    let tx_id = self.gateway.query(
+                        ctx,
+                        &mut self.harness,
+                        ONCHAIN_NAME,
+                        "get",
+                        vec![key.into_bytes()],
+                    );
                     self.inflight.insert(tx_id, (op, ctx.now()));
                 }
                 NodeMsg::Client(_) => {}
@@ -95,13 +102,13 @@ impl Actor<NodeMsg> for OnChainClient {
                                     });
                                 }
                             }
-                            GatewayEvent::TxFailed { tx_id, reason } => {
+                            GatewayEvent::TxFailed { tx_id, error } => {
                                 if let Some((op, started)) = self.inflight.remove(&tx_id) {
                                     self.completions.borrow_mut().push_back(ClientCompletion {
                                         op,
                                         started,
                                         finished: now,
-                                        outcome: Err(HyperProvError::Rejected(reason)),
+                                        outcome: Err(HyperProvError::Rejected(error.to_string())),
                                     });
                                 }
                             }
@@ -112,7 +119,9 @@ impl Actor<NodeMsg> for OnChainClient {
                                             "{} bytes",
                                             bytes.len()
                                         )])),
-                                        Err(reason) => Err(HyperProvError::Rejected(reason)),
+                                        Err(error) => {
+                                            Err(HyperProvError::Rejected(error.to_string()))
+                                        }
                                     };
                                     self.completions.borrow_mut().push_back(ClientCompletion {
                                         op,
@@ -127,7 +136,10 @@ impl Actor<NodeMsg> for OnChainClient {
                 }
                 NodeMsg::Store(_) => {}
             },
-            Event::Timer { .. } => {}
+            Event::Timer { token } => {
+                // Gateway CPU charges (hashing, signing) release here.
+                let _ = self.harness.on_timer(ctx, token);
+            }
         }
     }
 }
@@ -199,6 +211,9 @@ impl OnChainNetwork {
                 config.costs,
                 format!("peer{i}"),
             );
+            if let Some(queue) = config.peer_queue {
+                actor = actor.with_queue(queue);
+            }
             for (c, &cid) in client_ids.iter().enumerate() {
                 if c % n_peers == i {
                     actor.subscribe(cid);
@@ -207,14 +222,12 @@ impl OnChainNetwork {
             let id = sim.add_actor_with_speed(Box::new(actor), config.peer_devices[i].cpu_speed);
             debug_assert_eq!(id, peer_ids[i]);
         }
-        let id = sim.add_actor_with_speed(
-            Box::new(SoloOrdererActor::<NodeMsg>::new(
-                config.batch,
-                peer_ids.clone(),
-                config.costs,
-            )),
-            config.orderer_device.cpu_speed,
-        );
+        let mut orderer_actor =
+            SoloOrdererActor::<NodeMsg>::new(config.batch, peer_ids.clone(), config.costs);
+        if let Some(queue) = config.orderer_queue {
+            orderer_actor = orderer_actor.with_queue(queue);
+        }
+        let id = sim.add_actor_with_speed(Box::new(orderer_actor), config.orderer_device.cpu_speed);
         debug_assert_eq!(id, orderer_id);
 
         let mut completions = Vec::new();

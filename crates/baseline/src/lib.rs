@@ -22,4 +22,4 @@ mod pow;
 
 pub use deploy::{OnChainClient, OnChainNetwork};
 pub use onchain::{OnChainProvChaincode, ONCHAIN_NAME};
-pub use pow::{PowChain, PowCommit, PowConfig, PowTx};
+pub use pow::{PowChain, PowCommit, PowConfig, PowMsg, PowNodeActor, PowTx};

@@ -2,8 +2,8 @@
 //! `results/`.
 
 use hyperprov_bench::experiments::{
-    baseline_comparison, batch_sweep, contention_sweep, energy_profile, query_latency,
-    render_and_save, render_and_save_metrics, size_sweep, Platform,
+    baseline_comparison, batch_sweep, contention_sweep, energy_profile, overload_sweep,
+    query_latency, render_and_save, render_and_save_metrics, size_sweep, Platform,
 };
 
 fn main() {
@@ -39,4 +39,12 @@ fn main() {
         "{}",
         render_and_save(&contention_sweep(quick), "table_contention")
     );
+
+    let overload = overload_sweep(quick);
+    print!("{}", render_and_save(&overload.table, "table_overload"));
+    print!(
+        "{}",
+        render_and_save(&overload.breakdown, "table_overload_stages")
+    );
+    print!("{}", render_and_save_metrics(&overload.exporter));
 }

@@ -9,12 +9,14 @@ mod baselines;
 mod contention;
 mod fig12;
 mod fig3;
+mod overload;
 mod queries;
 
 pub use baselines::baseline_comparison;
 pub use contention::contention_sweep;
 pub use fig12::{size_sweep, Platform};
 pub use fig3::energy_profile;
+pub use overload::{overload_sweep, OverloadReport};
 pub use queries::{batch_sweep, query_latency};
 
 use std::path::Path;

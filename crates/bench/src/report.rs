@@ -33,6 +33,7 @@ const STAGE_ORDER: &[&str] = &[
     "offchain.put",
     "offchain.get",
     "offchain.server",
+    "queue.wait",
     "endorse",
     "endorse.exec",
     "order.queue",

@@ -13,10 +13,10 @@ use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::rc::Rc;
 
-use hyperprov_fabric::{CostModel, Gateway, GatewayEvent, GATEWAY_NOOP_TOKEN};
+use hyperprov_fabric::{CostModel, Gateway, GatewayError, GatewayEvent};
 use hyperprov_ledger::{Decode, Digest, TxId, ValidationCode};
 use hyperprov_offchain::{StoreError, StoreMsg};
-use hyperprov_sim::{Actor, ActorId, Carries, Context, Event, SimTime};
+use hyperprov_sim::{Actor, ActorId, Carries, Context, Event, ServiceHarness, SimTime};
 
 use crate::chaincode::CHAINCODE_NAME;
 use crate::record::{
@@ -170,6 +170,14 @@ impl fmt::Display for HyperProvError {
 
 impl std::error::Error for HyperProvError {}
 
+impl From<GatewayError> for HyperProvError {
+    /// Every gateway failure happens before ordering, so it maps onto
+    /// [`HyperProvError::Rejected`], preserving the gateway's message.
+    fn from(err: GatewayError) -> Self {
+        HyperProvError::Rejected(err.to_string())
+    }
+}
+
 /// Successful operation results.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum OpOutput {
@@ -277,6 +285,7 @@ pub struct HyperProvClient {
     by_tx: HashMap<TxId, OpCtx>,
     by_store_token: HashMap<u64, OpCtx>,
     next_store_token: u64,
+    harness: ServiceHarness<NodeMsgOf>,
 }
 
 impl HyperProvClient {
@@ -301,6 +310,7 @@ impl HyperProvClient {
                 by_tx: HashMap::new(),
                 by_store_token: HashMap::new(),
                 next_store_token: 0,
+                harness: ServiceHarness::new("client"),
             },
             completions,
         )
@@ -335,6 +345,7 @@ impl HyperProvClient {
             ClientCommand::Post { key, input, op } => {
                 let tx_id = self.gateway.invoke(
                     ctx,
+                    &mut self.harness,
                     CHAINCODE_NAME,
                     "post",
                     vec![key.into_bytes(), hyperprov_ledger::Encode::to_bytes(&input)],
@@ -358,7 +369,8 @@ impl HyperProvClient {
                 // Client-side checksum of the payload: the dominant client
                 // CPU cost for large items (per the paper's Fig. 1 and 2).
                 let checksum = Digest::of(&data);
-                ctx.execute(self.costs.hash_cost(data.len() as u64), GATEWAY_NOOP_TOKEN);
+                let hash_cost = self.costs.hash_cost(data.len() as u64);
+                self.harness.charge(ctx, hash_cost);
                 let mut input = RecordInput::new(checksum)
                     .with_location(
                         format!("{}{}", self.location_prefix, checksum.to_hex()),
@@ -398,9 +410,13 @@ impl HyperProvClient {
                 self.start_query(ctx, now, op, "get", vec![key.into_bytes()], QueryKind::Get);
             }
             ClientCommand::GetData { key, op } => {
-                let tx_id = self
-                    .gateway
-                    .query(ctx, CHAINCODE_NAME, "get", vec![key.into_bytes()]);
+                let tx_id = self.gateway.query(
+                    ctx,
+                    &mut self.harness,
+                    CHAINCODE_NAME,
+                    "get",
+                    vec![key.into_bytes()],
+                );
                 self.by_tx.insert(
                     tx_id,
                     OpCtx {
@@ -411,9 +427,13 @@ impl HyperProvClient {
                 );
             }
             ClientCommand::CheckData { key, op } => {
-                let tx_id = self
-                    .gateway
-                    .query(ctx, CHAINCODE_NAME, "get", vec![key.into_bytes()]);
+                let tx_id = self.gateway.query(
+                    ctx,
+                    &mut self.harness,
+                    CHAINCODE_NAME,
+                    "get",
+                    vec![key.into_bytes()],
+                );
                 self.by_tx.insert(
                     tx_id,
                     OpCtx {
@@ -454,9 +474,13 @@ impl HyperProvClient {
                 );
             }
             ClientCommand::Delete { key, op } => {
-                let tx_id =
-                    self.gateway
-                        .invoke(ctx, CHAINCODE_NAME, "delete", vec![key.into_bytes()]);
+                let tx_id = self.gateway.invoke(
+                    ctx,
+                    &mut self.harness,
+                    CHAINCODE_NAME,
+                    "delete",
+                    vec![key.into_bytes()],
+                );
                 self.by_tx.insert(
                     tx_id,
                     OpCtx {
@@ -481,7 +505,9 @@ impl HyperProvClient {
         args: Vec<Vec<u8>>,
         kind: QueryKind,
     ) {
-        let tx_id = self.gateway.query(ctx, CHAINCODE_NAME, function, args);
+        let tx_id = self
+            .gateway
+            .query(ctx, &mut self.harness, CHAINCODE_NAME, function, args);
         self.by_tx.insert(
             tx_id,
             OpCtx {
@@ -510,9 +536,9 @@ impl HyperProvClient {
                     self.complete(ctx, op_ctx, outcome);
                 }
             }
-            GatewayEvent::TxFailed { tx_id, reason } => {
+            GatewayEvent::TxFailed { tx_id, error } => {
                 if let Some(op_ctx) = self.by_tx.remove(&tx_id) {
-                    self.complete(ctx, op_ctx, Err(HyperProvError::Rejected(reason)));
+                    self.complete(ctx, op_ctx, Err(error.into()));
                 }
             }
             GatewayEvent::QueryDone { tx_id, result, .. } => {
@@ -522,8 +548,8 @@ impl HyperProvClient {
                 let OpCtx { op, started, state } = op_ctx;
                 let rebuilt = |state| OpCtx { op, started, state };
                 match (result, state) {
-                    (Err(reason), state) => {
-                        self.complete(ctx, rebuilt(state), Err(HyperProvError::Rejected(reason)));
+                    (Err(error), state) => {
+                        self.complete(ctx, rebuilt(state), Err(error.into()));
                     }
                     (Ok(bytes), OpState::Query(kind)) => {
                         let outcome = decode_query(kind, &bytes);
@@ -602,6 +628,7 @@ impl HyperProvClient {
                         // Payload stored: now post the metadata on-chain.
                         let tx_id = self.gateway.invoke(
                             ctx,
+                            &mut self.harness,
                             CHAINCODE_NAME,
                             "post",
                             vec![
@@ -646,7 +673,8 @@ impl HyperProvClient {
                 let outcome = match result {
                     Ok(data) => {
                         // Client-side verification hash.
-                        ctx.execute(self.costs.hash_cost(data.len() as u64), GATEWAY_NOOP_TOKEN);
+                        let hash_cost = self.costs.hash_cost(data.len() as u64);
+                        self.harness.charge(ctx, hash_cost);
                         let actual = Digest::of(&data);
                         let ok = actual == record.checksum;
                         if check_only {
@@ -716,8 +744,9 @@ impl Actor<NodeMsgOf> for HyperProvClient {
                 }
                 crate::net::NodeMsg::Store(smsg) => self.on_store_msg(ctx, smsg),
             },
-            Event::Timer { .. } => {
-                // CPU-accounting noop timers (hashing, signing).
+            Event::Timer { token } => {
+                // CPU-accounting charges (hashing, signing) release here.
+                let _ = self.harness.on_timer(ctx, token);
             }
         }
     }

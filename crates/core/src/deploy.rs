@@ -12,7 +12,7 @@ use hyperprov_fabric::{
     Gateway, MspBuilder, MspId, PeerActor, SoloOrdererActor,
 };
 use hyperprov_offchain::{MemoryStore, StorageActor, StorageCosts};
-use hyperprov_sim::{ActorId, Simulation};
+use hyperprov_sim::{ActorId, QueueConfig, Simulation};
 
 use crate::chaincode::HyperProvChaincode;
 use crate::client::{CompletionQueue, HyperProvClient};
@@ -45,6 +45,13 @@ pub struct NetworkConfig {
     pub storage_costs: StorageCosts,
     /// Install the permissive chaincode variant (no parent checks).
     pub permissive: bool,
+    /// Admission-queue bound for every peer (`None` = unbounded, the
+    /// paper-faithful work-at-arrival default).
+    pub peer_queue: Option<QueueConfig>,
+    /// Admission-queue bound for the ordering service.
+    pub orderer_queue: Option<QueueConfig>,
+    /// Admission-queue bound for the off-chain storage node.
+    pub storage_queue: Option<QueueConfig>,
 }
 
 impl NetworkConfig {
@@ -71,6 +78,9 @@ impl NetworkConfig {
             costs: CostModel::default(),
             storage_costs: StorageCosts::default(),
             permissive: false,
+            peer_queue: None,
+            orderer_queue: None,
+            storage_queue: None,
         }
     }
 
@@ -90,6 +100,9 @@ impl NetworkConfig {
             costs: CostModel::default(),
             storage_costs: StorageCosts::default(),
             permissive: false,
+            peer_queue: None,
+            orderer_queue: None,
+            storage_queue: None,
         }
     }
 
@@ -104,6 +117,27 @@ impl NetworkConfig {
     #[must_use]
     pub fn with_batch(mut self, batch: BatchConfig) -> Self {
         self.batch = batch;
+        self
+    }
+
+    /// Bounds every peer's admission queue.
+    #[must_use]
+    pub fn with_peer_queue(mut self, queue: QueueConfig) -> Self {
+        self.peer_queue = Some(queue);
+        self
+    }
+
+    /// Bounds the orderer's admission queue.
+    #[must_use]
+    pub fn with_orderer_queue(mut self, queue: QueueConfig) -> Self {
+        self.orderer_queue = Some(queue);
+        self
+    }
+
+    /// Bounds the storage node's admission queue.
+    #[must_use]
+    pub fn with_storage_queue(mut self, queue: QueueConfig) -> Self {
+        self.storage_queue = Some(queue);
         self
     }
 }
@@ -194,6 +228,9 @@ impl HyperProvNetwork {
                 config.costs,
                 format!("peer{i}"),
             );
+            if let Some(queue) = config.peer_queue {
+                actor = actor.with_queue(queue);
+            }
             for (c, &cid) in client_ids.iter().enumerate() {
                 if c % n_peers == i {
                     actor.subscribe(cid);
@@ -204,14 +241,20 @@ impl HyperProvNetwork {
             devices.push(config.peer_devices[i].clone());
         }
 
-        let orderer_actor =
+        let mut orderer_actor =
             SoloOrdererActor::<NodeMsg>::new(config.batch, peer_ids.clone(), config.costs);
+        if let Some(queue) = config.orderer_queue {
+            orderer_actor = orderer_actor.with_queue(queue);
+        }
         let id = sim.add_actor_with_speed(Box::new(orderer_actor), config.orderer_device.cpu_speed);
         debug_assert_eq!(id, orderer_id);
         devices.push(config.orderer_device.clone());
 
         let store = Arc::new(MemoryStore::new());
-        let storage_actor = StorageActor::<NodeMsg>::new(store.clone(), config.storage_costs);
+        let mut storage_actor = StorageActor::<NodeMsg>::new(store.clone(), config.storage_costs);
+        if let Some(queue) = config.storage_queue {
+            storage_actor = storage_actor.with_queue(queue);
+        }
         let id = sim.add_actor_with_speed(Box::new(storage_actor), config.storage_device.cpu_speed);
         debug_assert_eq!(id, storage_id);
         devices.push(config.storage_device.clone());

@@ -175,9 +175,18 @@ impl Committer {
         }
 
         block.metadata.codes = codes;
-        self.store
-            .append(block)
-            .expect("structural checks already passed");
+        // State writes are already applied above, so a failure here cannot
+        // be reported as a recoverable `Err` — it would leave the world
+        // state ahead of the block store. The structural pre-checks at the
+        // top of this function test exactly the conditions `append`
+        // re-checks, so this is unreachable unless that pairing breaks.
+        self.store.append(block).unwrap_or_else(|err| {
+            panic!(
+                "invariant violated: block passed commit_block's structural \
+                 pre-checks (number/prev_hash/data_hash) but BlockStore::append \
+                 rejected it: {err:?}"
+            )
+        });
         Ok(CommitOutcome {
             events,
             valid,

@@ -9,14 +9,74 @@
 use std::collections::HashMap;
 
 use hyperprov_ledger::{Encode, TxId, ValidationCode};
-use hyperprov_sim::{ActorId, Context, SimTime};
+use hyperprov_sim::{ActorId, Context, ServiceHarness, SimTime};
 
 use crate::costs::CostModel;
 use crate::identity::SigningIdentity;
 use crate::messages::{
     tx_trace, CommitEvent, Endorsement, Envelope, Proposal, ProposalResponse, SignedProposal,
 };
-use crate::nodes::{Carries, FabricMsg};
+use crate::nodes::{Carries, FabricMsg, BUSY_REASON};
+
+/// Why a gateway operation failed before producing a commit or a query
+/// result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GatewayError {
+    /// An endorsing peer rejected or failed the proposal.
+    Endorsement {
+        /// The peer's rejection message.
+        reason: String,
+    },
+    /// The endorsing peer shed the request at admission (bounded queue,
+    /// `Nack` backpressure policy). The operation may succeed on retry.
+    Busy,
+    /// Collected endorsements disagree on the result or read/write set.
+    Mismatch,
+    /// An endorse-only query returned an application error.
+    Query {
+        /// The chaincode's error message.
+        reason: String,
+    },
+}
+
+impl GatewayError {
+    /// Classifies an endorser's wire-level rejection string.
+    fn from_endorsement(reason: String) -> Self {
+        if reason == BUSY_REASON {
+            GatewayError::Busy
+        } else {
+            GatewayError::Endorsement { reason }
+        }
+    }
+
+    /// Classifies a query's wire-level rejection string.
+    fn from_query(reason: String) -> Self {
+        if reason == BUSY_REASON {
+            GatewayError::Busy
+        } else {
+            GatewayError::Query { reason }
+        }
+    }
+
+    /// True when the failure is transient backpressure worth retrying.
+    pub fn is_busy(&self) -> bool {
+        matches!(self, GatewayError::Busy)
+    }
+}
+
+impl std::fmt::Display for GatewayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GatewayError::Endorsement { reason } | GatewayError::Query { reason } => {
+                write!(f, "{reason}")
+            }
+            GatewayError::Busy => write!(f, "{BUSY_REASON}"),
+            GatewayError::Mismatch => write!(f, "endorsement mismatch across peers"),
+        }
+    }
+}
+
+impl std::error::Error for GatewayError {}
 
 /// Completion notifications surfaced to the host actor.
 #[derive(Debug, Clone)]
@@ -37,24 +97,19 @@ pub enum GatewayEvent {
     TxFailed {
         /// The transaction.
         tx_id: TxId,
-        /// Human-readable reason.
-        reason: String,
+        /// Why it failed.
+        error: GatewayError,
     },
     /// An endorse-only query finished.
     QueryDone {
         /// The query's proposal id.
         tx_id: TxId,
         /// Chaincode result.
-        result: Result<Vec<u8>, String>,
+        result: Result<Vec<u8>, GatewayError>,
         /// Latency from `query` to response.
         latency: hyperprov_sim::SimDuration,
     },
 }
-
-/// Timer token used by the gateway for CPU-accounting work that needs no
-/// action on completion. Host actors will observe `Event::Timer` with this
-/// token and must ignore it.
-pub const GATEWAY_NOOP_TOKEN: u64 = u64::MAX;
 
 #[derive(Debug)]
 enum Inflight {
@@ -132,6 +187,7 @@ impl Gateway {
     fn make_signed<M: Carries<FabricMsg>>(
         &mut self,
         ctx: &mut Context<'_, M>,
+        harness: &mut ServiceHarness<M>,
         chaincode: &str,
         function: &str,
         args: Vec<Vec<u8>>,
@@ -148,10 +204,7 @@ impl Gateway {
         let bytes = proposal.to_bytes();
         // Charge client CPU (signing + hashing); results ship immediately —
         // the charge models utilisation/energy, not a response gate.
-        ctx.execute(
-            self.costs.client_proposal_cost(bytes.len() as u64),
-            GATEWAY_NOOP_TOKEN,
-        );
+        harness.charge(ctx, self.costs.client_proposal_cost(bytes.len() as u64));
         SignedProposal {
             signature: self.identity.sign(&bytes),
             proposal,
@@ -160,14 +213,18 @@ impl Gateway {
 
     /// Starts a full transaction: endorse on `endorsements_needed`
     /// endorsers, then order, then wait for the commit event.
+    ///
+    /// `harness` is the host actor's service harness; it absorbs the
+    /// client-side CPU charge for signing the proposal.
     pub fn invoke<M: Carries<FabricMsg>>(
         &mut self,
         ctx: &mut Context<'_, M>,
+        harness: &mut ServiceHarness<M>,
         chaincode: &str,
         function: &str,
         args: Vec<Vec<u8>>,
     ) -> TxId {
-        let sp = self.make_signed(ctx, chaincode, function, args);
+        let sp = self.make_signed(ctx, harness, chaincode, function, args);
         let tx_id = sp.proposal.tx_id();
         // The endorse span covers the whole client-side collection phase:
         // it closes in `submit` (or on failure), where `commit_wait` opens.
@@ -194,11 +251,12 @@ impl Gateway {
     pub fn query<M: Carries<FabricMsg>>(
         &mut self,
         ctx: &mut Context<'_, M>,
+        harness: &mut ServiceHarness<M>,
         chaincode: &str,
         function: &str,
         args: Vec<Vec<u8>>,
     ) -> TxId {
-        let sp = self.make_signed(ctx, chaincode, function, args);
+        let sp = self.make_signed(ctx, harness, chaincode, function, args);
         let tx_id = sp.proposal.tx_id();
         ctx.span_start(&tx_trace(&tx_id), "query", "");
         self.inflight
@@ -236,7 +294,7 @@ impl Gateway {
                 ctx.span_end(&tx_trace(&tx_id), "query", "");
                 vec![GatewayEvent::QueryDone {
                     tx_id,
-                    result: resp.result,
+                    result: resp.result.map_err(GatewayError::from_query),
                     latency,
                 }]
             }
@@ -255,7 +313,10 @@ impl Gateway {
                     self.inflight.remove(&tx_id);
                     ctx.span_end(&tx_trace(&tx_id), "endorse", "");
                     ctx.trace_event(&tx_trace(&tx_id), "endorse.rejected", &reason);
-                    return vec![GatewayEvent::TxFailed { tx_id, reason }];
+                    return vec![GatewayEvent::TxFailed {
+                        tx_id,
+                        error: GatewayError::from_endorsement(reason),
+                    }];
                 }
                 responses.push(resp);
                 if responses.len() < *needed {
@@ -272,7 +333,7 @@ impl Gateway {
                     ctx.trace_event(&tx_trace(&tx_id), "endorse.mismatch", "");
                     return vec![GatewayEvent::TxFailed {
                         tx_id,
-                        reason: "endorsement mismatch across peers".to_owned(),
+                        error: GatewayError::Mismatch,
                     }];
                 }
                 self.submit(ctx, tx_id);
@@ -294,7 +355,9 @@ impl Gateway {
         else {
             return;
         };
-        let first = &responses[0];
+        let first = responses
+            .first()
+            .expect("invariant: submit runs only after `needed >= 1` endorsements collected");
         let envelope = Envelope {
             proposal: proposal.as_ref().clone(),
             payload: first.result.clone().unwrap_or_default(),

@@ -36,14 +36,14 @@ pub use chaincode::{
 pub use committer::{ChannelPolicies, CommitOutcome, Committer};
 pub use costs::CostModel;
 pub use endorser::endorse;
-pub use gateway::{Gateway, GatewayEvent, GATEWAY_NOOP_TOKEN};
+pub use gateway::{Gateway, GatewayError, GatewayEvent};
 pub use identity::{CertId, Certificate, Msp, MspBuilder, MspId, Signature, SigningIdentity};
 pub use messages::{
     endorsement_message, payload_checksum, tx_trace, ChaincodeEvent, CommitEvent, Endorsement,
     Envelope, Proposal, ProposalResponse, SignedProposal,
 };
 pub use nodes::{
-    Carries, FabricMsg, PeerActor, RaftOrdererActor, SoloOrdererActor, RAFT_TICK_TOKEN,
+    Carries, FabricMsg, PeerActor, RaftOrdererActor, SoloOrdererActor, BUSY_REASON, RAFT_TICK_TOKEN,
 };
 pub use orderer::{BatchConfig, BlockAssembler, BlockCutter, CutterOutput};
 pub use policy::EndorsementPolicy;

@@ -1,30 +1,44 @@
 //! Simulation actors for the Fabric network: peers and ordering nodes.
 //!
 //! Node logic (endorsement, commit, batching, consensus) lives in the
-//! sans-IO modules; the actors here glue it to the discrete-event kernel:
-//! they charge CPU costs, queue outputs until the virtual CPU finishes,
-//! and ship messages through the simulated network.
+//! sans-IO modules; the actors here glue it to the discrete-event kernel
+//! through the shared [`ServiceHarness`]: they charge CPU costs, queue
+//! outputs until the virtual CPU finishes, and ship messages through the
+//! simulated network.
 //!
 //! Work is *performed* at message arrival (so state mutations happen in
 //! arrival order — equivalent to a FIFO service discipline) but results
 //! become *visible* only after the modelled CPU time elapses, which is
 //! what produces the latency/throughput curves of the paper's figures.
+//! Client-facing requests ([`FabricMsg::SubmitProposal`],
+//! [`FabricMsg::Broadcast`]) pass through the harness admission queue:
+//! unbounded by default, or bounded with a backpressure policy via the
+//! actors' `with_queue` builders.
 
 use std::cell::RefCell;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
-use hyperprov_ledger::{Block, RawEnvelope};
-use hyperprov_sim::{Actor, ActorId, Context, Event, SimDuration, TimerId};
+use hyperprov_ledger::{Block, RawEnvelope, RwSet};
+use hyperprov_sim::{
+    Actor, ActorId, Admission, Context, Event, QueueConfig, ServiceHarness, SimDuration, SpanClose,
+    TimerId,
+};
 
 use crate::chaincode::ChaincodeRegistry;
 use crate::committer::Committer;
 use crate::costs::CostModel;
 use crate::endorser::endorse;
 use crate::identity::SigningIdentity;
-use crate::messages::{tx_trace, CommitEvent, Envelope, ProposalResponse, SignedProposal};
+use crate::messages::{
+    endorsement_message, tx_trace, CommitEvent, Envelope, ProposalResponse, SignedProposal,
+};
 use crate::orderer::{BatchConfig, BlockAssembler, BlockCutter};
 use crate::raft::{RaftConfig, RaftMsg, RaftNode};
+
+/// Rejection reason carried by a [`ProposalResponse`] when an endorsing
+/// peer sheds a proposal at admission (bounded queue, `Nack` policy).
+pub const BUSY_REASON: &str = "admission queue full";
 
 /// Messages exchanged by Fabric nodes.
 #[derive(Debug, Clone)]
@@ -88,57 +102,6 @@ impl Carries<FabricMsg> for FabricMsg {
     }
 }
 
-/// A span to close when a deferred job's CPU time finishes. Spans are
-/// keyed by `(trace, stage, detail)` (see `hyperprov_sim::Tracer`), so the
-/// closing instruction can travel with the outbox entry instead of the
-/// message.
-#[derive(Debug, Clone)]
-struct SpanClose {
-    trace: String,
-    stage: &'static str,
-    detail: String,
-}
-
-/// One deferred batch: messages to ship plus spans to close on release.
-type Deferred<M> = (Vec<(ActorId, u64, M)>, Vec<SpanClose>);
-
-/// Deferred sends released when the node's CPU finishes a job.
-#[derive(Debug, Default)]
-struct Outbox<M> {
-    next_token: u64,
-    pending: HashMap<u64, Deferred<M>>,
-}
-
-impl<M> Outbox<M> {
-    fn new() -> Self {
-        Outbox {
-            // Tokens below 16 are reserved for actor-internal timers.
-            next_token: 16,
-            pending: HashMap::new(),
-        }
-    }
-
-    fn defer(&mut self, sends: Vec<(ActorId, u64, M)>, closes: Vec<SpanClose>) -> u64 {
-        self.next_token += 1;
-        let token = self.next_token;
-        self.pending.insert(token, (sends, closes));
-        token
-    }
-
-    /// Releases a finished job: closes its spans at the current virtual
-    /// time, then ships the deferred messages.
-    fn release(&mut self, ctx: &mut Context<'_, M>, token: u64) {
-        if let Some((sends, closes)) = self.pending.remove(&token) {
-            for close in closes {
-                ctx.span_end(&close.trace, close.stage, &close.detail);
-            }
-            for (dst, bytes, msg) in sends {
-                ctx.send(dst, bytes, msg);
-            }
-        }
-    }
-}
-
 /// A Fabric peer: endorses proposals and commits delivered blocks.
 pub struct PeerActor<M> {
     identity: SigningIdentity,
@@ -151,7 +114,7 @@ pub struct PeerActor<M> {
     block_buffer: BTreeMap<u64, Block>,
     /// Height of an outstanding catch-up request, to avoid repeats.
     catchup_from: Option<u64>,
-    outbox: Outbox<M>,
+    harness: ServiceHarness<M>,
     metric_prefix: String,
 }
 
@@ -164,6 +127,7 @@ impl<M: Carries<FabricMsg>> PeerActor<M> {
         costs: CostModel,
         metric_prefix: impl Into<String>,
     ) -> Self {
+        let metric_prefix = metric_prefix.into();
         PeerActor {
             identity,
             registry,
@@ -172,9 +136,16 @@ impl<M: Carries<FabricMsg>> PeerActor<M> {
             subscribers: Vec::new(),
             block_buffer: BTreeMap::new(),
             catchup_from: None,
-            outbox: Outbox::new(),
-            metric_prefix: metric_prefix.into(),
+            harness: ServiceHarness::new(metric_prefix.clone()),
+            metric_prefix,
         }
+    }
+
+    /// Bounds this peer's admission queue (proposals only; block delivery
+    /// always proceeds, since falling behind the ledger helps nobody).
+    pub fn with_queue(mut self, config: QueueConfig) -> Self {
+        self.harness.set_queue(config);
+        self
     }
 
     /// Subscribes a client to commit events.
@@ -208,15 +179,37 @@ impl<M: Carries<FabricMsg>> PeerActor<M> {
         let trace = tx_trace(&sp.proposal.tx_id());
         ctx.span_start(&trace, "endorse.exec", &self.metric_prefix);
         let bytes = response.wire_size();
-        let token = self.outbox.defer(
+        let closes = vec![SpanClose::new(
+            trace.clone(),
+            "endorse.exec",
+            self.metric_prefix.clone(),
+        )];
+        self.harness.defer_request(
+            ctx,
+            cost,
+            &trace,
             vec![(src, bytes, M::wrap(FabricMsg::ProposalResult(response)))],
-            vec![SpanClose {
-                trace,
-                stage: "endorse.exec",
-                detail: self.metric_prefix.clone(),
-            }],
+            closes,
         );
-        ctx.execute(cost, token);
+    }
+
+    /// Sends an immediate rejection for a proposal shed at admission.
+    fn nack_proposal(&mut self, ctx: &mut Context<'_, M>, src: ActorId, sp: &SignedProposal) {
+        let tx_id = sp.proposal.tx_id();
+        ctx.metrics()
+            .incr(&format!("{}.nacked", self.metric_prefix), 1);
+        let response = ProposalResponse {
+            tx_id,
+            endorser: self.identity.certificate().clone(),
+            result: Err(BUSY_REASON.to_owned()),
+            rwset: RwSet::new(),
+            event: None,
+            signature: self
+                .identity
+                .sign(&endorsement_message(&tx_id, &[], &RwSet::new())),
+        };
+        let bytes = response.wire_size();
+        ctx.send(src, bytes, M::wrap(FabricMsg::ProposalResult(response)));
     }
 
     fn on_block(&mut self, ctx: &mut Context<'_, M>, src: ActorId, block: Block) {
@@ -281,15 +274,12 @@ impl<M: Carries<FabricMsg>> PeerActor<M> {
                     }
                 }
                 let detail = self.metric_prefix.clone();
-                let token = self.outbox.defer(
+                self.harness.defer(
+                    ctx,
+                    cost,
                     sends,
-                    vec![SpanClose {
-                        trace,
-                        stage: "validate",
-                        detail,
-                    }],
+                    vec![SpanClose::new(trace, "validate", detail)],
                 );
-                ctx.execute(cost, token);
             }
             Err(err) => {
                 ctx.span_end(&trace, "validate", &self.metric_prefix);
@@ -305,12 +295,27 @@ impl<M: Carries<FabricMsg>> Actor<M> for PeerActor<M> {
     fn on_event(&mut self, ctx: &mut Context<'_, M>, event: Event<M>) {
         match event {
             Event::Message { src, msg } => match msg.peel() {
-                Ok(FabricMsg::SubmitProposal(sp)) => self.on_proposal(ctx, src, sp),
+                Ok(FabricMsg::SubmitProposal(sp)) => {
+                    let wrapped = M::wrap(FabricMsg::SubmitProposal(sp));
+                    match self.harness.admit(ctx, src, wrapped) {
+                        Admission::Admit(msg) => {
+                            if let Ok(FabricMsg::SubmitProposal(sp)) = msg.peel() {
+                                self.on_proposal(ctx, src, sp);
+                            }
+                        }
+                        Admission::Nack(msg) => {
+                            if let Ok(FabricMsg::SubmitProposal(sp)) = msg.peel() {
+                                self.nack_proposal(ctx, src, &sp);
+                            }
+                        }
+                        Admission::Done => {}
+                    }
+                }
                 Ok(FabricMsg::DeliverBlock(block)) => self.on_block(ctx, src, block),
                 Ok(_) | Err(_) => {}
             },
             Event::Timer { token } => {
-                self.outbox.release(ctx, token);
+                let _ = self.harness.on_timer(ctx, token);
             }
         }
     }
@@ -331,7 +336,7 @@ pub struct SoloOrdererActor<M> {
     /// Recently cut blocks, retained for the deliver (catch-up) service.
     retained: std::collections::VecDeque<Block>,
     retain_limit: usize,
-    outbox: Outbox<M>,
+    harness: ServiceHarness<M>,
 }
 
 impl<M: Carries<FabricMsg>> SoloOrdererActor<M> {
@@ -345,8 +350,18 @@ impl<M: Carries<FabricMsg>> SoloOrdererActor<M> {
             batch_timer: None,
             retained: std::collections::VecDeque::new(),
             retain_limit: 64,
-            outbox: Outbox::new(),
+            harness: ServiceHarness::new("orderer"),
         }
+    }
+
+    /// Bounds this orderer's admission queue (broadcasts only). A
+    /// broadcast's queue slot frees when its transaction leaves the cutter
+    /// in a cut batch. Under `Nack` the rejected broadcast is dropped with
+    /// an `orderer.nacked` count — the broadcast path has no reply
+    /// channel, so clients observe the loss as a commit timeout.
+    pub fn with_queue(mut self, config: QueueConfig) -> Self {
+        self.harness.set_queue(config);
+        self
     }
 
     fn retain(&mut self, block: &Block) {
@@ -374,6 +389,7 @@ impl<M: Carries<FabricMsg>> SoloOrdererActor<M> {
             for raw in &block.envelopes {
                 // The tx has left the cutter's pending queue.
                 ctx.span_end(&tx_trace(&raw.tx_id), "order.queue", "");
+                self.harness.request_done(ctx);
             }
             ctx.trace_event(
                 &trace,
@@ -382,19 +398,32 @@ impl<M: Carries<FabricMsg>> SoloOrdererActor<M> {
             );
             // Block assembly + dissemination, closed at CPU finish.
             ctx.span_start(&trace, "order.deliver", "");
-            closes.push(SpanClose {
-                trace,
-                stage: "order.deliver",
-                detail: String::new(),
-            });
+            closes.push(SpanClose::new(trace, "order.deliver", String::new()));
             self.retain(&block);
             let bytes = block.wire_size();
             for &peer in &self.peers {
                 sends.push((peer, bytes, M::wrap(FabricMsg::DeliverBlock(block.clone()))));
             }
         }
-        let token = self.outbox.defer(sends, closes);
-        ctx.execute(cost, token);
+        self.harness.defer(ctx, cost, sends, closes);
+    }
+
+    fn on_broadcast(&mut self, ctx: &mut Context<'_, M>, env: Envelope) {
+        let raw = env.to_raw();
+        let cost = self.costs.order_cost(raw.bytes.len() as u64);
+        ctx.metrics().incr("orderer.broadcasts", 1);
+        // Time the tx spends waiting for its batch to cut.
+        ctx.span_start(&tx_trace(&raw.tx_id), "order.queue", "");
+        let out = self.cutter.offer(raw);
+        // Timer follows pending state: cancel (batch cut) or arm.
+        if !out.batches.is_empty() {
+            if let Some(t) = self.batch_timer.take() {
+                ctx.cancel_timer(t);
+            }
+        }
+        let needed = out.timer_needed;
+        self.deliver_batches(ctx, out.batches, cost);
+        self.rearm_timer(ctx, needed);
     }
 
     fn rearm_timer(&mut self, ctx: &mut Context<'_, M>, needed: bool) {
@@ -417,21 +446,18 @@ impl<M: Carries<FabricMsg>> Actor<M> for SoloOrdererActor<M> {
         match event {
             Event::Message { src, msg } => match msg.peel() {
                 Ok(FabricMsg::Broadcast(env)) => {
-                    let raw = env.to_raw();
-                    let cost = self.costs.order_cost(raw.bytes.len() as u64);
-                    ctx.metrics().incr("orderer.broadcasts", 1);
-                    // Time the tx spends waiting for its batch to cut.
-                    ctx.span_start(&tx_trace(&raw.tx_id), "order.queue", "");
-                    let out = self.cutter.offer(raw);
-                    // Timer follows pending state: cancel (batch cut) or arm.
-                    if !out.batches.is_empty() {
-                        if let Some(t) = self.batch_timer.take() {
-                            ctx.cancel_timer(t);
+                    let wrapped = M::wrap(FabricMsg::Broadcast(env));
+                    match self.harness.admit(ctx, src, wrapped) {
+                        Admission::Admit(msg) => {
+                            if let Ok(FabricMsg::Broadcast(env)) = msg.peel() {
+                                self.on_broadcast(ctx, env);
+                            }
                         }
+                        Admission::Nack(_) => {
+                            ctx.metrics().incr("orderer.nacked", 1);
+                        }
+                        Admission::Done => {}
                     }
-                    let needed = out.timer_needed;
-                    self.deliver_batches(ctx, out.batches, cost);
-                    self.rearm_timer(ctx, needed);
                 }
                 Ok(FabricMsg::DeliverRequest { from }) => {
                     ctx.metrics().incr("orderer.deliver_requests", 1);
@@ -453,7 +479,7 @@ impl<M: Carries<FabricMsg>> Actor<M> for SoloOrdererActor<M> {
                 }
             }
             Event::Timer { token } => {
-                self.outbox.release(ctx, token);
+                let _ = self.harness.on_timer(ctx, token);
             }
         }
     }
@@ -478,7 +504,7 @@ pub struct RaftOrdererActor<M> {
     /// Recently applied blocks, retained for the deliver service.
     retained: std::collections::VecDeque<Block>,
     retain_limit: usize,
-    outbox: Outbox<M>,
+    harness: ServiceHarness<M>,
 }
 
 impl<M: Carries<FabricMsg>> RaftOrdererActor<M> {
@@ -506,8 +532,17 @@ impl<M: Carries<FabricMsg>> RaftOrdererActor<M> {
             batch_timer: None,
             retained: std::collections::VecDeque::new(),
             retain_limit: 64,
-            outbox: Outbox::new(),
+            harness: ServiceHarness::new(format!("orderer{index}")),
         }
+    }
+
+    /// Bounds this member's admission queue (leader broadcasts only).
+    /// Slots free when a committed batch applies on the leader; a
+    /// leadership change with requests in flight strands those slots
+    /// until the new leader's queue takes over (bounds are per member).
+    pub fn with_queue(mut self, config: QueueConfig) -> Self {
+        self.harness.set_queue(config);
+        self
     }
 
     /// True if this member currently leads the cluster.
@@ -527,9 +562,11 @@ impl<M: Carries<FabricMsg>> RaftOrdererActor<M> {
             let trace = format!("block-{}", block.header.number);
             if self.raft.is_leader() {
                 // Queue spans open where the Broadcast was admitted; only
-                // that member (the leader, barring elections) closes them.
+                // that member (the leader, barring elections) closes them
+                // and frees the admission slots.
                 for raw in &block.envelopes {
                     ctx.span_end(&tx_trace(&raw.tx_id), "order.queue", "");
+                    self.harness.request_done(ctx);
                 }
             }
             let detail = self.index.to_string();
@@ -544,15 +581,12 @@ impl<M: Carries<FabricMsg>> RaftOrdererActor<M> {
                 sends.push((peer, bytes, M::wrap(FabricMsg::DeliverBlock(block.clone()))));
             }
             let cost = self.costs.block_cost(bytes);
-            let token = self.outbox.defer(
+            self.harness.defer(
+                ctx,
+                cost,
                 sends,
-                vec![SpanClose {
-                    trace,
-                    stage: "order.deliver",
-                    detail,
-                }],
+                vec![SpanClose::new(trace, "order.deliver", detail)],
             );
-            ctx.execute(cost, token);
         }
     }
 
@@ -562,6 +596,28 @@ impl<M: Carries<FabricMsg>> RaftOrdererActor<M> {
                 Ok(out) => self.ship(ctx, out),
                 Err(_) => ctx.metrics().incr("orderer.dropped_not_leader", 1),
             }
+        }
+    }
+
+    fn on_broadcast(&mut self, ctx: &mut Context<'_, M>, env: Envelope) {
+        let raw = env.to_raw();
+        let cost = self.costs.order_cost(raw.bytes.len() as u64);
+        ctx.metrics().incr("orderer.broadcasts", 1);
+        ctx.span_start(&tx_trace(&raw.tx_id), "order.queue", "");
+        // Admission cost is charged but does not gate consensus messages
+        // (they are network-bound).
+        self.harness.charge(ctx, cost);
+        let out = self.cutter.offer(raw);
+        if !out.batches.is_empty() {
+            if let Some(t) = self.batch_timer.take() {
+                ctx.cancel_timer(t);
+            }
+        }
+        let needed = out.timer_needed;
+        self.propose_batches(ctx, out.batches);
+        if needed && self.batch_timer.is_none() {
+            let timeout = self.cutter.config().timeout;
+            self.batch_timer = Some(ctx.set_timer(timeout, BATCH_TIMER));
         }
     }
 }
@@ -581,24 +637,17 @@ impl<M: Carries<FabricMsg>> Actor<M> for RaftOrdererActor<M> {
                 }
                 Ok(FabricMsg::Broadcast(env)) => {
                     if self.raft.is_leader() {
-                        let raw = env.to_raw();
-                        let cost = self.costs.order_cost(raw.bytes.len() as u64);
-                        ctx.metrics().incr("orderer.broadcasts", 1);
-                        ctx.span_start(&tx_trace(&raw.tx_id), "order.queue", "");
-                        // Admission cost is charged but does not gate
-                        // consensus messages (they are network-bound).
-                        ctx.execute(cost, 0);
-                        let out = self.cutter.offer(raw);
-                        if !out.batches.is_empty() {
-                            if let Some(t) = self.batch_timer.take() {
-                                ctx.cancel_timer(t);
+                        let wrapped = M::wrap(FabricMsg::Broadcast(env));
+                        match self.harness.admit(ctx, src, wrapped) {
+                            Admission::Admit(msg) => {
+                                if let Ok(FabricMsg::Broadcast(env)) = msg.peel() {
+                                    self.on_broadcast(ctx, env);
+                                }
                             }
-                        }
-                        let needed = out.timer_needed;
-                        self.propose_batches(ctx, out.batches);
-                        if needed && self.batch_timer.is_none() {
-                            let timeout = self.cutter.config().timeout;
-                            self.batch_timer = Some(ctx.set_timer(timeout, BATCH_TIMER));
+                            Admission::Nack(_) => {
+                                ctx.metrics().incr("orderer.nacked", 1);
+                            }
+                            Admission::Done => {}
                         }
                     } else if let Some(leader) = self.raft.leader_hint() {
                         // Redirect to the current leader.
@@ -630,7 +679,7 @@ impl<M: Carries<FabricMsg>> Actor<M> for RaftOrdererActor<M> {
                 }
             }
             Event::Timer { token } => {
-                self.outbox.release(ctx, token);
+                let _ = self.harness.on_timer(ctx, token);
             }
         }
     }

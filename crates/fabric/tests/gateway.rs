@@ -11,7 +11,9 @@ use hyperprov_fabric::{
     PeerActor, SoloOrdererActor,
 };
 use hyperprov_ledger::ValidationCode;
-use hyperprov_sim::{Actor, ActorId, Context, Event, SimDuration, SimTime, Simulation};
+use hyperprov_sim::{
+    Actor, ActorId, Context, Event, ServiceHarness, SimDuration, SimTime, Simulation,
+};
 
 /// A chaincode whose output depends on a per-instance tag — installing
 /// different tags on different peers yields mismatching endorsements,
@@ -47,6 +49,7 @@ struct Log {
 
 struct OneShot {
     gateway: Gateway,
+    harness: ServiceHarness<FabricMsg>,
     chaincode: &'static str,
     log: Rc<RefCell<Log>>,
 }
@@ -55,10 +58,17 @@ impl Actor<FabricMsg> for OneShot {
     fn on_event(&mut self, ctx: &mut Context<'_, FabricMsg>, event: Event<FabricMsg>) {
         match event {
             Event::Timer { token: 0 } => {
-                self.gateway
-                    .invoke(ctx, self.chaincode, "go", vec![b"key".to_vec()]);
+                self.gateway.invoke(
+                    ctx,
+                    &mut self.harness,
+                    self.chaincode,
+                    "go",
+                    vec![b"key".to_vec()],
+                );
             }
-            Event::Timer { .. } => {}
+            Event::Timer { token } => {
+                let _ = self.harness.on_timer(ctx, token);
+            }
             Event::Message { msg, .. } => {
                 let events = self.gateway.handle(ctx, msg);
                 self.log.borrow_mut().events.extend(events);
@@ -121,6 +131,7 @@ fn build(
     let gateway = Gateway::new(client_identity, "ch", peers, orderer, needed, costs);
     let got = sim.add_actor(Box::new(OneShot {
         gateway,
+        harness: ServiceHarness::new("client"),
         chaincode,
         log: log.clone(),
     }));
@@ -152,7 +163,8 @@ fn mismatching_endorsements_fail_before_ordering() {
     let log = net.log.borrow();
     assert_eq!(log.events.len(), 1);
     match &log.events[0] {
-        GatewayEvent::TxFailed { reason, .. } => {
+        GatewayEvent::TxFailed { error, .. } => {
+            let reason = error.to_string();
             assert!(reason.contains("mismatch"), "{reason}");
         }
         other => panic!("expected mismatch failure, got {other:?}"),

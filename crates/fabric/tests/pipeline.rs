@@ -12,7 +12,9 @@ use hyperprov_fabric::{
     PeerActor, RaftConfig, RaftOrdererActor, SigningIdentity, SoloOrdererActor, RAFT_TICK_TOKEN,
 };
 use hyperprov_ledger::ValidationCode;
-use hyperprov_sim::{Actor, ActorId, Context, Event, SimDuration, SimTime, Simulation};
+use hyperprov_sim::{
+    Actor, ActorId, Context, Event, ServiceHarness, SimDuration, SimTime, Simulation,
+};
 
 /// A counter chaincode: `inc <key>` reads, increments, writes.
 struct CounterCc;
@@ -56,6 +58,7 @@ struct DriverLog {
 /// Closed-loop client: issues `remaining` transactions one at a time.
 struct ClientDriver {
     gateway: Gateway,
+    harness: ServiceHarness<FabricMsg>,
     remaining: u32,
     key_of: Box<dyn FnMut(u32) -> String>,
     log: Rc<RefCell<DriverLog>>,
@@ -65,7 +68,9 @@ impl Actor<FabricMsg> for ClientDriver {
     fn on_event(&mut self, ctx: &mut Context<'_, FabricMsg>, event: Event<FabricMsg>) {
         match event {
             Event::Timer { token: 0 } => self.next(ctx),
-            Event::Timer { .. } => {}
+            Event::Timer { token } => {
+                let _ = self.harness.on_timer(ctx, token);
+            }
             Event::Message { msg, .. } => {
                 for ev in self.gateway.handle(ctx, msg) {
                     match ev {
@@ -73,12 +78,15 @@ impl Actor<FabricMsg> for ClientDriver {
                             self.log.borrow_mut().committed.push((code, latency));
                             self.next(ctx);
                         }
-                        GatewayEvent::TxFailed { reason, .. } => {
-                            self.log.borrow_mut().failed.push(reason);
+                        GatewayEvent::TxFailed { error, .. } => {
+                            self.log.borrow_mut().failed.push(error.to_string());
                             self.next(ctx);
                         }
                         GatewayEvent::QueryDone { result, .. } => {
-                            self.log.borrow_mut().queries.push(result);
+                            self.log
+                                .borrow_mut()
+                                .queries
+                                .push(result.map_err(|e| e.to_string()));
                         }
                     }
                 }
@@ -95,8 +103,13 @@ impl ClientDriver {
         self.remaining -= 1;
         let n = self.remaining;
         let key = (self.key_of)(n);
-        self.gateway
-            .invoke(ctx, "counter", "inc", vec![key.into_bytes()]);
+        self.gateway.invoke(
+            ctx,
+            &mut self.harness,
+            "counter",
+            "inc",
+            vec![key.into_bytes()],
+        );
     }
 }
 
@@ -161,6 +174,7 @@ fn build_solo_net(txs: u32, batch: BatchConfig, hot_key: bool) -> TestNet {
     let gateway = Gateway::new(client_id, "ch1", peers.clone(), orderer, 1, costs);
     let driver = ClientDriver {
         gateway,
+        harness: ServiceHarness::new("client"),
         remaining: txs,
         key_of: if hot_key {
             Box::new(|_| "hot".to_owned())
@@ -309,6 +323,7 @@ fn raft_ordering_service_commits_transactions() {
     );
     let driver = ClientDriver {
         gateway,
+        harness: ServiceHarness::new("client"),
         remaining: 8,
         key_of: Box::new(|n| format!("key{n}")),
         log: log.clone(),
@@ -344,20 +359,31 @@ fn endorsement_failure_reported_to_client() {
 
     struct QueryOnce {
         gateway: Gateway,
+        harness: ServiceHarness<FabricMsg>,
         log: Rc<RefCell<DriverLog>>,
     }
     impl Actor<FabricMsg> for QueryOnce {
         fn on_event(&mut self, ctx: &mut Context<'_, FabricMsg>, event: Event<FabricMsg>) {
             match event {
                 Event::Timer { token: 0 } => {
-                    self.gateway
-                        .query(ctx, "counter", "get", vec![b"missing".to_vec()]);
+                    self.gateway.query(
+                        ctx,
+                        &mut self.harness,
+                        "counter",
+                        "get",
+                        vec![b"missing".to_vec()],
+                    );
                 }
-                Event::Timer { .. } => {}
+                Event::Timer { token } => {
+                    let _ = self.harness.on_timer(ctx, token);
+                }
                 Event::Message { msg, .. } => {
                     for ev in self.gateway.handle(ctx, msg) {
                         if let GatewayEvent::QueryDone { result, .. } = ev {
-                            self.log.borrow_mut().queries.push(result);
+                            self.log
+                                .borrow_mut()
+                                .queries
+                                .push(result.map_err(|e| e.to_string()));
                             ctx.stop();
                         }
                     }
@@ -382,6 +408,7 @@ fn endorsement_failure_reported_to_client() {
     let gateway = Gateway::new(client_id, "ch1", vec![peer_id], peer_id, 1, costs);
     let client = sim.add_actor(Box::new(QueryOnce {
         gateway,
+        harness: ServiceHarness::new("client"),
         log: log.clone(),
     }));
     sim.start_timer(client, SimDuration::ZERO, 0);

@@ -6,10 +6,12 @@
 //! from the network link to the [`StorageActor`]; this module adds the
 //! per-operation SSH overhead and the server-side I/O cost.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
-use hyperprov_sim::{Actor, ActorId, Carries, Context, Event, SimDuration};
+use hyperprov_sim::{
+    Actor, ActorId, Admission, Carries, Context, Event, QueueConfig, ServiceHarness, SimDuration,
+    SpanClose,
+};
 
 use crate::store::{ObjectStore, StoreError};
 
@@ -134,9 +136,7 @@ impl StorageCosts {
 pub struct StorageActor<M> {
     store: Arc<dyn ObjectStore>,
     costs: StorageCosts,
-    outbox: HashMap<u64, (ActorId, StoreMsg)>,
-    next_job: u64,
-    _marker: std::marker::PhantomData<fn() -> M>,
+    harness: ServiceHarness<M>,
 }
 
 impl<M: Carries<StoreMsg>> StorageActor<M> {
@@ -145,10 +145,20 @@ impl<M: Carries<StoreMsg>> StorageActor<M> {
         StorageActor {
             store,
             costs,
-            outbox: HashMap::new(),
-            next_job: 0,
-            _marker: std::marker::PhantomData,
+            harness: ServiceHarness::new("storage"),
         }
+    }
+
+    /// Bounds the node's admission queue.
+    ///
+    /// Under [`hyperprov_sim::OverloadPolicy::Nack`], rejected puts and
+    /// gets are acked with [`StoreError::Busy`]; a rejected delete has no
+    /// error channel in its ack, so it is dropped (counted under
+    /// `storage.nacked_deletes`) and the caller sees a timeout.
+    #[must_use]
+    pub fn with_queue(mut self, config: QueueConfig) -> Self {
+        self.harness.set_queue(config);
+        self
     }
 
     /// The backing store (shared with e.g. audit code).
@@ -163,13 +173,92 @@ impl<M: Carries<StoreMsg>> StorageActor<M> {
         bytes_moved: u64,
         reply: StoreMsg,
     ) {
-        self.next_job += 1;
-        let job = self.next_job;
+        let job = self.harness.next_job();
         // Server-side service span (SSH overhead + per-byte I/O); the job
         // number disambiguates concurrent operations on one object.
-        ctx.span_start(reply.object_name(), "offchain.server", &job.to_string());
-        self.outbox.insert(job, (dst, reply));
-        ctx.execute(self.costs.service_time(bytes_moved), job);
+        let name = reply.object_name().to_owned();
+        ctx.span_start(&name, "offchain.server", &job.to_string());
+        let close = SpanClose::new(name.clone(), "offchain.server", job.to_string());
+        let bytes = reply.wire_size();
+        self.harness.defer_request(
+            ctx,
+            self.costs.service_time(bytes_moved),
+            &name,
+            vec![(dst, bytes, M::wrap(reply))],
+            vec![close],
+        );
+    }
+
+    fn serve(&mut self, ctx: &mut Context<'_, M>, src: ActorId, msg: StoreMsg) {
+        match msg {
+            StoreMsg::Put { name, data, token } => {
+                let bytes = data.len() as u64;
+                let result = self.store.put(&name, &data);
+                ctx.metrics().incr("storage.puts", 1);
+                ctx.metrics().incr("storage.bytes_in", bytes);
+                self.finish_later(
+                    ctx,
+                    src,
+                    bytes,
+                    StoreMsg::PutAck {
+                        name,
+                        token,
+                        result,
+                    },
+                );
+            }
+            StoreMsg::Get { name, token } => {
+                let result = self.store.get(&name);
+                let bytes = result.as_ref().map(|d| d.len() as u64).unwrap_or(0);
+                ctx.metrics().incr("storage.gets", 1);
+                ctx.metrics().incr("storage.bytes_out", bytes);
+                self.finish_later(
+                    ctx,
+                    src,
+                    bytes,
+                    StoreMsg::GetResult {
+                        name,
+                        token,
+                        result,
+                    },
+                );
+            }
+            StoreMsg::Delete { name, token } => {
+                let _ = self.store.delete(&name);
+                ctx.metrics().incr("storage.deletes", 1);
+                self.finish_later(ctx, src, 0, StoreMsg::DeleteAck { name, token });
+            }
+            // Replies are never addressed to the server.
+            StoreMsg::PutAck { .. } | StoreMsg::GetResult { .. } | StoreMsg::DeleteAck { .. } => {}
+        }
+    }
+
+    /// Sends an immediate busy rejection for a request the admission queue
+    /// turned away. Nacks skip the service queue entirely (the SSH server
+    /// refuses the channel before any I/O happens), so no CPU is charged.
+    fn nack(&mut self, ctx: &mut Context<'_, M>, src: ActorId, msg: StoreMsg) {
+        let reply = match msg {
+            StoreMsg::Put { name, token, .. } => StoreMsg::PutAck {
+                name,
+                token,
+                result: Err(StoreError::Busy),
+            },
+            StoreMsg::Get { name, token } => StoreMsg::GetResult {
+                name,
+                token,
+                result: Err(StoreError::Busy),
+            },
+            StoreMsg::Delete { .. } => {
+                // DeleteAck carries no result; the caller times out.
+                ctx.metrics().incr("storage.nacked_deletes", 1);
+                return;
+            }
+            StoreMsg::PutAck { .. } | StoreMsg::GetResult { .. } | StoreMsg::DeleteAck { .. } => {
+                return;
+            }
+        };
+        let bytes = reply.wire_size();
+        ctx.send(src, bytes, M::wrap(reply));
     }
 }
 
@@ -181,56 +270,31 @@ impl<M: Carries<StoreMsg>> Actor<M> for StorageActor<M> {
                     Ok(m) => m,
                     Err(_) => return,
                 };
-                match msg {
-                    StoreMsg::Put { name, data, token } => {
-                        let bytes = data.len() as u64;
-                        let result = self.store.put(&name, &data);
-                        ctx.metrics().incr("storage.puts", 1);
-                        ctx.metrics().incr("storage.bytes_in", bytes);
-                        self.finish_later(
-                            ctx,
-                            src,
-                            bytes,
-                            StoreMsg::PutAck {
-                                name,
-                                token,
-                                result,
-                            },
-                        );
-                    }
-                    StoreMsg::Get { name, token } => {
-                        let result = self.store.get(&name);
-                        let bytes = result.as_ref().map(|d| d.len() as u64).unwrap_or(0);
-                        ctx.metrics().incr("storage.gets", 1);
-                        ctx.metrics().incr("storage.bytes_out", bytes);
-                        self.finish_later(
-                            ctx,
-                            src,
-                            bytes,
-                            StoreMsg::GetResult {
-                                name,
-                                token,
-                                result,
-                            },
-                        );
-                    }
-                    StoreMsg::Delete { name, token } => {
-                        let _ = self.store.delete(&name);
-                        ctx.metrics().incr("storage.deletes", 1);
-                        self.finish_later(ctx, src, 0, StoreMsg::DeleteAck { name, token });
-                    }
-                    // Replies are never addressed to the server.
+                // Replies never consume an admission slot.
+                if matches!(
+                    msg,
                     StoreMsg::PutAck { .. }
-                    | StoreMsg::GetResult { .. }
-                    | StoreMsg::DeleteAck { .. } => {}
+                        | StoreMsg::GetResult { .. }
+                        | StoreMsg::DeleteAck { .. }
+                ) {
+                    return;
+                }
+                match self.harness.admit(ctx, src, M::wrap(msg)) {
+                    Admission::Admit(msg) => {
+                        if let Ok(msg) = msg.peel() {
+                            self.serve(ctx, src, msg);
+                        }
+                    }
+                    Admission::Nack(msg) => {
+                        if let Ok(msg) = msg.peel() {
+                            self.nack(ctx, src, msg);
+                        }
+                    }
+                    Admission::Done => {}
                 }
             }
             Event::Timer { token } => {
-                if let Some((dst, reply)) = self.outbox.remove(&token) {
-                    ctx.span_end(reply.object_name(), "offchain.server", &token.to_string());
-                    let bytes = reply.wire_size();
-                    ctx.send(dst, bytes, M::wrap(reply));
-                }
+                let _ = self.harness.on_timer(ctx, token);
             }
         }
     }

@@ -174,6 +174,16 @@ impl<M> Context<'_, M> {
             .push(self.kernel.now, dst, Event::Message { src, msg }, 0);
     }
 
+    /// Re-enqueues a message to this actor at the current instant,
+    /// preserving the original sender. Used by admission queues releasing
+    /// parked (blocked) work: the message re-enters [`Actor::on_event`]
+    /// after every event already queued at this instant.
+    pub fn requeue(&mut self, src: ActorId, msg: M) {
+        let target = self.id;
+        self.kernel
+            .push(self.kernel.now, target, Event::Message { src, msg }, 0);
+    }
+
     /// Fires [`Event::Timer`] with `token` on this actor after `delay`.
     pub fn set_timer(&mut self, delay: SimDuration, token: u64) -> TimerId {
         self.kernel.next_timer += 1;

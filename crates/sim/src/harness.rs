@@ -1,0 +1,712 @@
+//! The shared service runtime: deferred-send outbox, span-close-on-release
+//! bookkeeping, CPU charging, timer-token allocation, and per-node
+//! admission queues with backpressure.
+//!
+//! Every node actor (peer, orderer, storage, client net layer, baseline
+//! nodes) owns one [`ServiceHarness`] and routes three things through it:
+//!
+//! 1. **Deferred work** ([`ServiceHarness::defer`]): the actor performs
+//!    state mutations at message arrival, but the *results* — outbound
+//!    messages and span closes — become visible only when the modelled CPU
+//!    finishes the job. The harness allocates the completion token, parks
+//!    the sends/closes, and releases them in [`ServiceHarness::on_timer`]
+//!    (closes first, then sends).
+//! 2. **Pure CPU charges** ([`ServiceHarness::charge`]): work that keeps
+//!    the CPU busy but defers nothing (e.g. client-side hashing).
+//! 3. **Admission** ([`ServiceHarness::admit`]): client-facing requests
+//!    pass through a per-node admission queue. The default queue is
+//!    unbounded and side-effect free — identical to the historical
+//!    work-at-arrival model. An opt-in bound ([`QueueConfig`]) sheds load
+//!    past capacity according to an [`OverloadPolicy`] and emits
+//!    queue-depth/utilization gauges plus `queue.wait` spans.
+//!
+//! # Token namespacing
+//!
+//! Harness completion tokens always carry [`HARNESS_TOKEN_BIT`] (the top
+//! bit), so they can never collide with actor-internal timer tokens (which
+//! are small constants by convention). [`ServiceHarness::on_timer`] returns
+//! `false` for tokens outside the harness namespace, letting the actor
+//! dispatch its own timers — this replaces the old scheme where each actor
+//! hand-rolled a token range and clients used a `u64::MAX` sentinel.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::engine::{ActorId, Context};
+use crate::time::SimDuration;
+
+/// Tag bit identifying timer tokens allocated by a [`ServiceHarness`].
+///
+/// Actor-internal timers must not set this bit (keeping tokens below
+/// `1 << 63` — in practice they are small constants).
+pub const HARNESS_TOKEN_BIT: u64 = 1 << 63;
+
+/// A span to close when a deferred job's CPU time finishes. Spans are keyed
+/// by `(trace, stage, detail)` (see [`crate::Tracer`]), so the closing
+/// instruction can travel with the outbox entry instead of the message.
+#[derive(Debug, Clone)]
+pub struct SpanClose {
+    /// Trace the span belongs to.
+    pub trace: String,
+    /// Pipeline stage name.
+    pub stage: &'static str,
+    /// Disambiguating detail (e.g. the node's metric prefix).
+    pub detail: String,
+}
+
+impl SpanClose {
+    /// Convenience constructor.
+    pub fn new(trace: impl Into<String>, stage: &'static str, detail: impl Into<String>) -> Self {
+        SpanClose {
+            trace: trace.into(),
+            stage,
+            detail: detail.into(),
+        }
+    }
+}
+
+/// A deferred outbound message: `(destination, wire bytes, payload)`.
+pub type Outbound<M> = (ActorId, u64, M);
+
+/// What an admission queue does with a request arriving past capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverloadPolicy {
+    /// Discard the request silently (counted under `queue.dropped.*`).
+    Drop,
+    /// Return the request to the actor so it can send a protocol-level
+    /// rejection to the caller.
+    Nack,
+    /// Park the request and re-admit it when an in-flight request
+    /// completes (head-of-line blocking; arrival order is preserved among
+    /// parked requests, but a request admitted between a completion and
+    /// the re-delivery may overtake).
+    Block,
+}
+
+impl std::fmt::Display for OverloadPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OverloadPolicy::Drop => write!(f, "drop"),
+            OverloadPolicy::Nack => write!(f, "nack"),
+            OverloadPolicy::Block => write!(f, "block"),
+        }
+    }
+}
+
+/// Bound and policy for a node's admission queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueConfig {
+    /// Maximum requests in flight (admitted but not completed).
+    pub capacity: usize,
+    /// What to do with arrivals past capacity.
+    pub policy: OverloadPolicy,
+}
+
+impl QueueConfig {
+    /// Creates a bound with the given capacity and policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (a zero-capacity queue could never
+    /// admit anything).
+    pub fn new(capacity: usize, policy: OverloadPolicy) -> Self {
+        assert!(capacity > 0, "admission queue capacity must be > 0");
+        QueueConfig { capacity, policy }
+    }
+}
+
+/// Outcome of [`ServiceHarness::admit`].
+#[derive(Debug)]
+pub enum Admission<M> {
+    /// The request was admitted; service it now.
+    Admit(M),
+    /// The queue is full under [`OverloadPolicy::Nack`]; the actor should
+    /// send a protocol-level rejection to the caller.
+    Nack(M),
+    /// The harness consumed the request (dropped, or parked for later
+    /// re-delivery); the actor does nothing.
+    Done,
+}
+
+/// One deferred job: messages to ship and spans to close on release.
+#[derive(Debug)]
+struct Deferred<M> {
+    sends: Vec<Outbound<M>>,
+    closes: Vec<SpanClose>,
+    /// True when releasing this job completes an admitted request.
+    request: bool,
+}
+
+#[derive(Debug)]
+struct QueueState<M> {
+    config: QueueConfig,
+    /// Requests admitted but not yet completed.
+    in_flight: usize,
+    /// Requests parked under [`OverloadPolicy::Block`].
+    parked: VecDeque<(ActorId, M)>,
+}
+
+/// The per-actor service runtime. See the [module docs](self).
+#[derive(Debug)]
+pub struct ServiceHarness<M> {
+    name: String,
+    next_token: u64,
+    next_job: u64,
+    pending: HashMap<u64, Deferred<M>>,
+    queue: Option<QueueState<M>>,
+}
+
+impl<M> ServiceHarness<M> {
+    /// Creates a harness with an unbounded, uninstrumented admission queue
+    /// — behaviourally identical to the historical work-at-arrival model.
+    pub fn new(name: impl Into<String>) -> Self {
+        ServiceHarness {
+            name: name.into(),
+            next_token: 0,
+            next_job: 0,
+            pending: HashMap::new(),
+            queue: None,
+        }
+    }
+
+    /// Creates a harness with a bounded admission queue.
+    pub fn with_queue(name: impl Into<String>, config: QueueConfig) -> Self {
+        let mut harness = ServiceHarness::new(name);
+        harness.set_queue(config);
+        harness
+    }
+
+    /// Bounds (or re-bounds) the admission queue. Also enables queue
+    /// instrumentation: depth/utilization gauges and `queue.wait` spans.
+    pub fn set_queue(&mut self, config: QueueConfig) {
+        self.queue = Some(QueueState {
+            config,
+            in_flight: 0,
+            parked: VecDeque::new(),
+        });
+    }
+
+    /// The node name used in queue metric keys.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// True when the admission queue has an explicit bound.
+    pub fn is_bounded(&self) -> bool {
+        self.queue.is_some()
+    }
+
+    /// Admitted-but-not-completed request count (0 when unbounded — the
+    /// unbounded queue tracks nothing).
+    pub fn in_flight(&self) -> usize {
+        self.queue.as_ref().map_or(0, |q| q.in_flight)
+    }
+
+    /// Deferred jobs currently waiting for CPU completion.
+    pub fn pending_jobs(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Requests parked under [`OverloadPolicy::Block`].
+    pub fn parked(&self) -> usize {
+        self.queue.as_ref().map_or(0, |q| q.parked.len())
+    }
+
+    /// Monotonic per-node job sequence (1, 2, 3…), for labelling deferred
+    /// jobs in span details independently of completion tokens.
+    pub fn next_job(&mut self) -> u64 {
+        self.next_job += 1;
+        self.next_job
+    }
+
+    fn alloc_token(&mut self) -> u64 {
+        self.next_token += 1;
+        HARNESS_TOKEN_BIT | self.next_token
+    }
+
+    /// Passes a client-facing request through the admission queue.
+    ///
+    /// Unbounded queues admit unconditionally with no side effects. Bounded
+    /// queues admit while fewer than `capacity` requests are in flight and
+    /// otherwise apply the configured [`OverloadPolicy`].
+    pub fn admit(&mut self, ctx: &mut Context<'_, M>, src: ActorId, msg: M) -> Admission<M> {
+        let Some(q) = &mut self.queue else {
+            return Admission::Admit(msg);
+        };
+        if q.in_flight < q.config.capacity {
+            q.in_flight += 1;
+            let depth = q.in_flight as f64;
+            let key = format!("queue.depth.{}", self.name);
+            ctx.metrics().set_gauge(&key, depth);
+            return Admission::Admit(msg);
+        }
+        match q.config.policy {
+            OverloadPolicy::Drop => {
+                let key = format!("queue.dropped.{}", self.name);
+                ctx.metrics().incr(&key, 1);
+                Admission::Done
+            }
+            OverloadPolicy::Nack => {
+                let key = format!("queue.nacked.{}", self.name);
+                ctx.metrics().incr(&key, 1);
+                Admission::Nack(msg)
+            }
+            OverloadPolicy::Block => {
+                q.parked.push_back((src, msg));
+                let parked = q.parked.len() as f64;
+                let key = format!("queue.parked.{}", self.name);
+                ctx.metrics().set_gauge(&key, parked);
+                ctx.metrics()
+                    .incr(&format!("queue.blocked.{}", self.name), 1);
+                Admission::Done
+            }
+        }
+    }
+
+    /// Defers internal work: charges `cost` to the actor's CPU and parks
+    /// `sends`/`closes` until the CPU finishes. Returns the completion
+    /// token (always in the harness namespace).
+    pub fn defer(
+        &mut self,
+        ctx: &mut Context<'_, M>,
+        cost: SimDuration,
+        sends: Vec<Outbound<M>>,
+        closes: Vec<SpanClose>,
+    ) -> u64 {
+        self.defer_inner(ctx, cost, sends, closes, false)
+    }
+
+    /// Like [`ServiceHarness::defer`], but releasing the job also
+    /// completes one admitted request (decrementing the queue and waking a
+    /// parked request, if any). When the queue is bounded, a `queue.wait`
+    /// span for `trace` records the time the job waits behind earlier CPU
+    /// work before service starts.
+    pub fn defer_request(
+        &mut self,
+        ctx: &mut Context<'_, M>,
+        cost: SimDuration,
+        trace: &str,
+        sends: Vec<Outbound<M>>,
+        closes: Vec<SpanClose>,
+    ) -> u64 {
+        if self.queue.is_some() {
+            let arrival = ctx.now();
+            let start = arrival.max(ctx.cpu().busy_until());
+            let tracer = ctx.tracer();
+            tracer.span_start(arrival, trace, "queue.wait", &self.name);
+            tracer.span_end(start, trace, "queue.wait", &self.name);
+            let key = format!("queue.wait.{}", self.name);
+            let wait = start.saturating_duration_since(arrival);
+            ctx.metrics().record(&key, wait.as_nanos());
+        }
+        self.defer_inner(ctx, cost, sends, closes, true)
+    }
+
+    fn defer_inner(
+        &mut self,
+        ctx: &mut Context<'_, M>,
+        cost: SimDuration,
+        sends: Vec<Outbound<M>>,
+        closes: Vec<SpanClose>,
+        request: bool,
+    ) -> u64 {
+        let token = self.alloc_token();
+        self.pending.insert(
+            token,
+            Deferred {
+                sends,
+                closes,
+                request,
+            },
+        );
+        ctx.execute(cost, token);
+        token
+    }
+
+    /// Charges pure CPU time with nothing to release — the completion
+    /// timer is swallowed by [`ServiceHarness::on_timer`]. Replaces the
+    /// old `u64::MAX` noop-token pattern.
+    pub fn charge(&mut self, ctx: &mut Context<'_, M>, cost: SimDuration) -> u64 {
+        self.defer_inner(ctx, cost, Vec::new(), Vec::new(), false)
+    }
+
+    /// Charges CPU time whose completion also completes one admitted
+    /// request (used where admission cost is the only modelled service,
+    /// e.g. the ordering node's broadcast path).
+    pub fn charge_request(
+        &mut self,
+        ctx: &mut Context<'_, M>,
+        cost: SimDuration,
+        trace: &str,
+    ) -> u64 {
+        self.defer_request(ctx, cost, trace, Vec::new(), Vec::new())
+    }
+
+    /// Completes one admitted request that finished without deferred work
+    /// (e.g. a request rejected synchronously). No-op when unbounded.
+    pub fn request_done(&mut self, ctx: &mut Context<'_, M>) {
+        let Some(q) = &mut self.queue else {
+            return;
+        };
+        q.in_flight = q.in_flight.saturating_sub(1);
+        let depth = q.in_flight as f64;
+        let woken = q.parked.pop_front();
+        let parked = q.parked.len() as f64;
+        let key = format!("queue.depth.{}", self.name);
+        ctx.metrics().set_gauge(&key, depth);
+        if woken.is_some() {
+            let key = format!("queue.parked.{}", self.name);
+            ctx.metrics().set_gauge(&key, parked);
+        }
+        let now = ctx.now();
+        let util = ctx.cpu().utilization(crate::time::SimTime::ZERO, now);
+        let key = format!("queue.util.{}", self.name);
+        ctx.metrics().set_gauge(&key, util);
+        if let Some((src, msg)) = woken {
+            // Re-enter the actor's handler; the request passes admission
+            // again against the freed slot.
+            ctx.requeue(src, msg);
+        }
+    }
+
+    /// Handles a timer event. Returns `true` when `token` belongs to the
+    /// harness namespace (the event is fully handled); `false` when it is
+    /// an actor-internal timer the caller must dispatch itself.
+    ///
+    /// Releasing a deferred job closes its spans at the current virtual
+    /// time *first*, then ships its messages.
+    pub fn on_timer(&mut self, ctx: &mut Context<'_, M>, token: u64) -> bool {
+        if token & HARNESS_TOKEN_BIT == 0 {
+            return false;
+        }
+        if let Some(job) = self.pending.remove(&token) {
+            for close in &job.closes {
+                ctx.span_end(&close.trace, close.stage, &close.detail);
+            }
+            for (dst, bytes, msg) in job.sends {
+                ctx.send(dst, bytes, msg);
+            }
+            if job.request {
+                self.request_done(ctx);
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Actor, Event, Simulation};
+    use crate::time::SimTime;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    const MS: u64 = 1_000_000;
+
+    fn ms(n: u64) -> SimDuration {
+        SimDuration::from_millis(n)
+    }
+
+    /// Records `(token, time)` of messages it receives.
+    struct Sink {
+        log: Rc<RefCell<Vec<(u64, SimTime)>>>,
+    }
+    impl Actor<u64> for Sink {
+        fn on_event(&mut self, ctx: &mut Context<'_, u64>, event: Event<u64>) {
+            if let Event::Message { msg, .. } = event {
+                self.log.borrow_mut().push((msg, ctx.now()));
+            }
+        }
+    }
+
+    /// A service node driven by scripted timers; used to exercise the
+    /// harness deterministically.
+    struct Scripted {
+        harness: ServiceHarness<u64>,
+        sink: ActorId,
+        host_timer_fired: Rc<RefCell<Vec<u64>>>,
+        script: Vec<(u64, SimDuration, u64)>, // (kick token, cost, payload)
+    }
+    impl Actor<u64> for Scripted {
+        fn on_event(&mut self, ctx: &mut Context<'_, u64>, event: Event<u64>) {
+            match event {
+                Event::Timer { token } => {
+                    if self.harness.on_timer(ctx, token) {
+                        return;
+                    }
+                    if let Some(&(_, cost, payload)) =
+                        self.script.iter().find(|(kick, ..)| *kick == token)
+                    {
+                        let trace = format!("job-{payload}");
+                        ctx.span_start(&trace, "svc.exec", "");
+                        self.harness.defer(
+                            ctx,
+                            cost,
+                            vec![(self.sink, 8, payload)],
+                            vec![SpanClose::new(trace, "svc.exec", "")],
+                        );
+                    } else {
+                        self.host_timer_fired.borrow_mut().push(token);
+                    }
+                }
+                Event::Message { .. } => {}
+            }
+        }
+    }
+
+    #[test]
+    fn release_order_under_interleaved_defers() {
+        // Two jobs deferred from timers at t=0ms and t=1ms with costs 10ms
+        // and 2ms: the CPU serialises them, so job 1 releases at 10ms and
+        // job 2 at 12ms — completion order follows CPU order, and each
+        // release ships its own payload.
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let fired = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulation::new(1);
+        let sink = sim.add_actor(Box::new(Sink { log: log.clone() }));
+        let svc = sim.add_actor(Box::new(Scripted {
+            harness: ServiceHarness::new("svc"),
+            sink,
+            host_timer_fired: fired.clone(),
+            script: vec![(1, ms(10), 100), (2, ms(2), 200)],
+        }));
+        sim.network_mut().set_default_link(crate::net::LinkSpec {
+            latency: SimDuration::ZERO,
+            bandwidth_bps: u64::MAX,
+            jitter_frac: 0.0,
+        });
+        sim.start_timer(svc, SimDuration::ZERO, 1);
+        sim.start_timer(svc, ms(1), 2);
+        sim.run();
+        let log = log.borrow();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0], (100, SimTime::from_nanos(10 * MS)));
+        assert_eq!(log[1], (200, SimTime::from_nanos(12 * MS)));
+        assert!(fired.borrow().is_empty());
+    }
+
+    #[test]
+    fn spans_close_on_release_with_no_unmatched_ends() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let fired = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulation::new(1);
+        let sink = sim.add_actor(Box::new(Sink { log }));
+        let script: Vec<_> = (0..8u64).map(|i| (10 + i, ms(3), i)).collect();
+        let svc = sim.add_actor(Box::new(Scripted {
+            harness: ServiceHarness::new("svc"),
+            sink,
+            host_timer_fired: fired,
+            script,
+        }));
+        for i in 0..8u64 {
+            sim.start_timer(svc, SimDuration::from_micros(i * 100), 10 + i);
+        }
+        sim.run();
+        let tracer = sim.tracer();
+        assert_eq!(tracer.spans_started(), 8);
+        assert_eq!(tracer.spans_finished(), 8);
+        assert_eq!(tracer.open_spans(), 0);
+        assert_eq!(tracer.unmatched_ends(), 0);
+        assert_eq!(tracer.duplicate_starts(), 0);
+    }
+
+    #[test]
+    fn harness_tokens_never_collide_with_host_timers() {
+        // Host timers use small tokens (here: 3 and 7, mimicking
+        // BATCH_TIMER-style constants). Even after many harness defers the
+        // namespaces stay disjoint: on_timer claims exactly the harness
+        // tokens and rejects the host's.
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let fired = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulation::new(1);
+        let sink = sim.add_actor(Box::new(Sink { log: log.clone() }));
+        let script: Vec<_> = (0..100u64).map(|i| (1000 + i, ms(1), i)).collect();
+        let svc = sim.add_actor(Box::new(Scripted {
+            harness: ServiceHarness::new("svc"),
+            sink,
+            host_timer_fired: fired.clone(),
+            script,
+        }));
+        for i in 0..100u64 {
+            sim.start_timer(svc, SimDuration::from_micros(i), 1000 + i);
+        }
+        sim.start_timer(svc, ms(5), 3);
+        sim.start_timer(svc, ms(150), 7);
+        sim.run();
+        assert_eq!(log.borrow().len(), 100);
+        assert_eq!(&*fired.borrow(), &[3, 7]);
+    }
+
+    #[test]
+    fn charge_keeps_cpu_busy_but_ships_nothing() {
+        struct Charger {
+            harness: ServiceHarness<u64>,
+        }
+        impl Actor<u64> for Charger {
+            fn on_event(&mut self, ctx: &mut Context<'_, u64>, event: Event<u64>) {
+                if let Event::Timer { token } = event {
+                    if self.harness.on_timer(ctx, token) {
+                        return;
+                    }
+                    self.harness.charge(ctx, ms(25));
+                }
+            }
+        }
+        let mut sim = Simulation::new(1);
+        let a = sim.add_actor(Box::new(Charger {
+            harness: ServiceHarness::new("c"),
+        }));
+        sim.start_timer(a, SimDuration::ZERO, 1);
+        sim.run();
+        assert_eq!(sim.cpu(a).total_busy(), ms(25));
+        assert_eq!(sim.now(), SimTime::from_nanos(25 * MS));
+    }
+
+    // --- bounded-queue behaviour -------------------------------------
+
+    /// A bounded service: every incoming message is a request costing
+    /// `cost`; nacks are echoed back as `payload + NACK_OFFSET`.
+    struct Bounded {
+        harness: ServiceHarness<u64>,
+        sink: ActorId,
+        cost: SimDuration,
+    }
+    const NACK_OFFSET: u64 = 1_000_000;
+    impl Actor<u64> for Bounded {
+        fn on_event(&mut self, ctx: &mut Context<'_, u64>, event: Event<u64>) {
+            match event {
+                Event::Message { src, msg } => match self.harness.admit(ctx, src, msg) {
+                    Admission::Admit(payload) => {
+                        let trace = format!("req-{payload}");
+                        ctx.span_start(&trace, "svc.exec", "");
+                        let closes = vec![SpanClose::new(trace.clone(), "svc.exec", "")];
+                        self.harness.defer_request(
+                            ctx,
+                            self.cost,
+                            &trace,
+                            vec![(self.sink, 8, payload)],
+                            closes,
+                        );
+                    }
+                    Admission::Nack(payload) => {
+                        ctx.send(self.sink, 8, payload + NACK_OFFSET);
+                    }
+                    Admission::Done => {}
+                },
+                Event::Timer { token } => {
+                    let _ = self.harness.on_timer(ctx, token);
+                }
+            }
+        }
+    }
+
+    fn run_bounded(
+        config: QueueConfig,
+        n_requests: u64,
+        cost: SimDuration,
+    ) -> (Vec<u64>, crate::metrics::Metrics, u64, u64) {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulation::new(1);
+        let sink = sim.add_actor(Box::new(Sink { log: log.clone() }));
+        let svc = sim.add_actor(Box::new(Bounded {
+            harness: ServiceHarness::with_queue("svc", config),
+            sink,
+            cost,
+        }));
+        for i in 0..n_requests {
+            sim.inject_message(svc, i);
+        }
+        sim.run();
+        let payloads: Vec<u64> = log.borrow().iter().map(|&(p, _)| p).collect();
+        let tracer = sim.tracer();
+        let (started, finished) = (tracer.spans_started(), tracer.spans_finished());
+        assert_eq!(tracer.unmatched_ends(), 0);
+        (payloads, sim.metrics().clone(), started, finished)
+    }
+
+    #[test]
+    fn drop_policy_sheds_past_capacity() {
+        let (served, metrics, ..) =
+            run_bounded(QueueConfig::new(2, OverloadPolicy::Drop), 10, ms(5));
+        // All 10 arrive in the same instant; 2 admitted, 8 dropped.
+        assert_eq!(served, vec![0, 1]);
+        assert_eq!(metrics.counter("queue.dropped.svc"), 8);
+        assert_eq!(metrics.gauge("queue.depth.svc"), Some(0.0));
+    }
+
+    #[test]
+    fn nack_policy_returns_request_to_actor() {
+        let (served, metrics, ..) =
+            run_bounded(QueueConfig::new(3, OverloadPolicy::Nack), 6, ms(5));
+        let mut nacks: Vec<u64> = served
+            .iter()
+            .copied()
+            .filter(|&p| p >= NACK_OFFSET)
+            .collect();
+        // Nacks all ship in the same instant; link jitter may reorder them.
+        nacks.sort_unstable();
+        let oks: Vec<u64> = served
+            .iter()
+            .copied()
+            .filter(|&p| p < NACK_OFFSET)
+            .collect();
+        assert_eq!(oks, vec![0, 1, 2]);
+        assert_eq!(
+            nacks,
+            vec![NACK_OFFSET + 3, NACK_OFFSET + 4, NACK_OFFSET + 5]
+        );
+        assert_eq!(metrics.counter("queue.nacked.svc"), 3);
+    }
+
+    #[test]
+    fn block_policy_parks_and_eventually_serves_all() {
+        let (served, metrics, ..) =
+            run_bounded(QueueConfig::new(1, OverloadPolicy::Block), 5, ms(2));
+        // Capacity 1: requests are served one at a time, in order, with
+        // parked requests re-admitted as slots free.
+        assert_eq!(served, vec![0, 1, 2, 3, 4]);
+        assert_eq!(metrics.counter("queue.blocked.svc"), 4);
+        assert_eq!(metrics.gauge("queue.parked.svc"), Some(0.0));
+    }
+
+    #[test]
+    fn unbounded_admit_has_no_side_effects() {
+        let mut sim = Simulation::new(1);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let sink = sim.add_actor(Box::new(Sink { log }));
+        let svc = sim.add_actor(Box::new(Bounded {
+            harness: ServiceHarness::new("svc"),
+            sink,
+            cost: ms(1),
+        }));
+        for i in 0..4 {
+            sim.inject_message(svc, i);
+        }
+        sim.run();
+        assert_eq!(sim.metrics().gauge("queue.depth.svc"), None);
+        assert!(sim.metrics().histogram("queue.wait.svc").is_none());
+    }
+
+    proptest::proptest! {
+        /// Property (ISSUE 2 satellite): under a bounded queue with the
+        /// Drop policy, every span the service opens is closed exactly
+        /// once — dropped requests must never leave a dangling open span,
+        /// and no close may fire without a matching open.
+        #[test]
+        fn drop_never_loses_span_pairing(
+            capacity in 1usize..5,
+            n_requests in 1u64..40,
+            cost_ms in 1u64..8,
+        ) {
+            let (_, _, started, finished) = run_bounded(
+                QueueConfig::new(capacity, OverloadPolicy::Drop),
+                n_requests,
+                ms(cost_ms),
+            );
+            proptest::prop_assert_eq!(started, finished);
+            // Each admitted request opens at most two spans (queue.wait +
+            // svc.exec); drops open none.
+            proptest::prop_assert!(started <= 2 * n_requests);
+        }
+    }
+}

@@ -10,6 +10,9 @@
 //!   ([`Network`], [`LinkSpec`]),
 //! * per-actor serialising CPU resources with busy-interval accounting
 //!   ([`CpuResource`]) — the basis for the energy model,
+//! * a shared service runtime for node actors — deferred-send outbox,
+//!   CPU charging, and bounded admission queues with backpressure
+//!   ([`ServiceHarness`], [`QueueConfig`], [`OverloadPolicy`]),
 //! * metrics ([`Metrics`], [`Histogram`]), and
 //! * virtual-time span tracing with bounded memory ([`Tracer`],
 //!   [`Span`], [`TracerConfig`]).
@@ -45,6 +48,7 @@
 
 mod cpu;
 mod engine;
+mod harness;
 mod histogram;
 pub mod json;
 mod metrics;
@@ -55,6 +59,9 @@ mod trace;
 
 pub use cpu::CpuResource;
 pub use engine::{Actor, ActorId, Carries, Context, Event, Simulation, TimerId};
+pub use harness::{
+    Admission, Outbound, OverloadPolicy, QueueConfig, ServiceHarness, SpanClose, HARNESS_TOKEN_BIT,
+};
 pub use histogram::Histogram;
 pub use metrics::Metrics;
 pub use net::{Delivery, LinkSpec, Network};
