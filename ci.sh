@@ -16,3 +16,7 @@ done
 
 # Exercises the bounded-admission-queue path end to end.
 cargo run --release -p hyperprov-bench --bin table_overload -- --quick
+
+# Exercises crash/restart recovery, Raft failover, partitions and the
+# retrying client end to end.
+cargo run --release -p hyperprov-bench --bin table_faults -- --quick

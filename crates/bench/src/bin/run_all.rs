@@ -2,8 +2,8 @@
 //! `results/`.
 
 use hyperprov_bench::experiments::{
-    baseline_comparison, batch_sweep, contention_sweep, energy_profile, overload_sweep,
-    query_latency, render_and_save, render_and_save_metrics, size_sweep, Platform,
+    baseline_comparison, batch_sweep, contention_sweep, energy_profile, fault_campaign,
+    overload_sweep, query_latency, render_and_save, render_and_save_metrics, size_sweep, Platform,
 };
 
 fn main() {
@@ -47,4 +47,12 @@ fn main() {
         render_and_save(&overload.breakdown, "table_overload_stages")
     );
     print!("{}", render_and_save_metrics(&overload.exporter));
+
+    let faults = fault_campaign(quick);
+    print!("{}", render_and_save(&faults.table, "table_faults"));
+    print!(
+        "{}",
+        render_and_save(&faults.timeline, "table_faults_timeline")
+    );
+    print!("{}", render_and_save_metrics(&faults.exporter));
 }

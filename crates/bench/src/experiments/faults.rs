@@ -1,0 +1,373 @@
+//! T-FAULTS: fault-injection campaigns — node crashes, Raft leader kill
+//! and network partitions under the Fig. 1-style store workload.
+//!
+//! The paper argues HyperProv is *resilient* provenance but never
+//! measures it. This campaign quantifies the claim: a closed-loop 1 KiB
+//! `StoreData` workload runs on both testbeds while a [`FaultPlan`]
+//! injects one fault window per scenario, and the report shows goodput
+//! before / during / after the fault, the time for goodput to recover to
+//! ≥90 % of its pre-fault mean, and the client-side retry/timeout
+//! economics. Clients run with per-op deadlines and the deterministic
+//! jittered-backoff [`RetryPolicy`], so every operation terminates — the
+//! hung-client column must read zero.
+
+use hyperprov::{HyperProvNetwork, NetworkConfig, NodeMsg, RetryPolicy};
+use hyperprov_fabric::{BatchConfig, RaftOrdererActor};
+use hyperprov_sim::{ActorId, DetRng, FaultPlan, SimDuration, SimTime};
+
+use super::Platform;
+use crate::report::MetricsExporter;
+use crate::runner::run_closed_loop;
+use crate::table::Table;
+use crate::workload::{payload, store_cmd};
+
+/// Payload size: the 1 KiB point of Fig. 1/Fig. 2.
+const ITEM_BYTES: usize = 1 << 10;
+
+/// Campaign seed (workload payloads, backoff jitter, fault schedule).
+const SEED: u64 = 11;
+
+/// Goodput must return to this fraction of the pre-fault mean to count
+/// as recovered.
+const RECOVERY_FRACTION: f64 = 0.9;
+
+/// The fault scenarios of the campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultScenario {
+    /// Crash one endorsing peer mid-run, restart it at the end of the
+    /// window; it replays its block store and catches up from the
+    /// orderer.
+    PeerCrash,
+    /// Crash the elected Raft ordering leader; the cluster elects a new
+    /// leader and broadcasts are redirected.
+    LeaderKill,
+    /// Partition half the peers from the ordering service, then heal;
+    /// the cut-off peers catch up via block re-delivery.
+    Partition,
+}
+
+impl FaultScenario {
+    /// Scenario label used in tables and run names.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultScenario::PeerCrash => "peer-crash",
+            FaultScenario::LeaderKill => "raft-leader-kill",
+            FaultScenario::Partition => "partition-heal",
+        }
+    }
+}
+
+/// All three scenarios, in report order.
+pub const FAULT_SCENARIOS: [FaultScenario; 3] = [
+    FaultScenario::PeerCrash,
+    FaultScenario::LeaderKill,
+    FaultScenario::Partition,
+];
+
+/// Campaign timing parameters (virtual time).
+#[derive(Debug, Clone, Copy)]
+struct Params {
+    clients: usize,
+    /// Workload duration (injection window).
+    duration: SimDuration,
+    /// Drain grace after the last injection.
+    grace: SimDuration,
+    /// Fault window start, relative to workload start.
+    fault_from: SimDuration,
+    /// Fault window end (restart/heal), relative to workload start.
+    fault_to: SimDuration,
+}
+
+impl Params {
+    fn new(quick: bool) -> Self {
+        if quick {
+            Params {
+                clients: 4,
+                duration: SimDuration::from_secs(9),
+                grace: SimDuration::from_secs(8),
+                fault_from: SimDuration::from_secs(3),
+                fault_to: SimDuration::from_secs(5),
+            }
+        } else {
+            Params {
+                clients: 8,
+                duration: SimDuration::from_secs(25),
+                grace: SimDuration::from_secs(15),
+                fault_from: SimDuration::from_secs(10),
+                fault_to: SimDuration::from_secs(15),
+            }
+        }
+    }
+}
+
+/// The fault campaign plus its observability artefacts.
+#[derive(Debug)]
+pub struct FaultsReport {
+    /// One row per `(platform, scenario)`: phase goodputs,
+    /// time-to-recover and retry/timeout counts.
+    pub table: Table,
+    /// Per-second goodput timeline of every run (the recovery curves).
+    pub timeline: Table,
+    /// One metrics + trace snapshot per run.
+    pub exporter: MetricsExporter,
+}
+
+fn base_config(platform: Platform, scenario: FaultScenario, params: &Params) -> NetworkConfig {
+    let base = match platform {
+        Platform::Desktop => NetworkConfig::desktop(params.clients),
+        Platform::Rpi => NetworkConfig::rpi(params.clients),
+    };
+    let config = base
+        .with_seed(SEED)
+        .with_batch(BatchConfig {
+            timeout: SimDuration::from_millis(100),
+            ..BatchConfig::default()
+        })
+        .with_deadlines(
+            Some(SimDuration::from_secs(2)),
+            Some(SimDuration::from_secs(4)),
+        )
+        .with_retry(RetryPolicy::new(6));
+    match scenario {
+        FaultScenario::LeaderKill => config.with_raft_orderers(3),
+        _ => config,
+    }
+}
+
+/// The currently elected Raft ordering leader, if any member claims the
+/// role.
+fn raft_leader(net: &HyperProvNetwork) -> Option<ActorId> {
+    net.orderers.iter().copied().find(|&id| {
+        net.sim
+            .actor_ref(id)
+            .and_then(|actor| actor.as_any())
+            .and_then(|any| any.downcast_ref::<RaftOrdererActor<NodeMsg>>())
+            .is_some_and(|orderer| orderer.is_leader())
+    })
+}
+
+fn build_plan(
+    net: &HyperProvNetwork,
+    scenario: FaultScenario,
+    from: SimTime,
+    to: SimTime,
+) -> FaultPlan {
+    match scenario {
+        FaultScenario::PeerCrash => FaultPlan::new().crash_window(net.peers[0], from, to),
+        FaultScenario::LeaderKill => {
+            let leader = raft_leader(net).unwrap_or(net.orderers[0]);
+            FaultPlan::new().crash_window(leader, from, to)
+        }
+        FaultScenario::Partition => {
+            let cut = &net.peers[net.peers.len() / 2..];
+            FaultPlan::new().partition_window(cut, &[net.orderer], from, to)
+        }
+    }
+}
+
+/// Statistics of one campaign run.
+struct RunStats {
+    ok: u64,
+    err: u64,
+    hung: u64,
+    timeouts: u64,
+    retries: u64,
+    exhausted: u64,
+    pre_goodput: f64,
+    during_goodput: f64,
+    post_goodput: f64,
+    /// Seconds after the heal/restart until goodput first reaches
+    /// [`RECOVERY_FRACTION`] of the pre-fault mean. `None` = never.
+    time_to_recover: Option<f64>,
+    buckets: Vec<u64>,
+}
+
+fn mean(buckets: &[u64]) -> f64 {
+    if buckets.is_empty() {
+        0.0
+    } else {
+        buckets.iter().sum::<u64>() as f64 / buckets.len() as f64
+    }
+}
+
+/// Runs one `(platform, scenario)` campaign and appends its snapshot to
+/// the exporter.
+fn run_scenario(
+    platform: Platform,
+    scenario: FaultScenario,
+    params: &Params,
+    exporter: &mut MetricsExporter,
+) -> RunStats {
+    let config = base_config(platform, scenario, params);
+    let mut net = HyperProvNetwork::build(&config);
+    if scenario == FaultScenario::LeaderKill {
+        // Let the cluster elect a leader before the workload starts, so
+        // the plan can target the actual leader.
+        net.sim.run_until(SimTime::from_secs(2));
+    }
+    let t0 = net.sim.now();
+    build_plan(&net, scenario, t0 + params.fault_from, t0 + params.fault_to).install(&mut net.sim);
+
+    let mut rng = DetRng::new(SEED).fork("faults").fork(scenario.name());
+    let label = scenario.name();
+    let result = run_closed_loop(&mut net, params.duration, params.grace, |c, seq| {
+        store_cmd(
+            format!("item-{label}-c{c}-{seq}"),
+            payload(&mut rng, ITEM_BYTES),
+        )
+    });
+
+    // Per-second goodput buckets over [t0, t0 + duration + grace).
+    let n_buckets = (params.duration + params.grace)
+        .as_nanos()
+        .div_ceil(1_000_000_000) as usize;
+    let mut buckets = vec![0u64; n_buckets];
+    let mut ok = 0u64;
+    let mut err = 0u64;
+    for (_, completion) in &result.completions {
+        if completion.outcome.is_ok() {
+            ok += 1;
+            let idx = (completion.finished.saturating_duration_since(t0).as_nanos() / 1_000_000_000)
+                as usize;
+            if let Some(slot) = buckets.get_mut(idx) {
+                *slot += 1;
+            }
+        } else {
+            err += 1;
+        }
+    }
+
+    let fault_from_s = (params.fault_from.as_nanos() / 1_000_000_000) as usize;
+    let fault_to_s = (params.fault_to.as_nanos() / 1_000_000_000) as usize;
+    let duration_s = (params.duration.as_nanos() / 1_000_000_000) as usize;
+    // Skip the first second (closed-loop warm-up) for the pre-fault mean.
+    let pre = mean(&buckets[1.min(fault_from_s)..fault_from_s]);
+    let during = mean(&buckets[fault_from_s..fault_to_s.min(buckets.len())]);
+    let recover_idx = (fault_to_s..duration_s.min(buckets.len()))
+        .find(|&s| buckets[s] as f64 >= RECOVERY_FRACTION * pre);
+    let time_to_recover = recover_idx.map(|s| (s + 1 - fault_to_s) as f64);
+    let post = recover_idx
+        .map(|s| mean(&buckets[s..duration_s.min(buckets.len())]))
+        .unwrap_or(0.0);
+
+    exporter.add_run(
+        &format!("{} {}", platform.name(), scenario.name()),
+        &net.sim,
+    );
+
+    // The timeline reports the injection window only; completions landing
+    // in the drain tail still count towards `ok`/`err`.
+    buckets.truncate(duration_s);
+
+    RunStats {
+        ok,
+        err,
+        timeouts: net.sim.metrics().counter("client.timeouts"),
+        retries: net.sim.metrics().counter("client.retries"),
+        exhausted: net.sim.metrics().counter("client.exhausted"),
+        hung: result.issued - result.completions.len() as u64,
+        pre_goodput: pre,
+        during_goodput: during,
+        post_goodput: post,
+        time_to_recover,
+        buckets,
+    }
+}
+
+/// Runs the full fault campaign: every scenario on both testbeds.
+pub fn fault_campaign(quick: bool) -> FaultsReport {
+    let params = Params::new(quick);
+    let mut table = Table::new(
+        format!(
+            "T-FAULTS: goodput under injected faults (closed loop, {} clients, 1 KiB items, \
+             fault window {}..{}s, deadlines + retry)",
+            params.clients,
+            params.fault_from.as_nanos() / 1_000_000_000,
+            params.fault_to.as_nanos() / 1_000_000_000,
+        ),
+        &[
+            "platform",
+            "scenario",
+            "pre goodput (tx/s)",
+            "fault goodput (tx/s)",
+            "post goodput (tx/s)",
+            "recover (s)",
+            "ok",
+            "err",
+            "timeouts",
+            "retries",
+            "exhausted",
+            "hung clients",
+        ],
+    );
+    let mut timeline = Table::new(
+        "T-FAULTS: per-second goodput timelines",
+        &["platform", "scenario", "second", "ok (tx/s)"],
+    );
+    let mut exporter = MetricsExporter::new("table_faults");
+
+    for platform in [Platform::Desktop, Platform::Rpi] {
+        for scenario in FAULT_SCENARIOS {
+            let stats = run_scenario(platform, scenario, &params, &mut exporter);
+            table.push_row(vec![
+                platform.name().to_owned(),
+                scenario.name().to_owned(),
+                format!("{:.1}", stats.pre_goodput),
+                format!("{:.1}", stats.during_goodput),
+                format!("{:.1}", stats.post_goodput),
+                stats
+                    .time_to_recover
+                    .map_or("-".to_owned(), |s| format!("{s:.0}")),
+                stats.ok.to_string(),
+                stats.err.to_string(),
+                stats.timeouts.to_string(),
+                stats.retries.to_string(),
+                stats.exhausted.to_string(),
+                stats.hung.to_string(),
+            ]);
+            for (second, &count) in stats.buckets.iter().enumerate() {
+                timeline.push_row(vec![
+                    platform.name().to_owned(),
+                    scenario.name().to_owned(),
+                    second.to_string(),
+                    count.to_string(),
+                ]);
+            }
+        }
+    }
+
+    FaultsReport {
+        table,
+        timeline,
+        exporter,
+    }
+}
+
+/// A single short peer-crash run rendered as metrics JSON — the
+/// determinism property the test suite checks across repeated runs.
+pub fn fault_scenario_json(seed: u64) -> String {
+    let params = Params::new(true);
+    let config = NetworkConfig::desktop(params.clients)
+        .with_seed(seed)
+        .with_batch(BatchConfig {
+            timeout: SimDuration::from_millis(100),
+            ..BatchConfig::default()
+        })
+        .with_deadlines(
+            Some(SimDuration::from_secs(2)),
+            Some(SimDuration::from_secs(4)),
+        )
+        .with_retry(RetryPolicy::new(6));
+    let mut net = HyperProvNetwork::build(&config);
+    let t0 = net.sim.now();
+    FaultPlan::new()
+        .crash_window(net.peers[0], t0 + params.fault_from, t0 + params.fault_to)
+        .install(&mut net.sim);
+    let mut rng = DetRng::new(seed).fork("faults");
+    run_closed_loop(&mut net, params.duration, params.grace, |c, seq| {
+        store_cmd(format!("item-c{c}-{seq}"), payload(&mut rng, ITEM_BYTES))
+    });
+    let mut exporter = MetricsExporter::new("table_faults_prop");
+    exporter.add_run(&format!("seed={seed}"), &net.sim);
+    exporter.to_json()
+}

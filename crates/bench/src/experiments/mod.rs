@@ -7,6 +7,7 @@
 
 mod baselines;
 mod contention;
+mod faults;
 mod fig12;
 mod fig3;
 mod overload;
@@ -14,6 +15,9 @@ mod queries;
 
 pub use baselines::baseline_comparison;
 pub use contention::contention_sweep;
+pub use faults::{
+    fault_campaign, fault_scenario_json, FaultScenario, FaultsReport, FAULT_SCENARIOS,
+};
 pub use fig12::{size_sweep, Platform};
 pub use fig3::energy_profile;
 pub use overload::{overload_sweep, OverloadReport};

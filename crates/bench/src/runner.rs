@@ -86,6 +86,9 @@ pub struct RunResult {
     pub completions: Vec<(usize, ClientCompletion)>,
     /// The measured span (excluding drain).
     pub span: SimDuration,
+    /// Operations issued; `issued - completions.len()` operations were
+    /// still hanging when the run stopped.
+    pub issued: u64,
 }
 
 fn drain<N: Driveable>(net: &mut N, out: &mut Vec<(usize, ClientCompletion)>) -> Vec<usize> {
@@ -157,6 +160,7 @@ pub fn run_closed_loop<N: Driveable>(
         }
     }
     RunResult {
+        issued: next_op,
         completions,
         span: duration,
     }
@@ -210,6 +214,7 @@ pub fn run_closed_loop_counted<N: Driveable>(
     RunResult {
         span: net.sim().now().saturating_duration_since(start),
         completions,
+        issued,
     }
 }
 
@@ -267,6 +272,7 @@ pub fn run_open_loop<N: Driveable>(
     RunResult {
         completions,
         span: last.saturating_duration_since(start),
+        issued: next_op,
     }
 }
 

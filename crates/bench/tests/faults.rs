@@ -1,0 +1,21 @@
+//! Guard tests for the fault-injection campaign: the exported metrics
+//! JSON must replay byte-identically for a fixed seed, so committed
+//! `table_faults.metrics.json` artifacts are reproducible.
+
+use hyperprov_bench::experiments::fault_scenario_json;
+
+#[test]
+fn fault_campaign_metrics_json_is_deterministic_per_seed() {
+    for seed in [1u64, 7, 23] {
+        let first = fault_scenario_json(seed);
+        let second = fault_scenario_json(seed);
+        assert_eq!(
+            first, second,
+            "seed {seed}: fault campaign must replay byte-identically"
+        );
+        assert!(
+            first.contains("client.retries") || first.contains("fault.crashes"),
+            "seed {seed}: exported JSON should carry fault/retry counters"
+        );
+    }
+}

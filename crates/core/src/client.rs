@@ -16,7 +16,10 @@ use std::rc::Rc;
 use hyperprov_fabric::{CostModel, Gateway, GatewayError, GatewayEvent};
 use hyperprov_ledger::{Decode, Digest, TxId, ValidationCode};
 use hyperprov_offchain::{StoreError, StoreMsg};
-use hyperprov_sim::{Actor, ActorId, Carries, Context, Event, ServiceHarness, SimTime};
+use hyperprov_sim::{
+    Actor, ActorId, Carries, Context, DetRng, Event, ServiceHarness, SimDuration, SimTime,
+};
+use rand::Rng;
 
 use crate::chaincode::CHAINCODE_NAME;
 use crate::record::{
@@ -136,6 +139,20 @@ impl ClientCommand {
 pub enum HyperProvError {
     /// The chaincode or a peer rejected the request before ordering.
     Rejected(String),
+    /// The network shed the request at admission (backpressure). Transient:
+    /// the operation may succeed on retry.
+    Busy,
+    /// A per-op deadline expired (endorsement or commit-wait phase).
+    /// Transient: the fate of the original transaction is unknown, but a
+    /// fresh attempt with a new tx id is safe for HyperProv's idempotent
+    /// record operations.
+    Timeout,
+    /// The retry budget was spent without a success; every attempt failed
+    /// with a transient error.
+    Exhausted {
+        /// How many attempts were made (initial try + retries).
+        attempts: u32,
+    },
     /// The transaction was ordered but invalidated at commit.
     Invalidated(ValidationCode),
     /// Off-chain storage failed.
@@ -151,10 +168,23 @@ pub enum HyperProvError {
     Malformed(String),
 }
 
+impl HyperProvError {
+    /// True when the error is transient (backpressure or a deadline
+    /// expiry) and the operation may succeed if re-submitted.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, HyperProvError::Busy | HyperProvError::Timeout)
+    }
+}
+
 impl fmt::Display for HyperProvError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             HyperProvError::Rejected(why) => write!(f, "rejected: {why}"),
+            HyperProvError::Busy => write!(f, "busy: shed at admission"),
+            HyperProvError::Timeout => write!(f, "deadline exceeded"),
+            HyperProvError::Exhausted { attempts } => {
+                write!(f, "retry budget exhausted after {attempts} attempts")
+            }
             HyperProvError::Invalidated(code) => write!(f, "invalidated at commit: {code}"),
             HyperProvError::Storage(err) => write!(f, "off-chain storage: {err}"),
             HyperProvError::IntegrityViolation { expected, actual } => write!(
@@ -171,10 +201,73 @@ impl fmt::Display for HyperProvError {
 impl std::error::Error for HyperProvError {}
 
 impl From<GatewayError> for HyperProvError {
-    /// Every gateway failure happens before ordering, so it maps onto
-    /// [`HyperProvError::Rejected`], preserving the gateway's message.
+    /// Preserves the gateway's error structure: transient failures
+    /// (backpressure, deadline expiries) keep their own variants so a
+    /// retry policy can classify them; genuine rejections keep the
+    /// chaincode's message.
     fn from(err: GatewayError) -> Self {
-        HyperProvError::Rejected(err.to_string())
+        match err {
+            GatewayError::Busy => HyperProvError::Busy,
+            GatewayError::EndorseTimeout | GatewayError::CommitTimeout => HyperProvError::Timeout,
+            GatewayError::Endorsement { reason } | GatewayError::Query { reason } => {
+                HyperProvError::Rejected(reason)
+            }
+            GatewayError::Mismatch => {
+                HyperProvError::Rejected("endorsement mismatch across peers".to_owned())
+            }
+        }
+    }
+}
+
+/// Deterministic exponential-backoff-with-jitter retry policy for
+/// transient gateway failures ([`GatewayError::Busy`], endorsement
+/// timeouts, commit-wait timeouts). Retried transactions are re-submitted
+/// with a fresh tx id; all randomness comes from the client actor's
+/// seeded stream, so runs are reproducible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempt budget (initial try + retries), at least 1.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per subsequent retry.
+    pub base_backoff: SimDuration,
+    /// Upper bound on any single backoff sleep.
+    pub max_backoff: SimDuration,
+    /// Backoff is multiplied by a factor drawn uniformly from
+    /// `[1 - jitter_frac, 1 + jitter_frac]`.
+    pub jitter_frac: f64,
+}
+
+impl RetryPolicy {
+    /// A policy with the given attempt budget and the default backoff
+    /// shape (50 ms base, 2 s cap, ±20 % jitter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_attempts` is zero.
+    pub fn new(max_attempts: u32) -> Self {
+        assert!(max_attempts >= 1, "retry policy needs at least one attempt");
+        RetryPolicy {
+            max_attempts,
+            base_backoff: SimDuration::from_millis(50),
+            max_backoff: SimDuration::from_secs(2),
+            jitter_frac: 0.2,
+        }
+    }
+
+    /// The jittered backoff before retry number `retry` (1-based).
+    fn backoff(&self, retry: u32, rng: &mut DetRng) -> SimDuration {
+        let exp = retry.saturating_sub(1).min(20);
+        let raw = self
+            .base_backoff
+            .mul_f64(f64::from(2u32.saturating_pow(exp)));
+        let capped = if raw > self.max_backoff {
+            self.max_backoff
+        } else {
+            raw
+        };
+        let jitter = self.jitter_frac.clamp(0.0, 1.0);
+        let factor = 1.0 + jitter * rng.gen_range(-1.0..=1.0);
+        capped.mul_f64(factor)
     }
 }
 
@@ -263,17 +356,37 @@ enum QueryKind {
     List,
 }
 
+/// Everything needed to re-submit the current gateway phase of an
+/// operation with a fresh tx id (captured only when a retry policy is
+/// armed).
+#[derive(Debug, Clone)]
+struct Redo {
+    /// Full invoke (endorse + order + commit) vs endorse-only query.
+    invoke: bool,
+    function: &'static str,
+    args: Vec<Vec<u8>>,
+}
+
 #[derive(Debug)]
 struct OpCtx {
     op: OpId,
     started: SimTime,
     state: OpState,
+    /// Gateway attempts made for the current phase (1 = first try).
+    attempts: u32,
+    /// How to re-issue the current phase, when retries are enabled.
+    redo: Option<Redo>,
 }
 
 /// The span-trace key of a client operation, e.g. `"op-7"`.
 fn op_trace(op: OpId) -> String {
     format!("op-{}", op.0)
 }
+
+/// Tag bit identifying the client's retry backoff timers. Disjoint from
+/// [`hyperprov_sim::HARNESS_TOKEN_BIT`] (bit 63) and
+/// [`hyperprov_fabric::GATEWAY_TOKEN_BIT`] (bit 62).
+const CLIENT_RETRY_BIT: u64 = 1 << 61;
 
 /// The client actor.
 pub struct HyperProvClient {
@@ -285,6 +398,10 @@ pub struct HyperProvClient {
     by_tx: HashMap<TxId, OpCtx>,
     by_store_token: HashMap<u64, OpCtx>,
     next_store_token: u64,
+    retry: Option<RetryPolicy>,
+    next_retry_token: u64,
+    /// Operations sleeping out a backoff, keyed by retry timer token.
+    pending_retries: HashMap<u64, OpCtx>,
     harness: ServiceHarness<NodeMsgOf>,
 }
 
@@ -310,15 +427,106 @@ impl HyperProvClient {
                 by_tx: HashMap::new(),
                 by_store_token: HashMap::new(),
                 next_store_token: 0,
+                retry: None,
+                next_retry_token: 0,
+                pending_retries: HashMap::new(),
                 harness: ServiceHarness::new("client"),
             },
             completions,
         )
     }
 
-    /// Number of operations currently in flight.
+    /// Enables transparent retries of transient gateway failures under
+    /// the given policy.
+    #[must_use]
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// Number of operations currently in flight (including operations
+    /// sleeping out a retry backoff).
     pub fn inflight(&self) -> usize {
-        self.by_tx.len() + self.by_store_token.len()
+        self.by_tx.len() + self.by_store_token.len() + self.pending_retries.len()
+    }
+
+    /// Issues (or re-issues) the gateway phase described by
+    /// `(invoke, function, args)`, capturing a [`Redo`] when retries are
+    /// enabled, and indexes the operation by the fresh tx id.
+    fn submit_tx(
+        &mut self,
+        ctx: &mut Context<'_, NodeMsgOf>,
+        mut op_ctx: OpCtx,
+        invoke: bool,
+        function: &'static str,
+        args: Vec<Vec<u8>>,
+    ) {
+        op_ctx.attempts += 1;
+        op_ctx.redo = self.retry.map(|_| Redo {
+            invoke,
+            function,
+            args: args.clone(),
+        });
+        let tx_id = if invoke {
+            self.gateway
+                .invoke(ctx, &mut self.harness, CHAINCODE_NAME, function, args)
+        } else {
+            self.gateway
+                .query(ctx, &mut self.harness, CHAINCODE_NAME, function, args)
+        };
+        self.by_tx.insert(tx_id, op_ctx);
+    }
+
+    /// Terminal-vs-retry decision for a failed gateway phase. Transient
+    /// errors are retried on a jittered exponential backoff until the
+    /// attempt budget is spent; everything else (and every failure when no
+    /// policy is armed) completes the operation with the mapped error.
+    fn fail_or_retry(
+        &mut self,
+        ctx: &mut Context<'_, NodeMsgOf>,
+        op_ctx: OpCtx,
+        error: GatewayError,
+    ) {
+        if matches!(
+            error,
+            GatewayError::EndorseTimeout | GatewayError::CommitTimeout
+        ) {
+            ctx.metrics().incr("client.timeouts", 1);
+        }
+        if let (true, Some(policy)) = (error.is_retryable(), self.retry) {
+            if op_ctx.redo.is_some() && op_ctx.attempts < policy.max_attempts {
+                let backoff = policy.backoff(op_ctx.attempts, ctx.rng());
+                ctx.metrics().incr("client.retries", 1);
+                ctx.metrics().record_duration("client.backoff", backoff);
+                ctx.trace_event(
+                    &op_trace(op_ctx.op),
+                    "op.retry",
+                    &format!("attempt={} backoff={backoff}", op_ctx.attempts + 1),
+                );
+                self.next_retry_token += 1;
+                let token = CLIENT_RETRY_BIT | self.next_retry_token;
+                self.pending_retries.insert(token, op_ctx);
+                ctx.set_timer(backoff, token);
+                return;
+            }
+            let attempts = op_ctx.attempts;
+            ctx.metrics().incr("client.exhausted", 1);
+            self.complete(ctx, op_ctx, Err(HyperProvError::Exhausted { attempts }));
+            return;
+        }
+        self.complete(ctx, op_ctx, Err(error.into()));
+    }
+
+    /// A backoff timer fired: re-issue the parked operation's gateway
+    /// phase with a fresh tx id.
+    fn on_retry_timer(&mut self, ctx: &mut Context<'_, NodeMsgOf>, token: u64) {
+        let Some(mut op_ctx) = self.pending_retries.remove(&token) else {
+            return;
+        };
+        let Some(redo) = op_ctx.redo.take() else {
+            return;
+        };
+        self.submit_tx(ctx, op_ctx, redo.invoke, redo.function, redo.args);
     }
 
     fn complete(
@@ -343,21 +551,15 @@ impl HyperProvClient {
         ctx.span_start(&op_trace(op), "op", "");
         match cmd {
             ClientCommand::Post { key, input, op } => {
-                let tx_id = self.gateway.invoke(
-                    ctx,
-                    &mut self.harness,
-                    CHAINCODE_NAME,
-                    "post",
-                    vec![key.into_bytes(), hyperprov_ledger::Encode::to_bytes(&input)],
-                );
-                self.by_tx.insert(
-                    tx_id,
-                    OpCtx {
-                        op,
-                        started: now,
-                        state: OpState::Commit,
-                    },
-                );
+                let args = vec![key.into_bytes(), hyperprov_ledger::Encode::to_bytes(&input)];
+                let op_ctx = OpCtx {
+                    op,
+                    started: now,
+                    state: OpState::Commit,
+                    attempts: 0,
+                    redo: None,
+                };
+                self.submit_tx(ctx, op_ctx, true, "post", args);
             }
             ClientCommand::StoreData {
                 key,
@@ -392,6 +594,8 @@ impl HyperProvClient {
                             key,
                             input: Box::new(input),
                         },
+                        attempts: 0,
+                        redo: None,
                     },
                 );
                 // Off-chain transfer phase of a StoreData, closed on the
@@ -410,38 +614,24 @@ impl HyperProvClient {
                 self.start_query(ctx, now, op, "get", vec![key.into_bytes()], QueryKind::Get);
             }
             ClientCommand::GetData { key, op } => {
-                let tx_id = self.gateway.query(
-                    ctx,
-                    &mut self.harness,
-                    CHAINCODE_NAME,
-                    "get",
-                    vec![key.into_bytes()],
-                );
-                self.by_tx.insert(
-                    tx_id,
-                    OpCtx {
-                        op,
-                        started: now,
-                        state: OpState::RecordThenData { check_only: false },
-                    },
-                );
+                let op_ctx = OpCtx {
+                    op,
+                    started: now,
+                    state: OpState::RecordThenData { check_only: false },
+                    attempts: 0,
+                    redo: None,
+                };
+                self.submit_tx(ctx, op_ctx, false, "get", vec![key.into_bytes()]);
             }
             ClientCommand::CheckData { key, op } => {
-                let tx_id = self.gateway.query(
-                    ctx,
-                    &mut self.harness,
-                    CHAINCODE_NAME,
-                    "get",
-                    vec![key.into_bytes()],
-                );
-                self.by_tx.insert(
-                    tx_id,
-                    OpCtx {
-                        op,
-                        started: now,
-                        state: OpState::RecordThenData { check_only: true },
-                    },
-                );
+                let op_ctx = OpCtx {
+                    op,
+                    started: now,
+                    state: OpState::RecordThenData { check_only: true },
+                    attempts: 0,
+                    redo: None,
+                };
+                self.submit_tx(ctx, op_ctx, false, "get", vec![key.into_bytes()]);
             }
             ClientCommand::GetHistory { key, op } => {
                 self.start_query(
@@ -474,21 +664,14 @@ impl HyperProvClient {
                 );
             }
             ClientCommand::Delete { key, op } => {
-                let tx_id = self.gateway.invoke(
-                    ctx,
-                    &mut self.harness,
-                    CHAINCODE_NAME,
-                    "delete",
-                    vec![key.into_bytes()],
-                );
-                self.by_tx.insert(
-                    tx_id,
-                    OpCtx {
-                        op,
-                        started: now,
-                        state: OpState::Commit,
-                    },
-                );
+                let op_ctx = OpCtx {
+                    op,
+                    started: now,
+                    state: OpState::Commit,
+                    attempts: 0,
+                    redo: None,
+                };
+                self.submit_tx(ctx, op_ctx, true, "delete", vec![key.into_bytes()]);
             }
             ClientCommand::List { op } => {
                 self.start_query(ctx, now, op, "list", vec![], QueryKind::List);
@@ -501,21 +684,18 @@ impl HyperProvClient {
         ctx: &mut Context<'_, NodeMsgOf>,
         now: SimTime,
         op: OpId,
-        function: &str,
+        function: &'static str,
         args: Vec<Vec<u8>>,
         kind: QueryKind,
     ) {
-        let tx_id = self
-            .gateway
-            .query(ctx, &mut self.harness, CHAINCODE_NAME, function, args);
-        self.by_tx.insert(
-            tx_id,
-            OpCtx {
-                op,
-                started: now,
-                state: OpState::Query(kind),
-            },
-        );
+        let op_ctx = OpCtx {
+            op,
+            started: now,
+            state: OpState::Query(kind),
+            attempts: 0,
+            redo: None,
+        };
+        self.submit_tx(ctx, op_ctx, false, function, args);
     }
 
     fn on_gateway_event(&mut self, ctx: &mut Context<'_, NodeMsgOf>, event: GatewayEvent) {
@@ -538,18 +718,30 @@ impl HyperProvClient {
             }
             GatewayEvent::TxFailed { tx_id, error } => {
                 if let Some(op_ctx) = self.by_tx.remove(&tx_id) {
-                    self.complete(ctx, op_ctx, Err(error.into()));
+                    self.fail_or_retry(ctx, op_ctx, error);
                 }
             }
             GatewayEvent::QueryDone { tx_id, result, .. } => {
                 let Some(op_ctx) = self.by_tx.remove(&tx_id) else {
                     return;
                 };
-                let OpCtx { op, started, state } = op_ctx;
-                let rebuilt = |state| OpCtx { op, started, state };
+                let OpCtx {
+                    op,
+                    started,
+                    state,
+                    attempts,
+                    redo,
+                } = op_ctx;
+                let rebuilt = move |state| OpCtx {
+                    op,
+                    started,
+                    state,
+                    attempts,
+                    redo,
+                };
                 match (result, state) {
                     (Err(error), state) => {
-                        self.complete(ctx, rebuilt(state), Err(error.into()));
+                        self.fail_or_retry(ctx, rebuilt(state), error);
                     }
                     (Ok(bytes), OpState::Query(kind)) => {
                         let outcome = decode_query(kind, &bytes);
@@ -621,41 +813,51 @@ impl HyperProvClient {
                 let Some(op_ctx) = self.by_store_token.remove(&token) else {
                     return;
                 };
-                let OpCtx { op, started, state } = op_ctx;
+                let OpCtx {
+                    op, started, state, ..
+                } = op_ctx;
                 ctx.span_end(&op_trace(op), "offchain.put", "");
                 match (result, state) {
                     (Ok(()), OpState::StorePut { key, input }) => {
                         // Payload stored: now post the metadata on-chain.
-                        let tx_id = self.gateway.invoke(
-                            ctx,
-                            &mut self.harness,
-                            CHAINCODE_NAME,
-                            "post",
-                            vec![
-                                key.into_bytes(),
-                                hyperprov_ledger::Encode::to_bytes(input.as_ref()),
-                            ],
-                        );
-                        self.by_tx.insert(
-                            tx_id,
-                            OpCtx {
-                                op,
-                                started,
-                                state: OpState::Commit,
-                            },
-                        );
+                        // The gateway phase starts here, with a fresh
+                        // retry budget.
+                        let args = vec![
+                            key.into_bytes(),
+                            hyperprov_ledger::Encode::to_bytes(input.as_ref()),
+                        ];
+                        let op_ctx = OpCtx {
+                            op,
+                            started,
+                            state: OpState::Commit,
+                            attempts: 0,
+                            redo: None,
+                        };
+                        self.submit_tx(ctx, op_ctx, true, "post", args);
                     }
                     (Err(err), state) => {
                         self.complete(
                             ctx,
-                            OpCtx { op, started, state },
+                            OpCtx {
+                                op,
+                                started,
+                                state,
+                                attempts: 0,
+                                redo: None,
+                            },
                             Err(HyperProvError::Storage(err)),
                         );
                     }
                     (Ok(()), state) => {
                         self.complete(
                             ctx,
-                            OpCtx { op, started, state },
+                            OpCtx {
+                                op,
+                                started,
+                                state,
+                                attempts: 0,
+                                redo: None,
+                            },
                             Err(HyperProvError::Malformed("unexpected put ack".to_owned())),
                         );
                     }
@@ -665,7 +867,9 @@ impl HyperProvClient {
                 let Some(op_ctx) = self.by_store_token.remove(&token) else {
                     return;
                 };
-                let OpCtx { op, started, state } = op_ctx;
+                let OpCtx {
+                    op, started, state, ..
+                } = op_ctx;
                 ctx.span_end(&op_trace(op), "offchain.get", "");
                 let OpState::Payload { record, check_only } = state else {
                     return;
@@ -705,6 +909,8 @@ impl HyperProvClient {
                         op,
                         started,
                         state: OpState::Commit,
+                        attempts: 0,
+                        redo: None,
                     },
                     outcome,
                 );
@@ -732,6 +938,10 @@ fn decode_query(kind: QueryKind, bytes: &[u8]) -> Result<OpOutput, HyperProvErro
 pub type NodeMsgOf = crate::net::NodeMsg;
 
 impl Actor<NodeMsgOf> for HyperProvClient {
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
     fn on_event(&mut self, ctx: &mut Context<'_, NodeMsgOf>, event: Event<NodeMsgOf>) {
         match event {
             Event::Message { msg, .. } => match msg {
@@ -745,8 +955,21 @@ impl Actor<NodeMsgOf> for HyperProvClient {
                 crate::net::NodeMsg::Store(smsg) => self.on_store_msg(ctx, smsg),
             },
             Event::Timer { token } => {
-                // CPU-accounting charges (hashing, signing) release here.
-                let _ = self.harness.on_timer(ctx, token);
+                if Gateway::owns_timer(token) {
+                    // A per-op deadline (endorse or commit-wait) expired.
+                    let events = self.gateway.on_timer(ctx, token);
+                    for ev in events {
+                        self.on_gateway_event(ctx, ev);
+                    }
+                } else if token & CLIENT_RETRY_BIT != 0
+                    && token & hyperprov_sim::HARNESS_TOKEN_BIT == 0
+                {
+                    self.on_retry_timer(ctx, token);
+                } else {
+                    // CPU-accounting charges (hashing, signing) release
+                    // here.
+                    let _ = self.harness.on_timer(ctx, token);
+                }
             }
         }
     }

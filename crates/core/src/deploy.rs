@@ -9,14 +9,28 @@ use std::sync::Arc;
 use hyperprov_device::{link_between, DeviceProfile};
 use hyperprov_fabric::{
     BatchConfig, ChaincodeRegistry, ChannelPolicies, Committer, CostModel, EndorsementPolicy,
-    Gateway, MspBuilder, MspId, PeerActor, SoloOrdererActor,
+    Gateway, MspBuilder, MspId, PeerActor, RaftConfig, RaftOrdererActor, SoloOrdererActor,
+    RAFT_TICK_TOKEN,
 };
 use hyperprov_offchain::{MemoryStore, StorageActor, StorageCosts};
-use hyperprov_sim::{ActorId, QueueConfig, Simulation};
+use hyperprov_sim::{ActorId, QueueConfig, SimDuration, Simulation};
 
 use crate::chaincode::HyperProvChaincode;
-use crate::client::{CompletionQueue, HyperProvClient};
+use crate::client::{CompletionQueue, HyperProvClient, RetryPolicy};
 use crate::net::NodeMsg;
+
+/// Ordering-service topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrdererMode {
+    /// A single ordering node — the paper's setup and the default.
+    Solo,
+    /// A Raft-replicated ordering service; killing the leader triggers an
+    /// election and the cluster keeps ordering.
+    Raft {
+        /// Cluster size (use an odd number for sensible quorums).
+        members: usize,
+    },
+}
 
 /// Configuration of a HyperProv network.
 #[derive(Debug, Clone)]
@@ -52,6 +66,16 @@ pub struct NetworkConfig {
     pub orderer_queue: Option<QueueConfig>,
     /// Admission-queue bound for the off-chain storage node.
     pub storage_queue: Option<QueueConfig>,
+    /// Ordering-service topology (`Solo` keeps the paper-faithful layout
+    /// and leaves every actor id unchanged).
+    pub orderer_mode: OrdererMode,
+    /// Client retry policy for transient gateway failures (`None` = fail
+    /// fast, the seed default).
+    pub retry: Option<RetryPolicy>,
+    /// Client per-op endorsement deadline (`None` = wait forever).
+    pub endorse_timeout: Option<SimDuration>,
+    /// Client per-op commit-wait deadline (`None` = wait forever).
+    pub commit_timeout: Option<SimDuration>,
 }
 
 impl NetworkConfig {
@@ -81,6 +105,10 @@ impl NetworkConfig {
             peer_queue: None,
             orderer_queue: None,
             storage_queue: None,
+            orderer_mode: OrdererMode::Solo,
+            retry: None,
+            endorse_timeout: None,
+            commit_timeout: None,
         }
     }
 
@@ -103,6 +131,10 @@ impl NetworkConfig {
             peer_queue: None,
             orderer_queue: None,
             storage_queue: None,
+            orderer_mode: OrdererMode::Solo,
+            retry: None,
+            endorse_timeout: None,
+            commit_timeout: None,
         }
     }
 
@@ -140,6 +172,38 @@ impl NetworkConfig {
         self.storage_queue = Some(queue);
         self
     }
+
+    /// Replaces the solo orderer with a `members`-node Raft cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is zero.
+    #[must_use]
+    pub fn with_raft_orderers(mut self, members: usize) -> Self {
+        assert!(members >= 1, "raft cluster needs at least one member");
+        self.orderer_mode = OrdererMode::Raft { members };
+        self
+    }
+
+    /// Arms client-side retries of transient gateway failures.
+    #[must_use]
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// Arms client per-op deadlines for the endorsement and commit-wait
+    /// phases.
+    #[must_use]
+    pub fn with_deadlines(
+        mut self,
+        endorse: Option<SimDuration>,
+        commit: Option<SimDuration>,
+    ) -> Self {
+        self.endorse_timeout = endorse;
+        self.commit_timeout = commit;
+        self
+    }
 }
 
 /// A built network, ready to run.
@@ -148,8 +212,10 @@ pub struct HyperProvNetwork {
     pub sim: Simulation<NodeMsg>,
     /// Peer actor ids, in org order.
     pub peers: Vec<ActorId>,
-    /// The orderer actor.
+    /// The orderer actor (the first cluster member under Raft).
     pub orderer: ActorId,
+    /// Every ordering-service actor (length 1 under `OrdererMode::Solo`).
+    pub orderers: Vec<ActorId>,
     /// The storage node actor.
     pub storage: ActorId,
     /// Client actor ids.
@@ -167,8 +233,9 @@ pub struct HyperProvNetwork {
 impl HyperProvNetwork {
     /// Builds a network from a configuration.
     ///
-    /// Actor layout: peers `0..P`, orderer `P`, storage `P+1`, clients
-    /// `P+2...`.
+    /// Actor layout: peers `0..P`, orderers `P..P+R` (R = 1 for Solo),
+    /// storage `P+R`, clients `P+R+1...`. Under the default Solo mode
+    /// this is the historical `peers, orderer, storage, clients` layout.
     ///
     /// # Panics
     ///
@@ -180,6 +247,10 @@ impl HyperProvNetwork {
             "need at least one client"
         );
         let n_peers = config.peer_devices.len();
+        let n_orderers = match config.orderer_mode {
+            OrdererMode::Solo => 1,
+            OrdererMode::Raft { members } => members.max(1),
+        };
 
         // Enrol identities.
         let mut msp_builder = MspBuilder::new(config.seed);
@@ -205,10 +276,12 @@ impl HyperProvNetwork {
 
         // Predictable actor ids.
         let peer_ids: Vec<ActorId> = (0..n_peers as u32).map(ActorId).collect();
-        let orderer_id = ActorId(n_peers as u32);
-        let storage_id = ActorId(n_peers as u32 + 1);
+        let orderer_ids: Vec<ActorId> = (0..n_orderers as u32)
+            .map(|i| ActorId(n_peers as u32 + i))
+            .collect();
+        let storage_id = ActorId((n_peers + n_orderers) as u32);
         let client_ids: Vec<ActorId> = (0..config.client_devices.len() as u32)
-            .map(|i| ActorId(n_peers as u32 + 2 + i))
+            .map(|i| ActorId((n_peers + n_orderers) as u32 + 1 + i))
             .collect();
 
         let mut sim: Simulation<NodeMsg> = Simulation::new(config.seed);
@@ -227,7 +300,8 @@ impl HyperProvNetwork {
                 committer,
                 config.costs,
                 format!("peer{i}"),
-            );
+            )
+            .with_catchup_target(orderer_ids[i % n_orderers]);
             if let Some(queue) = config.peer_queue {
                 actor = actor.with_queue(queue);
             }
@@ -241,14 +315,41 @@ impl HyperProvNetwork {
             devices.push(config.peer_devices[i].clone());
         }
 
-        let mut orderer_actor =
-            SoloOrdererActor::<NodeMsg>::new(config.batch, peer_ids.clone(), config.costs);
-        if let Some(queue) = config.orderer_queue {
-            orderer_actor = orderer_actor.with_queue(queue);
+        match config.orderer_mode {
+            OrdererMode::Solo => {
+                let mut orderer_actor =
+                    SoloOrdererActor::<NodeMsg>::new(config.batch, peer_ids.clone(), config.costs);
+                if let Some(queue) = config.orderer_queue {
+                    orderer_actor = orderer_actor.with_queue(queue);
+                }
+                let id = sim
+                    .add_actor_with_speed(Box::new(orderer_actor), config.orderer_device.cpu_speed);
+                debug_assert_eq!(id, orderer_ids[0]);
+                devices.push(config.orderer_device.clone());
+            }
+            OrdererMode::Raft { .. } => {
+                for i in 0..n_orderers {
+                    let mut actor = RaftOrdererActor::<NodeMsg>::new(
+                        i,
+                        orderer_ids.clone(),
+                        peer_ids.clone(),
+                        config.batch,
+                        RaftConfig::default(),
+                        SimDuration::from_millis(50),
+                        config.seed,
+                        config.costs,
+                    );
+                    if let Some(queue) = config.orderer_queue {
+                        actor = actor.with_queue(queue);
+                    }
+                    let id =
+                        sim.add_actor_with_speed(Box::new(actor), config.orderer_device.cpu_speed);
+                    debug_assert_eq!(id, orderer_ids[i]);
+                    sim.start_timer(id, SimDuration::ZERO, RAFT_TICK_TOKEN);
+                    devices.push(config.orderer_device.clone());
+                }
+            }
         }
-        let id = sim.add_actor_with_speed(Box::new(orderer_actor), config.orderer_device.cpu_speed);
-        debug_assert_eq!(id, orderer_id);
-        devices.push(config.orderer_device.clone());
 
         let store = Arc::new(MemoryStore::new());
         let mut storage_actor = StorageActor::<NodeMsg>::new(store.clone(), config.storage_costs);
@@ -267,16 +368,23 @@ impl HyperProvNetwork {
             let home = i % n_peers;
             let mut endorsers = vec![peer_ids[home]];
             endorsers.extend(peer_ids.iter().copied().filter(|&p| p != peer_ids[home]));
-            let gateway = Gateway::new(
+            let mut gateway = Gateway::new(
                 identity.clone(),
                 "hyperprov-channel",
                 endorsers,
-                orderer_id,
+                orderer_ids[i % n_orderers],
                 config.endorsements_needed,
                 config.costs,
             );
+            if config.endorse_timeout.is_some() || config.commit_timeout.is_some() {
+                gateway = gateway.with_deadlines(config.endorse_timeout, config.commit_timeout);
+            }
             let (client_actor, queue) =
                 HyperProvClient::new(gateway, storage_id, "sshfs://store0/", config.costs);
+            let client_actor = match config.retry {
+                Some(policy) => client_actor.with_retry(policy),
+                None => client_actor,
+            };
             let id = sim
                 .add_actor_with_speed(Box::new(client_actor), config.client_devices[i].cpu_speed);
             debug_assert_eq!(id, client_ids[i]);
@@ -302,7 +410,8 @@ impl HyperProvNetwork {
         HyperProvNetwork {
             sim,
             peers: peer_ids,
-            orderer: orderer_id,
+            orderer: orderer_ids[0],
+            orderers: orderer_ids,
             storage: storage_id,
             clients: client_ids,
             completions,

@@ -47,9 +47,9 @@ mod verify;
 pub use chaincode::{HyperProvChaincode, CHAINCODE_NAME, MAX_LINEAGE_DEPTH};
 pub use client::{
     ClientCommand, ClientCompletion, CompletionQueue, HyperProvClient, HyperProvError, OpId,
-    OpOutput,
+    OpOutput, RetryPolicy,
 };
-pub use deploy::{HyperProvNetwork, NetworkConfig};
+pub use deploy::{HyperProvNetwork, NetworkConfig, OrdererMode};
 pub use facade::HyperProv;
 pub use net::NodeMsg;
 pub use opm::{OpmEdge, OpmEdgeKind, OpmGraph, OpmNode, OpmNodeKind};

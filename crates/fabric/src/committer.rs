@@ -217,6 +217,23 @@ impl Committer {
         Ok(committer)
     }
 
+    /// Rebuilds this committer from its own persisted chain — the crash
+    /// recovery path. Equivalent to [`Committer::replay`] over
+    /// [`Committer::store`]: volatile state (world state, history, seen
+    /// set) is reconstructed from the durable block store.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ChainError`] if the stored chain does not link
+    /// correctly (which would indicate durable-storage corruption).
+    pub fn recover(&self) -> Result<Committer, ChainError> {
+        Committer::replay(
+            self.msp.clone(),
+            self.policies.clone(),
+            self.store.iter().cloned(),
+        )
+    }
+
     fn validate(&self, env: &Envelope) -> ValidationCode {
         if self.seen.contains(&env.tx_id()) {
             return ValidationCode::DuplicateTxId;

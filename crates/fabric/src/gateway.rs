@@ -9,7 +9,7 @@
 use std::collections::HashMap;
 
 use hyperprov_ledger::{Encode, TxId, ValidationCode};
-use hyperprov_sim::{ActorId, Context, ServiceHarness, SimTime};
+use hyperprov_sim::{ActorId, Context, ServiceHarness, SimDuration, SimTime, TimerId};
 
 use crate::costs::CostModel;
 use crate::identity::SigningIdentity;
@@ -37,6 +37,12 @@ pub enum GatewayError {
         /// The chaincode's error message.
         reason: String,
     },
+    /// The endorsement (or query) phase exceeded its per-op deadline —
+    /// typically a crashed or partitioned endorsing peer.
+    EndorseTimeout,
+    /// The commit notification did not arrive within the deadline — a
+    /// lost broadcast, a dead orderer, or a partitioned commit event.
+    CommitTimeout,
 }
 
 impl GatewayError {
@@ -62,6 +68,15 @@ impl GatewayError {
     pub fn is_busy(&self) -> bool {
         matches!(self, GatewayError::Busy)
     }
+
+    /// True when the failure is transient — backpressure or a deadline
+    /// expiry — and a fresh attempt (with a new tx id) may succeed.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            GatewayError::Busy | GatewayError::EndorseTimeout | GatewayError::CommitTimeout
+        )
+    }
 }
 
 impl std::fmt::Display for GatewayError {
@@ -72,6 +87,8 @@ impl std::fmt::Display for GatewayError {
             }
             GatewayError::Busy => write!(f, "{BUSY_REASON}"),
             GatewayError::Mismatch => write!(f, "endorsement mismatch across peers"),
+            GatewayError::EndorseTimeout => write!(f, "endorsement deadline exceeded"),
+            GatewayError::CommitTimeout => write!(f, "commit deadline exceeded"),
         }
     }
 }
@@ -119,11 +136,26 @@ enum Inflight {
         proposal: Box<Proposal>,
         responses: Vec<ProposalResponse>,
         submitted: bool,
+        deadline: Option<(u64, TimerId)>,
     },
     Query {
         started: SimTime,
+        deadline: Option<(u64, TimerId)>,
     },
 }
+
+impl Inflight {
+    fn take_deadline(&mut self) -> Option<(u64, TimerId)> {
+        match self {
+            Inflight::Tx { deadline, .. } | Inflight::Query { deadline, .. } => deadline.take(),
+        }
+    }
+}
+
+/// Tag bit identifying timer tokens allocated by a [`Gateway`] for per-op
+/// deadlines. Disjoint from both [`hyperprov_sim::HARNESS_TOKEN_BIT`] and
+/// actor-internal small-constant tokens.
+pub const GATEWAY_TOKEN_BIT: u64 = 1 << 62;
 
 /// A Fabric client endpoint bound to endorsers and an orderer.
 #[derive(Debug)]
@@ -136,6 +168,14 @@ pub struct Gateway {
     costs: CostModel,
     nonce: u64,
     inflight: HashMap<TxId, Inflight>,
+    /// Deadline for the endorsement phase (and for queries). `None`
+    /// disables the timer entirely — zero-cost when off.
+    endorse_timeout: Option<SimDuration>,
+    /// Deadline for the commit-wait phase.
+    commit_timeout: Option<SimDuration>,
+    next_deadline_token: u64,
+    /// Maps an armed deadline token back to its transaction.
+    deadline_tx: HashMap<u64, TxId>,
 }
 
 impl Gateway {
@@ -171,6 +211,56 @@ impl Gateway {
             costs,
             nonce: 0,
             inflight: HashMap::new(),
+            endorse_timeout: None,
+            commit_timeout: None,
+            next_deadline_token: 0,
+            deadline_tx: HashMap::new(),
+        }
+    }
+
+    /// Arms per-op deadlines: `endorse` bounds the endorsement/query phase,
+    /// `commit` bounds the commit-wait phase. `None` leaves a phase
+    /// unbounded (the default — no timers are ever set, so a gateway
+    /// without deadlines behaves exactly as before they existed).
+    ///
+    /// The host actor must route timer tokens for which
+    /// [`Gateway::owns_timer`] is true into [`Gateway::on_timer`].
+    #[must_use]
+    pub fn with_deadlines(
+        mut self,
+        endorse: Option<SimDuration>,
+        commit: Option<SimDuration>,
+    ) -> Self {
+        self.endorse_timeout = endorse;
+        self.commit_timeout = commit;
+        self
+    }
+
+    /// True when `token` is a deadline timer owned by a gateway (route it
+    /// to [`Gateway::on_timer`]).
+    pub fn owns_timer(token: u64) -> bool {
+        token & GATEWAY_TOKEN_BIT != 0 && token & hyperprov_sim::HARNESS_TOKEN_BIT == 0
+    }
+
+    fn arm_deadline<M>(
+        &mut self,
+        ctx: &mut Context<'_, M>,
+        tx_id: TxId,
+        timeout: Option<SimDuration>,
+    ) -> Option<(u64, TimerId)> {
+        let timeout = timeout?;
+        self.next_deadline_token += 1;
+        let token = GATEWAY_TOKEN_BIT | self.next_deadline_token;
+        self.deadline_tx.insert(token, tx_id);
+        let timer = ctx.set_timer(timeout, token);
+        Some((token, timer))
+    }
+
+    /// Cancels and forgets an armed deadline.
+    fn disarm<M>(&mut self, ctx: &mut Context<'_, M>, deadline: Option<(u64, TimerId)>) {
+        if let Some((token, timer)) = deadline {
+            self.deadline_tx.remove(&token);
+            ctx.cancel_timer(timer);
         }
     }
 
@@ -229,6 +319,7 @@ impl Gateway {
         // The endorse span covers the whole client-side collection phase:
         // it closes in `submit` (or on failure), where `commit_wait` opens.
         ctx.span_start(&tx_trace(&tx_id), "endorse", "");
+        let deadline = self.arm_deadline(ctx, tx_id, self.endorse_timeout);
         self.inflight.insert(
             tx_id,
             Inflight::Tx {
@@ -237,6 +328,7 @@ impl Gateway {
                 proposal: Box::new(sp.proposal.clone()),
                 responses: Vec::new(),
                 submitted: false,
+                deadline,
             },
         );
         let bytes = sp.proposal.wire_size() + 32;
@@ -259,8 +351,14 @@ impl Gateway {
         let sp = self.make_signed(ctx, harness, chaincode, function, args);
         let tx_id = sp.proposal.tx_id();
         ctx.span_start(&tx_trace(&tx_id), "query", "");
-        self.inflight
-            .insert(tx_id, Inflight::Query { started: ctx.now() });
+        let deadline = self.arm_deadline(ctx, tx_id, self.endorse_timeout);
+        self.inflight.insert(
+            tx_id,
+            Inflight::Query {
+                started: ctx.now(),
+                deadline,
+            },
+        );
         let bytes = sp.proposal.wire_size() + 32;
         let dst = self.endorsers[0];
         ctx.send(dst, bytes, M::wrap(FabricMsg::SubmitProposal(sp)));
@@ -288,9 +386,14 @@ impl Gateway {
     ) -> Vec<GatewayEvent> {
         let tx_id = resp.tx_id;
         match self.inflight.get_mut(&tx_id) {
-            Some(Inflight::Query { started }) => {
+            Some(Inflight::Query { started, .. }) => {
                 let latency = ctx.now() - *started;
-                self.inflight.remove(&tx_id);
+                let mut entry = self
+                    .inflight
+                    .remove(&tx_id)
+                    .expect("invariant: entry matched above");
+                let deadline = entry.take_deadline();
+                self.disarm(ctx, deadline);
                 ctx.span_end(&tx_trace(&tx_id), "query", "");
                 vec![GatewayEvent::QueryDone {
                     tx_id,
@@ -310,7 +413,12 @@ impl Gateway {
                 if let Err(reason) = &resp.result {
                     // Fail fast, as the Fabric SDK does.
                     let reason = reason.clone();
-                    self.inflight.remove(&tx_id);
+                    let mut entry = self
+                        .inflight
+                        .remove(&tx_id)
+                        .expect("invariant: entry matched above");
+                    let deadline = entry.take_deadline();
+                    self.disarm(ctx, deadline);
                     ctx.span_end(&tx_trace(&tx_id), "endorse", "");
                     ctx.trace_event(&tx_trace(&tx_id), "endorse.rejected", &reason);
                     return vec![GatewayEvent::TxFailed {
@@ -328,7 +436,12 @@ impl Gateway {
                     .iter()
                     .all(|r| r.rwset == first.rwset && r.result == first.result);
                 if !agree {
-                    self.inflight.remove(&tx_id);
+                    let mut entry = self
+                        .inflight
+                        .remove(&tx_id)
+                        .expect("invariant: entry matched above");
+                    let deadline = entry.take_deadline();
+                    self.disarm(ctx, deadline);
                     ctx.span_end(&tx_trace(&tx_id), "endorse", "");
                     ctx.trace_event(&tx_trace(&tx_id), "endorse.mismatch", "");
                     return vec![GatewayEvent::TxFailed {
@@ -346,32 +459,43 @@ impl Gateway {
     /// Assembles the envelope from the stored proposal and collected
     /// endorsements and broadcasts it to the orderer.
     fn submit<M: Carries<FabricMsg>>(&mut self, ctx: &mut Context<'_, M>, tx_id: TxId) {
-        let Some(Inflight::Tx {
-            proposal,
-            responses,
-            submitted,
-            ..
-        }) = self.inflight.get_mut(&tx_id)
-        else {
-            return;
+        let (envelope, old_deadline) = {
+            let Some(Inflight::Tx {
+                proposal,
+                responses,
+                submitted,
+                deadline,
+                ..
+            }) = self.inflight.get_mut(&tx_id)
+            else {
+                return;
+            };
+            let first = responses
+                .first()
+                .expect("invariant: submit runs only after `needed >= 1` endorsements collected");
+            let envelope = Envelope {
+                proposal: proposal.as_ref().clone(),
+                payload: first.result.clone().unwrap_or_default(),
+                rwset: first.rwset.clone(),
+                event: first.event.clone(),
+                endorsements: responses
+                    .iter()
+                    .map(|r| Endorsement {
+                        endorser: r.endorser.clone(),
+                        signature: r.signature,
+                    })
+                    .collect(),
+            };
+            *submitted = true;
+            (envelope, deadline.take())
         };
-        let first = responses
-            .first()
-            .expect("invariant: submit runs only after `needed >= 1` endorsements collected");
-        let envelope = Envelope {
-            proposal: proposal.as_ref().clone(),
-            payload: first.result.clone().unwrap_or_default(),
-            rwset: first.rwset.clone(),
-            event: first.event.clone(),
-            endorsements: responses
-                .iter()
-                .map(|r| Endorsement {
-                    endorser: r.endorser.clone(),
-                    signature: r.signature,
-                })
-                .collect(),
-        };
-        *submitted = true;
+        // The endorsement phase met its deadline; re-arm for commit-wait so
+        // a lost broadcast or commit notification cannot wedge the client.
+        self.disarm(ctx, old_deadline);
+        let commit_deadline = self.arm_deadline(ctx, tx_id, self.commit_timeout);
+        if let Some(Inflight::Tx { deadline, .. }) = self.inflight.get_mut(&tx_id) {
+            *deadline = commit_deadline;
+        }
         let bytes = envelope.wire_size();
         let orderer = self.orderer;
         ctx.send(orderer, bytes, M::wrap(FabricMsg::Broadcast(envelope)));
@@ -390,8 +514,12 @@ impl Gateway {
     ) -> Vec<GatewayEvent> {
         match self.inflight.remove(&event.tx_id) {
             Some(Inflight::Tx {
-                started, responses, ..
+                started,
+                responses,
+                deadline,
+                ..
             }) => {
+                self.disarm(ctx, deadline);
                 let latency = ctx.now() - started;
                 ctx.span_end(&tx_trace(&event.tx_id), "commit_wait", "");
                 let payload = responses
@@ -411,6 +539,52 @@ impl Gateway {
                 Vec::new()
             }
             None => Vec::new(),
+        }
+    }
+
+    /// Handles a deadline timer (a token for which [`Gateway::owns_timer`]
+    /// is true). The expired operation is abandoned: its open span closes,
+    /// its pending-tx entry is removed — nothing can leak — and a
+    /// [`GatewayEvent::TxFailed`] / [`GatewayEvent::QueryDone`] with the
+    /// matching timeout error is returned. Tokens of already-finished
+    /// operations return no events.
+    pub fn on_timer<M>(&mut self, ctx: &mut Context<'_, M>, token: u64) -> Vec<GatewayEvent> {
+        let Some(tx_id) = self.deadline_tx.remove(&token) else {
+            return Vec::new();
+        };
+        let Some(entry) = self.inflight.remove(&tx_id) else {
+            return Vec::new();
+        };
+        let trace = tx_trace(&tx_id);
+        match entry {
+            Inflight::Tx {
+                submitted: true, ..
+            } => {
+                ctx.span_end(&trace, "commit_wait", "");
+                ctx.trace_event(&trace, "commit.timeout", "");
+                vec![GatewayEvent::TxFailed {
+                    tx_id,
+                    error: GatewayError::CommitTimeout,
+                }]
+            }
+            Inflight::Tx { .. } => {
+                ctx.span_end(&trace, "endorse", "");
+                ctx.trace_event(&trace, "endorse.timeout", "");
+                vec![GatewayEvent::TxFailed {
+                    tx_id,
+                    error: GatewayError::EndorseTimeout,
+                }]
+            }
+            Inflight::Query { started, .. } => {
+                let latency = ctx.now() - started;
+                ctx.span_end(&trace, "query", "");
+                ctx.trace_event(&trace, "query.timeout", "");
+                vec![GatewayEvent::QueryDone {
+                    tx_id,
+                    result: Err(GatewayError::EndorseTimeout),
+                    latency,
+                }]
+            }
         }
     }
 }

@@ -36,7 +36,7 @@ pub use chaincode::{
 pub use committer::{ChannelPolicies, CommitOutcome, Committer};
 pub use costs::CostModel;
 pub use endorser::endorse;
-pub use gateway::{Gateway, GatewayError, GatewayEvent};
+pub use gateway::{Gateway, GatewayError, GatewayEvent, GATEWAY_TOKEN_BIT};
 pub use identity::{CertId, Certificate, Msp, MspBuilder, MspId, Signature, SigningIdentity};
 pub use messages::{
     endorsement_message, payload_checksum, tx_trace, ChaincodeEvent, CommitEvent, Endorsement,

@@ -19,7 +19,7 @@ use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
-use hyperprov_ledger::{Block, RawEnvelope, RwSet};
+use hyperprov_ledger::{Block, RawEnvelope, RwSet, TxId};
 use hyperprov_sim::{
     Actor, ActorId, Admission, Context, Event, QueueConfig, ServiceHarness, SimDuration, SpanClose,
     TimerId,
@@ -114,6 +114,9 @@ pub struct PeerActor<M> {
     block_buffer: BTreeMap<u64, Block>,
     /// Height of an outstanding catch-up request, to avoid repeats.
     catchup_from: Option<u64>,
+    /// Where to request missed blocks from after a crash restart
+    /// (normally the ordering node).
+    catchup_target: Option<ActorId>,
     harness: ServiceHarness<M>,
     metric_prefix: String,
 }
@@ -136,6 +139,7 @@ impl<M: Carries<FabricMsg>> PeerActor<M> {
             subscribers: Vec::new(),
             block_buffer: BTreeMap::new(),
             catchup_from: None,
+            catchup_target: None,
             harness: ServiceHarness::new(metric_prefix.clone()),
             metric_prefix,
         }
@@ -145,6 +149,15 @@ impl<M: Carries<FabricMsg>> PeerActor<M> {
     /// always proceeds, since falling behind the ledger helps nobody).
     pub fn with_queue(mut self, config: QueueConfig) -> Self {
         self.harness.set_queue(config);
+        self
+    }
+
+    /// Sets the node this peer asks to re-deliver blocks missed while
+    /// crashed (normally the ordering service). Without a target the peer
+    /// still recovers its ledger on restart but waits for the next live
+    /// delivery to notice any gap.
+    pub fn with_catchup_target(mut self, target: ActorId) -> Self {
+        self.catchup_target = Some(target);
         self
     }
 
@@ -319,6 +332,46 @@ impl<M: Carries<FabricMsg>> Actor<M> for PeerActor<M> {
             }
         }
     }
+
+    fn on_restart(&mut self, ctx: &mut Context<'_, M>) {
+        // Volatile state is gone: buffered out-of-order blocks, the
+        // outstanding catch-up marker, deferred jobs, admitted requests.
+        self.block_buffer.clear();
+        self.catchup_from = None;
+        self.harness.reset();
+        // Rebuild world state by re-validating the durable block store;
+        // the replay keeps the virtual CPU busy, so requests arriving
+        // during recovery queue behind it.
+        let recovered = self.committer.borrow().recover();
+        match recovered {
+            Ok(rebuilt) => {
+                let replay_cost = rebuilt
+                    .store()
+                    .iter()
+                    .map(|b| self.costs.block_cost(b.wire_size()))
+                    .fold(SimDuration::ZERO, |acc, c| acc + c);
+                *self.committer.borrow_mut() = rebuilt;
+                if replay_cost > SimDuration::ZERO {
+                    self.harness.charge(ctx, replay_cost);
+                }
+            }
+            Err(_) => {
+                ctx.metrics()
+                    .incr(&format!("{}.recover_errors", self.metric_prefix), 1);
+            }
+        }
+        ctx.metrics()
+            .incr(&format!("{}.recoveries", self.metric_prefix), 1);
+        // Catch up on whatever the orderer cut while this peer was down.
+        if let Some(target) = self.catchup_target {
+            let from = self.committer.borrow().height();
+            ctx.metrics()
+                .incr(&format!("{}.catchup_requests", self.metric_prefix), 1);
+            let msg = FabricMsg::DeliverRequest { from };
+            let bytes = msg.wire_size();
+            ctx.send(target, bytes, M::wrap(msg));
+        }
+    }
 }
 
 /// Timer token used by orderers for the batch timeout.
@@ -483,6 +536,18 @@ impl<M: Carries<FabricMsg>> Actor<M> for SoloOrdererActor<M> {
             }
         }
     }
+
+    fn on_restart(&mut self, ctx: &mut Context<'_, M>) {
+        // The assembled chain (`assembler`, `retained`) models the
+        // orderer's durable ledger and survives; transactions pending in
+        // the cutter are volatile and are lost — their clients observe a
+        // commit timeout and retry with fresh tx ids.
+        let config = *self.cutter.config();
+        self.cutter = BlockCutter::new(config);
+        self.batch_timer = None;
+        self.harness.reset();
+        ctx.metrics().incr("orderer.recoveries", 1);
+    }
 }
 
 /// A Raft-replicated ordering node. Run one actor per cluster member; each
@@ -504,6 +569,13 @@ pub struct RaftOrdererActor<M> {
     /// Recently applied blocks, retained for the deliver service.
     retained: std::collections::VecDeque<Block>,
     retain_limit: usize,
+    /// Transactions this member admitted (and opened `order.queue` spans
+    /// for) that have not yet applied. Span closes and admission-slot
+    /// releases follow this set, not current leadership: an entry
+    /// admitted here may commit under a later leader, and gating on
+    /// `is_leader()` at apply time would close the span at the wrong
+    /// member (or twice) whenever leadership moved in between.
+    admitted: std::collections::BTreeSet<TxId>,
     harness: ServiceHarness<M>,
 }
 
@@ -532,14 +604,16 @@ impl<M: Carries<FabricMsg>> RaftOrdererActor<M> {
             batch_timer: None,
             retained: std::collections::VecDeque::new(),
             retain_limit: 64,
+            admitted: std::collections::BTreeSet::new(),
             harness: ServiceHarness::new(format!("orderer{index}")),
         }
     }
 
     /// Bounds this member's admission queue (leader broadcasts only).
-    /// Slots free when a committed batch applies on the leader; a
-    /// leadership change with requests in flight strands those slots
-    /// until the new leader's queue takes over (bounds are per member).
+    /// Slots free when the admitted transaction applies on this member —
+    /// even if it committed under a later leader. A slot is stranded
+    /// only if its transaction is truly lost (dropped from every log by
+    /// a leadership change before replication).
     pub fn with_queue(mut self, config: QueueConfig) -> Self {
         self.harness.set_queue(config);
         self
@@ -560,11 +634,12 @@ impl<M: Carries<FabricMsg>> RaftOrdererActor<M> {
             let block = self.assembler.assemble(batch);
             ctx.metrics().incr("orderer.blocks_cut", 1);
             let trace = format!("block-{}", block.header.number);
-            if self.raft.is_leader() {
-                // Queue spans open where the Broadcast was admitted; only
-                // that member (the leader, barring elections) closes them
-                // and frees the admission slots.
-                for raw in &block.envelopes {
+            for raw in &block.envelopes {
+                // Queue spans close at the member that admitted the tx
+                // (see the `admitted` field), which also frees its
+                // admission slot — even if leadership moved and the
+                // entry committed under a different leader.
+                if self.admitted.remove(&raw.tx_id) {
                     ctx.span_end(&tx_trace(&raw.tx_id), "order.queue", "");
                     self.harness.request_done(ctx);
                 }
@@ -604,6 +679,7 @@ impl<M: Carries<FabricMsg>> RaftOrdererActor<M> {
         let cost = self.costs.order_cost(raw.bytes.len() as u64);
         ctx.metrics().incr("orderer.broadcasts", 1);
         ctx.span_start(&tx_trace(&raw.tx_id), "order.queue", "");
+        self.admitted.insert(raw.tx_id);
         // Admission cost is charged but does not gate consensus messages
         // (they are network-bound).
         self.harness.charge(ctx, cost);
@@ -622,7 +698,11 @@ impl<M: Carries<FabricMsg>> RaftOrdererActor<M> {
     }
 }
 
-impl<M: Carries<FabricMsg>> Actor<M> for RaftOrdererActor<M> {
+impl<M: Carries<FabricMsg> + 'static> Actor<M> for RaftOrdererActor<M> {
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
     fn on_event(&mut self, ctx: &mut Context<'_, M>, event: Event<M>) {
         match event {
             Event::Message { src, msg } => match msg.peel() {
@@ -682,6 +762,25 @@ impl<M: Carries<FabricMsg>> Actor<M> for RaftOrdererActor<M> {
                 let _ = self.harness.on_timer(ctx, token);
             }
         }
+    }
+
+    fn on_restart(&mut self, ctx: &mut Context<'_, M>) {
+        // Raft term/vote/log model the persisted consensus state and
+        // survive the crash; a restarted stale leader steps down as soon
+        // as it hears a higher term. Cutter-pending transactions are
+        // volatile and lost (clients retry); the consensus tick must be
+        // re-armed because the crash dropped every pending timer.
+        let config = *self.cutter.config();
+        self.cutter = BlockCutter::new(config);
+        self.batch_timer = None;
+        // The admitted set pairs with the harness queue accounting, which
+        // reset() just cleared; spans of pre-crash admissions stay open
+        // in the tracer (reported as open, never as unmatched).
+        self.admitted.clear();
+        self.harness.reset();
+        ctx.metrics().incr("orderer.recoveries", 1);
+        let tick = self.tick;
+        ctx.set_timer(tick, RAFT_TICK);
     }
 }
 

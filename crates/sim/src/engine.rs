@@ -74,6 +74,21 @@ pub trait Actor<M> {
     /// Handles one event. Use `ctx` to read the clock, send messages,
     /// set timers, run CPU work and record metrics.
     fn on_event(&mut self, ctx: &mut Context<'_, M>, event: Event<M>);
+
+    /// Called once when this actor is restarted after a crash (see
+    /// [`Context::crash`] / [`Context::restart`]). The actor should
+    /// rebuild volatile state from whatever it models as durable and
+    /// re-arm any periodic timers; all events queued before or during
+    /// the crash window have already been dropped.
+    fn on_restart(&mut self, _ctx: &mut Context<'_, M>) {}
+
+    /// Optional [`std::any::Any`] access for host-side inspection
+    /// (experiment drivers and tests peeking at actor state via
+    /// [`Simulation::actor_ref`]). Actors that opt in override this with
+    /// `Some(self)`.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
 }
 
 struct QueueItem<M> {
@@ -83,6 +98,12 @@ struct QueueItem<M> {
     event: Event<M>,
     /// Non-zero when this entry is a cancellable timer.
     timer_id: u64,
+    /// The target's crash epoch when this entry was enqueued; stale
+    /// entries (scheduled before a crash or during the down window) are
+    /// dropped at pop time.
+    epoch: u64,
+    /// True for the internal marker that revives a crashed actor.
+    restart: bool,
 }
 
 impl<M> PartialEq for QueueItem<M> {
@@ -117,17 +138,55 @@ pub struct Kernel<M> {
     next_timer: u64,
     stopped: bool,
     events_processed: u64,
+    /// Per-actor crash flag; events for a crashed actor are dropped.
+    crashed: Vec<bool>,
+    /// Per-actor crash epoch, bumped on every crash *and* restart so that
+    /// anything enqueued before the restart is recognisably stale.
+    epochs: Vec<u64>,
 }
 
 impl<M> Kernel<M> {
     fn push(&mut self, time: SimTime, target: ActorId, event: Event<M>, timer_id: u64) {
         self.seq += 1;
+        let epoch = self.epochs[target.0 as usize];
         self.queue.push(QueueItem {
             time,
             seq: self.seq,
             target,
             event,
             timer_id,
+            epoch,
+            restart: false,
+        });
+    }
+
+    /// Marks `target` crashed: every event already queued for it (and any
+    /// sent while it is down) will be dropped at pop time.
+    fn crash(&mut self, target: ActorId) {
+        let slot = target.0 as usize;
+        if self.crashed[slot] {
+            return;
+        }
+        self.crashed[slot] = true;
+        self.epochs[slot] += 1;
+        self.metrics.incr("fault.crashes", 1);
+    }
+
+    /// Schedules a restart marker for `target` at the current instant.
+    fn restart(&mut self, target: ActorId) {
+        let slot = target.0 as usize;
+        if !self.crashed[slot] {
+            return;
+        }
+        self.seq += 1;
+        self.queue.push(QueueItem {
+            time: self.now,
+            seq: self.seq,
+            target,
+            event: Event::Timer { token: 0 },
+            timer_id: 0,
+            epoch: 0,
+            restart: true,
         });
     }
 }
@@ -264,6 +323,26 @@ impl<M> Context<'_, M> {
         &mut self.kernel.network
     }
 
+    /// Crashes `target`: its queued messages and pending timers are
+    /// dropped, as is anything sent to it while down. A no-op if the
+    /// actor is already crashed. Counted under `fault.crashes`.
+    pub fn crash(&mut self, target: ActorId) {
+        self.kernel.crash(target);
+    }
+
+    /// Restarts a crashed `target` at the current instant: the engine
+    /// calls [`Actor::on_restart`] so it can rebuild from durable state.
+    /// A no-op if the actor is not crashed. Counted under
+    /// `fault.restarts`.
+    pub fn restart(&mut self, target: ActorId) {
+        self.kernel.restart(target);
+    }
+
+    /// True if `target` is currently crashed.
+    pub fn is_crashed(&self, target: ActorId) -> bool {
+        self.kernel.crashed[target.0 as usize]
+    }
+
     /// Requests that the simulation stop after the current event.
     pub fn stop(&mut self) {
         self.kernel.stopped = true;
@@ -327,6 +406,8 @@ impl<M> Simulation<M> {
                 next_timer: 0,
                 stopped: false,
                 events_processed: 0,
+                crashed: Vec::new(),
+                epochs: Vec::new(),
             },
             actors: Vec::new(),
             root_rng: DetRng::new(seed),
@@ -344,7 +425,34 @@ impl<M> Simulation<M> {
         self.actors.push(Some(actor));
         self.kernel.cpus.push(CpuResource::new(cpu_speed));
         self.kernel.rngs.push(self.root_rng.fork_index(id.0 as u64));
+        self.kernel.crashed.push(false);
+        self.kernel.epochs.push(0);
         id
+    }
+
+    /// Crashes `target` from outside the event loop. See [`Context::crash`].
+    pub fn crash_actor(&mut self, target: ActorId) {
+        self.kernel.crash(target);
+    }
+
+    /// Restarts `target` from outside the event loop. See
+    /// [`Context::restart`].
+    pub fn restart_actor(&mut self, target: ActorId) {
+        self.kernel.restart(target);
+    }
+
+    /// True if `target` is currently crashed.
+    pub fn is_crashed(&self, target: ActorId) -> bool {
+        self.kernel.crashed[target.0 as usize]
+    }
+
+    /// Read access to a registered actor (for [`Actor::as_any`]
+    /// inspection). `None` for unknown ids or while the actor is being
+    /// stepped.
+    pub fn actor_ref(&self, id: ActorId) -> Option<&dyn Actor<M>> {
+        self.actors
+            .get(id.0 as usize)
+            .and_then(|slot| slot.as_deref())
     }
 
     /// Schedules an initial [`Event::Timer`] for `target`.
@@ -430,10 +538,41 @@ impl<M> Simulation<M> {
             if item.timer_id != 0 && self.kernel.cancelled.remove(&item.timer_id) {
                 continue; // skip cancelled timer
             }
+            let slot = item.target.0 as usize;
+            if item.restart {
+                if !self.kernel.crashed[slot] {
+                    continue; // duplicate restart marker
+                }
+                debug_assert!(item.time >= self.kernel.now, "time went backwards");
+                self.kernel.now = item.time;
+                self.kernel.events_processed += 1;
+                // Bump the epoch so everything enqueued during the down
+                // window is also recognisably stale, then revive.
+                self.kernel.crashed[slot] = false;
+                self.kernel.epochs[slot] += 1;
+                self.kernel.metrics.incr("fault.restarts", 1);
+                let mut actor = self.actors[slot]
+                    .take()
+                    .unwrap_or_else(|| panic!("restart for unknown or re-entered {}", item.target));
+                {
+                    let mut ctx = Context {
+                        id: item.target,
+                        kernel: &mut self.kernel,
+                    };
+                    actor.on_restart(&mut ctx);
+                }
+                self.actors[slot] = Some(actor);
+                return true;
+            }
+            if self.kernel.crashed[slot] || item.epoch != self.kernel.epochs[slot] {
+                // Event for a crashed actor, or scheduled before its
+                // latest crash/restart: drop it.
+                self.kernel.metrics.incr("fault.dropped_events", 1);
+                continue;
+            }
             debug_assert!(item.time >= self.kernel.now, "time went backwards");
             self.kernel.now = item.time;
             self.kernel.events_processed += 1;
-            let slot = item.target.0 as usize;
             let mut actor = self.actors[slot]
                 .take()
                 .unwrap_or_else(|| panic!("event for unknown or re-entered {}", item.target));
@@ -665,6 +804,82 @@ mod tests {
         sim.run();
         assert_eq!(sim.metrics().counter("pongs"), 0);
         assert_eq!(sim.metrics().counter("net.dropped"), 2);
+    }
+
+    struct Crashable {
+        restarts: u64,
+    }
+    impl Actor<Msg> for Crashable {
+        fn on_event(&mut self, ctx: &mut Context<'_, Msg>, event: Event<Msg>) {
+            match event {
+                Event::Message {
+                    src,
+                    msg: Msg::Ping(n),
+                } => {
+                    ctx.metrics().incr("handled", 1);
+                    ctx.send(src, 8, Msg::Pong(n));
+                }
+                Event::Timer { .. } => {
+                    ctx.metrics().incr("timer_fired", 1);
+                }
+                _ => {}
+            }
+        }
+        fn on_restart(&mut self, ctx: &mut Context<'_, Msg>) {
+            self.restarts += 1;
+            ctx.metrics().incr("rebuilt", 1);
+        }
+    }
+
+    #[test]
+    fn crash_drops_queued_events_and_timers() {
+        let mut sim = Simulation::new(1);
+        let a = sim.add_actor(Box::new(Crashable { restarts: 0 }));
+        sim.inject_message(a, Msg::Ping(1));
+        sim.start_timer(a, SimDuration::from_millis(5), 7);
+        sim.crash_actor(a);
+        assert!(sim.is_crashed(a));
+        sim.run();
+        assert_eq!(sim.metrics().counter("handled"), 0);
+        assert_eq!(sim.metrics().counter("timer_fired"), 0);
+        assert_eq!(sim.metrics().counter("fault.crashes"), 1);
+        assert_eq!(sim.metrics().counter("fault.dropped_events"), 2);
+    }
+
+    #[test]
+    fn restart_invokes_hook_and_resumes_delivery() {
+        let mut sim = Simulation::new(1);
+        let a = sim.add_actor(Box::new(Crashable { restarts: 0 }));
+        sim.crash_actor(a);
+        // Sent while down: dropped even though the restart comes first in
+        // wall-clock order below (the send is enqueued under the crash
+        // epoch).
+        sim.inject_message(a, Msg::Ping(1));
+        sim.restart_actor(a);
+        sim.run();
+        assert!(!sim.is_crashed(a));
+        assert_eq!(sim.metrics().counter("rebuilt"), 1);
+        assert_eq!(sim.metrics().counter("fault.restarts"), 1);
+        assert_eq!(sim.metrics().counter("handled"), 0);
+        // Delivery works again after the restart.
+        sim.inject_message(a, Msg::Ping(2));
+        sim.run();
+        assert_eq!(sim.metrics().counter("handled"), 1);
+    }
+
+    #[test]
+    fn crash_and_restart_are_idempotent() {
+        let mut sim = Simulation::new(1);
+        let a = sim.add_actor(Box::new(Crashable { restarts: 0 }));
+        sim.restart_actor(a); // not crashed: no-op
+        sim.crash_actor(a);
+        sim.crash_actor(a); // already down: no-op
+        sim.restart_actor(a);
+        sim.restart_actor(a); // marker deduplicated at pop time
+        sim.run();
+        assert_eq!(sim.metrics().counter("fault.crashes"), 1);
+        assert_eq!(sim.metrics().counter("fault.restarts"), 1);
+        assert_eq!(sim.metrics().counter("rebuilt"), 1);
     }
 
     #[test]

@@ -1,0 +1,297 @@
+//! Deterministic fault injection: a virtual-time schedule of
+//! crash/restart, partition/heal and message-loss windows, executed by a
+//! dedicated actor.
+//!
+//! A [`FaultPlan`] is built declaratively (typically from a handful of
+//! windows derived from the experiment seed), then installed into a
+//! [`Simulation`] with [`FaultPlan::install`]. The resulting
+//! [`FaultPlanActor`] wakes on its own timers, applies every action due at
+//! that instant, and records a `fault.*` trace event plus a metric for
+//! each — so a fault campaign is fully reproducible from the seed and
+//! fully visible in the exported trace.
+
+use std::marker::PhantomData;
+
+use crate::engine::{Actor, ActorId, Context, Event, Simulation};
+use crate::time::SimTime;
+
+/// One fault action, applied at a scheduled virtual time.
+#[derive(Debug, Clone)]
+pub enum FaultAction {
+    /// Crash an actor: its queued events are dropped and everything sent
+    /// to it while down is lost.
+    Crash(ActorId),
+    /// Restart a crashed actor, invoking its
+    /// [`Actor::on_restart`](crate::Actor::on_restart) recovery hook.
+    Restart(ActorId),
+    /// Block the link between two actors in both directions.
+    Partition(ActorId, ActorId),
+    /// Block every pair of links across the two groups.
+    PartitionGroups(Vec<ActorId>, Vec<ActorId>),
+    /// Unblock the link between two actors.
+    Heal(ActorId, ActorId),
+    /// Unblock every partitioned link.
+    HealAll,
+    /// Set the global message-loss probability (0.0 disables loss).
+    SetLoss(f64),
+}
+
+impl FaultAction {
+    fn name(&self) -> &'static str {
+        match self {
+            FaultAction::Crash(_) => "fault.crash",
+            FaultAction::Restart(_) => "fault.restart",
+            FaultAction::Partition(..) | FaultAction::PartitionGroups(..) => "fault.partition",
+            FaultAction::Heal(..) | FaultAction::HealAll => "fault.heal",
+            FaultAction::SetLoss(_) => "fault.loss",
+        }
+    }
+
+    fn detail(&self) -> String {
+        match self {
+            FaultAction::Crash(a) | FaultAction::Restart(a) => a.to_string(),
+            FaultAction::Partition(a, b) | FaultAction::Heal(a, b) => format!("{a}<->{b}"),
+            FaultAction::PartitionGroups(l, r) => format!("{}|{}", l.len(), r.len()),
+            FaultAction::HealAll => "all".to_owned(),
+            FaultAction::SetLoss(p) => format!("p={p}"),
+        }
+    }
+}
+
+/// A virtual-time schedule of [`FaultAction`]s.
+///
+/// Entries may be added in any order; [`FaultPlan::install`] sorts them by
+/// time (stable, so same-instant entries apply in insertion order).
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    entries: Vec<(SimTime, FaultAction)>,
+}
+
+impl FaultPlan {
+    /// Creates an empty plan.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Schedules `action` at absolute virtual time `at`.
+    pub fn at(mut self, at: SimTime, action: FaultAction) -> Self {
+        self.entries.push((at, action));
+        self
+    }
+
+    /// Crashes `target` at `from` and restarts it at `until`.
+    pub fn crash_window(self, target: ActorId, from: SimTime, until: SimTime) -> Self {
+        self.at(from, FaultAction::Crash(target))
+            .at(until, FaultAction::Restart(target))
+    }
+
+    /// Partitions every link across the two groups at `from` and heals
+    /// those links at `until`.
+    pub fn partition_window(
+        self,
+        left: &[ActorId],
+        right: &[ActorId],
+        from: SimTime,
+        until: SimTime,
+    ) -> Self {
+        let mut plan = self.at(
+            from,
+            FaultAction::PartitionGroups(left.to_vec(), right.to_vec()),
+        );
+        for &a in left {
+            for &b in right {
+                plan = plan.at(until, FaultAction::Heal(a, b));
+            }
+        }
+        plan
+    }
+
+    /// Applies message-loss probability `p` at `from` and restores
+    /// loss-free delivery at `until`.
+    pub fn loss_window(self, p: f64, from: SimTime, until: SimTime) -> Self {
+        self.at(from, FaultAction::SetLoss(p))
+            .at(until, FaultAction::SetLoss(0.0))
+    }
+
+    /// Number of scheduled actions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Registers a [`FaultPlanActor`] executing this plan and arms its
+    /// first timer. Returns the actor's id (no-op registration when the
+    /// plan is empty — the actor exists but never wakes).
+    pub fn install<M: 'static>(mut self, sim: &mut Simulation<M>) -> ActorId {
+        self.entries.sort_by_key(|(t, _)| *t);
+        let first = self.entries.first().map(|(t, _)| *t);
+        let id = sim.add_actor(Box::new(FaultPlanActor {
+            entries: self.entries,
+            next: 0,
+            _marker: PhantomData,
+        }));
+        if let Some(at) = first {
+            let delay = at.saturating_duration_since(sim.now());
+            sim.start_timer(id, delay, FAULT_TIMER);
+        }
+        id
+    }
+}
+
+/// Timer token used by the fault-plan actor (actor-internal namespace).
+const FAULT_TIMER: u64 = 1;
+
+/// The actor that executes a [`FaultPlan`]. It sends no messages: it only
+/// wakes on timers, mutates the network, and crashes/restarts actors.
+#[derive(Debug)]
+pub struct FaultPlanActor<M> {
+    entries: Vec<(SimTime, FaultAction)>,
+    next: usize,
+    _marker: PhantomData<M>,
+}
+
+impl<M> FaultPlanActor<M> {
+    fn apply(&self, ctx: &mut Context<'_, M>, action: &FaultAction) {
+        ctx.trace_event("fault", action.name(), &action.detail());
+        match action {
+            FaultAction::Crash(a) => ctx.crash(*a),
+            FaultAction::Restart(a) => ctx.restart(*a),
+            FaultAction::Partition(a, b) => {
+                ctx.metrics().incr("fault.partitions", 1);
+                ctx.network_mut().partition(*a, *b);
+            }
+            FaultAction::PartitionGroups(l, r) => {
+                ctx.metrics().incr("fault.partitions", 1);
+                ctx.network_mut().partition_groups(l, r);
+            }
+            FaultAction::Heal(a, b) => {
+                ctx.metrics().incr("fault.heals", 1);
+                ctx.network_mut().heal(*a, *b);
+            }
+            FaultAction::HealAll => {
+                ctx.metrics().incr("fault.heals", 1);
+                ctx.network_mut().heal_all();
+            }
+            FaultAction::SetLoss(p) => {
+                ctx.metrics().incr("fault.loss_changes", 1);
+                ctx.network_mut().set_loss_probability(*p);
+            }
+        }
+    }
+}
+
+impl<M> Actor<M> for FaultPlanActor<M> {
+    fn on_event(&mut self, ctx: &mut Context<'_, M>, event: Event<M>) {
+        if !matches!(event, Event::Timer { token: FAULT_TIMER }) {
+            return;
+        }
+        let now = ctx.now();
+        while self.next < self.entries.len() && self.entries[self.next].0 <= now {
+            let action = self.entries[self.next].1.clone();
+            self.apply(ctx, &action);
+            self.next += 1;
+        }
+        if let Some(&(at, _)) = self.entries.get(self.next) {
+            ctx.set_timer(at.saturating_duration_since(now), FAULT_TIMER);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[derive(Debug)]
+    struct Beacon {
+        peer: ActorId,
+    }
+    impl Actor<u32> for Beacon {
+        fn on_event(&mut self, ctx: &mut Context<'_, u32>, event: Event<u32>) {
+            match event {
+                Event::Timer { .. } => {
+                    ctx.send(self.peer, 8, 1);
+                    ctx.set_timer(SimDuration::from_millis(10), 0);
+                }
+                Event::Message { .. } => {
+                    ctx.metrics().incr("beacon.received", 1);
+                }
+            }
+        }
+        fn on_restart(&mut self, ctx: &mut Context<'_, u32>) {
+            ctx.set_timer(SimDuration::ZERO, 0);
+        }
+    }
+
+    fn secs(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn crash_window_suppresses_and_restores_an_actor() {
+        let mut sim: Simulation<u32> = Simulation::new(3);
+        let sink = sim.add_actor(Box::new(Beacon { peer: ActorId(0) }));
+        let beacon = sim.add_actor(Box::new(Beacon { peer: sink }));
+        sim.start_timer(beacon, SimDuration::ZERO, 0);
+        FaultPlan::new()
+            .crash_window(beacon, secs(1), secs(2))
+            .install(&mut sim);
+        sim.run_until(SimTime::from_secs(3));
+        assert_eq!(sim.metrics().counter("fault.crashes"), 1);
+        assert_eq!(sim.metrics().counter("fault.restarts"), 1);
+        // ~100 beacons in [0,1), none in [1,2), ~100 in [2,3).
+        let received = sim.metrics().counter("beacon.received");
+        assert!(
+            (190..=210).contains(&received),
+            "received {received} beacons"
+        );
+    }
+
+    #[test]
+    fn partition_window_blocks_then_heals() {
+        let mut sim: Simulation<u32> = Simulation::new(3);
+        let sink = sim.add_actor(Box::new(Beacon { peer: ActorId(0) }));
+        let beacon = sim.add_actor(Box::new(Beacon { peer: sink }));
+        sim.start_timer(beacon, SimDuration::ZERO, 0);
+        FaultPlan::new()
+            .partition_window(&[beacon], &[sink], secs(1), secs(2))
+            .install(&mut sim);
+        sim.run_until(SimTime::from_secs(3));
+        assert_eq!(sim.metrics().counter("fault.partitions"), 1);
+        assert_eq!(sim.metrics().counter("fault.heals"), 1);
+        assert!(sim.metrics().counter("net.dropped") >= 90);
+        let received = sim.metrics().counter("beacon.received");
+        assert!(
+            (190..=210).contains(&received),
+            "received {received} beacons"
+        );
+    }
+
+    #[test]
+    fn plan_emits_trace_events_and_is_deterministic() {
+        let run = || {
+            let mut sim: Simulation<u32> = Simulation::new(9);
+            let sink = sim.add_actor(Box::new(Beacon { peer: ActorId(0) }));
+            let beacon = sim.add_actor(Box::new(Beacon { peer: sink }));
+            sim.start_timer(beacon, SimDuration::ZERO, 0);
+            FaultPlan::new()
+                .loss_window(0.5, secs(1), secs(2))
+                .crash_window(sink, secs(2), secs(3))
+                .install(&mut sim);
+            sim.run_until(SimTime::from_secs(4));
+            (
+                sim.metrics().counter("beacon.received"),
+                sim.metrics().counter("net.dropped"),
+                sim.tracer().events().count(),
+            )
+        };
+        let (a, b, events) = run();
+        assert_eq!(run(), (a, b, events));
+        assert_eq!(events, 4); // loss on/off + crash + restart
+        assert!(b > 0, "loss window dropped nothing");
+    }
+}

@@ -211,6 +211,19 @@ impl<M> ServiceHarness<M> {
         self.queue.as_ref().map_or(0, |q| q.parked.len())
     }
 
+    /// Discards all volatile harness state after a crash: pending deferred
+    /// jobs (their completion timers were dropped with the crash), admitted
+    /// request counts, and parked requests. The queue bound itself — like
+    /// the node's configuration — survives. Token/job counters keep
+    /// counting so post-restart tokens can never collide with stale ones.
+    pub fn reset(&mut self) {
+        self.pending.clear();
+        if let Some(q) = &mut self.queue {
+            q.in_flight = 0;
+            q.parked.clear();
+        }
+    }
+
     /// Monotonic per-node job sequence (1, 2, 3…), for labelling deferred
     /// jobs in span details independently of completion tokens.
     pub fn next_job(&mut self) -> u64 {

@@ -8,6 +8,9 @@
 //! * an actor-based event loop ([`Simulation`], [`Actor`], [`Context`]),
 //! * a network model with latency/bandwidth/jitter, partitions and loss
 //!   ([`Network`], [`LinkSpec`]),
+//! * deterministic fault injection — actor crash/restart with an
+//!   [`Actor::on_restart`] recovery hook, plus seed-reproducible schedules
+//!   of crash/partition/loss windows ([`FaultPlan`], [`FaultAction`]),
 //! * per-actor serialising CPU resources with busy-interval accounting
 //!   ([`CpuResource`]) — the basis for the energy model,
 //! * a shared service runtime for node actors — deferred-send outbox,
@@ -48,6 +51,7 @@
 
 mod cpu;
 mod engine;
+mod fault;
 mod harness;
 mod histogram;
 pub mod json;
@@ -59,6 +63,7 @@ mod trace;
 
 pub use cpu::CpuResource;
 pub use engine::{Actor, ActorId, Carries, Context, Event, Simulation, TimerId};
+pub use fault::{FaultAction, FaultPlan, FaultPlanActor};
 pub use harness::{
     Admission, Outbound, OverloadPolicy, QueueConfig, ServiceHarness, SpanClose, HARNESS_TOKEN_BIT,
 };

@@ -1,0 +1,257 @@
+//! Workspace-level fault-tolerance tests: commit deadlines firing cleanly
+//! under partitions, split peer groups converging after heal, Raft
+//! leader loss with a retrying client, and transient partitions absorbed
+//! entirely by the client retry budget.
+
+use hyperprov_repro::fabric::{BatchConfig, RaftOrdererActor};
+use hyperprov_repro::hyperprov::{
+    ClientCommand, HyperProvClient, HyperProvError, HyperProvNetwork, NetworkConfig, NodeMsg, OpId,
+    RetryPolicy,
+};
+use hyperprov_repro::sim::{ActorId, FaultPlan, SimDuration, SimTime};
+
+fn store(net: &mut HyperProvNetwork, client: usize, op: u64, key: &str) {
+    net.sim.inject_message(
+        net.clients[client],
+        NodeMsg::Client(ClientCommand::StoreData {
+            key: key.into(),
+            data: format!("payload for {key}").into_bytes(),
+            parents: vec![],
+            metadata: vec![],
+            op: OpId(op),
+        }),
+    );
+}
+
+/// Looks up the client actor through the engine and reports how many
+/// operations it still tracks (tx waits, storage waits, parked retries).
+fn inflight(net: &HyperProvNetwork, id: ActorId) -> usize {
+    net.sim
+        .actor_ref(id)
+        .and_then(|a| a.as_any())
+        .and_then(|any| any.downcast_ref::<HyperProvClient>())
+        .expect("client actor")
+        .inflight()
+}
+
+fn raft_leader(net: &HyperProvNetwork) -> Option<ActorId> {
+    net.orderers.iter().copied().find(|&id| {
+        net.sim
+            .actor_ref(id)
+            .and_then(|a| a.as_any())
+            .and_then(|any| any.downcast_ref::<RaftOrdererActor<NodeMsg>>())
+            .is_some_and(|o| o.is_leader())
+    })
+}
+
+/// A commit notification that never arrives (home peer partitioned from
+/// the orderer) must surface as a clean `Timeout` completion: no retry
+/// policy is armed, the deadline fires, and the client tracks nothing
+/// afterwards.
+#[test]
+fn commit_wait_times_out_cleanly_under_partition() {
+    let config = NetworkConfig::desktop(1)
+        .with_seed(41)
+        .with_batch(BatchConfig {
+            max_message_count: 1,
+            ..BatchConfig::default()
+        })
+        .with_deadlines(
+            Some(SimDuration::from_secs(2)),
+            Some(SimDuration::from_secs(4)),
+        );
+    let mut net = HyperProvNetwork::build(&config);
+
+    // Endorsement (client <-> peer 0) and submission (client <-> orderer)
+    // still work; only the block delivery to the client's home peer is
+    // cut, so the commit event never fires.
+    let home = net.peers[0];
+    let orderer = net.orderer;
+    net.sim.network_mut().partition(home, orderer);
+
+    store(&mut net, 0, 1, "stuck-commit");
+    net.sim.run_until(SimTime::from_secs(30));
+
+    let completions = net.completions[0].borrow();
+    assert_eq!(completions.len(), 1, "the operation must complete");
+    assert!(
+        matches!(completions[0].outcome, Err(HyperProvError::Timeout)),
+        "expected a commit deadline timeout, got {:?}",
+        completions[0].outcome
+    );
+    assert_eq!(net.sim.metrics().counter("client.timeouts"), 1);
+    assert_eq!(
+        inflight(&net, net.clients[0]),
+        0,
+        "no dangling op state after the deadline fired"
+    );
+}
+
+/// A 2/2 peer split heals via block catch-up: the cut half misses blocks
+/// during the window, then replays them on the next delivery and ends up
+/// with state databases identical to the connected half.
+#[test]
+fn partitioned_peer_group_heals_without_state_divergence() {
+    let config = NetworkConfig::desktop(2)
+        .with_seed(47)
+        .with_batch(BatchConfig {
+            max_message_count: 1,
+            ..BatchConfig::default()
+        });
+    let mut net = HyperProvNetwork::build(&config);
+
+    // Cut peers 2 and 3 off from the orderer for the first 10 seconds.
+    let cut = [net.peers[2], net.peers[3]];
+    let t0 = net.sim.now();
+    FaultPlan::new()
+        .partition_window(
+            &cut,
+            &[net.orderer],
+            t0 + SimDuration::from_secs(1),
+            t0 + SimDuration::from_secs(10),
+        )
+        .install(&mut net.sim);
+
+    // Traffic during the partition commits on the connected half only
+    // (clients 0 and 1 are homed at peers 0 and 1).
+    net.sim.run_until(SimTime::from_secs(2));
+    store(&mut net, 0, 1, "during-a");
+    store(&mut net, 1, 1, "during-b");
+    net.sim.run_until(SimTime::from_secs(8));
+    assert_eq!(net.completions[0].borrow().len(), 1);
+    assert_eq!(net.completions[1].borrow().len(), 1);
+    let cut_heights: Vec<u64> = [2, 3]
+        .iter()
+        .map(|&i| net.ledgers[i].borrow().height())
+        .collect();
+    assert!(
+        cut_heights.iter().all(|&h| h < 2),
+        "cut peers should have missed blocks, got {cut_heights:?}"
+    );
+
+    // After the heal, fresh traffic exposes the gap; the cut peers issue
+    // deliver requests and replay everything they missed.
+    net.sim.run_until(SimTime::from_secs(12));
+    store(&mut net, 0, 2, "after-a");
+    store(&mut net, 1, 2, "after-b");
+    net.sim.run_until(SimTime::from_secs(30));
+
+    let heights: Vec<u64> = net.ledgers.iter().map(|l| l.borrow().height()).collect();
+    assert_eq!(heights, vec![4, 4, 4, 4], "all peers at the same height");
+    let hashes: Vec<_> = net
+        .ledgers
+        .iter()
+        .map(|l| l.borrow().state().state_hash())
+        .collect();
+    assert!(
+        hashes.iter().all(|h| *h == hashes[0]),
+        "state databases diverged after catch-up"
+    );
+    let tips: Vec<_> = net
+        .ledgers
+        .iter()
+        .map(|l| l.borrow().store().tip_hash())
+        .collect();
+    assert!(tips.iter().all(|t| *t == tips[0]));
+    for ledger in &net.ledgers {
+        ledger.borrow().store().verify_chain().unwrap();
+    }
+}
+
+/// Killing the Raft leader mid-run does not strand the client: the
+/// remaining members elect a new leader, the crashed node recovers and
+/// rejoins, and the deadline-plus-retry client pushes the operation
+/// through without exhausting its budget.
+#[test]
+fn raft_leader_kill_recovers_with_retrying_client() {
+    let config = NetworkConfig::desktop(1)
+        .with_seed(53)
+        .with_raft_orderers(3)
+        .with_batch(BatchConfig {
+            max_message_count: 1,
+            ..BatchConfig::default()
+        })
+        .with_deadlines(
+            Some(SimDuration::from_secs(2)),
+            Some(SimDuration::from_secs(4)),
+        )
+        .with_retry(RetryPolicy::new(8));
+    let mut net = HyperProvNetwork::build(&config);
+
+    // Let the cluster elect, then kill whoever leads.
+    net.sim.run_until(SimTime::from_secs(2));
+    let leader = raft_leader(&net).expect("a leader after two seconds");
+    net.sim.crash_actor(leader);
+
+    store(&mut net, 0, 1, "across-failover");
+    net.sim.run_until(SimTime::from_secs(6));
+    net.sim.restart_actor(leader);
+    net.sim.run_until(SimTime::from_secs(60));
+
+    let completions = net.completions[0].borrow();
+    assert_eq!(completions.len(), 1);
+    assert!(
+        completions[0].outcome.is_ok(),
+        "operation must commit across the failover, got {:?}",
+        completions[0].outcome
+    );
+    assert_eq!(net.sim.metrics().counter("client.exhausted"), 0);
+    assert_eq!(inflight(&net, net.clients[0]), 0, "no hung operations");
+    assert!(
+        raft_leader(&net).is_some(),
+        "the cluster must have a leader again"
+    );
+    net.ledgers[0].borrow().store().verify_chain().unwrap();
+}
+
+/// A transient partition shorter than the retry budget is invisible to
+/// the caller: early attempts hit the commit deadline, the client backs
+/// off and resubmits, and an attempt after the heal succeeds.
+#[test]
+fn transient_partition_absorbed_by_retry_budget() {
+    let config = NetworkConfig::desktop(1)
+        .with_seed(59)
+        .with_batch(BatchConfig {
+            max_message_count: 1,
+            ..BatchConfig::default()
+        })
+        .with_deadlines(
+            Some(SimDuration::from_secs(1)),
+            Some(SimDuration::from_secs(1)),
+        )
+        .with_retry(RetryPolicy::new(6));
+    let mut net = HyperProvNetwork::build(&config);
+
+    // Cut the client's submission path to the orderer. Endorsement still
+    // succeeds, but the envelope is never ordered, so nothing commits
+    // anywhere — each attempt until the heal dies to the commit deadline.
+    // (Cutting a peer instead would let the first attempt commit on the
+    // other peers and turn the resubmission into an MVCC conflict.)
+    let t0 = net.sim.now();
+    FaultPlan::new()
+        .partition_window(
+            &[net.clients[0]],
+            &[net.orderer],
+            t0,
+            t0 + SimDuration::from_secs(3),
+        )
+        .install(&mut net.sim);
+
+    store(&mut net, 0, 1, "transient");
+    net.sim.run_until(SimTime::from_secs(30));
+
+    let completions = net.completions[0].borrow();
+    assert_eq!(completions.len(), 1);
+    assert!(
+        completions[0].outcome.is_ok(),
+        "retries should outlast the partition, got {:?}",
+        completions[0].outcome
+    );
+    assert!(
+        net.sim.metrics().counter("client.retries") >= 1,
+        "at least one attempt must have been retried"
+    );
+    assert!(net.sim.metrics().counter("client.timeouts") >= 1);
+    assert_eq!(net.sim.metrics().counter("client.exhausted"), 0);
+    assert_eq!(inflight(&net, net.clients[0]), 0);
+}
