@@ -20,3 +20,7 @@ cargo run --release -p hyperprov-bench --bin table_overload -- --quick
 # Exercises crash/restart recovery, Raft failover, partitions and the
 # retrying client end to end.
 cargo run --release -p hyperprov-bench --bin table_faults -- --quick
+
+# Exercises multi-channel deployments, key->channel routing and
+# scatter-gather queries end to end.
+cargo run --release -p hyperprov-bench --bin table_sharding -- --quick

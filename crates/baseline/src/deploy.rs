@@ -199,7 +199,10 @@ impl OnChainNetwork {
         let mut sim: Simulation<NodeMsg> = Simulation::new(config.seed);
         let mut ledgers = Vec::new();
         for (i, identity) in peer_identities.iter().enumerate() {
-            let committer = Rc::new(RefCell::new(Committer::new(
+            // The committer's channel must match the gateways' channel:
+            // endorsing peers route proposals by proposal channel.
+            let committer = Rc::new(RefCell::new(Committer::for_channel(
+                "onchain-channel".into(),
                 msp.clone(),
                 ChannelPolicies::new(config.policy.clone()),
             )));
@@ -222,8 +225,12 @@ impl OnChainNetwork {
             let id = sim.add_actor_with_speed(Box::new(actor), config.peer_devices[i].cpu_speed);
             debug_assert_eq!(id, peer_ids[i]);
         }
-        let mut orderer_actor =
-            SoloOrdererActor::<NodeMsg>::new(config.batch, peer_ids.clone(), config.costs);
+        let mut orderer_actor = SoloOrdererActor::<NodeMsg>::for_channel(
+            "onchain-channel".into(),
+            config.batch,
+            peer_ids.clone(),
+            config.costs,
+        );
         if let Some(queue) = config.orderer_queue {
             orderer_actor = orderer_actor.with_queue(queue);
         }

@@ -2,17 +2,6 @@
 //! the desktop testbed, plus the per-stage latency breakdown and the JSON
 //! metrics export.
 
-use hyperprov_bench::experiments::{
-    render_and_save, render_and_save_metrics, size_sweep, Platform,
-};
-
 fn main() {
-    let quick = hyperprov_bench::quick_flag();
-    let report = size_sweep(Platform::Desktop, quick);
-    print!("{}", render_and_save(&report.table, "fig1_desktop"));
-    print!(
-        "{}",
-        render_and_save(&report.breakdown, "fig1_desktop_stages")
-    );
-    print!("{}", render_and_save_metrics(&report.exporter));
+    hyperprov_bench::runner::bench_main(&[hyperprov_bench::experiments::fig1_artefacts]);
 }

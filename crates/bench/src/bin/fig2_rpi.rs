@@ -2,14 +2,6 @@
 //! the Raspberry Pi testbed, plus the per-stage latency breakdown and the
 //! JSON metrics export.
 
-use hyperprov_bench::experiments::{
-    render_and_save, render_and_save_metrics, size_sweep, Platform,
-};
-
 fn main() {
-    let quick = hyperprov_bench::quick_flag();
-    let report = size_sweep(Platform::Rpi, quick);
-    print!("{}", render_and_save(&report.table, "fig2_rpi"));
-    print!("{}", render_and_save(&report.breakdown, "fig2_rpi_stages"));
-    print!("{}", render_and_save_metrics(&report.exporter));
+    hyperprov_bench::runner::bench_main(&[hyperprov_bench::experiments::fig2_artefacts]);
 }

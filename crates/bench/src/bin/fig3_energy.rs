@@ -1,10 +1,6 @@
 //! Regenerates Fig. 3: energy consumption on RPi over 10-minute intervals
 //! at increasing load levels.
 
-use hyperprov_bench::experiments::{energy_profile, render_and_save};
-
 fn main() {
-    let quick = hyperprov_bench::quick_flag();
-    let table = energy_profile(quick);
-    print!("{}", render_and_save(&table, "fig3_energy"));
+    hyperprov_bench::runner::bench_main(&[hyperprov_bench::experiments::fig3_artefacts]);
 }

@@ -1,58 +1,6 @@
 //! Runs every figure and table, saving CSVs and metrics JSON under
 //! `results/`.
 
-use hyperprov_bench::experiments::{
-    baseline_comparison, batch_sweep, contention_sweep, energy_profile, fault_campaign,
-    overload_sweep, query_latency, render_and_save, render_and_save_metrics, size_sweep, Platform,
-};
-
 fn main() {
-    let quick = hyperprov_bench::quick_flag();
-
-    let fig1 = size_sweep(Platform::Desktop, quick);
-    print!("{}", render_and_save(&fig1.table, "fig1_desktop"));
-    print!(
-        "{}",
-        render_and_save(&fig1.breakdown, "fig1_desktop_stages")
-    );
-    print!("{}", render_and_save_metrics(&fig1.exporter));
-
-    let fig2 = size_sweep(Platform::Rpi, quick);
-    print!("{}", render_and_save(&fig2.table, "fig2_rpi"));
-    print!("{}", render_and_save(&fig2.breakdown, "fig2_rpi_stages"));
-    print!("{}", render_and_save_metrics(&fig2.exporter));
-
-    print!("{}", render_and_save(&energy_profile(quick), "fig3_energy"));
-    print!(
-        "{}",
-        render_and_save(&batch_sweep(quick), "table_batch_sweep")
-    );
-    print!(
-        "{}",
-        render_and_save(&query_latency(quick), "table_query_latency")
-    );
-    print!(
-        "{}",
-        render_and_save(&baseline_comparison(quick), "table_baselines")
-    );
-    print!(
-        "{}",
-        render_and_save(&contention_sweep(quick), "table_contention")
-    );
-
-    let overload = overload_sweep(quick);
-    print!("{}", render_and_save(&overload.table, "table_overload"));
-    print!(
-        "{}",
-        render_and_save(&overload.breakdown, "table_overload_stages")
-    );
-    print!("{}", render_and_save_metrics(&overload.exporter));
-
-    let faults = fault_campaign(quick);
-    print!("{}", render_and_save(&faults.table, "table_faults"));
-    print!(
-        "{}",
-        render_and_save(&faults.timeline, "table_faults_timeline")
-    );
-    print!("{}", render_and_save_metrics(&faults.exporter));
+    hyperprov_bench::runner::bench_main(hyperprov_bench::experiments::ALL_CAMPAIGNS);
 }

@@ -1,9 +1,5 @@
 //! T-BASE: HyperProv vs on-chain data vs ProvChain-like PoW.
 
-use hyperprov_bench::experiments::{baseline_comparison, render_and_save};
-
 fn main() {
-    let quick = hyperprov_bench::quick_flag();
-    let table = baseline_comparison(quick);
-    print!("{}", render_and_save(&table, "table_baselines"));
+    hyperprov_bench::runner::bench_main(&[hyperprov_bench::experiments::baselines_artefacts]);
 }

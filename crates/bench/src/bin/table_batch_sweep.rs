@@ -1,9 +1,5 @@
 //! T-TPUT: throughput vs orderer batch size.
 
-use hyperprov_bench::experiments::{batch_sweep, render_and_save};
-
 fn main() {
-    let quick = hyperprov_bench::quick_flag();
-    let table = batch_sweep(quick);
-    print!("{}", render_and_save(&table, "table_batch_sweep"));
+    hyperprov_bench::runner::bench_main(&[hyperprov_bench::experiments::batch_sweep_artefacts]);
 }

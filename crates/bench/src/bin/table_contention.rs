@@ -1,9 +1,5 @@
 //! T-MVCC: MVCC invalidation under key contention.
 
-use hyperprov_bench::experiments::{contention_sweep, render_and_save};
-
 fn main() {
-    let quick = hyperprov_bench::quick_flag();
-    let table = contention_sweep(quick);
-    print!("{}", render_and_save(&table, "table_contention"));
+    hyperprov_bench::runner::bench_main(&[hyperprov_bench::experiments::contention_artefacts]);
 }

@@ -2,15 +2,6 @@
 //! kill, partition/heal), with recovery timelines, desktop and RPi
 //! testbeds.
 
-use hyperprov_bench::experiments::{fault_campaign, render_and_save, render_and_save_metrics};
-
 fn main() {
-    let quick = hyperprov_bench::quick_flag();
-    let report = fault_campaign(quick);
-    print!("{}", render_and_save(&report.table, "table_faults"));
-    print!(
-        "{}",
-        render_and_save(&report.timeline, "table_faults_timeline")
-    );
-    print!("{}", render_and_save_metrics(&report.exporter));
+    hyperprov_bench::runner::bench_main(&[hyperprov_bench::experiments::faults_artefacts]);
 }

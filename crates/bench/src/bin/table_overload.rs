@@ -1,15 +1,6 @@
 //! T-OVERLOAD: goodput, drop/nack rate and p99 queue wait past
 //! saturation, desktop and RPi testbeds.
 
-use hyperprov_bench::experiments::{overload_sweep, render_and_save, render_and_save_metrics};
-
 fn main() {
-    let quick = hyperprov_bench::quick_flag();
-    let report = overload_sweep(quick);
-    print!("{}", render_and_save(&report.table, "table_overload"));
-    print!(
-        "{}",
-        render_and_save(&report.breakdown, "table_overload_stages")
-    );
-    print!("{}", render_and_save_metrics(&report.exporter));
+    hyperprov_bench::runner::bench_main(&[hyperprov_bench::experiments::overload_artefacts]);
 }

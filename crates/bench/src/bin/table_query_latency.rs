@@ -1,9 +1,5 @@
 //! T-QUERY: query latency by client operator.
 
-use hyperprov_bench::experiments::{query_latency, render_and_save};
-
 fn main() {
-    let quick = hyperprov_bench::quick_flag();
-    let table = query_latency(quick);
-    print!("{}", render_and_save(&table, "table_query_latency"));
+    hyperprov_bench::runner::bench_main(&[hyperprov_bench::experiments::query_latency_artefacts]);
 }

@@ -1,0 +1,7 @@
+//! T-SHARDING: aggregate goodput, per-channel commit latency and
+//! cross-shard query cost vs channel (shard) count, desktop and RPi
+//! testbeds.
+
+fn main() {
+    hyperprov_bench::runner::bench_main(&[hyperprov_bench::experiments::sharding_artefacts]);
+}

@@ -12,19 +12,22 @@ mod fig12;
 mod fig3;
 mod overload;
 mod queries;
+mod sharding;
 
 pub use baselines::baseline_comparison;
 pub use contention::contention_sweep;
 pub use faults::{
     fault_campaign, fault_scenario_json, FaultScenario, FaultsReport, FAULT_SCENARIOS,
 };
-pub use fig12::{size_sweep, Platform};
+pub use fig12::{mean, size_sweep, std_dev, Platform};
 pub use fig3::energy_profile;
 pub use overload::{overload_sweep, OverloadReport};
 pub use queries::{batch_sweep, query_latency};
+pub use sharding::{sharding_sweep, ShardingReport};
 
 use std::path::Path;
 
+use crate::runner::Artefact;
 use crate::table::Table;
 
 /// Where CSV outputs land (`<repo>/results`).
@@ -56,3 +59,99 @@ pub fn render_and_save_metrics(exporter: &crate::report::MetricsExporter) -> Str
         Err(err) => format!("[warning: could not save metrics JSON: {err}]\n"),
     }
 }
+
+/// Fig. 1 artefacts: the desktop size sweep, its stage breakdown and its
+/// metrics export.
+pub fn fig1_artefacts(quick: bool) -> Vec<Artefact> {
+    let report = size_sweep(Platform::Desktop, quick);
+    vec![
+        Artefact::table(report.table, "fig1_desktop"),
+        Artefact::table(report.breakdown, "fig1_desktop_stages"),
+        Artefact::metrics(report.exporter),
+    ]
+}
+
+/// Fig. 2 artefacts: the RPi size sweep, its stage breakdown and its
+/// metrics export.
+pub fn fig2_artefacts(quick: bool) -> Vec<Artefact> {
+    let report = size_sweep(Platform::Rpi, quick);
+    vec![
+        Artefact::table(report.table, "fig2_rpi"),
+        Artefact::table(report.breakdown, "fig2_rpi_stages"),
+        Artefact::metrics(report.exporter),
+    ]
+}
+
+/// Fig. 3 artefacts: the energy profile table.
+pub fn fig3_artefacts(quick: bool) -> Vec<Artefact> {
+    vec![Artefact::table(energy_profile(quick), "fig3_energy")]
+}
+
+/// T-TPUT artefacts: the batch-size sweep table.
+pub fn batch_sweep_artefacts(quick: bool) -> Vec<Artefact> {
+    vec![Artefact::table(batch_sweep(quick), "table_batch_sweep")]
+}
+
+/// T-QUERY artefacts: the per-operator latency table.
+pub fn query_latency_artefacts(quick: bool) -> Vec<Artefact> {
+    vec![Artefact::table(query_latency(quick), "table_query_latency")]
+}
+
+/// T-BASE artefacts: the baseline-comparison table.
+pub fn baselines_artefacts(quick: bool) -> Vec<Artefact> {
+    vec![Artefact::table(
+        baseline_comparison(quick),
+        "table_baselines",
+    )]
+}
+
+/// T-MVCC artefacts: the contention-sweep table.
+pub fn contention_artefacts(quick: bool) -> Vec<Artefact> {
+    vec![Artefact::table(contention_sweep(quick), "table_contention")]
+}
+
+/// T-OVERLOAD artefacts: the overload table, its stage breakdown and its
+/// metrics export.
+pub fn overload_artefacts(quick: bool) -> Vec<Artefact> {
+    let report = overload_sweep(quick);
+    vec![
+        Artefact::table(report.table, "table_overload"),
+        Artefact::table(report.breakdown, "table_overload_stages"),
+        Artefact::metrics(report.exporter),
+    ]
+}
+
+/// T-FAULTS artefacts: the fault campaign table, its recovery timeline
+/// and its metrics export.
+pub fn faults_artefacts(quick: bool) -> Vec<Artefact> {
+    let report = fault_campaign(quick);
+    vec![
+        Artefact::table(report.table, "table_faults"),
+        Artefact::table(report.timeline, "table_faults_timeline"),
+        Artefact::metrics(report.exporter),
+    ]
+}
+
+/// T-SHARDING artefacts: the shard-count sweep table and its metrics
+/// export.
+pub fn sharding_artefacts(quick: bool) -> Vec<Artefact> {
+    let report = sharding_sweep(quick);
+    vec![
+        Artefact::table(report.table, "table_sharding"),
+        Artefact::metrics(report.exporter),
+    ]
+}
+
+/// Every campaign, in `run_all` order.
+pub const ALL_CAMPAIGNS: &[fn(bool) -> Vec<Artefact>] = &[
+    fig1_artefacts,
+    fig2_artefacts,
+    fig3_artefacts,
+    batch_sweep_artefacts,
+    query_latency_artefacts,
+    baselines_artefacts,
+    contention_artefacts,
+    overload_artefacts,
+    faults_artefacts,
+    sharding_artefacts,
+];

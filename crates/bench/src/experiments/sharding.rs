@@ -1,0 +1,249 @@
+//! T-SHARDING: multi-channel (sharded) scaling, desktop and RPi testbeds.
+//!
+//! The paper deploys a single Fabric channel; this campaign measures what
+//! the architecture gains from hash-partitioning the provenance keyspace
+//! over several channels, each with its own ordering pipeline and hosting
+//! peer subset. Swept: shard count 1/2/4/8. Reported per cell: aggregate
+//! goodput of a metadata-only `post` workload, commit latency per
+//! channel, and the cost of the queries that must now scatter-gather or
+//! hop across shards (`list`, `get_lineage`).
+
+use hyperprov::{
+    ChannelRouter, ChannelSpec, ClientCommand, HashRouter, HyperProvNetwork, NetworkConfig,
+    NodeMsg, OpId, OpOutput, RecordInput,
+};
+use hyperprov_fabric::BatchConfig;
+use hyperprov_ledger::Digest;
+use hyperprov_sim::{Histogram, SimDuration};
+
+use crate::report::MetricsExporter;
+use crate::runner::run_closed_loop;
+use crate::table::Table;
+use crate::workload::post_cmd;
+
+use super::{mean, Platform};
+
+/// The sharding campaign's artefacts.
+#[derive(Debug)]
+pub struct ShardingReport {
+    /// The scaling table (one row per platform × shard count).
+    pub table: Table,
+    /// One metrics + trace snapshot per cell.
+    pub exporter: MetricsExporter,
+}
+
+/// Channel specifications for a `channels`-shard deployment over
+/// `n_peers` peers: shard `c` is hosted by the peers with
+/// `p % min(channels, n_peers) == c % min(channels, n_peers)`, so peers
+/// partition across shards (and each peer hosts `channels / n_peers`
+/// shards once there are more shards than peers).
+fn shard_specs(channels: usize, n_peers: usize) -> Vec<ChannelSpec> {
+    if channels == 1 {
+        // Keep the default channel name: a 1-shard deployment is the
+        // legacy single-channel layout, byte-identical metrics included.
+        return vec![ChannelSpec::new(hyperprov_ledger::DEFAULT_CHANNEL)];
+    }
+    let groups = channels.min(n_peers);
+    (0..channels)
+        .map(|c| {
+            let hosts: Vec<usize> = (0..n_peers).filter(|p| p % groups == c % groups).collect();
+            ChannelSpec::new(format!("{}-{c}", hyperprov_ledger::DEFAULT_CHANNEL)).with_peers(hosts)
+        })
+        .collect()
+}
+
+struct Cell {
+    goodput: f64,
+    errors: u64,
+    commit_mean_ms: f64,
+    per_channel_ms: Vec<f64>,
+    lineage_ms: f64,
+    list_ms: f64,
+}
+
+/// Runs one (platform, shard count) cell: a closed-loop metadata-only
+/// `post` load phase, then a cross-shard query phase (an 8-deep lineage
+/// chain plus full-ledger `list`).
+fn run_cell(
+    platform: Platform,
+    channels: usize,
+    clients: usize,
+    duration: SimDuration,
+    seed: u64,
+    exporter: &mut MetricsExporter,
+) -> Cell {
+    let mut config = match platform {
+        Platform::Desktop => NetworkConfig::desktop(clients),
+        Platform::Rpi => NetworkConfig::rpi(clients),
+    }
+    .with_seed(seed)
+    .with_batch(BatchConfig {
+        timeout: SimDuration::from_millis(100),
+        ..BatchConfig::default()
+    });
+    let n_peers = config.peer_devices.len();
+    config = config.with_channel_specs(shard_specs(channels, n_peers));
+    // Lineage chains hop shards, and a shard cannot see parents stored on
+    // its neighbours — cross-channel parent links need the permissive
+    // chaincode (same setting across the sweep, so cells stay comparable).
+    config.permissive = true;
+    let mut net = HyperProvNetwork::build(&config);
+
+    // Load phase: unique keys, hash-routed across the shards.
+    let result = run_closed_loop(
+        &mut net,
+        duration,
+        SimDuration::from_secs(10),
+        |client, seq| post_cmd(format!("item-c{client}-s{seq}"), b"shard-bench"),
+    );
+
+    let mut errors = 0u64;
+    let mut commit = Histogram::new();
+    let mut per_channel: Vec<Histogram> = (0..channels).map(|_| Histogram::new()).collect();
+    for (_, completion) in &result.completions {
+        match &completion.outcome {
+            Ok(OpOutput::Committed {
+                record: Some(record),
+                ..
+            }) => {
+                let nanos = completion.latency().as_nanos();
+                commit.record(nanos);
+                per_channel[HashRouter.route(&record.key, channels)].record(nanos);
+            }
+            Ok(_) => {}
+            Err(_) => errors += 1,
+        }
+    }
+    let goodput = commit.count() as f64 / result.span.as_secs_f64();
+
+    // Query phase. First lay down a lineage chain deep enough to hop
+    // between shards a few times, one link at a time (children must see
+    // committed parents).
+    let chain_depth = 8usize;
+    for i in 0..chain_depth {
+        let parents = if i == 0 {
+            vec![]
+        } else {
+            vec![format!("chain-{}", i - 1)]
+        };
+        let input = RecordInput::new(Digest::of(b"chain")).with_parents(parents);
+        let done = one_op(
+            &mut net,
+            ClientCommand::Post {
+                key: format!("chain-{i}"),
+                input,
+                op: OpId(0),
+            },
+        );
+        assert!(done.is_some(), "chain link {i} must commit");
+    }
+    let lineage_ms = mean(
+        &(0..4)
+            .map(|_| {
+                one_op(
+                    &mut net,
+                    ClientCommand::GetLineage {
+                        key: format!("chain-{}", chain_depth - 1),
+                        depth: chain_depth as u32,
+                        op: OpId(0),
+                    },
+                )
+                .expect("lineage over a committed chain")
+            })
+            .collect::<Vec<f64>>(),
+    );
+    let list_ms = mean(
+        &(0..4)
+            .map(|_| one_op(&mut net, ClientCommand::List { op: OpId(0) }).expect("list succeeds"))
+            .collect::<Vec<f64>>(),
+    );
+
+    exporter.add_run(
+        &format!("platform={} channels={channels}", platform.name()),
+        &net.sim,
+    );
+    Cell {
+        goodput,
+        errors,
+        commit_mean_ms: commit.mean() / 1e6,
+        per_channel_ms: per_channel.iter().map(|h| h.mean() / 1e6).collect(),
+        lineage_ms,
+        list_ms,
+    }
+}
+
+/// Issues one operation on client 0 and runs until it completes,
+/// returning its latency in milliseconds (`None` if it failed).
+fn one_op(net: &mut HyperProvNetwork, mut cmd: ClientCommand) -> Option<f64> {
+    crate::runner::set_op(&mut cmd, OpId(1));
+    let client = net.clients[0];
+    net.sim.inject_message(client, NodeMsg::Client(cmd));
+    let queue = net.completions[0].clone();
+    for _ in 0..10_000 {
+        if let Some(completion) = queue.borrow_mut().pop_front() {
+            let latency_ms = completion.latency().as_nanos() as f64 / 1e6;
+            return completion.outcome.ok().map(|_| latency_ms);
+        }
+        if net.sim.run_events(64) == 0 {
+            let now = net.sim.now();
+            net.sim.run_until(now + SimDuration::from_millis(100));
+        }
+    }
+    panic!("operation never completed");
+}
+
+/// Runs the shard-count sweep, producing the T-SHARDING table and its
+/// metrics export.
+pub fn sharding_sweep(quick: bool) -> ShardingReport {
+    let (shard_counts, platforms, clients, duration): (Vec<usize>, Vec<Platform>, usize, _) =
+        if quick {
+            (
+                vec![1, 2],
+                vec![Platform::Desktop],
+                8,
+                SimDuration::from_secs(5),
+            )
+        } else {
+            (
+                vec![1, 2, 4, 8],
+                vec![Platform::Desktop, Platform::Rpi],
+                256,
+                SimDuration::from_secs(10),
+            )
+        };
+
+    let mut table = Table::new(
+        "T-SHARDING: goodput and query cost vs shard count",
+        &[
+            "platform",
+            "channels",
+            "goodput (tx/s)",
+            "commit mean (ms)",
+            "per-channel commit (ms)",
+            "lineage (ms)",
+            "list (ms)",
+            "errors",
+        ],
+    );
+    let mut exporter = MetricsExporter::new("table_sharding");
+    for &platform in &platforms {
+        for &channels in &shard_counts {
+            let cell = run_cell(platform, channels, clients, duration, 100, &mut exporter);
+            table.push_row(vec![
+                platform.name().to_owned(),
+                channels.to_string(),
+                format!("{:.1}", cell.goodput),
+                format!("{:.2}", cell.commit_mean_ms),
+                cell.per_channel_ms
+                    .iter()
+                    .map(|ms| format!("{ms:.2}"))
+                    .collect::<Vec<_>>()
+                    .join("/"),
+                format!("{:.2}", cell.lineage_ms),
+                format!("{:.2}", cell.list_ms),
+                cell.errors.to_string(),
+            ]);
+        }
+    }
+    ShardingReport { table, exporter }
+}

@@ -10,7 +10,8 @@
 //! * `fig1_desktop`, `fig2_rpi` — throughput/response-time vs item size,
 //! * `fig3_energy` — RPi power over 10-minute intervals by load level,
 //! * `table_batch_sweep`, `table_query_latency`, `table_baselines`,
-//!   `table_contention`, `table_overload` — the extended tables, and
+//!   `table_contention`, `table_overload`, `table_faults`,
+//!   `table_sharding` — the extended tables, and
 //! * `run_all` — everything, saving CSVs under `results/`.
 
 #![forbid(unsafe_code)]

@@ -11,6 +11,60 @@ use hyperprov::{ClientCommand, ClientCompletion, CompletionQueue, NodeMsg, OpId}
 use hyperprov_baseline::OnChainNetwork;
 use hyperprov_sim::{ActorId, Histogram, SimDuration, SimTime, Simulation};
 
+use crate::experiments::{render_and_save, render_and_save_metrics};
+use crate::report::MetricsExporter;
+use crate::table::Table;
+
+/// One savable output of a benchmark campaign: a named table (rendered
+/// and saved as `<name>.csv` under `results/`) or a metrics-JSON export
+/// (named by the exporter itself).
+#[derive(Debug)]
+pub enum Artefact {
+    /// A table plus its CSV base name.
+    Table {
+        /// The rendered table.
+        table: Table,
+        /// CSV base name under `results/`.
+        name: &'static str,
+    },
+    /// A metrics/trace JSON export.
+    Metrics(MetricsExporter),
+}
+
+impl Artefact {
+    /// A table artefact.
+    pub fn table(table: Table, name: &'static str) -> Artefact {
+        Artefact::Table { table, name }
+    }
+
+    /// A metrics-export artefact.
+    pub fn metrics(exporter: MetricsExporter) -> Artefact {
+        Artefact::Metrics(exporter)
+    }
+
+    /// Saves the artefact under `results/` and renders it (plus a
+    /// save-status line) for the calling binary to print.
+    #[must_use = "the rendered report must be printed by the calling binary"]
+    pub fn render_and_save(&self) -> String {
+        match self {
+            Artefact::Table { table, name } => render_and_save(table, name),
+            Artefact::Metrics(exporter) => render_and_save_metrics(exporter),
+        }
+    }
+}
+
+/// The shared `main` of every benchmark binary: parses `--quick` from the
+/// process arguments, runs each campaign in order and prints/saves its
+/// artefacts as soon as it finishes.
+pub fn bench_main(campaigns: &[fn(bool) -> Vec<Artefact>]) {
+    let quick = crate::quick_flag();
+    for campaign in campaigns {
+        for artefact in campaign(quick) {
+            print!("{}", artefact.render_and_save());
+        }
+    }
+}
+
 /// Networks the drivers can operate: anything exposing a simulation,
 /// client actors and their completion queues.
 pub trait Driveable {

@@ -1,0 +1,45 @@
+//! Pinning tests: single-channel quick-mode metrics exports must stay
+//! byte-identical to the committed fixtures. These guard the sharding
+//! refactor's core promise — a one-channel deployment takes exactly the
+//! legacy code paths (same actor layout, same metric names, same event
+//! order), so seeded runs replay byte-for-byte across releases.
+
+use hyperprov_bench::experiments::{fault_scenario_json, size_sweep, Platform};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+#[test]
+fn fig1_quick_metrics_match_committed_fixture() {
+    let json = size_sweep(Platform::Desktop, true).exporter.to_json();
+    assert_eq!(
+        json,
+        fixture("fig1_quick.metrics.json"),
+        "fig1 quick export drifted from the committed fixture; if the \
+         change is intentional, regenerate tests/fixtures/fig1_quick.metrics.json"
+    );
+}
+
+#[test]
+fn fig2_quick_metrics_match_committed_fixture() {
+    let json = size_sweep(Platform::Rpi, true).exporter.to_json();
+    assert_eq!(
+        json,
+        fixture("fig2_quick.metrics.json"),
+        "fig2 quick export drifted from the committed fixture; if the \
+         change is intentional, regenerate tests/fixtures/fig2_quick.metrics.json"
+    );
+}
+
+#[test]
+fn fault_campaign_seed7_matches_committed_fixture() {
+    let json = fault_scenario_json(7);
+    assert_eq!(
+        json,
+        fixture("faults_seed7.metrics.json"),
+        "fault campaign export drifted from the committed fixture; if the \
+         change is intentional, regenerate tests/fixtures/faults_seed7.metrics.json"
+    );
+}

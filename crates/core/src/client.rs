@@ -9,11 +9,11 @@
 //! [`ClientCompletion`]s into a shared queue the caller drains.
 
 use std::cell::RefCell;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::rc::Rc;
 
-use hyperprov_fabric::{CostModel, Gateway, GatewayError, GatewayEvent};
+use hyperprov_fabric::{CostModel, FabricMsg, Gateway, GatewayError, GatewayEvent};
 use hyperprov_ledger::{Decode, Digest, TxId, ValidationCode};
 use hyperprov_offchain::{StoreError, StoreMsg};
 use hyperprov_sim::{
@@ -21,10 +21,11 @@ use hyperprov_sim::{
 };
 use rand::Rng;
 
-use crate::chaincode::CHAINCODE_NAME;
+use crate::chaincode::{CHAINCODE_NAME, MAX_LINEAGE_DEPTH};
 use crate::record::{
     decode_history, decode_lineage, HistoryRecord, LineageEntry, ProvenanceRecord, RecordInput,
 };
+use crate::router::{ChannelRouter, HashRouter};
 
 /// Identifies one client operation, assigned by the caller.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -361,10 +362,45 @@ enum QueryKind {
 /// armed).
 #[derive(Debug, Clone)]
 struct Redo {
+    /// The gateway (channel) the phase was issued on.
+    gw: usize,
     /// Full invoke (endorse + order + commit) vs endorse-only query.
     invoke: bool,
     function: &'static str,
     args: Vec<Vec<u8>>,
+}
+
+/// A scatter-gather query fanned out to every channel, keyed by an
+/// aggregate id; completes when all per-channel responses are in.
+#[derive(Debug)]
+struct ScatterCtx {
+    op: OpId,
+    started: SimTime,
+    kind: QueryKind,
+    /// Responses still outstanding.
+    remaining: usize,
+    /// Per-gateway result slots, merged (sorted, deduplicated) at the end.
+    parts: Vec<Option<Vec<String>>>,
+    /// First per-channel failure, reported once the fan-in completes.
+    error: Option<HyperProvError>,
+}
+
+/// A client-side breadth-first lineage traversal across channels: parent
+/// links may cross shards, so each record is fetched from the channel the
+/// router assigns to its key, one `get` at a time in BFS order.
+#[derive(Debug)]
+struct LineageCtx {
+    op: OpId,
+    started: SimTime,
+    max_depth: u32,
+    /// Keys already visited (or enqueued) — lineage graphs can be DAGs.
+    seen: HashSet<String>,
+    /// Keys awaiting a fetch, with their depth.
+    queue: VecDeque<(u32, String)>,
+    entries: Vec<LineageEntry>,
+    /// The outstanding fetch is the root key (a missing root is an error;
+    /// a missing parent is skipped, matching the chaincode's traversal).
+    at_root: bool,
 }
 
 #[derive(Debug)]
@@ -390,7 +426,10 @@ const CLIENT_RETRY_BIT: u64 = 1 << 61;
 
 /// The client actor.
 pub struct HyperProvClient {
-    gateway: Gateway,
+    /// One gateway per channel; index = shard index from the router.
+    /// Single-element on legacy (unsharded) deployments.
+    gateways: Vec<Gateway>,
+    router: Box<dyn ChannelRouter>,
     storage: ActorId,
     location_prefix: String,
     costs: CostModel,
@@ -402,11 +441,23 @@ pub struct HyperProvClient {
     next_retry_token: u64,
     /// Operations sleeping out a backoff, keyed by retry timer token.
     pending_retries: HashMap<u64, OpCtx>,
+    /// Scatter-gather queries in flight (multi-channel list /
+    /// checksum lookups), keyed by aggregate id.
+    scatters: HashMap<u64, ScatterCtx>,
+    /// Maps a scatter sub-query's tx id to `(aggregate id, gateway)`.
+    scatter_txs: HashMap<TxId, (u64, usize)>,
+    next_scatter: u64,
+    /// Cross-channel lineage traversals in flight, keyed by traversal id.
+    lineages: HashMap<u64, LineageCtx>,
+    /// Maps a lineage fetch's tx id to its traversal id.
+    lineage_txs: HashMap<TxId, u64>,
+    next_lineage: u64,
     harness: ServiceHarness<NodeMsgOf>,
 }
 
 impl HyperProvClient {
-    /// Creates a client bound to a gateway and a storage node.
+    /// Creates a client bound to a single-channel gateway and a storage
+    /// node.
     ///
     /// `location_prefix` is prepended to content digests to form the
     /// on-chain `location` field (e.g. `"sshfs://store0/"`).
@@ -416,10 +467,46 @@ impl HyperProvClient {
         location_prefix: impl Into<String>,
         costs: CostModel,
     ) -> (Self, CompletionQueue) {
+        Self::sharded(
+            vec![gateway],
+            Box::new(HashRouter),
+            storage,
+            location_prefix,
+            costs,
+        )
+    }
+
+    /// Creates a client spanning several channels: one gateway per shard
+    /// (in shard-index order) and a router deciding which shard owns each
+    /// item key. Keyed operations go to the owning shard; `list` and
+    /// `get_keys_by_checksum` scatter-gather across every shard;
+    /// `get_lineage` walks parent links across shards client-side.
+    ///
+    /// Gateway deadline-token salts are assigned here (`index << 32`), so
+    /// several gateways can share this actor's timer space; gateway 0
+    /// keeps salt zero and reproduces the single-gateway token stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gateways` is empty.
+    pub fn sharded(
+        gateways: Vec<Gateway>,
+        router: Box<dyn ChannelRouter>,
+        storage: ActorId,
+        location_prefix: impl Into<String>,
+        costs: CostModel,
+    ) -> (Self, CompletionQueue) {
+        assert!(!gateways.is_empty(), "client needs at least one gateway");
+        let gateways = gateways
+            .into_iter()
+            .enumerate()
+            .map(|(i, g)| g.with_token_salt((i as u64) << 32))
+            .collect();
         let completions: CompletionQueue = Rc::new(RefCell::new(VecDeque::new()));
         (
             HyperProvClient {
-                gateway,
+                gateways,
+                router,
                 storage,
                 location_prefix: location_prefix.into(),
                 costs,
@@ -430,10 +517,21 @@ impl HyperProvClient {
                 retry: None,
                 next_retry_token: 0,
                 pending_retries: HashMap::new(),
+                scatters: HashMap::new(),
+                scatter_txs: HashMap::new(),
+                next_scatter: 0,
+                lineages: HashMap::new(),
+                lineage_txs: HashMap::new(),
+                next_lineage: 0,
                 harness: ServiceHarness::new("client"),
             },
             completions,
         )
+    }
+
+    /// The shard (gateway index) owning `key` under the client's router.
+    fn route(&self, key: &str) -> usize {
+        self.router.route(key, self.gateways.len())
     }
 
     /// Enables transparent retries of transient gateway failures under
@@ -447,32 +545,36 @@ impl HyperProvClient {
     /// Number of operations currently in flight (including operations
     /// sleeping out a retry backoff).
     pub fn inflight(&self) -> usize {
-        self.by_tx.len() + self.by_store_token.len() + self.pending_retries.len()
+        self.by_tx.len()
+            + self.by_store_token.len()
+            + self.pending_retries.len()
+            + self.scatters.len()
+            + self.lineages.len()
     }
 
     /// Issues (or re-issues) the gateway phase described by
-    /// `(invoke, function, args)`, capturing a [`Redo`] when retries are
-    /// enabled, and indexes the operation by the fresh tx id.
+    /// `(gw, invoke, function, args)`, capturing a [`Redo`] when retries
+    /// are enabled, and indexes the operation by the fresh tx id.
     fn submit_tx(
         &mut self,
         ctx: &mut Context<'_, NodeMsgOf>,
         mut op_ctx: OpCtx,
+        gw: usize,
         invoke: bool,
         function: &'static str,
         args: Vec<Vec<u8>>,
     ) {
         op_ctx.attempts += 1;
         op_ctx.redo = self.retry.map(|_| Redo {
+            gw,
             invoke,
             function,
             args: args.clone(),
         });
         let tx_id = if invoke {
-            self.gateway
-                .invoke(ctx, &mut self.harness, CHAINCODE_NAME, function, args)
+            self.gateways[gw].invoke(ctx, &mut self.harness, CHAINCODE_NAME, function, args)
         } else {
-            self.gateway
-                .query(ctx, &mut self.harness, CHAINCODE_NAME, function, args)
+            self.gateways[gw].query(ctx, &mut self.harness, CHAINCODE_NAME, function, args)
         };
         self.by_tx.insert(tx_id, op_ctx);
     }
@@ -526,7 +628,7 @@ impl HyperProvClient {
         let Some(redo) = op_ctx.redo.take() else {
             return;
         };
-        self.submit_tx(ctx, op_ctx, redo.invoke, redo.function, redo.args);
+        self.submit_tx(ctx, op_ctx, redo.gw, redo.invoke, redo.function, redo.args);
     }
 
     fn complete(
@@ -551,6 +653,7 @@ impl HyperProvClient {
         ctx.span_start(&op_trace(op), "op", "");
         match cmd {
             ClientCommand::Post { key, input, op } => {
+                let gw = self.route(&key);
                 let args = vec![key.into_bytes(), hyperprov_ledger::Encode::to_bytes(&input)];
                 let op_ctx = OpCtx {
                     op,
@@ -559,7 +662,7 @@ impl HyperProvClient {
                     attempts: 0,
                     redo: None,
                 };
-                self.submit_tx(ctx, op_ctx, true, "post", args);
+                self.submit_tx(ctx, op_ctx, gw, true, "post", args);
             }
             ClientCommand::StoreData {
                 key,
@@ -611,9 +714,19 @@ impl HyperProvClient {
                 ctx.send(storage, bytes, NodeMsgOf::wrap(msg));
             }
             ClientCommand::Get { key, op } => {
-                self.start_query(ctx, now, op, "get", vec![key.into_bytes()], QueryKind::Get);
+                let gw = self.route(&key);
+                self.start_query(
+                    ctx,
+                    now,
+                    op,
+                    gw,
+                    "get",
+                    vec![key.into_bytes()],
+                    QueryKind::Get,
+                );
             }
             ClientCommand::GetData { key, op } => {
+                let gw = self.route(&key);
                 let op_ctx = OpCtx {
                     op,
                     started: now,
@@ -621,9 +734,10 @@ impl HyperProvClient {
                     attempts: 0,
                     redo: None,
                 };
-                self.submit_tx(ctx, op_ctx, false, "get", vec![key.into_bytes()]);
+                self.submit_tx(ctx, op_ctx, gw, false, "get", vec![key.into_bytes()]);
             }
             ClientCommand::CheckData { key, op } => {
+                let gw = self.route(&key);
                 let op_ctx = OpCtx {
                     op,
                     started: now,
@@ -631,39 +745,59 @@ impl HyperProvClient {
                     attempts: 0,
                     redo: None,
                 };
-                self.submit_tx(ctx, op_ctx, false, "get", vec![key.into_bytes()]);
+                self.submit_tx(ctx, op_ctx, gw, false, "get", vec![key.into_bytes()]);
             }
             ClientCommand::GetHistory { key, op } => {
+                let gw = self.route(&key);
                 self.start_query(
                     ctx,
                     now,
                     op,
+                    gw,
                     "get_history",
                     vec![key.into_bytes()],
                     QueryKind::History,
                 );
             }
             ClientCommand::GetKeysByChecksum { checksum, op } => {
-                self.start_query(
-                    ctx,
-                    now,
-                    op,
-                    "get_keys_by_checksum",
-                    vec![checksum.to_hex().into_bytes()],
-                    QueryKind::Keys,
-                );
+                if self.gateways.len() > 1 {
+                    self.start_scatter(
+                        ctx,
+                        now,
+                        op,
+                        "get_keys_by_checksum",
+                        vec![checksum.to_hex().into_bytes()],
+                        QueryKind::Keys,
+                    );
+                } else {
+                    self.start_query(
+                        ctx,
+                        now,
+                        op,
+                        0,
+                        "get_keys_by_checksum",
+                        vec![checksum.to_hex().into_bytes()],
+                        QueryKind::Keys,
+                    );
+                }
             }
             ClientCommand::GetLineage { key, depth, op } => {
-                self.start_query(
-                    ctx,
-                    now,
-                    op,
-                    "get_lineage",
-                    vec![key.into_bytes(), depth.to_string().into_bytes()],
-                    QueryKind::Lineage,
-                );
+                if self.gateways.len() > 1 {
+                    self.start_lineage(ctx, now, op, key, depth);
+                } else {
+                    self.start_query(
+                        ctx,
+                        now,
+                        op,
+                        0,
+                        "get_lineage",
+                        vec![key.into_bytes(), depth.to_string().into_bytes()],
+                        QueryKind::Lineage,
+                    );
+                }
             }
             ClientCommand::Delete { key, op } => {
+                let gw = self.route(&key);
                 let op_ctx = OpCtx {
                     op,
                     started: now,
@@ -671,19 +805,25 @@ impl HyperProvClient {
                     attempts: 0,
                     redo: None,
                 };
-                self.submit_tx(ctx, op_ctx, true, "delete", vec![key.into_bytes()]);
+                self.submit_tx(ctx, op_ctx, gw, true, "delete", vec![key.into_bytes()]);
             }
             ClientCommand::List { op } => {
-                self.start_query(ctx, now, op, "list", vec![], QueryKind::List);
+                if self.gateways.len() > 1 {
+                    self.start_scatter(ctx, now, op, "list", vec![], QueryKind::List);
+                } else {
+                    self.start_query(ctx, now, op, 0, "list", vec![], QueryKind::List);
+                }
             }
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn start_query(
         &mut self,
         ctx: &mut Context<'_, NodeMsgOf>,
         now: SimTime,
         op: OpId,
+        gw: usize,
         function: &'static str,
         args: Vec<Vec<u8>>,
         kind: QueryKind,
@@ -695,7 +835,238 @@ impl HyperProvClient {
             attempts: 0,
             redo: None,
         };
-        self.submit_tx(ctx, op_ctx, false, function, args);
+        self.submit_tx(ctx, op_ctx, gw, false, function, args);
+    }
+
+    /// Fans one query out to every channel; results fan in via
+    /// [`Self::on_scatter_response`].
+    fn start_scatter(
+        &mut self,
+        ctx: &mut Context<'_, NodeMsgOf>,
+        now: SimTime,
+        op: OpId,
+        function: &'static str,
+        args: Vec<Vec<u8>>,
+        kind: QueryKind,
+    ) {
+        self.next_scatter += 1;
+        let id = self.next_scatter;
+        let n = self.gateways.len();
+        for gw in 0..n {
+            let tx_id = self.gateways[gw].query(
+                ctx,
+                &mut self.harness,
+                CHAINCODE_NAME,
+                function,
+                args.clone(),
+            );
+            self.scatter_txs.insert(tx_id, (id, gw));
+        }
+        self.scatters.insert(
+            id,
+            ScatterCtx {
+                op,
+                started: now,
+                kind,
+                remaining: n,
+                parts: vec![None; n],
+                error: None,
+            },
+        );
+    }
+
+    /// One shard of a scatter-gather query answered (`tx_id` was found in
+    /// `scatter_txs`). When the last shard is in, the merged (sorted,
+    /// deduplicated) key set — or the first error — completes the op.
+    fn on_scatter_response(
+        &mut self,
+        ctx: &mut Context<'_, NodeMsgOf>,
+        id: u64,
+        gw: usize,
+        result: Result<Vec<u8>, GatewayError>,
+    ) {
+        let Some(scatter) = self.scatters.get_mut(&id) else {
+            return;
+        };
+        match result {
+            Ok(bytes) => match Vec::<String>::from_bytes(&bytes) {
+                Ok(keys) => scatter.parts[gw] = Some(keys),
+                Err(e) => {
+                    scatter
+                        .error
+                        .get_or_insert(HyperProvError::Malformed(e.to_string()));
+                }
+            },
+            Err(error) => {
+                scatter.error.get_or_insert(error.into());
+            }
+        }
+        scatter.remaining -= 1;
+        if scatter.remaining > 0 {
+            return;
+        }
+        let scatter = self
+            .scatters
+            .remove(&id)
+            .expect("invariant: entry matched above");
+        let outcome = match scatter.error {
+            Some(error) => Err(error),
+            None => {
+                let mut keys: Vec<String> = scatter.parts.into_iter().flatten().flatten().collect();
+                keys.sort();
+                keys.dedup();
+                Ok(OpOutput::Keys(keys))
+            }
+        };
+        self.complete(
+            ctx,
+            OpCtx {
+                op: scatter.op,
+                started: scatter.started,
+                state: OpState::Query(scatter.kind),
+                attempts: 0,
+                redo: None,
+            },
+            outcome,
+        );
+    }
+
+    /// Starts a cross-channel lineage traversal rooted at `key`: a
+    /// breadth-first walk fetching each record from its owning shard.
+    fn start_lineage(
+        &mut self,
+        ctx: &mut Context<'_, NodeMsgOf>,
+        now: SimTime,
+        op: OpId,
+        key: String,
+        depth: u32,
+    ) {
+        self.next_lineage += 1;
+        let id = self.next_lineage;
+        let mut seen = HashSet::new();
+        seen.insert(key.clone());
+        self.lineages.insert(
+            id,
+            LineageCtx {
+                op,
+                started: now,
+                max_depth: depth.min(MAX_LINEAGE_DEPTH),
+                seen,
+                queue: VecDeque::new(),
+                entries: Vec::new(),
+                at_root: true,
+            },
+        );
+        self.lineages
+            .get_mut(&id)
+            .expect("just inserted")
+            .queue
+            .push_back((0, key.clone()));
+        self.fetch_lineage_key(ctx, id, &key);
+    }
+
+    /// Issues the `get` for the next lineage key on its owning shard.
+    fn fetch_lineage_key(&mut self, ctx: &mut Context<'_, NodeMsgOf>, id: u64, key: &str) {
+        let gw = self.route(key);
+        let tx_id = self.gateways[gw].query(
+            ctx,
+            &mut self.harness,
+            CHAINCODE_NAME,
+            "get",
+            vec![key.as_bytes().to_vec()],
+        );
+        self.lineage_txs.insert(tx_id, id);
+    }
+
+    /// One lineage fetch answered. Appends the record (if found), enqueues
+    /// unseen parents, and either issues the next fetch or completes.
+    fn on_lineage_response(
+        &mut self,
+        ctx: &mut Context<'_, NodeMsgOf>,
+        id: u64,
+        result: Result<Vec<u8>, GatewayError>,
+    ) {
+        let Some(lineage) = self.lineages.get_mut(&id) else {
+            return;
+        };
+        let Some((depth, _key)) = lineage.queue.pop_front() else {
+            return;
+        };
+        let at_root = lineage.at_root;
+        lineage.at_root = false;
+        match result {
+            Ok(bytes) => match ProvenanceRecord::from_bytes(&bytes) {
+                Ok(record) => {
+                    if depth < lineage.max_depth {
+                        for parent in &record.parents {
+                            if lineage.seen.insert(parent.clone()) {
+                                lineage.queue.push_back((depth + 1, parent.clone()));
+                            }
+                        }
+                    }
+                    lineage.entries.push(LineageEntry { depth, record });
+                }
+                Err(e) => {
+                    let lineage = self
+                        .lineages
+                        .remove(&id)
+                        .expect("invariant: entry matched above");
+                    self.complete_lineage(
+                        ctx,
+                        lineage,
+                        Err(HyperProvError::Malformed(e.to_string())),
+                    );
+                    return;
+                }
+            },
+            Err(error) if at_root => {
+                // Missing or failed root: surface the error, matching the
+                // chaincode's NotFound on an unknown key.
+                let lineage = self
+                    .lineages
+                    .remove(&id)
+                    .expect("invariant: entry matched above");
+                self.complete_lineage(ctx, lineage, Err(error.into()));
+                return;
+            }
+            Err(_) => {
+                // A parent missing on its shard is skipped, exactly as the
+                // chaincode's BFS skips parents absent from state.
+            }
+        }
+        match lineage.queue.front() {
+            Some((_, next)) => {
+                let next = next.clone();
+                self.fetch_lineage_key(ctx, id, &next);
+            }
+            None => {
+                let mut lineage = self
+                    .lineages
+                    .remove(&id)
+                    .expect("invariant: entry matched above");
+                let out = std::mem::take(&mut lineage.entries);
+                self.complete_lineage(ctx, lineage, Ok(OpOutput::Lineage(out)));
+            }
+        }
+    }
+
+    fn complete_lineage(
+        &mut self,
+        ctx: &mut Context<'_, NodeMsgOf>,
+        lineage: LineageCtx,
+        outcome: Result<OpOutput, HyperProvError>,
+    ) {
+        self.complete(
+            ctx,
+            OpCtx {
+                op: lineage.op,
+                started: lineage.started,
+                state: OpState::Query(QueryKind::Lineage),
+                attempts: 0,
+                redo: None,
+            },
+            outcome,
+        );
     }
 
     fn on_gateway_event(&mut self, ctx: &mut Context<'_, NodeMsgOf>, event: GatewayEvent) {
@@ -722,6 +1093,14 @@ impl HyperProvClient {
                 }
             }
             GatewayEvent::QueryDone { tx_id, result, .. } => {
+                if let Some((id, gw)) = self.scatter_txs.remove(&tx_id) {
+                    self.on_scatter_response(ctx, id, gw, result);
+                    return;
+                }
+                if let Some(id) = self.lineage_txs.remove(&tx_id) {
+                    self.on_lineage_response(ctx, id, result);
+                    return;
+                }
                 let Some(op_ctx) = self.by_tx.remove(&tx_id) else {
                     return;
                 };
@@ -819,9 +1198,10 @@ impl HyperProvClient {
                 ctx.span_end(&op_trace(op), "offchain.put", "");
                 match (result, state) {
                     (Ok(()), OpState::StorePut { key, input }) => {
-                        // Payload stored: now post the metadata on-chain.
-                        // The gateway phase starts here, with a fresh
-                        // retry budget.
+                        // Payload stored: now post the metadata on-chain,
+                        // on the shard that owns the key. The gateway
+                        // phase starts here, with a fresh retry budget.
+                        let gw = self.route(&key);
                         let args = vec![
                             key.into_bytes(),
                             hyperprov_ledger::Encode::to_bytes(input.as_ref()),
@@ -833,7 +1213,7 @@ impl HyperProvClient {
                             attempts: 0,
                             redo: None,
                         };
-                        self.submit_tx(ctx, op_ctx, true, "post", args);
+                        self.submit_tx(ctx, op_ctx, gw, true, "post", args);
                     }
                     (Err(err), state) => {
                         self.complete(
@@ -937,6 +1317,28 @@ fn decode_query(kind: QueryKind, bytes: &[u8]) -> Result<OpOutput, HyperProvErro
 /// The message type [`HyperProvClient`] is written against.
 pub type NodeMsgOf = crate::net::NodeMsg;
 
+impl HyperProvClient {
+    /// Which gateway an incoming Fabric message belongs to: the one that
+    /// has the message's transaction in flight. Messages no gateway
+    /// recognises (stale commit notifications for other clients' txs) go
+    /// to gateway 0, which ignores them — exactly the single-gateway
+    /// behaviour.
+    fn gateway_for(&self, msg: &FabricMsg) -> usize {
+        if self.gateways.len() == 1 {
+            return 0;
+        }
+        let tx_id = match msg {
+            FabricMsg::ProposalResult(resp) => &resp.tx_id,
+            FabricMsg::Commit(event) => &event.tx_id,
+            _ => return 0,
+        };
+        self.gateways
+            .iter()
+            .position(|g| g.knows(tx_id))
+            .unwrap_or(0)
+    }
+}
+
 impl Actor<NodeMsgOf> for HyperProvClient {
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
@@ -947,7 +1349,8 @@ impl Actor<NodeMsgOf> for HyperProvClient {
             Event::Message { msg, .. } => match msg {
                 crate::net::NodeMsg::Client(cmd) => self.start(ctx, cmd),
                 crate::net::NodeMsg::Fabric(fmsg) => {
-                    let events = self.gateway.handle(ctx, fmsg);
+                    let gw = self.gateway_for(&fmsg);
+                    let events = self.gateways[gw].handle(ctx, fmsg);
                     for ev in events {
                         self.on_gateway_event(ctx, ev);
                     }
@@ -956,8 +1359,14 @@ impl Actor<NodeMsgOf> for HyperProvClient {
             },
             Event::Timer { token } => {
                 if Gateway::owns_timer(token) {
-                    // A per-op deadline (endorse or commit-wait) expired.
-                    let events = self.gateway.on_timer(ctx, token);
+                    // A per-op deadline (endorse or commit-wait) expired;
+                    // deadline-token salts make ownership unambiguous.
+                    let gw = self
+                        .gateways
+                        .iter()
+                        .position(|g| g.owns_deadline(token))
+                        .unwrap_or(0);
+                    let events = self.gateways[gw].on_timer(ctx, token);
                     for ev in events {
                         self.on_gateway_event(ctx, ev);
                     }
@@ -978,6 +1387,7 @@ impl Actor<NodeMsgOf> for HyperProvClient {
 impl fmt::Debug for HyperProvClient {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("HyperProvClient")
+            .field("gateways", &self.gateways.len())
             .field("inflight_tx", &self.by_tx.len())
             .field("inflight_store", &self.by_store_token.len())
             .finish()

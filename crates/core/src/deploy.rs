@@ -12,12 +12,14 @@ use hyperprov_fabric::{
     Gateway, MspBuilder, MspId, PeerActor, RaftConfig, RaftOrdererActor, SoloOrdererActor,
     RAFT_TICK_TOKEN,
 };
+use hyperprov_ledger::{ChannelId, DEFAULT_CHANNEL};
 use hyperprov_offchain::{MemoryStore, StorageActor, StorageCosts};
 use hyperprov_sim::{ActorId, QueueConfig, SimDuration, Simulation};
 
 use crate::chaincode::HyperProvChaincode;
 use crate::client::{CompletionQueue, HyperProvClient, RetryPolicy};
 use crate::net::NodeMsg;
+use crate::router::HashRouter;
 
 /// Ordering-service topology.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,6 +32,59 @@ pub enum OrdererMode {
         /// Cluster size (use an odd number for sensible quorums).
         members: usize,
     },
+}
+
+/// One channel (shard) of a deployment.
+///
+/// A deployment instantiates one complete ordering pipeline per channel;
+/// peers host any subset of channels (each with its own block store,
+/// state database and history database), and clients route item keys to
+/// channels through a [`crate::ChannelRouter`].
+#[derive(Debug, Clone)]
+pub struct ChannelSpec {
+    /// Channel name (unique within the deployment).
+    pub name: String,
+    /// Ordering topology for this channel (`None` = the deployment-wide
+    /// [`NetworkConfig::orderer_mode`]).
+    pub orderer_mode: Option<OrdererMode>,
+    /// Endorsement policy for this channel (`None` = the deployment-wide
+    /// [`NetworkConfig::policy`]).
+    pub policy: Option<EndorsementPolicy>,
+    /// Peer indices hosting this channel (`None` = every peer).
+    pub peers: Option<Vec<usize>>,
+}
+
+impl ChannelSpec {
+    /// A channel hosted by every peer, with the deployment defaults.
+    pub fn new(name: impl Into<String>) -> Self {
+        ChannelSpec {
+            name: name.into(),
+            orderer_mode: None,
+            policy: None,
+            peers: None,
+        }
+    }
+
+    /// Overrides the ordering topology for this channel.
+    #[must_use]
+    pub fn with_orderer_mode(mut self, mode: OrdererMode) -> Self {
+        self.orderer_mode = Some(mode);
+        self
+    }
+
+    /// Overrides the endorsement policy for this channel.
+    #[must_use]
+    pub fn with_policy(mut self, policy: EndorsementPolicy) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Restricts the channel to a subset of peers (by peer index).
+    #[must_use]
+    pub fn with_peers(mut self, peers: Vec<usize>) -> Self {
+        self.peers = Some(peers);
+        self
+    }
 }
 
 /// Configuration of a HyperProv network.
@@ -76,6 +131,10 @@ pub struct NetworkConfig {
     pub endorse_timeout: Option<SimDuration>,
     /// Client per-op commit-wait deadline (`None` = wait forever).
     pub commit_timeout: Option<SimDuration>,
+    /// The deployment's channels (shards). The single-entry default keeps
+    /// the paper-faithful one-channel layout, byte-identical to the
+    /// pre-sharding code paths.
+    pub channels: Vec<ChannelSpec>,
 }
 
 impl NetworkConfig {
@@ -109,6 +168,7 @@ impl NetworkConfig {
             retry: None,
             endorse_timeout: None,
             commit_timeout: None,
+            channels: vec![ChannelSpec::new(DEFAULT_CHANNEL)],
         }
     }
 
@@ -135,6 +195,7 @@ impl NetworkConfig {
             retry: None,
             endorse_timeout: None,
             commit_timeout: None,
+            channels: vec![ChannelSpec::new(DEFAULT_CHANNEL)],
         }
     }
 
@@ -204,6 +265,40 @@ impl NetworkConfig {
         self.commit_timeout = commit;
         self
     }
+
+    /// Shards the deployment over `n` channels, every peer hosting every
+    /// channel. `n == 1` keeps the legacy channel name (and with it the
+    /// byte-identical single-channel layout); larger `n` names the shards
+    /// `hyperprov-channel-0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn with_channels(mut self, n: usize) -> Self {
+        assert!(n >= 1, "deployment needs at least one channel");
+        self.channels = if n == 1 {
+            vec![ChannelSpec::new(DEFAULT_CHANNEL)]
+        } else {
+            (0..n)
+                .map(|c| ChannelSpec::new(format!("{DEFAULT_CHANNEL}-{c}")))
+                .collect()
+        };
+        self
+    }
+
+    /// Replaces the channel list with explicit per-channel specifications
+    /// (names, ordering topologies, policies, hosting peers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `specs` is empty.
+    #[must_use]
+    pub fn with_channel_specs(mut self, specs: Vec<ChannelSpec>) -> Self {
+        assert!(!specs.is_empty(), "deployment needs at least one channel");
+        self.channels = specs;
+        self
+    }
 }
 
 /// A built network, ready to run.
@@ -222,12 +317,19 @@ pub struct HyperProvNetwork {
     pub clients: Vec<ActorId>,
     /// Completion queues, one per client.
     pub completions: Vec<CompletionQueue>,
-    /// Shared handles to each peer's ledger (for audits and tests).
+    /// Shared handles to each peer's first-channel ledger (for audits and
+    /// tests; on a single-channel deployment this is *the* ledger).
     pub ledgers: Vec<Rc<RefCell<Committer>>>,
     /// The off-chain object store (shared with the storage actor).
     pub store: Arc<MemoryStore>,
     /// Devices, in actor-id order, for energy metering.
     pub devices: Vec<DeviceProfile>,
+    /// Channel ids, in shard order.
+    pub channels: Vec<ChannelId>,
+    /// Ordering-service actors per channel, in shard order.
+    pub channel_orderers: Vec<Vec<ActorId>>,
+    /// Per channel, the hosting peers' `(peer index, committer)` handles.
+    pub channel_ledgers: Vec<Vec<(usize, Rc<RefCell<Committer>>)>>,
 }
 
 impl HyperProvNetwork {
@@ -246,11 +348,57 @@ impl HyperProvNetwork {
             !config.client_devices.is_empty(),
             "need at least one client"
         );
+        assert!(!config.channels.is_empty(), "need at least one channel");
         let n_peers = config.peer_devices.len();
-        let n_orderers = match config.orderer_mode {
-            OrdererMode::Solo => 1,
-            OrdererMode::Raft { members } => members.max(1),
-        };
+
+        // Resolve each channel's topology: ordering mode, endorsement
+        // policy and hosting peers (defaults fall back to the
+        // deployment-wide settings).
+        struct Chan {
+            id: ChannelId,
+            mode: OrdererMode,
+            policy: EndorsementPolicy,
+            hosts: Vec<usize>,
+            orderers: Vec<ActorId>,
+        }
+        let mut chans: Vec<Chan> = Vec::with_capacity(config.channels.len());
+        for spec in &config.channels {
+            let hosts = match &spec.peers {
+                Some(list) => {
+                    assert!(
+                        !list.is_empty(),
+                        "channel {:?} needs at least one hosting peer",
+                        spec.name
+                    );
+                    assert!(
+                        list.iter().all(|&p| p < n_peers),
+                        "channel {:?} references an unknown peer",
+                        spec.name
+                    );
+                    list.clone()
+                }
+                None => (0..n_peers).collect(),
+            };
+            let id = ChannelId::from(spec.name.as_str());
+            assert!(
+                chans.iter().all(|c| c.id != id),
+                "duplicate channel name {:?}",
+                spec.name
+            );
+            chans.push(Chan {
+                id,
+                mode: spec.orderer_mode.unwrap_or(config.orderer_mode),
+                policy: spec.policy.clone().unwrap_or_else(|| config.policy.clone()),
+                hosts,
+                orderers: Vec::new(),
+            });
+        }
+        for i in 0..n_peers {
+            assert!(
+                chans.iter().any(|c| c.hosts.contains(&i)),
+                "peer {i} hosts no channel"
+            );
+        }
 
         // Enrol identities.
         let mut msp_builder = MspBuilder::new(config.seed);
@@ -274,39 +422,69 @@ impl HyperProvNetwork {
         };
         registry.install(Arc::new(chaincode));
 
-        // Predictable actor ids.
+        // Predictable actor ids: peers first, then each channel's ordering
+        // block in shard order, then storage and clients.
         let peer_ids: Vec<ActorId> = (0..n_peers as u32).map(ActorId).collect();
-        let orderer_ids: Vec<ActorId> = (0..n_orderers as u32)
-            .map(|i| ActorId(n_peers as u32 + i))
-            .collect();
-        let storage_id = ActorId((n_peers + n_orderers) as u32);
+        let mut cursor = n_peers as u32;
+        for chan in &mut chans {
+            let members = match chan.mode {
+                OrdererMode::Solo => 1,
+                OrdererMode::Raft { members } => members.max(1),
+            };
+            chan.orderers = (0..members as u32).map(|i| ActorId(cursor + i)).collect();
+            cursor += members as u32;
+        }
+        let storage_id = ActorId(cursor);
         let client_ids: Vec<ActorId> = (0..config.client_devices.len() as u32)
-            .map(|i| ActorId((n_peers + n_orderers) as u32 + 1 + i))
+            .map(|i| ActorId(cursor + 1 + i))
             .collect();
 
         let mut sim: Simulation<NodeMsg> = Simulation::new(config.seed);
         let mut ledgers = Vec::new();
+        let mut channel_ledgers: Vec<Vec<(usize, Rc<RefCell<Committer>>)>> =
+            vec![Vec::new(); chans.len()];
         let mut devices = Vec::new();
 
         for (i, identity) in peer_identities.iter().enumerate() {
-            let committer = Rc::new(RefCell::new(Committer::new(
-                msp.clone(),
-                ChannelPolicies::new(config.policy.clone()),
-            )));
-            ledgers.push(committer.clone());
+            let hosted: Vec<usize> = (0..chans.len())
+                .filter(|&ci| chans[ci].hosts.contains(&i))
+                .collect();
+            let mut committers = Vec::with_capacity(hosted.len());
+            for &ci in &hosted {
+                let chan = &chans[ci];
+                let committer = Rc::new(RefCell::new(Committer::for_channel(
+                    chan.id.clone(),
+                    msp.clone(),
+                    ChannelPolicies::new(chan.policy.clone()),
+                )));
+                channel_ledgers[ci].push((i, committer.clone()));
+                committers.push((ci, committer));
+            }
+            let (first_ci, first_committer) = committers[0].clone();
+            ledgers.push(first_committer.clone());
+            let first_chan = &chans[first_ci];
             let mut actor = PeerActor::<NodeMsg>::new(
                 identity.clone(),
                 registry.clone(),
-                committer,
+                first_committer,
                 config.costs,
                 format!("peer{i}"),
             )
-            .with_catchup_target(orderer_ids[i % n_orderers]);
+            .with_catchup_target(first_chan.orderers[i % first_chan.orderers.len()]);
+            for (ci, committer) in committers.into_iter().skip(1) {
+                let chan = &chans[ci];
+                actor.add_channel(committer, Some(chan.orderers[i % chan.orderers.len()]));
+            }
             if let Some(queue) = config.peer_queue {
                 actor = actor.with_queue(queue);
             }
+            // A client subscribes (for commit events) at its home peer on
+            // every channel it submits to.
             for (c, &cid) in client_ids.iter().enumerate() {
-                if c % n_peers == i {
+                if chans
+                    .iter()
+                    .any(|chan| chan.hosts[c % chan.hosts.len()] == i)
+                {
                     actor.subscribe(cid);
                 }
             }
@@ -315,38 +493,54 @@ impl HyperProvNetwork {
             devices.push(config.peer_devices[i].clone());
         }
 
-        match config.orderer_mode {
-            OrdererMode::Solo => {
-                let mut orderer_actor =
-                    SoloOrdererActor::<NodeMsg>::new(config.batch, peer_ids.clone(), config.costs);
-                if let Some(queue) = config.orderer_queue {
-                    orderer_actor = orderer_actor.with_queue(queue);
-                }
-                let id = sim
-                    .add_actor_with_speed(Box::new(orderer_actor), config.orderer_device.cpu_speed);
-                debug_assert_eq!(id, orderer_ids[0]);
-                devices.push(config.orderer_device.clone());
-            }
-            OrdererMode::Raft { .. } => {
-                for i in 0..n_orderers {
-                    let mut actor = RaftOrdererActor::<NodeMsg>::new(
-                        i,
-                        orderer_ids.clone(),
-                        peer_ids.clone(),
+        for (ci, chan) in chans.iter().enumerate() {
+            let deliver_to: Vec<ActorId> = chan.hosts.iter().map(|&p| peer_ids[p]).collect();
+            match chan.mode {
+                OrdererMode::Solo => {
+                    let mut orderer_actor = SoloOrdererActor::<NodeMsg>::for_channel(
+                        chan.id.clone(),
                         config.batch,
-                        RaftConfig::default(),
-                        SimDuration::from_millis(50),
-                        config.seed,
+                        deliver_to,
                         config.costs,
                     );
                     if let Some(queue) = config.orderer_queue {
-                        actor = actor.with_queue(queue);
+                        orderer_actor = orderer_actor.with_queue(queue);
                     }
-                    let id =
-                        sim.add_actor_with_speed(Box::new(actor), config.orderer_device.cpu_speed);
-                    debug_assert_eq!(id, orderer_ids[i]);
-                    sim.start_timer(id, SimDuration::ZERO, RAFT_TICK_TOKEN);
+                    let id = sim.add_actor_with_speed(
+                        Box::new(orderer_actor),
+                        config.orderer_device.cpu_speed,
+                    );
+                    debug_assert_eq!(id, chan.orderers[0]);
                     devices.push(config.orderer_device.clone());
+                }
+                OrdererMode::Raft { .. } => {
+                    // Per-channel election seed so concurrent clusters do
+                    // not elect in lock-step (channel 0 keeps the legacy
+                    // seed and its exact election timeline).
+                    let raft_seed = config.seed.wrapping_add(ci as u64 * 7919);
+                    for i in 0..chan.orderers.len() {
+                        let mut actor = RaftOrdererActor::<NodeMsg>::new(
+                            i,
+                            chan.orderers.clone(),
+                            deliver_to.clone(),
+                            config.batch,
+                            RaftConfig::default(),
+                            SimDuration::from_millis(50),
+                            raft_seed,
+                            config.costs,
+                        );
+                        if !chan.id.is_default() {
+                            actor = actor.with_channel(chan.id.clone());
+                        }
+                        if let Some(queue) = config.orderer_queue {
+                            actor = actor.with_queue(queue);
+                        }
+                        let id = sim
+                            .add_actor_with_speed(Box::new(actor), config.orderer_device.cpu_speed);
+                        debug_assert_eq!(id, chan.orderers[i]);
+                        sim.start_timer(id, SimDuration::ZERO, RAFT_TICK_TOKEN);
+                        devices.push(config.orderer_device.clone());
+                    }
                 }
             }
         }
@@ -363,24 +557,49 @@ impl HyperProvNetwork {
         let mut clients = Vec::new();
         let mut completions = Vec::new();
         for (i, identity) in client_identities.iter().enumerate() {
-            // Endorse at the client's home peer first, then the others, so
+            // One gateway per channel. On each channel, endorse at the
+            // client's home peer first, then the other hosting peers, so
             // `endorsements_needed` > 1 spreads across orgs.
-            let home = i % n_peers;
-            let mut endorsers = vec![peer_ids[home]];
-            endorsers.extend(peer_ids.iter().copied().filter(|&p| p != peer_ids[home]));
-            let mut gateway = Gateway::new(
-                identity.clone(),
-                "hyperprov-channel",
-                endorsers,
-                orderer_ids[i % n_orderers],
-                config.endorsements_needed,
-                config.costs,
-            );
-            if config.endorse_timeout.is_some() || config.commit_timeout.is_some() {
-                gateway = gateway.with_deadlines(config.endorse_timeout, config.commit_timeout);
+            let mut gateways = Vec::with_capacity(chans.len());
+            for chan in &chans {
+                let home = chan.hosts[i % chan.hosts.len()];
+                let mut endorsers = vec![peer_ids[home]];
+                endorsers.extend(
+                    chan.hosts
+                        .iter()
+                        .filter(|&&p| p != home)
+                        .map(|&p| peer_ids[p]),
+                );
+                let needed = config.endorsements_needed.min(chan.hosts.len());
+                let mut gateway = Gateway::new(
+                    identity.clone(),
+                    chan.id.clone(),
+                    endorsers,
+                    chan.orderers[i % chan.orderers.len()],
+                    needed,
+                    config.costs,
+                );
+                if config.endorse_timeout.is_some() || config.commit_timeout.is_some() {
+                    gateway = gateway.with_deadlines(config.endorse_timeout, config.commit_timeout);
+                }
+                gateways.push(gateway);
             }
-            let (client_actor, queue) =
-                HyperProvClient::new(gateway, storage_id, "sshfs://store0/", config.costs);
+            let (client_actor, queue) = if gateways.len() == 1 {
+                HyperProvClient::new(
+                    gateways.pop().expect("one gateway"),
+                    storage_id,
+                    "sshfs://store0/",
+                    config.costs,
+                )
+            } else {
+                HyperProvClient::sharded(
+                    gateways,
+                    Box::new(HashRouter),
+                    storage_id,
+                    "sshfs://store0/",
+                    config.costs,
+                )
+            };
             let client_actor = match config.retry {
                 Some(policy) => client_actor.with_retry(policy),
                 None => client_actor,
@@ -407,17 +626,23 @@ impl HyperProvNetwork {
             }
         }
 
+        let channel_orderers: Vec<Vec<ActorId>> =
+            chans.iter().map(|c| c.orderers.clone()).collect();
+        let orderers: Vec<ActorId> = channel_orderers.iter().flatten().copied().collect();
         HyperProvNetwork {
             sim,
             peers: peer_ids,
-            orderer: orderer_ids[0],
-            orderers: orderer_ids,
+            orderer: orderers[0],
+            orderers,
             storage: storage_id,
             clients: client_ids,
             completions,
             ledgers,
             store,
             devices,
+            channels: chans.iter().map(|c| c.id.clone()).collect(),
+            channel_orderers,
+            channel_ledgers,
         }
     }
 }

@@ -42,6 +42,7 @@ mod facade;
 mod net;
 mod opm;
 mod record;
+mod router;
 mod verify;
 
 pub use chaincode::{HyperProvChaincode, CHAINCODE_NAME, MAX_LINEAGE_DEPTH};
@@ -49,7 +50,7 @@ pub use client::{
     ClientCommand, ClientCompletion, CompletionQueue, HyperProvClient, HyperProvError, OpId,
     OpOutput, RetryPolicy,
 };
-pub use deploy::{HyperProvNetwork, NetworkConfig, OrdererMode};
+pub use deploy::{ChannelSpec, HyperProvNetwork, NetworkConfig, OrdererMode};
 pub use facade::HyperProv;
 pub use net::NodeMsg;
 pub use opm::{OpmEdge, OpmEdgeKind, OpmGraph, OpmNode, OpmNodeKind};
@@ -57,4 +58,5 @@ pub use record::{
     decode_history, decode_lineage, encode_history, encode_lineage, HistoryRecord, LineageEntry,
     ProvenanceRecord, RecordInput,
 };
+pub use router::{ChannelRouter, HashRouter};
 pub use verify::{audit, current_records, AuditFinding, AuditReport};

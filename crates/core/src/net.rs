@@ -73,6 +73,7 @@ mod tests {
     #[test]
     fn peel_round_trips_each_variant() {
         let f = NodeMsg::wrap(FabricMsg::Commit(hyperprov_fabric::CommitEvent {
+            channel: hyperprov_ledger::ChannelId::default(),
             tx_id: hyperprov_ledger::TxId::default(),
             block_number: 0,
             code: hyperprov_ledger::ValidationCode::Valid,

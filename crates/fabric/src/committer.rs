@@ -13,7 +13,8 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use hyperprov_ledger::{
-    Block, BlockStore, ChainError, HistoryDb, StateDb, TxId, ValidationCode, Version,
+    Block, BlockStore, ChainError, ChannelId, ChannelLedger, HistoryDb, StateDb, TxId,
+    ValidationCode, Version,
 };
 
 use crate::identity::Msp;
@@ -60,44 +61,59 @@ pub struct CommitOutcome {
     pub bytes_written: u64,
 }
 
-/// A committing peer's ledger: block store, world state, history and the
-/// validation machinery.
+/// A committing peer's view of one channel: the per-channel ledger bundle
+/// ([`ChannelLedger`]: block store, world state, history) and the
+/// validation machinery. A peer hosting several channels owns one
+/// `Committer` per channel.
 #[derive(Debug)]
 pub struct Committer {
-    store: BlockStore,
-    state: StateDb,
-    history: HistoryDb,
+    channel: ChannelId,
+    ledger: ChannelLedger,
     msp: Arc<Msp>,
     policies: ChannelPolicies,
     seen: HashSet<TxId>,
 }
 
 impl Committer {
-    /// Creates a committer rooted in the given membership and policies.
+    /// Creates a committer for the default channel.
     pub fn new(msp: Arc<Msp>, policies: ChannelPolicies) -> Self {
+        Committer::for_channel(ChannelId::default(), msp, policies)
+    }
+
+    /// Creates a committer for a named channel.
+    pub fn for_channel(channel: ChannelId, msp: Arc<Msp>, policies: ChannelPolicies) -> Self {
         Committer {
-            store: BlockStore::new(),
-            state: StateDb::new(),
-            history: HistoryDb::new(),
+            channel,
+            ledger: ChannelLedger::new(),
             msp,
             policies,
             seen: HashSet::new(),
         }
     }
 
+    /// The channel this committer serves.
+    pub fn channel(&self) -> &ChannelId {
+        &self.channel
+    }
+
+    /// The channel's ledger bundle.
+    pub fn ledger(&self) -> &ChannelLedger {
+        &self.ledger
+    }
+
     /// The committed block chain.
     pub fn store(&self) -> &BlockStore {
-        &self.store
+        &self.ledger.store
     }
 
     /// The current world state.
     pub fn state(&self) -> &StateDb {
-        &self.state
+        &self.ledger.state
     }
 
     /// The per-key history index.
     pub fn history(&self) -> &HistoryDb {
-        &self.history
+        &self.ledger.history
     }
 
     /// The membership registry this committer validates against.
@@ -107,7 +123,7 @@ impl Committer {
 
     /// Chain height.
     pub fn height(&self) -> u64 {
-        self.store.height()
+        self.ledger.store.height()
     }
 
     /// Validates and commits one block.
@@ -120,13 +136,13 @@ impl Committer {
     pub fn commit_block(&mut self, mut block: Block) -> Result<CommitOutcome, ChainError> {
         // Structural checks first (would also be caught by append, but we
         // must not apply state from a bad block).
-        if block.header.number != self.store.height() {
+        if block.header.number != self.ledger.store.height() {
             return Err(ChainError::WrongNumber {
                 got: block.header.number,
-                expected: self.store.height(),
+                expected: self.ledger.store.height(),
             });
         }
-        if block.header.prev_hash != self.store.tip_hash() {
+        if block.header.prev_hash != self.ledger.store.tip_hash() {
             return Err(ChainError::BrokenLink {
                 at: block.header.number,
             });
@@ -150,8 +166,10 @@ impl Committer {
                     let mut chaincode_event = None;
                     if code.is_valid() {
                         let version = Version::new(block.header.number, tx_num as u32);
-                        self.state.apply_writes(&env.rwset.writes, version);
-                        self.history.append(env.tx_id(), version, &env.rwset.writes);
+                        self.ledger.state.apply_writes(&env.rwset.writes, version);
+                        self.ledger
+                            .history
+                            .append(env.tx_id(), version, &env.rwset.writes);
                         bytes_written += env.rwset.write_bytes() as u64;
                         chaincode_event = env.event.clone();
                     }
@@ -167,6 +185,7 @@ impl Committer {
             }
             codes.push(code);
             events.push(CommitEvent {
+                channel: self.channel.clone(),
                 tx_id: raw.tx_id,
                 block_number: block.header.number,
                 code,
@@ -180,7 +199,7 @@ impl Committer {
         // state ahead of the block store. The structural pre-checks at the
         // top of this function test exactly the conditions `append`
         // re-checks, so this is unreachable unless that pairing breaks.
-        self.store.append(block).unwrap_or_else(|err| {
+        self.ledger.store.append(block).unwrap_or_else(|err| {
             panic!(
                 "invariant violated: block passed commit_block's structural \
                  pre-checks (number/prev_hash/data_hash) but BlockStore::append \
@@ -208,7 +227,21 @@ impl Committer {
         policies: ChannelPolicies,
         blocks: impl IntoIterator<Item = Block>,
     ) -> Result<Committer, ChainError> {
-        let mut committer = Committer::new(msp, policies);
+        Committer::replay_channel(ChannelId::default(), msp, policies, blocks)
+    }
+
+    /// [`Committer::replay`] for a named channel.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ChainError`] if the chain does not link correctly.
+    pub fn replay_channel(
+        channel: ChannelId,
+        msp: Arc<Msp>,
+        policies: ChannelPolicies,
+        blocks: impl IntoIterator<Item = Block>,
+    ) -> Result<Committer, ChainError> {
+        let mut committer = Committer::for_channel(channel, msp, policies);
         for mut block in blocks {
             // Drop the recorded validation codes; they are recomputed.
             block.metadata.codes.clear();
@@ -227,10 +260,11 @@ impl Committer {
     /// Returns a [`ChainError`] if the stored chain does not link
     /// correctly (which would indicate durable-storage corruption).
     pub fn recover(&self) -> Result<Committer, ChainError> {
-        Committer::replay(
+        Committer::replay_channel(
+            self.channel.clone(),
             self.msp.clone(),
             self.policies.clone(),
-            self.store.iter().cloned(),
+            self.ledger.store.iter().cloned(),
         )
     }
 
@@ -251,7 +285,7 @@ impl Committer {
         if !policy.is_satisfied_by(orgs.iter()) {
             return ValidationCode::EndorsementPolicyFailure;
         }
-        if !self.state.validate_reads(&env.rwset.reads) {
+        if !self.ledger.state.validate_reads(&env.rwset.reads) {
             return ValidationCode::MvccReadConflict;
         }
         ValidationCode::Valid

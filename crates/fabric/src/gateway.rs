@@ -8,7 +8,7 @@
 
 use std::collections::HashMap;
 
-use hyperprov_ledger::{Encode, TxId, ValidationCode};
+use hyperprov_ledger::{ChannelId, Encode, TxId, ValidationCode};
 use hyperprov_sim::{ActorId, Context, ServiceHarness, SimDuration, SimTime, TimerId};
 
 use crate::costs::CostModel;
@@ -157,11 +157,12 @@ impl Inflight {
 /// actor-internal small-constant tokens.
 pub const GATEWAY_TOKEN_BIT: u64 = 1 << 62;
 
-/// A Fabric client endpoint bound to endorsers and an orderer.
+/// A Fabric client endpoint bound to one channel's endorsers and orderer.
+/// A client on a multi-channel network embeds one gateway per channel.
 #[derive(Debug)]
 pub struct Gateway {
     identity: SigningIdentity,
-    channel: String,
+    channel: ChannelId,
     endorsers: Vec<ActorId>,
     orderer: ActorId,
     endorsements_needed: usize,
@@ -176,6 +177,11 @@ pub struct Gateway {
     next_deadline_token: u64,
     /// Maps an armed deadline token back to its transaction.
     deadline_tx: HashMap<u64, TxId>,
+    /// OR-ed into every deadline token so several gateways embedded in one
+    /// host actor allocate disjoint token spaces. Zero (the default, and
+    /// always gateway 0 in a deployment) reproduces the single-gateway
+    /// token stream exactly.
+    token_salt: u64,
 }
 
 impl Gateway {
@@ -191,7 +197,7 @@ impl Gateway {
     /// endorser count.
     pub fn new(
         identity: SigningIdentity,
-        channel: impl Into<String>,
+        channel: impl Into<ChannelId>,
         endorsers: Vec<ActorId>,
         orderer: ActorId,
         endorsements_needed: usize,
@@ -215,7 +221,22 @@ impl Gateway {
             commit_timeout: None,
             next_deadline_token: 0,
             deadline_tx: HashMap::new(),
+            token_salt: 0,
         }
+    }
+
+    /// Sets the deadline-token salt for a gateway embedded alongside
+    /// others in the same host actor (use a distinct per-gateway value,
+    /// e.g. `(index as u64) << 32`).
+    #[must_use]
+    pub fn with_token_salt(mut self, salt: u64) -> Self {
+        debug_assert_eq!(
+            salt & (GATEWAY_TOKEN_BIT | hyperprov_sim::HARNESS_TOKEN_BIT),
+            0,
+            "token salt must not collide with the namespace tag bits"
+        );
+        self.token_salt = salt;
+        self
     }
 
     /// Arms per-op deadlines: `endorse` bounds the endorsement/query phase,
@@ -250,7 +271,7 @@ impl Gateway {
     ) -> Option<(u64, TimerId)> {
         let timeout = timeout?;
         self.next_deadline_token += 1;
-        let token = GATEWAY_TOKEN_BIT | self.next_deadline_token;
+        let token = GATEWAY_TOKEN_BIT | self.token_salt | self.next_deadline_token;
         self.deadline_tx.insert(token, tx_id);
         let timer = ctx.set_timer(timeout, token);
         Some((token, timer))
@@ -267,6 +288,23 @@ impl Gateway {
     /// The client certificate this gateway signs with.
     pub fn identity(&self) -> &SigningIdentity {
         &self.identity
+    }
+
+    /// The channel this gateway submits to.
+    pub fn channel(&self) -> &ChannelId {
+        &self.channel
+    }
+
+    /// True when this gateway has `tx_id` in flight (used by hosts with
+    /// several gateways to route responses to the right one).
+    pub fn knows(&self, tx_id: &TxId) -> bool {
+        self.inflight.contains_key(tx_id)
+    }
+
+    /// True when this gateway armed the deadline `token` (used by hosts
+    /// with several gateways to route timers to the right one).
+    pub fn owns_deadline(&self, token: u64) -> bool {
+        self.deadline_tx.contains_key(&token)
     }
 
     /// Number of transactions/queries awaiting completion.

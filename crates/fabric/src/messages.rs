@@ -5,8 +5,8 @@
 //! those bytes), mirroring Fabric's protobuf envelopes.
 
 use hyperprov_ledger::{
-    decode_seq, encode_seq, CodecError, Decode, Decoder, Digest, Encode, Encoder, RawEnvelope,
-    RwSet, TxId,
+    decode_seq, encode_seq, ChannelId, CodecError, Decode, Decoder, Digest, Encode, Encoder,
+    RawEnvelope, RwSet, TxId,
 };
 
 use crate::identity::{Certificate, Signature};
@@ -23,8 +23,8 @@ pub fn tx_trace(tx_id: &TxId) -> String {
 /// A client's request to execute a chaincode function.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Proposal {
-    /// Channel name.
-    pub channel: String,
+    /// Channel the transaction targets.
+    pub channel: ChannelId,
     /// Target chaincode (namespace).
     pub chaincode: String,
     /// Function to invoke.
@@ -51,7 +51,9 @@ impl Proposal {
 
 impl Encode for Proposal {
     fn encode(&self, enc: &mut Encoder) {
-        enc.put_str(&self.channel);
+        // Encoded as the bare name: byte-compatible with the pre-ChannelId
+        // encoding, so tx ids are unchanged.
+        enc.put_str(self.channel.as_str());
         enc.put_str(&self.chaincode);
         enc.put_str(&self.function);
         enc.put_varint(self.args.len() as u64);
@@ -64,7 +66,7 @@ impl Encode for Proposal {
 }
 impl Decode for Proposal {
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
-        let channel = dec.get_str()?;
+        let channel = ChannelId::from(dec.get_str()?);
         let chaincode = dec.get_str()?;
         let function = dec.get_str()?;
         let n = dec.get_varint()?;
@@ -319,6 +321,8 @@ impl Decode for Envelope {
 /// A commit notification delivered to subscribed clients.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CommitEvent {
+    /// Channel the transaction committed on.
+    pub channel: ChannelId,
     /// The committed transaction.
     pub tx_id: TxId,
     /// Block that contains it.

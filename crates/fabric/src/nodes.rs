@@ -19,7 +19,7 @@ use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
-use hyperprov_ledger::{Block, RawEnvelope, RwSet, TxId};
+use hyperprov_ledger::{Block, ChannelId, RawEnvelope, RwSet, TxId};
 use hyperprov_sim::{
     Actor, ActorId, Admission, Context, Event, QueueConfig, ServiceHarness, SimDuration, SpanClose,
     TimerId,
@@ -49,11 +49,13 @@ pub enum FabricMsg {
     ProposalResult(ProposalResponse),
     /// Client → orderer: an assembled transaction.
     Broadcast(Envelope),
-    /// Orderer → peers: a cut block.
-    DeliverBlock(Block),
+    /// Orderer → peers: a cut block on one channel.
+    DeliverBlock(ChannelId, Block),
     /// Peer → orderer: re-deliver blocks from a height (Fabric's deliver
     /// service; used to catch up after partitions).
     DeliverRequest {
+        /// Channel whose chain has the gap.
+        channel: ChannelId,
         /// First block height the peer is missing.
         from: u64,
     },
@@ -70,7 +72,7 @@ impl FabricMsg {
             FabricMsg::SubmitProposal(sp) => sp.proposal.wire_size() + 32,
             FabricMsg::ProposalResult(pr) => pr.wire_size(),
             FabricMsg::Broadcast(env) => env.wire_size(),
-            FabricMsg::DeliverBlock(b) => b.wire_size(),
+            FabricMsg::DeliverBlock(_, b) => b.wire_size(),
             FabricMsg::DeliverRequest { .. } => 64,
             FabricMsg::Commit(_) => 128,
             FabricMsg::Raft(m) => match m.as_ref() {
@@ -102,27 +104,47 @@ impl Carries<FabricMsg> for FabricMsg {
     }
 }
 
-/// A Fabric peer: endorses proposals and commits delivered blocks.
-pub struct PeerActor<M> {
-    identity: SigningIdentity,
-    registry: ChaincodeRegistry,
+/// A peer's per-channel commit pipeline: the channel's committer plus the
+/// volatile delivery bookkeeping (out-of-order buffer, catch-up marker).
+struct PeerChannel {
     committer: Rc<RefCell<Committer>>,
-    costs: CostModel,
-    /// Clients that receive [`FabricMsg::Commit`] notifications.
-    subscribers: Vec<ActorId>,
     /// Blocks that arrived ahead of the next expected height.
     block_buffer: BTreeMap<u64, Block>,
     /// Height of an outstanding catch-up request, to avoid repeats.
     catchup_from: Option<u64>,
     /// Where to request missed blocks from after a crash restart
-    /// (normally the ordering node).
+    /// (normally the channel's ordering node).
     catchup_target: Option<ActorId>,
+}
+
+impl PeerChannel {
+    fn new(committer: Rc<RefCell<Committer>>) -> Self {
+        PeerChannel {
+            committer,
+            block_buffer: BTreeMap::new(),
+            catchup_from: None,
+            catchup_target: None,
+        }
+    }
+}
+
+/// A Fabric peer: endorses proposals and commits delivered blocks on
+/// every channel it hosts (a map `ChannelId -> ledger`, any subset of the
+/// network's channels).
+pub struct PeerActor<M> {
+    identity: SigningIdentity,
+    registry: ChaincodeRegistry,
+    channels: BTreeMap<ChannelId, PeerChannel>,
+    costs: CostModel,
+    /// Clients that receive [`FabricMsg::Commit`] notifications.
+    subscribers: Vec<ActorId>,
     harness: ServiceHarness<M>,
     metric_prefix: String,
 }
 
 impl<M: Carries<FabricMsg>> PeerActor<M> {
-    /// Creates a peer.
+    /// Creates a peer hosting one channel (the committer's channel); add
+    /// more with [`PeerActor::add_channel`].
     pub fn new(
         identity: SigningIdentity,
         registry: ChaincodeRegistry,
@@ -131,18 +153,27 @@ impl<M: Carries<FabricMsg>> PeerActor<M> {
         metric_prefix: impl Into<String>,
     ) -> Self {
         let metric_prefix = metric_prefix.into();
+        let channel = committer.borrow().channel().clone();
+        let mut channels = BTreeMap::new();
+        channels.insert(channel, PeerChannel::new(committer));
         PeerActor {
             identity,
             registry,
-            committer,
+            channels,
             costs,
             subscribers: Vec::new(),
-            block_buffer: BTreeMap::new(),
-            catchup_from: None,
-            catchup_target: None,
             harness: ServiceHarness::new(metric_prefix.clone()),
             metric_prefix,
         }
+    }
+
+    /// Joins the peer to another channel (keyed by the committer's
+    /// channel), with an optional catch-up target for crash recovery.
+    pub fn add_channel(&mut self, committer: Rc<RefCell<Committer>>, catchup: Option<ActorId>) {
+        let channel = committer.borrow().channel().clone();
+        let mut state = PeerChannel::new(committer);
+        state.catchup_target = catchup;
+        self.channels.insert(channel, state);
     }
 
     /// Bounds this peer's admission queue (proposals only; block delivery
@@ -153,11 +184,13 @@ impl<M: Carries<FabricMsg>> PeerActor<M> {
     }
 
     /// Sets the node this peer asks to re-deliver blocks missed while
-    /// crashed (normally the ordering service). Without a target the peer
-    /// still recovers its ledger on restart but waits for the next live
-    /// delivery to notice any gap.
+    /// crashed (normally the ordering service), on every channel hosted so
+    /// far. Without a target the peer still recovers its ledger on restart
+    /// but waits for the next live delivery to notice any gap.
     pub fn with_catchup_target(mut self, target: ActorId) -> Self {
-        self.catchup_target = Some(target);
+        for state in self.channels.values_mut() {
+            state.catchup_target = Some(target);
+        }
         self
     }
 
@@ -168,13 +201,35 @@ impl<M: Carries<FabricMsg>> PeerActor<M> {
         }
     }
 
-    /// Shared handle to this peer's ledger (tests and audits).
+    /// Shared handle to this peer's first channel's ledger (tests and
+    /// audits; single-channel deployments have exactly one).
     pub fn committer(&self) -> Rc<RefCell<Committer>> {
-        self.committer.clone()
+        self.channels
+            .values()
+            .next()
+            .expect("a peer always hosts at least one channel")
+            .committer
+            .clone()
+    }
+
+    /// Shared handle to one channel's ledger, if hosted.
+    pub fn committer_for(&self, channel: &ChannelId) -> Option<Rc<RefCell<Committer>>> {
+        self.channels.get(channel).map(|s| s.committer.clone())
+    }
+
+    /// The channels this peer hosts.
+    pub fn hosted_channels(&self) -> Vec<ChannelId> {
+        self.channels.keys().cloned().collect()
     }
 
     fn on_proposal(&mut self, ctx: &mut Context<'_, M>, src: ActorId, sp: SignedProposal) {
-        let committer = self.committer.borrow();
+        let channel = sp.proposal.channel.clone();
+        let Some(state) = self.channels.get(&channel) else {
+            // Not hosting this channel: reject like any endorsement error.
+            self.reject_proposal(ctx, src, &sp, format!("channel {channel} not hosted"));
+            return;
+        };
+        let committer = state.committer.borrow();
         let (response, stats) = endorse(
             &self.identity,
             &self.registry,
@@ -186,7 +241,7 @@ impl<M: Carries<FabricMsg>> PeerActor<M> {
         drop(committer);
         let cost = self.costs.endorse_cost(&sp.proposal, &stats);
         ctx.metrics()
-            .incr(&format!("{}.endorsed", self.metric_prefix), 1);
+            .incr(&channel.metric_name(&self.metric_prefix, "endorsed"), 1);
         // Per-peer execution span: chaincode simulation + signing, closed
         // when the virtual CPU finishes and the response ships.
         let trace = tx_trace(&sp.proposal.tx_id());
@@ -206,15 +261,19 @@ impl<M: Carries<FabricMsg>> PeerActor<M> {
         );
     }
 
-    /// Sends an immediate rejection for a proposal shed at admission.
-    fn nack_proposal(&mut self, ctx: &mut Context<'_, M>, src: ActorId, sp: &SignedProposal) {
+    /// Sends an immediate rejection carrying `reason` (unhosted channel).
+    fn reject_proposal(
+        &mut self,
+        ctx: &mut Context<'_, M>,
+        src: ActorId,
+        sp: &SignedProposal,
+        reason: String,
+    ) {
         let tx_id = sp.proposal.tx_id();
-        ctx.metrics()
-            .incr(&format!("{}.nacked", self.metric_prefix), 1);
         let response = ProposalResponse {
             tx_id,
             endorser: self.identity.certificate().clone(),
-            result: Err(BUSY_REASON.to_owned()),
+            result: Err(reason),
             rwset: RwSet::new(),
             event: None,
             signature: self
@@ -225,39 +284,66 @@ impl<M: Carries<FabricMsg>> PeerActor<M> {
         ctx.send(src, bytes, M::wrap(FabricMsg::ProposalResult(response)));
     }
 
-    fn on_block(&mut self, ctx: &mut Context<'_, M>, src: ActorId, block: Block) {
-        let next = self.committer.borrow().height();
+    /// Sends an immediate rejection for a proposal shed at admission.
+    fn nack_proposal(&mut self, ctx: &mut Context<'_, M>, src: ActorId, sp: &SignedProposal) {
+        ctx.metrics()
+            .incr(&format!("{}.nacked", self.metric_prefix), 1);
+        self.reject_proposal(ctx, src, sp, BUSY_REASON.to_owned());
+    }
+
+    fn on_block(
+        &mut self,
+        ctx: &mut Context<'_, M>,
+        src: ActorId,
+        channel: ChannelId,
+        block: Block,
+    ) {
+        let Some(state) = self.channels.get(&channel) else {
+            return; // not hosting this channel
+        };
+        let next = state.committer.borrow().height();
         if block.header.number < next {
             return; // duplicate delivery (multi-orderer dissemination)
         }
-        self.block_buffer.insert(block.header.number, block);
+        self.channels
+            .get_mut(&channel)
+            .expect("checked above")
+            .block_buffer
+            .insert(block.header.number, block);
         // Commit every consecutive block now available.
         loop {
-            let height = self.committer.borrow().height();
-            match self.block_buffer.remove(&height) {
-                Some(block) => self.commit_one(ctx, block),
+            let state = self.channels.get_mut(&channel).expect("checked above");
+            let height = state.committer.borrow().height();
+            match state.block_buffer.remove(&height) {
+                Some(block) => self.commit_one(ctx, &channel, block),
                 None => break,
             }
         }
         // Gap detected (a future block is buffered but the next expected
         // one is missing): ask the sender to re-deliver — Fabric's deliver
         // service, which is how a peer catches up after a partition heals.
-        let height = self.committer.borrow().height();
-        if !self.block_buffer.is_empty() {
-            if self.catchup_from != Some(height) {
-                self.catchup_from = Some(height);
-                ctx.metrics()
-                    .incr(&format!("{}.catchup_requests", self.metric_prefix), 1);
-                let msg = FabricMsg::DeliverRequest { from: height };
+        let state = self.channels.get_mut(&channel).expect("checked above");
+        let height = state.committer.borrow().height();
+        if !state.block_buffer.is_empty() {
+            if state.catchup_from != Some(height) {
+                state.catchup_from = Some(height);
+                ctx.metrics().incr(
+                    &channel.metric_name(&self.metric_prefix, "catchup_requests"),
+                    1,
+                );
+                let msg = FabricMsg::DeliverRequest {
+                    channel: channel.clone(),
+                    from: height,
+                };
                 let bytes = msg.wire_size();
                 ctx.send(src, bytes, M::wrap(msg));
             }
         } else {
-            self.catchup_from = None;
+            state.catchup_from = None;
         }
     }
 
-    fn commit_one(&mut self, ctx: &mut Context<'_, M>, block: Block) {
+    fn commit_one(&mut self, ctx: &mut Context<'_, M>, channel: &ChannelId, block: Block) {
         let mut cost = self.costs.block_cost(block.wire_size());
         for raw in &block.envelopes {
             if let Ok(env) = Envelope::from_raw(raw) {
@@ -270,16 +356,23 @@ impl<M: Carries<FabricMsg>> PeerActor<M> {
         }
         // The validate span covers VSCC + MVCC + state apply for the whole
         // block on this peer; it closes once the modelled CPU finishes.
-        let trace = format!("block-{}", block.header.number);
+        let trace = channel.trace_name(&format!("block-{}", block.header.number));
         ctx.span_start(&trace, "validate", &self.metric_prefix);
-        match self.committer.borrow_mut().commit_block(block) {
+        let state = self.channels.get(channel).expect("caller checked");
+        let outcome = state.committer.borrow_mut().commit_block(block);
+        match outcome {
             Ok(outcome) => {
                 let prefix = &self.metric_prefix;
-                ctx.metrics().incr(&format!("{prefix}.blocks"), 1);
                 ctx.metrics()
-                    .incr(&format!("{prefix}.tx.valid"), outcome.valid as u64);
-                ctx.metrics()
-                    .incr(&format!("{prefix}.tx.invalid"), outcome.invalid as u64);
+                    .incr(&channel.metric_name(prefix, "blocks"), 1);
+                ctx.metrics().incr(
+                    &channel.metric_name(prefix, "tx.valid"),
+                    outcome.valid as u64,
+                );
+                ctx.metrics().incr(
+                    &channel.metric_name(prefix, "tx.invalid"),
+                    outcome.invalid as u64,
+                );
                 let mut sends = Vec::new();
                 for event in outcome.events {
                     for &client in &self.subscribers {
@@ -296,8 +389,10 @@ impl<M: Carries<FabricMsg>> PeerActor<M> {
             }
             Err(err) => {
                 ctx.span_end(&trace, "validate", &self.metric_prefix);
-                ctx.metrics()
-                    .incr(&format!("{}.commit_errors", self.metric_prefix), 1);
+                ctx.metrics().incr(
+                    &channel.metric_name(&self.metric_prefix, "commit_errors"),
+                    1,
+                );
                 let _ = err;
             }
         }
@@ -324,7 +419,9 @@ impl<M: Carries<FabricMsg>> Actor<M> for PeerActor<M> {
                         Admission::Done => {}
                     }
                 }
-                Ok(FabricMsg::DeliverBlock(block)) => self.on_block(ctx, src, block),
+                Ok(FabricMsg::DeliverBlock(channel, block)) => {
+                    self.on_block(ctx, src, channel, block)
+                }
                 Ok(_) | Err(_) => {}
             },
             Event::Timer { token } => {
@@ -335,39 +432,56 @@ impl<M: Carries<FabricMsg>> Actor<M> for PeerActor<M> {
 
     fn on_restart(&mut self, ctx: &mut Context<'_, M>) {
         // Volatile state is gone: buffered out-of-order blocks, the
-        // outstanding catch-up marker, deferred jobs, admitted requests.
-        self.block_buffer.clear();
-        self.catchup_from = None;
+        // outstanding catch-up markers, deferred jobs, admitted requests.
         self.harness.reset();
-        // Rebuild world state by re-validating the durable block store;
-        // the replay keeps the virtual CPU busy, so requests arriving
-        // during recovery queue behind it.
-        let recovered = self.committer.borrow().recover();
-        match recovered {
-            Ok(rebuilt) => {
-                let replay_cost = rebuilt
-                    .store()
-                    .iter()
-                    .map(|b| self.costs.block_cost(b.wire_size()))
-                    .fold(SimDuration::ZERO, |acc, c| acc + c);
-                *self.committer.borrow_mut() = rebuilt;
-                if replay_cost > SimDuration::ZERO {
-                    self.harness.charge(ctx, replay_cost);
+        let mut replay_cost = SimDuration::ZERO;
+        let mut catchups = Vec::new();
+        for (channel, state) in &mut self.channels {
+            state.block_buffer.clear();
+            state.catchup_from = None;
+            // Rebuild world state by re-validating the durable block
+            // store; the replay keeps the virtual CPU busy, so requests
+            // arriving during recovery queue behind it.
+            let recovered = state.committer.borrow().recover();
+            match recovered {
+                Ok(rebuilt) => {
+                    replay_cost = rebuilt
+                        .store()
+                        .iter()
+                        .map(|b| self.costs.block_cost(b.wire_size()))
+                        .fold(replay_cost, |acc, c| acc + c);
+                    *state.committer.borrow_mut() = rebuilt;
+                }
+                Err(_) => {
+                    ctx.metrics().incr(
+                        &channel.metric_name(&self.metric_prefix, "recover_errors"),
+                        1,
+                    );
                 }
             }
-            Err(_) => {
-                ctx.metrics()
-                    .incr(&format!("{}.recover_errors", self.metric_prefix), 1);
+            // Catch up on whatever the orderer cut while this peer was
+            // down.
+            if let Some(target) = state.catchup_target {
+                let from = state.committer.borrow().height();
+                ctx.metrics().incr(
+                    &channel.metric_name(&self.metric_prefix, "catchup_requests"),
+                    1,
+                );
+                catchups.push((
+                    target,
+                    FabricMsg::DeliverRequest {
+                        channel: channel.clone(),
+                        from,
+                    },
+                ));
             }
+        }
+        if replay_cost > SimDuration::ZERO {
+            self.harness.charge(ctx, replay_cost);
         }
         ctx.metrics()
             .incr(&format!("{}.recoveries", self.metric_prefix), 1);
-        // Catch up on whatever the orderer cut while this peer was down.
-        if let Some(target) = self.catchup_target {
-            let from = self.committer.borrow().height();
-            ctx.metrics()
-                .incr(&format!("{}.catchup_requests", self.metric_prefix), 1);
-            let msg = FabricMsg::DeliverRequest { from };
+        for (target, msg) in catchups {
             let bytes = msg.wire_size();
             ctx.send(target, bytes, M::wrap(msg));
         }
@@ -379,8 +493,11 @@ const BATCH_TIMER: u64 = 1;
 /// Timer token used by raft orderers for consensus ticks.
 const RAFT_TICK: u64 = 2;
 
-/// A single-node ("solo") ordering service, as used by the paper's setup.
+/// A single-node ("solo") ordering service for one channel, as used by
+/// the paper's setup. A multi-channel deployment runs one ordering
+/// pipeline (solo or raft) per channel.
 pub struct SoloOrdererActor<M> {
+    channel: ChannelId,
     cutter: BlockCutter,
     assembler: BlockAssembler,
     peers: Vec<ActorId>,
@@ -393,9 +510,27 @@ pub struct SoloOrdererActor<M> {
 }
 
 impl<M: Carries<FabricMsg>> SoloOrdererActor<M> {
-    /// Creates a solo orderer delivering blocks to `peers`.
+    /// Creates a solo orderer for the default channel delivering blocks to
+    /// `peers`.
     pub fn new(config: BatchConfig, peers: Vec<ActorId>, costs: CostModel) -> Self {
+        SoloOrdererActor::for_channel(ChannelId::default(), config, peers, costs)
+    }
+
+    /// Creates a solo orderer for a named channel. Metrics and queue
+    /// gauges are namespaced by channel unless it is the default one.
+    pub fn for_channel(
+        channel: ChannelId,
+        config: BatchConfig,
+        peers: Vec<ActorId>,
+        costs: CostModel,
+    ) -> Self {
+        let harness_name = if channel.is_default() {
+            "orderer".to_owned()
+        } else {
+            format!("orderer.{channel}")
+        };
         SoloOrdererActor {
+            channel,
             cutter: BlockCutter::new(config),
             assembler: BlockAssembler::new(),
             peers,
@@ -403,8 +538,12 @@ impl<M: Carries<FabricMsg>> SoloOrdererActor<M> {
             batch_timer: None,
             retained: std::collections::VecDeque::new(),
             retain_limit: 64,
-            harness: ServiceHarness::new("orderer"),
+            harness: ServiceHarness::new(harness_name),
         }
+    }
+
+    fn metric(&self, suffix: &str) -> String {
+        self.channel.metric_name("orderer", suffix)
     }
 
     /// Bounds this orderer's admission queue (broadcasts only). A
@@ -437,8 +576,10 @@ impl<M: Carries<FabricMsg>> SoloOrdererActor<M> {
         let mut closes = Vec::new();
         for batch in batches {
             let block = self.assembler.assemble(batch);
-            ctx.metrics().incr("orderer.blocks_cut", 1);
-            let trace = format!("block-{}", block.header.number);
+            ctx.metrics().incr(&self.metric("blocks_cut"), 1);
+            let trace = self
+                .channel
+                .trace_name(&format!("block-{}", block.header.number));
             for raw in &block.envelopes {
                 // The tx has left the cutter's pending queue.
                 ctx.span_end(&tx_trace(&raw.tx_id), "order.queue", "");
@@ -455,7 +596,11 @@ impl<M: Carries<FabricMsg>> SoloOrdererActor<M> {
             self.retain(&block);
             let bytes = block.wire_size();
             for &peer in &self.peers {
-                sends.push((peer, bytes, M::wrap(FabricMsg::DeliverBlock(block.clone()))));
+                sends.push((
+                    peer,
+                    bytes,
+                    M::wrap(FabricMsg::DeliverBlock(self.channel.clone(), block.clone())),
+                ));
             }
         }
         self.harness.defer(ctx, cost, sends, closes);
@@ -464,7 +609,7 @@ impl<M: Carries<FabricMsg>> SoloOrdererActor<M> {
     fn on_broadcast(&mut self, ctx: &mut Context<'_, M>, env: Envelope) {
         let raw = env.to_raw();
         let cost = self.costs.order_cost(raw.bytes.len() as u64);
-        ctx.metrics().incr("orderer.broadcasts", 1);
+        ctx.metrics().incr(&self.metric("broadcasts"), 1);
         // Time the tx spends waiting for its batch to cut.
         ctx.span_start(&tx_trace(&raw.tx_id), "order.queue", "");
         let out = self.cutter.offer(raw);
@@ -507,17 +652,29 @@ impl<M: Carries<FabricMsg>> Actor<M> for SoloOrdererActor<M> {
                             }
                         }
                         Admission::Nack(_) => {
-                            ctx.metrics().incr("orderer.nacked", 1);
+                            let name = self.metric("nacked");
+                            ctx.metrics().incr(&name, 1);
                         }
                         Admission::Done => {}
                     }
                 }
-                Ok(FabricMsg::DeliverRequest { from }) => {
-                    ctx.metrics().incr("orderer.deliver_requests", 1);
+                Ok(FabricMsg::DeliverRequest { channel, from }) => {
+                    if channel != self.channel {
+                        return; // another channel's ordering service
+                    }
+                    let name = self.metric("deliver_requests");
+                    ctx.metrics().incr(&name, 1);
                     for block in self.retained.iter() {
                         if block.header.number >= from {
                             let bytes = block.wire_size();
-                            ctx.send(src, bytes, M::wrap(FabricMsg::DeliverBlock(block.clone())));
+                            ctx.send(
+                                src,
+                                bytes,
+                                M::wrap(FabricMsg::DeliverBlock(
+                                    self.channel.clone(),
+                                    block.clone(),
+                                )),
+                            );
                         }
                     }
                 }
@@ -526,7 +683,8 @@ impl<M: Carries<FabricMsg>> Actor<M> for SoloOrdererActor<M> {
             Event::Timer { token: BATCH_TIMER } => {
                 self.batch_timer = None;
                 if let Some(batch) = self.cutter.cut() {
-                    ctx.metrics().incr("orderer.timeout_cuts", 1);
+                    let name = self.metric("timeout_cuts");
+                    ctx.metrics().incr(&name, 1);
                     let cost = self.costs.block_base;
                     self.deliver_batches(ctx, vec![batch], cost);
                 }
@@ -546,7 +704,8 @@ impl<M: Carries<FabricMsg>> Actor<M> for SoloOrdererActor<M> {
         self.cutter = BlockCutter::new(config);
         self.batch_timer = None;
         self.harness.reset();
-        ctx.metrics().incr("orderer.recoveries", 1);
+        let name = self.metric("recoveries");
+        ctx.metrics().incr(&name, 1);
     }
 }
 
@@ -554,6 +713,7 @@ impl<M: Carries<FabricMsg>> Actor<M> for SoloOrdererActor<M> {
 /// member that applies a committed batch delivers the resulting block to
 /// all peers (peers deduplicate by height).
 pub struct RaftOrdererActor<M> {
+    channel: ChannelId,
     raft: RaftNode<Vec<RawEnvelope>>,
     /// This member's cluster index, used as span detail so the per-member
     /// `order.deliver` spans of one block do not collide.
@@ -593,6 +753,7 @@ impl<M: Carries<FabricMsg>> RaftOrdererActor<M> {
         costs: CostModel,
     ) -> Self {
         RaftOrdererActor {
+            channel: ChannelId::default(),
             raft: RaftNode::new(index, cluster.len(), raft_config, seed),
             index,
             cutter: BlockCutter::new(batch),
@@ -607,6 +768,26 @@ impl<M: Carries<FabricMsg>> RaftOrdererActor<M> {
             admitted: std::collections::BTreeSet::new(),
             harness: ServiceHarness::new(format!("orderer{index}")),
         }
+    }
+
+    /// Assigns this member to a named channel's ordering cluster (call
+    /// before [`RaftOrdererActor::with_queue`]: it re-derives the queue's
+    /// metric namespace). Metrics and queue gauges are namespaced by the
+    /// channel unless it is the default one.
+    #[must_use]
+    pub fn with_channel(mut self, channel: ChannelId) -> Self {
+        let harness_name = if channel.is_default() {
+            format!("orderer{}", self.index)
+        } else {
+            format!("orderer{}.{channel}", self.index)
+        };
+        self.harness = ServiceHarness::new(harness_name);
+        self.channel = channel;
+        self
+    }
+
+    fn metric(&self, suffix: &str) -> String {
+        self.channel.metric_name("orderer", suffix)
     }
 
     /// Bounds this member's admission queue (leader broadcasts only).
@@ -632,8 +813,11 @@ impl<M: Carries<FabricMsg>> RaftOrdererActor<M> {
         }
         for (_, batch) in out.committed {
             let block = self.assembler.assemble(batch);
-            ctx.metrics().incr("orderer.blocks_cut", 1);
-            let trace = format!("block-{}", block.header.number);
+            let name = self.metric("blocks_cut");
+            ctx.metrics().incr(&name, 1);
+            let trace = self
+                .channel
+                .trace_name(&format!("block-{}", block.header.number));
             for raw in &block.envelopes {
                 // Queue spans close at the member that admitted the tx
                 // (see the `admitted` field), which also frees its
@@ -653,7 +837,11 @@ impl<M: Carries<FabricMsg>> RaftOrdererActor<M> {
             let bytes = block.wire_size();
             let mut sends = Vec::new();
             for &peer in &self.peers {
-                sends.push((peer, bytes, M::wrap(FabricMsg::DeliverBlock(block.clone()))));
+                sends.push((
+                    peer,
+                    bytes,
+                    M::wrap(FabricMsg::DeliverBlock(self.channel.clone(), block.clone())),
+                ));
             }
             let cost = self.costs.block_cost(bytes);
             self.harness.defer(
@@ -669,7 +857,10 @@ impl<M: Carries<FabricMsg>> RaftOrdererActor<M> {
         for batch in batches {
             match self.raft.propose(batch) {
                 Ok(out) => self.ship(ctx, out),
-                Err(_) => ctx.metrics().incr("orderer.dropped_not_leader", 1),
+                Err(_) => {
+                    let name = self.metric("dropped_not_leader");
+                    ctx.metrics().incr(&name, 1)
+                }
             }
         }
     }
@@ -677,7 +868,8 @@ impl<M: Carries<FabricMsg>> RaftOrdererActor<M> {
     fn on_broadcast(&mut self, ctx: &mut Context<'_, M>, env: Envelope) {
         let raw = env.to_raw();
         let cost = self.costs.order_cost(raw.bytes.len() as u64);
-        ctx.metrics().incr("orderer.broadcasts", 1);
+        let name = self.metric("broadcasts");
+        ctx.metrics().incr(&name, 1);
         ctx.span_start(&tx_trace(&raw.tx_id), "order.queue", "");
         self.admitted.insert(raw.tx_id);
         // Admission cost is charged but does not gate consensus messages
@@ -706,12 +898,23 @@ impl<M: Carries<FabricMsg> + 'static> Actor<M> for RaftOrdererActor<M> {
     fn on_event(&mut self, ctx: &mut Context<'_, M>, event: Event<M>) {
         match event {
             Event::Message { src, msg } => match msg.peel() {
-                Ok(FabricMsg::DeliverRequest { from }) => {
-                    ctx.metrics().incr("orderer.deliver_requests", 1);
+                Ok(FabricMsg::DeliverRequest { channel, from }) => {
+                    if channel != self.channel {
+                        return; // another channel's ordering service
+                    }
+                    let name = self.metric("deliver_requests");
+                    ctx.metrics().incr(&name, 1);
                     for block in self.retained.iter() {
                         if block.header.number >= from {
                             let bytes = block.wire_size();
-                            ctx.send(src, bytes, M::wrap(FabricMsg::DeliverBlock(block.clone())));
+                            ctx.send(
+                                src,
+                                bytes,
+                                M::wrap(FabricMsg::DeliverBlock(
+                                    self.channel.clone(),
+                                    block.clone(),
+                                )),
+                            );
                         }
                     }
                 }
@@ -725,7 +928,8 @@ impl<M: Carries<FabricMsg> + 'static> Actor<M> for RaftOrdererActor<M> {
                                 }
                             }
                             Admission::Nack(_) => {
-                                ctx.metrics().incr("orderer.nacked", 1);
+                                let name = self.metric("nacked");
+                                ctx.metrics().incr(&name, 1);
                             }
                             Admission::Done => {}
                         }
@@ -734,9 +938,11 @@ impl<M: Carries<FabricMsg> + 'static> Actor<M> for RaftOrdererActor<M> {
                         let bytes = env.wire_size();
                         let dst = self.cluster[leader];
                         ctx.send(dst, bytes, M::wrap(FabricMsg::Broadcast(env)));
-                        ctx.metrics().incr("orderer.redirects", 1);
+                        let name = self.metric("redirects");
+                        ctx.metrics().incr(&name, 1);
                     } else {
-                        ctx.metrics().incr("orderer.dropped_no_leader", 1);
+                        let name = self.metric("dropped_no_leader");
+                        ctx.metrics().incr(&name, 1);
                     }
                 }
                 Ok(FabricMsg::Raft(raft_msg)) => {
@@ -754,7 +960,8 @@ impl<M: Carries<FabricMsg> + 'static> Actor<M> for RaftOrdererActor<M> {
             Event::Timer { token: BATCH_TIMER } => {
                 self.batch_timer = None;
                 if let Some(batch) = self.cutter.cut() {
-                    ctx.metrics().incr("orderer.timeout_cuts", 1);
+                    let name = self.metric("timeout_cuts");
+                    ctx.metrics().incr(&name, 1);
                     self.propose_batches(ctx, vec![batch]);
                 }
             }
@@ -778,7 +985,8 @@ impl<M: Carries<FabricMsg> + 'static> Actor<M> for RaftOrdererActor<M> {
         // in the tracer (reported as open, never as unmatched).
         self.admitted.clear();
         self.harness.reset();
-        ctx.metrics().incr("orderer.recoveries", 1);
+        let name = self.metric("recoveries");
+        ctx.metrics().incr(&name, 1);
         let tick = self.tick;
         ctx.set_timer(tick, RAFT_TICK);
     }

@@ -103,7 +103,8 @@ fn build(
     let client_actor = ActorId(n + 1);
     let mut peers = Vec::new();
     for (i, (identity, registry)) in ids.iter().zip(registries).enumerate() {
-        let committer = Rc::new(RefCell::new(Committer::new(
+        let committer = Rc::new(RefCell::new(Committer::for_channel(
+            "ch".into(),
             msp.clone(),
             ChannelPolicies::new(policy.clone()),
         )));
@@ -119,7 +120,8 @@ fn build(
         }
         peers.push(sim.add_actor(Box::new(peer)));
     }
-    let orderer = sim.add_actor(Box::new(SoloOrdererActor::<FabricMsg>::new(
+    let orderer = sim.add_actor(Box::new(SoloOrdererActor::<FabricMsg>::for_channel(
+        "ch".into(),
         BatchConfig {
             max_message_count: 1,
             ..BatchConfig::default()
@@ -215,5 +217,6 @@ fn under_collected_endorsements_invalidated_at_commit() {
         }
         other => panic!("expected policy failure, got {other:?}"),
     }
-    assert_eq!(net.sim.metrics().counter("p0.tx.invalid"), 1);
+    // Non-default channels namespace their peer metrics.
+    assert_eq!(net.sim.metrics().counter("p0.ch.tx.invalid"), 1);
 }

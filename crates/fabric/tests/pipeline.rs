@@ -171,7 +171,14 @@ fn build_solo_net(txs: u32, batch: BatchConfig, hot_key: bool) -> TestNet {
     )));
 
     let log = Rc::new(RefCell::new(DriverLog::default()));
-    let gateway = Gateway::new(client_id, "ch1", peers.clone(), orderer, 1, costs);
+    let gateway = Gateway::new(
+        client_id,
+        hyperprov_ledger::ChannelId::default(),
+        peers.clone(),
+        orderer,
+        1,
+        costs,
+    );
     let driver = ClientDriver {
         gateway,
         harness: ServiceHarness::new("client"),
@@ -315,7 +322,7 @@ fn raft_ordering_service_commits_transactions() {
     // Point the gateway at orderer 0; it redirects to the leader if needed.
     let gateway = Gateway::new(
         client_id,
-        "ch1",
+        hyperprov_ledger::ChannelId::default(),
         vec![peer_actor_id],
         orderer_ids[0],
         1,
@@ -405,7 +412,14 @@ fn endorsement_failure_reported_to_client() {
     );
     let peer_id = sim.add_actor(Box::new(peer));
     let log = Rc::new(RefCell::new(DriverLog::default()));
-    let gateway = Gateway::new(client_id, "ch1", vec![peer_id], peer_id, 1, costs);
+    let gateway = Gateway::new(
+        client_id,
+        hyperprov_ledger::ChannelId::default(),
+        vec![peer_id],
+        peer_id,
+        1,
+        costs,
+    );
     let client = sim.add_actor(Box::new(QueryOnce {
         gateway,
         harness: ServiceHarness::new("client"),

@@ -142,7 +142,7 @@ proptest! {
         nonce in any::<u64>(),
     ) {
         let p = Proposal {
-            channel,
+            channel: channel.into(),
             chaincode,
             function,
             args,

@@ -22,6 +22,7 @@
 
 mod block;
 mod blockstore;
+mod channel;
 mod codec;
 mod hash;
 mod history;
@@ -31,6 +32,7 @@ mod tx;
 
 pub use block::{Block, BlockHeader, BlockMetadata, RawEnvelope};
 pub use blockstore::{BlockStore, ChainError};
+pub use channel::{ChannelId, ChannelLedger, DEFAULT_CHANNEL};
 pub use codec::{decode_seq, encode_seq, CodecError, Decode, Decoder, Encode, Encoder};
 pub use hash::{hmac_sha256, Digest, Sha256};
 pub use history::{HistoryDb, HistoryEntry};

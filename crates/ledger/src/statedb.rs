@@ -249,6 +249,73 @@ mod tests {
     }
 
     #[test]
+    fn range_with_prefix_keys_respects_exclusive_end() {
+        // Keys that are prefixes of each other ("k" < "k1" < "k10" < "k2")
+        // must honour the half-open [start, end) contract exactly.
+        let mut db = StateDb::new();
+        for k in ["k", "k1", "k10", "k2"] {
+            put(&mut db, "cc", k, b"v", Version::new(1, 0));
+        }
+        let hits = |start: &str, end: &str| -> Vec<String> {
+            db.range("cc", start, end)
+                .map(|(k, _)| k.key.clone())
+                .collect()
+        };
+        assert_eq!(hits("k", "k1"), vec!["k"]);
+        assert_eq!(hits("k1", "k2"), vec!["k1", "k10"]);
+        assert_eq!(hits("k", ""), vec!["k", "k1", "k10", "k2"]);
+        assert_eq!(hits("k10", "k10"), Vec::<String>::new());
+    }
+
+    #[test]
+    fn range_in_empty_namespace_sees_only_that_namespace() {
+        // The empty namespace is a valid (if degenerate) chaincode name;
+        // its open-ended scan must not drift into later namespaces.
+        let mut db = StateDb::new();
+        put(&mut db, "", "a", b"v", Version::new(1, 0));
+        put(&mut db, "", "b", b"v", Version::new(1, 0));
+        put(&mut db, "cc", "a", b"v", Version::new(1, 0));
+        let keys: Vec<String> = db.range("", "", "").map(|(k, _)| k.key.clone()).collect();
+        assert_eq!(keys, vec!["a", "b"]);
+        assert_eq!(db.scan_prefix("", "").count(), 2);
+    }
+
+    #[test]
+    fn open_ended_range_stops_at_adjacent_namespaces() {
+        // Namespaces that sort immediately after "cc" — including the NUL
+        // sentinel the upper bound is built from — must stay invisible to
+        // chaincode "cc".
+        let mut db = StateDb::new();
+        put(&mut db, "cc", "z", b"v", Version::new(1, 0));
+        put(&mut db, "cc\u{0}", "a", b"v", Version::new(1, 0));
+        put(&mut db, "cc0", "a", b"v", Version::new(1, 0));
+        put(&mut db, "ccx", "a", b"v", Version::new(1, 0));
+        put(&mut db, "cd", "a", b"v", Version::new(1, 0));
+        let keys: Vec<String> = db.range("cc", "", "").map(|(k, _)| k.key.clone()).collect();
+        assert_eq!(keys, vec!["z"], "no adjacent-namespace leakage");
+        // And the neighbours still see their own keys.
+        assert_eq!(db.range("cc\u{0}", "", "").count(), 1);
+        assert_eq!(db.range("ccx", "", "").count(), 1);
+    }
+
+    #[test]
+    fn scan_prefix_stays_inside_namespace() {
+        // A prefix scan near the end of one namespace must not continue
+        // into the next namespace even when its keys share the prefix.
+        let mut db = StateDb::new();
+        put(&mut db, "cc", "item~a", b"v", Version::new(1, 0));
+        put(&mut db, "cc", "zz", b"v", Version::new(1, 0));
+        put(&mut db, "ccx", "zz1", b"v", Version::new(1, 0));
+        put(&mut db, "cd", "item~b", b"v", Version::new(1, 0));
+        let hits: Vec<String> = db
+            .scan_prefix("cc", "zz")
+            .map(|(k, _)| k.key.clone())
+            .collect();
+        assert_eq!(hits, vec!["zz"]);
+        assert_eq!(db.scan_prefix("cc", "item~").count(), 1);
+    }
+
+    #[test]
     fn scan_prefix_matches_composite_keys() {
         let mut db = StateDb::new();
         for k in [

@@ -38,7 +38,10 @@ fn hyperprov_over_raft_ordering_survives_leader_loss() {
     let client_id = ActorId(5);
 
     let mut sim: Simulation<NodeMsg> = Simulation::new(17);
-    let committer = Rc::new(RefCell::new(Committer::new(
+    // The gateway submits on "raft-channel", so the peer must host that
+    // channel (proposals are routed to the matching per-channel ledger).
+    let committer = Rc::new(RefCell::new(Committer::for_channel(
+        "raft-channel".into(),
         msp.clone(),
         ChannelPolicies::new(EndorsementPolicy::any_of([org.clone()])),
     )));
@@ -61,7 +64,8 @@ fn hyperprov_over_raft_ordering_survives_leader_loss() {
             SimDuration::from_millis(50),
             99,
             costs,
-        );
+        )
+        .with_channel("raft-channel".into());
         let id = sim.add_actor(Box::new(actor));
         assert_eq!(id, orderers[i]);
         sim.start_timer(id, SimDuration::ZERO, RAFT_TICK_TOKEN);

@@ -1,0 +1,299 @@
+//! Multi-channel (sharded) deployments: key→channel routing, per-channel
+//! ledger isolation, scatter-gather queries, cross-channel lineage, and
+//! per-channel ordering-service fault isolation.
+
+use hyperprov_repro::fabric::COMPOSITE_SEP;
+use hyperprov_repro::hyperprov::{
+    ChannelRouter, ClientCommand, HashRouter, HyperProvNetwork, NetworkConfig, NodeMsg, OpId,
+    OpOutput,
+};
+use hyperprov_repro::sim::SimTime;
+
+/// Finds a key of the form `{prefix}-{i}` that the default router places
+/// on `want` of `n` channels.
+fn key_on_shard(prefix: &str, want: usize, n: usize) -> String {
+    (0..10_000)
+        .map(|i| format!("{prefix}-{i}"))
+        .find(|k| HashRouter.route(k, n) == want)
+        .expect("hash router reaches every shard")
+}
+
+fn store(net: &mut HyperProvNetwork, client: usize, op: u64, key: &str, parents: Vec<String>) {
+    let target = net.clients[client];
+    net.sim.inject_message(
+        target,
+        NodeMsg::Client(ClientCommand::StoreData {
+            key: key.to_owned(),
+            data: format!("payload of {key}").into_bytes(),
+            parents,
+            metadata: vec![],
+            op: OpId(op),
+        }),
+    );
+}
+
+fn drain_ok(net: &mut HyperProvNetwork, client: usize) -> Vec<OpOutput> {
+    let queue = net.completions[client].clone();
+    let mut out = Vec::new();
+    for completion in queue.borrow_mut().drain(..) {
+        out.push(completion.outcome.expect("operation should succeed"));
+    }
+    out
+}
+
+/// Writes land only on the channel the router picks: the two channels'
+/// state databases stay disjoint, every hosting peer of the owning
+/// channel holds the record, and no peer of the other channel sees it.
+#[test]
+fn two_channel_state_isolation() {
+    let config = NetworkConfig::desktop(2).with_seed(41).with_channels(2);
+    let mut net = HyperProvNetwork::build(&config);
+    assert_eq!(net.channels.len(), 2);
+    assert_eq!(net.channel_ledgers[0].len(), 4, "all peers host channel 0");
+
+    let keys: Vec<String> = (0..2)
+        .flat_map(|shard| (0..3).map(move |i| key_on_shard(&format!("iso-{shard}-{i}"), shard, 2)))
+        .collect();
+    for (i, key) in keys.iter().enumerate() {
+        store(&mut net, i % 2, i as u64 + 1, key, vec![]);
+    }
+    net.sim.run_until(SimTime::from_secs(60));
+    assert_eq!(drain_ok(&mut net, 0).len(), 3);
+    assert_eq!(drain_ok(&mut net, 1).len(), 3);
+
+    for key in &keys {
+        let shard = HashRouter.route(key, 2);
+        let item_key = format!("item{COMPOSITE_SEP}{key}{COMPOSITE_SEP}");
+        for (ci, ledgers) in net.channel_ledgers.iter().enumerate() {
+            for (peer, committer) in ledgers {
+                let committer = committer.borrow();
+                let present = committer
+                    .state()
+                    .scan_prefix("hyperprov", &item_key)
+                    .next()
+                    .is_some();
+                assert_eq!(
+                    present,
+                    ci == shard,
+                    "key {key} (shard {shard}) on peer {peer} channel {ci}"
+                );
+            }
+        }
+    }
+
+    // Each channel's replicas converge among themselves, and MVCC state
+    // never leaks across: the two channels' world states differ.
+    for ledgers in &net.channel_ledgers {
+        let hashes: Vec<_> = ledgers
+            .iter()
+            .map(|(_, c)| c.borrow().state().state_hash())
+            .collect();
+        assert!(hashes.iter().all(|h| *h == hashes[0]));
+    }
+    assert_ne!(
+        net.channel_ledgers[0][0].1.borrow().state().state_hash(),
+        net.channel_ledgers[1][0].1.borrow().state().state_hash(),
+    );
+}
+
+/// Lineage traversal follows parent links across shards: a child on one
+/// channel whose parent lives on another still yields the full chain, and
+/// checksum/list queries scatter-gather over every channel.
+#[test]
+fn cross_channel_lineage_and_scatter_queries() {
+    let mut config = NetworkConfig::desktop(1).with_seed(43).with_channels(2);
+    // Parent checks are per-channel state lookups, so cross-channel
+    // parent links need the permissive chaincode (the strict variant
+    // would reject a parent it cannot see on its own shard).
+    config.permissive = true;
+    let mut net = HyperProvNetwork::build(&config);
+
+    let grandparent = key_on_shard("lineage-gp", 0, 2);
+    let parent = key_on_shard("lineage-p", 1, 2);
+    let child = key_on_shard("lineage-c", 0, 2);
+
+    store(&mut net, 0, 1, &grandparent, vec![]);
+    net.sim.run_until(SimTime::from_secs(20));
+    store(&mut net, 0, 2, &parent, vec![grandparent.clone()]);
+    net.sim.run_until(SimTime::from_secs(40));
+    store(&mut net, 0, 3, &child, vec![parent.clone()]);
+    net.sim.run_until(SimTime::from_secs(60));
+    assert_eq!(drain_ok(&mut net, 0).len(), 3);
+
+    net.sim.inject_message(
+        net.clients[0],
+        NodeMsg::Client(ClientCommand::GetLineage {
+            key: child.clone(),
+            depth: 8,
+            op: OpId(4),
+        }),
+    );
+    net.sim.run_until(SimTime::from_secs(80));
+    let outputs = drain_ok(&mut net, 0);
+    assert_eq!(outputs.len(), 1);
+    match &outputs[0] {
+        OpOutput::Lineage(entries) => {
+            let chain: Vec<(u32, &str)> = entries
+                .iter()
+                .map(|e| (e.depth, e.record.key.as_str()))
+                .collect();
+            assert_eq!(
+                chain,
+                vec![
+                    (0, child.as_str()),
+                    (1, parent.as_str()),
+                    (2, grandparent.as_str()),
+                ],
+                "lineage must hop shard 0 → 1 → 0"
+            );
+        }
+        other => panic!("expected lineage, got {other:?}"),
+    }
+
+    // `list` scatter-gathers: every key, across both shards, sorted.
+    net.sim.inject_message(
+        net.clients[0],
+        NodeMsg::Client(ClientCommand::List { op: OpId(5) }),
+    );
+    net.sim.run_until(SimTime::from_secs(100));
+    let outputs = drain_ok(&mut net, 0);
+    match &outputs[0] {
+        OpOutput::Keys(keys) => {
+            let mut expected = vec![grandparent.clone(), parent.clone(), child.clone()];
+            expected.sort();
+            assert_eq!(keys, &expected);
+        }
+        other => panic!("expected keys, got {other:?}"),
+    }
+}
+
+/// Identical payloads on different shards are both found by the reverse
+/// checksum index (a scatter-gather over every channel's chaincode).
+#[test]
+fn checksum_lookup_spans_channels() {
+    let config = NetworkConfig::desktop(1).with_seed(47).with_channels(2);
+    let mut net = HyperProvNetwork::build(&config);
+
+    let a = key_on_shard("twin-a", 0, 2);
+    let b = key_on_shard("twin-b", 1, 2);
+    let payload = b"identical bytes".to_vec();
+    for (op, key) in [(1, &a), (2, &b)] {
+        net.sim.inject_message(
+            net.clients[0],
+            NodeMsg::Client(ClientCommand::StoreData {
+                key: key.to_string(),
+                data: payload.clone(),
+                parents: vec![],
+                metadata: vec![],
+                op: OpId(op),
+            }),
+        );
+    }
+    net.sim.run_until(SimTime::from_secs(40));
+    let outputs = drain_ok(&mut net, 0);
+    assert_eq!(outputs.len(), 2);
+    let checksum = match &outputs[0] {
+        OpOutput::Committed {
+            record: Some(r), ..
+        } => r.checksum,
+        other => panic!("expected commit, got {other:?}"),
+    };
+
+    net.sim.inject_message(
+        net.clients[0],
+        NodeMsg::Client(ClientCommand::GetKeysByChecksum {
+            checksum,
+            op: OpId(3),
+        }),
+    );
+    net.sim.run_until(SimTime::from_secs(60));
+    match &drain_ok(&mut net, 0)[0] {
+        OpOutput::Keys(keys) => {
+            let mut expected = vec![a.clone(), b.clone()];
+            expected.sort();
+            assert_eq!(keys, &expected, "both shards must answer");
+        }
+        other => panic!("expected keys, got {other:?}"),
+    }
+}
+
+/// Killing one channel's entire Raft quorum stops that shard only: the
+/// other channel keeps committing, and the dead shard resumes (after a
+/// fresh election) once the partition heals.
+#[test]
+fn raft_outage_on_one_channel_leaves_other_channels_unaffected() {
+    let config = NetworkConfig::desktop(1)
+        .with_seed(53)
+        .with_raft_orderers(3)
+        .with_channels(2);
+    let mut net = HyperProvNetwork::build(&config);
+    assert_eq!(net.channel_orderers[0].len(), 3);
+    assert_eq!(net.channel_orderers[1].len(), 3);
+    assert_eq!(net.orderers.len(), 6);
+
+    // Let both clusters elect.
+    net.sim.run_until(SimTime::from_secs(10));
+
+    // Partition channel 0's cluster pairwise: whichever member led, it is
+    // now dead to the shard (no quorum anywhere).
+    let ch0 = net.channel_orderers[0].clone();
+    for i in 0..ch0.len() {
+        for j in (i + 1)..ch0.len() {
+            net.sim.network_mut().partition(ch0[i], ch0[j]);
+        }
+    }
+
+    // A key on the healthy shard commits during the outage...
+    let healthy = key_on_shard("healthy", 1, 2);
+    store(&mut net, 0, 1, &healthy, vec![]);
+    net.sim.run_until(SimTime::from_secs(40));
+    let outputs = drain_ok(&mut net, 0);
+    assert_eq!(outputs.len(), 1, "channel 1 must commit during the outage");
+    // ...and lands only on channel 1's ledgers.
+    assert_eq!(net.channel_ledgers[1][0].1.borrow().height(), 1);
+    assert_eq!(
+        net.channel_ledgers[0][0].1.borrow().height(),
+        0,
+        "channel 0 cannot order without quorum"
+    );
+
+    // Heal; channel 0 re-elects and commits again.
+    net.sim.network_mut().heal_all();
+    net.sim.run_until(SimTime::from_secs(60));
+    let sick = key_on_shard("recovered", 0, 2);
+    store(&mut net, 0, 2, &sick, vec![]);
+    net.sim.run_until(SimTime::from_secs(120));
+    let outputs = drain_ok(&mut net, 0);
+    assert_eq!(outputs.len(), 1, "channel 0 must recover after the heal");
+    assert_eq!(net.channel_ledgers[0][0].1.borrow().height(), 1);
+}
+
+/// Routing is a pure function of the key: a rebuilt network (fresh MSP,
+/// fresh actors) places every key on the same shard as the first build.
+#[test]
+fn routing_is_stable_across_deployments() {
+    let keys: Vec<String> = (0..8).map(|i| format!("stable-{i}")).collect();
+    let shards: Vec<usize> = keys.iter().map(|k| HashRouter.route(k, 2)).collect();
+
+    for seed in [61, 67] {
+        let config = NetworkConfig::desktop(1).with_seed(seed).with_channels(2);
+        let mut net = HyperProvNetwork::build(&config);
+        for (i, key) in keys.iter().enumerate() {
+            store(&mut net, 0, i as u64 + 1, key, vec![]);
+            net.sim
+                .run_until(net.sim.now() + hyperprov_repro::sim::SimDuration::from_secs(15));
+        }
+        assert_eq!(drain_ok(&mut net, 0).len(), keys.len());
+        for (key, &shard) in keys.iter().zip(&shards) {
+            let item_key = format!("item{COMPOSITE_SEP}{key}{COMPOSITE_SEP}");
+            let present = net.channel_ledgers[shard][0]
+                .1
+                .borrow()
+                .state()
+                .scan_prefix("hyperprov", &item_key)
+                .next()
+                .is_some();
+            assert!(present, "seed {seed}: key {key} must sit on shard {shard}");
+        }
+    }
+}
