@@ -24,3 +24,7 @@ cargo run --release -p hyperprov-bench --bin table_faults -- --quick
 # Exercises multi-channel deployments, key->channel routing and
 # scatter-gather queries end to end.
 cargo run --release -p hyperprov-bench --bin table_sharding -- --quick
+
+# Exercises the accelerated commit path (multi-lane VSCC, validate/apply
+# pipelining, verification caches) end to end.
+cargo run --release -p hyperprov-bench --bin table_commit_pipeline -- --quick

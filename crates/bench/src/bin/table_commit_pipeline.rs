@@ -1,0 +1,7 @@
+//! T-PIPELINE: commit-path acceleration (multi-lane VSCC, validate/apply
+//! pipelining, verification caches) vs the serial baseline, desktop and
+//! RPi testbeds.
+
+fn main() {
+    hyperprov_bench::runner::bench_main(&[hyperprov_bench::experiments::pipeline_artefacts]);
+}

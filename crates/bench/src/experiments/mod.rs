@@ -11,6 +11,7 @@ mod faults;
 mod fig12;
 mod fig3;
 mod overload;
+mod pipeline;
 mod queries;
 mod sharding;
 
@@ -22,6 +23,7 @@ pub use faults::{
 pub use fig12::{mean, size_sweep, std_dev, Platform};
 pub use fig3::energy_profile;
 pub use overload::{overload_sweep, OverloadReport};
+pub use pipeline::{pipeline_sweep, PipelineReport};
 pub use queries::{batch_sweep, query_latency};
 pub use sharding::{sharding_sweep, ShardingReport};
 
@@ -132,6 +134,24 @@ pub fn faults_artefacts(quick: bool) -> Vec<Artefact> {
     ]
 }
 
+/// T-PIPELINE artefacts: the commit-acceleration sweep table and its
+/// metrics export. Full runs additionally write the machine-readable
+/// `BENCH_commit.json` at the repo root so future PRs have a perf
+/// trajectory to compare against.
+pub fn pipeline_artefacts(quick: bool) -> Vec<Artefact> {
+    let report = pipeline_sweep(quick);
+    if !quick {
+        let path = results_dir().join("..").join("BENCH_commit.json");
+        if let Err(err) = std::fs::write(&path, &report.bench_json) {
+            eprintln!("[warning: could not save {}: {err}]", path.display());
+        }
+    }
+    vec![
+        Artefact::table(report.table, "table_commit_pipeline"),
+        Artefact::metrics(report.exporter),
+    ]
+}
+
 /// T-SHARDING artefacts: the shard-count sweep table and its metrics
 /// export.
 pub fn sharding_artefacts(quick: bool) -> Vec<Artefact> {
@@ -154,4 +174,5 @@ pub const ALL_CAMPAIGNS: &[fn(bool) -> Vec<Artefact>] = &[
     overload_artefacts,
     faults_artefacts,
     sharding_artefacts,
+    pipeline_artefacts,
 ];

@@ -1,0 +1,297 @@
+//! T-PIPELINE: FastFabric-style commit-path acceleration sweep.
+//!
+//! The paper's commit path validates every transaction serially on one
+//! core; this campaign measures what the peers gain from the three
+//! optimisations the commit pipeline adds on top of that baseline:
+//! multi-lane VSCC (endorsement signature + policy checks fanned out over
+//! the device's cores), validate/apply pipelining across consecutive
+//! blocks, and the two verification caches (the `(cert, digest,
+//! signature)` memo and the endorser hot-state read cache). Swept: lanes
+//! 1/2/4 × caches on/off on the desktop and RPi testbeds under a
+//! saturating closed-loop `post` load with hot parent keys. Reported per
+//! cell: commit-stage goodput, validate-stage p50/p99, and the cache hit
+//! rates.
+
+use hyperprov::{
+    ClientCommand, CommitPipeline, HyperProvNetwork, NetworkConfig, NodeMsg, OpId, OpOutput,
+    RecordInput,
+};
+use hyperprov_fabric::BatchConfig;
+use hyperprov_ledger::Digest;
+use hyperprov_sim::{json, Histogram, SimDuration};
+
+use crate::report::MetricsExporter;
+use crate::runner::run_closed_loop;
+use crate::table::Table;
+
+use super::Platform;
+
+/// The pipeline campaign's artefacts.
+#[derive(Debug)]
+pub struct PipelineReport {
+    /// The acceleration table (one row per platform × lanes × caches).
+    pub table: Table,
+    /// One metrics + trace snapshot per cell.
+    pub exporter: MetricsExporter,
+    /// Machine-readable per-cell goodput and commit-stage quantiles,
+    /// written to the repo-root `BENCH_commit.json` on full runs.
+    pub bench_json: String,
+}
+
+/// Number of shared parent records the load phase links every post to;
+/// endorsers re-read these hot keys on each proposal, which is what the
+/// read cache memoises.
+const HOT_PARENTS: usize = 4;
+
+struct Cell {
+    goodput: f64,
+    errors: u64,
+    validate_p50_ms: f64,
+    validate_p99_ms: f64,
+    sigcache_pct: f64,
+    readcache_pct: f64,
+}
+
+/// Sums every counter whose name ends with `suffix` (cache counters are
+/// namespaced per peer/channel; the sweep reports the fleet-wide rate).
+fn counter_sum(net: &HyperProvNetwork, suffix: &str) -> u64 {
+    net.sim
+        .metrics()
+        .counters()
+        .filter(|(name, _)| name.ends_with(suffix))
+        .map(|(_, v)| v)
+        .sum()
+}
+
+fn hit_pct(hits: u64, misses: u64) -> f64 {
+    let total = hits + misses;
+    if total == 0 {
+        0.0
+    } else {
+        100.0 * hits as f64 / total as f64
+    }
+}
+
+/// Runs one (platform, lanes, caches) cell: seeds the hot parent records,
+/// then drives a closed-loop `post` load where every record links to one
+/// of the shared parents.
+fn run_cell(
+    platform: Platform,
+    lanes: usize,
+    caches: bool,
+    clients: usize,
+    duration: SimDuration,
+    seed: u64,
+    exporter: &mut MetricsExporter,
+) -> Cell {
+    let config = match platform {
+        Platform::Desktop => NetworkConfig::desktop(clients),
+        Platform::Rpi => NetworkConfig::rpi(clients),
+    }
+    .with_seed(seed)
+    .with_batch(BatchConfig {
+        timeout: SimDuration::from_millis(100),
+        ..BatchConfig::default()
+    })
+    .with_pipeline(CommitPipeline {
+        lanes,
+        sig_cache: caches,
+        read_cache: caches,
+    });
+    let mut net = HyperProvNetwork::build(&config);
+
+    // Seed the shared parents all load-phase posts will link to.
+    for p in 0..HOT_PARENTS {
+        let done = one_op(
+            &mut net,
+            ClientCommand::Post {
+                key: format!("parent-{p}"),
+                input: RecordInput::new(Digest::of(b"pipeline-parent")),
+                op: OpId(0),
+            },
+        );
+        assert!(done.is_some(), "parent {p} must commit");
+    }
+
+    // Load phase: unique keys, each linking to a hot parent so endorsers
+    // re-read the same state keys proposal after proposal.
+    let result = run_closed_loop(
+        &mut net,
+        duration,
+        SimDuration::from_secs(10),
+        |client, seq| ClientCommand::Post {
+            key: format!("item-c{client}-s{seq}"),
+            input: RecordInput::new(Digest::of(b"pipeline-bench")).with_parents(vec![format!(
+                "parent-{}",
+                (client + seq as usize) % HOT_PARENTS
+            )]),
+            op: OpId(0),
+        },
+    );
+
+    let mut errors = 0u64;
+    let mut commit = Histogram::new();
+    for (_, completion) in &result.completions {
+        match &completion.outcome {
+            Ok(OpOutput::Committed {
+                record: Some(_), ..
+            }) => commit.record(completion.latency().as_nanos()),
+            Ok(_) => {}
+            Err(_) => errors += 1,
+        }
+    }
+    let goodput = commit.count() as f64 / result.span.as_secs_f64();
+    // The "validate" span covers the whole per-block commit (VSCC +
+    // MVCC/apply) in both the legacy and the pipelined path, so its
+    // quantiles are comparable across the sweep.
+    let validate = net
+        .sim
+        .tracer()
+        .stage_histogram("validate")
+        .cloned()
+        .unwrap_or_default();
+
+    exporter.add_run(
+        &format!(
+            "platform={} lanes={lanes} caches={}",
+            platform.name(),
+            if caches { "on" } else { "off" }
+        ),
+        &net.sim,
+    );
+    Cell {
+        goodput,
+        errors,
+        validate_p50_ms: validate.quantile(0.50) as f64 / 1e6,
+        validate_p99_ms: validate.quantile(0.99) as f64 / 1e6,
+        sigcache_pct: hit_pct(
+            counter_sum(&net, "sigcache.hits"),
+            counter_sum(&net, "sigcache.misses"),
+        ),
+        readcache_pct: hit_pct(
+            counter_sum(&net, "readcache.hits"),
+            counter_sum(&net, "readcache.misses"),
+        ),
+    }
+}
+
+/// Issues one operation on client 0 and runs until it completes,
+/// returning its latency in milliseconds (`None` if it failed).
+fn one_op(net: &mut HyperProvNetwork, mut cmd: ClientCommand) -> Option<f64> {
+    crate::runner::set_op(&mut cmd, OpId(1));
+    let client = net.clients[0];
+    net.sim.inject_message(client, NodeMsg::Client(cmd));
+    let queue = net.completions[0].clone();
+    for _ in 0..10_000 {
+        if let Some(completion) = queue.borrow_mut().pop_front() {
+            let latency_ms = completion.latency().as_nanos() as f64 / 1e6;
+            return completion.outcome.ok().map(|_| latency_ms);
+        }
+        if net.sim.run_events(64) == 0 {
+            let now = net.sim.now();
+            net.sim.run_until(now + SimDuration::from_millis(100));
+        }
+    }
+    panic!("operation never completed");
+}
+
+/// Runs the lanes × caches sweep, producing the T-PIPELINE table, its
+/// metrics export and the machine-readable `BENCH_commit.json` body.
+pub fn pipeline_sweep(quick: bool) -> PipelineReport {
+    type Cfg = (Vec<Platform>, Vec<(usize, bool)>, usize, SimDuration);
+    let (platforms, cells, clients, duration): Cfg = if quick {
+        (
+            vec![Platform::Desktop],
+            vec![(1, false), (4, true)],
+            8,
+            SimDuration::from_secs(4),
+        )
+    } else {
+        (
+            vec![Platform::Desktop, Platform::Rpi],
+            vec![
+                (1, false),
+                (1, true),
+                (2, false),
+                (2, true),
+                (4, false),
+                (4, true),
+            ],
+            96,
+            SimDuration::from_secs(10),
+        )
+    };
+
+    let mut table = Table::new(
+        "T-PIPELINE: commit goodput vs lanes and caches",
+        &[
+            "platform",
+            "lanes",
+            "caches",
+            "goodput (tx/s)",
+            "vs serial",
+            "validate p50 (ms)",
+            "validate p99 (ms)",
+            "sigcache hit%",
+            "readcache hit%",
+            "errors",
+        ],
+    );
+    let mut exporter = MetricsExporter::new("table_commit_pipeline");
+    let mut rows = Vec::new();
+    for &platform in &platforms {
+        let mut serial_goodput = None;
+        for &(lanes, caches) in &cells {
+            let cell = run_cell(
+                platform,
+                lanes,
+                caches,
+                clients,
+                duration,
+                100,
+                &mut exporter,
+            );
+            let baseline = *serial_goodput.get_or_insert(cell.goodput);
+            let speedup = if baseline > 0.0 {
+                cell.goodput / baseline
+            } else {
+                0.0
+            };
+            table.push_row(vec![
+                platform.name().to_owned(),
+                lanes.to_string(),
+                (if caches { "on" } else { "off" }).to_owned(),
+                format!("{:.1}", cell.goodput),
+                format!("{speedup:.2}x"),
+                format!("{:.2}", cell.validate_p50_ms),
+                format!("{:.2}", cell.validate_p99_ms),
+                format!("{:.1}", cell.sigcache_pct),
+                format!("{:.1}", cell.readcache_pct),
+                cell.errors.to_string(),
+            ]);
+            rows.push(
+                json::Obj::new()
+                    .str("platform", platform.name())
+                    .u64("lanes", lanes as u64)
+                    .str("caches", if caches { "on" } else { "off" })
+                    .f64("goodput_tx_s", cell.goodput)
+                    .f64("speedup_vs_serial", speedup)
+                    .f64("commit_p50_ms", cell.validate_p50_ms)
+                    .f64("commit_p99_ms", cell.validate_p99_ms)
+                    .build(),
+            );
+        }
+    }
+    let bench_json = json::pretty(
+        &json::Obj::new()
+            .str("campaign", "T-PIPELINE")
+            .str("metric", "commit-stage goodput and validate-span quantiles")
+            .raw("cells", &json::array(rows))
+            .build(),
+    );
+    PipelineReport {
+        table,
+        exporter,
+        bench_json,
+    }
+}

@@ -39,6 +39,8 @@ const STAGE_ORDER: &[&str] = &[
     "order.queue",
     "order.deliver",
     "validate",
+    "commit.vscc",
+    "commit.apply",
     "commit_wait",
     "query",
 ];

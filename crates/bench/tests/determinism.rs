@@ -4,7 +4,7 @@
 //! legacy code paths (same actor layout, same metric names, same event
 //! order), so seeded runs replay byte-for-byte across releases.
 
-use hyperprov_bench::experiments::{fault_scenario_json, size_sweep, Platform};
+use hyperprov_bench::experiments::{fault_scenario_json, pipeline_sweep, size_sweep, Platform};
 
 fn fixture(name: &str) -> String {
     let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
@@ -30,6 +30,19 @@ fn fig2_quick_metrics_match_committed_fixture() {
         fixture("fig2_quick.metrics.json"),
         "fig2 quick export drifted from the committed fixture; if the \
          change is intentional, regenerate tests/fixtures/fig2_quick.metrics.json"
+    );
+}
+
+#[test]
+fn pipeline_quick_metrics_match_committed_fixture() {
+    // Covers both commit paths: the serial baseline cell (lanes = 1,
+    // caches off) and the accelerated cell (4 lanes, both caches on).
+    let json = pipeline_sweep(true).exporter.to_json();
+    assert_eq!(
+        json,
+        fixture("pipeline_quick.metrics.json"),
+        "T-PIPELINE quick export drifted from the committed fixture; if the \
+         change is intentional, regenerate tests/fixtures/pipeline_quick.metrics.json"
     );
 }
 

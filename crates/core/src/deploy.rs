@@ -8,13 +8,13 @@ use std::sync::Arc;
 
 use hyperprov_device::{link_between, DeviceProfile};
 use hyperprov_fabric::{
-    BatchConfig, ChaincodeRegistry, ChannelPolicies, Committer, CostModel, EndorsementPolicy,
-    Gateway, MspBuilder, MspId, PeerActor, RaftConfig, RaftOrdererActor, SoloOrdererActor,
-    RAFT_TICK_TOKEN,
+    BatchConfig, ChaincodeRegistry, ChannelPolicies, CommitPipeline, Committer, CostModel,
+    EndorsementPolicy, Gateway, MspBuilder, MspId, PeerActor, RaftConfig, RaftOrdererActor,
+    SoloOrdererActor, RAFT_TICK_TOKEN,
 };
 use hyperprov_ledger::{ChannelId, DEFAULT_CHANNEL};
 use hyperprov_offchain::{MemoryStore, StorageActor, StorageCosts};
-use hyperprov_sim::{ActorId, QueueConfig, SimDuration, Simulation};
+use hyperprov_sim::{ActorId, CpuResource, QueueConfig, SimDuration, Simulation};
 
 use crate::chaincode::HyperProvChaincode;
 use crate::client::{CompletionQueue, HyperProvClient, RetryPolicy};
@@ -135,6 +135,10 @@ pub struct NetworkConfig {
     /// the paper-faithful one-channel layout, byte-identical to the
     /// pre-sharding code paths.
     pub channels: Vec<ChannelSpec>,
+    /// Peer commit-path acceleration: VSCC lanes and verification caches.
+    /// The default (one lane, no caches) keeps the legacy serial commit
+    /// path; requested lanes are clamped to each peer device's core count.
+    pub pipeline: CommitPipeline,
 }
 
 impl NetworkConfig {
@@ -169,6 +173,7 @@ impl NetworkConfig {
             endorse_timeout: None,
             commit_timeout: None,
             channels: vec![ChannelSpec::new(DEFAULT_CHANNEL)],
+            pipeline: CommitPipeline::default(),
         }
     }
 
@@ -196,6 +201,7 @@ impl NetworkConfig {
             endorse_timeout: None,
             commit_timeout: None,
             channels: vec![ChannelSpec::new(DEFAULT_CHANNEL)],
+            pipeline: CommitPipeline::default(),
         }
     }
 
@@ -284,6 +290,15 @@ impl NetworkConfig {
                 .map(|c| ChannelSpec::new(format!("{DEFAULT_CHANNEL}-{c}")))
                 .collect()
         };
+        self
+    }
+
+    /// Accelerates the peer commit path: spreads VSCC over `lanes` CPU
+    /// lanes (clamped to each device's cores) and enables the requested
+    /// verification caches.
+    #[must_use]
+    pub fn with_pipeline(mut self, pipeline: CommitPipeline) -> Self {
+        self.pipeline = pipeline;
         self
     }
 
@@ -463,6 +478,12 @@ impl HyperProvNetwork {
             let (first_ci, first_committer) = committers[0].clone();
             ledgers.push(first_committer.clone());
             let first_chan = &chans[first_ci];
+            // A peer gets at most as many VSCC lanes as its device has
+            // cores: an RPi cannot fan out like a Xeon.
+            let lanes = config
+                .pipeline
+                .lanes
+                .clamp(1, config.peer_devices[i].cores.max(1));
             let mut actor = PeerActor::<NodeMsg>::new(
                 identity.clone(),
                 registry.clone(),
@@ -470,6 +491,10 @@ impl HyperProvNetwork {
                 config.costs,
                 format!("peer{i}"),
             )
+            .with_pipeline(CommitPipeline {
+                lanes,
+                ..config.pipeline
+            })
             .with_catchup_target(first_chan.orderers[i % first_chan.orderers.len()]);
             for (ci, committer) in committers.into_iter().skip(1) {
                 let chan = &chans[ci];
@@ -488,7 +513,10 @@ impl HyperProvNetwork {
                     actor.subscribe(cid);
                 }
             }
-            let id = sim.add_actor_with_speed(Box::new(actor), config.peer_devices[i].cpu_speed);
+            let id = sim.add_actor_with_cpu(
+                Box::new(actor),
+                CpuResource::with_lanes(config.peer_devices[i].cpu_speed, lanes),
+            );
             debug_assert_eq!(id, peer_ids[i]);
             devices.push(config.peer_devices[i].clone());
         }

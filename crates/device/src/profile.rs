@@ -18,6 +18,9 @@ pub struct DeviceProfile {
     pub name: String,
     /// CPU speed relative to the reference core (Xeon E5-1603 = 1.0).
     pub cpu_speed: f64,
+    /// Physical cores available to a node on this device (bounds how many
+    /// commit-pipeline lanes deployment will grant a peer).
+    pub cores: usize,
     /// Characteristics of this device's network attachment.
     pub nic: LinkSpec,
     /// Power/energy parameters.
@@ -31,6 +34,7 @@ impl DeviceProfile {
         DeviceProfile {
             name: "Intel Xeon E5-1603 2.80GHz".to_owned(),
             cpu_speed: 1.0,
+            cores: 4,
             nic: desktop_nic(),
             energy: EnergyModel::desktop(),
         }
@@ -42,6 +46,7 @@ impl DeviceProfile {
         DeviceProfile {
             name: "Intel Core i7-4700MQ 2.40GHz".to_owned(),
             cpu_speed: 1.15,
+            cores: 4,
             nic: desktop_nic(),
             energy: EnergyModel::desktop(),
         }
@@ -52,6 +57,7 @@ impl DeviceProfile {
         DeviceProfile {
             name: "Intel Core i3-2310M 2.10GHz".to_owned(),
             cpu_speed: 0.65,
+            cores: 2,
             nic: desktop_nic(),
             energy: EnergyModel::desktop(),
         }
@@ -66,6 +72,8 @@ impl DeviceProfile {
             // In-order A53 at half the clock: ~8x slower than the Xeon on
             // crypto/serialisation workloads.
             cpu_speed: 0.13,
+            // Quad-core Cortex-A53.
+            cores: 4,
             nic: LinkSpec {
                 latency: SimDuration::from_micros(350),
                 bandwidth_bps: 230_000_000,
@@ -81,6 +89,7 @@ impl DeviceProfile {
         DeviceProfile {
             name: "reference".to_owned(),
             cpu_speed: 1.0,
+            cores: 1,
             nic: LinkSpec::lan(),
             energy: EnergyModel::desktop(),
         }

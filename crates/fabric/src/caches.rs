@@ -1,0 +1,226 @@
+//! Verification caches for the accelerated commit path.
+//!
+//! Two FastFabric-style memoisations with hit/miss counters:
+//!
+//! * [`SigVerifyCache`] — a per-peer memo of endorsement signatures that
+//!   already verified, keyed by `(certificate, message digest, signature)`.
+//!   Re-delivered, replayed or re-validated envelopes skip the expensive
+//!   verification; only *successful* checks are cached, so a forged
+//!   signature is re-checked (and re-rejected) every time and the cache
+//!   can never turn an invalid endorsement valid.
+//! * [`ReadCache`] — an endorser-side hot-state read cache with
+//!   MVCC-version invalidation: every key written by a committed
+//!   transaction is evicted, so a present entry is provably current. The
+//!   cache models the *cost* of avoided state-database lookups only;
+//!   chaincode execution still reads the authoritative
+//!   [`StateDb`](hyperprov_ledger::StateDb), so endorsement results are
+//!   byte-identical with the cache on or off.
+
+use std::collections::HashSet;
+
+use hyperprov_ledger::{Digest, StateKey};
+
+use crate::identity::{CertId, Certificate, Msp, Signature};
+
+/// Memo of already-verified `(certificate, digest, signature)` triples.
+#[derive(Debug, Clone, Default)]
+pub struct SigVerifyCache {
+    verified: HashSet<(CertId, Digest, Signature)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl SigVerifyCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        SigVerifyCache::default()
+    }
+
+    /// Verifies `sig` by `cert` over `message`, consulting the memo
+    /// first. Returns `(ok, was_hit)`.
+    pub fn verify(
+        &mut self,
+        msp: &Msp,
+        cert: &Certificate,
+        message: &[u8],
+        sig: &Signature,
+    ) -> (bool, bool) {
+        let key = (cert.id, Digest::of(message), *sig);
+        if self.verified.contains(&key) {
+            self.hits += 1;
+            return (true, true);
+        }
+        self.misses += 1;
+        let ok = msp.verify(cert, message, sig);
+        if ok {
+            self.verified.insert(key);
+        }
+        (ok, false)
+    }
+
+    /// Verifications served from the memo.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Verifications that ran cryptographically.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of memoised triples.
+    pub fn len(&self) -> usize {
+        self.verified.len()
+    }
+
+    /// True when nothing has been memoised.
+    pub fn is_empty(&self) -> bool {
+        self.verified.is_empty()
+    }
+}
+
+/// Endorser-side cache of state keys whose latest committed version the
+/// peer has recently read.
+#[derive(Debug, Clone, Default)]
+pub struct ReadCache {
+    keys: HashSet<StateKey>,
+    hits: u64,
+    misses: u64,
+    invalidations: u64,
+}
+
+impl ReadCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        ReadCache::default()
+    }
+
+    /// Records a chaincode read of `key`. Returns `true` when the read
+    /// was served from the cache; a miss inserts the key for next time.
+    pub fn touch(&mut self, key: &StateKey) -> bool {
+        if self.keys.contains(key) {
+            self.hits += 1;
+            true
+        } else {
+            self.misses += 1;
+            self.keys.insert(key.clone());
+            false
+        }
+    }
+
+    /// Evicts `key` after a committed write to it (MVCC-version
+    /// invalidation). Returns `true` if an entry was dropped.
+    pub fn invalidate(&mut self, key: &StateKey) -> bool {
+        let dropped = self.keys.remove(key);
+        if dropped {
+            self.invalidations += 1;
+        }
+        dropped
+    }
+
+    /// Reads served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Reads that went to the state database.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Entries evicted by committed writes.
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations
+    }
+
+    /// Number of cached keys.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when no key is cached.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::identity::{MspBuilder, MspId};
+
+    #[test]
+    fn sig_cache_hits_on_repeat_and_counts() {
+        let mut b = MspBuilder::new(1);
+        let id = b.enroll("peer0", &MspId::new("org1"));
+        let msp = b.build();
+        let msg = b"endorse-me";
+        let sig = id.sign(msg);
+        let mut cache = SigVerifyCache::new();
+        assert_eq!(
+            cache.verify(&msp, id.certificate(), msg, &sig),
+            (true, false)
+        );
+        assert_eq!(
+            cache.verify(&msp, id.certificate(), msg, &sig),
+            (true, true)
+        );
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn sig_cache_never_caches_failures() {
+        let mut b = MspBuilder::new(1);
+        let id = b.enroll("peer0", &MspId::new("org1"));
+        let msp = b.build();
+        let forged = Signature(Digest::of(b"forged"));
+        let mut cache = SigVerifyCache::new();
+        assert_eq!(
+            cache.verify(&msp, id.certificate(), b"m", &forged),
+            (false, false)
+        );
+        // Re-checked, still a miss: failures are not memoised.
+        assert_eq!(
+            cache.verify(&msp, id.certificate(), b"m", &forged),
+            (false, false)
+        );
+        assert!(cache.is_empty());
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn sig_cache_distinguishes_messages_and_signers() {
+        let mut b = MspBuilder::new(1);
+        let a = b.enroll("a", &MspId::new("org1"));
+        let c = b.enroll("c", &MspId::new("org2"));
+        let msp = b.build();
+        let mut cache = SigVerifyCache::new();
+        cache.verify(&msp, a.certificate(), b"m1", &a.sign(b"m1"));
+        // Different message: miss. Different signer: miss.
+        assert_eq!(
+            cache.verify(&msp, a.certificate(), b"m2", &a.sign(b"m2")),
+            (true, false)
+        );
+        assert_eq!(
+            cache.verify(&msp, c.certificate(), b"m1", &c.sign(b"m1")),
+            (true, false)
+        );
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn read_cache_hit_miss_and_invalidation() {
+        let k = StateKey::new("cc", "hot");
+        let mut cache = ReadCache::new();
+        assert!(!cache.touch(&k)); // cold miss, now cached
+        assert!(cache.touch(&k)); // hit
+        assert!(cache.invalidate(&k)); // committed write evicts
+        assert!(!cache.invalidate(&k)); // second eviction is a no-op
+        assert!(!cache.touch(&k)); // miss again after invalidation
+        assert_eq!(
+            (cache.hits(), cache.misses(), cache.invalidations()),
+            (1, 2, 1)
+        );
+    }
+}

@@ -13,10 +13,11 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use hyperprov_ledger::{
-    Block, BlockStore, ChainError, ChannelId, ChannelLedger, HistoryDb, StateDb, TxId,
-    ValidationCode, Version,
+    Block, BlockStore, ChainError, ChannelId, ChannelLedger, HistoryDb, RawEnvelope, StateDb,
+    StateKey, TxId, ValidationCode, Version,
 };
 
+use crate::caches::SigVerifyCache;
 use crate::identity::Msp;
 use crate::messages::{CommitEvent, Envelope};
 use crate::policy::EndorsementPolicy;
@@ -59,6 +60,30 @@ pub struct CommitOutcome {
     pub invalid: u32,
     /// Total bytes applied to the state database.
     pub bytes_written: u64,
+    /// Keys written by valid transactions, in apply order — what an
+    /// endorser-side [`crate::ReadCache`] must invalidate after this
+    /// block.
+    pub written_keys: Vec<StateKey>,
+}
+
+/// Outcome of the parallelisable VSCC phase for one envelope: the decoded
+/// envelope, the VSCC failure code (if any), and how many endorsement
+/// signatures ran cryptographically vs. were served from a
+/// [`SigVerifyCache`]. The phase touches no world state, so verdicts for
+/// the envelopes of one block are independent and can be computed on
+/// separate CPU lanes.
+#[derive(Debug, Clone)]
+pub struct VsccVerdict {
+    /// The decoded envelope, `None` when decoding failed.
+    pub envelope: Option<Envelope>,
+    /// The VSCC-phase failure ([`ValidationCode::BadSignature`] or
+    /// [`ValidationCode::EndorsementPolicyFailure`]), `None` when the
+    /// envelope passed.
+    pub failure: Option<ValidationCode>,
+    /// Endorsement signatures verified cryptographically.
+    pub sig_misses: u32,
+    /// Endorsement signatures served from the verification cache.
+    pub sig_hits: u32,
 }
 
 /// A committing peer's view of one channel: the per-channel ledger bundle
@@ -134,30 +159,14 @@ impl Committer {
     /// (wrong number, broken link or bad data hash); the ledger is
     /// unchanged in that case.
     pub fn commit_block(&mut self, mut block: Block) -> Result<CommitOutcome, ChainError> {
-        // Structural checks first (would also be caught by append, but we
-        // must not apply state from a bad block).
-        if block.header.number != self.ledger.store.height() {
-            return Err(ChainError::WrongNumber {
-                got: block.header.number,
-                expected: self.ledger.store.height(),
-            });
-        }
-        if block.header.prev_hash != self.ledger.store.tip_hash() {
-            return Err(ChainError::BrokenLink {
-                at: block.header.number,
-            });
-        }
-        if !block.verify_data_hash() {
-            return Err(ChainError::BadDataHash {
-                at: block.header.number,
-            });
-        }
+        self.check_extends(&block)?;
 
         let mut events = Vec::with_capacity(block.envelopes.len());
         let mut codes = Vec::with_capacity(block.envelopes.len());
         let mut valid = 0u32;
         let mut invalid = 0u32;
         let mut bytes_written = 0u64;
+        let mut written_keys = Vec::new();
 
         for (tx_num, raw) in block.envelopes.iter().enumerate() {
             let (code, event) = match Envelope::from_raw(raw) {
@@ -171,6 +180,7 @@ impl Committer {
                             .history
                             .append(env.tx_id(), version, &env.rwset.writes);
                         bytes_written += env.rwset.write_bytes() as u64;
+                        written_keys.extend(env.rwset.writes.iter().map(|w| w.key.clone()));
                         chaincode_event = env.event.clone();
                     }
                     self.seen.insert(env.tx_id());
@@ -194,24 +204,223 @@ impl Committer {
         }
 
         block.metadata.codes = codes;
-        // State writes are already applied above, so a failure here cannot
-        // be reported as a recoverable `Err` — it would leave the world
-        // state ahead of the block store. The structural pre-checks at the
-        // top of this function test exactly the conditions `append`
-        // re-checks, so this is unreachable unless that pairing breaks.
-        self.ledger.store.append(block).unwrap_or_else(|err| {
-            panic!(
-                "invariant violated: block passed commit_block's structural \
-                 pre-checks (number/prev_hash/data_hash) but BlockStore::append \
-                 rejected it: {err:?}"
-            )
-        });
+        self.append_committed(block);
         Ok(CommitOutcome {
             events,
             valid,
             invalid,
             bytes_written,
+            written_keys,
         })
+    }
+
+    /// The parallelisable half of validation: decode each envelope and run
+    /// the stateless VSCC checks (endorsement signatures and endorsement
+    /// policy). Touches neither world state nor the duplicate-tx-id set,
+    /// so the verdicts for one block's envelopes are mutually independent
+    /// — the simulation charges this phase as the makespan of the
+    /// per-envelope costs spread across CPU lanes.
+    ///
+    /// Pass a [`SigVerifyCache`] to memoise successful signature checks
+    /// across blocks; each verdict reports how many verifications hit the
+    /// cache so callers can charge reduced CPU cost for hits.
+    pub fn vscc_block(
+        &self,
+        block: &Block,
+        mut cache: Option<&mut SigVerifyCache>,
+    ) -> Vec<VsccVerdict> {
+        block
+            .envelopes
+            .iter()
+            .map(|raw| self.vscc_envelope(raw, cache.as_deref_mut()))
+            .collect()
+    }
+
+    fn vscc_envelope(&self, raw: &RawEnvelope, cache: Option<&mut SigVerifyCache>) -> VsccVerdict {
+        let env = match Envelope::from_raw(raw) {
+            Ok(env) => env,
+            Err(_) => {
+                return VsccVerdict {
+                    envelope: None,
+                    failure: Some(ValidationCode::BadSignature),
+                    sig_misses: 0,
+                    sig_hits: 0,
+                }
+            }
+        };
+        let msg = env.endorsement_message();
+        let mut orgs = Vec::new();
+        let mut sig_misses = 0u32;
+        let mut sig_hits = 0u32;
+        let mut failure = None;
+        let mut cache = cache;
+        for e in &env.endorsements {
+            let ok = match cache.as_deref_mut() {
+                Some(c) => {
+                    let (ok, hit) = c.verify(&self.msp, &e.endorser, &msg, &e.signature);
+                    if hit {
+                        sig_hits += 1;
+                    } else {
+                        sig_misses += 1;
+                    }
+                    ok
+                }
+                None => {
+                    sig_misses += 1;
+                    self.msp.verify(&e.endorser, &msg, &e.signature)
+                }
+            };
+            if !ok {
+                // Stop at the first bad signature, exactly like the serial
+                // validator's early return.
+                failure = Some(ValidationCode::BadSignature);
+                break;
+            }
+            orgs.push(e.endorser.org.clone());
+        }
+        if failure.is_none() {
+            let policy = self.policies.policy_for(&env.proposal.chaincode);
+            if !policy.is_satisfied_by(orgs.iter()) {
+                failure = Some(ValidationCode::EndorsementPolicyFailure);
+            }
+        }
+        VsccVerdict {
+            envelope: Some(env),
+            failure,
+            sig_misses,
+            sig_hits,
+        }
+    }
+
+    /// The serial half of the split commit path: duplicate-tx-id and MVCC
+    /// read-version checks plus the state/history apply, consuming the
+    /// [`VsccVerdict`]s produced by [`Committer::vscc_block`] for this
+    /// block. Together the two halves decide exactly the same
+    /// [`ValidationCode`] per transaction as [`Committer::commit_block`]:
+    /// both check duplicates before signature/policy verdicts before MVCC,
+    /// and signature and policy checks are pure, so evaluating them
+    /// eagerly in the VSCC phase (even for transactions a serial validator
+    /// would have rejected as duplicates first) cannot change any
+    /// decision.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ChainError`] if the block does not extend the chain;
+    /// the ledger is unchanged in that case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vscc` does not hold exactly one verdict per envelope of
+    /// `block` — verdicts from a different block are a logic error.
+    pub fn commit_block_prevalidated(
+        &mut self,
+        mut block: Block,
+        vscc: Vec<VsccVerdict>,
+    ) -> Result<CommitOutcome, ChainError> {
+        assert_eq!(
+            vscc.len(),
+            block.envelopes.len(),
+            "one VSCC verdict per envelope"
+        );
+        self.check_extends(&block)?;
+
+        let mut events = Vec::with_capacity(block.envelopes.len());
+        let mut codes = Vec::with_capacity(block.envelopes.len());
+        let mut valid = 0u32;
+        let mut invalid = 0u32;
+        let mut bytes_written = 0u64;
+        let mut written_keys = Vec::new();
+
+        for (tx_num, (raw, verdict)) in block.envelopes.iter().zip(vscc).enumerate() {
+            let (code, event) = match verdict.envelope {
+                Some(env) => {
+                    let code = if self.seen.contains(&env.tx_id()) {
+                        ValidationCode::DuplicateTxId
+                    } else if let Some(failure) = verdict.failure {
+                        failure
+                    } else if !self.ledger.state.validate_reads(&env.rwset.reads) {
+                        ValidationCode::MvccReadConflict
+                    } else {
+                        ValidationCode::Valid
+                    };
+                    let mut chaincode_event = None;
+                    if code.is_valid() {
+                        let version = Version::new(block.header.number, tx_num as u32);
+                        self.ledger.state.apply_writes(&env.rwset.writes, version);
+                        self.ledger
+                            .history
+                            .append(env.tx_id(), version, &env.rwset.writes);
+                        bytes_written += env.rwset.write_bytes() as u64;
+                        written_keys.extend(env.rwset.writes.iter().map(|w| w.key.clone()));
+                        chaincode_event = env.event.clone();
+                    }
+                    self.seen.insert(env.tx_id());
+                    (code, chaincode_event)
+                }
+                None => (ValidationCode::BadSignature, None),
+            };
+            if code.is_valid() {
+                valid += 1;
+            } else {
+                invalid += 1;
+            }
+            codes.push(code);
+            events.push(CommitEvent {
+                channel: self.channel.clone(),
+                tx_id: raw.tx_id,
+                block_number: block.header.number,
+                code,
+                chaincode_event: event,
+            });
+        }
+
+        block.metadata.codes = codes;
+        self.append_committed(block);
+        Ok(CommitOutcome {
+            events,
+            valid,
+            invalid,
+            bytes_written,
+            written_keys,
+        })
+    }
+
+    /// Structural checks: the block must extend the current chain. These
+    /// would also be caught by `append`, but state must not be applied
+    /// from a bad block, so they run before any per-transaction work.
+    fn check_extends(&self, block: &Block) -> Result<(), ChainError> {
+        if block.header.number != self.ledger.store.height() {
+            return Err(ChainError::WrongNumber {
+                got: block.header.number,
+                expected: self.ledger.store.height(),
+            });
+        }
+        if block.header.prev_hash != self.ledger.store.tip_hash() {
+            return Err(ChainError::BrokenLink {
+                at: block.header.number,
+            });
+        }
+        if !block.verify_data_hash() {
+            return Err(ChainError::BadDataHash {
+                at: block.header.number,
+            });
+        }
+        Ok(())
+    }
+
+    /// Appends a block whose state writes are already applied. A failure
+    /// here cannot be reported as a recoverable `Err` — it would leave the
+    /// world state ahead of the block store. [`Committer::check_extends`]
+    /// tests exactly the conditions `append` re-checks, so this is
+    /// unreachable unless that pairing breaks.
+    fn append_committed(&mut self, block: Block) {
+        self.ledger.store.append(block).unwrap_or_else(|err| {
+            panic!(
+                "invariant violated: block passed commit's structural \
+                 pre-checks (number/prev_hash/data_hash) but BlockStore::append \
+                 rejected it: {err:?}"
+            )
+        });
     }
 
     /// Rebuilds a peer's entire ledger by re-validating a persisted chain
@@ -581,5 +790,74 @@ mod tests {
         let env = envelope(&n, 1, write_set("k", b"v"), &[0, 1]);
         let out = c.commit_block(block_of(&c, vec![env])).unwrap();
         assert_eq!(out.events[0].code, ValidationCode::Valid);
+    }
+
+    #[test]
+    fn prevalidated_path_matches_legacy_on_mixed_block() {
+        let n = net();
+        let policy = EndorsementPolicy::any_of([MspId::new("org1")]);
+        let mut legacy = committer(&n, policy.clone());
+        let mut split = committer(&n, policy);
+        let mut cache = crate::SigVerifyCache::new();
+
+        // A mix: valid, forged signature, MVCC conflict pair, and (in a
+        // second block) a duplicate of the first transaction.
+        let e_valid = envelope(&n, 1, write_set("a", b"1"), &[0]);
+        let mut e_forged = envelope(&n, 2, write_set("b", b"2"), &[0]);
+        e_forged.endorsements[0].signature = Signature(Digest::of(b"forged"));
+        let stale = |nonce: u64| RwSet {
+            reads: vec![KvRead {
+                key: StateKey::new("cc", "hot"),
+                version: None,
+            }],
+            writes: vec![KvWrite {
+                key: StateKey::new("cc", "hot"),
+                value: Some(vec![nonce as u8]),
+            }],
+        };
+        let e_win = envelope(&n, 3, stale(3), &[0]);
+        let e_lose = envelope(&n, 4, stale(4), &[0]);
+        let envs = [&e_valid, &e_forged, &e_win, &e_lose];
+        let blocks = |c: &Committer| {
+            Block::build(
+                c.height(),
+                c.store().tip_hash(),
+                envs.iter().map(|e| e.to_raw()).collect(),
+            )
+        };
+
+        let b1_legacy = blocks(&legacy);
+        let out_legacy = legacy.commit_block(b1_legacy).unwrap();
+        let b1_split = blocks(&split);
+        let verdicts = split.vscc_block(&b1_split, Some(&mut cache));
+        let out_split = split.commit_block_prevalidated(b1_split, verdicts).unwrap();
+
+        let codes = |c: &Committer, h: u64| c.store().block(h).unwrap().metadata.codes.clone();
+        assert_eq!(codes(&legacy, 0), codes(&split, 0));
+        assert_eq!(out_legacy.valid, out_split.valid);
+        assert_eq!(out_legacy.bytes_written, out_split.bytes_written);
+        assert_eq!(out_legacy.written_keys, out_split.written_keys);
+        assert_eq!(legacy.state().state_hash(), split.state().state_hash());
+
+        // Block 2: duplicate of e_valid. The split path runs (cached)
+        // signature checks eagerly, but the serial phase still reports
+        // DuplicateTxId just like the legacy validator.
+        let b2_legacy = Block::build(
+            legacy.height(),
+            legacy.store().tip_hash(),
+            vec![e_valid.to_raw()],
+        );
+        legacy.commit_block(b2_legacy).unwrap();
+        let b2_split = Block::build(
+            split.height(),
+            split.store().tip_hash(),
+            vec![e_valid.to_raw()],
+        );
+        let verdicts = split.vscc_block(&b2_split, Some(&mut cache));
+        assert_eq!(verdicts[0].sig_hits, 1); // same (cert, msg, sig) as block 1
+        split.commit_block_prevalidated(b2_split, verdicts).unwrap();
+        assert_eq!(codes(&legacy, 1), codes(&split, 1));
+        assert_eq!(codes(&split, 1), vec![ValidationCode::DuplicateTxId]);
+        assert_eq!(legacy.state().state_hash(), split.state().state_hash());
     }
 }

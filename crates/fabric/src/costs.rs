@@ -37,6 +37,9 @@ pub struct CostModel {
     pub block_base: SimDuration,
     /// Orderer's per-envelope admission work.
     pub order_per_msg: SimDuration,
+    /// Serving one verification or state read from a warm in-memory cache
+    /// (hash + lookup) instead of doing the full work.
+    pub cache_hit_op: SimDuration,
 }
 
 impl Default for CostModel {
@@ -51,6 +54,7 @@ impl Default for CostModel {
             commit_per_tx: SimDuration::from_micros(400),
             block_base: SimDuration::from_micros(900),
             order_per_msg: SimDuration::from_micros(80),
+            cache_hit_op: SimDuration::from_micros(5),
         }
     }
 }
@@ -77,6 +81,21 @@ impl CostModel {
     /// endorsement, policy evaluation and MVCC bookkeeping.
     pub fn validate_cost(&self, envelope: &Envelope) -> SimDuration {
         self.verify * envelope.endorsements.len() as u64 + self.commit_per_tx
+    }
+
+    /// Parallelisable half of [`CostModel::validate_cost`]: the stateless
+    /// VSCC work for one envelope, with cache-served verifications charged
+    /// at [`CostModel::cache_hit_op`]. With no cache hits,
+    /// `vscc_cost(n, 0) + mvcc_cost()` equals `validate_cost` for an
+    /// envelope with `n` endorsements.
+    pub fn vscc_cost(&self, sig_misses: u64, sig_hits: u64) -> SimDuration {
+        self.verify * sig_misses + self.cache_hit_op * sig_hits
+    }
+
+    /// Serial half of [`CostModel::validate_cost`]: per-transaction MVCC
+    /// bookkeeping that must run in block order.
+    pub fn mvcc_cost(&self) -> SimDuration {
+        self.commit_per_tx
     }
 
     /// Committing peer's cost to apply a validated write set.
@@ -170,6 +189,15 @@ mod tests {
             ],
         };
         assert!(m.validate_cost(&mk(4)) > m.validate_cost(&mk(1)));
+        // The split phases partition the legacy per-envelope cost exactly.
+        for n in [0u64, 1, 4] {
+            assert_eq!(
+                m.vscc_cost(n, 0) + m.mvcc_cost(),
+                m.validate_cost(&mk(n as usize))
+            );
+        }
+        // A cache hit is strictly cheaper than a cryptographic check.
+        assert!(m.vscc_cost(0, 1) < m.vscc_cost(1, 0));
     }
 
     #[test]

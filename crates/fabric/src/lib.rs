@@ -18,6 +18,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod caches;
 mod chaincode;
 mod committer;
 mod costs;
@@ -30,10 +31,11 @@ mod orderer;
 mod policy;
 mod raft;
 
+pub use caches::{ReadCache, SigVerifyCache};
 pub use chaincode::{
     Chaincode, ChaincodeError, ChaincodeRegistry, ChaincodeStub, StubStats, COMPOSITE_SEP,
 };
-pub use committer::{ChannelPolicies, CommitOutcome, Committer};
+pub use committer::{ChannelPolicies, CommitOutcome, Committer, VsccVerdict};
 pub use costs::CostModel;
 pub use endorser::endorse;
 pub use gateway::{Gateway, GatewayError, GatewayEvent, GATEWAY_TOKEN_BIT};
@@ -43,7 +45,8 @@ pub use messages::{
     Envelope, Proposal, ProposalResponse, SignedProposal,
 };
 pub use nodes::{
-    Carries, FabricMsg, PeerActor, RaftOrdererActor, SoloOrdererActor, BUSY_REASON, RAFT_TICK_TOKEN,
+    Carries, CommitPipeline, FabricMsg, PeerActor, RaftOrdererActor, SoloOrdererActor, BUSY_REASON,
+    RAFT_TICK_TOKEN,
 };
 pub use orderer::{BatchConfig, BlockAssembler, BlockCutter, CutterOutput};
 pub use policy::EndorsementPolicy;

@@ -18,6 +18,7 @@
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use hyperprov_ledger::{Block, ChannelId, RawEnvelope, RwSet, TxId};
 use hyperprov_sim::{
@@ -25,6 +26,7 @@ use hyperprov_sim::{
     TimerId,
 };
 
+use crate::caches::{ReadCache, SigVerifyCache};
 use crate::chaincode::ChaincodeRegistry;
 use crate::committer::Committer;
 use crate::costs::CostModel;
@@ -49,8 +51,10 @@ pub enum FabricMsg {
     ProposalResult(ProposalResponse),
     /// Client → orderer: an assembled transaction.
     Broadcast(Envelope),
-    /// Orderer → peers: a cut block on one channel.
-    DeliverBlock(ChannelId, Block),
+    /// Orderer → peers: a cut block on one channel. The block is shared:
+    /// an orderer fanning one block out to N peers (plus its own retained
+    /// copy) clones an [`Arc`], not the payload.
+    DeliverBlock(ChannelId, Arc<Block>),
     /// Peer → orderer: re-deliver blocks from a height (Fabric's deliver
     /// service; used to catch up after partitions).
     DeliverRequest {
@@ -104,17 +108,54 @@ impl Carries<FabricMsg> for FabricMsg {
     }
 }
 
+/// Configuration of a peer's FastFabric-style commit path: how many CPU
+/// lanes the parallel VSCC phase may spread across, and which
+/// verification caches are enabled. The default (one lane, no caches)
+/// reproduces the legacy serial commit path byte for byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitPipeline {
+    /// CPU lanes available to the parallel VSCC phase (deployment clamps
+    /// this to the device's core count).
+    pub lanes: usize,
+    /// Memoise successful endorsement-signature verifications across
+    /// blocks.
+    pub sig_cache: bool,
+    /// Keep an endorser-side hot-state read cache, invalidated at commit
+    /// for every written key.
+    pub read_cache: bool,
+}
+
+impl Default for CommitPipeline {
+    fn default() -> Self {
+        CommitPipeline {
+            lanes: 1,
+            sig_cache: false,
+            read_cache: false,
+        }
+    }
+}
+
+impl CommitPipeline {
+    /// True when this configuration is exactly the legacy serial commit
+    /// path (single lane, no caches).
+    pub fn is_legacy(&self) -> bool {
+        self.lanes <= 1 && !self.sig_cache && !self.read_cache
+    }
+}
+
 /// A peer's per-channel commit pipeline: the channel's committer plus the
 /// volatile delivery bookkeeping (out-of-order buffer, catch-up marker).
 struct PeerChannel {
     committer: Rc<RefCell<Committer>>,
     /// Blocks that arrived ahead of the next expected height.
-    block_buffer: BTreeMap<u64, Block>,
+    block_buffer: BTreeMap<u64, Arc<Block>>,
     /// Height of an outstanding catch-up request, to avoid repeats.
     catchup_from: Option<u64>,
     /// Where to request missed blocks from after a crash restart
     /// (normally the channel's ordering node).
     catchup_target: Option<ActorId>,
+    /// Hot-state read cache for endorsement, when the pipeline enables it.
+    read_cache: Option<ReadCache>,
 }
 
 impl PeerChannel {
@@ -124,6 +165,7 @@ impl PeerChannel {
             block_buffer: BTreeMap::new(),
             catchup_from: None,
             catchup_target: None,
+            read_cache: None,
         }
     }
 }
@@ -140,6 +182,10 @@ pub struct PeerActor<M> {
     subscribers: Vec<ActorId>,
     harness: ServiceHarness<M>,
     metric_prefix: String,
+    /// Commit-path acceleration settings (lanes + caches).
+    pipeline: CommitPipeline,
+    /// Signature-verification memo, shared across this peer's channels.
+    sig_cache: Option<SigVerifyCache>,
 }
 
 impl<M: Carries<FabricMsg>> PeerActor<M> {
@@ -164,6 +210,8 @@ impl<M: Carries<FabricMsg>> PeerActor<M> {
             subscribers: Vec::new(),
             harness: ServiceHarness::new(metric_prefix.clone()),
             metric_prefix,
+            pipeline: CommitPipeline::default(),
+            sig_cache: None,
         }
     }
 
@@ -173,7 +221,20 @@ impl<M: Carries<FabricMsg>> PeerActor<M> {
         let channel = committer.borrow().channel().clone();
         let mut state = PeerChannel::new(committer);
         state.catchup_target = catchup;
+        state.read_cache = self.pipeline.read_cache.then(ReadCache::new);
         self.channels.insert(channel, state);
+    }
+
+    /// Configures the commit-path acceleration (VSCC lanes + caches) for
+    /// this peer, applying cache settings to every channel hosted so far
+    /// and to channels added later.
+    pub fn with_pipeline(mut self, pipeline: CommitPipeline) -> Self {
+        self.pipeline = pipeline;
+        self.sig_cache = pipeline.sig_cache.then(SigVerifyCache::new);
+        for state in self.channels.values_mut() {
+            state.read_cache = pipeline.read_cache.then(ReadCache::new);
+        }
+        self
     }
 
     /// Bounds this peer's admission queue (proposals only; block delivery
@@ -239,7 +300,39 @@ impl<M: Carries<FabricMsg>> PeerActor<M> {
             &sp,
         );
         drop(committer);
-        let cost = self.costs.endorse_cost(&sp.proposal, &stats);
+        let mut cost = self.costs.endorse_cost(&sp.proposal, &stats);
+        // Hot-state read cache: reads served from cache cost a cache hit
+        // instead of a full state operation. The chaincode still executed
+        // against the authoritative state database above, so only the
+        // charged CPU time changes, never the endorsement result.
+        if let Some(cache) = self
+            .channels
+            .get_mut(&channel)
+            .and_then(|s| s.read_cache.as_mut())
+        {
+            let mut hits = 0u64;
+            let mut misses = 0u64;
+            for read in &response.rwset.reads {
+                if cache.touch(&read.key) {
+                    hits += 1;
+                } else {
+                    misses += 1;
+                }
+            }
+            if hits > 0 {
+                cost = cost - (self.costs.state_op - self.costs.cache_hit_op) * hits;
+                ctx.metrics().incr(
+                    &channel.metric_name(&self.metric_prefix, "readcache.hits"),
+                    hits,
+                );
+            }
+            if misses > 0 {
+                ctx.metrics().incr(
+                    &channel.metric_name(&self.metric_prefix, "readcache.misses"),
+                    misses,
+                );
+            }
+        }
         ctx.metrics()
             .incr(&channel.metric_name(&self.metric_prefix, "endorsed"), 1);
         // Per-peer execution span: chaincode simulation + signing, closed
@@ -296,7 +389,7 @@ impl<M: Carries<FabricMsg>> PeerActor<M> {
         ctx: &mut Context<'_, M>,
         src: ActorId,
         channel: ChannelId,
-        block: Block,
+        block: Arc<Block>,
     ) {
         let Some(state) = self.channels.get(&channel) else {
             return; // not hosting this channel
@@ -343,7 +436,149 @@ impl<M: Carries<FabricMsg>> PeerActor<M> {
         }
     }
 
-    fn commit_one(&mut self, ctx: &mut Context<'_, M>, channel: &ChannelId, block: Block) {
+    fn commit_one(&mut self, ctx: &mut Context<'_, M>, channel: &ChannelId, block: Arc<Block>) {
+        if self.pipeline.is_legacy() {
+            // Sole holder in the common case (the orderer's retained copy
+            // has usually been evicted by now); clone only when shared.
+            let block = Arc::try_unwrap(block).unwrap_or_else(|shared| (*shared).clone());
+            self.commit_one_serial(ctx, channel, block);
+        } else {
+            self.commit_one_pipelined(ctx, channel, block);
+        }
+    }
+
+    /// The accelerated commit path: the stateless VSCC phase is charged as
+    /// the makespan of per-envelope costs spread across this peer's CPU
+    /// lanes, then the serial MVCC + apply phase runs on one lane. Because
+    /// the serial phase starts at the *global* CPU busy horizon while the
+    /// next block's VSCC batch fills whichever lanes free up first, block
+    /// N+1's VSCC naturally overlaps block N's apply.
+    fn commit_one_pipelined(
+        &mut self,
+        ctx: &mut Context<'_, M>,
+        channel: &ChannelId,
+        block: Arc<Block>,
+    ) {
+        let trace = channel.trace_name(&format!("block-{}", block.header.number));
+        ctx.span_start(&trace, "validate", &self.metric_prefix);
+        let state = self.channels.get(channel).expect("caller checked");
+        let verdicts = state
+            .committer
+            .borrow()
+            .vscc_block(&block, self.sig_cache.as_mut());
+        let mut vscc_costs = Vec::with_capacity(verdicts.len());
+        let mut serial_cost = self.costs.block_cost(block.wire_size());
+        let mut sig_hits = 0u64;
+        let mut sig_misses = 0u64;
+        for verdict in &verdicts {
+            sig_hits += verdict.sig_hits as u64;
+            sig_misses += verdict.sig_misses as u64;
+            if let Some(env) = &verdict.envelope {
+                vscc_costs.push(
+                    self.costs
+                        .vscc_cost(verdict.sig_misses as u64, verdict.sig_hits as u64),
+                );
+                serial_cost += self.costs.mvcc_cost()
+                    + self.costs.apply_cost(
+                        env.rwset.write_bytes() as u64,
+                        env.rwset.writes.len() as u64,
+                    );
+            }
+        }
+        if self.sig_cache.is_some() {
+            if sig_hits > 0 {
+                ctx.metrics()
+                    .incr(&format!("{}.sigcache.hits", self.metric_prefix), sig_hits);
+            }
+            if sig_misses > 0 {
+                ctx.metrics().incr(
+                    &format!("{}.sigcache.misses", self.metric_prefix),
+                    sig_misses,
+                );
+            }
+        }
+        let owned = Arc::try_unwrap(block).unwrap_or_else(|shared| (*shared).clone());
+        let outcome = state
+            .committer
+            .borrow_mut()
+            .commit_block_prevalidated(owned, verdicts);
+        match outcome {
+            Ok(outcome) => {
+                let prefix = &self.metric_prefix;
+                ctx.metrics()
+                    .incr(&channel.metric_name(prefix, "blocks"), 1);
+                ctx.metrics().incr(
+                    &channel.metric_name(prefix, "tx.valid"),
+                    outcome.valid as u64,
+                );
+                ctx.metrics().incr(
+                    &channel.metric_name(prefix, "tx.invalid"),
+                    outcome.invalid as u64,
+                );
+                // Every committed write invalidates its read-cache entry:
+                // the cached version is no longer the latest.
+                let mut invalidated = 0u64;
+                if let Some(cache) = self
+                    .channels
+                    .get_mut(channel)
+                    .and_then(|s| s.read_cache.as_mut())
+                {
+                    for key in &outcome.written_keys {
+                        if cache.invalidate(key) {
+                            invalidated += 1;
+                        }
+                    }
+                }
+                if invalidated > 0 {
+                    ctx.metrics().incr(
+                        &channel.metric_name(&self.metric_prefix, "readcache.invalidations"),
+                        invalidated,
+                    );
+                }
+                let detail = self.metric_prefix.clone();
+                ctx.span_start(&trace, "commit.vscc", &detail);
+                self.harness.defer_parallel(
+                    ctx,
+                    &vscc_costs,
+                    vec![],
+                    vec![SpanClose::new(trace.clone(), "commit.vscc", detail.clone())],
+                );
+                // The serial phase starts once every lane has drained the
+                // VSCC batch (and any earlier block's apply has finished).
+                let apply_start = ctx.now().max(ctx.cpu().busy_until());
+                ctx.tracer()
+                    .span_start(apply_start, &trace, "commit.apply", &detail);
+                let mut sends = Vec::new();
+                for event in outcome.events {
+                    for &client in &self.subscribers {
+                        sends.push((client, 128, M::wrap(FabricMsg::Commit(event.clone()))));
+                    }
+                }
+                self.harness.defer(
+                    ctx,
+                    serial_cost,
+                    sends,
+                    vec![
+                        SpanClose::new(trace.clone(), "commit.apply", detail.clone()),
+                        SpanClose::new(trace, "validate", detail),
+                    ],
+                );
+                let lanes_busy = ctx.cpu().lanes_busy_at(ctx.now()) as f64;
+                ctx.metrics()
+                    .set_gauge(&format!("{}.lanes_busy", self.metric_prefix), lanes_busy);
+            }
+            Err(err) => {
+                ctx.span_end(&trace, "validate", &self.metric_prefix);
+                ctx.metrics().incr(
+                    &channel.metric_name(&self.metric_prefix, "commit_errors"),
+                    1,
+                );
+                let _ = err;
+            }
+        }
+    }
+
+    fn commit_one_serial(&mut self, ctx: &mut Context<'_, M>, channel: &ChannelId, block: Block) {
         let mut cost = self.costs.block_cost(block.wire_size());
         for raw in &block.envelopes {
             if let Ok(env) = Envelope::from_raw(raw) {
@@ -432,13 +667,17 @@ impl<M: Carries<FabricMsg>> Actor<M> for PeerActor<M> {
 
     fn on_restart(&mut self, ctx: &mut Context<'_, M>) {
         // Volatile state is gone: buffered out-of-order blocks, the
-        // outstanding catch-up markers, deferred jobs, admitted requests.
+        // outstanding catch-up markers, deferred jobs, admitted requests,
+        // and the in-memory verification caches.
         self.harness.reset();
+        self.sig_cache = self.pipeline.sig_cache.then(SigVerifyCache::new);
         let mut replay_cost = SimDuration::ZERO;
         let mut catchups = Vec::new();
+        let read_cache_enabled = self.pipeline.read_cache;
         for (channel, state) in &mut self.channels {
             state.block_buffer.clear();
             state.catchup_from = None;
+            state.read_cache = read_cache_enabled.then(ReadCache::new);
             // Rebuild world state by re-validating the durable block
             // store; the replay keeps the virtual CPU busy, so requests
             // arriving during recovery queue behind it.
@@ -504,7 +743,7 @@ pub struct SoloOrdererActor<M> {
     costs: CostModel,
     batch_timer: Option<TimerId>,
     /// Recently cut blocks, retained for the deliver (catch-up) service.
-    retained: std::collections::VecDeque<Block>,
+    retained: std::collections::VecDeque<Arc<Block>>,
     retain_limit: usize,
     harness: ServiceHarness<M>,
 }
@@ -556,8 +795,8 @@ impl<M: Carries<FabricMsg>> SoloOrdererActor<M> {
         self
     }
 
-    fn retain(&mut self, block: &Block) {
-        self.retained.push_back(block.clone());
+    fn retain(&mut self, block: &Arc<Block>) {
+        self.retained.push_back(Arc::clone(block));
         while self.retained.len() > self.retain_limit {
             self.retained.pop_front();
         }
@@ -575,7 +814,7 @@ impl<M: Carries<FabricMsg>> SoloOrdererActor<M> {
         let mut sends = Vec::new();
         let mut closes = Vec::new();
         for batch in batches {
-            let block = self.assembler.assemble(batch);
+            let block = Arc::new(self.assembler.assemble(batch));
             ctx.metrics().incr(&self.metric("blocks_cut"), 1);
             let trace = self
                 .channel
@@ -599,7 +838,10 @@ impl<M: Carries<FabricMsg>> SoloOrdererActor<M> {
                 sends.push((
                     peer,
                     bytes,
-                    M::wrap(FabricMsg::DeliverBlock(self.channel.clone(), block.clone())),
+                    M::wrap(FabricMsg::DeliverBlock(
+                        self.channel.clone(),
+                        Arc::clone(&block),
+                    )),
                 ));
             }
         }
@@ -727,7 +969,7 @@ pub struct RaftOrdererActor<M> {
     tick: SimDuration,
     batch_timer: Option<TimerId>,
     /// Recently applied blocks, retained for the deliver service.
-    retained: std::collections::VecDeque<Block>,
+    retained: std::collections::VecDeque<Arc<Block>>,
     retain_limit: usize,
     /// Transactions this member admitted (and opened `order.queue` spans
     /// for) that have not yet applied. Span closes and admission-slot
@@ -812,7 +1054,7 @@ impl<M: Carries<FabricMsg>> RaftOrdererActor<M> {
             ctx.send(self.cluster[dst], bytes, M::wrap(wrapped));
         }
         for (_, batch) in out.committed {
-            let block = self.assembler.assemble(batch);
+            let block = Arc::new(self.assembler.assemble(batch));
             let name = self.metric("blocks_cut");
             ctx.metrics().incr(&name, 1);
             let trace = self
@@ -830,7 +1072,7 @@ impl<M: Carries<FabricMsg>> RaftOrdererActor<M> {
             }
             let detail = self.index.to_string();
             ctx.span_start(&trace, "order.deliver", &detail);
-            self.retained.push_back(block.clone());
+            self.retained.push_back(Arc::clone(&block));
             while self.retained.len() > self.retain_limit {
                 self.retained.pop_front();
             }
@@ -840,7 +1082,10 @@ impl<M: Carries<FabricMsg>> RaftOrdererActor<M> {
                 sends.push((
                     peer,
                     bytes,
-                    M::wrap(FabricMsg::DeliverBlock(self.channel.clone(), block.clone())),
+                    M::wrap(FabricMsg::DeliverBlock(
+                        self.channel.clone(),
+                        Arc::clone(&block),
+                    )),
                 ));
             }
             let cost = self.costs.block_cost(bytes);

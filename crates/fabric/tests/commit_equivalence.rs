@@ -1,0 +1,284 @@
+//! Equivalence property: the split commit path (parallel VSCC verdicts +
+//! serial MVCC/apply) must make byte-identical decisions to the legacy
+//! serial committer on seeded contention workloads — same per-block
+//! `ValidationCode` sequences, same MVCC-conflict sets, same world-state
+//! hash, same chain tip — with and without the signature-verification
+//! cache.
+
+use std::sync::Arc;
+
+use hyperprov_fabric::{
+    endorsement_message, ChannelPolicies, Committer, Endorsement, EndorsementPolicy, Envelope, Msp,
+    MspBuilder, MspId, Proposal, SigVerifyCache, Signature, SigningIdentity,
+};
+use hyperprov_ledger::{
+    Block, Digest, KvRead, KvWrite, RwSet, StateKey, TxId, ValidationCode, Version,
+};
+use proptest::prelude::*;
+
+/// Deterministic xorshift64* generator so each seed reproduces one
+/// workload exactly.
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        XorShift(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+struct Net {
+    msp: Arc<Msp>,
+    client: SigningIdentity,
+    peers: Vec<SigningIdentity>,
+}
+
+fn net() -> Net {
+    let mut b = MspBuilder::new(1);
+    let client = b.enroll("client", &MspId::new("org1"));
+    let peers = (0..3)
+        .map(|i| b.enroll(&format!("peer{i}"), &MspId::new(format!("org{}", i + 1))))
+        .collect();
+    Net {
+        msp: b.build(),
+        client,
+        peers,
+    }
+}
+
+fn envelope(net: &Net, nonce: u64, rwset: RwSet, endorsers: &[usize]) -> Envelope {
+    let proposal = Proposal {
+        channel: "ch".into(),
+        chaincode: "cc".into(),
+        function: "f".into(),
+        args: vec![],
+        creator: net.client.certificate().clone(),
+        nonce,
+    };
+    let tx_id = proposal.tx_id();
+    let msg = endorsement_message(&tx_id, b"r", &rwset);
+    let endorsements = endorsers
+        .iter()
+        .map(|&i| Endorsement {
+            endorser: net.peers[i].certificate().clone(),
+            signature: net.peers[i].sign(&msg),
+        })
+        .collect();
+    Envelope {
+        proposal,
+        payload: b"r".to_vec(),
+        rwset,
+        event: None,
+        endorsements,
+    }
+}
+
+/// One seeded contention workload: a few hot keys, random read versions
+/// (stale and fresh), endorser subsets that sometimes fail the all-of
+/// policy, occasional forged signatures and duplicate transactions.
+fn workload(net: &Net, seed: u64) -> Vec<Vec<Envelope>> {
+    let mut rng = XorShift::new(seed);
+    let mut nonce = 0u64;
+    let mut history: Vec<Envelope> = Vec::new();
+    let n_blocks = 3 + rng.below(3); // 3..=5
+    let mut blocks = Vec::new();
+    for _ in 0..n_blocks {
+        let n_txs = 3 + rng.below(4); // 3..=6
+        let mut envs = Vec::new();
+        for _ in 0..n_txs {
+            let roll = rng.below(100);
+            if roll < 15 && !history.is_empty() {
+                // Duplicate of an earlier transaction (same tx id).
+                let idx = rng.below(history.len() as u64) as usize;
+                envs.push(history[idx].clone());
+                continue;
+            }
+            nonce += 1;
+            let hot = format!("k{}", rng.below(3));
+            let version = match rng.below(4) {
+                0 => None,
+                _ => Some(Version::new(rng.below(4), rng.below(5) as u32)),
+            };
+            let rwset = if rng.below(100) < 70 {
+                // Contention: read a hot key at a possibly-stale version
+                // and write it back.
+                RwSet {
+                    reads: vec![KvRead {
+                        key: StateKey::new("cc", &hot),
+                        version,
+                    }],
+                    writes: vec![KvWrite {
+                        key: StateKey::new("cc", &hot),
+                        value: Some(nonce.to_le_bytes().to_vec()),
+                    }],
+                }
+            } else {
+                // Blind write to a fresh key: valid whenever the
+                // signatures and policy hold.
+                RwSet {
+                    reads: vec![],
+                    writes: vec![KvWrite {
+                        key: StateKey::new("cc", format!("fresh-{nonce}")),
+                        value: Some(nonce.to_le_bytes().to_vec()),
+                    }],
+                }
+            };
+            // [0] and [1] fail the all-of(org1, org2) policy; the rest
+            // satisfy it.
+            let endorsers: &[usize] = match rng.below(4) {
+                0 => &[0],
+                1 => &[1],
+                2 => &[0, 1],
+                _ => &[0, 1, 2],
+            };
+            let mut env = envelope(net, nonce, rwset, endorsers);
+            if rng.below(100) < 10 {
+                let slot = rng.below(env.endorsements.len() as u64) as usize;
+                env.endorsements[slot].signature = Signature(Digest::of(&nonce.to_le_bytes()));
+            }
+            history.push(env.clone());
+            envs.push(env);
+        }
+        blocks.push(envs);
+    }
+    blocks
+}
+
+fn fresh_committer(net: &Net) -> Committer {
+    let policy = EndorsementPolicy::all_of([MspId::new("org1"), MspId::new("org2")]);
+    Committer::new(net.msp.clone(), ChannelPolicies::new(policy))
+}
+
+/// Commits `blocks` through the legacy serial path and through the split
+/// path (without and with a persistent [`SigVerifyCache`]), asserting the
+/// three committers agree on every observable outcome.
+fn assert_equivalent(seed: u64) {
+    let net = net();
+    let blocks = workload(&net, seed);
+    let mut legacy = fresh_committer(&net);
+    let mut split = fresh_committer(&net);
+    let mut cached = fresh_committer(&net);
+    let mut cache = SigVerifyCache::new();
+
+    let mut conflicts_legacy: Vec<TxId> = Vec::new();
+    let mut conflicts_split: Vec<TxId> = Vec::new();
+    let mut conflicts_cached: Vec<TxId> = Vec::new();
+
+    for envs in &blocks {
+        let build = |c: &Committer| {
+            Block::build(
+                c.height(),
+                c.store().tip_hash(),
+                envs.iter().map(Envelope::to_raw).collect(),
+            )
+        };
+
+        let out_legacy = legacy.commit_block(build(&legacy)).unwrap();
+        conflicts_legacy.extend(
+            out_legacy
+                .events
+                .iter()
+                .filter(|e| e.code == ValidationCode::MvccReadConflict)
+                .map(|e| e.tx_id),
+        );
+
+        let block = build(&split);
+        let verdicts = split.vscc_block(&block, None);
+        let out_split = split.commit_block_prevalidated(block, verdicts).unwrap();
+        conflicts_split.extend(
+            out_split
+                .events
+                .iter()
+                .filter(|e| e.code == ValidationCode::MvccReadConflict)
+                .map(|e| e.tx_id),
+        );
+
+        let block = build(&cached);
+        let verdicts = cached.vscc_block(&block, Some(&mut cache));
+        let out_cached = cached.commit_block_prevalidated(block, verdicts).unwrap();
+        conflicts_cached.extend(
+            out_cached
+                .events
+                .iter()
+                .filter(|e| e.code == ValidationCode::MvccReadConflict)
+                .map(|e| e.tx_id),
+        );
+
+        let height = legacy.height() - 1;
+        let codes = |c: &Committer| c.store().block(height).unwrap().metadata.codes.clone();
+        assert_eq!(codes(&legacy), codes(&split), "seed {seed} block {height}");
+        assert_eq!(codes(&legacy), codes(&cached), "seed {seed} block {height}");
+        assert_eq!(out_legacy.valid, out_split.valid);
+        assert_eq!(out_legacy.invalid, out_cached.invalid);
+        assert_eq!(out_legacy.bytes_written, out_split.bytes_written);
+        assert_eq!(out_legacy.written_keys, out_split.written_keys);
+        assert_eq!(out_legacy.written_keys, out_cached.written_keys);
+    }
+
+    assert_eq!(conflicts_legacy, conflicts_split, "seed {seed}");
+    assert_eq!(conflicts_legacy, conflicts_cached, "seed {seed}");
+    assert_eq!(legacy.state().state_hash(), split.state().state_hash());
+    assert_eq!(legacy.state().state_hash(), cached.state().state_hash());
+    assert_eq!(legacy.store().tip_hash(), split.store().tip_hash());
+    assert_eq!(legacy.store().tip_hash(), cached.store().tip_hash());
+    // The cache saw repeated (cert, msg, sig) triples across duplicates
+    // and re-endorsements without ever changing a decision.
+    assert!(cache.hits() + cache.misses() > 0, "seed {seed}");
+}
+
+#[test]
+fn split_commit_matches_serial_on_seeded_contention() {
+    // The ISSUE asks for at least 8 seeds; run 12 fixed ones.
+    for seed in 0..12 {
+        assert_equivalent(seed);
+    }
+}
+
+#[test]
+fn workloads_exercise_every_validation_code() {
+    // Meta-check: across the fixed seeds the generator actually produces
+    // the interesting mix (valid, policy failure, bad signature, MVCC
+    // conflict, duplicate) — otherwise the equivalence above is vacuous.
+    let net = net();
+    let mut seen = std::collections::BTreeSet::new();
+    for seed in 0..12 {
+        let mut c = fresh_committer(&net);
+        for envs in &workload(&net, seed) {
+            let block = Block::build(
+                c.height(),
+                c.store().tip_hash(),
+                envs.iter().map(Envelope::to_raw).collect(),
+            );
+            let out = c.commit_block(block).unwrap();
+            seen.extend(out.events.iter().map(|e| format!("{:?}", e.code)));
+        }
+    }
+    for code in [
+        "Valid",
+        "MvccReadConflict",
+        "BadSignature",
+        "EndorsementPolicyFailure",
+        "DuplicateTxId",
+    ] {
+        assert!(seen.contains(code), "generator never produced {code}");
+    }
+}
+
+proptest! {
+    #[test]
+    fn split_commit_matches_serial_on_any_seed(seed in any::<u64>()) {
+        assert_equivalent(seed);
+    }
+}

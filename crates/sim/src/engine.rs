@@ -272,6 +272,19 @@ impl<M> Context<'_, M> {
         TimerId(id)
     }
 
+    /// Submits a batch of independent CPU work items to this actor's CPU
+    /// lanes (see [`CpuResource::execute_parallel`]); [`Event::Timer`]
+    /// with `token` fires at the batch makespan. Returns the timer and
+    /// the makespan instant.
+    pub fn execute_parallel(&mut self, costs: &[SimDuration], token: u64) -> (TimerId, SimTime) {
+        let end = self.kernel.cpus[self.id.0 as usize].execute_parallel(self.kernel.now, costs);
+        self.kernel.next_timer += 1;
+        let id = self.kernel.next_timer;
+        let target = self.id;
+        self.kernel.push(end, target, Event::Timer { token }, id);
+        (TimerId(id), end)
+    }
+
     /// This actor's deterministic random stream.
     pub fn rng(&mut self) -> &mut DetRng {
         &mut self.kernel.rngs[self.id.0 as usize]
@@ -421,9 +434,15 @@ impl<M> Simulation<M> {
 
     /// Registers an actor with the given relative CPU speed.
     pub fn add_actor_with_speed(&mut self, actor: Box<dyn Actor<M>>, cpu_speed: f64) -> ActorId {
+        self.add_actor_with_cpu(actor, CpuResource::new(cpu_speed))
+    }
+
+    /// Registers an actor with a fully specified CPU (speed and lane
+    /// count), for multi-core node models.
+    pub fn add_actor_with_cpu(&mut self, actor: Box<dyn Actor<M>>, cpu: CpuResource) -> ActorId {
         let id = ActorId(self.actors.len() as u32);
         self.actors.push(Some(actor));
-        self.kernel.cpus.push(CpuResource::new(cpu_speed));
+        self.kernel.cpus.push(cpu);
         self.kernel.rngs.push(self.root_rng.fork_index(id.0 as u64));
         self.kernel.crashed.push(false);
         self.kernel.epochs.push(0);

@@ -335,6 +335,31 @@ impl<M> ServiceHarness<M> {
         token
     }
 
+    /// Defers internal work charged as a *parallel batch*: the cost items
+    /// are spread across the actor's CPU lanes (see
+    /// [`crate::CpuResource::execute_parallel`]) and `sends`/`closes` are
+    /// parked until the batch makespan. Returns the completion token and
+    /// the makespan instant.
+    pub fn defer_parallel(
+        &mut self,
+        ctx: &mut Context<'_, M>,
+        costs: &[SimDuration],
+        sends: Vec<Outbound<M>>,
+        closes: Vec<SpanClose>,
+    ) -> (u64, crate::time::SimTime) {
+        let token = self.alloc_token();
+        self.pending.insert(
+            token,
+            Deferred {
+                sends,
+                closes,
+                request: false,
+            },
+        );
+        let (_, end) = ctx.execute_parallel(costs, token);
+        (token, end)
+    }
+
     /// Charges pure CPU time with nothing to release — the completion
     /// timer is swallowed by [`ServiceHarness::on_timer`]. Replaces the
     /// old `u64::MAX` noop-token pattern.
