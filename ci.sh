@@ -28,3 +28,10 @@ cargo run --release -p hyperprov-bench --bin table_sharding -- --quick
 # Exercises the accelerated commit path (multi-lane VSCC, validate/apply
 # pipelining, verification caches) end to end.
 cargo run --release -p hyperprov-bench --bin table_commit_pipeline -- --quick
+
+# Perf-regression gate: reruns the quick BENCH-SIM reference workload and
+# diffs it against the committed BENCH_sim.json baseline (tight tolerances
+# for deterministic model metrics, loose ratio bounds for host wall-clock
+# numbers). Exits non-zero on any out-of-tolerance metric; regenerate the
+# baseline deliberately with `bench_regress --update`.
+cargo run --release -p hyperprov-bench --bin bench_regress -- --quick

@@ -1,0 +1,23 @@
+//! The CI perf-regression gate: reruns the quick BENCH-SIM reference
+//! workload and diffs it against the committed `BENCH_sim.json` baseline
+//! (tight tolerances for deterministic model metrics, loose ratio bounds
+//! for host wall-clock numbers). Exits non-zero on any out-of-tolerance
+//! metric. `--update` regenerates the baseline instead of comparing.
+
+fn main() {
+    let update = std::env::args().any(|a| a == "--update");
+    let outcome = hyperprov_bench::regress::run_regress(update);
+    print!("{}", outcome.table);
+    if outcome.updated {
+        println!(
+            "[updated {}]",
+            hyperprov_bench::regress::baseline_path().display()
+        );
+    }
+    if outcome.pass {
+        println!("bench regress: PASS");
+    } else {
+        println!("bench regress: FAIL (a metric moved beyond tolerance)");
+        std::process::exit(1);
+    }
+}

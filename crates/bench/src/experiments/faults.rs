@@ -13,10 +13,12 @@
 
 use hyperprov::{HyperProvNetwork, NetworkConfig, NodeMsg, RetryPolicy};
 use hyperprov_fabric::{BatchConfig, RaftOrdererActor};
-use hyperprov_sim::{ActorId, DetRng, FaultPlan, SimDuration, SimTime};
+use hyperprov_sim::{
+    chrome_trace_json, ActorId, DetRng, FaultPlan, SimDuration, SimTime, SloObjective, SloSpec,
+};
 
 use super::Platform;
-use crate::report::MetricsExporter;
+use crate::report::{push_slo_verdicts, slo_verdict_table, MetricsExporter};
 use crate::runner::run_closed_loop;
 use crate::table::Table;
 use crate::workload::{payload, store_cmd};
@@ -100,6 +102,47 @@ impl Params {
     }
 }
 
+/// The rolling window the campaign's SLOs are evaluated over. Half the
+/// shortest (quick-mode) fault window, so a fault both breaches the
+/// objectives and lets them recover within the run.
+const SLO_WINDOW: SimDuration = SimDuration::from_secs(2);
+
+/// The campaign's objectives, watched by every run: store goodput above
+/// a floor, the client error fraction below a ceiling and end-to-end op
+/// latency within a p90 budget. A healthy network holds all three; the
+/// fault window is expected to breach at least the first two, and the
+/// burn-rate series in the metrics export are the recovery curves.
+fn fault_slos() -> Vec<SloSpec> {
+    vec![
+        SloSpec::new(
+            "store-goodput",
+            SloObjective::GoodputFloor {
+                source: "client.ok".into(),
+                floor_per_sec: 3.0,
+            },
+            SLO_WINDOW,
+        ),
+        SloSpec::new(
+            "client-errors",
+            SloObjective::ErrorRateCeiling {
+                ok_source: "client.ok".into(),
+                err_source: "client.err".into(),
+                ceiling: 0.05,
+            },
+            SLO_WINDOW,
+        ),
+        SloSpec::new(
+            "op-p90",
+            SloObjective::LatencyQuantile {
+                source: "op".into(),
+                q: 0.9,
+                budget: SimDuration::from_millis(800),
+            },
+            SLO_WINDOW,
+        ),
+    ]
+}
+
 /// The fault campaign plus its observability artefacts.
 #[derive(Debug)]
 pub struct FaultsReport {
@@ -108,8 +151,14 @@ pub struct FaultsReport {
     pub table: Table,
     /// Per-second goodput timeline of every run (the recovery curves).
     pub timeline: Table,
-    /// One metrics + trace snapshot per run.
+    /// Per-run SLO verdicts (goodput floor, error ceiling, latency
+    /// budget) over the fault windows.
+    pub verdicts: Table,
+    /// One metrics + trace + SLO snapshot per run.
     pub exporter: MetricsExporter,
+    /// Chrome/Perfetto `trace_events` export of the desktop peer-crash
+    /// run, saved as `table_faults_peer_crash.trace.json`.
+    pub trace_json: String,
 }
 
 fn base_config(platform: Platform, scenario: FaultScenario, params: &Params) -> NetworkConfig {
@@ -127,7 +176,8 @@ fn base_config(platform: Platform, scenario: FaultScenario, params: &Params) -> 
             Some(SimDuration::from_secs(2)),
             Some(SimDuration::from_secs(4)),
         )
-        .with_retry(RetryPolicy::new(6));
+        .with_retry(RetryPolicy::new(6))
+        .with_slos(fault_slos());
     match scenario {
         FaultScenario::LeaderKill => config.with_raft_orderers(3),
         _ => config,
@@ -190,13 +240,16 @@ fn mean(buckets: &[u64]) -> f64 {
     }
 }
 
-/// Runs one `(platform, scenario)` campaign and appends its snapshot to
-/// the exporter.
+/// Runs one `(platform, scenario)` campaign, appends its snapshot to the
+/// exporter and its SLO verdicts to the verdict table, and captures the
+/// first run's Perfetto trace into `trace` (filled once per campaign).
 fn run_scenario(
     platform: Platform,
     scenario: FaultScenario,
     params: &Params,
     exporter: &mut MetricsExporter,
+    verdicts: &mut Table,
+    trace: &mut Option<String>,
 ) -> RunStats {
     let config = base_config(platform, scenario, params);
     let mut net = HyperProvNetwork::build(&config);
@@ -250,10 +303,12 @@ fn run_scenario(
         .map(|s| mean(&buckets[s..duration_s.min(buckets.len())]))
         .unwrap_or(0.0);
 
-    exporter.add_run(
-        &format!("{} {}", platform.name(), scenario.name()),
-        &net.sim,
-    );
+    let run_label = format!("{} {}", platform.name(), scenario.name());
+    push_slo_verdicts(verdicts, &run_label, &net.sim);
+    if trace.is_none() {
+        *trace = Some(chrome_trace_json(net.sim.tracer()));
+    }
+    exporter.add_run(&run_label, &net.sim);
 
     // The timeline reports the injection window only; completions landing
     // in the drain tail still count towards `ok`/`err`.
@@ -305,10 +360,22 @@ pub fn fault_campaign(quick: bool) -> FaultsReport {
         &["platform", "scenario", "second", "ok (tx/s)"],
     );
     let mut exporter = MetricsExporter::new("table_faults");
+    let mut verdicts = slo_verdict_table(format!(
+        "T-FAULTS: SLO verdicts (rolling {}s windows)",
+        SLO_WINDOW.as_nanos() / 1_000_000_000,
+    ));
+    let mut trace_json = None;
 
     for platform in [Platform::Desktop, Platform::Rpi] {
         for scenario in FAULT_SCENARIOS {
-            let stats = run_scenario(platform, scenario, &params, &mut exporter);
+            let stats = run_scenario(
+                platform,
+                scenario,
+                &params,
+                &mut exporter,
+                &mut verdicts,
+                &mut trace_json,
+            );
             table.push_row(vec![
                 platform.name().to_owned(),
                 scenario.name().to_owned(),
@@ -339,7 +406,9 @@ pub fn fault_campaign(quick: bool) -> FaultsReport {
     FaultsReport {
         table,
         timeline,
+        verdicts,
         exporter,
+        trace_json: trace_json.unwrap_or_else(|| "{\"traceEvents\":[]}".to_owned()),
     }
 }
 

@@ -12,6 +12,7 @@ mod fig12;
 mod fig3;
 mod overload;
 mod pipeline;
+mod profile;
 mod queries;
 mod sharding;
 
@@ -24,6 +25,7 @@ pub use fig12::{mean, size_sweep, std_dev, Platform};
 pub use fig3::energy_profile;
 pub use overload::{overload_sweep, OverloadReport};
 pub use pipeline::{pipeline_sweep, PipelineReport};
+pub use profile::{sim_bench, SimBenchReport};
 pub use queries::{batch_sweep, query_latency};
 pub use sharding::{sharding_sweep, ShardingReport};
 
@@ -59,6 +61,22 @@ pub fn render_and_save_metrics(exporter: &crate::report::MetricsExporter) -> Str
     match exporter.save() {
         Ok(path) => format!("[saved {}]\n", path.display()),
         Err(err) => format!("[warning: could not save metrics JSON: {err}]\n"),
+    }
+}
+
+/// Saves a pre-serialized document verbatim as `results/<file_name>` and
+/// renders a save-status line for the calling binary to print.
+#[must_use = "the rendered status must be printed by the calling binary"]
+pub fn render_and_save_raw(body: &str, file_name: &str) -> String {
+    let dir = results_dir();
+    let saved = std::fs::create_dir_all(&dir).and_then(|()| {
+        let path = dir.join(file_name);
+        std::fs::write(&path, body)?;
+        Ok(path)
+    });
+    match saved {
+        Ok(path) => format!("[saved {}]\n", path.display()),
+        Err(err) => format!("[warning: could not save {file_name}: {err}]\n"),
     }
 }
 
@@ -123,13 +141,16 @@ pub fn overload_artefacts(quick: bool) -> Vec<Artefact> {
     ]
 }
 
-/// T-FAULTS artefacts: the fault campaign table, its recovery timeline
-/// and its metrics export.
+/// T-FAULTS artefacts: the fault campaign table, its recovery timeline,
+/// the per-run SLO verdicts, the desktop peer-crash Perfetto trace and
+/// the metrics export (which carries the SLO burn-rate series).
 pub fn faults_artefacts(quick: bool) -> Vec<Artefact> {
     let report = fault_campaign(quick);
     vec![
         Artefact::table(report.table, "table_faults"),
         Artefact::table(report.timeline, "table_faults_timeline"),
+        Artefact::table(report.verdicts, "table_faults_slo"),
+        Artefact::raw(report.trace_json, "table_faults_peer_crash.trace.json"),
         Artefact::metrics(report.exporter),
     ]
 }
@@ -162,6 +183,18 @@ pub fn sharding_artefacts(quick: bool) -> Vec<Artefact> {
     ]
 }
 
+/// BENCH-SIM artefacts: the host-side simulator profile table and its
+/// machine-readable JSON body (the committed `BENCH_sim.json` baseline is
+/// written by `bench_regress --update`, not here — host numbers must not
+/// silently drift under `run_all`).
+pub fn sim_bench_artefacts(quick: bool) -> Vec<Artefact> {
+    let report = sim_bench(quick);
+    vec![
+        Artefact::table(report.table, "bench_sim"),
+        Artefact::raw(report.bench_json, "bench_sim.json"),
+    ]
+}
+
 /// Every campaign, in `run_all` order.
 pub const ALL_CAMPAIGNS: &[fn(bool) -> Vec<Artefact>] = &[
     fig1_artefacts,
@@ -175,4 +208,5 @@ pub const ALL_CAMPAIGNS: &[fn(bool) -> Vec<Artefact>] = &[
     faults_artefacts,
     sharding_artefacts,
     pipeline_artefacts,
+    sim_bench_artefacts,
 ];

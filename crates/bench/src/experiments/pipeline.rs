@@ -18,7 +18,7 @@ use hyperprov::{
 };
 use hyperprov_fabric::BatchConfig;
 use hyperprov_ledger::Digest;
-use hyperprov_sim::{json, Histogram, SimDuration};
+use hyperprov_sim::{json, Histogram, SimDuration, SloObjective, SloSpec};
 
 use crate::report::MetricsExporter;
 use crate::runner::run_closed_loop;
@@ -77,13 +77,14 @@ fn hit_pct(hits: u64, misses: u64) -> f64 {
 /// of the shared parents.
 fn run_cell(
     platform: Platform,
-    lanes: usize,
-    caches: bool,
+    pipeline: CommitPipeline,
     clients: usize,
     duration: SimDuration,
     seed: u64,
+    slos: &[SloSpec],
     exporter: &mut MetricsExporter,
 ) -> Cell {
+    let (lanes, caches) = (pipeline.lanes, pipeline.sig_cache);
     let config = match platform {
         Platform::Desktop => NetworkConfig::desktop(clients),
         Platform::Rpi => NetworkConfig::rpi(clients),
@@ -93,11 +94,8 @@ fn run_cell(
         timeout: SimDuration::from_millis(100),
         ..BatchConfig::default()
     })
-    .with_pipeline(CommitPipeline {
-        lanes,
-        sig_cache: caches,
-        read_cache: caches,
-    });
+    .with_pipeline(pipeline)
+    .with_slos(slos.to_vec());
     let mut net = HyperProvNetwork::build(&config);
 
     // Seed the shared parents all load-phase posts will link to.
@@ -238,17 +236,49 @@ pub fn pipeline_sweep(quick: bool) -> PipelineReport {
         ],
     );
     let mut exporter = MetricsExporter::new("table_commit_pipeline");
+    // Full runs also watch the commit path with SLOs (validate-span
+    // latency, committed-tx goodput); the burn series land in the metrics
+    // export. Quick runs stay SLO-free so the export remains byte-
+    // identical to the committed `pipeline_quick.metrics.json` fixture.
+    let slos = if quick {
+        Vec::new()
+    } else {
+        vec![
+            SloSpec::new(
+                "validate-p99",
+                SloObjective::LatencyQuantile {
+                    source: "validate".into(),
+                    q: 0.99,
+                    budget: SimDuration::from_millis(250),
+                },
+                SimDuration::from_secs(2),
+            ),
+            SloSpec::new(
+                "commit-goodput",
+                SloObjective::GoodputFloor {
+                    source: "commit.tx".into(),
+                    floor_per_sec: 20.0,
+                },
+                SimDuration::from_secs(2),
+            ),
+        ]
+    };
     let mut rows = Vec::new();
     for &platform in &platforms {
         let mut serial_goodput = None;
         for &(lanes, caches) in &cells {
+            let pipeline = CommitPipeline {
+                lanes,
+                sig_cache: caches,
+                read_cache: caches,
+            };
             let cell = run_cell(
                 platform,
-                lanes,
-                caches,
+                pipeline,
                 clients,
                 duration,
                 100,
+                &slos,
                 &mut exporter,
             );
             let baseline = *serial_goodput.get_or_insert(cell.goodput);

@@ -1,0 +1,137 @@
+//! BENCH-SIM: host-side profile of the simulator itself.
+//!
+//! Everything else in the harness reports *virtual*-time results; this
+//! campaign measures the *host* — how fast the event loop chews through
+//! a reference workload on the machine running the benchmarks. It drives
+//! a fixed seeded closed-loop store workload with the
+//! [`hyperprov_sim::SimProfiler`] enabled and reports two kinds of
+//! numbers:
+//!
+//! * **model** metrics — completions, goodput and latency quantiles in
+//!   virtual time, plus the kernel's event/message counts. These are
+//!   fully deterministic for the fixed seed, so the regression gate
+//!   (`bench_regress`) compares them with tight tolerances.
+//! * **host** metrics — wall-clock run time, events processed per
+//!   wall-second, per-actor-type handler time shares and peak RSS. These
+//!   vary run to run and machine to machine; the gate only applies loose
+//!   ratio bounds.
+//!
+//! The JSON body is what `bench_regress --update` commits to the
+//! repo-root `BENCH_sim.json` baseline.
+
+use hyperprov::{HyperProvNetwork, NetworkConfig};
+use hyperprov_fabric::BatchConfig;
+use hyperprov_sim::{json, DetRng, SimDuration};
+
+use crate::runner::{run_closed_loop, Summary};
+use crate::table::Table;
+use crate::workload::{payload, store_cmd};
+
+/// Campaign seed (workload payloads).
+const SEED: u64 = 23;
+
+/// Payload size of the reference store workload.
+const ITEM_BYTES: usize = 1 << 10;
+
+/// The host-profile campaign's artefacts.
+#[derive(Debug)]
+pub struct SimBenchReport {
+    /// Headline model + host metrics, one row per metric.
+    pub table: Table,
+    /// The machine-readable profile (the `BENCH_sim.json` body).
+    pub bench_json: String,
+}
+
+/// Runs the reference workload with the profiler enabled and summarises
+/// the simulator's host-side performance.
+pub fn sim_bench(quick: bool) -> SimBenchReport {
+    let (clients, secs) = if quick { (8, 6) } else { (32, 20) };
+    let config = NetworkConfig::desktop(clients)
+        .with_seed(SEED)
+        .with_batch(BatchConfig {
+            timeout: SimDuration::from_millis(100),
+            ..BatchConfig::default()
+        });
+    let mut net = HyperProvNetwork::build(&config);
+    net.sim.enable_profiler();
+
+    let mut rng = DetRng::new(SEED).fork("bench-sim");
+    let result = run_closed_loop(
+        &mut net,
+        SimDuration::from_secs(secs),
+        SimDuration::from_secs(5),
+        |client, seq| {
+            store_cmd(
+                format!("item-c{client}-s{seq}"),
+                payload(&mut rng, ITEM_BYTES),
+            )
+        },
+    );
+    let summary = Summary::of(&result.completions, result.span);
+
+    let hot = net.sim.hot_counters();
+    let events = net.sim.events_processed();
+    let host_json = net.sim.profiler().snapshot_json(events, hot);
+    let model_json = json::Obj::new()
+        .u64("ok", summary.ok)
+        .u64("err", summary.err)
+        .f64("goodput_tx_s", summary.throughput)
+        .f64("op_p50_ms", summary.latency_ms(0.50))
+        .f64("op_p95_ms", summary.latency_ms(0.95))
+        .u64("events", events)
+        .u64("messages", hot.messages_sent)
+        .u64("timers", hot.timers_set)
+        .u64("cpu_jobs", hot.cpu_jobs)
+        .build();
+    let bench_json = json::pretty(
+        &json::Obj::new()
+            .str("campaign", "BENCH-SIM")
+            .str("mode", if quick { "quick" } else { "full" })
+            .str(
+                "workload",
+                &format!("closed-loop store, {clients} clients, {ITEM_BYTES} B items, {secs}s"),
+            )
+            .raw("model", &model_json)
+            .raw("host", &host_json)
+            .build(),
+    );
+
+    let wall = net.sim.profiler().wall_elapsed().as_secs_f64();
+    let mut table = Table::new(
+        format!(
+            "BENCH-SIM: host-side simulator profile (closed-loop store, {clients} clients, \
+             1 KiB items, {secs}s virtual)"
+        ),
+        &["metric", "value"],
+    );
+    let events_per_sec = if wall > 0.0 {
+        events as f64 / wall
+    } else {
+        0.0
+    };
+    let rss_mib = hyperprov_sim::peak_rss_bytes().unwrap_or(0) as f64 / (1 << 20) as f64;
+    for (metric, value) in [
+        ("model: completions ok", summary.ok.to_string()),
+        (
+            "model: goodput (tx/s virtual)",
+            format!("{:.1}", summary.throughput),
+        ),
+        (
+            "model: op p95 (ms virtual)",
+            format!("{:.2}", summary.latency_ms(0.95)),
+        ),
+        ("model: kernel events", events.to_string()),
+        ("model: messages sent", hot.messages_sent.to_string()),
+        ("host: wall (s)", format!("{wall:.3}")),
+        ("host: events/sec (wall)", format!("{events_per_sec:.0}")),
+        (
+            "host: handler wall (s)",
+            format!("{:.3}", net.sim.profiler().handler_wall().as_secs_f64()),
+        ),
+        ("host: peak RSS (MiB)", format!("{rss_mib:.1}")),
+    ] {
+        table.push_row(vec![metric.to_owned(), value]);
+    }
+
+    SimBenchReport { table, bench_json }
+}

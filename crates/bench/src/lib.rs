@@ -11,13 +11,16 @@
 //! * `fig3_energy` — RPi power over 10-minute intervals by load level,
 //! * `table_batch_sweep`, `table_query_latency`, `table_baselines`,
 //!   `table_contention`, `table_overload`, `table_faults`,
-//!   `table_sharding` — the extended tables, and
+//!   `table_sharding` — the extended tables,
+//! * `bench_regress` — the CI perf-regression gate over the committed
+//!   `BENCH_sim.json` baseline (`--update` regenerates it), and
 //! * `run_all` — everything, saving CSVs under `results/`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod regress;
 pub mod report;
 pub mod runner;
 pub mod table;

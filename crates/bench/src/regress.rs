@@ -1,0 +1,274 @@
+//! The CI perf-regression gate: compare a fresh quick BENCH-SIM run
+//! against the committed `BENCH_sim.json` baseline.
+//!
+//! [`run_regress`] reruns the [`crate::experiments::sim_bench`] reference
+//! workload in quick mode and diffs its metrics against the repo-root
+//! baseline with per-metric tolerances:
+//!
+//! * **model** metrics (virtual-time completions, goodput, latency
+//!   quantiles, kernel event/message counts) are deterministic for the
+//!   fixed seed, so they must match within [`MODEL_REL_TOL`] — a drift
+//!   means the simulated system's behaviour changed and the baseline must
+//!   be regenerated deliberately (`bench_regress --update`);
+//! * **host** metrics (wall seconds, events per wall-second, peak RSS)
+//!   are machine-dependent, so only loose ratio bounds apply: the gate
+//!   fails when the host throughput collapses below `1/`[`HOST_RATIO`]
+//!   of the baseline or memory/wall time balloons past [`HOST_RATIO`]×.
+//!
+//! The gate also structurally validates the committed `BENCH_commit.json`
+//! trajectory file (parseable, right campaign, non-empty cells) so a
+//! broken regeneration cannot land unnoticed. `ci.sh` runs the
+//! `bench_regress` binary in quick mode and fails the build on any
+//! out-of-tolerance row.
+
+use std::path::PathBuf;
+
+use hyperprov_sim::json::{parse, Value};
+
+use crate::experiments::{results_dir, sim_bench};
+use crate::table::Table;
+
+/// Relative tolerance for deterministic model metrics.
+pub const MODEL_REL_TOL: f64 = 0.01;
+
+/// Ratio bound for host metrics: events/sec may not fall below
+/// `baseline / HOST_RATIO`; wall time and peak RSS may not exceed
+/// `baseline * HOST_RATIO`. Wide on purpose — CI machines differ.
+pub const HOST_RATIO: f64 = 20.0;
+
+/// The gate's outcome: the pass/fail table plus the overall verdict.
+#[derive(Debug)]
+pub struct RegressOutcome {
+    /// One row per compared metric (metric, baseline, fresh, constraint,
+    /// status).
+    pub table: Table,
+    /// True when every comparison passed.
+    pub pass: bool,
+    /// True when the baseline was (re)written instead of compared.
+    pub updated: bool,
+}
+
+/// The committed baseline's path (`<repo>/BENCH_sim.json`).
+pub fn baseline_path() -> PathBuf {
+    results_dir().join("..").join("BENCH_sim.json")
+}
+
+/// The committed commit-path trajectory's path
+/// (`<repo>/BENCH_commit.json`).
+pub fn commit_bench_path() -> PathBuf {
+    results_dir().join("..").join("BENCH_commit.json")
+}
+
+fn fmt_val(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// One comparison row; returns whether it passed.
+fn push_check(
+    table: &mut Table,
+    metric: &str,
+    baseline: Option<f64>,
+    fresh: Option<f64>,
+    constraint: &str,
+    ok: Option<bool>,
+) -> bool {
+    let status = match ok {
+        Some(true) => "ok",
+        Some(false) => "FAIL",
+        None => "skipped",
+    };
+    table.push_row(vec![
+        metric.to_owned(),
+        baseline.map_or("-".to_owned(), fmt_val),
+        fresh.map_or("-".to_owned(), fmt_val),
+        constraint.to_owned(),
+        status.to_owned(),
+    ]);
+    ok != Some(false)
+}
+
+fn num(doc: &Value, section: &str, key: &str) -> Option<f64> {
+    doc.get(section)?.get(key)?.as_f64()
+}
+
+/// Runs the gate. With `update = true` the fresh quick profile is written
+/// to [`baseline_path`] instead of being compared (the row table then
+/// documents what was recorded).
+pub fn run_regress(update: bool) -> RegressOutcome {
+    let mut table = Table::new(
+        "bench regress: fresh quick run vs committed BENCH_sim.json",
+        &["metric", "baseline", "fresh", "constraint", "status"],
+    );
+    let fresh_body = sim_bench(true).bench_json;
+    let fresh = parse(&fresh_body).expect("fresh BENCH-SIM profile must be valid JSON");
+
+    if update {
+        let path = baseline_path();
+        let mut pass = true;
+        match std::fs::write(&path, &fresh_body) {
+            Ok(()) => {
+                if let Some(model) = fresh.get("model").and_then(Value::entries) {
+                    for (key, value) in model {
+                        push_check(
+                            &mut table,
+                            &format!("model.{key}"),
+                            value.as_f64(),
+                            value.as_f64(),
+                            "recorded",
+                            None,
+                        );
+                    }
+                }
+            }
+            Err(err) => {
+                pass = push_check(
+                    &mut table,
+                    "baseline write",
+                    None,
+                    None,
+                    &format!("write {}: {err}", path.display()),
+                    Some(false),
+                ) && pass;
+            }
+        }
+        return RegressOutcome {
+            table,
+            pass,
+            updated: true,
+        };
+    }
+
+    let mut pass = true;
+    let baseline = match std::fs::read_to_string(baseline_path()) {
+        Ok(body) => match parse(&body) {
+            Ok(doc) => Some(doc),
+            Err(err) => {
+                pass = push_check(
+                    &mut table,
+                    "BENCH_sim.json",
+                    None,
+                    None,
+                    &format!("parse: {err}"),
+                    Some(false),
+                ) && pass;
+                None
+            }
+        },
+        Err(err) => {
+            pass = push_check(
+                &mut table,
+                "BENCH_sim.json",
+                None,
+                None,
+                &format!("missing baseline ({err}); run bench_regress --update"),
+                Some(false),
+            ) && pass;
+            None
+        }
+    };
+
+    if let Some(base) = &baseline {
+        // Model metrics: compare every key the baseline recorded, tight
+        // relative tolerance in both directions.
+        let model_keys: Vec<String> = base
+            .get("model")
+            .and_then(Value::entries)
+            .map(|fields| fields.iter().map(|(k, _)| k.clone()).collect())
+            .unwrap_or_default();
+        if model_keys.is_empty() {
+            pass = push_check(
+                &mut table,
+                "model",
+                None,
+                None,
+                "baseline has no model section",
+                Some(false),
+            ) && pass;
+        }
+        for key in &model_keys {
+            let b = num(base, "model", key);
+            let f = num(&fresh, "model", key);
+            let ok = match (b, f) {
+                (Some(b), Some(f)) => {
+                    let tol = MODEL_REL_TOL * b.abs().max(1e-9);
+                    Some((f - b).abs() <= tol)
+                }
+                _ => Some(false),
+            };
+            pass = push_check(
+                &mut table,
+                &format!("model.{key}"),
+                b,
+                f,
+                &format!("within {:.0}%", MODEL_REL_TOL * 100.0),
+                ok,
+            ) && pass;
+        }
+
+        // Host metrics: loose ratio bounds, and only where the baseline
+        // actually recorded a positive value (RSS is unavailable off
+        // Linux, wall time can be zero on a skipped run).
+        let host_checks: [(&str, bool); 3] = [
+            ("events_per_sec", false), // lower bound: baseline / ratio
+            ("wall_s", true),          // upper bound: baseline * ratio
+            ("peak_rss_bytes", true),
+        ];
+        for (key, upper) in host_checks {
+            let b = num(base, "host", key).filter(|v| *v > 0.0);
+            let f = num(&fresh, "host", key);
+            let (constraint, ok) = match (b, f) {
+                (Some(b), Some(f)) if upper => (
+                    format!("<= {:.0}x baseline", HOST_RATIO),
+                    Some(f <= b * HOST_RATIO),
+                ),
+                (Some(b), Some(f)) => (
+                    format!(">= baseline/{:.0}", HOST_RATIO),
+                    Some(f >= b / HOST_RATIO),
+                ),
+                _ => ("no baseline value".to_owned(), None),
+            };
+            pass = push_check(&mut table, &format!("host.{key}"), b, f, &constraint, ok) && pass;
+        }
+    }
+
+    // Structural check of the commit-path trajectory baseline.
+    match std::fs::read_to_string(commit_bench_path()) {
+        Ok(body) => {
+            let ok = parse(&body).ok().is_some_and(|doc| {
+                doc.get("campaign").and_then(Value::as_str) == Some("T-PIPELINE")
+                    && doc
+                        .get("cells")
+                        .and_then(Value::as_array)
+                        .is_some_and(|cells| !cells.is_empty())
+            });
+            pass = push_check(
+                &mut table,
+                "BENCH_commit.json",
+                None,
+                None,
+                "parses, campaign T-PIPELINE, non-empty cells",
+                Some(ok),
+            ) && pass;
+        }
+        Err(_) => {
+            pass = push_check(
+                &mut table,
+                "BENCH_commit.json",
+                None,
+                None,
+                "not present",
+                None,
+            ) && pass;
+        }
+    }
+
+    RegressOutcome {
+        table,
+        pass,
+        updated: false,
+    }
+}

@@ -113,17 +113,20 @@ impl MetricsExporter {
         }
     }
 
-    /// Snapshots a finished run's metrics registry and tracer under a
-    /// caller-chosen label (keep labels deterministic, e.g.
-    /// `"size=1024 seed=100"` — they end up in the export verbatim).
+    /// Snapshots a finished run's metrics registry, tracer and — when the
+    /// deployment installed objectives — SLO monitor under a caller-chosen
+    /// label (keep labels deterministic, e.g. `"size=1024 seed=100"` —
+    /// they end up in the export verbatim). Runs without SLOs serialize
+    /// exactly as before, keeping pre-SLO fixtures byte-identical.
     pub fn add_run<M>(&mut self, label: &str, sim: &Simulation<M>) {
-        self.runs.push(
-            json::Obj::new()
-                .str("label", label)
-                .raw("metrics", &sim.metrics().snapshot_json())
-                .raw("trace", &sim.tracer().snapshot_json())
-                .build(),
-        );
+        let mut obj = json::Obj::new()
+            .str("label", label)
+            .raw("metrics", &sim.metrics().snapshot_json())
+            .raw("trace", &sim.tracer().snapshot_json());
+        if sim.slo().is_active() {
+            obj = obj.raw("slo", &sim.slo().snapshot_json(sim.now()));
+        }
+        self.runs.push(obj.build());
     }
 
     /// Number of snapshotted runs.
@@ -157,6 +160,41 @@ impl MetricsExporter {
         let path = dir.join(format!("{}.metrics.json", self.experiment));
         fs::write(&path, self.to_json())?;
         Ok(path)
+    }
+}
+
+/// An empty SLO verdict table; fill it with [`push_slo_verdicts`], one
+/// call per run.
+pub fn slo_verdict_table(title: impl Into<String>) -> Table {
+    Table::new(
+        title,
+        &[
+            "run",
+            "slo",
+            "objective",
+            "evaluations",
+            "breaches",
+            "breach (s)",
+            "worst burn",
+            "verdict",
+        ],
+    )
+}
+
+/// Appends one verdict row per objective installed on `sim` (no-op for
+/// runs without SLOs), labelled with the caller's run name.
+pub fn push_slo_verdicts<M>(table: &mut Table, run: &str, sim: &Simulation<M>) {
+    for v in sim.slo().verdicts(sim.now()) {
+        table.push_row(vec![
+            run.to_owned(),
+            v.name,
+            v.objective,
+            v.evaluations.to_string(),
+            v.breaches.to_string(),
+            format!("{:.1}", v.breach_time.as_secs_f64()),
+            format!("{:.2}", v.worst_burn),
+            (if v.pass { "pass" } else { "FAIL" }).to_owned(),
+        ]);
     }
 }
 
@@ -207,6 +245,40 @@ mod tests {
         assert!(a.contains("\"tx\": 3"));
         assert!(a.contains("\"endorse\""));
         assert!(!build().is_empty());
+    }
+
+    #[test]
+    fn slo_section_appears_only_when_objectives_installed() {
+        use hyperprov_sim::{SimDuration, SloObjective, SloSpec};
+
+        let plain = sim_with_spans();
+        let mut exporter = MetricsExporter::new("unit");
+        exporter.add_run("plain", &plain);
+        assert!(!exporter.to_json().contains("\"slo\""));
+
+        let mut sim = sim_with_spans();
+        sim.set_slos(vec![SloSpec::new(
+            "endorse-p95",
+            SloObjective::LatencyQuantile {
+                source: "endorse".into(),
+                q: 0.95,
+                budget: SimDuration::from_millis(1),
+            },
+            SimDuration::from_secs(1),
+        )]);
+        let mut with_slo = MetricsExporter::new("unit");
+        with_slo.add_run("slo", &sim);
+        let json = with_slo.to_json();
+        assert!(json.contains("\"slo\""));
+        assert!(json.contains("\"endorse-p95\""));
+
+        let mut table = slo_verdict_table("t");
+        push_slo_verdicts(&mut table, "run-a", &sim);
+        assert_eq!(table.len(), 1);
+        assert_eq!(table.cell(0, 0), Some("run-a"));
+        assert_eq!(table.cell(0, 1), Some("endorse-p95"));
+        push_slo_verdicts(&mut table, "no-slos", &plain);
+        assert_eq!(table.len(), 1, "runs without SLOs add no rows");
     }
 
     #[test]

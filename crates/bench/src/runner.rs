@@ -11,7 +11,7 @@ use hyperprov::{ClientCommand, ClientCompletion, CompletionQueue, NodeMsg, OpId}
 use hyperprov_baseline::OnChainNetwork;
 use hyperprov_sim::{ActorId, Histogram, SimDuration, SimTime, Simulation};
 
-use crate::experiments::{render_and_save, render_and_save_metrics};
+use crate::experiments::{render_and_save, render_and_save_metrics, render_and_save_raw};
 use crate::report::MetricsExporter;
 use crate::table::Table;
 
@@ -29,6 +29,14 @@ pub enum Artefact {
     },
     /// A metrics/trace JSON export.
     Metrics(MetricsExporter),
+    /// A pre-serialized document saved verbatim (e.g. a Chrome/Perfetto
+    /// `*.trace.json`).
+    Raw {
+        /// The document body, written as-is.
+        body: String,
+        /// Full file name under `results/` (including extension).
+        name: &'static str,
+    },
 }
 
 impl Artefact {
@@ -42,6 +50,11 @@ impl Artefact {
         Artefact::Metrics(exporter)
     }
 
+    /// A raw-document artefact (saved byte-for-byte under `results/`).
+    pub fn raw(body: String, name: &'static str) -> Artefact {
+        Artefact::Raw { body, name }
+    }
+
     /// Saves the artefact under `results/` and renders it (plus a
     /// save-status line) for the calling binary to print.
     #[must_use = "the rendered report must be printed by the calling binary"]
@@ -49,6 +62,7 @@ impl Artefact {
         match self {
             Artefact::Table { table, name } => render_and_save(table, name),
             Artefact::Metrics(exporter) => render_and_save_metrics(exporter),
+            Artefact::Raw { body, name } => render_and_save_raw(body, name),
         }
     }
 }

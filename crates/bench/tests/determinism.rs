@@ -14,6 +14,10 @@ fn fixture(name: &str) -> String {
 #[test]
 fn fig1_quick_metrics_match_committed_fixture() {
     let json = size_sweep(Platform::Desktop, true).exporter.to_json();
+    assert!(
+        !json.contains("\"unclosed\""),
+        "fig1 quick runs must not leak spans"
+    );
     assert_eq!(
         json,
         fixture("fig1_quick.metrics.json"),
@@ -25,6 +29,10 @@ fn fig1_quick_metrics_match_committed_fixture() {
 #[test]
 fn fig2_quick_metrics_match_committed_fixture() {
     let json = size_sweep(Platform::Rpi, true).exporter.to_json();
+    assert!(
+        !json.contains("\"unclosed\""),
+        "fig2 quick runs must not leak spans"
+    );
     assert_eq!(
         json,
         fixture("fig2_quick.metrics.json"),

@@ -79,6 +79,17 @@ fn instrumentation_opens_and_closes_spans_consistently() {
             "stage {stage} missing from a store workload"
         );
     }
+    // Zero span leaks: a fully drained run leaves no open spans, so the
+    // per-stage unclosed report must be empty and stay out of the export.
+    assert!(
+        tracer.unclosed_by_stage().is_empty(),
+        "leaked spans: {:?}",
+        tracer.unclosed_by_stage()
+    );
+    assert!(
+        !tracer.snapshot_json().contains("\"unclosed\""),
+        "a leak-free run must not emit the unclosed report"
+    );
 }
 
 #[test]

@@ -638,6 +638,13 @@ impl HyperProvClient {
         outcome: Result<OpOutput, HyperProvError>,
     ) {
         ctx.span_end(&op_trace(op_ctx.op), "op", "");
+        // SLO sources: goodput objectives watch "client.ok", error-rate
+        // objectives pair it with "client.err".
+        ctx.slo_event(if outcome.is_ok() {
+            "client.ok"
+        } else {
+            "client.err"
+        });
         self.completions.borrow_mut().push_back(ClientCompletion {
             op: op_ctx.op,
             started: op_ctx.started,

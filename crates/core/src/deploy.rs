@@ -14,7 +14,7 @@ use hyperprov_fabric::{
 };
 use hyperprov_ledger::{ChannelId, DEFAULT_CHANNEL};
 use hyperprov_offchain::{MemoryStore, StorageActor, StorageCosts};
-use hyperprov_sim::{ActorId, CpuResource, QueueConfig, SimDuration, Simulation};
+use hyperprov_sim::{ActorId, CpuResource, QueueConfig, SimDuration, Simulation, SloSpec};
 
 use crate::chaincode::HyperProvChaincode;
 use crate::client::{CompletionQueue, HyperProvClient, RetryPolicy};
@@ -139,6 +139,14 @@ pub struct NetworkConfig {
     /// The default (one lane, no caches) keeps the legacy serial commit
     /// path; requested lanes are clamped to each peer device's core count.
     pub pipeline: CommitPipeline,
+    /// Rolling-window SLOs evaluated during the run (empty = monitoring
+    /// off, the default — default-config exports stay byte-identical).
+    /// Latency objectives watch pipeline span stages (`"op"`,
+    /// `"endorse"`, `"commit.apply"`, `"query"`, ...); event objectives
+    /// watch the built-in sources `"client.ok"` / `"client.err"`
+    /// (operation completions) and `"commit.tx"` (valid transactions
+    /// committed at peers).
+    pub slos: Vec<SloSpec>,
 }
 
 impl NetworkConfig {
@@ -174,6 +182,7 @@ impl NetworkConfig {
             commit_timeout: None,
             channels: vec![ChannelSpec::new(DEFAULT_CHANNEL)],
             pipeline: CommitPipeline::default(),
+            slos: Vec::new(),
         }
     }
 
@@ -202,6 +211,7 @@ impl NetworkConfig {
             commit_timeout: None,
             channels: vec![ChannelSpec::new(DEFAULT_CHANNEL)],
             pipeline: CommitPipeline::default(),
+            slos: Vec::new(),
         }
     }
 
@@ -299,6 +309,14 @@ impl NetworkConfig {
     #[must_use]
     pub fn with_pipeline(mut self, pipeline: CommitPipeline) -> Self {
         self.pipeline = pipeline;
+        self
+    }
+
+    /// Installs rolling-window SLOs on the deployment (see
+    /// [`NetworkConfig::slos`] for the objective sources available).
+    #[must_use]
+    pub fn with_slos(mut self, slos: Vec<SloSpec>) -> Self {
+        self.slos = slos;
         self
     }
 
@@ -455,6 +473,9 @@ impl HyperProvNetwork {
             .collect();
 
         let mut sim: Simulation<NodeMsg> = Simulation::new(config.seed);
+        if !config.slos.is_empty() {
+            sim.set_slos(config.slos.clone());
+        }
         let mut ledgers = Vec::new();
         let mut channel_ledgers: Vec<Vec<(usize, Rc<RefCell<Committer>>)>> =
             vec![Vec::new(); chans.len()];
@@ -518,6 +539,7 @@ impl HyperProvNetwork {
                 CpuResource::with_lanes(config.peer_devices[i].cpu_speed, lanes),
             );
             debug_assert_eq!(id, peer_ids[i]);
+            sim.set_actor_label(id, "peer");
             devices.push(config.peer_devices[i].clone());
         }
 
@@ -539,6 +561,7 @@ impl HyperProvNetwork {
                         config.orderer_device.cpu_speed,
                     );
                     debug_assert_eq!(id, chan.orderers[0]);
+                    sim.set_actor_label(id, "orderer");
                     devices.push(config.orderer_device.clone());
                 }
                 OrdererMode::Raft { .. } => {
@@ -566,6 +589,7 @@ impl HyperProvNetwork {
                         let id = sim
                             .add_actor_with_speed(Box::new(actor), config.orderer_device.cpu_speed);
                         debug_assert_eq!(id, chan.orderers[i]);
+                        sim.set_actor_label(id, "orderer");
                         sim.start_timer(id, SimDuration::ZERO, RAFT_TICK_TOKEN);
                         devices.push(config.orderer_device.clone());
                     }
@@ -580,6 +604,7 @@ impl HyperProvNetwork {
         }
         let id = sim.add_actor_with_speed(Box::new(storage_actor), config.storage_device.cpu_speed);
         debug_assert_eq!(id, storage_id);
+        sim.set_actor_label(id, "storage");
         devices.push(config.storage_device.clone());
 
         let mut clients = Vec::new();
@@ -635,6 +660,7 @@ impl HyperProvNetwork {
             let id = sim
                 .add_actor_with_speed(Box::new(client_actor), config.client_devices[i].cpu_speed);
             debug_assert_eq!(id, client_ids[i]);
+            sim.set_actor_label(id, "client");
             clients.push(id);
             completions.push(queue);
             devices.push(config.client_devices[i].clone());

@@ -515,6 +515,8 @@ impl<M: Carries<FabricMsg>> PeerActor<M> {
                     &channel.metric_name(prefix, "tx.invalid"),
                     outcome.invalid as u64,
                 );
+                // Goodput SLOs watch committed-transaction events.
+                ctx.slo_event_n("commit.tx", outcome.valid as u64);
                 // Every committed write invalidates its read-cache entry:
                 // the cached version is no longer the latest.
                 let mut invalidated = 0u64;
@@ -608,6 +610,8 @@ impl<M: Carries<FabricMsg>> PeerActor<M> {
                     &channel.metric_name(prefix, "tx.invalid"),
                     outcome.invalid as u64,
                 );
+                // Goodput SLOs watch committed-transaction events.
+                ctx.slo_event_n("commit.tx", outcome.valid as u64);
                 let mut sends = Vec::new();
                 for event in outcome.events {
                     for &client in &self.subscribers {

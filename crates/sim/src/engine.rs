@@ -16,7 +16,9 @@ use std::collections::{BinaryHeap, HashSet};
 use crate::cpu::CpuResource;
 use crate::metrics::Metrics;
 use crate::net::{Delivery, Network};
+use crate::profile::{HotCounters, SimProfiler};
 use crate::rng::DetRng;
+use crate::slo::{SloMonitor, SloSpec};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{SpanId, Tracer, TracerConfig};
 
@@ -134,6 +136,8 @@ pub struct Kernel<M> {
     rngs: Vec<DetRng>,
     metrics: Metrics,
     tracer: Tracer,
+    slo: SloMonitor,
+    hot: HotCounters,
     cancelled: HashSet<u64>,
     next_timer: u64,
     stopped: bool,
@@ -147,6 +151,7 @@ pub struct Kernel<M> {
 
 impl<M> Kernel<M> {
     fn push(&mut self, time: SimTime, target: ActorId, event: Event<M>, timer_id: u64) {
+        self.hot.events_enqueued += 1;
         self.seq += 1;
         let epoch = self.epochs[target.0 as usize];
         self.queue.push(QueueItem {
@@ -213,6 +218,7 @@ impl<M> Context<'_, M> {
     /// counted under the `net.dropped` metric.
     pub fn send(&mut self, dst: ActorId, bytes: u64, msg: M) {
         let src = self.id;
+        self.kernel.hot.messages_sent += 1;
         let rng = &mut self.kernel.rngs[src.0 as usize];
         match self
             .kernel
@@ -245,6 +251,7 @@ impl<M> Context<'_, M> {
 
     /// Fires [`Event::Timer`] with `token` on this actor after `delay`.
     pub fn set_timer(&mut self, delay: SimDuration, token: u64) -> TimerId {
+        self.kernel.hot.timers_set += 1;
         self.kernel.next_timer += 1;
         let id = self.kernel.next_timer;
         let at = self.kernel.now + delay;
@@ -263,6 +270,7 @@ impl<M> Context<'_, M> {
     /// [`Event::Timer`] with `token` fires when the work completes (after
     /// queueing behind earlier work).
     pub fn execute(&mut self, reference_cost: SimDuration, token: u64) -> TimerId {
+        self.kernel.hot.cpu_jobs += 1;
         let (_, end) =
             self.kernel.cpus[self.id.0 as usize].execute(self.kernel.now, reference_cost);
         self.kernel.next_timer += 1;
@@ -277,6 +285,7 @@ impl<M> Context<'_, M> {
     /// with `token` fires at the batch makespan. Returns the timer and
     /// the makespan instant.
     pub fn execute_parallel(&mut self, costs: &[SimDuration], token: u64) -> (TimerId, SimTime) {
+        self.kernel.hot.cpu_jobs += 1;
         let end = self.kernel.cpus[self.id.0 as usize].execute_parallel(self.kernel.now, costs);
         self.kernel.next_timer += 1;
         let id = self.kernel.next_timer;
@@ -308,7 +317,9 @@ impl<M> Context<'_, M> {
     }
 
     /// Closes the matching open span at the current virtual time,
-    /// returning its duration. See [`Tracer::span_end`].
+    /// returning its duration. See [`Tracer::span_end`]. Closed spans
+    /// also feed any latency-quantile SLOs watching this stage (see
+    /// [`Simulation::set_slos`]).
     pub fn span_end(
         &mut self,
         trace: &str,
@@ -316,7 +327,27 @@ impl<M> Context<'_, M> {
         detail: &str,
     ) -> Option<SimDuration> {
         let now = self.kernel.now;
-        self.kernel.tracer.span_end(now, trace, stage, detail)
+        let duration = self.kernel.tracer.span_end(now, trace, stage, detail);
+        if let Some(d) = duration {
+            if self.kernel.slo.is_active() {
+                self.kernel.slo.observe_latency(now, stage, d);
+            }
+        }
+        duration
+    }
+
+    /// Feeds one event tagged `source` to the SLO monitor (goodput and
+    /// error-rate objectives). A no-op when no SLOs are installed.
+    pub fn slo_event(&mut self, source: &str) {
+        self.slo_event_n(source, 1);
+    }
+
+    /// Feeds `n` events tagged `source` to the SLO monitor.
+    pub fn slo_event_n(&mut self, source: &str, n: u64) {
+        if self.kernel.slo.is_active() {
+            let now = self.kernel.now;
+            self.kernel.slo.observe_event_n(now, source, n);
+        }
     }
 
     /// Records a point trace event at the current virtual time. See
@@ -399,6 +430,9 @@ impl<M> Context<'_, M> {
 pub struct Simulation<M> {
     kernel: Kernel<M>,
     actors: Vec<Option<Box<dyn Actor<M>>>>,
+    /// Per-actor profiling label (e.g. `"peer"`); parallel to `actors`.
+    labels: Vec<String>,
+    profiler: SimProfiler,
     root_rng: DetRng,
 }
 
@@ -415,6 +449,8 @@ impl<M> Simulation<M> {
                 rngs: Vec::new(),
                 metrics: Metrics::new(),
                 tracer: Tracer::new(TracerConfig::default()),
+                slo: SloMonitor::disabled(),
+                hot: HotCounters::default(),
                 cancelled: HashSet::new(),
                 next_timer: 0,
                 stopped: false,
@@ -423,6 +459,8 @@ impl<M> Simulation<M> {
                 epochs: Vec::new(),
             },
             actors: Vec::new(),
+            labels: Vec::new(),
+            profiler: SimProfiler::new(),
             root_rng: DetRng::new(seed),
         }
     }
@@ -442,6 +480,7 @@ impl<M> Simulation<M> {
     pub fn add_actor_with_cpu(&mut self, actor: Box<dyn Actor<M>>, cpu: CpuResource) -> ActorId {
         let id = ActorId(self.actors.len() as u32);
         self.actors.push(Some(actor));
+        self.labels.push("actor".to_owned());
         self.kernel.cpus.push(cpu);
         self.kernel.rngs.push(self.root_rng.fork_index(id.0 as u64));
         self.kernel.crashed.push(false);
@@ -523,6 +562,54 @@ impl<M> Simulation<M> {
         self.kernel.tracer = tracer;
     }
 
+    /// Installs rolling-window SLOs (see [`SloMonitor`]). Latency
+    /// objectives are fed automatically from [`Context::span_end`];
+    /// goodput/error objectives from [`Context::slo_event`]. Replaces
+    /// any previously installed monitor.
+    pub fn set_slos(&mut self, specs: Vec<SloSpec>) {
+        self.kernel.slo = SloMonitor::new(specs);
+    }
+
+    /// The SLO monitor (empty and inert unless [`Simulation::set_slos`]
+    /// was called).
+    pub fn slo(&self) -> &SloMonitor {
+        &self.kernel.slo
+    }
+
+    /// Mutable access to the SLO monitor (e.g. to feed host-driven
+    /// observations or advance windows before a mid-run snapshot).
+    pub fn slo_mut(&mut self) -> &mut SloMonitor {
+        &mut self.kernel.slo
+    }
+
+    /// Sets the profiling label for `target` (e.g. `"peer"`,
+    /// `"client"`); handler wall time aggregates by this label when the
+    /// profiler is enabled. Defaults to `"actor"`.
+    pub fn set_actor_label(&mut self, target: ActorId, label: &str) {
+        self.labels[target.0 as usize] = label.to_owned();
+    }
+
+    /// The profiling label of `target`.
+    pub fn actor_label(&self, target: ActorId) -> &str {
+        &self.labels[target.0 as usize]
+    }
+
+    /// Enables host-side wall-clock profiling of the event loop; the
+    /// profiler's run clock starts now. See [`SimProfiler`].
+    pub fn enable_profiler(&mut self) {
+        self.profiler.enable();
+    }
+
+    /// The host-side profiler (disabled and empty by default).
+    pub fn profiler(&self) -> &SimProfiler {
+        &self.profiler
+    }
+
+    /// The kernel's allocation-free hot-path counters.
+    pub fn hot_counters(&self) -> HotCounters {
+        self.kernel.hot
+    }
+
     /// Read access to an actor's CPU resource (for energy accounting).
     pub fn cpu(&self, id: ActorId) -> &CpuResource {
         &self.kernel.cpus[id.0 as usize]
@@ -574,11 +661,13 @@ impl<M> Simulation<M> {
                     .take()
                     .unwrap_or_else(|| panic!("restart for unknown or re-entered {}", item.target));
                 {
+                    let started = self.profiler.start_handler();
                     let mut ctx = Context {
                         id: item.target,
                         kernel: &mut self.kernel,
                     };
                     actor.on_restart(&mut ctx);
+                    self.profiler.end_handler(started, &self.labels[slot]);
                 }
                 self.actors[slot] = Some(actor);
                 return true;
@@ -596,11 +685,13 @@ impl<M> Simulation<M> {
                 .take()
                 .unwrap_or_else(|| panic!("event for unknown or re-entered {}", item.target));
             {
+                let started = self.profiler.start_handler();
                 let mut ctx = Context {
                     id: item.target,
                     kernel: &mut self.kernel,
                 };
                 actor.on_event(&mut ctx, item.event);
+                self.profiler.end_handler(started, &self.labels[slot]);
             }
             self.actors[slot] = Some(actor);
             return true;

@@ -278,6 +278,50 @@ mod tests {
     }
 
     #[test]
+    fn quantile_empty_and_single_sample_edges() {
+        let empty = Histogram::new();
+        assert_eq!(empty.quantile(0.0), 0);
+        assert_eq!(empty.quantile(1.0), 0);
+        let mut h = Histogram::new();
+        h.record(12_345);
+        // A single sample is every quantile, including out-of-range q
+        // (clamped into [0, 1]).
+        for q in [-3.0, 0.0, 0.25, 0.5, 0.99, 1.0, 7.0] {
+            assert_eq!(h.quantile(q), 12_345);
+        }
+    }
+
+    #[test]
+    fn quantile_bucket_boundary_behaviour() {
+        // 995 and 1005 share one log-linear bucket (rep 992); the
+        // representative is clamped to the observed min, so every
+        // quantile of this two-sample histogram reads 995.
+        let mut h = Histogram::new();
+        h.record(995);
+        h.record(1005);
+        assert_eq!(bucket_index(995), bucket_index(1005));
+        assert_eq!(h.quantile(0.0), 995);
+        assert_eq!(h.quantile(0.5), 995);
+        assert_eq!(h.quantile(1.0), 995);
+
+        // Samples in distinct buckets: the quantile steps from the low
+        // bucket to the high one as the rank crosses the boundary, with
+        // bounded relative error on the high representative.
+        let mut h2 = Histogram::new();
+        h2.record(1_000);
+        h2.record(100_000);
+        assert_eq!(h2.quantile(0.5), 1_000);
+        let hi = h2.quantile(0.51);
+        assert!(hi <= 100_000);
+        assert!((100_000 - hi) as f64 / 100_000.0 < 1.0 / SUB_BUCKETS as f64 + 1e-12);
+
+        // Power-of-two boundary values are their own representatives.
+        for v in [32u64, 64, 1 << 20] {
+            assert_eq!(bucket_value(bucket_index(v)), v);
+        }
+    }
+
+    #[test]
     fn quantiles_monotone() {
         let mut h = Histogram::new();
         let mut x = 1u64;

@@ -16,9 +16,15 @@
 //! * a shared service runtime for node actors — deferred-send outbox,
 //!   CPU charging, and bounded admission queues with backpressure
 //!   ([`ServiceHarness`], [`QueueConfig`], [`OverloadPolicy`]),
-//! * metrics ([`Metrics`], [`Histogram`]), and
+//! * metrics ([`Metrics`], [`Histogram`]),
 //! * virtual-time span tracing with bounded memory ([`Tracer`],
-//!   [`Span`], [`TracerConfig`]).
+//!   [`Span`], [`TracerConfig`]),
+//! * rolling-window SLO evaluation with burn-rate series and breach
+//!   windows ([`SloMonitor`], [`SloSpec`]),
+//! * Chrome-trace/Perfetto export of span records
+//!   ([`chrome_trace_json`]), and
+//! * host-side profiling of the event loop itself ([`SimProfiler`],
+//!   [`HotCounters`], [`peak_rss_bytes`]).
 //!
 //! The paper's testbed — four machines and a switch — maps to one actor per
 //! process (peer, orderer, off-chain store, client) with CPU speeds and
@@ -57,7 +63,10 @@ mod histogram;
 pub mod json;
 mod metrics;
 mod net;
+mod perfetto;
+mod profile;
 mod rng;
+mod slo;
 mod time;
 mod trace;
 
@@ -70,6 +79,9 @@ pub use harness::{
 pub use histogram::Histogram;
 pub use metrics::Metrics;
 pub use net::{Delivery, LinkSpec, Network};
+pub use perfetto::chrome_trace_json;
+pub use profile::{peak_rss_bytes, HotCounters, SimProfiler};
 pub use rng::DetRng;
+pub use slo::{SloBreach, SloMonitor, SloObjective, SloSpec, SloVerdict, MAX_BURN};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Span, SpanId, TraceEvent, Tracer, TracerConfig};

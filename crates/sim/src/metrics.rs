@@ -19,6 +19,15 @@ pub struct Metrics {
     gauges: BTreeMap<String, f64>,
     histograms: BTreeMap<String, Histogram>,
     series: BTreeMap<String, Vec<(SimTime, f64)>>,
+    /// Once a series holds this many points, further pushes are
+    /// downsampled; `0` (the default) keeps every point.
+    series_cap: usize,
+    /// Past the cap, keep one push in `series_keep_every`.
+    series_keep_every: u64,
+    /// Per-series push counters, maintained only while a cap is set.
+    series_pushes: BTreeMap<String, u64>,
+    /// Points discarded by downsampling.
+    series_dropped: u64,
 }
 
 impl Metrics {
@@ -65,12 +74,45 @@ impl Metrics {
         self.histograms.get(name)
     }
 
-    /// Appends a `(time, value)` point to the named time series.
+    /// Bounds time-series growth: once a series holds `cap` points,
+    /// only every `keep_every`-th subsequent push is kept (the rest are
+    /// dropped and counted under
+    /// [`Metrics::series_points_dropped`]). `cap = 0` (the default)
+    /// disables downsampling entirely, leaving exports byte-identical
+    /// to unbounded recording.
+    pub fn set_series_downsample(&mut self, cap: usize, keep_every: u64) {
+        self.series_cap = cap;
+        self.series_keep_every = keep_every.max(1);
+        if cap == 0 {
+            self.series_pushes.clear();
+        }
+    }
+
+    /// Points dropped by series downsampling so far.
+    pub fn series_points_dropped(&self) -> u64 {
+        self.series_dropped
+    }
+
+    /// Appends a `(time, value)` point to the named time series,
+    /// subject to the downsampling policy set with
+    /// [`Metrics::set_series_downsample`] (off by default).
     pub fn push_series(&mut self, name: &str, t: SimTime, value: f64) {
-        self.series
-            .entry(name.to_owned())
-            .or_default()
-            .push((t, value));
+        if self.series_cap > 0 {
+            let pushes = self.series_pushes.entry(name.to_owned()).or_insert(0);
+            *pushes += 1;
+            let nth = *pushes;
+            let s = self.series.entry(name.to_owned()).or_default();
+            if s.len() >= self.series_cap && !nth.is_multiple_of(self.series_keep_every) {
+                self.series_dropped += 1;
+                return;
+            }
+            s.push((t, value));
+        } else {
+            self.series
+                .entry(name.to_owned())
+                .or_default()
+                .push((t, value));
+        }
     }
 
     /// Reads a time series, if present.
@@ -216,6 +258,51 @@ mod tests {
         let s = m.series("p").unwrap();
         assert_eq!(s.len(), 2);
         assert_eq!(s[1], (SimTime::from_secs(2), 2.0));
+    }
+
+    #[test]
+    fn downsampling_bounds_series_growth() {
+        let mut m = Metrics::new();
+        m.set_series_downsample(10, 4);
+        for i in 0..50u64 {
+            m.push_series("s", SimTime::from_nanos(i), i as f64);
+        }
+        let s = m.series("s").unwrap();
+        // First 10 kept verbatim, then every 4th push (12, 16, ... 48).
+        assert_eq!(s.len(), 20);
+        assert_eq!(s[9], (SimTime::from_nanos(9), 9.0));
+        assert_eq!(s[10], (SimTime::from_nanos(11), 11.0)); // push #12
+        assert_eq!(s.last().unwrap().1, 47.0); // push #48
+        assert_eq!(m.series_points_dropped(), 30);
+        // Other series have their own counters.
+        m.push_series("t", SimTime::ZERO, 0.0);
+        assert_eq!(m.series("t").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn downsampling_off_by_default_keeps_everything() {
+        let with_default = |n: u64| {
+            let mut m = Metrics::new();
+            for i in 0..n {
+                m.push_series("s", SimTime::from_nanos(i), i as f64);
+            }
+            m.snapshot_json()
+        };
+        let explicit_off = |n: u64| {
+            let mut m = Metrics::new();
+            m.set_series_downsample(0, 7);
+            for i in 0..n {
+                m.push_series("s", SimTime::from_nanos(i), i as f64);
+            }
+            m.snapshot_json()
+        };
+        assert_eq!(with_default(100), explicit_off(100));
+        let mut m = Metrics::new();
+        for i in 0..100u64 {
+            m.push_series("s", SimTime::from_nanos(i), 0.0);
+        }
+        assert_eq!(m.series("s").unwrap().len(), 100);
+        assert_eq!(m.series_points_dropped(), 0);
     }
 
     #[test]

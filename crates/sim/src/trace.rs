@@ -308,6 +308,17 @@ impl Tracer {
         self.open.len()
     }
 
+    /// Spans still open, counted per stage (in stage-name order). At
+    /// export time a non-empty result is a leak report: every span a
+    /// run opens should be closed (or the work it models is stuck).
+    pub fn unclosed_by_stage(&self) -> BTreeMap<&'static str, u64> {
+        let mut by_stage: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for key in self.open.keys() {
+            *by_stage.entry(key.stage).or_insert(0) += 1;
+        }
+        by_stage
+    }
+
     /// Total spans opened.
     pub fn spans_started(&self) -> u64 {
         self.spans_started
@@ -349,16 +360,27 @@ impl Tracer {
         for (stage, hist) in &self.stage_hist {
             stages = stages.raw(stage, &crate::metrics::histogram_json(hist));
         }
-        Obj::new()
+        let mut out = Obj::new()
             .u64("spans_started", self.spans_started)
             .u64("spans_finished", self.spans_finished)
             .u64("spans_open", self.open.len() as u64)
             .u64("spans_evicted", self.spans_evicted)
             .u64("events_recorded", self.events_recorded)
             .u64("unmatched_ends", self.unmatched_ends)
-            .u64("duplicate_starts", self.duplicate_starts)
-            .raw("stages", &stages.build())
-            .build()
+            .u64("duplicate_starts", self.duplicate_starts);
+        if !self.open.is_empty() {
+            // Leak report: spans opened but never closed. Emitted only
+            // when leaks exist so clean runs' exports stay byte-stable
+            // across releases.
+            let mut unclosed = Obj::new().u64("count", self.open.len() as u64);
+            let mut per_stage = Obj::new();
+            for (stage, n) in self.unclosed_by_stage() {
+                per_stage = per_stage.u64(stage, n);
+            }
+            unclosed = unclosed.raw("stages", &per_stage.build());
+            out = out.raw("unclosed", &unclosed.build());
+        }
+        out.raw("stages", &stages.build()).build()
     }
 }
 
@@ -491,6 +513,73 @@ mod tests {
         assert!(a.contains("\"spans_finished\":1"));
         assert!(a.contains("\"endorse\""));
         assert!(a.contains("\"p99\":7"));
+    }
+
+    #[test]
+    fn unclosed_spans_surface_in_snapshot() {
+        let mut tr = Tracer::new(TracerConfig::default());
+        tr.span_start(t(0), "tx1", "endorse", "peer0");
+        tr.span_start(t(1), "tx2", "endorse", "peer1");
+        tr.span_start(t(2), "tx3", "commit.apply", "");
+        tr.span_start(t(3), "tx4", "order", "");
+        tr.span_end(t(9), "tx4", "order", "");
+        let by_stage = tr.unclosed_by_stage();
+        assert_eq!(by_stage.get("endorse"), Some(&2));
+        assert_eq!(by_stage.get("commit.apply"), Some(&1));
+        assert_eq!(by_stage.get("order"), None);
+        let json = tr.snapshot_json();
+        assert!(json.contains("\"spans_open\":3"));
+        assert!(json
+            .contains("\"unclosed\":{\"count\":3,\"stages\":{\"commit.apply\":1,\"endorse\":2}}"));
+    }
+
+    #[test]
+    fn clean_snapshot_omits_unclosed_report() {
+        let mut tr = Tracer::new(TracerConfig::default());
+        tr.span_start(t(0), "tx1", "endorse", "");
+        tr.span_end(t(5), "tx1", "endorse", "");
+        let json = tr.snapshot_json();
+        assert!(json.contains("\"spans_open\":0"));
+        assert!(!json.contains("\"unclosed\""));
+    }
+
+    #[test]
+    fn eviction_and_sampling_compose() {
+        // With sample_every = 4 only ~1/4 of traces produce records; the
+        // tiny ring then evicts most of those. Aggregates and lifecycle
+        // counters must still see every span exactly once.
+        let mut tr = Tracer::new(TracerConfig {
+            span_capacity: 2,
+            sample_every: 4,
+            ..TracerConfig::default()
+        });
+        let mut sampled = 0u64;
+        for i in 0..200u64 {
+            let trace = format!("tx{i}");
+            if super::fnv1a(trace.as_bytes()).is_multiple_of(4) {
+                sampled += 1;
+            }
+            tr.span_start(t(i * 10), &trace, "commit", "");
+            tr.span_end(t(i * 10 + 3), &trace, "commit", "");
+        }
+        assert!(sampled > 2, "need more sampled traces than capacity");
+        assert_eq!(tr.finished_spans().count(), 2);
+        // Only sampled records count as evicted: eviction happens after
+        // sampling, never double-drops.
+        assert_eq!(tr.spans_evicted(), sampled - 2);
+        assert_eq!(tr.spans_finished(), 200);
+        assert_eq!(tr.stage_histogram("commit").unwrap().count(), 200);
+        // The survivors are the most recently closed sampled traces.
+        let kept: Vec<&str> = tr.finished_spans().map(|s| s.trace.as_str()).collect();
+        let all_sampled: Vec<String> = (0..200u64)
+            .map(|i| format!("tx{i}"))
+            .filter(|tx| super::fnv1a(tx.as_bytes()).is_multiple_of(4))
+            .collect();
+        let expect: Vec<&str> = all_sampled[all_sampled.len() - 2..]
+            .iter()
+            .map(String::as_str)
+            .collect();
+        assert_eq!(kept, expect);
     }
 
     #[test]
