@@ -29,6 +29,10 @@ cargo run --release -p hyperprov-bench --bin table_sharding -- --quick
 # pipelining, verification caches) end to end.
 cargo run --release -p hyperprov-bench --bin table_commit_pipeline -- --quick
 
+# Exercises the materialized provenance DAG index and the batched
+# cross-shard graph queries end to end (index vs oracle walk).
+cargo run --release -p hyperprov-bench --bin table_lineage -- --quick
+
 # Perf-regression gate: reruns the quick BENCH-SIM reference workload and
 # diffs it against the committed BENCH_sim.json baseline (tight tolerances
 # for deterministic model metrics, loose ratio bounds for host wall-clock

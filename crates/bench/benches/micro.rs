@@ -138,7 +138,7 @@ fn bench_endorse(c: &mut Criterion) {
         proposal,
     };
     c.bench_function("endorse_hyperprov_post", |b| {
-        b.iter(|| endorse(&peer, &registry, &msp, &state, &history, &signed));
+        b.iter(|| endorse(&peer, &registry, &msp, &state, &history, None, &signed));
     });
 }
 

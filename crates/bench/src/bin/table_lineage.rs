@@ -1,0 +1,7 @@
+//! T-LINEAGE: DAG-index ancestry/closure query cost vs the hop-by-hop
+//! oracle walk, over deep multi-parent DAGs on single- and 4-shard
+//! deployments, desktop and RPi testbeds.
+
+fn main() {
+    hyperprov_bench::runner::bench_main(&[hyperprov_bench::experiments::lineage_artefacts]);
+}

@@ -1,0 +1,360 @@
+//! T-LINEAGE: one-shot DAG-index queries vs the hop-by-hop oracle walk.
+//!
+//! The materialized provenance graph answers ancestry/closure queries
+//! from a per-channel index maintained at commit time, and the sharded
+//! client resolves cross-shard traversals with one batched frontier
+//! exchange per shard per level instead of one RPC per hop. This
+//! campaign quantifies that: over [`crate::workload::deep_dag`] DAGs of
+//! swept depth × fan-out, on single- and 4-shard deployments (desktop
+//! and RPi), it reports the legacy `get_lineage` oracle walk's p50/p99
+//! against the `get_ancestry` index query's, the transitive-closure
+//! cost, and the index query's latency while concurrent writers keep
+//! committing into the same channels. Full runs also emit the
+//! machine-readable `BENCH_lineage.json` trajectory.
+
+use hyperprov::{ClientCommand, HyperProvNetwork, NetworkConfig, NodeMsg, OpId, RecordInput};
+use hyperprov_fabric::BatchConfig;
+use hyperprov_ledger::Digest;
+use hyperprov_sim::{json, SimDuration};
+
+use crate::report::MetricsExporter;
+use crate::table::Table;
+use crate::workload::{deep_dag, deep_dag_sink};
+
+use super::Platform;
+
+/// The lineage campaign's artefacts.
+#[derive(Debug)]
+pub struct LineageReport {
+    /// The query-cost table (one row per platform × shards × depth ×
+    /// fan-out).
+    pub table: Table,
+    /// One metrics + trace snapshot per cell.
+    pub exporter: MetricsExporter,
+    /// Machine-readable per-cell quantiles and speedups, written to the
+    /// repo-root `BENCH_lineage.json` on full runs.
+    pub bench_json: String,
+}
+
+struct Cell {
+    nodes: usize,
+    oracle_p50_ms: f64,
+    oracle_p99_ms: f64,
+    graph_p50_ms: f64,
+    graph_p99_ms: f64,
+    closure_ms: f64,
+    loaded_graph_p50_ms: f64,
+    dangling: u64,
+}
+
+/// Channel specifications mirroring the T-SHARDING partitioning: shard
+/// `c` hosted by the peers with `p % groups == c % groups`.
+fn shard_specs(channels: usize, n_peers: usize) -> Vec<hyperprov::ChannelSpec> {
+    if channels == 1 {
+        return vec![hyperprov::ChannelSpec::new(
+            hyperprov_ledger::DEFAULT_CHANNEL,
+        )];
+    }
+    let groups = channels.min(n_peers);
+    (0..channels)
+        .map(|c| {
+            let hosts: Vec<usize> = (0..n_peers).filter(|p| p % groups == c % groups).collect();
+            hyperprov::ChannelSpec::new(format!("{}-{c}", hyperprov_ledger::DEFAULT_CHANNEL))
+                .with_peers(hosts)
+        })
+        .collect()
+}
+
+/// Issues one operation on client 0 and runs until it completes,
+/// returning its latency in milliseconds (`None` if it failed).
+fn one_op(net: &mut HyperProvNetwork, mut cmd: ClientCommand) -> Option<f64> {
+    crate::runner::set_op(&mut cmd, OpId(1));
+    let client = net.clients[0];
+    net.sim.inject_message(client, NodeMsg::Client(cmd));
+    let queue = net.completions[0].clone();
+    for _ in 0..100_000 {
+        if let Some(completion) = queue.borrow_mut().pop_front() {
+            let latency_ms = completion.latency().as_nanos() as f64 / 1e6;
+            return completion.outcome.ok().map(|_| latency_ms);
+        }
+        if net.sim.run_events(64) == 0 {
+            let now = net.sim.now();
+            net.sim.run_until(now + SimDuration::from_millis(100));
+        }
+    }
+    panic!("operation never completed");
+}
+
+/// The p-th percentile of a latency sample (nearest-rank).
+fn percentile(samples: &mut [f64], p: f64) -> f64 {
+    assert!(!samples.is_empty());
+    samples.sort_by(f64::total_cmp);
+    let rank = ((p * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+    samples[rank - 1]
+}
+
+/// Runs one (platform, shards, depth, fan-out) cell: commits the deep
+/// DAG, then measures the oracle walk, the index queries, and the index
+/// query under a concurrent `post` load from the other clients.
+#[allow(clippy::too_many_arguments)]
+fn run_cell(
+    platform: Platform,
+    channels: usize,
+    depth: u32,
+    fan_out: usize,
+    clients: usize,
+    iters: usize,
+    seed: u64,
+    exporter: &mut MetricsExporter,
+) -> Cell {
+    let mut config = match platform {
+        Platform::Desktop => NetworkConfig::desktop(clients),
+        Platform::Rpi => NetworkConfig::rpi(clients),
+    }
+    .with_seed(seed)
+    .with_batch(BatchConfig {
+        timeout: SimDuration::from_millis(100),
+        ..BatchConfig::default()
+    });
+    let n_peers = config.peer_devices.len();
+    config = config.with_channel_specs(shard_specs(channels, n_peers));
+    // Parent links hop shards, and a shard cannot see its neighbours'
+    // state — cross-channel DAGs need the permissive chaincode (used
+    // across the whole sweep so the cells stay comparable).
+    config.permissive = true;
+    let mut net = HyperProvNetwork::build(&config);
+
+    // Commit the DAG one node at a time (children must see committed
+    // parents at endorsement time).
+    let dag = deep_dag(depth, fan_out);
+    for (key, parents) in &dag {
+        let input = RecordInput::new(Digest::of(key.as_bytes())).with_parents(parents.clone());
+        let done = one_op(
+            &mut net,
+            ClientCommand::Post {
+                key: key.clone(),
+                input,
+                op: OpId(0),
+            },
+        );
+        assert!(done.is_some(), "DAG node {key} must commit");
+    }
+    let sink = deep_dag_sink().to_owned();
+
+    // The legacy oracle: hop-by-hop record fetches, one frontier key at
+    // a time on sharded layouts.
+    let mut oracle: Vec<f64> = (0..iters)
+        .map(|_| {
+            one_op(
+                &mut net,
+                ClientCommand::GetLineage {
+                    key: sink.clone(),
+                    depth,
+                    op: OpId(0),
+                },
+            )
+            .expect("oracle walk over a committed DAG")
+        })
+        .collect();
+
+    // The one-shot index query over the same DAG.
+    let mut graph: Vec<f64> = (0..iters)
+        .map(|_| {
+            one_op(
+                &mut net,
+                ClientCommand::GetAncestry {
+                    key: sink.clone(),
+                    depth,
+                    op: OpId(0),
+                },
+            )
+            .expect("index ancestry over a committed DAG")
+        })
+        .collect();
+
+    // Transitive closure from a mid-DAG node: ancestors and descendants
+    // in one traversal (crosses shards in both directions).
+    let mid = format!("dag-l{}-n0", depth / 2);
+    let mut closure: Vec<f64> = (0..iters)
+        .map(|_| {
+            one_op(
+                &mut net,
+                ClientCommand::GetClosure {
+                    key: mid.clone(),
+                    depth,
+                    op: OpId(0),
+                },
+            )
+            .expect("closure over a committed DAG")
+        })
+        .collect();
+
+    // Deep lineage under write load: every other client posts a fresh
+    // record right before the query is issued, so ordering, commit and
+    // index maintenance run concurrently with the traversal.
+    let mut loaded: Vec<f64> = (0..iters)
+        .map(|iter| {
+            for c in 1..net.clients.len() {
+                let key = format!("load-c{c}-i{iter}");
+                let input = RecordInput::new(Digest::of(key.as_bytes()));
+                net.sim.inject_message(
+                    net.clients[c],
+                    NodeMsg::Client(ClientCommand::Post {
+                        key,
+                        input,
+                        op: OpId(2),
+                    }),
+                );
+            }
+            let ms = one_op(
+                &mut net,
+                ClientCommand::GetAncestry {
+                    key: sink.clone(),
+                    depth,
+                    op: OpId(0),
+                },
+            )
+            .expect("index ancestry under load");
+            for c in 1..net.clients.len() {
+                net.completions[c].borrow_mut().clear();
+            }
+            ms
+        })
+        .collect();
+    // Let the background posts drain before snapshotting metrics.
+    let now = net.sim.now();
+    net.sim.run_until(now + SimDuration::from_secs(5));
+    for c in 1..net.clients.len() {
+        net.completions[c].borrow_mut().clear();
+    }
+
+    let dangling = net
+        .sim
+        .metrics()
+        .counters()
+        .filter(|(name, _)| name.ends_with("dangling_parent"))
+        .map(|(_, v)| v)
+        .sum();
+    exporter.add_run(
+        &format!(
+            "platform={} channels={channels} depth={depth} fanout={fan_out}",
+            platform.name()
+        ),
+        &net.sim,
+    );
+    Cell {
+        nodes: dag.len(),
+        oracle_p50_ms: percentile(&mut oracle, 0.50),
+        oracle_p99_ms: percentile(&mut oracle, 0.99),
+        graph_p50_ms: percentile(&mut graph, 0.50),
+        graph_p99_ms: percentile(&mut graph, 0.99),
+        closure_ms: percentile(&mut closure, 0.50),
+        loaded_graph_p50_ms: percentile(&mut loaded, 0.50),
+        dangling,
+    }
+}
+
+/// Runs the depth × fan-out × shard sweep, producing the T-LINEAGE
+/// table, its metrics export and the `BENCH_lineage.json` body.
+pub fn lineage_sweep(quick: bool) -> LineageReport {
+    type Cfg = (Vec<Platform>, Vec<usize>, Vec<(u32, usize)>, usize, usize);
+    let (platforms, shard_counts, shapes, clients, iters): Cfg = if quick {
+        (vec![Platform::Desktop], vec![1, 4], vec![(4, 2)], 2, 3)
+    } else {
+        (
+            vec![Platform::Desktop, Platform::Rpi],
+            vec![1, 4],
+            vec![(2, 1), (2, 2), (8, 1), (8, 2), (16, 1), (16, 2)],
+            4,
+            9,
+        )
+    };
+
+    let mut table = Table::new(
+        "T-LINEAGE: DAG-index queries vs the hop-by-hop oracle walk",
+        &[
+            "platform",
+            "shards",
+            "depth",
+            "fanout",
+            "nodes",
+            "oracle p50 (ms)",
+            "oracle p99 (ms)",
+            "graph p50 (ms)",
+            "graph p99 (ms)",
+            "speedup p50",
+            "closure p50 (ms)",
+            "loaded graph p50 (ms)",
+            "dangling",
+        ],
+    );
+    let mut exporter = MetricsExporter::new("table_lineage");
+    let mut rows = Vec::new();
+    for &platform in &platforms {
+        for &channels in &shard_counts {
+            for &(depth, fan_out) in &shapes {
+                let cell = run_cell(
+                    platform,
+                    channels,
+                    depth,
+                    fan_out,
+                    clients,
+                    iters,
+                    100,
+                    &mut exporter,
+                );
+                let speedup = if cell.graph_p50_ms > 0.0 {
+                    cell.oracle_p50_ms / cell.graph_p50_ms
+                } else {
+                    0.0
+                };
+                table.push_row(vec![
+                    platform.name().to_owned(),
+                    channels.to_string(),
+                    depth.to_string(),
+                    fan_out.to_string(),
+                    cell.nodes.to_string(),
+                    format!("{:.2}", cell.oracle_p50_ms),
+                    format!("{:.2}", cell.oracle_p99_ms),
+                    format!("{:.2}", cell.graph_p50_ms),
+                    format!("{:.2}", cell.graph_p99_ms),
+                    format!("{speedup:.2}x"),
+                    format!("{:.2}", cell.closure_ms),
+                    format!("{:.2}", cell.loaded_graph_p50_ms),
+                    cell.dangling.to_string(),
+                ]);
+                rows.push(
+                    json::Obj::new()
+                        .str("platform", platform.name())
+                        .u64("shards", channels as u64)
+                        .u64("depth", u64::from(depth))
+                        .u64("fan_out", fan_out as u64)
+                        .u64("nodes", cell.nodes as u64)
+                        .f64("oracle_p50_ms", cell.oracle_p50_ms)
+                        .f64("oracle_p99_ms", cell.oracle_p99_ms)
+                        .f64("graph_p50_ms", cell.graph_p50_ms)
+                        .f64("graph_p99_ms", cell.graph_p99_ms)
+                        .f64("speedup_p50", speedup)
+                        .f64("closure_p50_ms", cell.closure_ms)
+                        .f64("loaded_graph_p50_ms", cell.loaded_graph_p50_ms)
+                        .build(),
+                );
+            }
+        }
+    }
+    let bench_json = json::pretty(
+        &json::Obj::new()
+            .str("campaign", "T-LINEAGE")
+            .str(
+                "metric",
+                "lineage-query latency: DAG-index vs hop-by-hop oracle",
+            )
+            .raw("cells", &json::array(rows))
+            .build(),
+    );
+    LineageReport {
+        table,
+        exporter,
+        bench_json,
+    }
+}

@@ -10,6 +10,7 @@ mod contention;
 mod faults;
 mod fig12;
 mod fig3;
+mod lineage;
 mod overload;
 mod pipeline;
 mod profile;
@@ -23,6 +24,7 @@ pub use faults::{
 };
 pub use fig12::{mean, size_sweep, std_dev, Platform};
 pub use fig3::energy_profile;
+pub use lineage::{lineage_sweep, LineageReport};
 pub use overload::{overload_sweep, OverloadReport};
 pub use pipeline::{pipeline_sweep, PipelineReport};
 pub use profile::{sim_bench, SimBenchReport};
@@ -183,6 +185,24 @@ pub fn sharding_artefacts(quick: bool) -> Vec<Artefact> {
     ]
 }
 
+/// T-LINEAGE artefacts: the lineage-query sweep table and its metrics
+/// export. Full runs additionally write the machine-readable
+/// `BENCH_lineage.json` at the repo root — the committed trajectory of
+/// DAG-index query cost vs the hop-by-hop oracle walk.
+pub fn lineage_artefacts(quick: bool) -> Vec<Artefact> {
+    let report = lineage_sweep(quick);
+    if !quick {
+        let path = results_dir().join("..").join("BENCH_lineage.json");
+        if let Err(err) = std::fs::write(&path, &report.bench_json) {
+            eprintln!("[warning: could not save {}: {err}]", path.display());
+        }
+    }
+    vec![
+        Artefact::table(report.table, "table_lineage"),
+        Artefact::metrics(report.exporter),
+    ]
+}
+
 /// BENCH-SIM artefacts: the host-side simulator profile table and its
 /// machine-readable JSON body (the committed `BENCH_sim.json` baseline is
 /// written by `bench_regress --update`, not here — host numbers must not
@@ -208,5 +228,6 @@ pub const ALL_CAMPAIGNS: &[fn(bool) -> Vec<Artefact>] = &[
     faults_artefacts,
     sharding_artefacts,
     pipeline_artefacts,
+    lineage_artefacts,
     sim_bench_artefacts,
 ];

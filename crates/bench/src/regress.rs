@@ -59,6 +59,12 @@ pub fn commit_bench_path() -> PathBuf {
     results_dir().join("..").join("BENCH_commit.json")
 }
 
+/// The committed lineage-query trajectory's path
+/// (`<repo>/BENCH_lineage.json`).
+pub fn lineage_bench_path() -> PathBuf {
+    results_dir().join("..").join("BENCH_lineage.json")
+}
+
 fn fmt_val(v: f64) -> String {
     if v.fract() == 0.0 && v.abs() < 1e15 {
         format!("{v:.0}")
@@ -235,34 +241,34 @@ pub fn run_regress(update: bool) -> RegressOutcome {
         }
     }
 
-    // Structural check of the commit-path trajectory baseline.
-    match std::fs::read_to_string(commit_bench_path()) {
-        Ok(body) => {
-            let ok = parse(&body).ok().is_some_and(|doc| {
-                doc.get("campaign").and_then(Value::as_str) == Some("T-PIPELINE")
-                    && doc
-                        .get("cells")
-                        .and_then(Value::as_array)
-                        .is_some_and(|cells| !cells.is_empty())
-            });
-            pass = push_check(
-                &mut table,
-                "BENCH_commit.json",
-                None,
-                None,
-                "parses, campaign T-PIPELINE, non-empty cells",
-                Some(ok),
-            ) && pass;
-        }
-        Err(_) => {
-            pass = push_check(
-                &mut table,
-                "BENCH_commit.json",
-                None,
-                None,
-                "not present",
-                None,
-            ) && pass;
+    // Structural checks of the committed campaign trajectory baselines:
+    // a broken regeneration must not land unnoticed.
+    let trajectories: [(PathBuf, &str, &str); 2] = [
+        (commit_bench_path(), "BENCH_commit.json", "T-PIPELINE"),
+        (lineage_bench_path(), "BENCH_lineage.json", "T-LINEAGE"),
+    ];
+    for (path, name, campaign) in trajectories {
+        match std::fs::read_to_string(path) {
+            Ok(body) => {
+                let ok = parse(&body).ok().is_some_and(|doc| {
+                    doc.get("campaign").and_then(Value::as_str) == Some(campaign)
+                        && doc
+                            .get("cells")
+                            .and_then(Value::as_array)
+                            .is_some_and(|cells| !cells.is_empty())
+                });
+                pass = push_check(
+                    &mut table,
+                    name,
+                    None,
+                    None,
+                    &format!("parses, campaign {campaign}, non-empty cells"),
+                    Some(ok),
+                ) && pass;
+            }
+            Err(_) => {
+                pass = push_check(&mut table, name, None, None, "not present", None) && pass;
+            }
         }
     }
 

@@ -142,6 +142,10 @@ pub fn set_op(cmd: &mut ClientCommand, new: OpId) {
         | ClientCommand::GetHistory { op, .. }
         | ClientCommand::GetKeysByChecksum { op, .. }
         | ClientCommand::GetLineage { op, .. }
+        | ClientCommand::GetAncestry { op, .. }
+        | ClientCommand::GetDescendants { op, .. }
+        | ClientCommand::GetClosure { op, .. }
+        | ClientCommand::GetSubgraph { op, .. }
         | ClientCommand::Delete { op, .. }
         | ClientCommand::List { op } => *op = new,
     }

@@ -96,6 +96,33 @@ impl KeyChooser {
     }
 }
 
+/// A deep multi-parent DAG in topological commit order, SciChain-style:
+/// `levels` levels of `fan_out` nodes, every node linking to *all* nodes
+/// of the previous level, capped by a single sink (`deep_dag_sink`) whose
+/// ancestry spans the full depth. Returns `(key, parents)` pairs; commit
+/// them in order so every parent exists before its children.
+pub fn deep_dag(levels: u32, fan_out: usize) -> Vec<(String, Vec<String>)> {
+    assert!(levels >= 1, "need at least one level");
+    assert!(fan_out >= 1, "need at least one node per level");
+    let mut out = Vec::new();
+    let mut prev: Vec<String> = Vec::new();
+    for level in 0..levels {
+        let current: Vec<String> = (0..fan_out).map(|n| format!("dag-l{level}-n{n}")).collect();
+        for key in &current {
+            out.push((key.clone(), prev.clone()));
+        }
+        prev = current;
+    }
+    out.push((deep_dag_sink().to_owned(), prev));
+    out
+}
+
+/// The key of the sink node every [`deep_dag`] workload ends in — the
+/// natural root for ancestry queries over the generated DAG.
+pub fn deep_dag_sink() -> &'static str {
+    "dag-sink"
+}
+
 /// Builds a `StoreData` command with a generated payload (op id is
 /// assigned by the driver).
 pub fn store_cmd(key: String, data: Vec<u8>) -> ClientCommand {
@@ -167,6 +194,23 @@ mod tests {
 
         let mut hot = KeyChooser::new(1.0, DetRng::new(1));
         assert!((0..10).all(|_| hot.next_key() == "hot-item"));
+    }
+
+    #[test]
+    fn deep_dag_shape() {
+        let dag = deep_dag(3, 2);
+        assert_eq!(dag.len(), 7); // 3 levels x 2 nodes + sink
+        assert!(dag[0].1.is_empty() && dag[1].1.is_empty());
+        // Every non-source node links to all fan_out nodes one level up.
+        assert_eq!(dag[2].1, vec!["dag-l0-n0", "dag-l0-n1"]);
+        assert_eq!(dag[6].0, deep_dag_sink());
+        assert_eq!(dag[6].1, vec!["dag-l2-n0", "dag-l2-n1"]);
+        // Topological: parents always precede their children.
+        for (i, (_, parents)) in dag.iter().enumerate() {
+            for p in parents {
+                assert!(dag[..i].iter().any(|(k, _)| k == p), "{p} before {i}");
+            }
+        }
     }
 
     #[test]

@@ -10,10 +10,13 @@
 use std::collections::{HashSet, VecDeque};
 
 use hyperprov_fabric::{Chaincode, ChaincodeError, ChaincodeStub};
-use hyperprov_ledger::{Decode, Digest, Encode};
+use hyperprov_ledger::{
+    Decode, Digest, Direction, Encode, GraphIndexer, GraphUpdate, StateKey, TraversalLimits,
+};
 
 use crate::record::{
-    encode_history, encode_lineage, HistoryRecord, LineageEntry, ProvenanceRecord, RecordInput,
+    encode_history, encode_lineage, GraphSlice, HistoryRecord, LineageEntry, ProvenanceRecord,
+    RecordInput,
 };
 
 /// The chaincode (namespace) name.
@@ -21,6 +24,44 @@ pub const CHAINCODE_NAME: &str = "hyperprov";
 
 /// Maximum lineage traversal depth accepted by `get_lineage`.
 pub const MAX_LINEAGE_DEPTH: u32 = 64;
+
+/// Maximum nodes a single graph query (`get_ancestry` and friends) visits
+/// before truncating, whatever budget the client asked for.
+pub const MAX_GRAPH_NODES: usize = 4096;
+
+/// Commit-time feeder for the materialized provenance DAG index.
+///
+/// Installed on every peer's [`Committer`](hyperprov_fabric::Committer);
+/// the committer calls [`GraphIndexer::index`] for each applied write and
+/// this implementation translates HyperProv's `item~<key>` record writes
+/// into graph updates (parent edges from the decoded
+/// [`ProvenanceRecord`], removals for deletes). Checksum-index writes and
+/// foreign namespaces are ignored.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HyperProvIndexer;
+
+impl GraphIndexer for HyperProvIndexer {
+    fn index(&self, key: &StateKey, value: Option<&[u8]>) -> Option<GraphUpdate> {
+        if key.namespace != CHAINCODE_NAME {
+            return None;
+        }
+        let parts = ChaincodeStub::split_composite_key(&key.key);
+        if parts.len() != 2 || parts[0] != "item" {
+            return None;
+        }
+        let item = parts[1].to_owned();
+        match value {
+            Some(bytes) => {
+                let record = ProvenanceRecord::from_bytes(bytes).ok()?;
+                Some(GraphUpdate::Insert {
+                    key: item,
+                    parents: record.parents,
+                })
+            }
+            None => Some(GraphUpdate::Remove { key: item }),
+        }
+    }
+}
 
 /// The HyperProv chaincode.
 ///
@@ -199,6 +240,60 @@ impl HyperProvChaincode {
         Ok(encode_lineage(&out))
     }
 
+    /// Shared implementation of the one-shot graph queries
+    /// (`get_ancestry`, `get_descendants`, `get_closure`, `get_subgraph`).
+    ///
+    /// Arguments: `args[0]` = max depth, `args[1]` = max nodes, `args[2..]`
+    /// = depth-tagged roots `"<base_depth>:<key>"`. The base depth lets a
+    /// sharded client continue a traversal mid-flight: boundary keys a
+    /// previous shard reported at depth *d* re-enter here as roots at *d*,
+    /// so the global depth budget stays consistent across shards. Answers
+    /// come from the peer's materialized DAG index — no state reads, a few
+    /// bytes per node — encoded as a [`GraphSlice`].
+    fn graph_query(
+        &self,
+        stub: &mut ChaincodeStub<'_>,
+        direction: Direction,
+        collect_edges: bool,
+    ) -> Result<Vec<u8>, ChaincodeError> {
+        let graph = stub.graph().ok_or_else(|| {
+            ChaincodeError::Rejected("peer maintains no provenance graph index".to_owned())
+        })?;
+        let max_depth: u32 = stub
+            .arg_str(0)?
+            .parse()
+            .map_err(|_| ChaincodeError::BadArgs("depth must be an integer".to_owned()))?;
+        let max_nodes: usize = stub
+            .arg_str(1)?
+            .parse()
+            .map_err(|_| ChaincodeError::BadArgs("node budget must be an integer".to_owned()))?;
+        let limits = TraversalLimits {
+            max_depth: max_depth.min(MAX_LINEAGE_DEPTH),
+            max_nodes: max_nodes.clamp(1, MAX_GRAPH_NODES),
+        };
+        let mut roots = Vec::with_capacity(stub.arg_count().saturating_sub(2));
+        for i in 2..stub.arg_count() {
+            let arg = stub.arg_str(i)?;
+            let (depth, key) = arg.split_once(':').ok_or_else(|| {
+                ChaincodeError::BadArgs(format!("root {i} must be \"<depth>:<key>\""))
+            })?;
+            let depth: u32 = depth
+                .parse()
+                .map_err(|_| ChaincodeError::BadArgs("root depth must be an integer".to_owned()))?;
+            roots.push((depth, key.to_owned()));
+        }
+        if roots.is_empty() {
+            return Err(ChaincodeError::BadArgs(
+                "at least one root required".to_owned(),
+            ));
+        }
+        let traversal = graph.traverse(&roots, direction, limits, collect_edges);
+        let visited = (traversal.entries.len() + traversal.boundary.len()) as u64;
+        let bytes = GraphSlice::from(traversal).to_bytes();
+        stub.note_graph_visits(visited, bytes.len() as u64);
+        Ok(bytes)
+    }
+
     fn list(&self, stub: &mut ChaincodeStub<'_>) -> Result<Vec<u8>, ChaincodeError> {
         let hits = stub.get_state_by_partial_composite_key("item", &[])?;
         let mut keys = Vec::with_capacity(hits.len());
@@ -235,6 +330,10 @@ impl Chaincode for HyperProvChaincode {
             "get_history" => self.get_history(stub),
             "get_keys_by_checksum" => self.get_keys_by_checksum(stub),
             "get_lineage" => self.get_lineage(stub),
+            "get_ancestry" => self.graph_query(stub, Direction::Ancestors, false),
+            "get_descendants" => self.graph_query(stub, Direction::Descendants, false),
+            "get_closure" => self.graph_query(stub, Direction::Both, false),
+            "get_subgraph" => self.graph_query(stub, Direction::Both, true),
             "list" => self.list(stub),
             "delete" => self.delete(stub),
             other => Err(ChaincodeError::UnknownFunction(other.to_owned())),
@@ -246,14 +345,17 @@ impl Chaincode for HyperProvChaincode {
 mod tests {
     use super::*;
     use hyperprov_fabric::{Certificate, MspBuilder, MspId};
-    use hyperprov_ledger::{HistoryDb, KvWrite, StateDb, StateKey, TxId, Version};
+    use hyperprov_ledger::{HistoryDb, KvWrite, ProvGraph, StateDb, StateKey, TxId, Version};
 
     /// A tiny single-peer harness that executes invocations and applies
     /// their write sets directly (no consensus), for chaincode-level tests.
+    /// Maintains the provenance DAG index the way a committer would: every
+    /// applied write runs through [`HyperProvIndexer`].
     struct Harness {
         cc: HyperProvChaincode,
         state: StateDb,
         history: HistoryDb,
+        graph: ProvGraph,
         cert: Certificate,
         next_height: u64,
     }
@@ -269,6 +371,7 @@ mod tests {
                 cc: HyperProvChaincode::new(),
                 state: StateDb::new(),
                 history: HistoryDb::new(),
+                graph: ProvGraph::new(),
                 cert,
                 next_height: 1,
             }
@@ -286,7 +389,8 @@ mod tests {
                 &self.cert,
                 &self.state,
                 &self.history,
-            );
+            )
+            .with_graph(&self.graph);
             let result = self.cc.invoke(&mut stub);
             let (rwset, _, _) = stub.into_results();
             if result.is_ok() {
@@ -298,8 +402,31 @@ mod tests {
                     version,
                     &rwset.writes,
                 );
+                for write in &rwset.writes {
+                    if let Some(update) = HyperProvIndexer.index(&write.key, write.value.as_deref())
+                    {
+                        self.graph.apply(&update);
+                    }
+                }
             }
             result
+        }
+
+        /// Runs a depth-tagged graph query against the harness graph.
+        fn graph_query(
+            &mut self,
+            function: &str,
+            depth: u32,
+            nodes: usize,
+            roots: &[&str],
+        ) -> Result<GraphSlice, ChaincodeError> {
+            let mut args = vec![
+                depth.to_string().into_bytes(),
+                nodes.to_string().into_bytes(),
+            ];
+            args.extend(roots.iter().map(|k| format!("0:{k}").into_bytes()));
+            let bytes = self.invoke(function, args)?;
+            Ok(GraphSlice::from_bytes(&bytes).unwrap())
         }
 
         fn post(
@@ -470,6 +597,124 @@ mod tests {
             h.invoke("frobnicate", vec![]),
             Err(ChaincodeError::UnknownFunction(_))
         ));
+    }
+
+    /// a <- b, a <- c, {b,c} <- d: the classic diamond.
+    fn diamond() -> Harness {
+        let mut h = Harness::new();
+        h.post("a", &input(b"a")).unwrap();
+        h.post("b", &input(b"b").with_parents(vec!["a".into()]))
+            .unwrap();
+        h.post("c", &input(b"c").with_parents(vec!["a".into()]))
+            .unwrap();
+        h.post("d", &input(b"d").with_parents(vec!["b".into(), "c".into()]))
+            .unwrap();
+        h
+    }
+
+    #[test]
+    fn graph_ancestry_matches_lineage_key_set() {
+        let mut h = diamond();
+        let slice = h.graph_query("get_ancestry", 10, 100, &["d"]).unwrap();
+        let mut keys: Vec<&str> = slice.entries.iter().map(|(_, k)| k.as_str()).collect();
+        keys.sort_unstable();
+        assert_eq!(keys, vec!["a", "b", "c", "d"]);
+        assert!(!slice.truncated);
+        assert!(slice.boundary.is_empty());
+        // The legacy hop-by-hop walk agrees.
+        let bytes = h
+            .invoke("get_lineage", vec![b"d".to_vec(), b"10".to_vec()])
+            .unwrap();
+        let mut legacy: Vec<String> = crate::record::decode_lineage(&bytes)
+            .unwrap()
+            .into_iter()
+            .map(|e| e.record.key)
+            .collect();
+        legacy.sort_unstable();
+        assert_eq!(keys, legacy);
+    }
+
+    #[test]
+    fn graph_descendants_and_closure() {
+        let mut h = diamond();
+        let down = h.graph_query("get_descendants", 10, 100, &["a"]).unwrap();
+        let keys: HashSet<&str> = down.entries.iter().map(|(_, k)| k.as_str()).collect();
+        assert_eq!(keys, HashSet::from(["a", "b", "c", "d"]));
+        // Closure from a middle node reaches both directions.
+        let both = h.graph_query("get_closure", 10, 100, &["b"]).unwrap();
+        let keys: HashSet<&str> = both.entries.iter().map(|(_, k)| k.as_str()).collect();
+        assert_eq!(keys, HashSet::from(["a", "b", "c", "d"]));
+        // Subgraph also reports the edges between visited nodes.
+        let sub = h.graph_query("get_subgraph", 10, 100, &["b"]).unwrap();
+        assert!(sub.edges.contains(&("b".to_owned(), "a".to_owned())));
+        assert!(sub.edges.contains(&("d".to_owned(), "b".to_owned())));
+    }
+
+    #[test]
+    fn graph_query_reports_truncation_and_boundary() {
+        let mut h = diamond();
+        // Depth 1 from d stops before a: truncated, no boundary (b and c
+        // are live locally).
+        let slice = h.graph_query("get_ancestry", 1, 100, &["d"]).unwrap();
+        assert!(slice.truncated);
+        let keys: HashSet<&str> = slice.entries.iter().map(|(_, k)| k.as_str()).collect();
+        assert_eq!(keys, HashSet::from(["d", "b", "c"]));
+        // Deleting a parent leaves a boundary marker instead of an entry.
+        h.invoke("delete", vec![b"a".to_vec()]).unwrap();
+        let slice = h.graph_query("get_ancestry", 10, 100, &["d"]).unwrap();
+        assert_eq!(slice.boundary, vec![(2, "a".to_owned())]);
+    }
+
+    #[test]
+    fn graph_query_requires_index_and_valid_roots() {
+        let mut h = Harness::new();
+        h.post("a", &input(b"a")).unwrap();
+        // Malformed root tag.
+        assert!(matches!(
+            h.invoke(
+                "get_ancestry",
+                vec![b"5".to_vec(), b"10".to_vec(), b"no-depth-tag".to_vec()],
+            ),
+            Err(ChaincodeError::BadArgs(_))
+        ));
+        // No roots at all.
+        assert!(matches!(
+            h.invoke("get_ancestry", vec![b"5".to_vec(), b"10".to_vec()]),
+            Err(ChaincodeError::BadArgs(_))
+        ));
+        // A stub without a graph index rejects the query outright.
+        let args = vec![b"5".to_vec(), b"10".to_vec(), b"0:a".to_vec()];
+        let mut stub = ChaincodeStub::new(
+            CHAINCODE_NAME,
+            "get_ancestry",
+            &args,
+            &h.cert,
+            &h.state,
+            &h.history,
+        );
+        assert!(matches!(
+            h.cc.invoke(&mut stub),
+            Err(ChaincodeError::Rejected(_))
+        ));
+    }
+
+    #[test]
+    fn indexer_tracks_item_writes_only() {
+        let mut h = Harness::new();
+        h.post("a", &input(b"a")).unwrap();
+        h.post("b", &input(b"b").with_parents(vec!["a".into()]))
+            .unwrap();
+        // Only the two item records are graph nodes; checksum-index
+        // writes and the cs~ tombstones never reach the graph.
+        assert_eq!(h.graph.len(), 2);
+        assert_eq!(h.graph.parents_of("b").unwrap(), vec!["a"]);
+        // Foreign namespaces are ignored entirely.
+        let foreign = StateKey::new("other-cc", "item\u{1}x\u{1}");
+        assert!(HyperProvIndexer.index(&foreign, Some(b"junk")).is_none());
+        // Deletes tombstone the node.
+        h.invoke("delete", vec![b"b".to_vec()]).unwrap();
+        assert!(!h.graph.contains("b"));
+        assert_eq!(h.graph.len(), 1);
     }
 
     #[test]

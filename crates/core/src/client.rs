@@ -9,7 +9,7 @@
 //! [`ClientCompletion`]s into a shared queue the caller drains.
 
 use std::cell::RefCell;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::rc::Rc;
 
@@ -21,9 +21,10 @@ use hyperprov_sim::{
 };
 use rand::Rng;
 
-use crate::chaincode::{CHAINCODE_NAME, MAX_LINEAGE_DEPTH};
+use crate::chaincode::{CHAINCODE_NAME, MAX_GRAPH_NODES, MAX_LINEAGE_DEPTH};
 use crate::record::{
-    decode_history, decode_lineage, HistoryRecord, LineageEntry, ProvenanceRecord, RecordInput,
+    decode_history, decode_lineage, GraphSlice, HistoryRecord, LineageEntry, ProvenanceRecord,
+    RecordInput,
 };
 use crate::router::{ChannelRouter, HashRouter};
 
@@ -103,6 +104,44 @@ pub enum ClientCommand {
         /// Operation id echoed in the completion.
         op: OpId,
     },
+    /// Ancestor traversal over the materialized DAG index: keys only, one
+    /// batched frontier exchange per shard per level instead of one
+    /// record fetch per hop.
+    GetAncestry {
+        /// Item key.
+        key: String,
+        /// Maximum traversal depth.
+        depth: u32,
+        /// Operation id echoed in the completion.
+        op: OpId,
+    },
+    /// Descendant (impact) traversal over the materialized DAG index.
+    GetDescendants {
+        /// Item key.
+        key: String,
+        /// Maximum traversal depth.
+        depth: u32,
+        /// Operation id echoed in the completion.
+        op: OpId,
+    },
+    /// Transitive closure (ancestors + descendants) over the DAG index.
+    GetClosure {
+        /// Item key.
+        key: String,
+        /// Maximum traversal depth.
+        depth: u32,
+        /// Operation id echoed in the completion.
+        op: OpId,
+    },
+    /// Like `GetClosure` but also returns the edges between visited nodes.
+    GetSubgraph {
+        /// Item key.
+        key: String,
+        /// Maximum traversal depth.
+        depth: u32,
+        /// Operation id echoed in the completion.
+        op: OpId,
+    },
     /// Remove an item's current record (history remains on-chain).
     Delete {
         /// Item key.
@@ -129,6 +168,10 @@ impl ClientCommand {
             | ClientCommand::GetHistory { op, .. }
             | ClientCommand::GetKeysByChecksum { op, .. }
             | ClientCommand::GetLineage { op, .. }
+            | ClientCommand::GetAncestry { op, .. }
+            | ClientCommand::GetDescendants { op, .. }
+            | ClientCommand::GetClosure { op, .. }
+            | ClientCommand::GetSubgraph { op, .. }
             | ClientCommand::Delete { op, .. }
             | ClientCommand::List { op } => *op,
         }
@@ -302,7 +345,17 @@ pub enum OpOutput {
     /// A `get_keys_by_checksum` finished.
     Keys(Vec<String>),
     /// A `get_lineage` finished.
-    Lineage(Vec<LineageEntry>),
+    Lineage {
+        /// The visited records, breadth-first.
+        entries: Vec<LineageEntry>,
+        /// True when the depth clamp cut the walk short: ancestors beyond
+        /// the accepted depth exist but are not in `entries`. Previously
+        /// a clamped walk silently returned a partial chain.
+        truncated: bool,
+    },
+    /// A graph query (`get_ancestry` / `get_descendants` / `get_closure`
+    /// / `get_subgraph`) finished.
+    Graph(GraphSlice),
 }
 
 /// A finished client operation.
@@ -353,7 +406,11 @@ enum QueryKind {
     Get,
     History,
     Keys,
-    Lineage,
+    Lineage {
+        /// The accepted (clamped) depth, for truncation detection.
+        max_depth: u32,
+    },
+    Graph,
     List,
 }
 
@@ -401,6 +458,62 @@ struct LineageCtx {
     /// The outstanding fetch is the root key (a missing root is an error;
     /// a missing parent is skipped, matching the chaincode's traversal).
     at_root: bool,
+    /// Set when the depth clamp stopped the walk with parents left
+    /// unvisited, so callers see an explicit truncation marker instead of
+    /// a silently partial chain.
+    truncated: bool,
+}
+
+/// Which frontier strategy a cross-shard graph traversal uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GraphMode {
+    /// Parent edges live on the shard that owns the child record, so each
+    /// frontier key is routed to its owning shard, which expands as deep
+    /// as its local graph allows; only keys it does not hold come back
+    /// (as the boundary) for the next round.
+    Ancestry,
+    /// Child edges live on whichever shard committed the child, so every
+    /// round scatters the frontier to all shards with a one-level budget
+    /// and merges the answers (used for descendants, closure, subgraph).
+    Scatter,
+}
+
+/// A cross-shard graph traversal: one batched frontier exchange per shard
+/// per level, instead of the oracle's one record fetch per hop.
+#[derive(Debug)]
+struct GraphCtx {
+    op: OpId,
+    started: SimTime,
+    /// The chaincode operation fanned out each round.
+    function: &'static str,
+    mode: GraphMode,
+    max_depth: u32,
+    /// Global node budget remaining; exhaustion truncates the traversal.
+    budget: usize,
+    /// Keys already resolved: recorded as an entry or as terminal
+    /// boundary.
+    seen: HashSet<String>,
+    /// Keys ever dispatched as frontier roots (loop guard).
+    dispatched: HashSet<String>,
+    entries: Vec<(u32, String)>,
+    /// Terminally unresolved keys (absent from every shard that could
+    /// hold them).
+    boundary: Vec<(u32, String)>,
+    edges: Vec<(String, String)>,
+    truncated: bool,
+    /// Depth-clamp of the in-flight round (scatter rounds expand one
+    /// level at a time; ancestry rounds always pass `max_depth`).
+    round_max: u32,
+    /// The roots dispatched in the in-flight round.
+    round_roots: Vec<(u32, String)>,
+    /// Responses still outstanding this round.
+    remaining: usize,
+    /// Responses collected this round, tagged by gateway index.
+    round: Vec<(usize, GraphSlice)>,
+    /// Frontier for the next round: key -> minimum depth.
+    pending: HashMap<String, u32>,
+    /// First per-shard failure; reported when the round fans in.
+    error: Option<HyperProvError>,
 }
 
 #[derive(Debug)]
@@ -452,6 +565,11 @@ pub struct HyperProvClient {
     /// Maps a lineage fetch's tx id to its traversal id.
     lineage_txs: HashMap<TxId, u64>,
     next_lineage: u64,
+    /// Cross-channel graph-index traversals in flight, keyed by id.
+    graphs: HashMap<u64, GraphCtx>,
+    /// Maps a graph sub-query's tx id to `(traversal id, gateway)`.
+    graph_txs: HashMap<TxId, (u64, usize)>,
+    next_graph: u64,
     harness: ServiceHarness<NodeMsgOf>,
 }
 
@@ -523,6 +641,9 @@ impl HyperProvClient {
                 lineages: HashMap::new(),
                 lineage_txs: HashMap::new(),
                 next_lineage: 0,
+                graphs: HashMap::new(),
+                graph_txs: HashMap::new(),
+                next_graph: 0,
                 harness: ServiceHarness::new("client"),
             },
             completions,
@@ -550,6 +671,7 @@ impl HyperProvClient {
             + self.pending_retries.len()
             + self.scatters.len()
             + self.lineages.len()
+            + self.graphs.len()
     }
 
     /// Issues (or re-issues) the gateway phase described by
@@ -799,9 +921,39 @@ impl HyperProvClient {
                         0,
                         "get_lineage",
                         vec![key.into_bytes(), depth.to_string().into_bytes()],
-                        QueryKind::Lineage,
+                        QueryKind::Lineage {
+                            max_depth: depth.min(MAX_LINEAGE_DEPTH),
+                        },
                     );
                 }
+            }
+            ClientCommand::GetAncestry { key, depth, op } => {
+                self.start_graph(
+                    ctx,
+                    now,
+                    op,
+                    "get_ancestry",
+                    GraphMode::Ancestry,
+                    key,
+                    depth,
+                );
+            }
+            ClientCommand::GetDescendants { key, depth, op } => {
+                self.start_graph(
+                    ctx,
+                    now,
+                    op,
+                    "get_descendants",
+                    GraphMode::Scatter,
+                    key,
+                    depth,
+                );
+            }
+            ClientCommand::GetClosure { key, depth, op } => {
+                self.start_graph(ctx, now, op, "get_closure", GraphMode::Scatter, key, depth);
+            }
+            ClientCommand::GetSubgraph { key, depth, op } => {
+                self.start_graph(ctx, now, op, "get_subgraph", GraphMode::Scatter, key, depth);
             }
             ClientCommand::Delete { key, op } => {
                 let gw = self.route(&key);
@@ -962,6 +1114,7 @@ impl HyperProvClient {
                 queue: VecDeque::new(),
                 entries: Vec::new(),
                 at_root: true,
+                truncated: false,
             },
         );
         self.lineages
@@ -1010,6 +1163,11 @@ impl HyperProvClient {
                                 lineage.queue.push_back((depth + 1, parent.clone()));
                             }
                         }
+                    } else if record.parents.iter().any(|p| !lineage.seen.contains(p)) {
+                        // The depth clamp stopped the walk with unvisited
+                        // ancestors remaining: report it instead of
+                        // silently returning a partial chain.
+                        lineage.truncated = true;
                     }
                     lineage.entries.push(LineageEntry { depth, record });
                 }
@@ -1051,8 +1209,9 @@ impl HyperProvClient {
                     .lineages
                     .remove(&id)
                     .expect("invariant: entry matched above");
-                let out = std::mem::take(&mut lineage.entries);
-                self.complete_lineage(ctx, lineage, Ok(OpOutput::Lineage(out)));
+                let entries = std::mem::take(&mut lineage.entries);
+                let truncated = lineage.truncated;
+                self.complete_lineage(ctx, lineage, Ok(OpOutput::Lineage { entries, truncated }));
             }
         }
     }
@@ -1068,12 +1227,301 @@ impl HyperProvClient {
             OpCtx {
                 op: lineage.op,
                 started: lineage.started,
-                state: OpState::Query(QueryKind::Lineage),
+                state: OpState::Query(QueryKind::Lineage {
+                    max_depth: lineage.max_depth,
+                }),
                 attempts: 0,
                 redo: None,
             },
             outcome,
         );
+    }
+
+    /// Starts a graph-index traversal rooted at `key`. On a single
+    /// channel this is one query answered entirely from the peer's DAG
+    /// index; across shards it runs batched frontier rounds (see
+    /// [`GraphMode`]).
+    #[allow(clippy::too_many_arguments)]
+    fn start_graph(
+        &mut self,
+        ctx: &mut Context<'_, NodeMsgOf>,
+        now: SimTime,
+        op: OpId,
+        function: &'static str,
+        mode: GraphMode,
+        key: String,
+        depth: u32,
+    ) {
+        let max_depth = depth.min(MAX_LINEAGE_DEPTH);
+        if self.gateways.len() == 1 {
+            let args = vec![
+                max_depth.to_string().into_bytes(),
+                MAX_GRAPH_NODES.to_string().into_bytes(),
+                format!("0:{key}").into_bytes(),
+            ];
+            self.start_query(ctx, now, op, 0, function, args, QueryKind::Graph);
+            return;
+        }
+        self.next_graph += 1;
+        let id = self.next_graph;
+        let mut pending = HashMap::new();
+        pending.insert(key, 0);
+        self.graphs.insert(
+            id,
+            GraphCtx {
+                op,
+                started: now,
+                function,
+                mode,
+                max_depth,
+                budget: MAX_GRAPH_NODES,
+                seen: HashSet::new(),
+                dispatched: HashSet::new(),
+                entries: Vec::new(),
+                boundary: Vec::new(),
+                edges: Vec::new(),
+                truncated: false,
+                round_max: 0,
+                round_roots: Vec::new(),
+                remaining: 0,
+                round: Vec::new(),
+                pending,
+                error: None,
+            },
+        );
+        self.dispatch_graph_round(ctx, id);
+    }
+
+    /// Issues the next frontier round of a cross-shard graph traversal,
+    /// or completes it when the frontier is empty. One query per shard
+    /// per round, each carrying the whole depth-tagged frontier that
+    /// shard must expand.
+    fn dispatch_graph_round(&mut self, ctx: &mut Context<'_, NodeMsgOf>, id: u64) {
+        let n = self.gateways.len();
+        let (frontier, mode, max_depth, budget, function) = {
+            let Some(gctx) = self.graphs.get_mut(&id) else {
+                return;
+            };
+            // Drain the frontier in deterministic order (the map's
+            // iteration order is not deterministic).
+            let mut frontier: Vec<(u32, String)> =
+                gctx.pending.drain().map(|(k, d)| (d, k)).collect();
+            frontier.sort();
+            if gctx.budget == 0 && !frontier.is_empty() {
+                gctx.truncated = true;
+            }
+            (
+                frontier,
+                gctx.mode,
+                gctx.max_depth,
+                gctx.budget,
+                gctx.function,
+            )
+        };
+        if frontier.is_empty() || budget == 0 {
+            if let Some(gctx) = self.graphs.remove(&id) {
+                self.complete_graph(ctx, gctx);
+            }
+            return;
+        }
+        let (round_max, per_shard): (u32, BTreeMap<usize, Vec<(u32, String)>>) = match mode {
+            // Parent edges are recorded on the shard owning the child, so
+            // each frontier key goes to its owner, which expands as deep
+            // as its local graph reaches (round_max = the global clamp).
+            GraphMode::Ancestry => {
+                let mut per: BTreeMap<usize, Vec<(u32, String)>> = BTreeMap::new();
+                for (d, k) in frontier.iter().cloned() {
+                    per.entry(self.router.route(&k, n))
+                        .or_default()
+                        .push((d, k));
+                }
+                (max_depth, per)
+            }
+            // Child edges live wherever the child committed, so the whole
+            // frontier scatters to every shard with a one-level budget;
+            // when the frontier sits at the clamp this is a resolve-only
+            // round (live-or-missing, no expansion).
+            GraphMode::Scatter => {
+                let level = frontier.iter().map(|(d, _)| *d).min().unwrap_or(0);
+                let round_max = (level + 1).min(max_depth);
+                (
+                    (round_max),
+                    (0..n).map(|gw| (gw, frontier.clone())).collect(),
+                )
+            }
+        };
+        let mut queries = 0;
+        for (gw, roots) in &per_shard {
+            let mut args = vec![
+                round_max.to_string().into_bytes(),
+                budget.to_string().into_bytes(),
+            ];
+            args.extend(roots.iter().map(|(d, k)| format!("{d}:{k}").into_bytes()));
+            let tx_id =
+                self.gateways[*gw].query(ctx, &mut self.harness, CHAINCODE_NAME, function, args);
+            self.graph_txs.insert(tx_id, (id, *gw));
+            queries += 1;
+        }
+        let gctx = self.graphs.get_mut(&id).expect("checked above");
+        gctx.round_max = round_max;
+        for (_, k) in &frontier {
+            gctx.dispatched.insert(k.clone());
+        }
+        gctx.round_roots = frontier;
+        gctx.remaining = queries;
+        gctx.round.clear();
+    }
+
+    /// One shard of a graph round answered. When the round fans in, the
+    /// responses are merged and the next frontier dispatched.
+    fn on_graph_response(
+        &mut self,
+        ctx: &mut Context<'_, NodeMsgOf>,
+        id: u64,
+        gw: usize,
+        result: Result<Vec<u8>, GatewayError>,
+    ) {
+        let Some(gctx) = self.graphs.get_mut(&id) else {
+            return;
+        };
+        match result {
+            Ok(bytes) => match GraphSlice::from_bytes(&bytes) {
+                Ok(slice) => gctx.round.push((gw, slice)),
+                Err(e) => {
+                    gctx.error
+                        .get_or_insert(HyperProvError::Malformed(e.to_string()));
+                }
+            },
+            Err(error) => {
+                gctx.error.get_or_insert(error.into());
+            }
+        }
+        gctx.remaining -= 1;
+        if gctx.remaining > 0 {
+            return;
+        }
+        if gctx.error.is_some() {
+            let mut gctx = self.graphs.remove(&id).expect("invariant: matched above");
+            let error = gctx.error.take().expect("checked above");
+            let op_ctx = OpCtx {
+                op: gctx.op,
+                started: gctx.started,
+                state: OpState::Query(QueryKind::Graph),
+                attempts: 0,
+                redo: None,
+            };
+            self.complete(ctx, op_ctx, Err(error));
+            return;
+        }
+        self.fold_graph_round(ctx, id);
+        self.dispatch_graph_round(ctx, id);
+    }
+
+    /// Merges one completed round into the traversal state and builds the
+    /// next frontier.
+    fn fold_graph_round(&mut self, _ctx: &mut Context<'_, NodeMsgOf>, id: u64) {
+        let n = self.gateways.len();
+        let Some(gctx) = self.graphs.get_mut(&id) else {
+            return;
+        };
+        let mut round = std::mem::take(&mut gctx.round);
+        round.sort_by_key(|(gw, _)| *gw);
+        let mode = gctx.mode;
+        let max_depth = gctx.max_depth;
+        // Entries first: a key counts as live if any shard holds it (it
+        // is live on exactly its owning shard, so there are no
+        // conflicting reports to reconcile).
+        for (_, slice) in &round {
+            for (d, k) in &slice.entries {
+                if gctx.seen.contains(k) {
+                    continue;
+                }
+                if gctx.budget == 0 {
+                    gctx.truncated = true;
+                    continue;
+                }
+                gctx.seen.insert(k.clone());
+                gctx.budget -= 1;
+                gctx.entries.push((*d, k.clone()));
+                // Scatter rounds expand one level per round, so newly
+                // discovered live keys join the next frontier; ancestry
+                // rounds already expanded to the clamp on the owner.
+                if mode == GraphMode::Scatter && *d < max_depth && !gctx.dispatched.contains(k) {
+                    let e = gctx.pending.entry(k.clone()).or_insert(*d);
+                    *e = (*e).min(*d);
+                }
+            }
+        }
+        // Then the boundaries: keys the answering shard does not hold.
+        for (gw, slice) in &round {
+            for (d, k) in &slice.boundary {
+                if gctx.seen.contains(k) {
+                    continue;
+                }
+                match mode {
+                    GraphMode::Ancestry => {
+                        if self.router.route(k, n) == *gw {
+                            // The owner itself lacks the key: terminally
+                            // unresolved (deleted or never posted).
+                            gctx.seen.insert(k.clone());
+                            gctx.boundary.push((*d, k.clone()));
+                        } else if !gctx.dispatched.contains(k) {
+                            let e = gctx.pending.entry(k.clone()).or_insert(*d);
+                            *e = (*e).min(*d);
+                        }
+                    }
+                    GraphMode::Scatter => {
+                        // Liveness is settled when the key's own round
+                        // fans in; until then it stays on the frontier.
+                        if !gctx.dispatched.contains(k) {
+                            let e = gctx.pending.entry(k.clone()).or_insert(*d);
+                            *e = (*e).min(*d);
+                        }
+                    }
+                }
+            }
+        }
+        // Scatter roots no shard reported live are terminally unresolved.
+        if mode == GraphMode::Scatter {
+            let roots = std::mem::take(&mut gctx.round_roots);
+            for (d, k) in roots {
+                if !gctx.seen.contains(&k) {
+                    gctx.seen.insert(k.clone());
+                    gctx.boundary.push((d, k));
+                }
+            }
+        }
+        for (_, slice) in &mut round {
+            gctx.edges.append(&mut slice.edges);
+        }
+        // A peer's truncation flag is meaningful only when the round ran
+        // at the global clamp (intermediate scatter rounds are clamped on
+        // purpose — their cut edges are the next frontier).
+        if gctx.round_max == max_depth && round.iter().any(|(_, s)| s.truncated) {
+            gctx.truncated = true;
+        }
+    }
+
+    /// Completes a cross-shard graph traversal with its merged slice.
+    fn complete_graph(&mut self, ctx: &mut Context<'_, NodeMsgOf>, mut gctx: GraphCtx) {
+        gctx.entries.sort();
+        gctx.boundary.sort();
+        gctx.edges.sort();
+        gctx.edges.dedup();
+        let slice = GraphSlice {
+            entries: std::mem::take(&mut gctx.entries),
+            boundary: std::mem::take(&mut gctx.boundary),
+            edges: std::mem::take(&mut gctx.edges),
+            truncated: gctx.truncated,
+        };
+        let op_ctx = OpCtx {
+            op: gctx.op,
+            started: gctx.started,
+            state: OpState::Query(QueryKind::Graph),
+            attempts: 0,
+            redo: None,
+        };
+        self.complete(ctx, op_ctx, Ok(OpOutput::Graph(slice)));
     }
 
     fn on_gateway_event(&mut self, ctx: &mut Context<'_, NodeMsgOf>, event: GatewayEvent) {
@@ -1106,6 +1554,10 @@ impl HyperProvClient {
                 }
                 if let Some(id) = self.lineage_txs.remove(&tx_id) {
                     self.on_lineage_response(ctx, id, result);
+                    return;
+                }
+                if let Some((id, gw)) = self.graph_txs.remove(&tx_id) {
+                    self.on_graph_response(ctx, id, gw, result);
                     return;
                 }
                 let Some(op_ctx) = self.by_tx.remove(&tx_id) else {
@@ -1317,8 +1769,27 @@ fn decode_query(kind: QueryKind, bytes: &[u8]) -> Result<OpOutput, HyperProvErro
         QueryKind::Keys | QueryKind::List => Ok(OpOutput::Keys(
             Vec::<String>::from_bytes(bytes).map_err(malformed)?,
         )),
-        QueryKind::Lineage => Ok(OpOutput::Lineage(decode_lineage(bytes).map_err(malformed)?)),
+        QueryKind::Lineage { max_depth } => {
+            let entries = decode_lineage(bytes).map_err(malformed)?;
+            let truncated = lineage_truncated(&entries, max_depth);
+            Ok(OpOutput::Lineage { entries, truncated })
+        }
+        QueryKind::Graph => Ok(OpOutput::Graph(
+            GraphSlice::from_bytes(bytes).map_err(malformed)?,
+        )),
     }
+}
+
+/// Truncation detection for the single-shard lineage path, where the wire
+/// format carries no explicit marker: an entry sitting at the depth clamp
+/// whose parent never appears in the returned set means the walk was cut
+/// short. (A parent deleted from state reads the same way — the chaincode
+/// BFS cannot distinguish the two without extra reads.)
+fn lineage_truncated(entries: &[LineageEntry], max_depth: u32) -> bool {
+    let keys: HashSet<&str> = entries.iter().map(|e| e.record.key.as_str()).collect();
+    entries.iter().any(|e| {
+        e.depth == max_depth && e.record.parents.iter().any(|p| !keys.contains(p.as_str()))
+    })
 }
 
 /// The message type [`HyperProvClient`] is written against.

@@ -16,7 +16,7 @@ use hyperprov_ledger::{ChannelId, DEFAULT_CHANNEL};
 use hyperprov_offchain::{MemoryStore, StorageActor, StorageCosts};
 use hyperprov_sim::{ActorId, CpuResource, QueueConfig, SimDuration, Simulation, SloSpec};
 
-use crate::chaincode::HyperProvChaincode;
+use crate::chaincode::{HyperProvChaincode, HyperProvIndexer};
 use crate::client::{CompletionQueue, HyperProvClient, RetryPolicy};
 use crate::net::NodeMsg;
 use crate::router::HashRouter;
@@ -488,11 +488,14 @@ impl HyperProvNetwork {
             let mut committers = Vec::with_capacity(hosted.len());
             for &ci in &hosted {
                 let chan = &chans[ci];
-                let committer = Rc::new(RefCell::new(Committer::for_channel(
-                    chan.id.clone(),
-                    msp.clone(),
-                    ChannelPolicies::new(chan.policy.clone()),
-                )));
+                let committer = Rc::new(RefCell::new(
+                    Committer::for_channel(
+                        chan.id.clone(),
+                        msp.clone(),
+                        ChannelPolicies::new(chan.policy.clone()),
+                    )
+                    .with_indexer(Arc::new(HyperProvIndexer)),
+                ));
                 channel_ledgers[ci].push((i, committer.clone()));
                 committers.push((ci, committer));
             }

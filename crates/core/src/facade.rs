@@ -12,7 +12,7 @@ use hyperprov_sim::{SimDuration, SimTime};
 use crate::client::{ClientCommand, HyperProvError, OpId, OpOutput};
 use crate::deploy::{HyperProvNetwork, NetworkConfig};
 use crate::net::NodeMsg;
-use crate::record::{HistoryRecord, LineageEntry, ProvenanceRecord, RecordInput};
+use crate::record::{GraphSlice, HistoryRecord, LineageEntry, ProvenanceRecord, RecordInput};
 
 /// How long (virtual time) to wait for one operation before giving up.
 const OP_TIMEOUT: SimDuration = SimDuration::from_secs(30);
@@ -250,7 +250,9 @@ impl HyperProv {
         }
     }
 
-    /// Ancestor lineage of `key`, breadth-first to `depth`.
+    /// Ancestor lineage of `key`, breadth-first to `depth` (full records,
+    /// hop-by-hop oracle walk). A traversal cut short by the depth clamp
+    /// is reported via [`Self::get_lineage_truncated`].
     ///
     /// # Errors
     ///
@@ -260,13 +262,99 @@ impl HyperProv {
         key: &str,
         depth: u32,
     ) -> Result<Vec<LineageEntry>, HyperProvError> {
+        Ok(self.get_lineage_truncated(key, depth)?.0)
+    }
+
+    /// Like [`Self::get_lineage`] but also reports whether the depth
+    /// clamp cut the walk short (ancestors beyond the limit exist but are
+    /// not in the returned chain).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HyperProvError::Rejected`] if the key does not exist.
+    pub fn get_lineage_truncated(
+        &mut self,
+        key: &str,
+        depth: u32,
+    ) -> Result<(Vec<LineageEntry>, bool), HyperProvError> {
         let op = self.op();
         match self.call(ClientCommand::GetLineage {
             key: key.to_owned(),
             depth,
             op,
         })? {
-            OpOutput::Lineage(entries) => Ok(entries),
+            OpOutput::Lineage { entries, truncated } => Ok((entries, truncated)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Ancestors of `key` to `depth` from the materialized DAG index:
+    /// depth-tagged keys only, answered without re-reading records.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`HyperProvError`] if the query fails.
+    pub fn get_ancestry(&mut self, key: &str, depth: u32) -> Result<GraphSlice, HyperProvError> {
+        let op = self.op();
+        match self.call(ClientCommand::GetAncestry {
+            key: key.to_owned(),
+            depth,
+            op,
+        })? {
+            OpOutput::Graph(slice) => Ok(slice),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Descendants (impact set) of `key` to `depth` from the DAG index.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`HyperProvError`] if the query fails.
+    pub fn get_descendants(&mut self, key: &str, depth: u32) -> Result<GraphSlice, HyperProvError> {
+        let op = self.op();
+        match self.call(ClientCommand::GetDescendants {
+            key: key.to_owned(),
+            depth,
+            op,
+        })? {
+            OpOutput::Graph(slice) => Ok(slice),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Transitive closure (ancestors and descendants) of `key` to `depth`
+    /// from the DAG index.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`HyperProvError`] if the query fails.
+    pub fn get_closure(&mut self, key: &str, depth: u32) -> Result<GraphSlice, HyperProvError> {
+        let op = self.op();
+        match self.call(ClientCommand::GetClosure {
+            key: key.to_owned(),
+            depth,
+            op,
+        })? {
+            OpOutput::Graph(slice) => Ok(slice),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// The closure of `key` plus the edges between its nodes — enough to
+    /// render the provenance neighbourhood as a graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`HyperProvError`] if the query fails.
+    pub fn get_subgraph(&mut self, key: &str, depth: u32) -> Result<GraphSlice, HyperProvError> {
+        let op = self.op();
+        match self.call(ClientCommand::GetSubgraph {
+            key: key.to_owned(),
+            depth,
+            op,
+        })? {
+            OpOutput::Graph(slice) => Ok(slice),
             other => Err(unexpected(other)),
         }
     }

@@ -45,7 +45,9 @@ mod record;
 mod router;
 mod verify;
 
-pub use chaincode::{HyperProvChaincode, CHAINCODE_NAME, MAX_LINEAGE_DEPTH};
+pub use chaincode::{
+    HyperProvChaincode, HyperProvIndexer, CHAINCODE_NAME, MAX_GRAPH_NODES, MAX_LINEAGE_DEPTH,
+};
 pub use client::{
     ClientCommand, ClientCompletion, CompletionQueue, HyperProvClient, HyperProvError, OpId,
     OpOutput, RetryPolicy,
@@ -56,8 +58,8 @@ pub use hyperprov_fabric::CommitPipeline;
 pub use net::NodeMsg;
 pub use opm::{OpmEdge, OpmEdgeKind, OpmGraph, OpmNode, OpmNodeKind};
 pub use record::{
-    decode_history, decode_lineage, encode_history, encode_lineage, HistoryRecord, LineageEntry,
-    ProvenanceRecord, RecordInput,
+    decode_history, decode_lineage, encode_history, encode_lineage, GraphSlice, HistoryRecord,
+    LineageEntry, ProvenanceRecord, RecordInput,
 };
 pub use router::{ChannelRouter, HashRouter};
 pub use verify::{audit, current_records, AuditFinding, AuditReport};

@@ -295,6 +295,108 @@ pub fn decode_lineage(bytes: &[u8]) -> Result<Vec<LineageEntry>, CodecError> {
     Ok(out)
 }
 
+/// A slice of the materialized provenance DAG, as returned by the graph
+/// query operations (`get_ancestry`, `get_descendants`, `get_closure`,
+/// `get_subgraph`).
+///
+/// Unlike [`LineageEntry`] lists this carries *keys only* — depth-tagged
+/// node keys plus (for subgraph queries) the edges between them — so a
+/// deep traversal ships a few bytes per node instead of a full record.
+/// Callers that need record bodies fetch them separately with `get`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GraphSlice {
+    /// Visited node keys with their minimum distance from the query roots
+    /// (0 = a root itself), in BFS order.
+    pub entries: Vec<(u32, String)>,
+    /// Keys referenced by the traversal but absent from the answering
+    /// peer's index, with the depth they would occupy. On a sharded
+    /// deployment these are the frontier the client re-routes to the
+    /// owning shard; on a single shard they mark deleted or never-posted
+    /// parents.
+    pub boundary: Vec<(u32, String)>,
+    /// `(child, parent)` edges between visited nodes (populated by
+    /// `get_subgraph` only).
+    pub edges: Vec<(String, String)>,
+    /// True when a depth or node budget cut the traversal short.
+    pub truncated: bool,
+}
+
+impl GraphSlice {
+    /// True when nothing was visited and nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty() && self.boundary.is_empty()
+    }
+}
+
+impl From<hyperprov_ledger::Traversal> for GraphSlice {
+    fn from(t: hyperprov_ledger::Traversal) -> Self {
+        GraphSlice {
+            entries: t.entries,
+            boundary: t.boundary,
+            edges: t.edges,
+            truncated: t.truncated,
+        }
+    }
+}
+
+impl Encode for GraphSlice {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_varint(self.entries.len() as u64);
+        for (depth, key) in &self.entries {
+            enc.put_u32(*depth);
+            enc.put_str(key);
+        }
+        enc.put_varint(self.boundary.len() as u64);
+        for (depth, key) in &self.boundary {
+            enc.put_u32(*depth);
+            enc.put_str(key);
+        }
+        enc.put_varint(self.edges.len() as u64);
+        for (child, parent) in &self.edges {
+            enc.put_str(child);
+            enc.put_str(parent);
+        }
+        enc.put_bool(self.truncated);
+    }
+}
+impl Decode for GraphSlice {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let pairs = |dec: &mut Decoder<'_>| -> Result<Vec<(u32, String)>, CodecError> {
+            let n = dec.get_varint()?;
+            if n > dec.remaining() as u64 {
+                return Err(CodecError::LengthOverrun {
+                    declared: n,
+                    remaining: dec.remaining(),
+                });
+            }
+            let mut out = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                out.push((dec.get_u32()?, dec.get_str()?));
+            }
+            Ok(out)
+        };
+        let entries = pairs(dec)?;
+        let boundary = pairs(dec)?;
+        let n = dec.get_varint()?;
+        if n > dec.remaining() as u64 {
+            return Err(CodecError::LengthOverrun {
+                declared: n,
+                remaining: dec.remaining(),
+            });
+        }
+        let mut edges = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            edges.push((dec.get_str()?, dec.get_str()?));
+        }
+        Ok(GraphSlice {
+            entries,
+            boundary,
+            edges,
+            truncated: dec.get_bool()?,
+        })
+    }
+}
+
 /// Encodes a history response.
 pub fn encode_history(entries: &[HistoryRecord]) -> Vec<u8> {
     let mut enc = Encoder::new();
@@ -396,6 +498,21 @@ mod tests {
         ];
         let bytes = encode_lineage(&entries);
         assert_eq!(decode_lineage(&bytes).unwrap(), entries);
+    }
+
+    #[test]
+    fn graph_slice_round_trip() {
+        let slice = GraphSlice {
+            entries: vec![(0, "c".into()), (1, "a".into()), (1, "b".into())],
+            boundary: vec![(2, "remote".into())],
+            edges: vec![("c".into(), "a".into()), ("c".into(), "b".into())],
+            truncated: true,
+        };
+        let back = GraphSlice::from_bytes(&slice.to_bytes()).unwrap();
+        assert_eq!(back, slice);
+        assert!(!slice.is_empty());
+        assert!(GraphSlice::default().is_empty());
+        assert!(GraphSlice::from_bytes(&[9, 9, 9]).is_err());
     }
 
     #[test]

@@ -12,7 +12,9 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
-use hyperprov_ledger::{HistoryDb, HistoryEntry, KvRead, KvWrite, RwSet, StateDb, StateKey};
+use hyperprov_ledger::{
+    HistoryDb, HistoryEntry, KvRead, KvWrite, ProvGraph, RwSet, StateDb, StateKey,
+};
 
 use crate::identity::Certificate;
 
@@ -68,6 +70,7 @@ pub struct ChaincodeStub<'a> {
     creator: &'a Certificate,
     state: &'a StateDb,
     history: &'a HistoryDb,
+    graph: Option<&'a ProvGraph>,
     rwset: RwSet,
     read_keys: HashMap<StateKey, ()>,
     write_index: HashMap<StateKey, usize>,
@@ -92,12 +95,35 @@ impl<'a> ChaincodeStub<'a> {
             creator,
             state,
             history,
+            graph: None,
             rwset: RwSet::new(),
             read_keys: HashMap::new(),
             write_index: HashMap::new(),
             event: None,
             stats: StubStats::default(),
         }
+    }
+
+    /// Attaches the channel's materialized provenance DAG index, giving
+    /// graph query functions an in-memory adjacency structure instead of
+    /// hop-by-hop state reads.
+    #[must_use]
+    pub fn with_graph(mut self, graph: &'a ProvGraph) -> Self {
+        self.graph = Some(graph);
+        self
+    }
+
+    /// The channel's provenance graph index, when the hosting peer
+    /// exposes one (read-only; traversals leave the read set untouched).
+    pub fn graph(&self) -> Option<&'a ProvGraph> {
+        self.graph
+    }
+
+    /// Accounts `nodes` graph-index node visits returning `bytes` total,
+    /// so the CPU cost model charges traversals like point reads.
+    pub fn note_graph_visits(&mut self, nodes: u64, bytes: u64) {
+        self.stats.reads += nodes;
+        self.stats.bytes_read += bytes;
     }
 
     /// The invoked function name.

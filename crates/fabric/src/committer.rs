@@ -13,8 +13,8 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use hyperprov_ledger::{
-    Block, BlockStore, ChainError, ChannelId, ChannelLedger, HistoryDb, RawEnvelope, StateDb,
-    StateKey, TxId, ValidationCode, Version,
+    Block, BlockStore, ChainError, ChannelId, ChannelLedger, GraphIndexer, HistoryDb, KvWrite,
+    ProvGraph, RawEnvelope, StateDb, StateKey, TxId, ValidationCode, Version,
 };
 
 use crate::caches::SigVerifyCache;
@@ -64,6 +64,10 @@ pub struct CommitOutcome {
     /// endorser-side [`crate::ReadCache`] must invalidate after this
     /// block.
     pub written_keys: Vec<StateKey>,
+    /// Parent references committed by this block that were absent from the
+    /// provenance graph index at apply time — cross-shard links or broken
+    /// references (always 0 without a [`GraphIndexer`] installed).
+    pub dangling_parents: u64,
 }
 
 /// Outcome of the parallelisable VSCC phase for one envelope: the decoded
@@ -97,6 +101,9 @@ pub struct Committer {
     msp: Arc<Msp>,
     policies: ChannelPolicies,
     seen: HashSet<TxId>,
+    /// Maps committed writes to provenance-graph updates; `None` leaves
+    /// the graph index empty (legacy behaviour).
+    indexer: Option<Arc<dyn GraphIndexer>>,
 }
 
 impl Committer {
@@ -113,7 +120,17 @@ impl Committer {
             msp,
             policies,
             seen: HashSet::new(),
+            indexer: None,
         }
+    }
+
+    /// Installs the [`GraphIndexer`] that recognises provenance-record
+    /// writes, enabling commit-time maintenance of the channel's
+    /// materialized DAG index.
+    #[must_use]
+    pub fn with_indexer(mut self, indexer: Arc<dyn GraphIndexer>) -> Self {
+        self.indexer = Some(indexer);
+        self
     }
 
     /// The channel this committer serves.
@@ -139,6 +156,45 @@ impl Committer {
     /// The per-key history index.
     pub fn history(&self) -> &HistoryDb {
         &self.ledger.history
+    }
+
+    /// The channel's materialized provenance DAG index (empty unless a
+    /// [`GraphIndexer`] was installed via [`Committer::with_indexer`]).
+    pub fn graph(&self) -> &ProvGraph {
+        &self.ledger.graph
+    }
+
+    /// Verifies the incrementally maintained graph index against the
+    /// ledger: rebuilds a fresh index from a scan of the current world
+    /// state and compares canonical digests. Trivially `true` when no
+    /// indexer is installed.
+    pub fn graph_consistent(&self) -> bool {
+        let Some(indexer) = &self.indexer else {
+            return true;
+        };
+        let mut fresh = ProvGraph::new();
+        for (key, value) in self.ledger.state.iter() {
+            if let Some(update) = indexer.index(key, Some(&value.value)) {
+                fresh.apply(&update);
+            }
+        }
+        fresh.digest() == self.ledger.graph.digest()
+    }
+
+    /// Feeds one valid transaction's writes through the installed indexer,
+    /// updating the graph index; returns how many parent references were
+    /// absent from the index at apply time.
+    fn index_writes(&mut self, writes: &[KvWrite]) -> u64 {
+        let Some(indexer) = &self.indexer else {
+            return 0;
+        };
+        let mut dangling = 0;
+        for write in writes {
+            if let Some(update) = indexer.index(&write.key, write.value.as_deref()) {
+                dangling += self.ledger.graph.apply(&update);
+            }
+        }
+        dangling
     }
 
     /// The membership registry this committer validates against.
@@ -167,6 +223,7 @@ impl Committer {
         let mut invalid = 0u32;
         let mut bytes_written = 0u64;
         let mut written_keys = Vec::new();
+        let mut dangling_parents = 0u64;
 
         for (tx_num, raw) in block.envelopes.iter().enumerate() {
             let (code, event) = match Envelope::from_raw(raw) {
@@ -179,6 +236,7 @@ impl Committer {
                         self.ledger
                             .history
                             .append(env.tx_id(), version, &env.rwset.writes);
+                        dangling_parents += self.index_writes(&env.rwset.writes);
                         bytes_written += env.rwset.write_bytes() as u64;
                         written_keys.extend(env.rwset.writes.iter().map(|w| w.key.clone()));
                         chaincode_event = env.event.clone();
@@ -211,6 +269,7 @@ impl Committer {
             invalid,
             bytes_written,
             written_keys,
+            dangling_parents,
         })
     }
 
@@ -330,6 +389,7 @@ impl Committer {
         let mut invalid = 0u32;
         let mut bytes_written = 0u64;
         let mut written_keys = Vec::new();
+        let mut dangling_parents = 0u64;
 
         for (tx_num, (raw, verdict)) in block.envelopes.iter().zip(vscc).enumerate() {
             let (code, event) = match verdict.envelope {
@@ -350,6 +410,7 @@ impl Committer {
                         self.ledger
                             .history
                             .append(env.tx_id(), version, &env.rwset.writes);
+                        dangling_parents += self.index_writes(&env.rwset.writes);
                         bytes_written += env.rwset.write_bytes() as u64;
                         written_keys.extend(env.rwset.writes.iter().map(|w| w.key.clone()));
                         chaincode_event = env.event.clone();
@@ -382,6 +443,7 @@ impl Committer {
             invalid,
             bytes_written,
             written_keys,
+            dangling_parents,
         })
     }
 
@@ -450,7 +512,24 @@ impl Committer {
         policies: ChannelPolicies,
         blocks: impl IntoIterator<Item = Block>,
     ) -> Result<Committer, ChainError> {
+        Committer::replay_channel_indexed(channel, msp, policies, None, blocks)
+    }
+
+    /// [`Committer::replay_channel`] with a [`GraphIndexer`] installed, so
+    /// the replay also rebuilds the materialized provenance DAG index.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ChainError`] if the chain does not link correctly.
+    pub fn replay_channel_indexed(
+        channel: ChannelId,
+        msp: Arc<Msp>,
+        policies: ChannelPolicies,
+        indexer: Option<Arc<dyn GraphIndexer>>,
+        blocks: impl IntoIterator<Item = Block>,
+    ) -> Result<Committer, ChainError> {
         let mut committer = Committer::for_channel(channel, msp, policies);
+        committer.indexer = indexer;
         for mut block in blocks {
             // Drop the recorded validation codes; they are recomputed.
             block.metadata.codes.clear();
@@ -469,10 +548,11 @@ impl Committer {
     /// Returns a [`ChainError`] if the stored chain does not link
     /// correctly (which would indicate durable-storage corruption).
     pub fn recover(&self) -> Result<Committer, ChainError> {
-        Committer::replay_channel(
+        Committer::replay_channel_indexed(
             self.channel.clone(),
             self.msp.clone(),
             self.policies.clone(),
+            self.indexer.clone(),
             self.ledger.store.iter().cloned(),
         )
     }
@@ -790,6 +870,93 @@ mod tests {
         let env = envelope(&n, 1, write_set("k", b"v"), &[0, 1]);
         let out = c.commit_block(block_of(&c, vec![env])).unwrap();
         assert_eq!(out.events[0].code, ValidationCode::Valid);
+    }
+
+    /// A toy indexer for graph-maintenance tests: keys `rec~<item>` carry
+    /// a comma-separated parent list as their value.
+    #[derive(Debug)]
+    struct TestIndexer;
+
+    impl hyperprov_ledger::GraphIndexer for TestIndexer {
+        fn index(
+            &self,
+            key: &StateKey,
+            value: Option<&[u8]>,
+        ) -> Option<hyperprov_ledger::GraphUpdate> {
+            let item = key.key.strip_prefix("rec~")?.to_owned();
+            Some(match value {
+                Some(bytes) => hyperprov_ledger::GraphUpdate::Insert {
+                    key: item,
+                    parents: String::from_utf8_lossy(bytes)
+                        .split(',')
+                        .filter(|s| !s.is_empty())
+                        .map(str::to_owned)
+                        .collect(),
+                },
+                None => hyperprov_ledger::GraphUpdate::Remove { key: item },
+            })
+        }
+    }
+
+    #[test]
+    fn graph_index_maintained_on_commit_and_rebuilt_on_recover() {
+        let n = net();
+        let policy = EndorsementPolicy::any_of([MspId::new("org1")]);
+        let mut c = committer(&n, policy).with_indexer(Arc::new(TestIndexer));
+
+        let e1 = envelope(&n, 1, write_set("rec~a", b""), &[0]);
+        let e2 = envelope(&n, 2, write_set("rec~b", b"a"), &[0]);
+        let out = c.commit_block(block_of(&c, vec![e1, e2])).unwrap();
+        assert_eq!(out.dangling_parents, 0);
+        // c references a committed parent and a missing one.
+        let e3 = envelope(&n, 3, write_set("rec~c", b"a,ghost"), &[0]);
+        let out = c.commit_block(block_of(&c, vec![e3])).unwrap();
+        assert_eq!(out.dangling_parents, 1);
+
+        assert_eq!(c.graph().len(), 3);
+        assert_eq!(c.graph().dangling(), 1);
+        let t = c.graph().traverse(
+            &[(0, "c".to_owned())],
+            hyperprov_ledger::Direction::Ancestors,
+            hyperprov_ledger::TraversalLimits {
+                max_depth: 8,
+                max_nodes: 64,
+            },
+            false,
+        );
+        let keys: Vec<&str> = t.entries.iter().map(|(_, k)| k.as_str()).collect();
+        assert_eq!(keys, vec!["c", "a"]);
+        assert_eq!(t.boundary, vec![(1, "ghost".to_owned())]);
+        assert!(c.graph_consistent());
+
+        // Crash recovery replays the block store and rebuilds an
+        // identical index (same structure, same dangling count).
+        let rebuilt = c.recover().unwrap();
+        assert_eq!(rebuilt.graph().digest(), c.graph().digest());
+        assert_eq!(rebuilt.graph().dangling(), 1);
+        assert!(rebuilt.graph_consistent());
+    }
+
+    #[test]
+    fn graph_index_identical_on_split_commit_path() {
+        let n = net();
+        let policy = EndorsementPolicy::any_of([MspId::new("org1")]);
+        let mut legacy = committer(&n, policy.clone()).with_indexer(Arc::new(TestIndexer));
+        let mut split = committer(&n, policy).with_indexer(Arc::new(TestIndexer));
+
+        let envs = vec![
+            envelope(&n, 1, write_set("rec~a", b""), &[0]),
+            envelope(&n, 2, write_set("rec~b", b"a,gone"), &[0]),
+        ];
+        let b_legacy = block_of(&legacy, envs.clone());
+        let out_legacy = legacy.commit_block(b_legacy).unwrap();
+        let b_split = block_of(&split, envs);
+        let verdicts = split.vscc_block(&b_split, None);
+        let out_split = split.commit_block_prevalidated(b_split, verdicts).unwrap();
+
+        assert_eq!(out_legacy.dangling_parents, 1);
+        assert_eq!(out_split.dangling_parents, 1);
+        assert_eq!(legacy.graph().digest(), split.graph().digest());
     }
 
     #[test]

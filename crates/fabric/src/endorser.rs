@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use hyperprov_ledger::{Encode, HistoryDb, RwSet, StateDb};
+use hyperprov_ledger::{Encode, HistoryDb, ProvGraph, RwSet, StateDb};
 
 use crate::chaincode::{ChaincodeRegistry, ChaincodeStub, StubStats};
 use crate::identity::{Msp, SigningIdentity};
@@ -15,12 +15,17 @@ use crate::messages::{endorsement_message, ProposalResponse, SignedProposal};
 /// Mirrors a Fabric endorsing peer's ESCC path: verify the client
 /// signature, dispatch to the installed chaincode, capture the read/write
 /// set, sign `(tx_id, payload, rwset)`.
+///
+/// `graph` is the channel's materialized provenance DAG index, exposed to
+/// chaincode via [`ChaincodeStub::graph`] (pass `None` when the hosting
+/// peer maintains no index).
 pub fn endorse(
     identity: &SigningIdentity,
     registry: &ChaincodeRegistry,
     msp: &Arc<Msp>,
     state: &StateDb,
     history: &HistoryDb,
+    graph: Option<&ProvGraph>,
     signed: &SignedProposal,
 ) -> (ProposalResponse, StubStats) {
     let proposal = &signed.proposal;
@@ -62,6 +67,9 @@ pub fn endorse(
         state,
         history,
     );
+    if let Some(graph) = graph {
+        stub = stub.with_graph(graph);
+    }
     let result = chaincode.invoke(&mut stub);
     let (rwset, event, stats) = stub.into_results();
 
@@ -164,7 +172,15 @@ mod tests {
     fn successful_endorsement_is_signed_and_carries_rwset() {
         let s = setup();
         let sp = signed(&s.client, "kv", "put", vec![b"k".to_vec(), b"v".to_vec()]);
-        let (resp, stats) = endorse(&s.peer, &s.registry, &s.msp, &s.state, &s.history, &sp);
+        let (resp, stats) = endorse(
+            &s.peer,
+            &s.registry,
+            &s.msp,
+            &s.state,
+            &s.history,
+            None,
+            &sp,
+        );
         assert!(resp.is_success());
         assert_eq!(resp.rwset.writes.len(), 1);
         assert_eq!(resp.event.as_ref().unwrap().name, "put");
@@ -179,7 +195,15 @@ mod tests {
         let s = setup();
         let mut sp = signed(&s.client, "kv", "put", vec![b"k".to_vec(), b"v".to_vec()]);
         sp.signature = Signature(Digest::of(b"forged"));
-        let (resp, _) = endorse(&s.peer, &s.registry, &s.msp, &s.state, &s.history, &sp);
+        let (resp, _) = endorse(
+            &s.peer,
+            &s.registry,
+            &s.msp,
+            &s.state,
+            &s.history,
+            None,
+            &sp,
+        );
         assert!(!resp.is_success());
         assert!(resp.result.unwrap_err().contains("signature"));
         assert!(resp.rwset.is_empty());
@@ -189,7 +213,15 @@ mod tests {
     fn unknown_chaincode_rejected() {
         let s = setup();
         let sp = signed(&s.client, "ghost", "put", vec![]);
-        let (resp, _) = endorse(&s.peer, &s.registry, &s.msp, &s.state, &s.history, &sp);
+        let (resp, _) = endorse(
+            &s.peer,
+            &s.registry,
+            &s.msp,
+            &s.state,
+            &s.history,
+            None,
+            &sp,
+        );
         assert!(!resp.is_success());
         assert!(resp.result.unwrap_err().contains("not installed"));
     }
@@ -198,12 +230,28 @@ mod tests {
     fn chaincode_error_propagates_as_rejection() {
         let s = setup();
         let sp = signed(&s.client, "kv", "get", vec![b"missing".to_vec()]);
-        let (resp, _) = endorse(&s.peer, &s.registry, &s.msp, &s.state, &s.history, &sp);
+        let (resp, _) = endorse(
+            &s.peer,
+            &s.registry,
+            &s.msp,
+            &s.state,
+            &s.history,
+            None,
+            &sp,
+        );
         assert!(!resp.is_success());
         assert!(resp.result.unwrap_err().contains("not found"));
         // The read of the missing key is still recorded in stats.
         let sp2 = signed(&s.client, "kv", "nope", vec![]);
-        let (resp2, _) = endorse(&s.peer, &s.registry, &s.msp, &s.state, &s.history, &sp2);
+        let (resp2, _) = endorse(
+            &s.peer,
+            &s.registry,
+            &s.msp,
+            &s.state,
+            &s.history,
+            None,
+            &sp2,
+        );
         assert!(resp2.result.unwrap_err().contains("unknown function"));
     }
 
@@ -219,8 +267,8 @@ mod tests {
         let state = StateDb::new();
         let history = HistoryDb::new();
         let sp = signed(&client, "kv", "put", vec![b"k".to_vec(), b"v".to_vec()]);
-        let (r1, _) = endorse(&peer1, &registry, &msp, &state, &history, &sp);
-        let (r2, _) = endorse(&peer2, &registry, &msp, &state, &history, &sp);
+        let (r1, _) = endorse(&peer1, &registry, &msp, &state, &history, None, &sp);
+        let (r2, _) = endorse(&peer2, &registry, &msp, &state, &history, None, &sp);
         assert_eq!(r1.rwset, r2.rwset);
         assert_eq!(r1.result, r2.result);
         assert_ne!(r1.signature, r2.signature); // different keys

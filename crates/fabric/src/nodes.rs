@@ -297,6 +297,7 @@ impl<M: Carries<FabricMsg>> PeerActor<M> {
             committer.msp(),
             committer.state(),
             committer.history(),
+            Some(committer.graph()),
             &sp,
         );
         drop(committer);
@@ -517,6 +518,7 @@ impl<M: Carries<FabricMsg>> PeerActor<M> {
                 );
                 // Goodput SLOs watch committed-transaction events.
                 ctx.slo_event_n("commit.tx", outcome.valid as u64);
+                self.note_dangling(ctx, channel, &trace, outcome.dangling_parents);
                 // Every committed write invalidates its read-cache entry:
                 // the cached version is no longer the latest.
                 let mut invalidated = 0u64;
@@ -580,6 +582,29 @@ impl<M: Carries<FabricMsg>> PeerActor<M> {
         }
     }
 
+    /// Flags committed records whose parent ids are absent from the graph
+    /// index: a warning event on the block trace plus a counter, emitted
+    /// only when a block actually dangles (strict runs never do, so the
+    /// default exports stay untouched).
+    fn note_dangling(
+        &mut self,
+        ctx: &mut Context<'_, M>,
+        channel: &ChannelId,
+        trace: &str,
+        dangling: u64,
+    ) {
+        if dangling == 0 {
+            return;
+        }
+        ctx.metrics().incr(
+            &channel.metric_name(&self.metric_prefix, "dangling_parent"),
+            dangling,
+        );
+        let now = ctx.now();
+        ctx.tracer()
+            .event(now, trace, "dangling_parent", &self.metric_prefix);
+    }
+
     fn commit_one_serial(&mut self, ctx: &mut Context<'_, M>, channel: &ChannelId, block: Block) {
         let mut cost = self.costs.block_cost(block.wire_size());
         for raw in &block.envelopes {
@@ -612,6 +637,7 @@ impl<M: Carries<FabricMsg>> PeerActor<M> {
                 );
                 // Goodput SLOs watch committed-transaction events.
                 ctx.slo_event_n("commit.tx", outcome.valid as u64);
+                self.note_dangling(ctx, channel, &trace, outcome.dangling_parents);
                 let mut sends = Vec::new();
                 for event in outcome.events {
                     for &client in &self.subscribers {

@@ -11,6 +11,7 @@ use std::sync::Arc;
 
 use crate::blockstore::BlockStore;
 use crate::history::HistoryDb;
+use crate::provgraph::ProvGraph;
 use crate::statedb::StateDb;
 
 /// Name of the channel a single-channel deployment uses. Kept identical to
@@ -123,6 +124,10 @@ pub struct ChannelLedger {
     pub state: StateDb,
     /// The channel's per-key write history.
     pub history: HistoryDb,
+    /// The channel's materialized provenance DAG index, maintained by the
+    /// committer alongside `state`/`history` (derived state: rebuilt from
+    /// block replay on restart).
+    pub graph: ProvGraph,
 }
 
 impl ChannelLedger {

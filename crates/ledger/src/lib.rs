@@ -27,6 +27,7 @@ mod codec;
 mod hash;
 mod history;
 mod merkle;
+mod provgraph;
 mod statedb;
 mod tx;
 
@@ -37,5 +38,6 @@ pub use codec::{decode_seq, encode_seq, CodecError, Decode, Decoder, Encode, Enc
 pub use hash::{hmac_sha256, Digest, Sha256};
 pub use history::{HistoryDb, HistoryEntry};
 pub use merkle::{MerkleProof, MerkleTree};
+pub use provgraph::{Direction, GraphIndexer, GraphUpdate, ProvGraph, Traversal, TraversalLimits};
 pub use statedb::{StateDb, VersionedValue};
 pub use tx::{KvRead, KvWrite, RwSet, StateKey, TxId, ValidationCode, Version};

@@ -64,6 +64,11 @@ impl StateDb {
         self.map.is_empty()
     }
 
+    /// Iterates every live `(key, value)` pair in lexicographic key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&StateKey, &VersionedValue)> {
+        self.map.iter()
+    }
+
     /// Applies one write at the given version (delete when value is None).
     pub fn apply_write(&mut self, write: &KvWrite, version: Version) {
         match &write.value {

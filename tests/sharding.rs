@@ -132,7 +132,7 @@ fn cross_channel_lineage_and_scatter_queries() {
     let outputs = drain_ok(&mut net, 0);
     assert_eq!(outputs.len(), 1);
     match &outputs[0] {
-        OpOutput::Lineage(entries) => {
+        OpOutput::Lineage { entries, .. } => {
             let chain: Vec<(u32, &str)> = entries
                 .iter()
                 .map(|e| (e.depth, e.record.key.as_str()))
@@ -164,6 +164,140 @@ fn cross_channel_lineage_and_scatter_queries() {
             assert_eq!(keys, &expected);
         }
         other => panic!("expected keys, got {other:?}"),
+    }
+}
+
+/// A diamond DAG whose arms land on different shards: the hop-by-hop
+/// lineage walk visits the shared grandparent exactly once, reports the
+/// depth clamp explicitly, and the one-shot graph-index queries return
+/// the same node sets with one batched frontier exchange per shard per
+/// level.
+#[test]
+fn cross_shard_diamond_lineage_and_graph_queries() {
+    let mut config = NetworkConfig::desktop(1).with_seed(53).with_channels(2);
+    config.permissive = true;
+    let mut net = HyperProvNetwork::build(&config);
+
+    let gp = key_on_shard("dia-gp", 0, 2);
+    let p1 = key_on_shard("dia-p1", 1, 2);
+    let p2 = key_on_shard("dia-p2", 0, 2);
+    let child = key_on_shard("dia-c", 1, 2);
+
+    store(&mut net, 0, 1, &gp, vec![]);
+    net.sim.run_until(SimTime::from_secs(20));
+    store(&mut net, 0, 2, &p1, vec![gp.clone()]);
+    store(&mut net, 0, 3, &p2, vec![gp.clone()]);
+    net.sim.run_until(SimTime::from_secs(40));
+    store(&mut net, 0, 4, &child, vec![p1.clone(), p2.clone()]);
+    net.sim.run_until(SimTime::from_secs(60));
+    assert_eq!(drain_ok(&mut net, 0).len(), 4);
+
+    let run_query = |net: &mut HyperProvNetwork, cmd: ClientCommand| {
+        net.sim.inject_message(net.clients[0], NodeMsg::Client(cmd));
+        let stop = net.sim.now() + hyperprov_repro::sim::SimDuration::from_secs(20);
+        net.sim.run_until(stop);
+        let mut outputs = drain_ok(net, 0);
+        assert_eq!(outputs.len(), 1);
+        outputs.pop().unwrap()
+    };
+
+    // The oracle walk: the diamond's shared grandparent appears once.
+    match run_query(
+        &mut net,
+        ClientCommand::GetLineage {
+            key: child.clone(),
+            depth: 8,
+            op: OpId(5),
+        },
+    ) {
+        OpOutput::Lineage { entries, truncated } => {
+            let mut chain: Vec<(u32, &str)> = entries
+                .iter()
+                .map(|e| (e.depth, e.record.key.as_str()))
+                .collect();
+            chain.sort_unstable();
+            let mut expect = vec![
+                (0, child.as_str()),
+                (1, p1.as_str()),
+                (1, p2.as_str()),
+                (2, gp.as_str()),
+            ];
+            expect.sort_unstable();
+            assert_eq!(chain, expect, "grandparent must be visited exactly once");
+            assert!(!truncated);
+        }
+        other => panic!("expected lineage, got {other:?}"),
+    }
+
+    // The clamp is reported, not silently swallowed.
+    match run_query(
+        &mut net,
+        ClientCommand::GetLineage {
+            key: child.clone(),
+            depth: 1,
+            op: OpId(6),
+        },
+    ) {
+        OpOutput::Lineage { entries, truncated } => {
+            assert_eq!(entries.len(), 3);
+            assert!(truncated, "the cut-off grandparent must be flagged");
+        }
+        other => panic!("expected lineage, got {other:?}"),
+    }
+
+    // The graph index returns the same sets in one batched exchange.
+    let keys_of = |output: OpOutput| -> Vec<String> {
+        match output {
+            OpOutput::Graph(slice) => {
+                let mut keys: Vec<String> = slice.entries.into_iter().map(|(_, k)| k).collect();
+                keys.sort();
+                keys
+            }
+            other => panic!("expected graph slice, got {other:?}"),
+        }
+    };
+    let mut all = vec![gp.clone(), p1.clone(), p2.clone(), child.clone()];
+    all.sort();
+    let ancestry = keys_of(run_query(
+        &mut net,
+        ClientCommand::GetAncestry {
+            key: child.clone(),
+            depth: 8,
+            op: OpId(7),
+        },
+    ));
+    assert_eq!(ancestry, all);
+    let impact = keys_of(run_query(
+        &mut net,
+        ClientCommand::GetDescendants {
+            key: gp.clone(),
+            depth: 8,
+            op: OpId(8),
+        },
+    ));
+    assert_eq!(impact, all);
+    match run_query(
+        &mut net,
+        ClientCommand::GetSubgraph {
+            key: p1.clone(),
+            depth: 8,
+            op: OpId(9),
+        },
+    ) {
+        OpOutput::Graph(slice) => {
+            assert_eq!(slice.entries.len(), 4);
+            let mut edges = slice.edges;
+            edges.sort();
+            let mut expect = vec![
+                (p1.clone(), gp.clone()),
+                (p2.clone(), gp.clone()),
+                (child.clone(), p1.clone()),
+                (child.clone(), p2.clone()),
+            ];
+            expect.sort();
+            assert_eq!(edges, expect);
+        }
+        other => panic!("expected graph slice, got {other:?}"),
     }
 }
 
