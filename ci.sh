@@ -33,6 +33,11 @@ cargo run --release -p hyperprov-bench --bin table_commit_pipeline -- --quick
 # cross-shard graph queries end to end (index vs oracle walk).
 cargo run --release -p hyperprov-bench --bin table_lineage -- --quick
 
+# Exercises snapshot cutting, block-store pruning, deep-chain crash
+# recovery and elastic membership (spare peer join + snapshot catch-up)
+# end to end.
+cargo run --release -p hyperprov-bench --bin table_recovery -- --quick
+
 # Perf-regression gate: reruns the quick BENCH-SIM reference workload and
 # diffs it against the committed BENCH_sim.json baseline (tight tolerances
 # for deterministic model metrics, loose ratio bounds for host wall-clock

@@ -1,0 +1,7 @@
+//! T-RECOVERY: crash recovery cost at deep chains with and without
+//! Merkle-rooted state snapshots, plus the elastic-membership scenario
+//! (a spare peer joining a live network via snapshot catch-up).
+
+fn main() {
+    hyperprov_bench::runner::bench_main(&[hyperprov_bench::experiments::recovery_artefacts]);
+}

@@ -15,6 +15,7 @@ mod overload;
 mod pipeline;
 mod profile;
 mod queries;
+mod recovery;
 mod sharding;
 
 pub use baselines::baseline_comparison;
@@ -29,6 +30,7 @@ pub use overload::{overload_sweep, OverloadReport};
 pub use pipeline::{pipeline_sweep, PipelineReport};
 pub use profile::{sim_bench, SimBenchReport};
 pub use queries::{batch_sweep, query_latency};
+pub use recovery::{recovery_sweep, RecoveryReport};
 pub use sharding::{sharding_sweep, ShardingReport};
 
 use std::path::Path;
@@ -203,6 +205,26 @@ pub fn lineage_artefacts(quick: bool) -> Vec<Artefact> {
     ]
 }
 
+/// T-RECOVERY artefacts: the deep-chain restart sweep, the elastic
+/// membership row and the metrics export. Full runs additionally write
+/// the machine-readable `BENCH_recovery.json` at the repo root — the
+/// committed flat-vs-linear recovery-cost trajectory the regression gate
+/// validates.
+pub fn recovery_artefacts(quick: bool) -> Vec<Artefact> {
+    let report = recovery_sweep(quick);
+    if !quick {
+        let path = results_dir().join("..").join("BENCH_recovery.json");
+        if let Err(err) = std::fs::write(&path, &report.bench_json) {
+            eprintln!("[warning: could not save {}: {err}]", path.display());
+        }
+    }
+    vec![
+        Artefact::table(report.table, "table_recovery"),
+        Artefact::table(report.elastic, "table_recovery_elastic"),
+        Artefact::metrics(report.exporter),
+    ]
+}
+
 /// BENCH-SIM artefacts: the host-side simulator profile table and its
 /// machine-readable JSON body (the committed `BENCH_sim.json` baseline is
 /// written by `bench_regress --update`, not here — host numbers must not
@@ -229,5 +251,6 @@ pub const ALL_CAMPAIGNS: &[fn(bool) -> Vec<Artefact>] = &[
     sharding_artefacts,
     pipeline_artefacts,
     lineage_artefacts,
+    recovery_artefacts,
     sim_bench_artefacts,
 ];

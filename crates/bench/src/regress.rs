@@ -65,6 +65,93 @@ pub fn lineage_bench_path() -> PathBuf {
     results_dir().join("..").join("BENCH_lineage.json")
 }
 
+/// The committed crash-recovery trajectory's path
+/// (`<repo>/BENCH_recovery.json`).
+pub fn recovery_bench_path() -> PathBuf {
+    results_dir().join("..").join("BENCH_recovery.json")
+}
+
+/// Maximum allowed spread (max/min) of snapshot-mode recovery cost across
+/// the committed chain-length sweep: the "O(1) in chain length" claim.
+pub const RECOVERY_FLAT_RATIO: f64 = 2.0;
+
+/// Validates the committed `BENCH_recovery.json` shape: snapshot-mode
+/// recovery cost must be flat (within [`RECOVERY_FLAT_RATIO`]) across the
+/// chain-length sweep, genesis replay must grow with the chain, and the
+/// elastic joiner must have converged. Returns rows via `push_check`.
+fn check_recovery_shape(table: &mut Table, doc: &Value) -> bool {
+    let mut pass = true;
+    let empty: [Value; 0] = [];
+    let cells = doc.get("cells").and_then(Value::as_array).unwrap_or(&empty);
+    let costs = |on: u64| -> Vec<(f64, f64)> {
+        cells
+            .iter()
+            .filter(|c| c.get("mode").and_then(Value::as_str) == Some("restart"))
+            .filter(|c| c.get("snapshots").and_then(Value::as_u64) == Some(on))
+            .filter_map(|c| {
+                Some((
+                    c.get("chain_blocks")?.as_f64()?,
+                    c.get("recovery_cost_ms")?.as_f64()?,
+                ))
+            })
+            .collect()
+    };
+
+    let on = costs(1);
+    let (on_min, on_max) = on
+        .iter()
+        .fold((f64::INFINITY, 0.0f64), |(lo, hi), &(_, c)| {
+            (lo.min(c), hi.max(c))
+        });
+    let flat_ok = on.len() >= 2 && on_max <= RECOVERY_FLAT_RATIO * on_min;
+    pass = push_check(
+        table,
+        "BENCH_recovery.json snapshot-mode flatness",
+        Some(on_min),
+        Some(on_max),
+        &format!("max <= {RECOVERY_FLAT_RATIO}x min across chain lengths"),
+        Some(flat_ok),
+    ) && pass;
+
+    let off = costs(0);
+    let shortest = off
+        .iter()
+        .cloned()
+        .min_by(|a, b| a.0.total_cmp(&b.0))
+        .unwrap_or((0.0, 0.0));
+    let longest = off
+        .iter()
+        .cloned()
+        .max_by(|a, b| a.0.total_cmp(&b.0))
+        .unwrap_or((0.0, 0.0));
+    let linear_ok = off.len() >= 2 && longest.0 > shortest.0 && longest.1 > 2.0 * shortest.1;
+    pass = push_check(
+        table,
+        "BENCH_recovery.json genesis-replay growth",
+        Some(shortest.1),
+        Some(longest.1),
+        "longest chain's replay cost > 2x shortest's",
+        Some(linear_ok),
+    ) && pass;
+
+    let elastic_ok = cells
+        .iter()
+        .filter(|c| c.get("mode").and_then(Value::as_str) == Some("elastic"))
+        .all(|c| c.get("converged").and_then(Value::as_u64) == Some(1));
+    let has_elastic = cells
+        .iter()
+        .any(|c| c.get("mode").and_then(Value::as_str) == Some("elastic"));
+    pass = push_check(
+        table,
+        "BENCH_recovery.json elastic join",
+        None,
+        None,
+        "elastic cell present and converged",
+        Some(has_elastic && elastic_ok),
+    ) && pass;
+    pass
+}
+
 fn fmt_val(v: f64) -> String {
     if v.fract() == 0.0 && v.abs() < 1e15 {
         format!("{v:.0}")
@@ -243,14 +330,16 @@ pub fn run_regress(update: bool) -> RegressOutcome {
 
     // Structural checks of the committed campaign trajectory baselines:
     // a broken regeneration must not land unnoticed.
-    let trajectories: [(PathBuf, &str, &str); 2] = [
+    let trajectories: [(PathBuf, &str, &str); 3] = [
         (commit_bench_path(), "BENCH_commit.json", "T-PIPELINE"),
         (lineage_bench_path(), "BENCH_lineage.json", "T-LINEAGE"),
+        (recovery_bench_path(), "BENCH_recovery.json", "T-RECOVERY"),
     ];
     for (path, name, campaign) in trajectories {
         match std::fs::read_to_string(path) {
             Ok(body) => {
-                let ok = parse(&body).ok().is_some_and(|doc| {
+                let doc = parse(&body).ok();
+                let ok = doc.as_ref().is_some_and(|doc| {
                     doc.get("campaign").and_then(Value::as_str) == Some(campaign)
                         && doc
                             .get("cells")
@@ -265,6 +354,14 @@ pub fn run_regress(update: bool) -> RegressOutcome {
                     &format!("parses, campaign {campaign}, non-empty cells"),
                     Some(ok),
                 ) && pass;
+                // The recovery trajectory additionally asserts its shape:
+                // flat snapshot recovery, linear genesis replay, elastic
+                // convergence.
+                if campaign == "T-RECOVERY" && ok {
+                    if let Some(doc) = &doc {
+                        pass = check_recovery_shape(&mut table, doc) && pass;
+                    }
+                }
             }
             Err(_) => {
                 pass = push_check(&mut table, name, None, None, "not present", None) && pass;

@@ -9,8 +9,8 @@ use std::sync::Arc;
 use hyperprov_device::{link_between, DeviceProfile};
 use hyperprov_fabric::{
     BatchConfig, ChaincodeRegistry, ChannelPolicies, CommitPipeline, Committer, CostModel,
-    EndorsementPolicy, Gateway, MspBuilder, MspId, PeerActor, RaftConfig, RaftOrdererActor,
-    SoloOrdererActor, RAFT_TICK_TOKEN,
+    EndorsementPolicy, FabricMsg, Gateway, Msp, MspBuilder, MspId, PeerActor, RaftConfig,
+    RaftOrdererActor, SigningIdentity, SnapshotPolicy, SoloOrdererActor, RAFT_TICK_TOKEN,
 };
 use hyperprov_ledger::{ChannelId, DEFAULT_CHANNEL};
 use hyperprov_offchain::{MemoryStore, StorageActor, StorageCosts};
@@ -147,6 +147,22 @@ pub struct NetworkConfig {
     /// (operation completions) and `"commit.tx"` (valid transactions
     /// committed at peers).
     pub slos: Vec<SloSpec>,
+    /// Peer snapshot policy (`None` = snapshots, pruning and
+    /// snapshot-based recovery off, the paper-faithful default). With a
+    /// policy set, every peer cuts Merkle-rooted snapshots, prunes its
+    /// block store behind them (per the policy) and bootstraps restarts
+    /// from the latest snapshot; the other peers hosting each channel
+    /// become its snapshot-catch-up providers.
+    pub snapshots: Option<SnapshotPolicy>,
+    /// Emit per-restart recovery gauges at peers (`peerN.recovery.*`);
+    /// off by default so existing metric exports stay unchanged.
+    pub recovery_metrics: bool,
+    /// Identities pre-enrolled for elastic membership: how many peers can
+    /// be added to the running network later via
+    /// [`HyperProvNetwork::add_peer`]. Zero (the default) changes
+    /// nothing; spares are enrolled after all baseline identities so
+    /// existing certificates stay byte-identical.
+    pub spare_peers: usize,
 }
 
 impl NetworkConfig {
@@ -183,6 +199,9 @@ impl NetworkConfig {
             channels: vec![ChannelSpec::new(DEFAULT_CHANNEL)],
             pipeline: CommitPipeline::default(),
             slos: Vec::new(),
+            snapshots: None,
+            recovery_metrics: false,
+            spare_peers: 0,
         }
     }
 
@@ -212,6 +231,9 @@ impl NetworkConfig {
             channels: vec![ChannelSpec::new(DEFAULT_CHANNEL)],
             pipeline: CommitPipeline::default(),
             slos: Vec::new(),
+            snapshots: None,
+            recovery_metrics: false,
+            spare_peers: 0,
         }
     }
 
@@ -332,6 +354,54 @@ impl NetworkConfig {
         self.channels = specs;
         self
     }
+
+    /// Installs a peer snapshot policy: Merkle-rooted snapshots every
+    /// `policy.interval` blocks, block-store pruning behind them (per the
+    /// policy) and snapshot-based crash recovery, with the other hosting
+    /// peers of each channel acting as snapshot catch-up providers.
+    #[must_use]
+    pub fn with_snapshots(mut self, policy: SnapshotPolicy) -> Self {
+        self.snapshots = Some(policy);
+        self
+    }
+
+    /// Emits per-restart recovery gauges at every peer (`peerN.recovery.*`).
+    #[must_use]
+    pub fn with_recovery_metrics(mut self) -> Self {
+        self.recovery_metrics = true;
+        self
+    }
+
+    /// Pre-enrolls `n` spare peer identities for elastic membership, so
+    /// [`HyperProvNetwork::add_peer`] can grow the running network.
+    #[must_use]
+    pub fn with_spare_peers(mut self, n: usize) -> Self {
+        self.spare_peers = n;
+        self
+    }
+}
+
+/// Per-channel wiring a spare peer needs to join the running network.
+struct JoinChannelInfo {
+    id: ChannelId,
+    policy: EndorsementPolicy,
+    orderers: Vec<ActorId>,
+}
+
+/// Everything needed to attach spare peers to the running network
+/// (elastic membership; see [`HyperProvNetwork::add_peer`]).
+struct JoinKit {
+    msp: Arc<Msp>,
+    registry: ChaincodeRegistry,
+    costs: CostModel,
+    pipeline: CommitPipeline,
+    peer_queue: Option<QueueConfig>,
+    snapshots: Option<SnapshotPolicy>,
+    recovery_metrics: bool,
+    /// Pre-enrolled spare identities with their device profiles.
+    spares: Vec<(SigningIdentity, DeviceProfile)>,
+    next_spare: usize,
+    chan_info: Vec<JoinChannelInfo>,
 }
 
 /// A built network, ready to run.
@@ -363,6 +433,8 @@ pub struct HyperProvNetwork {
     pub channel_orderers: Vec<Vec<ActorId>>,
     /// Per channel, the hosting peers' `(peer index, committer)` handles.
     pub channel_ledgers: Vec<Vec<(usize, Rc<RefCell<Committer>>)>>,
+    /// Elastic-membership kit (spare identities + channel wiring).
+    kit: JoinKit,
 }
 
 impl HyperProvNetwork {
@@ -444,6 +516,15 @@ impl HyperProvNetwork {
                 msp_builder.enroll(&format!("client{i}"), &org)
             })
             .collect();
+        // Spare identities for elastic membership are enrolled last, so a
+        // zero-spare deployment draws exactly the same certificates as
+        // before.
+        let spare_identities: Vec<SigningIdentity> = (0..config.spare_peers)
+            .map(|i| {
+                let org = MspId::new(format!("org{}", (i % n_peers) + 1));
+                msp_builder.enroll(&format!("spare{i}"), &org)
+            })
+            .collect();
         let msp = msp_builder.build();
 
         // Install the chaincode.
@@ -523,6 +604,24 @@ impl HyperProvNetwork {
             for (ci, committer) in committers.into_iter().skip(1) {
                 let chan = &chans[ci];
                 actor.add_channel(committer, Some(chan.orderers[i % chan.orderers.len()]));
+            }
+            if let Some(policy) = config.snapshots {
+                actor = actor.with_snapshots(policy);
+                // The other peers hosting each channel form this peer's
+                // snapshot catch-up provider ladder.
+                for &ci in &hosted {
+                    let chan = &chans[ci];
+                    let providers: Vec<ActorId> = chan
+                        .hosts
+                        .iter()
+                        .filter(|&&p| p != i)
+                        .map(|&p| peer_ids[p])
+                        .collect();
+                    actor.set_snapshot_providers(&chan.id, providers);
+                }
+            }
+            if config.recovery_metrics {
+                actor = actor.with_recovery_metrics();
             }
             if let Some(queue) = config.peer_queue {
                 actor = actor.with_queue(queue);
@@ -686,6 +785,29 @@ impl HyperProvNetwork {
         let channel_orderers: Vec<Vec<ActorId>> =
             chans.iter().map(|c| c.orderers.clone()).collect();
         let orderers: Vec<ActorId> = channel_orderers.iter().flatten().copied().collect();
+        let kit = JoinKit {
+            msp,
+            registry,
+            costs: config.costs,
+            pipeline: config.pipeline,
+            peer_queue: config.peer_queue,
+            snapshots: config.snapshots,
+            recovery_metrics: config.recovery_metrics,
+            spares: spare_identities
+                .into_iter()
+                .enumerate()
+                .map(|(i, id)| (id, config.peer_devices[i % n_peers].clone()))
+                .collect(),
+            next_spare: 0,
+            chan_info: chans
+                .iter()
+                .map(|c| JoinChannelInfo {
+                    id: c.id.clone(),
+                    policy: c.policy.clone(),
+                    orderers: c.orderers.clone(),
+                })
+                .collect(),
+        };
         HyperProvNetwork {
             sim,
             peers: peer_ids,
@@ -700,7 +822,131 @@ impl HyperProvNetwork {
             channels: chans.iter().map(|c| c.id.clone()).collect(),
             channel_orderers,
             channel_ledgers,
+            kit,
         }
+    }
+
+    /// Number of spare peer identities still available to
+    /// [`HyperProvNetwork::add_peer`].
+    pub fn spare_peers_left(&self) -> usize {
+        self.kit.spares.len() - self.kit.next_spare
+    }
+
+    /// Attaches the next pre-enrolled spare peer to the running network
+    /// (elastic membership). The peer starts with empty ledgers on every
+    /// channel, subscribes to each channel's ordering service for future
+    /// blocks, and immediately begins catching up: through the snapshot
+    /// catch-up protocol when the deployment runs snapshots (fetching the
+    /// latest snapshot from an existing peer, then the block delta), or
+    /// through plain block re-delivery otherwise.
+    ///
+    /// Call between [`hyperprov_sim::Simulation::run_until`] slices; the
+    /// join kicks off at the current virtual time. Returns the new peer's
+    /// actor id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no spare identities remain (configure them with
+    /// [`NetworkConfig::with_spare_peers`]).
+    pub fn add_peer(&mut self) -> ActorId {
+        assert!(
+            self.kit.next_spare < self.kit.spares.len(),
+            "no spare peer identities left (use NetworkConfig::with_spare_peers)"
+        );
+        let (identity, device) = self.kit.spares[self.kit.next_spare].clone();
+        self.kit.next_spare += 1;
+        let index = self.peers.len();
+        let mut committers = Vec::with_capacity(self.kit.chan_info.len());
+        for info in &self.kit.chan_info {
+            committers.push(Rc::new(RefCell::new(
+                Committer::for_channel(
+                    info.id.clone(),
+                    self.kit.msp.clone(),
+                    ChannelPolicies::new(info.policy.clone()),
+                )
+                .with_indexer(Arc::new(HyperProvIndexer)),
+            )));
+        }
+        let lanes = self.kit.pipeline.lanes.clamp(1, device.cores.max(1));
+        let first = &self.kit.chan_info[0];
+        let mut actor = PeerActor::<NodeMsg>::new(
+            identity,
+            self.kit.registry.clone(),
+            committers[0].clone(),
+            self.kit.costs,
+            format!("peer{index}"),
+        )
+        .with_pipeline(CommitPipeline {
+            lanes,
+            ..self.kit.pipeline
+        })
+        .with_catchup_target(first.orderers[index % first.orderers.len()]);
+        for (info, committer) in self.kit.chan_info.iter().zip(&committers).skip(1) {
+            actor.add_channel(
+                committer.clone(),
+                Some(info.orderers[index % info.orderers.len()]),
+            );
+        }
+        if let Some(policy) = self.kit.snapshots {
+            actor = actor.with_snapshots(policy);
+            // Every peer currently serving a channel can provide its
+            // snapshot (and block re-delivery) to the newcomer.
+            for (ci, info) in self.kit.chan_info.iter().enumerate() {
+                let providers: Vec<ActorId> = self.channel_ledgers[ci]
+                    .iter()
+                    .map(|(p, _)| self.peers[*p])
+                    .collect();
+                actor.set_snapshot_providers(&info.id, providers);
+            }
+        }
+        if self.kit.recovery_metrics {
+            actor = actor.with_recovery_metrics();
+        }
+        if let Some(queue) = self.kit.peer_queue {
+            actor = actor.with_queue(queue);
+        }
+        let id = self.sim.add_actor_with_cpu(
+            Box::new(actor),
+            CpuResource::with_lanes(device.cpu_speed, lanes),
+        );
+        debug_assert_eq!(id, ActorId(self.devices.len() as u32));
+        self.sim.set_actor_label(id, "peer");
+        // Full-mesh links to every existing device (one shared switch).
+        for (other, dev) in self.devices.iter().enumerate() {
+            let other = ActorId(other as u32);
+            self.sim
+                .network_mut()
+                .set_link(id, other, link_between(&device, dev));
+            self.sim
+                .network_mut()
+                .set_link(other, id, link_between(dev, &device));
+        }
+        self.devices.push(device);
+        for (ci, committer) in committers.iter().enumerate() {
+            self.channel_ledgers[ci].push((index, committer.clone()));
+        }
+        self.ledgers.push(committers[0].clone());
+        self.peers.push(id);
+        // Subscribe to every channel's ordering service, then kick
+        // catch-up on each hosted channel.
+        for info in &self.kit.chan_info {
+            for &orderer in &info.orderers {
+                self.sim.inject_message(
+                    orderer,
+                    NodeMsg::Fabric(FabricMsg::DeliverSubscribe {
+                        channel: info.id.clone(),
+                        peer: id,
+                    }),
+                );
+            }
+            self.sim.inject_message(
+                id,
+                NodeMsg::Fabric(FabricMsg::JoinChannel {
+                    channel: info.id.clone(),
+                }),
+            );
+        }
+        id
     }
 }
 

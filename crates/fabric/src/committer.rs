@@ -10,11 +10,13 @@
 //! conflicts under contention.
 
 use std::collections::{HashMap, HashSet};
+use std::fmt;
 use std::sync::Arc;
 
 use hyperprov_ledger::{
     Block, BlockStore, ChainError, ChannelId, ChannelLedger, GraphIndexer, HistoryDb, KvWrite,
-    ProvGraph, RawEnvelope, StateDb, StateKey, TxId, ValidationCode, Version,
+    ProvGraph, RawEnvelope, Snapshot, SnapshotError, StateDb, StateKey, TxId, ValidationCode,
+    Version,
 };
 
 use crate::caches::SigVerifyCache;
@@ -88,6 +90,54 @@ pub struct VsccVerdict {
     pub sig_misses: u32,
     /// Endorsement signatures served from the verification cache.
     pub sig_hits: u32,
+}
+
+/// Why a snapshot could not be used to bootstrap a committer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BootstrapError {
+    /// The snapshot failed its own integrity check.
+    Snapshot(SnapshotError),
+    /// The snapshot belongs to a different channel.
+    WrongChannel {
+        /// Channel named by the snapshot manifest.
+        got: String,
+        /// Channel the committer serves.
+        expected: String,
+    },
+    /// The provenance graph rebuilt from the restored state disagrees
+    /// with the digest the manifest committed to.
+    GraphDigestMismatch,
+    /// A delta block did not extend the restored chain.
+    Chain(ChainError),
+}
+
+impl fmt::Display for BootstrapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BootstrapError::Snapshot(e) => write!(f, "snapshot invalid: {e}"),
+            BootstrapError::WrongChannel { got, expected } => {
+                write!(f, "snapshot for channel {got}, expected {expected}")
+            }
+            BootstrapError::GraphDigestMismatch => {
+                write!(f, "restored graph digest mismatch")
+            }
+            BootstrapError::Chain(e) => write!(f, "delta replay failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BootstrapError {}
+
+impl From<SnapshotError> for BootstrapError {
+    fn from(e: SnapshotError) -> Self {
+        BootstrapError::Snapshot(e)
+    }
+}
+
+impl From<ChainError> for BootstrapError {
+    fn from(e: ChainError) -> Self {
+        BootstrapError::Chain(e)
+    }
 }
 
 /// A committing peer's view of one channel: the per-channel ledger bundle
@@ -557,6 +607,118 @@ impl Committer {
         )
     }
 
+    /// Freezes this committer's entire derived state at the current
+    /// height into a Merkle-rooted [`Snapshot`] with at most
+    /// `chunk_entries` state entries per transfer chunk.
+    pub fn snapshot(&self, chunk_entries: usize) -> Snapshot {
+        Snapshot::capture(
+            &self.channel,
+            self.ledger.store.height(),
+            self.ledger.store.tip_hash(),
+            &self.ledger.state,
+            &self.ledger.history,
+            self.seen.iter().copied().collect(),
+            self.ledger.graph.digest(),
+            chunk_entries,
+        )
+    }
+
+    /// Compacts the block store behind a snapshot horizon; blocks below
+    /// `horizon` are dropped. Returns the number of blocks pruned.
+    pub fn prune_store_to(&mut self, horizon: u64) -> u64 {
+        self.ledger.store.prune_to(horizon)
+    }
+
+    /// Rebuilds a committer from a verified snapshot plus delta blocks —
+    /// the O(1)-in-chain-length recovery path. The snapshot is integrity
+    /// checked ([`Snapshot::verify`]), the provenance graph is rebuilt by
+    /// running the indexer over the restored state and compared against
+    /// the manifest's graph digest, and the block store resumes pruned at
+    /// the snapshot height. Delta blocks below the snapshot height are
+    /// skipped; the rest are re-validated exactly like a genesis replay.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BootstrapError`] if the snapshot fails verification,
+    /// names another channel, the rebuilt graph digest disagrees, or a
+    /// delta block does not link.
+    pub fn bootstrap_from_snapshot(
+        channel: ChannelId,
+        msp: Arc<Msp>,
+        policies: ChannelPolicies,
+        indexer: Option<Arc<dyn GraphIndexer>>,
+        snapshot: &Snapshot,
+        delta_blocks: impl IntoIterator<Item = Block>,
+    ) -> Result<Committer, BootstrapError> {
+        snapshot.verify()?;
+        if snapshot.manifest.channel != channel.as_str() {
+            return Err(BootstrapError::WrongChannel {
+                got: snapshot.manifest.channel.clone(),
+                expected: channel.as_str().to_owned(),
+            });
+        }
+
+        let state = snapshot.restore_state();
+        let mut graph = ProvGraph::new();
+        if let Some(indexer) = &indexer {
+            for (key, value) in state.iter() {
+                if let Some(update) = indexer.index(key, Some(&value.value)) {
+                    graph.apply(&update);
+                }
+            }
+        }
+        if graph.digest() != snapshot.manifest.graph_digest {
+            return Err(BootstrapError::GraphDigestMismatch);
+        }
+
+        let mut committer = Committer {
+            channel,
+            ledger: ChannelLedger {
+                store: BlockStore::with_base(snapshot.manifest.height, snapshot.manifest.tip_hash),
+                state,
+                history: snapshot.restore_history(),
+                graph,
+            },
+            msp,
+            policies,
+            seen: snapshot.tail.seen.iter().copied().collect(),
+            indexer,
+        };
+        for mut block in delta_blocks {
+            if block.header.number < snapshot.manifest.height {
+                continue;
+            }
+            block.metadata.codes.clear();
+            committer.commit_block(block)?;
+        }
+        Ok(committer)
+    }
+
+    /// [`Committer::bootstrap_from_snapshot`] against this committer's own
+    /// identity material and durable block store: restores the snapshot
+    /// and replays only the blocks at or above its height. This is the
+    /// restarted peer's fast path — `recover()` replays the whole chain,
+    /// this replays at most one snapshot interval.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BootstrapError`] if the snapshot fails verification or
+    /// the delta blocks do not link onto it.
+    pub fn recover_from_snapshot(&self, snapshot: &Snapshot) -> Result<Committer, BootstrapError> {
+        Committer::bootstrap_from_snapshot(
+            self.channel.clone(),
+            self.msp.clone(),
+            self.policies.clone(),
+            self.indexer.clone(),
+            snapshot,
+            self.ledger
+                .store
+                .iter()
+                .filter(|b| b.header.number >= snapshot.manifest.height)
+                .cloned(),
+        )
+    }
+
     fn validate(&self, env: &Envelope) -> ValidationCode {
         if self.seen.contains(&env.tx_id()) {
             return ValidationCode::DuplicateTxId;
@@ -957,6 +1119,155 @@ mod tests {
         assert_eq!(out_legacy.dangling_parents, 1);
         assert_eq!(out_split.dangling_parents, 1);
         assert_eq!(legacy.graph().digest(), split.graph().digest());
+    }
+
+    #[test]
+    fn snapshot_bootstrap_matches_full_replay() {
+        let n = net();
+        let policy = EndorsementPolicy::any_of([MspId::new("org1")]);
+        let mut c = committer(&n, policy.clone()).with_indexer(Arc::new(TestIndexer));
+        // A chain with provenance records, an MVCC conflict and (later) a
+        // duplicate — everything a bootstrap must reproduce faithfully.
+        for i in 0..6u64 {
+            let env = envelope(
+                &n,
+                i + 1,
+                write_set(&format!("rec~i{i}"), if i == 0 { b"" } else { b"i0" }),
+                &[0],
+            );
+            c.commit_block(block_of(&c, vec![env])).unwrap();
+        }
+        let dup = envelope(&n, 1, write_set("rec~i0", b""), &[0]);
+
+        // Snapshot at height 4, then two more blocks of deltas.
+        let mut snapshot_at_4: Option<Snapshot> = None;
+        let mut full = committer(&n, policy.clone()).with_indexer(Arc::new(TestIndexer));
+        for block in c.store().iter().cloned() {
+            full.commit_block({
+                let mut b = block;
+                b.metadata.codes.clear();
+                b
+            })
+            .unwrap();
+            if full.height() == 4 {
+                snapshot_at_4 = Some(full.snapshot(3));
+            }
+        }
+        full.commit_block(block_of(&full, vec![dup.clone()]))
+            .unwrap();
+        let snapshot = snapshot_at_4.unwrap();
+        snapshot.verify().unwrap();
+        assert_eq!(snapshot.manifest.height, 4);
+
+        // Bootstrap: snapshot + delta blocks 4..7 (including one below
+        // the horizon, which must be skipped).
+        let deltas: Vec<Block> = full.store().iter().cloned().collect();
+        let rebuilt = Committer::bootstrap_from_snapshot(
+            ChannelId::default(),
+            n.msp.clone(),
+            ChannelPolicies::new(policy.clone()),
+            Some(Arc::new(TestIndexer)),
+            &snapshot,
+            deltas,
+        )
+        .unwrap();
+
+        assert_eq!(rebuilt.height(), full.height());
+        assert_eq!(rebuilt.store().tip_hash(), full.store().tip_hash());
+        assert_eq!(rebuilt.store().base_height(), 4);
+        assert_eq!(rebuilt.state().state_hash(), full.state().state_hash());
+        assert_eq!(
+            rebuilt.history().total_entries(),
+            full.history().total_entries()
+        );
+        assert_eq!(rebuilt.graph().digest(), full.graph().digest());
+        assert!(rebuilt.graph_consistent());
+        // The duplicate stays a duplicate after bootstrap: `seen` came
+        // back with the snapshot.
+        let out = {
+            let mut r = rebuilt;
+            let b = Block::build(r.height(), r.store().tip_hash(), vec![dup.to_raw()]);
+            r.commit_block(b).unwrap()
+        };
+        assert_eq!(out.events[0].code, ValidationCode::DuplicateTxId);
+    }
+
+    #[test]
+    fn bootstrap_rejects_bad_snapshots() {
+        let n = net();
+        let policy = EndorsementPolicy::any_of([MspId::new("org1")]);
+        let mut c = committer(&n, policy.clone()).with_indexer(Arc::new(TestIndexer));
+        let env = envelope(&n, 1, write_set("rec~a", b""), &[0]);
+        c.commit_block(block_of(&c, vec![env])).unwrap();
+        let good = c.snapshot(4);
+
+        let boot = |snap: &Snapshot, channel: ChannelId| {
+            Committer::bootstrap_from_snapshot(
+                channel,
+                n.msp.clone(),
+                ChannelPolicies::new(policy.clone()),
+                Some(Arc::new(TestIndexer)),
+                snap,
+                std::iter::empty(),
+            )
+        };
+
+        // Tampered state entry.
+        let mut bad = good.clone();
+        bad.chunks[0].entries[0].value = b"evil".to_vec();
+        assert!(matches!(
+            boot(&bad, ChannelId::default()),
+            Err(BootstrapError::Snapshot(_))
+        ));
+        // Wrong channel.
+        assert!(matches!(
+            boot(&good, ChannelId::new("other")),
+            Err(BootstrapError::WrongChannel { .. })
+        ));
+        // Forged graph digest (state consistent, commitment wrong).
+        let mut forged = good.clone();
+        forged.manifest.graph_digest = Digest::of(b"forged");
+        assert!(matches!(
+            boot(&forged, ChannelId::default()),
+            Err(BootstrapError::GraphDigestMismatch)
+        ));
+        // A delta block that does not link.
+        let orphan = Block::build(9, Digest::of(b"nowhere"), vec![]);
+        assert!(matches!(
+            Committer::bootstrap_from_snapshot(
+                ChannelId::default(),
+                n.msp.clone(),
+                ChannelPolicies::new(policy.clone()),
+                Some(Arc::new(TestIndexer)),
+                &good,
+                vec![orphan],
+            ),
+            Err(BootstrapError::Chain(_))
+        ));
+        for e in [
+            BootstrapError::Snapshot(SnapshotError::ZeroHeight),
+            BootstrapError::WrongChannel {
+                got: "a".into(),
+                expected: "b".into(),
+            },
+            BootstrapError::GraphDigestMismatch,
+            BootstrapError::Chain(ChainError::BrokenLink { at: 1 }),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn bootstrap_error_eq_derives() {
+        // PartialEq on BootstrapError is exercised via From impls too.
+        assert_eq!(
+            BootstrapError::from(SnapshotError::RootMismatch),
+            BootstrapError::Snapshot(SnapshotError::RootMismatch)
+        );
+        assert_eq!(
+            BootstrapError::from(ChainError::BrokenLink { at: 2 }),
+            BootstrapError::Chain(ChainError::BrokenLink { at: 2 })
+        );
     }
 
     #[test]

@@ -117,6 +117,28 @@ impl CostModel {
     pub fn client_proposal_cost(&self, proposal_bytes: u64) -> SimDuration {
         self.sign + self.hash_cost(proposal_bytes)
     }
+
+    /// Committing peer's cost to cut a state snapshot: serialize and hash
+    /// every entry (a warm in-memory copy per entry plus the Merkle/chunk
+    /// digests over the serialized bytes).
+    pub fn snapshot_capture_cost(&self, entries: u64, bytes: u64) -> SimDuration {
+        self.block_base
+            + self.cache_hit_op * entries
+            + self.hash_cost(bytes)
+            + self.per_io_byte * bytes
+    }
+
+    /// Restarting peer's cost to restore a snapshot: re-verify the part
+    /// digests and rebuild the state/history/graph indexes entry by entry.
+    pub fn snapshot_restore_cost(&self, entries: u64, bytes: u64) -> SimDuration {
+        self.block_base + self.state_op * entries + self.hash_cost(bytes)
+    }
+
+    /// Cost to serve or ingest one snapshot part on the wire (I/O plus the
+    /// transfer digest check).
+    pub fn snapshot_transfer_cost(&self, bytes: u64) -> SimDuration {
+        self.per_io_byte * bytes + self.hash_cost(bytes)
+    }
 }
 
 #[cfg(test)]
@@ -198,6 +220,36 @@ mod tests {
         }
         // A cache hit is strictly cheaper than a cryptographic check.
         assert!(m.vscc_cost(0, 1) < m.vscc_cost(1, 0));
+    }
+
+    #[test]
+    fn snapshot_costs_scale_with_state_not_chain() {
+        let m = model();
+        // Capture and restore grow with the state size...
+        assert!(
+            m.snapshot_capture_cost(1000, 1 << 20) > m.snapshot_capture_cost(10, 1 << 10),
+            "capture must scale with entries and bytes"
+        );
+        assert!(
+            m.snapshot_restore_cost(1000, 1 << 20) > m.snapshot_restore_cost(10, 1 << 10),
+            "restore must scale with entries and bytes"
+        );
+        // ...but carry a fixed floor even for an empty state.
+        assert!(m.snapshot_capture_cost(0, 0) >= m.block_base);
+        assert!(m.snapshot_restore_cost(0, 0) >= m.block_base);
+        // Restoring re-applies entries at full state-op cost, so it is
+        // dearer per entry than the warm-copy capture.
+        let delta = 10_000u64;
+        assert!(
+            m.snapshot_restore_cost(delta, 0) > m.snapshot_capture_cost(delta, 0) - m.block_base,
+            "restore per-entry work must dominate capture's warm copies"
+        );
+        // Wire transfer is linear in bytes and free for an empty part.
+        assert_eq!(m.snapshot_transfer_cost(0), SimDuration::ZERO);
+        assert_eq!(
+            m.snapshot_transfer_cost(4096).as_nanos(),
+            4 * m.snapshot_transfer_cost(1024).as_nanos()
+        );
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub use caches::{ReadCache, SigVerifyCache};
 pub use chaincode::{
     Chaincode, ChaincodeError, ChaincodeRegistry, ChaincodeStub, StubStats, COMPOSITE_SEP,
 };
-pub use committer::{ChannelPolicies, CommitOutcome, Committer, VsccVerdict};
+pub use committer::{BootstrapError, ChannelPolicies, CommitOutcome, Committer, VsccVerdict};
 pub use costs::CostModel;
 pub use endorser::endorse;
 pub use gateway::{Gateway, GatewayError, GatewayEvent, GATEWAY_TOKEN_BIT};
@@ -45,8 +45,8 @@ pub use messages::{
     Envelope, Proposal, ProposalResponse, SignedProposal,
 };
 pub use nodes::{
-    Carries, CommitPipeline, FabricMsg, PeerActor, RaftOrdererActor, SoloOrdererActor, BUSY_REASON,
-    RAFT_TICK_TOKEN,
+    Carries, CommitPipeline, FabricMsg, PeerActor, RaftOrdererActor, SnapshotPolicy,
+    SoloOrdererActor, BUSY_REASON, RAFT_TICK_TOKEN,
 };
 pub use orderer::{BatchConfig, BlockAssembler, BlockCutter, CutterOutput};
 pub use policy::EndorsementPolicy;

@@ -20,7 +20,10 @@ use std::collections::BTreeMap;
 use std::rc::Rc;
 use std::sync::Arc;
 
-use hyperprov_ledger::{Block, ChannelId, RawEnvelope, RwSet, TxId};
+use hyperprov_ledger::{
+    Block, ChannelId, Encode, RawEnvelope, RwSet, Snapshot, SnapshotManifest, SnapshotPart, TxId,
+    DEFAULT_CHUNK_ENTRIES,
+};
 use hyperprov_sim::{
     Actor, ActorId, Admission, Context, Event, QueueConfig, ServiceHarness, SimDuration, SpanClose,
     TimerId,
@@ -67,6 +70,57 @@ pub enum FabricMsg {
     Commit(CommitEvent),
     /// Orderer ↔ orderer consensus traffic.
     Raft(Box<RaftMsg<Vec<RawEnvelope>>>),
+    /// Catch-up peer → provider peer: the snapshot catch-up protocol's
+    /// opening message, asking for the latest snapshot's manifest.
+    SnapshotRequest {
+        /// Channel to catch up on.
+        channel: ChannelId,
+    },
+    /// Provider peer → catch-up peer: the latest snapshot's manifest, or
+    /// `None` when the provider holds no snapshot (the requester then
+    /// tries its next provider or falls back to block re-delivery).
+    SnapshotOffer {
+        /// Channel the manifest describes.
+        channel: ChannelId,
+        /// The offered snapshot's manifest, if any.
+        manifest: Option<Box<SnapshotManifest>>,
+    },
+    /// Catch-up peer → provider peer: fetch one part (a state chunk or
+    /// the history/seen tail) of the offered snapshot.
+    SnapshotPartRequest {
+        /// Channel being caught up.
+        channel: ChannelId,
+        /// Height of the snapshot the part belongs to.
+        height: u64,
+        /// Part index within the snapshot's manifest.
+        index: u32,
+    },
+    /// Provider peer → catch-up peer: one snapshot part, or `None` when
+    /// the provider no longer holds a snapshot at that height.
+    SnapshotPartData {
+        /// Channel being caught up.
+        channel: ChannelId,
+        /// Height of the snapshot the part belongs to.
+        height: u64,
+        /// Part index within the snapshot's manifest.
+        index: u32,
+        /// The part's payload (shared, not cloned, on fan-out).
+        part: Option<Arc<SnapshotPart>>,
+    },
+    /// Deployment → peer: start catching up on a hosted channel (the
+    /// elastic-membership join hook for freshly added peers).
+    JoinChannel {
+        /// Channel to join.
+        channel: ChannelId,
+    },
+    /// Deployment or peer → orderer: add `peer` to the channel's block
+    /// delivery fan-out (elastic membership).
+    DeliverSubscribe {
+        /// Channel whose delivery list grows.
+        channel: ChannelId,
+        /// The peer to start delivering blocks to.
+        peer: ActorId,
+    },
 }
 
 impl FabricMsg {
@@ -79,6 +133,16 @@ impl FabricMsg {
             FabricMsg::DeliverBlock(_, b) => b.wire_size(),
             FabricMsg::DeliverRequest { .. } => 64,
             FabricMsg::Commit(_) => 128,
+            FabricMsg::SnapshotRequest { .. } => 64,
+            FabricMsg::SnapshotOffer { manifest, .. } => {
+                64 + manifest.as_ref().map_or(0, |m| m.to_bytes().len() as u64)
+            }
+            FabricMsg::SnapshotPartRequest { .. } => 64,
+            FabricMsg::SnapshotPartData { part, .. } => {
+                64 + part.as_ref().map_or(0, |p| p.wire_size() as u64)
+            }
+            FabricMsg::JoinChannel { .. } => 64,
+            FabricMsg::DeliverSubscribe { .. } => 64,
             FabricMsg::Raft(m) => match m.as_ref() {
                 RaftMsg::AppendEntries { entries, .. } => {
                     128 + entries
@@ -143,8 +207,93 @@ impl CommitPipeline {
     }
 }
 
+/// Peer-side snapshot policy: cut a Merkle-rooted state snapshot every
+/// `interval` blocks, optionally pruning the block store behind it.
+/// Snapshots are off unless a policy is installed with
+/// [`PeerActor::with_snapshots`], keeping default deployments byte for
+/// byte identical to the pre-snapshot behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotPolicy {
+    /// Cut a snapshot once the chain has grown this many blocks past the
+    /// previous one.
+    pub interval: u64,
+    /// State entries per transfer chunk (the unit of the catch-up
+    /// protocol's part fetches).
+    pub chunk_entries: usize,
+    /// Prune the block store behind each new snapshot's height.
+    pub prune: bool,
+}
+
+impl Default for SnapshotPolicy {
+    fn default() -> Self {
+        SnapshotPolicy {
+            interval: 64,
+            chunk_entries: DEFAULT_CHUNK_ENTRIES,
+            prune: true,
+        }
+    }
+}
+
+impl SnapshotPolicy {
+    /// A policy cutting snapshots every `interval` blocks with default
+    /// chunking and pruning enabled.
+    pub fn every(interval: u64) -> Self {
+        SnapshotPolicy {
+            interval: interval.max(1),
+            ..SnapshotPolicy::default()
+        }
+    }
+}
+
+/// Progress of an outstanding snapshot fetch (volatile; lost on crash).
+enum FetchState {
+    /// No fetch in progress.
+    Idle,
+    /// Waiting for a manifest from the provider at this ladder index.
+    AwaitOffer { provider: usize },
+    /// Downloading the parts of `manifest` from the provider at this
+    /// ladder index.
+    Parts {
+        provider: usize,
+        manifest: Box<SnapshotManifest>,
+        parts: Vec<Option<SnapshotPart>>,
+    },
+}
+
+/// First retry-timer token used by peers for catch-up retries (one token
+/// per hosted channel: base + channel insertion index). Disjoint from the
+/// harness's token space, which always sets its high token bit.
+const CATCHUP_TIMER_BASE: u64 = 8;
+/// Initial catch-up retry backoff in nanoseconds (200 ms; doubles per
+/// attempt, capped at 32×).
+const CATCHUP_RETRY_BASE_NS: u64 = 200_000_000;
+/// Resends at the same height before a stalled block catch-up escalates
+/// to a snapshot fetch (when providers are configured).
+const CATCHUP_ESCALATE_AFTER: u32 = 3;
+/// Retries without progress before a goal-only catch-up (nothing was
+/// actually missed) stops re-requesting; gap-driven catch-up never gives
+/// up, since a buffered future block proves progress is needed.
+const CATCHUP_GIVE_UP: u32 = 8;
+/// Cap on blocks served per peer-side deliver request.
+const MAX_DELIVER_BLOCKS: u64 = 512;
+
+/// Deterministic decorrelated backoff: exponential in `attempts` with up
+/// to +50% jitter hashed from the peer's salt and the attempt number. The
+/// peer's `ctx.rng()` stream deliberately stays untouched — the kernel
+/// also draws this peer's network-jitter from it, so consuming it here
+/// would perturb the timing of unrelated sends and break fixture
+/// reproducibility; a hash gives the same per-peer decorrelation.
+fn retry_delay(salt: u64, attempts: u32) -> SimDuration {
+    let base = CATCHUP_RETRY_BASE_NS << attempts.min(5);
+    let mut h = salt ^ (u64::from(attempts) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h ^= h >> 31;
+    SimDuration::from_nanos(base + h % (base / 2 + 1))
+}
+
 /// A peer's per-channel commit pipeline: the channel's committer plus the
-/// volatile delivery bookkeeping (out-of-order buffer, catch-up marker).
+/// volatile delivery bookkeeping (out-of-order buffer, catch-up marker,
+/// snapshot fetch progress) and the durable latest snapshot.
 struct PeerChannel {
     committer: Rc<RefCell<Committer>>,
     /// Blocks that arrived ahead of the next expected height.
@@ -156,16 +305,40 @@ struct PeerChannel {
     catchup_target: Option<ActorId>,
     /// Hot-state read cache for endorsement, when the pipeline enables it.
     read_cache: Option<ReadCache>,
+    /// Latest cut or fetched snapshot. Models durable checkpoint storage,
+    /// so — like the block store — it survives crashes.
+    latest_snapshot: Option<Arc<Snapshot>>,
+    /// Peers that can serve snapshots and block re-delivery on this
+    /// channel (the catch-up protocol's provider ladder).
+    snapshot_providers: Vec<ActorId>,
+    /// Outstanding snapshot fetch (volatile).
+    fetch: FetchState,
+    /// Pending catch-up retry timer (volatile).
+    retry_timer: Option<TimerId>,
+    /// Consecutive retries without progress; drives the backoff.
+    retry_attempts: u32,
+    /// Height recorded when a restart/join catch-up request went out;
+    /// progress past it counts as success and disarms the retry timer.
+    retry_goal: Option<u64>,
+    /// This channel's retry-timer token.
+    timer_token: u64,
 }
 
 impl PeerChannel {
-    fn new(committer: Rc<RefCell<Committer>>) -> Self {
+    fn new(committer: Rc<RefCell<Committer>>, timer_token: u64) -> Self {
         PeerChannel {
             committer,
             block_buffer: BTreeMap::new(),
             catchup_from: None,
             catchup_target: None,
             read_cache: None,
+            latest_snapshot: None,
+            snapshot_providers: Vec::new(),
+            fetch: FetchState::Idle,
+            retry_timer: None,
+            retry_attempts: 0,
+            retry_goal: None,
+            timer_token,
         }
     }
 }
@@ -186,6 +359,25 @@ pub struct PeerActor<M> {
     pipeline: CommitPipeline,
     /// Signature-verification memo, shared across this peer's channels.
     sig_cache: Option<SigVerifyCache>,
+    /// Snapshot policy; `None` (the default) disables snapshots, pruning
+    /// and snapshot-based recovery entirely.
+    snapshots: Option<SnapshotPolicy>,
+    /// Emit per-restart recovery gauges (off by default so existing
+    /// metric exports stay unchanged).
+    recovery_metrics: bool,
+    /// Per-peer jitter salt for the catch-up retry backoff, derived from
+    /// the metric prefix (stable across restarts).
+    retry_salt: u64,
+}
+
+/// FNV-1a over the metric prefix: a stable, deterministic per-peer salt.
+fn salt_of(prefix: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in prefix.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
 }
 
 impl<M: Carries<FabricMsg>> PeerActor<M> {
@@ -201,7 +393,8 @@ impl<M: Carries<FabricMsg>> PeerActor<M> {
         let metric_prefix = metric_prefix.into();
         let channel = committer.borrow().channel().clone();
         let mut channels = BTreeMap::new();
-        channels.insert(channel, PeerChannel::new(committer));
+        channels.insert(channel, PeerChannel::new(committer, CATCHUP_TIMER_BASE));
+        let retry_salt = salt_of(&metric_prefix);
         PeerActor {
             identity,
             registry,
@@ -212,6 +405,9 @@ impl<M: Carries<FabricMsg>> PeerActor<M> {
             metric_prefix,
             pipeline: CommitPipeline::default(),
             sig_cache: None,
+            snapshots: None,
+            recovery_metrics: false,
+            retry_salt,
         }
     }
 
@@ -219,10 +415,40 @@ impl<M: Carries<FabricMsg>> PeerActor<M> {
     /// channel), with an optional catch-up target for crash recovery.
     pub fn add_channel(&mut self, committer: Rc<RefCell<Committer>>, catchup: Option<ActorId>) {
         let channel = committer.borrow().channel().clone();
-        let mut state = PeerChannel::new(committer);
+        let token = CATCHUP_TIMER_BASE + self.channels.len() as u64;
+        let mut state = PeerChannel::new(committer, token);
         state.catchup_target = catchup;
         state.read_cache = self.pipeline.read_cache.then(ReadCache::new);
         self.channels.insert(channel, state);
+    }
+
+    /// Installs a snapshot policy: cut a Merkle-rooted snapshot every
+    /// `policy.interval` blocks on every hosted channel, prune the block
+    /// store behind it (when enabled), and recover from the latest
+    /// snapshot plus a delta replay — instead of a full genesis replay —
+    /// after a crash.
+    #[must_use]
+    pub fn with_snapshots(mut self, policy: SnapshotPolicy) -> Self {
+        self.snapshots = Some(policy);
+        self
+    }
+
+    /// Emits per-restart recovery gauges (`<prefix>.recovery.*`) so
+    /// benchmarks can measure recovery cost; off by default to keep the
+    /// default metric exports unchanged.
+    #[must_use]
+    pub fn with_recovery_metrics(mut self) -> Self {
+        self.recovery_metrics = true;
+        self
+    }
+
+    /// Registers the peers that can serve snapshots and block re-delivery
+    /// for `channel` — the catch-up protocol's provider ladder, tried in
+    /// order.
+    pub fn set_snapshot_providers(&mut self, channel: &ChannelId, providers: Vec<ActorId>) {
+        if let Some(state) = self.channels.get_mut(channel) {
+            state.snapshot_providers = providers;
+        }
     }
 
     /// Configures the commit-path acceleration (VSCC lanes + caches) for
@@ -405,35 +631,730 @@ impl<M: Carries<FabricMsg>> PeerActor<M> {
             .block_buffer
             .insert(block.header.number, block);
         // Commit every consecutive block now available.
-        loop {
-            let state = self.channels.get_mut(&channel).expect("checked above");
-            let height = state.committer.borrow().height();
-            match state.block_buffer.remove(&height) {
-                Some(block) => self.commit_one(ctx, &channel, block),
-                None => break,
-            }
+        let committed = self.drain_ready(ctx, &channel);
+        if committed > 0 {
+            self.maybe_cut_snapshot(ctx, &channel);
         }
         // Gap detected (a future block is buffered but the next expected
         // one is missing): ask the sender to re-deliver — Fabric's deliver
         // service, which is how a peer catches up after a partition heals.
-        let state = self.channels.get_mut(&channel).expect("checked above");
+        let mut request = None;
+        let mut arm = false;
+        let mut disarm = false;
+        {
+            let state = self.channels.get_mut(&channel).expect("checked above");
+            let height = state.committer.borrow().height();
+            if state.retry_goal.is_some_and(|goal| height > goal) {
+                state.retry_goal = None;
+            }
+            if !state.block_buffer.is_empty() {
+                if state.catchup_from != Some(height) {
+                    state.catchup_from = Some(height);
+                    request = Some(FabricMsg::DeliverRequest {
+                        channel: channel.clone(),
+                        from: height,
+                    });
+                    // Arm a retry: the request itself can be lost (the
+                    // repeat guard above would then stall catch-up until
+                    // the next unrelated delivery).
+                    arm = true;
+                }
+            } else {
+                state.catchup_from = None;
+                if matches!(state.fetch, FetchState::Idle) && state.retry_goal.is_none() {
+                    disarm = true;
+                }
+            }
+        }
+        if let Some(msg) = request {
+            ctx.metrics().incr(
+                &channel.metric_name(&self.metric_prefix, "catchup_requests"),
+                1,
+            );
+            let bytes = msg.wire_size();
+            ctx.send(src, bytes, M::wrap(msg));
+        }
+        if arm {
+            self.arm_retry(ctx, &channel);
+        }
+        if disarm {
+            self.disarm_retry(ctx, &channel);
+        }
+    }
+
+    /// Commits every consecutive buffered block; returns how many were
+    /// committed.
+    fn drain_ready(&mut self, ctx: &mut Context<'_, M>, channel: &ChannelId) -> u64 {
+        let mut committed = 0;
+        while let Some(state) = self.channels.get_mut(channel) {
+            let height = state.committer.borrow().height();
+            match state.block_buffer.remove(&height) {
+                Some(block) => {
+                    self.commit_one(ctx, channel, block);
+                    committed += 1;
+                }
+                None => break,
+            }
+        }
+        committed
+    }
+
+    /// Cuts a snapshot once the chain has grown `interval` blocks past the
+    /// previous one (a no-op without a policy, so default deployments stay
+    /// untouched). The capture cost is charged to the virtual CPU in
+    /// proportion to the state size; pruning then drops the block store
+    /// behind the new snapshot's height, bounding disk growth.
+    fn maybe_cut_snapshot(&mut self, ctx: &mut Context<'_, M>, channel: &ChannelId) {
+        let Some(policy) = self.snapshots else {
+            return;
+        };
+        let Some(state) = self.channels.get_mut(channel) else {
+            return;
+        };
         let height = state.committer.borrow().height();
-        if !state.block_buffer.is_empty() {
-            if state.catchup_from != Some(height) {
-                state.catchup_from = Some(height);
+        let last = state
+            .latest_snapshot
+            .as_ref()
+            .map_or(0, |s| s.manifest.height);
+        if height < last.saturating_add(policy.interval.max(1)) {
+            return;
+        }
+        let snapshot = state.committer.borrow().snapshot(policy.chunk_entries);
+        let cost = self
+            .costs
+            .snapshot_capture_cost(snapshot.entry_count() as u64, snapshot.state_bytes());
+        state.latest_snapshot = Some(Arc::new(snapshot));
+        let pruned = if policy.prune {
+            state.committer.borrow_mut().prune_store_to(height)
+        } else {
+            0
+        };
+        ctx.metrics().incr(
+            &channel.metric_name(&self.metric_prefix, "snapshots.cut"),
+            1,
+        );
+        ctx.metrics().set_gauge(
+            &channel.metric_name(&self.metric_prefix, "snapshots.height"),
+            height as f64,
+        );
+        if pruned > 0 {
+            ctx.metrics().incr(
+                &channel.metric_name(&self.metric_prefix, "snapshots.pruned_blocks"),
+                pruned,
+            );
+        }
+        self.harness.charge(ctx, cost);
+    }
+
+    /// (Re-)arms this channel's catch-up retry timer with exponential
+    /// backoff (see [`retry_delay`]).
+    fn arm_retry(&mut self, ctx: &mut Context<'_, M>, channel: &ChannelId) {
+        let salt = self.retry_salt;
+        let Some(state) = self.channels.get_mut(channel) else {
+            return;
+        };
+        if let Some(timer) = state.retry_timer.take() {
+            ctx.cancel_timer(timer);
+        }
+        let delay = retry_delay(salt, state.retry_attempts);
+        state.retry_timer = Some(ctx.set_timer(delay, state.timer_token));
+    }
+
+    /// Cancels this channel's retry timer and clears the retry state.
+    fn disarm_retry(&mut self, ctx: &mut Context<'_, M>, channel: &ChannelId) {
+        let Some(state) = self.channels.get_mut(channel) else {
+            return;
+        };
+        if let Some(timer) = state.retry_timer.take() {
+            ctx.cancel_timer(timer);
+        }
+        state.retry_attempts = 0;
+        state.retry_goal = None;
+    }
+
+    /// Handles an unclaimed timer token: one of the per-channel catch-up
+    /// retry timers. Re-drives whatever is outstanding (block re-delivery
+    /// or a snapshot fetch) with exponential backoff, escalating a stalled
+    /// block catch-up to a snapshot fetch once providers are configured.
+    /// This closes the liveness hole where a lost `DeliverRequest` left
+    /// the repeat guard set forever.
+    fn on_retry_timer(&mut self, ctx: &mut Context<'_, M>, token: u64) {
+        let Some(channel) = self
+            .channels
+            .iter()
+            .find(|(_, s)| s.timer_token == token)
+            .map(|(c, _)| c.clone())
+        else {
+            return;
+        };
+        let (attempts, fetch_active) = {
+            let state = self.channels.get_mut(&channel).expect("found above");
+            state.retry_timer = None;
+            let height = state.committer.borrow().height();
+            let fetch_active = !matches!(state.fetch, FetchState::Idle);
+            let goal_stuck = state.retry_goal.is_some_and(|goal| height <= goal);
+            if !fetch_active && state.catchup_from.is_none() && !goal_stuck {
+                // Progress happened since the timer was armed: done.
+                state.retry_attempts = 0;
+                state.retry_goal = None;
+                return;
+            }
+            if !fetch_active
+                && state.block_buffer.is_empty()
+                && state.catchup_from.is_none()
+                && state.retry_attempts >= CATCHUP_GIVE_UP
+            {
+                // Goal-only catch-up (nothing demonstrably missing) has
+                // been retried enough: stop; a real gap re-arms it.
+                state.retry_attempts = 0;
+                state.retry_goal = None;
+                return;
+            }
+            state.retry_attempts += 1;
+            (state.retry_attempts, fetch_active)
+        };
+        ctx.metrics().incr(
+            &channel.metric_name(&self.metric_prefix, "catchup_retries"),
+            1,
+        );
+        if fetch_active {
+            self.retry_fetch(ctx, &channel);
+            return;
+        }
+        let escalate = {
+            let state = self.channels.get(&channel).expect("found above");
+            attempts > CATCHUP_ESCALATE_AFTER && !state.snapshot_providers.is_empty()
+        };
+        if escalate {
+            self.begin_fetch(ctx, &channel, 0);
+            return;
+        }
+        // Resend the deliver request to the catch-up target.
+        let request = {
+            let state = self.channels.get_mut(&channel).expect("found above");
+            let height = state.committer.borrow().height();
+            state.catchup_from = Some(height);
+            if state.retry_goal.is_some() {
+                state.retry_goal = Some(height);
+            }
+            state.catchup_target.map(|target| {
+                (
+                    target,
+                    FabricMsg::DeliverRequest {
+                        channel: channel.clone(),
+                        from: height,
+                    },
+                )
+            })
+        };
+        match request {
+            Some((target, msg)) => {
+                let bytes = msg.wire_size();
+                ctx.send(target, bytes, M::wrap(msg));
+                self.arm_retry(ctx, &channel);
+            }
+            // No target to retry against: stop; the next live delivery
+            // will re-detect the gap and re-request from its sender.
+            None => self.disarm_retry(ctx, &channel),
+        }
+    }
+
+    /// Starts (or restarts) the snapshot catch-up protocol against the
+    /// provider at ladder index `provider_idx`; past the end of the
+    /// ladder, falls back to plain block re-delivery from the catch-up
+    /// target.
+    fn begin_fetch(&mut self, ctx: &mut Context<'_, M>, channel: &ChannelId, provider_idx: usize) {
+        let step = {
+            let Some(state) = self.channels.get_mut(channel) else {
+                return;
+            };
+            match state.snapshot_providers.get(provider_idx).copied() {
+                Some(provider) => {
+                    state.fetch = FetchState::AwaitOffer {
+                        provider: provider_idx,
+                    };
+                    Ok(provider)
+                }
+                None => {
+                    state.fetch = FetchState::Idle;
+                    let height = state.committer.borrow().height();
+                    state.catchup_from = Some(height);
+                    Err(state.catchup_target.map(|t| (t, height)))
+                }
+            }
+        };
+        match step {
+            Ok(provider) => {
                 ctx.metrics().incr(
-                    &channel.metric_name(&self.metric_prefix, "catchup_requests"),
+                    &channel.metric_name(&self.metric_prefix, "snapshot_fetches"),
                     1,
                 );
-                let msg = FabricMsg::DeliverRequest {
+                let msg = FabricMsg::SnapshotRequest {
                     channel: channel.clone(),
-                    from: height,
+                };
+                let bytes = msg.wire_size();
+                ctx.send(provider, bytes, M::wrap(msg));
+            }
+            Err(fallback) => {
+                // Ladder exhausted: fall back to block re-delivery (at
+                // worst a replay from the orderer's retained tail).
+                ctx.metrics().incr(
+                    &channel.metric_name(&self.metric_prefix, "catchup_fallbacks"),
+                    1,
+                );
+                if let Some((target, height)) = fallback {
+                    let msg = FabricMsg::DeliverRequest {
+                        channel: channel.clone(),
+                        from: height,
+                    };
+                    let bytes = msg.wire_size();
+                    ctx.send(target, bytes, M::wrap(msg));
+                }
+            }
+        }
+        self.arm_retry(ctx, channel);
+    }
+
+    /// Re-drives a stalled snapshot fetch: an unanswered manifest request
+    /// (or a part download stalled for too long) moves to the next
+    /// provider; an ordinary part stall re-requests the first missing part
+    /// from the same provider.
+    fn retry_fetch(&mut self, ctx: &mut Context<'_, M>, channel: &ChannelId) {
+        enum Step {
+            Nothing,
+            Advance(usize),
+            Request(ActorId, u64, u32),
+        }
+        let step = {
+            let Some(state) = self.channels.get_mut(channel) else {
+                return;
+            };
+            let attempts = state.retry_attempts;
+            match &state.fetch {
+                FetchState::Idle => Step::Nothing,
+                FetchState::AwaitOffer { provider } => Step::Advance(provider + 1),
+                FetchState::Parts {
+                    provider,
+                    manifest,
+                    parts,
+                } => {
+                    let next_missing = parts.iter().position(Option::is_none);
+                    let provider_id = state.snapshot_providers.get(*provider).copied();
+                    match (provider_id, next_missing) {
+                        _ if attempts > 2 * CATCHUP_ESCALATE_AFTER => Step::Advance(provider + 1),
+                        (Some(id), Some(index)) => Step::Request(id, manifest.height, index as u32),
+                        _ => Step::Advance(provider + 1),
+                    }
+                }
+            }
+        };
+        match step {
+            Step::Nothing => {}
+            Step::Advance(next) => self.begin_fetch(ctx, channel, next),
+            Step::Request(provider, height, index) => {
+                let msg = FabricMsg::SnapshotPartRequest {
+                    channel: channel.clone(),
+                    height,
+                    index,
+                };
+                let bytes = msg.wire_size();
+                ctx.send(provider, bytes, M::wrap(msg));
+                self.arm_retry(ctx, channel);
+            }
+        }
+    }
+
+    /// Serves the catch-up protocol's opening request: reply with the
+    /// latest snapshot's manifest, or `None` (sending the requester to its
+    /// next provider).
+    fn on_snapshot_request(&mut self, ctx: &mut Context<'_, M>, src: ActorId, channel: ChannelId) {
+        let manifest = self
+            .channels
+            .get(&channel)
+            .and_then(|s| s.latest_snapshot.as_ref())
+            .map(|s| Box::new(s.manifest.clone()));
+        ctx.metrics().incr(
+            &channel.metric_name(&self.metric_prefix, "snapshot_requests"),
+            1,
+        );
+        let msg = FabricMsg::SnapshotOffer { channel, manifest };
+        let bytes = msg.wire_size();
+        let cost = self.costs.cache_hit_op;
+        self.harness
+            .defer(ctx, cost, vec![(src, bytes, M::wrap(msg))], vec![]);
+    }
+
+    /// Handles a provider's manifest offer. Only a snapshot strictly ahead
+    /// of the local chain helps; anything else advances the ladder, since
+    /// block re-delivery is then the cheaper path.
+    fn on_snapshot_offer(
+        &mut self,
+        ctx: &mut Context<'_, M>,
+        src: ActorId,
+        channel: ChannelId,
+        manifest: Option<Box<SnapshotManifest>>,
+    ) {
+        let accepted = {
+            let Some(state) = self.channels.get_mut(&channel) else {
+                return;
+            };
+            let FetchState::AwaitOffer { provider } = &state.fetch else {
+                return; // stale or duplicate offer
+            };
+            let provider = *provider;
+            let height = state.committer.borrow().height();
+            match manifest {
+                Some(m) if m.height > height => {
+                    let parts = vec![None; m.part_count()];
+                    let snap_height = m.height;
+                    state.fetch = FetchState::Parts {
+                        provider,
+                        manifest: m,
+                        parts,
+                    };
+                    state.retry_attempts = 0;
+                    Ok(snap_height)
+                }
+                _ => Err(provider + 1),
+            }
+        };
+        match accepted {
+            Ok(height) => {
+                let msg = FabricMsg::SnapshotPartRequest {
+                    channel: channel.clone(),
+                    height,
+                    index: 0,
                 };
                 let bytes = msg.wire_size();
                 ctx.send(src, bytes, M::wrap(msg));
+                self.arm_retry(ctx, &channel);
             }
-        } else {
-            state.catchup_from = None;
+            Err(next) => self.begin_fetch(ctx, &channel, next),
+        }
+    }
+
+    /// Serves one snapshot part (state chunk or tail), charging transfer
+    /// I/O; replies `None` when the requested snapshot is gone
+    /// (superseded by a newer one), which advances the requester's ladder.
+    fn on_part_request(
+        &mut self,
+        ctx: &mut Context<'_, M>,
+        src: ActorId,
+        channel: ChannelId,
+        height: u64,
+        index: u32,
+    ) {
+        let part = self
+            .channels
+            .get(&channel)
+            .and_then(|s| s.latest_snapshot.as_ref())
+            .filter(|s| s.manifest.height == height)
+            .and_then(|s| s.part(index as usize))
+            .map(Arc::new);
+        let cost = part.as_ref().map_or(self.costs.cache_hit_op, |p| {
+            self.costs.snapshot_transfer_cost(p.wire_size() as u64)
+        });
+        let msg = FabricMsg::SnapshotPartData {
+            channel,
+            height,
+            index,
+            part,
+        };
+        let bytes = msg.wire_size();
+        self.harness
+            .defer(ctx, cost, vec![(src, bytes, M::wrap(msg))], vec![]);
+    }
+
+    /// Ingests one fetched snapshot part: verify its digest against the
+    /// manifest (corrupt transfers are re-requested), store it, and either
+    /// request the next missing part or assemble and boot the snapshot.
+    fn on_part_data(
+        &mut self,
+        ctx: &mut Context<'_, M>,
+        src: ActorId,
+        channel: ChannelId,
+        height: u64,
+        index: u32,
+        part: Option<Arc<SnapshotPart>>,
+    ) {
+        enum Step {
+            Ignore,
+            ProviderGone(usize),
+            Corrupt,
+            RequestNext(u32, u64),
+            Complete(u64),
+        }
+        let step = {
+            let Some(state) = self.channels.get_mut(&channel) else {
+                return;
+            };
+            let FetchState::Parts {
+                provider,
+                manifest,
+                parts,
+            } = &mut state.fetch
+            else {
+                return; // no fetch in progress (stale delivery)
+            };
+            if manifest.height != height {
+                Step::Ignore
+            } else {
+                match part {
+                    None => Step::ProviderGone(*provider + 1),
+                    Some(part) => {
+                        let idx = index as usize;
+                        if idx >= parts.len() {
+                            Step::Ignore
+                        } else if part.digest() != manifest.part_digests[idx] {
+                            Step::Corrupt
+                        } else {
+                            let bytes = part.wire_size() as u64;
+                            if parts[idx].is_none() {
+                                parts[idx] = Some(
+                                    Arc::try_unwrap(part)
+                                        .unwrap_or_else(|shared| (*shared).clone()),
+                                );
+                            }
+                            match parts.iter().position(Option::is_none) {
+                                Some(next) => Step::RequestNext(next as u32, bytes),
+                                None => Step::Complete(bytes),
+                            }
+                        }
+                    }
+                }
+            }
+        };
+        match step {
+            Step::Ignore => {}
+            Step::ProviderGone(next) => self.begin_fetch(ctx, &channel, next),
+            Step::Corrupt => {
+                // Transfer corruption: count it and re-request the part.
+                ctx.metrics().incr(
+                    &channel.metric_name(&self.metric_prefix, "snapshot_corrupt_parts"),
+                    1,
+                );
+                let msg = FabricMsg::SnapshotPartRequest {
+                    channel: channel.clone(),
+                    height,
+                    index,
+                };
+                let bytes = msg.wire_size();
+                ctx.send(src, bytes, M::wrap(msg));
+                self.arm_retry(ctx, &channel);
+            }
+            Step::RequestNext(next, bytes) => {
+                // Ingest cost: the digest check over the received bytes.
+                self.harness
+                    .charge(ctx, self.costs.snapshot_transfer_cost(bytes));
+                let msg = FabricMsg::SnapshotPartRequest {
+                    channel: channel.clone(),
+                    height,
+                    index: next,
+                };
+                let b = msg.wire_size();
+                ctx.send(src, b, M::wrap(msg));
+                self.arm_retry(ctx, &channel);
+            }
+            Step::Complete(bytes) => {
+                self.harness
+                    .charge(ctx, self.costs.snapshot_transfer_cost(bytes));
+                self.finish_fetch(ctx, &channel);
+            }
+        }
+    }
+
+    /// All parts received: assemble, verify and bootstrap the committer
+    /// from the fetched snapshot, then drain buffered live blocks and
+    /// request the remaining delta from the catch-up target.
+    fn finish_fetch(&mut self, ctx: &mut Context<'_, M>, channel: &ChannelId) {
+        let (manifest, parts, provider) = {
+            let Some(state) = self.channels.get_mut(channel) else {
+                return;
+            };
+            match std::mem::replace(&mut state.fetch, FetchState::Idle) {
+                FetchState::Parts {
+                    provider,
+                    manifest,
+                    parts,
+                } => (manifest, parts, provider),
+                other => {
+                    state.fetch = other;
+                    return;
+                }
+            }
+        };
+        let snapshot = match Snapshot::assemble(*manifest, parts) {
+            Ok(snapshot) => snapshot,
+            Err(_) => {
+                ctx.metrics().incr(
+                    &channel.metric_name(&self.metric_prefix, "snapshot_assemble_errors"),
+                    1,
+                );
+                self.begin_fetch(ctx, channel, provider + 1);
+                return;
+            }
+        };
+        let rebuilt = {
+            let Some(state) = self.channels.get(channel) else {
+                return;
+            };
+            state.committer.borrow().recover_from_snapshot(&snapshot)
+        };
+        match rebuilt {
+            Ok(rebuilt) => {
+                let cost = self
+                    .costs
+                    .snapshot_restore_cost(snapshot.entry_count() as u64, snapshot.state_bytes());
+                let snap_height = snapshot.manifest.height;
+                {
+                    let state = self.channels.get_mut(channel).expect("checked above");
+                    *state.committer.borrow_mut() = rebuilt;
+                    state.latest_snapshot = Some(Arc::new(snapshot));
+                    state.retry_attempts = 0;
+                }
+                ctx.metrics().incr(
+                    &channel.metric_name(&self.metric_prefix, "snapshot_boots"),
+                    1,
+                );
+                ctx.metrics().set_gauge(
+                    &channel.metric_name(&self.metric_prefix, "snapshots.height"),
+                    snap_height as f64,
+                );
+                self.harness.charge(ctx, cost);
+                // Blocks that arrived live during the fetch may now be
+                // directly above the snapshot: commit them.
+                let committed = self.drain_ready(ctx, channel);
+                if committed > 0 {
+                    self.maybe_cut_snapshot(ctx, channel);
+                }
+                // Ask the catch-up target for the remaining delta.
+                let request = {
+                    let state = self.channels.get_mut(channel).expect("checked above");
+                    let from = state.committer.borrow().height();
+                    state.catchup_from = Some(from);
+                    state.retry_goal = Some(from);
+                    state.catchup_target.map(|target| {
+                        (
+                            target,
+                            FabricMsg::DeliverRequest {
+                                channel: channel.clone(),
+                                from,
+                            },
+                        )
+                    })
+                };
+                if let Some((target, msg)) = request {
+                    ctx.metrics().incr(
+                        &channel.metric_name(&self.metric_prefix, "catchup_requests"),
+                        1,
+                    );
+                    let bytes = msg.wire_size();
+                    ctx.send(target, bytes, M::wrap(msg));
+                    self.arm_retry(ctx, channel);
+                } else {
+                    self.disarm_retry(ctx, channel);
+                }
+            }
+            Err(_) => {
+                ctx.metrics().incr(
+                    &channel.metric_name(&self.metric_prefix, "snapshot_boot_errors"),
+                    1,
+                );
+                self.begin_fetch(ctx, channel, provider + 1);
+            }
+        }
+    }
+
+    /// Elastic membership: the deployment tells this (freshly added) peer
+    /// to catch up on `channel` — via the snapshot protocol when a
+    /// provider ladder is configured, else via block re-delivery from the
+    /// catch-up target.
+    fn on_join(&mut self, ctx: &mut Context<'_, M>, channel: ChannelId) {
+        let Some(state) = self.channels.get(&channel) else {
+            return;
+        };
+        let use_fetch = !state.snapshot_providers.is_empty();
+        ctx.metrics()
+            .incr(&channel.metric_name(&self.metric_prefix, "joins"), 1);
+        if use_fetch {
+            self.begin_fetch(ctx, &channel, 0);
+            return;
+        }
+        let request = {
+            let state = self.channels.get_mut(&channel).expect("checked above");
+            let from = state.committer.borrow().height();
+            state.catchup_from = Some(from);
+            state.retry_goal = Some(from);
+            state.catchup_target.map(|target| {
+                (
+                    target,
+                    FabricMsg::DeliverRequest {
+                        channel: channel.clone(),
+                        from,
+                    },
+                )
+            })
+        };
+        if let Some((target, msg)) = request {
+            ctx.metrics().incr(
+                &channel.metric_name(&self.metric_prefix, "catchup_requests"),
+                1,
+            );
+            let bytes = msg.wire_size();
+            ctx.send(target, bytes, M::wrap(msg));
+        }
+        self.arm_retry(ctx, &channel);
+    }
+
+    /// Serves the deliver (re-delivery) service from this peer's own block
+    /// store, making peers usable as catch-up providers. Requests below
+    /// the pruned horizon cannot be served contiguously (the snapshot
+    /// protocol covers that range); requests at or above it ship up to
+    /// [`MAX_DELIVER_BLOCKS`] blocks.
+    fn on_deliver_request(
+        &mut self,
+        ctx: &mut Context<'_, M>,
+        src: ActorId,
+        channel: ChannelId,
+        from: u64,
+    ) {
+        let Some(state) = self.channels.get(&channel) else {
+            return;
+        };
+        ctx.metrics().incr(
+            &channel.metric_name(&self.metric_prefix, "deliver_requests"),
+            1,
+        );
+        let committer = state.committer.borrow();
+        let store = committer.store();
+        if from < store.base_height() {
+            drop(committer);
+            ctx.metrics().incr(
+                &channel.metric_name(&self.metric_prefix, "deliver_pruned"),
+                1,
+            );
+            return;
+        }
+        let to = store.height().min(from.saturating_add(MAX_DELIVER_BLOCKS));
+        let mut sends = Vec::new();
+        let mut cost = SimDuration::ZERO;
+        for number in from..to {
+            if let Some(block) = store.block(number) {
+                let bytes = block.wire_size();
+                cost += self.costs.snapshot_transfer_cost(bytes);
+                sends.push((
+                    src,
+                    bytes,
+                    M::wrap(FabricMsg::DeliverBlock(
+                        channel.clone(),
+                        Arc::new(block.clone()),
+                    )),
+                ));
+            }
+        }
+        drop(committer);
+        if !sends.is_empty() {
+            self.harness.defer(ctx, cost, sends, vec![]);
         }
     }
 
@@ -687,10 +1608,33 @@ impl<M: Carries<FabricMsg>> Actor<M> for PeerActor<M> {
                 Ok(FabricMsg::DeliverBlock(channel, block)) => {
                     self.on_block(ctx, src, channel, block)
                 }
+                Ok(FabricMsg::DeliverRequest { channel, from }) => {
+                    self.on_deliver_request(ctx, src, channel, from)
+                }
+                Ok(FabricMsg::SnapshotRequest { channel }) => {
+                    self.on_snapshot_request(ctx, src, channel)
+                }
+                Ok(FabricMsg::SnapshotOffer { channel, manifest }) => {
+                    self.on_snapshot_offer(ctx, src, channel, manifest)
+                }
+                Ok(FabricMsg::SnapshotPartRequest {
+                    channel,
+                    height,
+                    index,
+                }) => self.on_part_request(ctx, src, channel, height, index),
+                Ok(FabricMsg::SnapshotPartData {
+                    channel,
+                    height,
+                    index,
+                    part,
+                }) => self.on_part_data(ctx, src, channel, height, index, part),
+                Ok(FabricMsg::JoinChannel { channel }) => self.on_join(ctx, channel),
                 Ok(_) | Err(_) => {}
             },
             Event::Timer { token } => {
-                let _ = self.harness.on_timer(ctx, token);
+                if !self.harness.on_timer(ctx, token) {
+                    self.on_retry_timer(ctx, token);
+                }
             }
         }
     }
@@ -702,30 +1646,73 @@ impl<M: Carries<FabricMsg>> Actor<M> for PeerActor<M> {
         self.harness.reset();
         self.sig_cache = self.pipeline.sig_cache.then(SigVerifyCache::new);
         let mut replay_cost = SimDuration::ZERO;
+        let mut replayed_blocks = 0u64;
+        let mut snapshot_boots = 0u64;
         let mut catchups = Vec::new();
         let read_cache_enabled = self.pipeline.read_cache;
         for (channel, state) in &mut self.channels {
             state.block_buffer.clear();
             state.catchup_from = None;
             state.read_cache = read_cache_enabled.then(ReadCache::new);
-            // Rebuild world state by re-validating the durable block
-            // store; the replay keeps the virtual CPU busy, so requests
-            // arriving during recovery queue behind it.
-            let recovered = state.committer.borrow().recover();
-            match recovered {
-                Ok(rebuilt) => {
-                    replay_cost = rebuilt
-                        .store()
-                        .iter()
-                        .map(|b| self.costs.block_cost(b.wire_size()))
-                        .fold(replay_cost, |acc, c| acc + c);
-                    *state.committer.borrow_mut() = rebuilt;
+            // The crash also dropped every pending timer and any
+            // half-finished snapshot fetch.
+            state.fetch = FetchState::Idle;
+            state.retry_timer = None;
+            state.retry_attempts = 0;
+            state.retry_goal = None;
+            // Fast path: restore the latest durable snapshot and replay
+            // only the delta blocks above it — work independent of total
+            // chain length.
+            let mut recovered = false;
+            if let Some(snapshot) = state.latest_snapshot.clone() {
+                // Bind before matching: the scrutinee's shared borrow
+                // must end before the rebuilt ledger is swapped in.
+                let booted = state.committer.borrow().recover_from_snapshot(&snapshot);
+                match booted {
+                    Ok(rebuilt) => {
+                        replay_cost += self.costs.snapshot_restore_cost(
+                            snapshot.entry_count() as u64,
+                            snapshot.state_bytes(),
+                        );
+                        for block in rebuilt.store().iter() {
+                            replay_cost += self.costs.block_cost(block.wire_size());
+                            replayed_blocks += 1;
+                        }
+                        *state.committer.borrow_mut() = rebuilt;
+                        ctx.metrics().incr(
+                            &channel.metric_name(&self.metric_prefix, "snapshot_boots"),
+                            1,
+                        );
+                        snapshot_boots += 1;
+                        recovered = true;
+                    }
+                    Err(_) => {
+                        ctx.metrics().incr(
+                            &channel.metric_name(&self.metric_prefix, "snapshot_boot_errors"),
+                            1,
+                        );
+                    }
                 }
-                Err(_) => {
-                    ctx.metrics().incr(
-                        &channel.metric_name(&self.metric_prefix, "recover_errors"),
-                        1,
-                    );
+            }
+            if !recovered {
+                // Rebuild world state by re-validating the durable block
+                // store; the replay keeps the virtual CPU busy, so
+                // requests arriving during recovery queue behind it.
+                let genesis = state.committer.borrow().recover();
+                match genesis {
+                    Ok(rebuilt) => {
+                        for block in rebuilt.store().iter() {
+                            replay_cost += self.costs.block_cost(block.wire_size());
+                            replayed_blocks += 1;
+                        }
+                        *state.committer.borrow_mut() = rebuilt;
+                    }
+                    Err(_) => {
+                        ctx.metrics().incr(
+                            &channel.metric_name(&self.metric_prefix, "recover_errors"),
+                            1,
+                        );
+                    }
                 }
             }
             // Catch up on whatever the orderer cut while this peer was
@@ -736,6 +1723,7 @@ impl<M: Carries<FabricMsg>> Actor<M> for PeerActor<M> {
                     &channel.metric_name(&self.metric_prefix, "catchup_requests"),
                     1,
                 );
+                state.retry_goal = Some(from);
                 catchups.push((
                     target,
                     FabricMsg::DeliverRequest {
@@ -750,9 +1738,35 @@ impl<M: Carries<FabricMsg>> Actor<M> for PeerActor<M> {
         }
         ctx.metrics()
             .incr(&format!("{}.recoveries", self.metric_prefix), 1);
+        if self.recovery_metrics {
+            ctx.metrics().set_gauge(
+                &format!("{}.recovery.cost_ms", self.metric_prefix),
+                replay_cost.as_nanos() as f64 / 1e6,
+            );
+            ctx.metrics().set_gauge(
+                &format!("{}.recovery.replayed_blocks", self.metric_prefix),
+                replayed_blocks as f64,
+            );
+            ctx.metrics().set_gauge(
+                &format!("{}.recovery.snapshot_boots", self.metric_prefix),
+                snapshot_boots as f64,
+            );
+        }
         for (target, msg) in catchups {
             let bytes = msg.wire_size();
             ctx.send(target, bytes, M::wrap(msg));
+        }
+        // Arm the catch-up retry: the request just sent may itself be lost
+        // (e.g. restarting inside a partition), and without a timer the
+        // repeat guard would stall catch-up until an unrelated delivery.
+        let goals: Vec<ChannelId> = self
+            .channels
+            .iter()
+            .filter(|(_, s)| s.retry_goal.is_some())
+            .map(|(c, _)| c.clone())
+            .collect();
+        for channel in goals {
+            self.arm_retry(ctx, &channel);
         }
     }
 }
@@ -948,6 +1962,16 @@ impl<M: Carries<FabricMsg>> Actor<M> for SoloOrdererActor<M> {
                                 )),
                             );
                         }
+                    }
+                }
+                Ok(FabricMsg::DeliverSubscribe { channel, peer }) => {
+                    if channel != self.channel {
+                        return; // another channel's ordering service
+                    }
+                    if !self.peers.contains(&peer) {
+                        self.peers.push(peer);
+                        let name = self.metric("subscriptions");
+                        ctx.metrics().incr(&name, 1);
                     }
                 }
                 Ok(_) | Err(_) => {}
@@ -1223,6 +2247,16 @@ impl<M: Carries<FabricMsg> + 'static> Actor<M> for RaftOrdererActor<M> {
                 Ok(FabricMsg::Raft(raft_msg)) => {
                     let out = self.raft.step(*raft_msg);
                     self.ship(ctx, out);
+                }
+                Ok(FabricMsg::DeliverSubscribe { channel, peer }) => {
+                    if channel != self.channel {
+                        return; // another channel's ordering service
+                    }
+                    if !self.peers.contains(&peer) {
+                        self.peers.push(peer);
+                        let name = self.metric("subscriptions");
+                        ctx.metrics().incr(&name, 1);
+                    }
                 }
                 Ok(_) | Err(_) => {}
             },

@@ -68,6 +68,21 @@ impl HistoryDb {
         self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
     }
 
+    /// Iterates every `(key, entries)` pair in arbitrary order; callers
+    /// that need determinism (snapshot capture) must sort.
+    pub fn iter(&self) -> impl Iterator<Item = (&StateKey, &[HistoryEntry])> {
+        self.map.iter().map(|(k, v)| (k, v.as_slice()))
+    }
+
+    /// Restores one key's full history, replacing any existing entries —
+    /// used when rebuilding the index from a verified snapshot.
+    pub fn restore_key(&mut self, key: StateKey, entries: Vec<HistoryEntry>) {
+        self.total_entries += entries.len() as u64;
+        if let Some(old) = self.map.insert(key, entries) {
+            self.total_entries -= old.len() as u64;
+        }
+    }
+
     /// Number of keys with at least one history entry.
     pub fn key_count(&self) -> usize {
         self.map.len()

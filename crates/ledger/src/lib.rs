@@ -28,6 +28,7 @@ mod hash;
 mod history;
 mod merkle;
 mod provgraph;
+mod snapshot;
 mod statedb;
 mod tx;
 
@@ -39,5 +40,9 @@ pub use hash::{hmac_sha256, Digest, Sha256};
 pub use history::{HistoryDb, HistoryEntry};
 pub use merkle::{MerkleProof, MerkleTree};
 pub use provgraph::{Direction, GraphIndexer, GraphUpdate, ProvGraph, Traversal, TraversalLimits};
+pub use snapshot::{
+    HistoryRecord, Snapshot, SnapshotChunk, SnapshotEntry, SnapshotError, SnapshotManifest,
+    SnapshotPart, SnapshotTail, DEFAULT_CHUNK_ENTRIES,
+};
 pub use statedb::{StateDb, VersionedValue};
 pub use tx::{KvRead, KvWrite, RwSet, StateKey, TxId, ValidationCode, Version};

@@ -1,0 +1,842 @@
+//! Merkle-rooted state snapshots for O(1)-in-chain-length recovery.
+//!
+//! A [`Snapshot`] captures one channel's entire derived state — world
+//! state, per-key history, the duplicate-detection tx-id set and the
+//! provenance-graph structure digest — at a block height. The world
+//! state is split into fixed-size [`SnapshotChunk`]s (key order), the
+//! history/tx-id remainder forms a [`SnapshotTail`], and a Merkle root
+//! over the part digests commits to the whole artefact, so a peer can
+//! fetch parts from an untrusted-transport neighbour one at a time,
+//! verify each against the [`SnapshotManifest`], and only then replace
+//! a genesis replay with `snapshot + delta blocks`. Pruned block stores
+//! stay auditable: the manifest pins `tip_hash` (the header hash of the
+//! last covered block) and `state_hash`, the same digest replicas
+//! compare for convergence.
+
+use std::fmt;
+
+use crate::channel::ChannelId;
+use crate::codec::{decode_seq, encode_seq, CodecError, Decode, Decoder, Encode, Encoder};
+use crate::hash::Digest;
+use crate::history::{HistoryDb, HistoryEntry};
+use crate::merkle::MerkleTree;
+use crate::statedb::{StateDb, VersionedValue};
+use crate::tx::{StateKey, TxId, Version};
+
+/// Default number of state entries per chunk.
+pub const DEFAULT_CHUNK_ENTRIES: usize = 256;
+
+/// Integrity-check failure of a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// A snapshot must cover at least one block.
+    ZeroHeight,
+    /// `part_digests` length disagrees with the actual parts.
+    PartCountMismatch {
+        /// Parts declared by the manifest.
+        declared: usize,
+        /// Parts actually present.
+        actual: usize,
+    },
+    /// A part's recomputed digest disagrees with the manifest.
+    PartDigestMismatch {
+        /// Index of the offending part.
+        index: usize,
+    },
+    /// The Merkle root over part digests disagrees with the manifest.
+    RootMismatch,
+    /// The recomputed world-state hash disagrees with the manifest.
+    StateHashMismatch,
+    /// State entries are not in strictly increasing key order.
+    EntriesOutOfOrder,
+    /// History records are not in strictly increasing key order.
+    HistoryOutOfOrder,
+    /// The seen-tx-id set is not strictly increasing.
+    SeenOutOfOrder,
+    /// A transfer completed with a part missing or duplicated.
+    MissingPart {
+        /// Index of the part that never arrived.
+        index: usize,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::ZeroHeight => write!(f, "snapshot covers zero blocks"),
+            SnapshotError::PartCountMismatch { declared, actual } => {
+                write!(
+                    f,
+                    "manifest declares {declared} parts, snapshot has {actual}"
+                )
+            }
+            SnapshotError::PartDigestMismatch { index } => {
+                write!(f, "part {index} digest mismatch")
+            }
+            SnapshotError::RootMismatch => write!(f, "merkle root mismatch"),
+            SnapshotError::StateHashMismatch => write!(f, "state hash mismatch"),
+            SnapshotError::EntriesOutOfOrder => write!(f, "state entries out of key order"),
+            SnapshotError::HistoryOutOfOrder => write!(f, "history records out of key order"),
+            SnapshotError::SeenOutOfOrder => write!(f, "seen tx ids out of order"),
+            SnapshotError::MissingPart { index } => write!(f, "part {index} missing"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// One world-state entry frozen into a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotEntry {
+    /// The state key.
+    pub key: StateKey,
+    /// The live value at capture time.
+    pub value: Vec<u8>,
+    /// The version that wrote it.
+    pub version: Version,
+}
+
+impl Encode for SnapshotEntry {
+    fn encode(&self, enc: &mut Encoder) {
+        self.key.encode(enc);
+        enc.put_bytes(&self.value);
+        self.version.encode(enc);
+    }
+}
+
+impl Decode for SnapshotEntry {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(SnapshotEntry {
+            key: StateKey::decode(dec)?,
+            value: dec.get_bytes()?,
+            version: Version::decode(dec)?,
+        })
+    }
+}
+
+/// A contiguous run of state entries, the unit of snapshot transfer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotChunk {
+    /// Entries in strictly increasing key order.
+    pub entries: Vec<SnapshotEntry>,
+}
+
+impl Encode for SnapshotChunk {
+    fn encode(&self, enc: &mut Encoder) {
+        encode_seq(&self.entries, enc);
+    }
+}
+
+impl Decode for SnapshotChunk {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(SnapshotChunk {
+            entries: decode_seq(dec)?,
+        })
+    }
+}
+
+impl Encode for HistoryEntry {
+    fn encode(&self, enc: &mut Encoder) {
+        self.tx_id.encode(enc);
+        self.version.encode(enc);
+        self.value.encode(enc);
+    }
+}
+
+impl Decode for HistoryEntry {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(HistoryEntry {
+            tx_id: TxId::decode(dec)?,
+            version: Version::decode(dec)?,
+            value: Option::<Vec<u8>>::decode(dec)?,
+        })
+    }
+}
+
+/// The full write history of one key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistoryRecord {
+    /// The state key.
+    pub key: StateKey,
+    /// Chronological writes of the key.
+    pub entries: Vec<HistoryEntry>,
+}
+
+impl Encode for HistoryRecord {
+    fn encode(&self, enc: &mut Encoder) {
+        self.key.encode(enc);
+        encode_seq(&self.entries, enc);
+    }
+}
+
+impl Decode for HistoryRecord {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(HistoryRecord {
+            key: StateKey::decode(dec)?,
+            entries: decode_seq(dec)?,
+        })
+    }
+}
+
+/// The non-state remainder of a snapshot: history index and the
+/// committed-tx-id set, transferred as the final part.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SnapshotTail {
+    /// Per-key history, records in strictly increasing key order.
+    pub history: Vec<HistoryRecord>,
+    /// Every committed tx id (valid and invalid), strictly increasing —
+    /// restoring this keeps duplicate detection sound after bootstrap.
+    pub seen: Vec<TxId>,
+}
+
+impl Encode for SnapshotTail {
+    fn encode(&self, enc: &mut Encoder) {
+        encode_seq(&self.history, enc);
+        encode_seq(&self.seen, enc);
+    }
+}
+
+impl Decode for SnapshotTail {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(SnapshotTail {
+            history: decode_seq(dec)?,
+            seen: decode_seq(dec)?,
+        })
+    }
+}
+
+/// The commitment a snapshot consumer verifies parts against: channel,
+/// covered height, chain tip, state hash, graph digest and the Merkle
+/// root over all part digests (state chunks, then the tail).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotManifest {
+    /// Channel the snapshot belongs to.
+    pub channel: String,
+    /// Number of blocks covered: blocks `[0, height)` are folded in.
+    pub height: u64,
+    /// Header hash of block `height - 1` — the resume point for delta
+    /// replay and the `prev_hash` the next block must carry.
+    pub tip_hash: Digest,
+    /// [`StateDb::state_hash`] of the captured world state.
+    pub state_hash: Digest,
+    /// Merkle root over `part_digests`.
+    pub merkle_root: Digest,
+    /// Digest of every part: state chunks in order, tail last.
+    pub part_digests: Vec<Digest>,
+    /// [`crate::ProvGraph::digest`] of the provenance graph at capture.
+    pub graph_digest: Digest,
+}
+
+impl SnapshotManifest {
+    /// Number of transfer parts (state chunks + the tail).
+    pub fn part_count(&self) -> usize {
+        self.part_digests.len()
+    }
+}
+
+impl Encode for SnapshotManifest {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_str(&self.channel);
+        enc.put_u64(self.height);
+        enc.put_digest(&self.tip_hash);
+        enc.put_digest(&self.state_hash);
+        enc.put_digest(&self.merkle_root);
+        self.part_digests.encode(enc);
+        enc.put_digest(&self.graph_digest);
+    }
+}
+
+impl Decode for SnapshotManifest {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(SnapshotManifest {
+            channel: dec.get_str()?,
+            height: dec.get_u64()?,
+            tip_hash: dec.get_digest()?,
+            state_hash: dec.get_digest()?,
+            merkle_root: dec.get_digest()?,
+            part_digests: Vec::<Digest>::decode(dec)?,
+            graph_digest: dec.get_digest()?,
+        })
+    }
+}
+
+/// One transfer unit of a snapshot: a state chunk or the tail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotPart {
+    /// A run of world-state entries.
+    State(SnapshotChunk),
+    /// The history + seen-tx remainder.
+    Tail(SnapshotTail),
+}
+
+impl SnapshotPart {
+    /// The digest the manifest commits this part under.
+    pub fn digest(&self) -> Digest {
+        match self {
+            SnapshotPart::State(c) => c.digest(),
+            SnapshotPart::Tail(t) => t.digest(),
+        }
+    }
+
+    /// Approximate wire size of this part (its canonical encoding).
+    pub fn wire_size(&self) -> usize {
+        match self {
+            SnapshotPart::State(c) => c.to_bytes().len(),
+            SnapshotPart::Tail(t) => t.to_bytes().len(),
+        }
+    }
+}
+
+impl Encode for SnapshotPart {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            SnapshotPart::State(c) => {
+                enc.put_u8(0);
+                c.encode(enc);
+            }
+            SnapshotPart::Tail(t) => {
+                enc.put_u8(1);
+                t.encode(enc);
+            }
+        }
+    }
+}
+
+impl Decode for SnapshotPart {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        match dec.get_u8()? {
+            0 => Ok(SnapshotPart::State(SnapshotChunk::decode(dec)?)),
+            1 => Ok(SnapshotPart::Tail(SnapshotTail::decode(dec)?)),
+            _ => Err(CodecError::Invalid("snapshot part tag")),
+        }
+    }
+}
+
+/// A complete, verifiable snapshot of one channel's derived state.
+///
+/// # Examples
+///
+/// ```
+/// use hyperprov_ledger::{ChannelId, Digest, HistoryDb, Snapshot, StateDb};
+///
+/// let state = StateDb::new();
+/// let history = HistoryDb::new();
+/// let snap = Snapshot::capture(
+///     &ChannelId::default(), 3, Digest::of(b"tip"),
+///     &state, &history, vec![], Digest::ZERO, 4,
+/// );
+/// assert!(snap.verify().is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// The commitment over all parts.
+    pub manifest: SnapshotManifest,
+    /// State chunks, key order, manifest order.
+    pub chunks: Vec<SnapshotChunk>,
+    /// History + seen-tx remainder.
+    pub tail: SnapshotTail,
+}
+
+impl Snapshot {
+    /// Freezes the given databases at `height` into a snapshot with at
+    /// most `chunk_entries` state entries per chunk. `seen` must be the
+    /// full committed-tx-id set; it is sorted here. Capture is host-side
+    /// cheap — simulated cost is charged by the caller.
+    #[allow(clippy::too_many_arguments)]
+    pub fn capture(
+        channel: &ChannelId,
+        height: u64,
+        tip_hash: Digest,
+        state: &StateDb,
+        history: &HistoryDb,
+        mut seen: Vec<TxId>,
+        graph_digest: Digest,
+        chunk_entries: usize,
+    ) -> Snapshot {
+        let per_chunk = chunk_entries.max(1);
+        let entries: Vec<SnapshotEntry> = state
+            .iter()
+            .map(|(k, vv)| SnapshotEntry {
+                key: k.clone(),
+                value: vv.value.clone(),
+                version: vv.version,
+            })
+            .collect();
+        let chunks: Vec<SnapshotChunk> = entries
+            .chunks(per_chunk)
+            .map(|c| SnapshotChunk {
+                entries: c.to_vec(),
+            })
+            .collect();
+
+        let mut records: Vec<HistoryRecord> = history
+            .iter()
+            .map(|(key, entries)| HistoryRecord {
+                key: key.clone(),
+                entries: entries.to_vec(),
+            })
+            .collect();
+        records.sort_by(|a, b| a.key.cmp(&b.key));
+        seen.sort_unstable();
+        seen.dedup();
+        let tail = SnapshotTail {
+            history: records,
+            seen,
+        };
+
+        let mut part_digests: Vec<Digest> = chunks.iter().map(|c| c.digest()).collect();
+        part_digests.push(tail.digest());
+        let merkle_root = MerkleTree::root_of(&part_digests);
+
+        Snapshot {
+            manifest: SnapshotManifest {
+                channel: channel.as_str().to_owned(),
+                height,
+                tip_hash,
+                state_hash: state.state_hash(),
+                merkle_root,
+                part_digests,
+                graph_digest,
+            },
+            chunks,
+            tail,
+        }
+    }
+
+    /// Reassembles a snapshot from transferred parts, verifying each
+    /// against the manifest. `parts` holds one entry per manifest index.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`] if a part is missing, a digest
+    /// mismatches, or the assembled snapshot fails [`Snapshot::verify`].
+    pub fn assemble(
+        manifest: SnapshotManifest,
+        mut parts: Vec<Option<SnapshotPart>>,
+    ) -> Result<Snapshot, SnapshotError> {
+        if parts.len() != manifest.part_count() {
+            return Err(SnapshotError::PartCountMismatch {
+                declared: manifest.part_count(),
+                actual: parts.len(),
+            });
+        }
+        let mut chunks = Vec::with_capacity(parts.len().saturating_sub(1));
+        let mut tail = None;
+        for (index, slot) in parts.iter_mut().enumerate() {
+            let part = slot.take().ok_or(SnapshotError::MissingPart { index })?;
+            if part.digest() != manifest.part_digests[index] {
+                return Err(SnapshotError::PartDigestMismatch { index });
+            }
+            match part {
+                SnapshotPart::State(c) => chunks.push(c),
+                SnapshotPart::Tail(t) => tail = Some(t),
+            }
+        }
+        let snapshot = Snapshot {
+            manifest,
+            chunks,
+            tail: tail.ok_or(SnapshotError::MissingPart { index: 0 })?,
+        };
+        snapshot.verify()?;
+        Ok(snapshot)
+    }
+
+    /// The transfer part at `index` (state chunks first, tail last).
+    pub fn part(&self, index: usize) -> Option<SnapshotPart> {
+        if index < self.chunks.len() {
+            Some(SnapshotPart::State(self.chunks[index].clone()))
+        } else if index == self.chunks.len() {
+            Some(SnapshotPart::Tail(self.tail.clone()))
+        } else {
+            None
+        }
+    }
+
+    /// Number of transfer parts.
+    pub fn part_count(&self) -> usize {
+        self.chunks.len() + 1
+    }
+
+    /// Total state entries across all chunks.
+    pub fn entry_count(&self) -> usize {
+        self.chunks.iter().map(|c| c.entries.len()).sum()
+    }
+
+    /// Total bytes of captured state values.
+    pub fn state_bytes(&self) -> u64 {
+        self.chunks
+            .iter()
+            .flat_map(|c| &c.entries)
+            .map(|e| e.value.len() as u64)
+            .sum()
+    }
+
+    /// Approximate wire size of the whole snapshot.
+    pub fn wire_size(&self) -> usize {
+        self.to_bytes().len()
+    }
+
+    /// Full integrity check: part digests, Merkle root, key order of
+    /// state/history/seen, and the recomputed state hash against the
+    /// manifest. A snapshot that passes is safe to restore from.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SnapshotError`] found.
+    pub fn verify(&self) -> Result<(), SnapshotError> {
+        let m = &self.manifest;
+        if m.height == 0 {
+            return Err(SnapshotError::ZeroHeight);
+        }
+        if m.part_digests.len() != self.part_count() {
+            return Err(SnapshotError::PartCountMismatch {
+                declared: m.part_digests.len(),
+                actual: self.part_count(),
+            });
+        }
+        for (index, chunk) in self.chunks.iter().enumerate() {
+            if chunk.digest() != m.part_digests[index] {
+                return Err(SnapshotError::PartDigestMismatch { index });
+            }
+        }
+        if self.tail.digest() != m.part_digests[self.chunks.len()] {
+            return Err(SnapshotError::PartDigestMismatch {
+                index: self.chunks.len(),
+            });
+        }
+        if MerkleTree::root_of(&m.part_digests) != m.merkle_root {
+            return Err(SnapshotError::RootMismatch);
+        }
+
+        // State entries: strictly increasing keys across chunk borders,
+        // and the same running digest StateDb::state_hash computes.
+        let mut hasher = crate::hash::Sha256::new();
+        let mut prev_key: Option<&StateKey> = None;
+        for entry in self.chunks.iter().flat_map(|c| &c.entries) {
+            if let Some(prev) = prev_key {
+                if *prev >= entry.key {
+                    return Err(SnapshotError::EntriesOutOfOrder);
+                }
+            }
+            prev_key = Some(&entry.key);
+            for part in [
+                entry.key.namespace.as_bytes(),
+                entry.key.key.as_bytes(),
+                &entry.value,
+            ] {
+                hasher.update(&(part.len() as u64).to_be_bytes());
+                hasher.update(part);
+            }
+            hasher.update(&entry.version.block_num.to_be_bytes());
+            hasher.update(&entry.version.tx_num.to_be_bytes());
+        }
+        if hasher.finalize() != m.state_hash {
+            return Err(SnapshotError::StateHashMismatch);
+        }
+
+        if self.tail.history.windows(2).any(|w| w[0].key >= w[1].key) {
+            return Err(SnapshotError::HistoryOutOfOrder);
+        }
+        if self.tail.seen.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(SnapshotError::SeenOutOfOrder);
+        }
+        Ok(())
+    }
+
+    /// Rebuilds the world state captured by this snapshot.
+    pub fn restore_state(&self) -> StateDb {
+        let mut db = StateDb::new();
+        for entry in self.chunks.iter().flat_map(|c| &c.entries) {
+            db.restore_entry(
+                entry.key.clone(),
+                VersionedValue {
+                    value: entry.value.clone(),
+                    version: entry.version,
+                },
+            );
+        }
+        db
+    }
+
+    /// Rebuilds the history index captured by this snapshot.
+    pub fn restore_history(&self) -> HistoryDb {
+        let mut db = HistoryDb::new();
+        for record in &self.tail.history {
+            db.restore_key(record.key.clone(), record.entries.clone());
+        }
+        db
+    }
+}
+
+impl Encode for Snapshot {
+    fn encode(&self, enc: &mut Encoder) {
+        self.manifest.encode(enc);
+        encode_seq(&self.chunks, enc);
+        self.tail.encode(enc);
+    }
+}
+
+impl Decode for Snapshot {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(Snapshot {
+            manifest: SnapshotManifest::decode(dec)?,
+            chunks: decode_seq(dec)?,
+            tail: SnapshotTail::decode(dec)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tx::KvWrite;
+
+    fn put(db: &mut StateDb, k: &str, v: &[u8], ver: Version) {
+        db.apply_write(
+            &KvWrite {
+                key: StateKey::new("cc", k),
+                value: Some(v.to_vec()),
+            },
+            ver,
+        );
+    }
+
+    fn sample(n_keys: usize, chunk_entries: usize) -> Snapshot {
+        let mut state = StateDb::new();
+        let mut history = HistoryDb::new();
+        let mut seen = Vec::new();
+        for i in 0..n_keys {
+            let ver = Version::new(i as u64 + 1, 0);
+            put(
+                &mut state,
+                &format!("k{i:03}"),
+                format!("v{i}").as_bytes(),
+                ver,
+            );
+            let tx = TxId(Digest::of(format!("t{i}").as_bytes()));
+            history.append(
+                tx,
+                ver,
+                &[KvWrite {
+                    key: StateKey::new("cc", format!("k{i:03}")),
+                    value: Some(format!("v{i}").into_bytes()),
+                }],
+            );
+            seen.push(tx);
+        }
+        Snapshot::capture(
+            &ChannelId::default(),
+            n_keys as u64 + 1,
+            Digest::of(b"tip"),
+            &state,
+            &history,
+            seen,
+            Digest::of(b"graph"),
+            chunk_entries,
+        )
+    }
+
+    #[test]
+    fn capture_verify_round_trip() {
+        let snap = sample(10, 3);
+        assert_eq!(snap.entry_count(), 10);
+        assert_eq!(snap.chunks.len(), 4);
+        assert_eq!(snap.part_count(), 5);
+        snap.verify().unwrap();
+        // Codec round trip preserves everything.
+        let back = Snapshot::from_bytes(&snap.to_bytes()).unwrap();
+        assert_eq!(back, snap);
+        back.verify().unwrap();
+        assert!(snap.wire_size() > 0);
+        assert!(snap.state_bytes() > 0);
+    }
+
+    #[test]
+    fn capture_is_deterministic() {
+        let a = sample(20, 4);
+        let b = sample(20, 4);
+        assert_eq!(a.to_bytes(), b.to_bytes());
+        assert_eq!(a.manifest.merkle_root, b.manifest.merkle_root);
+    }
+
+    #[test]
+    fn empty_state_still_verifies() {
+        let snap = Snapshot::capture(
+            &ChannelId::default(),
+            1,
+            Digest::of(b"genesis"),
+            &StateDb::new(),
+            &HistoryDb::new(),
+            vec![],
+            Digest::ZERO,
+            8,
+        );
+        assert_eq!(snap.chunks.len(), 0);
+        assert_eq!(snap.part_count(), 1);
+        snap.verify().unwrap();
+        assert_eq!(snap.manifest.state_hash, StateDb::new().state_hash());
+    }
+
+    #[test]
+    fn zero_height_rejected() {
+        let mut snap = sample(2, 2);
+        snap.manifest.height = 0;
+        assert_eq!(snap.verify(), Err(SnapshotError::ZeroHeight));
+    }
+
+    #[test]
+    fn tampered_value_detected() {
+        let mut snap = sample(6, 2);
+        snap.chunks[1].entries[0].value = b"evil".to_vec();
+        assert_eq!(
+            snap.verify(),
+            Err(SnapshotError::PartDigestMismatch { index: 1 })
+        );
+        // Hide it by recomputing that part digest: the root breaks.
+        snap.manifest.part_digests[1] = snap.chunks[1].digest();
+        assert_eq!(snap.verify(), Err(SnapshotError::RootMismatch));
+        // Recompute the root too: the state hash still catches it.
+        snap.manifest.merkle_root = MerkleTree::root_of(&snap.manifest.part_digests);
+        assert_eq!(snap.verify(), Err(SnapshotError::StateHashMismatch));
+    }
+
+    #[test]
+    fn out_of_order_entries_detected() {
+        let mut snap = sample(4, 2);
+        snap.chunks[0].entries.swap(0, 1);
+        snap.manifest.part_digests[0] = snap.chunks[0].digest();
+        snap.manifest.merkle_root = MerkleTree::root_of(&snap.manifest.part_digests);
+        assert_eq!(snap.verify(), Err(SnapshotError::EntriesOutOfOrder));
+    }
+
+    #[test]
+    fn tampered_tail_detected() {
+        let mut snap = sample(4, 2);
+        snap.tail.seen.reverse();
+        let last = snap.manifest.part_digests.len() - 1;
+        assert_eq!(
+            snap.verify(),
+            Err(SnapshotError::PartDigestMismatch { index: last })
+        );
+        snap.manifest.part_digests[last] = snap.tail.digest();
+        snap.manifest.merkle_root = MerkleTree::root_of(&snap.manifest.part_digests);
+        assert_eq!(snap.verify(), Err(SnapshotError::SeenOutOfOrder));
+        snap.tail.seen.reverse();
+        snap.tail.history.reverse();
+        snap.manifest.part_digests[last] = snap.tail.digest();
+        snap.manifest.merkle_root = MerkleTree::root_of(&snap.manifest.part_digests);
+        assert_eq!(snap.verify(), Err(SnapshotError::HistoryOutOfOrder));
+    }
+
+    #[test]
+    fn assemble_from_parts() {
+        let snap = sample(9, 4);
+        let parts: Vec<Option<SnapshotPart>> =
+            (0..snap.part_count()).map(|i| snap.part(i)).collect();
+        assert!(snap.part(snap.part_count()).is_none());
+        let back = Snapshot::assemble(snap.manifest.clone(), parts).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn assemble_rejects_missing_and_corrupt_parts() {
+        let snap = sample(9, 4);
+        let n = snap.part_count();
+        // Missing part.
+        let mut parts: Vec<Option<SnapshotPart>> = (0..n).map(|i| snap.part(i)).collect();
+        parts[1] = None;
+        assert_eq!(
+            Snapshot::assemble(snap.manifest.clone(), parts),
+            Err(SnapshotError::MissingPart { index: 1 })
+        );
+        // Wrong count.
+        assert!(matches!(
+            Snapshot::assemble(snap.manifest.clone(), vec![]),
+            Err(SnapshotError::PartCountMismatch { .. })
+        ));
+        // Corrupted part.
+        let mut parts: Vec<Option<SnapshotPart>> = (0..n).map(|i| snap.part(i)).collect();
+        if let Some(SnapshotPart::State(c)) = parts[0].as_mut() {
+            c.entries[0].value = b"junk".to_vec();
+        }
+        assert_eq!(
+            Snapshot::assemble(snap.manifest.clone(), parts),
+            Err(SnapshotError::PartDigestMismatch { index: 0 })
+        );
+    }
+
+    #[test]
+    fn restore_matches_original() {
+        let mut state = StateDb::new();
+        let mut history = HistoryDb::new();
+        for i in 0..25 {
+            let ver = Version::new(i + 1, 0);
+            put(&mut state, &format!("k{i:02}"), &[i as u8; 8], ver);
+            history.append(
+                TxId(Digest::of(&[i as u8])),
+                ver,
+                &[KvWrite {
+                    key: StateKey::new("cc", format!("k{i:02}")),
+                    value: Some(vec![i as u8; 8]),
+                }],
+            );
+        }
+        let snap = Snapshot::capture(
+            &ChannelId::default(),
+            26,
+            Digest::of(b"tip"),
+            &state,
+            &history,
+            vec![TxId(Digest::of(b"a")), TxId(Digest::of(b"b"))],
+            Digest::ZERO,
+            7,
+        );
+        snap.verify().unwrap();
+        let restored = snap.restore_state();
+        assert_eq!(restored.state_hash(), state.state_hash());
+        assert_eq!(restored.len(), state.len());
+        let rh = snap.restore_history();
+        assert_eq!(rh.total_entries(), history.total_entries());
+        assert_eq!(rh.key_count(), history.key_count());
+        let key = StateKey::new("cc", "k07");
+        assert_eq!(rh.history(&key), history.history(&key));
+    }
+
+    #[test]
+    fn seen_is_sorted_and_deduped() {
+        let a = TxId(Digest::of(b"a"));
+        let b = TxId(Digest::of(b"b"));
+        let snap = Snapshot::capture(
+            &ChannelId::default(),
+            1,
+            Digest::ZERO,
+            &StateDb::new(),
+            &HistoryDb::new(),
+            vec![b, a, b, a],
+            Digest::ZERO,
+            8,
+        );
+        snap.verify().unwrap();
+        assert_eq!(snap.tail.seen.len(), 2);
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            SnapshotError::ZeroHeight,
+            SnapshotError::PartCountMismatch {
+                declared: 1,
+                actual: 2,
+            },
+            SnapshotError::PartDigestMismatch { index: 0 },
+            SnapshotError::RootMismatch,
+            SnapshotError::StateHashMismatch,
+            SnapshotError::EntriesOutOfOrder,
+            SnapshotError::HistoryOutOfOrder,
+            SnapshotError::SeenOutOfOrder,
+            SnapshotError::MissingPart { index: 3 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

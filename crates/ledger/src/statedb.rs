@@ -69,6 +69,12 @@ impl StateDb {
         self.map.iter()
     }
 
+    /// Restores one key directly at its recorded version — used when
+    /// rebuilding state from a verified snapshot.
+    pub fn restore_entry(&mut self, key: StateKey, value: VersionedValue) {
+        self.map.insert(key, value);
+    }
+
     /// Applies one write at the given version (delete when value is None).
     pub fn apply_write(&mut self, write: &KvWrite, version: Version) {
         match &write.value {
