@@ -38,6 +38,11 @@ cargo run --release -p hyperprov-bench --bin table_lineage -- --quick
 # end to end.
 cargo run --release -p hyperprov-bench --bin table_recovery -- --quick
 
+# Exercises the 10k-client scale machinery in miniature: targeted commit
+# events, the flat-sorted state backend and lazily generated open-loop
+# schedules (the full run is `table_scale` without --quick).
+cargo run --release -p hyperprov-bench --bin table_scale -- --quick
+
 # Perf-regression gate: reruns the quick BENCH-SIM reference workload and
 # diffs it against the committed BENCH_sim.json baseline (tight tolerances
 # for deterministic model metrics, loose ratio bounds for host wall-clock

@@ -1,6 +1,7 @@
 //! Criterion micro-benchmarks for the substrate hot paths: hashing,
-//! canonical codec, Merkle roots, state-DB operations, endorsement-policy
-//! evaluation and a full single-transaction pipeline step.
+//! canonical codec, Merkle roots, state-DB operations on both storage
+//! backends, the hybrid event queue, endorsement-policy evaluation and a
+//! full single-transaction pipeline step.
 
 use std::sync::Arc;
 
@@ -65,39 +66,90 @@ fn bench_merkle(c: &mut Criterion) {
     group.finish();
 }
 
+/// A named state-DB constructor, one per storage backend.
+type Backend = (&'static str, fn() -> StateDb);
+
 fn bench_statedb(c: &mut Criterion) {
-    let mut db = StateDb::new();
-    for i in 0..10_000u32 {
-        db.apply_write(
-            &KvWrite {
-                key: StateKey::new("cc", format!("key-{i:06}")),
-                value: Some(vec![0u8; 128]),
-            },
-            Version::new(1, i),
-        );
-    }
+    // Both storage backends on the same workload: the B-tree oracle and
+    // the flat-sorted scale backend.
+    let backends: [Backend; 2] = [("btree", StateDb::new), ("flat", StateDb::flat)];
     let mut group = c.benchmark_group("statedb");
-    group.bench_function("point_get", |b| {
-        b.iter(|| db.get(&StateKey::new("cc", "key-004999")));
-    });
-    group.bench_function("range_100", |b| {
-        b.iter(|| db.range("cc", "key-005000", "key-005100").count());
-    });
-    group.bench_function("apply_write", |b| {
-        let mut db = db.clone();
-        let mut i = 0u32;
-        b.iter(|| {
-            i += 1;
+    for (backend, make) in backends {
+        let mut db = make();
+        for i in 0..10_000u32 {
             db.apply_write(
                 &KvWrite {
-                    key: StateKey::new("cc", format!("w-{i}")),
+                    key: StateKey::new("cc", format!("key-{i:06}")),
                     value: Some(vec![0u8; 128]),
                 },
-                Version::new(2, i),
+                Version::new(1, i),
             );
+        }
+        group.bench_function(&format!("point_get/{backend}"), |b| {
+            b.iter(|| db.get(&StateKey::new("cc", "key-004999")));
+        });
+        group.bench_function(&format!("range_100/{backend}"), |b| {
+            b.iter(|| db.range("cc", "key-005000", "key-005100").count());
+        });
+        group.bench_function(&format!("apply_write/{backend}"), |b| {
+            let mut db = db.clone();
+            let mut i = 0u32;
+            b.iter(|| {
+                i += 1;
+                db.apply_write(
+                    &KvWrite {
+                        key: StateKey::new("cc", format!("w-{i}")),
+                        value: Some(vec![0u8; 128]),
+                    },
+                    Version::new(2, i),
+                );
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    use hyperprov_sim::{Actor, Context, DetRng, Event, SimDuration, Simulation};
+    use rand::Rng;
+
+    /// Keeps ~10k timers in flight across all three queue tiers (near
+    /// heap, wheel slots, overflow map) until its budget runs out.
+    struct TimerStorm {
+        rng: DetRng,
+        budget: u32,
+    }
+    impl Actor<()> for TimerStorm {
+        fn on_event(&mut self, ctx: &mut Context<'_, ()>, _event: Event<()>) {
+            if self.budget == 0 {
+                return;
+            }
+            self.budget -= 1;
+            let delay = match self.budget % 3 {
+                0 => self.rng.gen_range(1..1_000_000u64),
+                1 => self.rng.gen_range(1_000_000..200_000_000u64),
+                _ => self.rng.gen_range(200_000_000..10_000_000_000u64),
+            };
+            ctx.set_timer(SimDuration::from_nanos(delay), 0);
+        }
+    }
+
+    c.bench_function("event_queue_mixed_horizon_40k", |b| {
+        b.iter(|| {
+            let mut sim: Simulation<()> = Simulation::new(7);
+            let storm = sim.add_actor(Box::new(TimerStorm {
+                rng: DetRng::new(9),
+                budget: 30_000,
+            }));
+            let mut seed_rng = DetRng::new(11);
+            for _ in 0..10_000 {
+                let delay = seed_rng.gen_range(1..10_000_000_000u64);
+                sim.start_timer(storm, SimDuration::from_nanos(delay), 0);
+            }
+            sim.run();
+            sim.events_processed()
         });
     });
-    group.finish();
 }
 
 fn bench_policy(c: &mut Criterion) {
@@ -194,6 +246,7 @@ criterion_group! {
     bench_codec,
     bench_merkle,
     bench_statedb,
+    bench_event_queue,
     bench_policy,
     bench_endorse,
     bench_chaincode_lineage

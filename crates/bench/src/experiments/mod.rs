@@ -16,6 +16,7 @@ mod pipeline;
 mod profile;
 mod queries;
 mod recovery;
+mod scale;
 mod sharding;
 
 pub use baselines::baseline_comparison;
@@ -28,9 +29,10 @@ pub use fig3::energy_profile;
 pub use lineage::{lineage_sweep, LineageReport};
 pub use overload::{overload_sweep, OverloadReport};
 pub use pipeline::{pipeline_sweep, PipelineReport};
-pub use profile::{sim_bench, SimBenchReport};
+pub use profile::{sim_bench, sim_bench_with_scale, SimBenchReport};
 pub use queries::{batch_sweep, query_latency};
 pub use recovery::{recovery_sweep, RecoveryReport};
+pub use scale::{scale_campaign, ScaleReport};
 pub use sharding::{sharding_sweep, ShardingReport};
 
 use std::path::Path;
@@ -237,6 +239,20 @@ pub fn sim_bench_artefacts(quick: bool) -> Vec<Artefact> {
     ]
 }
 
+/// T-SCALE artefacts: the 10k-client / 1M-key scale table and its
+/// machine-readable section body (the committed copy lives inside
+/// `BENCH_sim.json`, written by `bench_regress --update`).
+pub fn scale_artefacts(quick: bool) -> Vec<Artefact> {
+    let report = scale_campaign(quick);
+    vec![
+        Artefact::table(report.table, "table_scale"),
+        Artefact::raw(
+            hyperprov_sim::json::pretty(&report.section_json),
+            "bench_scale.json",
+        ),
+    ]
+}
+
 /// Every campaign, in `run_all` order.
 pub const ALL_CAMPAIGNS: &[fn(bool) -> Vec<Artefact>] = &[
     fig1_artefacts,
@@ -252,5 +268,6 @@ pub const ALL_CAMPAIGNS: &[fn(bool) -> Vec<Artefact>] = &[
     pipeline_artefacts,
     lineage_artefacts,
     recovery_artefacts,
+    scale_artefacts,
     sim_bench_artefacts,
 ];

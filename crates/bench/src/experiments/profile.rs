@@ -45,6 +45,25 @@ pub struct SimBenchReport {
 /// Runs the reference workload with the profiler enabled and summarises
 /// the simulator's host-side performance.
 pub fn sim_bench(quick: bool) -> SimBenchReport {
+    sim_bench_inner(quick, None)
+}
+
+/// Like [`sim_bench`], but embedding a pre-rendered T-SCALE section body
+/// (see [`super::scale_campaign`]) as the profile's `scale` member — the
+/// combined document `bench_regress --update` commits to
+/// `BENCH_sim.json`.
+pub fn sim_bench_with_scale(quick: bool, scale_section: &str) -> SimBenchReport {
+    sim_bench_inner(quick, Some(scale_section))
+}
+
+/// Host-measurement repeats: the reference workload finishes in tens of
+/// milliseconds, where scheduler noise swings wall time by ~10 % run to
+/// run. The model is fully deterministic for the fixed seed, so we run
+/// the workload a few times and report the fastest run's host profile —
+/// standard minimum-of-repeats benchmarking.
+const HOST_REPEATS: usize = 3;
+
+fn sim_bench_inner(quick: bool, scale_section: Option<&str>) -> SimBenchReport {
     let (clients, secs) = if quick { (8, 6) } else { (32, 20) };
     let config = NetworkConfig::desktop(clients)
         .with_seed(SEED)
@@ -52,21 +71,50 @@ pub fn sim_bench(quick: bool) -> SimBenchReport {
             timeout: SimDuration::from_millis(100),
             ..BatchConfig::default()
         });
-    let mut net = HyperProvNetwork::build(&config);
-    net.sim.enable_profiler();
 
-    let mut rng = DetRng::new(SEED).fork("bench-sim");
-    let result = run_closed_loop(
-        &mut net,
-        SimDuration::from_secs(secs),
-        SimDuration::from_secs(5),
-        |client, seq| {
-            store_cmd(
-                format!("item-c{client}-s{seq}"),
-                payload(&mut rng, ITEM_BYTES),
-            )
-        },
-    );
+    let mut best: Option<(HyperProvNetwork, crate::runner::RunResult)> = None;
+    for _ in 0..HOST_REPEATS {
+        let mut net = HyperProvNetwork::build(&config);
+        net.sim.enable_profiler();
+        let mut rng = DetRng::new(SEED).fork("bench-sim");
+        let result = run_closed_loop(
+            &mut net,
+            SimDuration::from_secs(secs),
+            SimDuration::from_secs(5),
+            |client, seq| {
+                store_cmd(
+                    format!("item-c{client}-s{seq}"),
+                    payload(&mut rng, ITEM_BYTES),
+                )
+            },
+        );
+        match &best {
+            Some((fastest, fastest_result)) => {
+                // Repeats of a deterministic model must agree exactly.
+                assert_eq!(
+                    fastest.sim.events_processed(),
+                    net.sim.events_processed(),
+                    "model diverged across host-measurement repeats"
+                );
+                assert!(
+                    fastest_result.completions.len() == result.completions.len()
+                        && fastest_result
+                            .completions
+                            .iter()
+                            .zip(&result.completions)
+                            .all(|((ca, a), (cb, b))| {
+                                ca == cb && a.started == b.started && a.finished == b.finished
+                            }),
+                    "completion timeline diverged across host-measurement repeats"
+                );
+                if net.sim.profiler().wall_elapsed() < fastest.sim.profiler().wall_elapsed() {
+                    best = Some((net, result));
+                }
+            }
+            None => best = Some((net, result)),
+        }
+    }
+    let (net, result) = best.expect("HOST_REPEATS >= 1");
     let summary = Summary::of(&result.completions, result.span);
 
     let hot = net.sim.hot_counters();
@@ -83,18 +131,19 @@ pub fn sim_bench(quick: bool) -> SimBenchReport {
         .u64("timers", hot.timers_set)
         .u64("cpu_jobs", hot.cpu_jobs)
         .build();
-    let bench_json = json::pretty(
-        &json::Obj::new()
-            .str("campaign", "BENCH-SIM")
-            .str("mode", if quick { "quick" } else { "full" })
-            .str(
-                "workload",
-                &format!("closed-loop store, {clients} clients, {ITEM_BYTES} B items, {secs}s"),
-            )
-            .raw("model", &model_json)
-            .raw("host", &host_json)
-            .build(),
-    );
+    let mut obj = json::Obj::new()
+        .str("campaign", "BENCH-SIM")
+        .str("mode", if quick { "quick" } else { "full" })
+        .str(
+            "workload",
+            &format!("closed-loop store, {clients} clients, {ITEM_BYTES} B items, {secs}s"),
+        )
+        .raw("model", &model_json)
+        .raw("host", &host_json);
+    if let Some(scale) = scale_section {
+        obj = obj.raw("scale", scale);
+    }
+    let bench_json = json::pretty(&obj.build());
 
     let wall = net.sim.profiler().wall_elapsed().as_secs_f64();
     let mut table = Table::new(

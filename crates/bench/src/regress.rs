@@ -25,7 +25,7 @@ use std::path::PathBuf;
 
 use hyperprov_sim::json::{parse, Value};
 
-use crate::experiments::{results_dir, sim_bench};
+use crate::experiments::{results_dir, scale_campaign, sim_bench_with_scale};
 use crate::table::Table;
 
 /// Relative tolerance for deterministic model metrics.
@@ -35,6 +35,20 @@ pub const MODEL_REL_TOL: f64 = 0.01;
 /// `baseline / HOST_RATIO`; wall time and peak RSS may not exceed
 /// `baseline * HOST_RATIO`. Wide on purpose — CI machines differ.
 pub const HOST_RATIO: f64 = 20.0;
+
+/// Shape floor on the *committed* BENCH-SIM host profile: the machine
+/// that regenerates the baseline must record at least this many events
+/// per wall-second — twice what the pre-optimisation kernel managed on
+/// the reference workload (108,959 ev/s). A slower baseline means the
+/// kernel/storage optimisations regressed; the floor is checked against
+/// the committed file, not the current machine, so CI boxes of any speed
+/// can still run the comparison gate.
+pub const BASELINE_EVENTS_FLOOR: f64 = 217_919.0;
+
+/// Shape ceiling on the committed quick T-SCALE profile's peak RSS: the
+/// scale machinery (timer wheel, interned names, flat state backend,
+/// lazy schedules) must keep the quick run's footprint modest.
+pub const SCALE_RSS_CEILING: f64 = 256.0 * 1024.0 * 1024.0;
 
 /// The gate's outcome: the pass/fail table plus the overall verdict.
 #[derive(Debug)]
@@ -188,6 +202,10 @@ fn num(doc: &Value, section: &str, key: &str) -> Option<f64> {
     doc.get(section)?.get(key)?.as_f64()
 }
 
+fn scale_num(doc: &Value, section: &str, key: &str) -> Option<f64> {
+    doc.get("scale")?.get(section)?.get(key)?.as_f64()
+}
+
 /// Runs the gate. With `update = true` the fresh quick profile is written
 /// to [`baseline_path`] instead of being compared (the row table then
 /// documents what was recorded).
@@ -196,7 +214,10 @@ pub fn run_regress(update: bool) -> RegressOutcome {
         "bench regress: fresh quick run vs committed BENCH_sim.json",
         &["metric", "baseline", "fresh", "constraint", "status"],
     );
-    let fresh_body = sim_bench(true).bench_json;
+    // The committed profile is the BENCH-SIM reference workload plus the
+    // quick T-SCALE run as its `scale` section — one file, one trajectory.
+    let scale = scale_campaign(true);
+    let fresh_body = sim_bench_with_scale(true, &scale.section_json).bench_json;
     let fresh = parse(&fresh_body).expect("fresh BENCH-SIM profile must be valid JSON");
 
     if update {
@@ -326,6 +347,112 @@ pub fn run_regress(update: bool) -> RegressOutcome {
             };
             pass = push_check(&mut table, &format!("host.{key}"), b, f, &constraint, ok) && pass;
         }
+
+        // T-SCALE section: the same discipline — deterministic model
+        // metrics within tight tolerance, host metrics within loose ratio
+        // bounds.
+        let scale_model_keys: Vec<String> = base
+            .get("scale")
+            .and_then(|s| s.get("model"))
+            .and_then(Value::entries)
+            .map(|fields| fields.iter().map(|(k, _)| k.clone()).collect())
+            .unwrap_or_default();
+        if scale_model_keys.is_empty() {
+            pass = push_check(
+                &mut table,
+                "scale",
+                None,
+                None,
+                "baseline has no scale section; run bench_regress --update",
+                Some(false),
+            ) && pass;
+        }
+        for key in &scale_model_keys {
+            let b = scale_num(base, "model", key);
+            let f = scale_num(&fresh, "model", key);
+            let ok = match (b, f) {
+                (Some(b), Some(f)) => {
+                    let tol = MODEL_REL_TOL * b.abs().max(1e-9);
+                    Some((f - b).abs() <= tol)
+                }
+                _ => Some(false),
+            };
+            pass = push_check(
+                &mut table,
+                &format!("scale.model.{key}"),
+                b,
+                f,
+                &format!("within {:.0}%", MODEL_REL_TOL * 100.0),
+                ok,
+            ) && pass;
+        }
+        let scale_host_checks: [(&str, bool); 3] = [
+            ("events_per_sec", false),
+            ("wall_s", true),
+            ("peak_rss_bytes", true),
+        ];
+        for (key, upper) in scale_host_checks {
+            let b = scale_num(base, "host", key).filter(|v| *v > 0.0);
+            let f = scale_num(&fresh, "host", key);
+            let (constraint, ok) = match (b, f) {
+                (Some(b), Some(f)) if upper => (
+                    format!("<= {:.0}x baseline", HOST_RATIO),
+                    Some(f <= b * HOST_RATIO),
+                ),
+                (Some(b), Some(f)) => (
+                    format!(">= baseline/{:.0}", HOST_RATIO),
+                    Some(f >= b / HOST_RATIO),
+                ),
+                _ => ("no baseline value".to_owned(), None),
+            };
+            pass = push_check(
+                &mut table,
+                &format!("scale.host.{key}"),
+                b,
+                f,
+                &constraint,
+                ok,
+            ) && pass;
+        }
+
+        // Shape checks on the committed trajectory itself — these gate
+        // what `bench_regress --update` is allowed to record, so a
+        // regressed kernel or a ballooning scale footprint cannot land as
+        // the new normal. (Checked against the committed file, not the
+        // current machine, so slow CI boxes can still run the gate.)
+        let b_events = num(base, "host", "events_per_sec");
+        pass = push_check(
+            &mut table,
+            "committed host.events_per_sec floor",
+            b_events,
+            Some(BASELINE_EVENTS_FLOOR),
+            ">= 2x the pre-optimisation kernel",
+            Some(b_events.is_some_and(|v| v >= BASELINE_EVENTS_FLOOR)),
+        ) && pass;
+        let b_rss = scale_num(base, "host", "peak_rss_bytes").filter(|v| *v > 0.0);
+        pass = push_check(
+            &mut table,
+            "committed scale.host.peak_rss_bytes ceiling",
+            b_rss,
+            Some(SCALE_RSS_CEILING),
+            "quick scale run stays under the RSS ceiling",
+            b_rss.map(|v| v <= SCALE_RSS_CEILING),
+        ) && pass;
+        let issued = scale_num(base, "model", "issued");
+        let ok_n = scale_num(base, "model", "ok");
+        let err_n = scale_num(base, "model", "err");
+        let complete = match (issued, ok_n, err_n) {
+            (Some(i), Some(o), Some(e)) => Some(i > 0.0 && o == i && e == 0.0),
+            _ => Some(false),
+        };
+        pass = push_check(
+            &mut table,
+            "committed scale completion",
+            issued,
+            ok_n,
+            "every issued scale op completed ok",
+            complete,
+        ) && pass;
     }
 
     // Structural checks of the committed campaign trajectory baselines:

@@ -348,6 +348,54 @@ pub fn run_open_loop<N: Driveable>(
     }
 }
 
+/// Runs an open loop with lazily built commands — the large-scale
+/// variant of [`run_open_loop`]. `arrivals` gives the issue instants and
+/// issuing clients (sorted by time); `factory(client, index)` builds each
+/// command only when its instant is reached, so a million-operation
+/// schedule never materialises in memory. After the last arrival the
+/// network drains until every issued operation has completed, bounded by
+/// `drain_cap` of virtual time.
+///
+/// Completion queues are emptied in batches (not per event): with tens of
+/// thousands of clients a per-event drain would dominate host time.
+pub fn run_open_loop_lazy<N: Driveable>(
+    net: &mut N,
+    arrivals: &[(SimTime, usize)],
+    drain_cap: SimDuration,
+    mut factory: impl FnMut(usize, u64) -> ClientCommand,
+) -> RunResult {
+    const DRAIN_EVERY: usize = 4096;
+    let start = net.sim().now();
+    let mut completions = Vec::new();
+    let mut next_op = 0u64;
+    let mut last = start;
+    for (index, &(at, client)) in arrivals.iter().enumerate() {
+        debug_assert!(at >= last, "schedule must be sorted");
+        net.sim_mut().run_until(at);
+        let mut cmd = factory(client, index as u64);
+        next_op += 1;
+        set_op(&mut cmd, OpId(next_op));
+        let target = net.client(client);
+        net.sim_mut().inject_message(target, NodeMsg::Client(cmd));
+        last = at;
+        if index % DRAIN_EVERY == DRAIN_EVERY - 1 {
+            drain(net, &mut completions);
+        }
+    }
+    let deadline = last + drain_cap;
+    while (completions.len() as u64) < next_op && net.sim().now() < deadline {
+        let chunk = net.sim().now() + SimDuration::from_millis(500);
+        net.sim_mut().run_until(chunk.min(deadline));
+        drain(net, &mut completions);
+    }
+    drain(net, &mut completions);
+    RunResult {
+        completions,
+        span: last.saturating_duration_since(start),
+        issued: next_op,
+    }
+}
+
 /// Aggregate statistics of a run.
 #[derive(Debug, Clone)]
 pub struct Summary {

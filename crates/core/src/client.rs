@@ -451,9 +451,11 @@ struct LineageCtx {
     started: SimTime,
     max_depth: u32,
     /// Keys already visited (or enqueued) — lineage graphs can be DAGs.
-    seen: HashSet<String>,
+    /// `Rc<str>` so the visited set and the fetch queue share one
+    /// allocation per key.
+    seen: HashSet<Rc<str>>,
     /// Keys awaiting a fetch, with their depth.
-    queue: VecDeque<(u32, String)>,
+    queue: VecDeque<(u32, Rc<str>)>,
     entries: Vec<LineageEntry>,
     /// The outstanding fetch is the root key (a missing root is an error;
     /// a missing parent is skipped, matching the chaincode's traversal).
@@ -463,6 +465,9 @@ struct LineageCtx {
     /// a silently partial chain.
     truncated: bool,
 }
+
+/// A traversal frontier: `(depth, key)` pairs, keys shared by refcount.
+type Frontier = Vec<(u32, Rc<str>)>;
 
 /// Which frontier strategy a cross-shard graph traversal uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -491,10 +496,11 @@ struct GraphCtx {
     /// Global node budget remaining; exhaustion truncates the traversal.
     budget: usize,
     /// Keys already resolved: recorded as an entry or as terminal
-    /// boundary.
-    seen: HashSet<String>,
+    /// boundary. `Rc<str>` so the bookkeeping sets and the frontier all
+    /// share one allocation per key.
+    seen: HashSet<Rc<str>>,
     /// Keys ever dispatched as frontier roots (loop guard).
-    dispatched: HashSet<String>,
+    dispatched: HashSet<Rc<str>>,
     entries: Vec<(u32, String)>,
     /// Terminally unresolved keys (absent from every shard that could
     /// hold them).
@@ -505,13 +511,13 @@ struct GraphCtx {
     /// level at a time; ancestry rounds always pass `max_depth`).
     round_max: u32,
     /// The roots dispatched in the in-flight round.
-    round_roots: Vec<(u32, String)>,
+    round_roots: Vec<(u32, Rc<str>)>,
     /// Responses still outstanding this round.
     remaining: usize,
     /// Responses collected this round, tagged by gateway index.
     round: Vec<(usize, GraphSlice)>,
     /// Frontier for the next round: key -> minimum depth.
-    pending: HashMap<String, u32>,
+    pending: HashMap<Rc<str>, u32>,
     /// First per-shard failure; reported when the round fans in.
     error: Option<HyperProvError>,
 }
@@ -1005,19 +1011,26 @@ impl HyperProvClient {
         now: SimTime,
         op: OpId,
         function: &'static str,
-        args: Vec<Vec<u8>>,
+        mut args: Vec<Vec<u8>>,
         kind: QueryKind,
     ) {
         self.next_scatter += 1;
         let id = self.next_scatter;
         let n = self.gateways.len();
         for gw in 0..n {
+            // The last shard takes the arguments by move; earlier shards
+            // get a copy.
+            let shard_args = if gw + 1 == n {
+                std::mem::take(&mut args)
+            } else {
+                args.clone()
+            };
             let tx_id = self.gateways[gw].query(
                 ctx,
                 &mut self.harness,
                 CHAINCODE_NAME,
                 function,
-                args.clone(),
+                shard_args,
             );
             self.scatter_txs.insert(tx_id, (id, gw));
         }
@@ -1102,8 +1115,11 @@ impl HyperProvClient {
     ) {
         self.next_lineage += 1;
         let id = self.next_lineage;
+        let key: Rc<str> = Rc::from(key);
         let mut seen = HashSet::new();
         seen.insert(key.clone());
+        let mut queue = VecDeque::new();
+        queue.push_back((0, key.clone()));
         self.lineages.insert(
             id,
             LineageCtx {
@@ -1111,17 +1127,12 @@ impl HyperProvClient {
                 started: now,
                 max_depth: depth.min(MAX_LINEAGE_DEPTH),
                 seen,
-                queue: VecDeque::new(),
+                queue,
                 entries: Vec::new(),
                 at_root: true,
                 truncated: false,
             },
         );
-        self.lineages
-            .get_mut(&id)
-            .expect("just inserted")
-            .queue
-            .push_back((0, key.clone()));
         self.fetch_lineage_key(ctx, id, &key);
     }
 
@@ -1159,11 +1170,17 @@ impl HyperProvClient {
                 Ok(record) => {
                     if depth < lineage.max_depth {
                         for parent in &record.parents {
-                            if lineage.seen.insert(parent.clone()) {
-                                lineage.queue.push_back((depth + 1, parent.clone()));
+                            if !lineage.seen.contains(parent.as_str()) {
+                                let parent: Rc<str> = Rc::from(parent.as_str());
+                                lineage.seen.insert(parent.clone());
+                                lineage.queue.push_back((depth + 1, parent));
                             }
                         }
-                    } else if record.parents.iter().any(|p| !lineage.seen.contains(p)) {
+                    } else if record
+                        .parents
+                        .iter()
+                        .any(|p| !lineage.seen.contains(p.as_str()))
+                    {
                         // The depth clamp stopped the walk with unvisited
                         // ancestors remaining: report it instead of
                         // silently returning a partial chain.
@@ -1265,7 +1282,7 @@ impl HyperProvClient {
         self.next_graph += 1;
         let id = self.next_graph;
         let mut pending = HashMap::new();
-        pending.insert(key, 0);
+        pending.insert(Rc::from(key), 0);
         self.graphs.insert(
             id,
             GraphCtx {
@@ -1304,7 +1321,7 @@ impl HyperProvClient {
             };
             // Drain the frontier in deterministic order (the map's
             // iteration order is not deterministic).
-            let mut frontier: Vec<(u32, String)> =
+            let mut frontier: Vec<(u32, Rc<str>)> =
                 gctx.pending.drain().map(|(k, d)| (d, k)).collect();
             frontier.sort();
             if gctx.budget == 0 && !frontier.is_empty() {
@@ -1324,12 +1341,12 @@ impl HyperProvClient {
             }
             return;
         }
-        let (round_max, per_shard): (u32, BTreeMap<usize, Vec<(u32, String)>>) = match mode {
+        let (round_max, per_shard): (u32, BTreeMap<usize, Frontier>) = match mode {
             // Parent edges are recorded on the shard owning the child, so
             // each frontier key goes to its owner, which expands as deep
             // as its local graph reaches (round_max = the global clamp).
             GraphMode::Ancestry => {
-                let mut per: BTreeMap<usize, Vec<(u32, String)>> = BTreeMap::new();
+                let mut per: BTreeMap<usize, Vec<(u32, Rc<str>)>> = BTreeMap::new();
                 for (d, k) in frontier.iter().cloned() {
                     per.entry(self.router.route(&k, n))
                         .or_default()
@@ -1340,7 +1357,8 @@ impl HyperProvClient {
             // Child edges live wherever the child committed, so the whole
             // frontier scatters to every shard with a one-level budget;
             // when the frontier sits at the clamp this is a resolve-only
-            // round (live-or-missing, no expansion).
+            // round (live-or-missing, no expansion). Cloning the frontier
+            // per shard only bumps refcounts.
             GraphMode::Scatter => {
                 let level = frontier.iter().map(|(d, _)| *d).min().unwrap_or(0);
                 let round_max = (level + 1).min(max_depth);
@@ -1433,21 +1451,25 @@ impl HyperProvClient {
         // conflicting reports to reconcile).
         for (_, slice) in &round {
             for (d, k) in &slice.entries {
-                if gctx.seen.contains(k) {
+                if gctx.seen.contains(k.as_str()) {
                     continue;
                 }
                 if gctx.budget == 0 {
                     gctx.truncated = true;
                     continue;
                 }
-                gctx.seen.insert(k.clone());
+                let shared: Rc<str> = Rc::from(k.as_str());
+                gctx.seen.insert(shared.clone());
                 gctx.budget -= 1;
                 gctx.entries.push((*d, k.clone()));
                 // Scatter rounds expand one level per round, so newly
                 // discovered live keys join the next frontier; ancestry
                 // rounds already expanded to the clamp on the owner.
-                if mode == GraphMode::Scatter && *d < max_depth && !gctx.dispatched.contains(k) {
-                    let e = gctx.pending.entry(k.clone()).or_insert(*d);
+                if mode == GraphMode::Scatter
+                    && *d < max_depth
+                    && !gctx.dispatched.contains(k.as_str())
+                {
+                    let e = gctx.pending.entry(shared).or_insert(*d);
                     *e = (*e).min(*d);
                 }
             }
@@ -1455,7 +1477,7 @@ impl HyperProvClient {
         // Then the boundaries: keys the answering shard does not hold.
         for (gw, slice) in &round {
             for (d, k) in &slice.boundary {
-                if gctx.seen.contains(k) {
+                if gctx.seen.contains(k.as_str()) {
                     continue;
                 }
                 match mode {
@@ -1463,19 +1485,27 @@ impl HyperProvClient {
                         if self.router.route(k, n) == *gw {
                             // The owner itself lacks the key: terminally
                             // unresolved (deleted or never posted).
-                            gctx.seen.insert(k.clone());
+                            gctx.seen.insert(Rc::from(k.as_str()));
                             gctx.boundary.push((*d, k.clone()));
-                        } else if !gctx.dispatched.contains(k) {
-                            let e = gctx.pending.entry(k.clone()).or_insert(*d);
-                            *e = (*e).min(*d);
+                        } else if !gctx.dispatched.contains(k.as_str()) {
+                            match gctx.pending.get_mut(k.as_str()) {
+                                Some(e) => *e = (*e).min(*d),
+                                None => {
+                                    gctx.pending.insert(Rc::from(k.as_str()), *d);
+                                }
+                            }
                         }
                     }
                     GraphMode::Scatter => {
                         // Liveness is settled when the key's own round
                         // fans in; until then it stays on the frontier.
-                        if !gctx.dispatched.contains(k) {
-                            let e = gctx.pending.entry(k.clone()).or_insert(*d);
-                            *e = (*e).min(*d);
+                        if !gctx.dispatched.contains(k.as_str()) {
+                            match gctx.pending.get_mut(k.as_str()) {
+                                Some(e) => *e = (*e).min(*d),
+                                None => {
+                                    gctx.pending.insert(Rc::from(k.as_str()), *d);
+                                }
+                            }
                         }
                     }
                 }
@@ -1485,9 +1515,9 @@ impl HyperProvClient {
         if mode == GraphMode::Scatter {
             let roots = std::mem::take(&mut gctx.round_roots);
             for (d, k) in roots {
-                if !gctx.seen.contains(&k) {
-                    gctx.seen.insert(k.clone());
-                    gctx.boundary.push((d, k));
+                if !gctx.seen.contains(&*k) {
+                    gctx.boundary.push((d, k.to_string()));
+                    gctx.seen.insert(k);
                 }
             }
         }

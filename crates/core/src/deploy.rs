@@ -163,6 +163,18 @@ pub struct NetworkConfig {
     /// nothing; spares are enrolled after all baseline identities so
     /// existing certificates stay byte-identical.
     pub spare_peers: usize,
+    /// Back every peer's world state with the flat-sorted storage backend
+    /// instead of the B-tree default — faster point reads when the key
+    /// count is large (the T-SCALE regime). Off by default so existing
+    /// exports stay byte-identical.
+    pub flat_state: bool,
+    /// Deliver each commit event only to the client that submitted the
+    /// transaction (keyed by creator certificate) instead of
+    /// broadcasting every event to every subscriber of the peer — models
+    /// gateway-side event filtering. Mandatory at the 10k-client scale,
+    /// where the broadcast is quadratic; off by default so existing
+    /// exports stay byte-identical.
+    pub targeted_events: bool,
 }
 
 impl NetworkConfig {
@@ -202,6 +214,8 @@ impl NetworkConfig {
             snapshots: None,
             recovery_metrics: false,
             spare_peers: 0,
+            flat_state: false,
+            targeted_events: false,
         }
     }
 
@@ -234,6 +248,8 @@ impl NetworkConfig {
             snapshots: None,
             recovery_metrics: false,
             spare_peers: 0,
+            flat_state: false,
+            targeted_events: false,
         }
     }
 
@@ -379,6 +395,24 @@ impl NetworkConfig {
         self.spare_peers = n;
         self
     }
+
+    /// Backs every peer's world state with the flat-sorted storage
+    /// backend (large-key-count deployments; see
+    /// [`NetworkConfig::flat_state`]).
+    #[must_use]
+    pub fn with_flat_state(mut self) -> Self {
+        self.flat_state = true;
+        self
+    }
+
+    /// Routes each commit event only to the submitting client (see
+    /// [`NetworkConfig::targeted_events`]) — required for deployments
+    /// with thousands of clients.
+    #[must_use]
+    pub fn with_targeted_events(mut self) -> Self {
+        self.targeted_events = true;
+        self
+    }
 }
 
 /// Per-channel wiring a spare peer needs to join the running network.
@@ -398,6 +432,7 @@ struct JoinKit {
     peer_queue: Option<QueueConfig>,
     snapshots: Option<SnapshotPolicy>,
     recovery_metrics: bool,
+    flat_state: bool,
     /// Pre-enrolled spare identities with their device profiles.
     spares: Vec<(SigningIdentity, DeviceProfile)>,
     next_spare: usize,
@@ -569,14 +604,16 @@ impl HyperProvNetwork {
             let mut committers = Vec::with_capacity(hosted.len());
             for &ci in &hosted {
                 let chan = &chans[ci];
-                let committer = Rc::new(RefCell::new(
-                    Committer::for_channel(
-                        chan.id.clone(),
-                        msp.clone(),
-                        ChannelPolicies::new(chan.policy.clone()),
-                    )
-                    .with_indexer(Arc::new(HyperProvIndexer)),
-                ));
+                let mut committer = Committer::for_channel(
+                    chan.id.clone(),
+                    msp.clone(),
+                    ChannelPolicies::new(chan.policy.clone()),
+                )
+                .with_indexer(Arc::new(HyperProvIndexer));
+                if config.flat_state {
+                    committer = committer.with_flat_state();
+                }
+                let committer = Rc::new(RefCell::new(committer));
                 channel_ledgers[ci].push((i, committer.clone()));
                 committers.push((ci, committer));
             }
@@ -627,13 +664,19 @@ impl HyperProvNetwork {
                 actor = actor.with_queue(queue);
             }
             // A client subscribes (for commit events) at its home peer on
-            // every channel it submits to.
+            // every channel it submits to — either for every event
+            // (broadcast) or, under targeted delivery, only for its own
+            // transactions.
             for (c, &cid) in client_ids.iter().enumerate() {
                 if chans
                     .iter()
                     .any(|chan| chan.hosts[c % chan.hosts.len()] == i)
                 {
-                    actor.subscribe(cid);
+                    if config.targeted_events {
+                        actor.subscribe_targeted(cid, client_identities[c].certificate().id);
+                    } else {
+                        actor.subscribe(cid);
+                    }
                 }
             }
             let id = sim.add_actor_with_cpu(
@@ -793,6 +836,7 @@ impl HyperProvNetwork {
             peer_queue: config.peer_queue,
             snapshots: config.snapshots,
             recovery_metrics: config.recovery_metrics,
+            flat_state: config.flat_state,
             spares: spare_identities
                 .into_iter()
                 .enumerate()
@@ -858,14 +902,16 @@ impl HyperProvNetwork {
         let index = self.peers.len();
         let mut committers = Vec::with_capacity(self.kit.chan_info.len());
         for info in &self.kit.chan_info {
-            committers.push(Rc::new(RefCell::new(
-                Committer::for_channel(
-                    info.id.clone(),
-                    self.kit.msp.clone(),
-                    ChannelPolicies::new(info.policy.clone()),
-                )
-                .with_indexer(Arc::new(HyperProvIndexer)),
-            )));
+            let mut committer = Committer::for_channel(
+                info.id.clone(),
+                self.kit.msp.clone(),
+                ChannelPolicies::new(info.policy.clone()),
+            )
+            .with_indexer(Arc::new(HyperProvIndexer));
+            if self.kit.flat_state {
+                committer = committer.with_flat_state();
+            }
+            committers.push(Rc::new(RefCell::new(committer)));
         }
         let lanes = self.kit.pipeline.lanes.clamp(1, device.cores.max(1));
         let first = &self.kit.chan_info[0];

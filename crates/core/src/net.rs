@@ -78,6 +78,7 @@ mod tests {
             block_number: 0,
             code: hyperprov_ledger::ValidationCode::Valid,
             chaincode_event: None,
+            creator: None,
         }));
         assert!(matches!(f.clone().peel(), Ok(FabricMsg::Commit(_))));
         let as_store: Result<StoreMsg, NodeMsg> = f.peel();

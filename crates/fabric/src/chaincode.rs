@@ -13,7 +13,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use hyperprov_ledger::{
-    HistoryDb, HistoryEntry, KvRead, KvWrite, ProvGraph, RwSet, StateDb, StateKey,
+    HistoryDb, HistoryEntry, KvRead, KvWrite, Ns, ProvGraph, RwSet, StateDb, StateKey,
 };
 
 use crate::identity::Certificate;
@@ -65,6 +65,9 @@ pub struct StubStats {
 /// The shim handed to chaincode during simulation.
 pub struct ChaincodeStub<'a> {
     namespace: &'a str,
+    /// The namespace interned once per invocation; every state key built
+    /// below shares this allocation instead of re-interning per access.
+    ns: Ns,
     function: &'a str,
     args: &'a [Vec<u8>],
     creator: &'a Certificate,
@@ -90,6 +93,7 @@ impl<'a> ChaincodeStub<'a> {
     ) -> Self {
         ChaincodeStub {
             namespace,
+            ns: Ns::intern(namespace),
             function,
             args,
             creator,
@@ -178,7 +182,7 @@ impl<'a> ChaincodeStub<'a> {
     /// semantics this does **not** observe writes made earlier in this
     /// same invocation.
     pub fn get_state(&mut self, key: &str) -> Option<Vec<u8>> {
-        let skey = StateKey::new(self.namespace, key);
+        let skey = StateKey::new(self.ns.clone(), key);
         let vv = self.state.get(&skey);
         if !self.read_keys.contains_key(&skey) {
             self.read_keys.insert(skey.clone(), ());
@@ -207,7 +211,7 @@ impl<'a> ChaincodeStub<'a> {
     }
 
     fn upsert_write(&mut self, key: &str, value: Option<Vec<u8>>) {
-        let skey = StateKey::new(self.namespace, key);
+        let skey = StateKey::new(self.ns.clone(), key);
         match self.write_index.get(&skey) {
             Some(&idx) => self.rwset.writes[idx].value = value,
             None => {
@@ -220,7 +224,7 @@ impl<'a> ChaincodeStub<'a> {
 
     /// The committed write history of `key`, oldest first.
     pub fn get_history_for_key(&mut self, key: &str) -> Vec<HistoryEntry> {
-        let skey = StateKey::new(self.namespace, key);
+        let skey = StateKey::new(self.ns.clone(), key);
         let entries = self.history.history(&skey).to_vec();
         self.stats.reads += 1;
         self.stats.bytes_read += entries

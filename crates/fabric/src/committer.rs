@@ -21,7 +21,7 @@ use hyperprov_ledger::{
 
 use crate::caches::SigVerifyCache;
 use crate::identity::Msp;
-use crate::messages::{CommitEvent, Envelope};
+use crate::messages::{endorsement_message, CommitEvent, Envelope};
 use crate::policy::EndorsementPolicy;
 
 /// Per-chaincode endorsement policies with a channel default.
@@ -82,6 +82,11 @@ pub struct CommitOutcome {
 pub struct VsccVerdict {
     /// The decoded envelope, `None` when decoding failed.
     pub envelope: Option<Envelope>,
+    /// The envelope's transaction id, recomputed from the decoded
+    /// proposal exactly once per peer; the ledger phase reuses it rather
+    /// than re-encoding the proposal (the raw wrapper's claimed id when
+    /// decoding failed).
+    pub tx_id: TxId,
     /// The VSCC-phase failure ([`ValidationCode::BadSignature`] or
     /// [`ValidationCode::EndorsementPolicyFailure`]), `None` when the
     /// envelope passed.
@@ -183,6 +188,19 @@ impl Committer {
         self
     }
 
+    /// Switches the channel's world state to the flat-sorted storage
+    /// backend (see [`hyperprov_ledger::StateDb::flat`]) — faster point
+    /// reads on large key counts. Call before any writes are applied.
+    #[must_use]
+    pub fn with_flat_state(mut self) -> Self {
+        assert!(
+            self.ledger.state.is_empty(),
+            "switch the state backend before applying writes"
+        );
+        self.ledger.state = StateDb::flat();
+        self
+    }
+
     /// The channel this committer serves.
     pub fn channel(&self) -> &ChannelId {
         &self.channel
@@ -276,25 +294,30 @@ impl Committer {
         let mut dangling_parents = 0u64;
 
         for (tx_num, raw) in block.envelopes.iter().enumerate() {
-            let (code, event) = match Envelope::from_raw(raw) {
+            let (code, event, creator) = match Envelope::from_raw(raw) {
                 Ok(env) => {
-                    let code = self.validate(&env);
+                    let tx_id = env.tx_id();
+                    let creator = env.proposal.creator.id;
+                    let code = self.validate(&env, &tx_id);
                     let mut chaincode_event = None;
                     if code.is_valid() {
                         let version = Version::new(block.header.number, tx_num as u32);
                         self.ledger.state.apply_writes(&env.rwset.writes, version);
                         self.ledger
                             .history
-                            .append(env.tx_id(), version, &env.rwset.writes);
+                            .append(tx_id, version, &env.rwset.writes);
                         dangling_parents += self.index_writes(&env.rwset.writes);
                         bytes_written += env.rwset.write_bytes() as u64;
-                        written_keys.extend(env.rwset.writes.iter().map(|w| w.key.clone()));
-                        chaincode_event = env.event.clone();
+                        // The decoded envelope is dropped here anyway, so
+                        // move the written keys and event out instead of
+                        // cloning them.
+                        written_keys.extend(env.rwset.writes.into_iter().map(|w| w.key));
+                        chaincode_event = env.event;
                     }
-                    self.seen.insert(env.tx_id());
-                    (code, chaincode_event)
+                    self.seen.insert(tx_id);
+                    (code, chaincode_event, Some(creator))
                 }
-                Err(_) => (ValidationCode::BadSignature, None),
+                Err(_) => (ValidationCode::BadSignature, None, None),
             };
             if code.is_valid() {
                 valid += 1;
@@ -308,6 +331,7 @@ impl Committer {
                 block_number: block.header.number,
                 code,
                 chaincode_event: event,
+                creator,
             });
         }
 
@@ -351,14 +375,16 @@ impl Committer {
             Err(_) => {
                 return VsccVerdict {
                     envelope: None,
+                    tx_id: raw.tx_id,
                     failure: Some(ValidationCode::BadSignature),
                     sig_misses: 0,
                     sig_hits: 0,
                 }
             }
         };
-        let msg = env.endorsement_message();
-        let mut orgs = Vec::new();
+        let tx_id = env.tx_id();
+        let msg = endorsement_message(&tx_id, &env.payload, &env.rwset);
+        let mut orgs: Vec<&crate::identity::MspId> = Vec::new();
         let mut sig_misses = 0u32;
         let mut sig_hits = 0u32;
         let mut failure = None;
@@ -385,16 +411,17 @@ impl Committer {
                 failure = Some(ValidationCode::BadSignature);
                 break;
             }
-            orgs.push(e.endorser.org.clone());
+            orgs.push(&e.endorser.org);
         }
         if failure.is_none() {
             let policy = self.policies.policy_for(&env.proposal.chaincode);
-            if !policy.is_satisfied_by(orgs.iter()) {
+            if !policy.is_satisfied_by(orgs.iter().copied()) {
                 failure = Some(ValidationCode::EndorsementPolicyFailure);
             }
         }
         VsccVerdict {
             envelope: Some(env),
+            tx_id,
             failure,
             sig_misses,
             sig_hits,
@@ -442,9 +469,11 @@ impl Committer {
         let mut dangling_parents = 0u64;
 
         for (tx_num, (raw, verdict)) in block.envelopes.iter().zip(vscc).enumerate() {
-            let (code, event) = match verdict.envelope {
+            let (code, event, creator) = match verdict.envelope {
                 Some(env) => {
-                    let code = if self.seen.contains(&env.tx_id()) {
+                    let tx_id = verdict.tx_id;
+                    let creator = env.proposal.creator.id;
+                    let code = if self.seen.contains(&tx_id) {
                         ValidationCode::DuplicateTxId
                     } else if let Some(failure) = verdict.failure {
                         failure
@@ -459,16 +488,18 @@ impl Committer {
                         self.ledger.state.apply_writes(&env.rwset.writes, version);
                         self.ledger
                             .history
-                            .append(env.tx_id(), version, &env.rwset.writes);
+                            .append(tx_id, version, &env.rwset.writes);
                         dangling_parents += self.index_writes(&env.rwset.writes);
                         bytes_written += env.rwset.write_bytes() as u64;
-                        written_keys.extend(env.rwset.writes.iter().map(|w| w.key.clone()));
-                        chaincode_event = env.event.clone();
+                        // The verdict's envelope is consumed here, so move
+                        // the written keys and event out instead of cloning.
+                        written_keys.extend(env.rwset.writes.into_iter().map(|w| w.key));
+                        chaincode_event = env.event;
                     }
-                    self.seen.insert(env.tx_id());
-                    (code, chaincode_event)
+                    self.seen.insert(tx_id);
+                    (code, chaincode_event, Some(creator))
                 }
-                None => (ValidationCode::BadSignature, None),
+                None => (ValidationCode::BadSignature, None, None),
             };
             if code.is_valid() {
                 valid += 1;
@@ -482,6 +513,7 @@ impl Committer {
                 block_number: block.header.number,
                 code,
                 chaincode_event: event,
+                creator,
             });
         }
 
@@ -719,21 +751,21 @@ impl Committer {
         )
     }
 
-    fn validate(&self, env: &Envelope) -> ValidationCode {
-        if self.seen.contains(&env.tx_id()) {
+    fn validate(&self, env: &Envelope, tx_id: &TxId) -> ValidationCode {
+        if self.seen.contains(tx_id) {
             return ValidationCode::DuplicateTxId;
         }
         // Verify every endorsement signature over the agreed message.
-        let msg = env.endorsement_message();
-        let mut orgs = Vec::new();
+        let msg = endorsement_message(tx_id, &env.payload, &env.rwset);
+        let mut orgs: Vec<&crate::identity::MspId> = Vec::new();
         for e in &env.endorsements {
             if !self.msp.verify(&e.endorser, &msg, &e.signature) {
                 return ValidationCode::BadSignature;
             }
-            orgs.push(e.endorser.org.clone());
+            orgs.push(&e.endorser.org);
         }
         let policy = self.policies.policy_for(&env.proposal.chaincode);
-        if !policy.is_satisfied_by(orgs.iter()) {
+        if !policy.is_satisfied_by(orgs.iter().copied()) {
             return ValidationCode::EndorsementPolicyFailure;
         }
         if !self.ledger.state.validate_reads(&env.rwset.reads) {

@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use hyperprov_ledger::{Encode, HistoryDb, ProvGraph, RwSet, StateDb};
+use hyperprov_ledger::{Digest, Encode, HistoryDb, ProvGraph, RwSet, StateDb, TxId};
 
 use crate::chaincode::{ChaincodeRegistry, ChaincodeStub, StubStats};
 use crate::identity::{Msp, SigningIdentity};
@@ -29,7 +29,10 @@ pub fn endorse(
     signed: &SignedProposal,
 ) -> (ProposalResponse, StubStats) {
     let proposal = &signed.proposal;
-    let tx_id = proposal.tx_id();
+    // Encode once: the tx id is the digest of the canonical encoding and
+    // the client signature covers the same bytes.
+    let proposal_bytes = proposal.to_bytes();
+    let tx_id = TxId(Digest::of(&proposal_bytes));
 
     let fail = |why: String| ProposalResponse {
         tx_id,
@@ -41,7 +44,7 @@ pub fn endorse(
     };
 
     // Authenticate the client.
-    if !msp.verify(&proposal.creator, &proposal.to_bytes(), &signed.signature) {
+    if !msp.verify(&proposal.creator, &proposal_bytes, &signed.signature) {
         return (
             fail("invalid client signature".to_owned()),
             StubStats::default(),

@@ -8,7 +8,7 @@
 
 use std::collections::HashMap;
 
-use hyperprov_ledger::{ChannelId, Encode, TxId, ValidationCode};
+use hyperprov_ledger::{ChannelId, Digest, Encode, TxId, ValidationCode};
 use hyperprov_sim::{ActorId, Context, ServiceHarness, SimDuration, SimTime, TimerId};
 
 use crate::costs::CostModel;
@@ -312,6 +312,10 @@ impl Gateway {
         self.inflight.len()
     }
 
+    /// Builds and signs a proposal, returning it together with its tx id
+    /// and wire size. The canonical encoding is produced exactly once:
+    /// the signature covers it, the tx id is its digest and the wire size
+    /// is its length.
     fn make_signed<M: Carries<FabricMsg>>(
         &mut self,
         ctx: &mut Context<'_, M>,
@@ -319,7 +323,7 @@ impl Gateway {
         chaincode: &str,
         function: &str,
         args: Vec<Vec<u8>>,
-    ) -> SignedProposal {
+    ) -> (SignedProposal, TxId, u64) {
         self.nonce += 1;
         let proposal = Proposal {
             channel: self.channel.clone(),
@@ -330,13 +334,15 @@ impl Gateway {
             nonce: self.nonce,
         };
         let bytes = proposal.to_bytes();
+        let tx_id = TxId(Digest::of(&bytes));
         // Charge client CPU (signing + hashing); results ship immediately —
         // the charge models utilisation/energy, not a response gate.
         harness.charge(ctx, self.costs.client_proposal_cost(bytes.len() as u64));
-        SignedProposal {
+        let sp = SignedProposal {
             signature: self.identity.sign(&bytes),
             proposal,
-        }
+        };
+        (sp, tx_id, bytes.len() as u64)
     }
 
     /// Starts a full transaction: endorse on `endorsements_needed`
@@ -352,8 +358,7 @@ impl Gateway {
         function: &str,
         args: Vec<Vec<u8>>,
     ) -> TxId {
-        let sp = self.make_signed(ctx, harness, chaincode, function, args);
-        let tx_id = sp.proposal.tx_id();
+        let (sp, tx_id, wire) = self.make_signed(ctx, harness, chaincode, function, args);
         // The endorse span covers the whole client-side collection phase:
         // it closes in `submit` (or on failure), where `commit_wait` opens.
         ctx.span_start(&tx_trace(&tx_id), "endorse", "");
@@ -369,10 +374,17 @@ impl Gateway {
                 deadline,
             },
         );
-        let bytes = sp.proposal.wire_size() + 32;
-        let targets: Vec<ActorId> = self.endorsers[..self.endorsements_needed].to_vec();
-        for dst in targets {
-            ctx.send(dst, bytes, M::wrap(FabricMsg::SubmitProposal(sp.clone())));
+        let bytes = wire + 32;
+        // The last endorser gets the proposal by move, the rest by clone.
+        let mut sp = Some(sp);
+        for i in 0..self.endorsements_needed {
+            let dst = self.endorsers[i];
+            let msg = if i + 1 == self.endorsements_needed {
+                sp.take().expect("sent exactly once")
+            } else {
+                sp.as_ref().expect("taken only on the last send").clone()
+            };
+            ctx.send(dst, bytes, M::wrap(FabricMsg::SubmitProposal(msg)));
         }
         tx_id
     }
@@ -386,8 +398,7 @@ impl Gateway {
         function: &str,
         args: Vec<Vec<u8>>,
     ) -> TxId {
-        let sp = self.make_signed(ctx, harness, chaincode, function, args);
-        let tx_id = sp.proposal.tx_id();
+        let (sp, tx_id, wire) = self.make_signed(ctx, harness, chaincode, function, args);
         ctx.span_start(&tx_trace(&tx_id), "query", "");
         let deadline = self.arm_deadline(ctx, tx_id, self.endorse_timeout);
         self.inflight.insert(
@@ -397,7 +408,7 @@ impl Gateway {
                 deadline,
             },
         );
-        let bytes = sp.proposal.wire_size() + 32;
+        let bytes = wire + 32;
         let dst = self.endorsers[0];
         ctx.send(dst, bytes, M::wrap(FabricMsg::SubmitProposal(sp)));
         tx_id

@@ -9,7 +9,7 @@ use hyperprov_ledger::{
     RawEnvelope, RwSet, TxId,
 };
 
-use crate::identity::{Certificate, Signature};
+use crate::identity::{CertId, Certificate, Signature};
 
 /// The span-trace key of a transaction: its full tx-id hex string.
 ///
@@ -331,6 +331,11 @@ pub struct CommitEvent {
     pub code: hyperprov_ledger::ValidationCode,
     /// Chaincode event attached by the contract, if any.
     pub chaincode_event: Option<ChaincodeEvent>,
+    /// Enrolment id of the submitting client's certificate (`None` when
+    /// the envelope did not decode). Peers running targeted commit-event
+    /// delivery route the event to that client alone instead of
+    /// broadcasting it to every subscriber.
+    pub creator: Option<CertId>,
 }
 
 /// Digest of arbitrary payload bytes — convenience for checksum fields.

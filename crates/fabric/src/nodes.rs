@@ -16,7 +16,7 @@
 //! actors' `with_queue` builders.
 
 use std::cell::RefCell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 use std::sync::Arc;
 
@@ -25,8 +25,8 @@ use hyperprov_ledger::{
     DEFAULT_CHUNK_ENTRIES,
 };
 use hyperprov_sim::{
-    Actor, ActorId, Admission, Context, Event, QueueConfig, ServiceHarness, SimDuration, SpanClose,
-    TimerId,
+    Actor, ActorId, Admission, Context, Event, Outbound, QueueConfig, ServiceHarness, SimDuration,
+    SpanClose, TimerId,
 };
 
 use crate::caches::{ReadCache, SigVerifyCache};
@@ -34,7 +34,7 @@ use crate::chaincode::ChaincodeRegistry;
 use crate::committer::Committer;
 use crate::costs::CostModel;
 use crate::endorser::endorse;
-use crate::identity::SigningIdentity;
+use crate::identity::{CertId, SigningIdentity};
 use crate::messages::{
     endorsement_message, tx_trace, CommitEvent, Envelope, ProposalResponse, SignedProposal,
 };
@@ -291,11 +291,41 @@ fn retry_delay(salt: u64, attempts: u32) -> SimDuration {
     SimDuration::from_nanos(base + h % (base / 2 + 1))
 }
 
+/// Pre-rendered per-channel metric names for the endorse and commit hot
+/// paths: one `format!` per channel at join time instead of one per
+/// event. By-name counter updates are allocation-free hash lookups, so
+/// the rendered name is all the hot path needs.
+struct HotMetricNames {
+    endorsed: String,
+    readcache_hits: String,
+    readcache_misses: String,
+    readcache_invalidations: String,
+    blocks: String,
+    tx_valid: String,
+    tx_invalid: String,
+}
+
+impl HotMetricNames {
+    fn new(channel: &ChannelId, prefix: &str) -> Self {
+        HotMetricNames {
+            endorsed: channel.metric_name(prefix, "endorsed"),
+            readcache_hits: channel.metric_name(prefix, "readcache.hits"),
+            readcache_misses: channel.metric_name(prefix, "readcache.misses"),
+            readcache_invalidations: channel.metric_name(prefix, "readcache.invalidations"),
+            blocks: channel.metric_name(prefix, "blocks"),
+            tx_valid: channel.metric_name(prefix, "tx.valid"),
+            tx_invalid: channel.metric_name(prefix, "tx.invalid"),
+        }
+    }
+}
+
 /// A peer's per-channel commit pipeline: the channel's committer plus the
 /// volatile delivery bookkeeping (out-of-order buffer, catch-up marker,
 /// snapshot fetch progress) and the durable latest snapshot.
 struct PeerChannel {
     committer: Rc<RefCell<Committer>>,
+    /// Pre-rendered metric names for per-event counters.
+    names: HotMetricNames,
     /// Blocks that arrived ahead of the next expected height.
     block_buffer: BTreeMap<u64, Arc<Block>>,
     /// Height of an outstanding catch-up request, to avoid repeats.
@@ -325,9 +355,11 @@ struct PeerChannel {
 }
 
 impl PeerChannel {
-    fn new(committer: Rc<RefCell<Committer>>, timer_token: u64) -> Self {
+    fn new(committer: Rc<RefCell<Committer>>, timer_token: u64, metric_prefix: &str) -> Self {
+        let names = HotMetricNames::new(committer.borrow().channel(), metric_prefix);
         PeerChannel {
             committer,
+            names,
             block_buffer: BTreeMap::new(),
             catchup_from: None,
             catchup_target: None,
@@ -353,6 +385,11 @@ pub struct PeerActor<M> {
     costs: CostModel,
     /// Clients that receive [`FabricMsg::Commit`] notifications.
     subscribers: Vec<ActorId>,
+    /// Targeted commit-event delivery: creator certificate -> client.
+    /// Events whose creator is registered here go to that client alone;
+    /// everything else falls back to the `subscribers` broadcast. Empty
+    /// (the default) keeps the broadcast-only behaviour unchanged.
+    targeted: HashMap<CertId, ActorId>,
     harness: ServiceHarness<M>,
     metric_prefix: String,
     /// Commit-path acceleration settings (lanes + caches).
@@ -393,7 +430,10 @@ impl<M: Carries<FabricMsg>> PeerActor<M> {
         let metric_prefix = metric_prefix.into();
         let channel = committer.borrow().channel().clone();
         let mut channels = BTreeMap::new();
-        channels.insert(channel, PeerChannel::new(committer, CATCHUP_TIMER_BASE));
+        channels.insert(
+            channel,
+            PeerChannel::new(committer, CATCHUP_TIMER_BASE, &metric_prefix),
+        );
         let retry_salt = salt_of(&metric_prefix);
         PeerActor {
             identity,
@@ -401,6 +441,7 @@ impl<M: Carries<FabricMsg>> PeerActor<M> {
             channels,
             costs,
             subscribers: Vec::new(),
+            targeted: HashMap::new(),
             harness: ServiceHarness::new(metric_prefix.clone()),
             metric_prefix,
             pipeline: CommitPipeline::default(),
@@ -416,7 +457,7 @@ impl<M: Carries<FabricMsg>> PeerActor<M> {
     pub fn add_channel(&mut self, committer: Rc<RefCell<Committer>>, catchup: Option<ActorId>) {
         let channel = committer.borrow().channel().clone();
         let token = CATCHUP_TIMER_BASE + self.channels.len() as u64;
-        let mut state = PeerChannel::new(committer, token);
+        let mut state = PeerChannel::new(committer, token, &self.metric_prefix);
         state.catchup_target = catchup;
         state.read_cache = self.pipeline.read_cache.then(ReadCache::new);
         self.channels.insert(channel, state);
@@ -488,6 +529,17 @@ impl<M: Carries<FabricMsg>> PeerActor<M> {
         }
     }
 
+    /// Subscribes a client to commit events *of its own transactions
+    /// only*, keyed by the enrolment id of the certificate it submits
+    /// with. Models gateway-side event filtering: with ten thousand
+    /// clients a per-event broadcast to every subscriber swamps both the
+    /// modelled network and the host, so scale deployments register
+    /// interest instead. Events from other creators (or from envelopes
+    /// that failed to decode) still broadcast to plain subscribers.
+    pub fn subscribe_targeted(&mut self, client: ActorId, interest: CertId) {
+        self.targeted.insert(interest, client);
+    }
+
     /// Shared handle to this peer's first channel's ledger (tests and
     /// audits; single-channel deployments have exactly one).
     pub fn committer(&self) -> Rc<RefCell<Committer>> {
@@ -511,7 +563,7 @@ impl<M: Carries<FabricMsg>> PeerActor<M> {
 
     fn on_proposal(&mut self, ctx: &mut Context<'_, M>, src: ActorId, sp: SignedProposal) {
         let channel = sp.proposal.channel.clone();
-        let Some(state) = self.channels.get(&channel) else {
+        let Some(state) = self.channels.get_mut(&channel) else {
             // Not hosting this channel: reject like any endorsement error.
             self.reject_proposal(ctx, src, &sp, format!("channel {channel} not hosted"));
             return;
@@ -532,13 +584,9 @@ impl<M: Carries<FabricMsg>> PeerActor<M> {
         // instead of a full state operation. The chaincode still executed
         // against the authoritative state database above, so only the
         // charged CPU time changes, never the endorsement result.
-        if let Some(cache) = self
-            .channels
-            .get_mut(&channel)
-            .and_then(|s| s.read_cache.as_mut())
-        {
-            let mut hits = 0u64;
-            let mut misses = 0u64;
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        if let Some(cache) = state.read_cache.as_mut() {
             for read in &response.rwset.reads {
                 if cache.touch(&read.key) {
                     hits += 1;
@@ -546,25 +594,19 @@ impl<M: Carries<FabricMsg>> PeerActor<M> {
                     misses += 1;
                 }
             }
-            if hits > 0 {
-                cost = cost - (self.costs.state_op - self.costs.cache_hit_op) * hits;
-                ctx.metrics().incr(
-                    &channel.metric_name(&self.metric_prefix, "readcache.hits"),
-                    hits,
-                );
-            }
-            if misses > 0 {
-                ctx.metrics().incr(
-                    &channel.metric_name(&self.metric_prefix, "readcache.misses"),
-                    misses,
-                );
-            }
         }
-        ctx.metrics()
-            .incr(&channel.metric_name(&self.metric_prefix, "endorsed"), 1);
+        if hits > 0 {
+            cost = cost - (self.costs.state_op - self.costs.cache_hit_op) * hits;
+            ctx.metrics().incr(&state.names.readcache_hits, hits);
+        }
+        if misses > 0 {
+            ctx.metrics().incr(&state.names.readcache_misses, misses);
+        }
+        ctx.metrics().incr(&state.names.endorsed, 1);
         // Per-peer execution span: chaincode simulation + signing, closed
-        // when the virtual CPU finishes and the response ships.
-        let trace = tx_trace(&sp.proposal.tx_id());
+        // when the virtual CPU finishes and the response ships. The
+        // response carries the tx id `endorse` already computed.
+        let trace = tx_trace(&response.tx_id);
         ctx.span_start(&trace, "endorse.exec", &self.metric_prefix);
         let bytes = response.wire_size();
         let closes = vec![SpanClose::new(
@@ -1426,28 +1468,19 @@ impl<M: Carries<FabricMsg>> PeerActor<M> {
             .commit_block_prevalidated(owned, verdicts);
         match outcome {
             Ok(outcome) => {
-                let prefix = &self.metric_prefix;
+                let names = &self.channels.get(channel).expect("caller checked").names;
+                ctx.metrics().incr(&names.blocks, 1);
+                ctx.metrics().incr(&names.tx_valid, outcome.valid as u64);
                 ctx.metrics()
-                    .incr(&channel.metric_name(prefix, "blocks"), 1);
-                ctx.metrics().incr(
-                    &channel.metric_name(prefix, "tx.valid"),
-                    outcome.valid as u64,
-                );
-                ctx.metrics().incr(
-                    &channel.metric_name(prefix, "tx.invalid"),
-                    outcome.invalid as u64,
-                );
+                    .incr(&names.tx_invalid, outcome.invalid as u64);
                 // Goodput SLOs watch committed-transaction events.
                 ctx.slo_event_n("commit.tx", outcome.valid as u64);
                 self.note_dangling(ctx, channel, &trace, outcome.dangling_parents);
                 // Every committed write invalidates its read-cache entry:
                 // the cached version is no longer the latest.
                 let mut invalidated = 0u64;
-                if let Some(cache) = self
-                    .channels
-                    .get_mut(channel)
-                    .and_then(|s| s.read_cache.as_mut())
-                {
+                let state = self.channels.get_mut(channel).expect("caller checked");
+                if let Some(cache) = state.read_cache.as_mut() {
                     for key in &outcome.written_keys {
                         if cache.invalidate(key) {
                             invalidated += 1;
@@ -1455,10 +1488,8 @@ impl<M: Carries<FabricMsg>> PeerActor<M> {
                     }
                 }
                 if invalidated > 0 {
-                    ctx.metrics().incr(
-                        &channel.metric_name(&self.metric_prefix, "readcache.invalidations"),
-                        invalidated,
-                    );
+                    ctx.metrics()
+                        .incr(&state.names.readcache_invalidations, invalidated);
                 }
                 let detail = self.metric_prefix.clone();
                 ctx.span_start(&trace, "commit.vscc", &detail);
@@ -1473,12 +1504,7 @@ impl<M: Carries<FabricMsg>> PeerActor<M> {
                 let apply_start = ctx.now().max(ctx.cpu().busy_until());
                 ctx.tracer()
                     .span_start(apply_start, &trace, "commit.apply", &detail);
-                let mut sends = Vec::new();
-                for event in outcome.events {
-                    for &client in &self.subscribers {
-                        sends.push((client, 128, M::wrap(FabricMsg::Commit(event.clone()))));
-                    }
-                }
+                let sends = self.commit_event_sends(outcome.events);
                 self.harness.defer(
                     ctx,
                     serial_cost,
@@ -1501,6 +1527,27 @@ impl<M: Carries<FabricMsg>> PeerActor<M> {
                 let _ = err;
             }
         }
+    }
+
+    /// Builds the commit-notification sends for a block's events: one
+    /// message straight to the registered client for targeted creators, a
+    /// broadcast to every plain subscriber otherwise.
+    fn commit_event_sends(&self, events: Vec<CommitEvent>) -> Vec<Outbound<M>> {
+        let mut sends = Vec::new();
+        for event in events {
+            let target = event
+                .creator
+                .as_ref()
+                .and_then(|creator| self.targeted.get(creator));
+            if let Some(&client) = target {
+                sends.push((client, 128, M::wrap(FabricMsg::Commit(event))));
+                continue;
+            }
+            for &client in &self.subscribers {
+                sends.push((client, 128, M::wrap(FabricMsg::Commit(event.clone()))));
+            }
+        }
+        sends
     }
 
     /// Flags committed records whose parent ids are absent from the graph
@@ -1559,12 +1606,7 @@ impl<M: Carries<FabricMsg>> PeerActor<M> {
                 // Goodput SLOs watch committed-transaction events.
                 ctx.slo_event_n("commit.tx", outcome.valid as u64);
                 self.note_dangling(ctx, channel, &trace, outcome.dangling_parents);
-                let mut sends = Vec::new();
-                for event in outcome.events {
-                    for &client in &self.subscribers {
-                        sends.push((client, 128, M::wrap(FabricMsg::Commit(event.clone()))));
-                    }
-                }
+                let sends = self.commit_event_sends(outcome.events);
                 let detail = self.metric_prefix.clone();
                 self.harness.defer(
                     ctx,

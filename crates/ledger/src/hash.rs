@@ -2,9 +2,14 @@
 //! RFC 2104) so the workspace carries no cryptography dependency.
 //!
 //! HyperProv stores a SHA-256 checksum of every data item on-chain; the
-//! ledger also hashes block headers and transaction envelopes. The
-//! implementation is validated against NIST/RFC test vectors in the unit
-//! tests below.
+//! ledger also hashes block headers and transaction envelopes. Hashing is
+//! therefore on every hot path in the repo — checksums, transaction ids,
+//! HMAC signatures, Merkle nodes, block data hashes — so on x86-64 the
+//! compression function dispatches at runtime to the SHA-NI instruction
+//! set when the CPU has it (roughly an order of magnitude faster than
+//! the portable scalar rounds, which remain the fallback and the
+//! reference). Both paths are validated against NIST/RFC test vectors in
+//! the unit tests below.
 
 use std::fmt;
 
@@ -69,11 +74,13 @@ impl Digest {
 
     /// Lower-case hexadecimal rendering.
     pub fn to_hex(&self) -> String {
-        let mut s = String::with_capacity(64);
+        const HEX: &[u8; 16] = b"0123456789abcdef";
+        let mut s = Vec::with_capacity(64);
         for b in self.0 {
-            s.push_str(&format!("{b:02x}"));
+            s.push(HEX[usize::from(b >> 4)]);
+            s.push(HEX[usize::from(b & 0x0f)]);
         }
-        s
+        String::from_utf8(s).expect("hex digits are ASCII")
     }
 
     /// Parses a 64-character hexadecimal string.
@@ -223,6 +230,14 @@ impl Sha256 {
     }
 
     fn compress(&mut self, block: &[u8; 64]) {
+        #[cfg(target_arch = "x86_64")]
+        if shani::compress_checked(&mut self.state, block) {
+            return;
+        }
+        self.compress_soft(block);
+    }
+
+    fn compress_soft(&mut self, block: &[u8; 64]) {
         let mut w = [0u32; 64];
         for (i, chunk) in block.chunks_exact(4).enumerate() {
             w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
@@ -270,6 +285,123 @@ impl Sha256 {
 impl Default for Sha256 {
     fn default() -> Self {
         Sha256::new()
+    }
+}
+
+/// SHA-NI accelerated compression (Intel SHA extensions), following the
+/// canonical `sha256rnds2`/`sha256msg1`/`sha256msg2` flow: state packed
+/// as ABEF/CDGH working pairs, four rounds per step, the message
+/// schedule computed on the fly.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod shani {
+    use std::arch::x86_64::{
+        __m128i, _mm_add_epi32, _mm_alignr_epi8, _mm_blend_epi16, _mm_loadu_si128, _mm_set_epi64x,
+        _mm_sha256msg1_epu32, _mm_sha256msg2_epu32, _mm_sha256rnds2_epu32, _mm_shuffle_epi32,
+        _mm_shuffle_epi8, _mm_storeu_si128,
+    };
+    use std::sync::OnceLock;
+
+    use super::K;
+
+    /// Runs one SHA-NI compression when the CPU supports it; returns
+    /// `false` (leaving `state` untouched) when it does not, so the
+    /// caller falls back to the scalar rounds. This is the only safe
+    /// entry point — the feature check lives on the same side of the
+    /// module boundary as the `unsafe` it justifies.
+    pub fn compress_checked(state: &mut [u32; 8], block: &[u8; 64]) -> bool {
+        if !available() {
+            return false;
+        }
+        // SAFETY: `available` confirmed the sha/ssse3/sse4.1 features at
+        // runtime.
+        unsafe { compress(state, block) };
+        true
+    }
+
+    /// True when the CPU supports every instruction [`compress`] uses
+    /// (checked once, cached).
+    pub fn available() -> bool {
+        static AVAILABLE: OnceLock<bool> = OnceLock::new();
+        *AVAILABLE.get_or_init(|| {
+            std::arch::is_x86_feature_detected!("sha")
+                && std::arch::is_x86_feature_detected!("ssse3")
+                && std::arch::is_x86_feature_detected!("sse4.1")
+        })
+    }
+
+    /// Next four schedule words `w[4i..4i+4]` from the previous sixteen.
+    #[inline]
+    #[target_feature(enable = "sha,ssse3,sse4.1")]
+    unsafe fn schedule(w0: __m128i, w1: __m128i, w2: __m128i, w3: __m128i) -> __m128i {
+        let t = _mm_sha256msg1_epu32(w0, w1);
+        let t = _mm_add_epi32(t, _mm_alignr_epi8(w3, w2, 4));
+        _mm_sha256msg2_epu32(t, w3)
+    }
+
+    /// One 64-byte block of SHA-256 over `state`.
+    ///
+    /// # Safety
+    ///
+    /// The caller must ensure the `sha`, `ssse3` and `sse4.1` CPU
+    /// features are present (see [`available`]).
+    #[target_feature(enable = "sha,ssse3,sse4.1")]
+    pub unsafe fn compress(state: &mut [u32; 8], block: &[u8; 64]) {
+        // Map the first 16 big-endian message bytes of each lane-load
+        // into host-order schedule words.
+        let flip = _mm_set_epi64x(0x0c0d_0e0f_0809_0a0b, 0x0405_0607_0001_0203);
+
+        // Repack [a,b,c,d] / [e,f,g,h] into the ABEF / CDGH pairs the
+        // round instruction consumes.
+        let t = _mm_loadu_si128(state.as_ptr().cast());
+        let s1 = _mm_loadu_si128(state.as_ptr().add(4).cast());
+        let t = _mm_shuffle_epi32(t, 0xB1);
+        let s1 = _mm_shuffle_epi32(s1, 0x1B);
+        let mut abef = _mm_alignr_epi8(t, s1, 8);
+        let mut cdgh = _mm_blend_epi16(s1, t, 0xF0);
+        let abef_in = abef;
+        let cdgh_in = cdgh;
+
+        // Four rounds per step: the low two schedule+K lanes feed the
+        // CDGH update, the high two (after the lane swap) feed ABEF.
+        macro_rules! rounds4 {
+            ($w:expr, $group:expr) => {{
+                let k = _mm_loadu_si128(K.as_ptr().add(4 * $group).cast());
+                let wk = _mm_add_epi32($w, k);
+                cdgh = _mm_sha256rnds2_epu32(cdgh, abef, wk);
+                abef = _mm_sha256rnds2_epu32(abef, cdgh, _mm_shuffle_epi32(wk, 0x0E));
+            }};
+        }
+
+        let mut w0 = _mm_shuffle_epi8(_mm_loadu_si128(block.as_ptr().cast()), flip);
+        let mut w1 = _mm_shuffle_epi8(_mm_loadu_si128(block.as_ptr().add(16).cast()), flip);
+        let mut w2 = _mm_shuffle_epi8(_mm_loadu_si128(block.as_ptr().add(32).cast()), flip);
+        let mut w3 = _mm_shuffle_epi8(_mm_loadu_si128(block.as_ptr().add(48).cast()), flip);
+
+        rounds4!(w0, 0);
+        rounds4!(w1, 1);
+        rounds4!(w2, 2);
+        rounds4!(w3, 3);
+        for group in [4usize, 8, 12] {
+            let w4 = schedule(w0, w1, w2, w3);
+            rounds4!(w4, group);
+            let w5 = schedule(w1, w2, w3, w4);
+            rounds4!(w5, group + 1);
+            let w6 = schedule(w2, w3, w4, w5);
+            rounds4!(w6, group + 2);
+            let w7 = schedule(w3, w4, w5, w6);
+            rounds4!(w7, group + 3);
+            (w0, w1, w2, w3) = (w4, w5, w6, w7);
+        }
+
+        let abef = _mm_add_epi32(abef, abef_in);
+        let cdgh = _mm_add_epi32(cdgh, cdgh_in);
+
+        // Unpack ABEF/CDGH back into [a,b,c,d] / [e,f,g,h].
+        let t = _mm_shuffle_epi32(abef, 0x1B);
+        let s1 = _mm_shuffle_epi32(cdgh, 0xB1);
+        _mm_storeu_si128(state.as_mut_ptr().cast(), _mm_blend_epi16(t, s1, 0xF0));
+        _mm_storeu_si128(state.as_mut_ptr().add(4).cast(), _mm_alignr_epi8(s1, t, 8));
     }
 }
 
@@ -400,6 +532,31 @@ mod tests {
             d.to_hex(),
             "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
         );
+    }
+
+    /// The SHA-NI and scalar compressions must agree on every block, not
+    /// just on the NIST vectors (which exercise whichever path the host
+    /// dispatches to).
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn shani_matches_scalar_rounds() {
+        if !super::shani::available() {
+            return;
+        }
+        let mut block = [0u8; 64];
+        let mut byte = 0u8;
+        for round in 0..64u32 {
+            for b in &mut block {
+                byte = byte.wrapping_mul(167).wrapping_add(13);
+                *b = byte;
+            }
+            let mut soft = Sha256::new();
+            soft.state = H0.map(|h| h.wrapping_add(round));
+            let mut hard = soft.clone();
+            soft.compress_soft(&block);
+            assert!(super::shani::compress_checked(&mut hard.state, &block));
+            assert_eq!(soft.state, hard.state, "round={round}");
+        }
     }
 
     #[test]

@@ -17,7 +17,10 @@
 //! This crate is deliberately independent of the simulator: it is pure data
 //! structures and can be reused by a wall-clock deployment.
 
-#![forbid(unsafe_code)]
+// Unsafe is denied everywhere except the one SHA-NI intrinsics module in
+// `hash`, which opts back in locally (runtime-feature-gated SIMD needs
+// `unsafe` by construction).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod block;
@@ -45,4 +48,4 @@ pub use snapshot::{
     SnapshotPart, SnapshotTail, DEFAULT_CHUNK_ENTRIES,
 };
 pub use statedb::{StateDb, VersionedValue};
-pub use tx::{KvRead, KvWrite, RwSet, StateKey, TxId, ValidationCode, Version};
+pub use tx::{KvRead, KvWrite, Ns, RwSet, StateKey, TxId, ValidationCode, Version};

@@ -7,10 +7,112 @@
 //! against current state — Fabric's MVCC rule — and marks the transaction
 //! valid or invalid in the block metadata.
 
+use std::cell::RefCell;
+use std::collections::HashSet;
 use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
 
 use crate::codec::{decode_seq, encode_seq, CodecError, Decode, Decoder, Encode, Encoder};
 use crate::hash::Digest;
+
+/// An interned chaincode namespace.
+///
+/// A handful of namespaces repeat across millions of state keys, so the
+/// namespace half of a [`StateKey`] is stored as a reference-counted
+/// interned string: cloning a key bumps a refcount instead of copying the
+/// namespace bytes, and equality usually short-circuits on pointer
+/// identity. `Ns` compares, orders, hashes and encodes exactly like the
+/// `String` it replaces.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ns(Arc<str>);
+
+thread_local! {
+    static NS_INTERN: RefCell<HashSet<Arc<str>>> = RefCell::new(HashSet::new());
+}
+
+/// Safety valve: stop caching once this many distinct namespaces have been
+/// interned on a thread (pathological workloads only; real deployments use
+/// a handful of chaincode names).
+const NS_INTERN_CAP: usize = 4096;
+
+impl Ns {
+    /// Interns `s`, returning a shared handle. Repeated calls with the
+    /// same contents on the same thread share one allocation.
+    pub fn intern(s: &str) -> Ns {
+        NS_INTERN.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            if let Some(hit) = cache.get(s) {
+                return Ns(Arc::clone(hit));
+            }
+            let arc: Arc<str> = Arc::from(s);
+            if cache.len() < NS_INTERN_CAP {
+                cache.insert(Arc::clone(&arc));
+            }
+            Ns(arc)
+        })
+    }
+
+    /// The namespace as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Deref for Ns {
+    type Target = str;
+    fn deref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl AsRef<str> for Ns {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for Ns {
+    fn from(s: &str) -> Ns {
+        Ns::intern(s)
+    }
+}
+
+impl From<&String> for Ns {
+    fn from(s: &String) -> Ns {
+        Ns::intern(s)
+    }
+}
+
+impl From<String> for Ns {
+    fn from(s: String) -> Ns {
+        Ns::intern(&s)
+    }
+}
+
+impl PartialEq<str> for Ns {
+    fn eq(&self, other: &str) -> bool {
+        &*self.0 == other
+    }
+}
+
+impl PartialEq<&str> for Ns {
+    fn eq(&self, other: &&str) -> bool {
+        &*self.0 == *other
+    }
+}
+
+impl PartialEq<String> for Ns {
+    fn eq(&self, other: &String) -> bool {
+        &*self.0 == other.as_str()
+    }
+}
+
+impl fmt::Display for Ns {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
 
 /// A transaction identifier: the digest of the signed proposal.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -80,15 +182,15 @@ impl Decode for Version {
 /// A namespaced state key: `(chaincode namespace, key)`.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct StateKey {
-    /// Chaincode namespace the key belongs to.
-    pub namespace: String,
+    /// Chaincode namespace the key belongs to (interned; see [`Ns`]).
+    pub namespace: Ns,
     /// The key within the namespace.
     pub key: String,
 }
 
 impl StateKey {
     /// Creates a key in a namespace.
-    pub fn new(namespace: impl Into<String>, key: impl Into<String>) -> Self {
+    pub fn new(namespace: impl Into<Ns>, key: impl Into<String>) -> Self {
         StateKey {
             namespace: namespace.into(),
             key: key.into(),
@@ -111,7 +213,7 @@ impl Encode for StateKey {
 impl Decode for StateKey {
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
         Ok(StateKey {
-            namespace: dec.get_str()?,
+            namespace: Ns::intern(&dec.get_str()?),
             key: dec.get_str()?,
         })
     }
@@ -356,6 +458,26 @@ mod tests {
         assert!(a < b);
         assert!(b < other_ns);
         assert_eq!(a.to_string(), "cc/a");
+    }
+
+    #[test]
+    fn interned_namespaces_share_storage_and_compare_by_content() {
+        let a = Ns::intern("cc");
+        let b = Ns::intern("cc");
+        assert!(Arc::ptr_eq(&a.0, &b.0), "same thread interns share one Arc");
+        assert_eq!(a, b);
+        assert_eq!(a, "cc");
+        assert_eq!(a, *"cc");
+        assert_eq!(a.to_string(), "cc");
+        assert_eq!(a.as_str(), "cc");
+        let c = Ns::intern("dd");
+        assert!(a < c, "Ns orders by contents");
+        // Two keys that only share an interned namespace still hash and
+        // encode exactly like the String-based representation did.
+        let k = StateKey::new("cc", "k1");
+        let back = StateKey::from_bytes(&k.to_bytes()).unwrap();
+        assert_eq!(back, k);
+        assert!(Arc::ptr_eq(&back.namespace.0, &a.0));
     }
 
     #[test]

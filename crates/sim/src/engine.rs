@@ -10,10 +10,9 @@
 //! `(time, sequence-number)` and all randomness flows from the simulation
 //! seed.
 
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
-
 use crate::cpu::CpuResource;
+use crate::equeue::{EventQueue, QueueItem};
+use crate::fxhash::FxHashSet;
 use crate::metrics::Metrics;
 use crate::net::{Delivery, Network};
 use crate::profile::{HotCounters, SimProfiler};
@@ -93,44 +92,15 @@ pub trait Actor<M> {
     }
 }
 
-struct QueueItem<M> {
-    time: SimTime,
-    seq: u64,
-    target: ActorId,
-    event: Event<M>,
-    /// Non-zero when this entry is a cancellable timer.
-    timer_id: u64,
-    /// The target's crash epoch when this entry was enqueued; stale
-    /// entries (scheduled before a crash or during the down window) are
-    /// dropped at pop time.
-    epoch: u64,
-    /// True for the internal marker that revives a crashed actor.
-    restart: bool,
-}
-
-impl<M> PartialEq for QueueItem<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<M> Eq for QueueItem<M> {}
-impl<M> PartialOrd for QueueItem<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for QueueItem<M> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we need earliest-first.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
-    }
-}
+/// Queue length below which a crash skips the lazy stale-event sweep:
+/// tiny queues drain stale entries cheaply at pop time anyway.
+const COMPACT_MIN_QUEUE: usize = 1024;
 
 /// Engine state shared with actors during event handling.
 pub struct Kernel<M> {
     now: SimTime,
     seq: u64,
-    queue: BinaryHeap<QueueItem<M>>,
+    queue: EventQueue<M>,
     network: Network,
     cpus: Vec<CpuResource>,
     rngs: Vec<DetRng>,
@@ -138,7 +108,7 @@ pub struct Kernel<M> {
     tracer: Tracer,
     slo: SloMonitor,
     hot: HotCounters,
-    cancelled: HashSet<u64>,
+    cancelled: FxHashSet<u64>,
     next_timer: u64,
     stopped: bool,
     events_processed: u64,
@@ -166,7 +136,9 @@ impl<M> Kernel<M> {
     }
 
     /// Marks `target` crashed: every event already queued for it (and any
-    /// sent while it is down) will be dropped at pop time.
+    /// sent while it is down) will be dropped — lazily at pop time, or
+    /// eagerly by a compaction sweep when the queue is large enough that
+    /// carrying the dead weight would hurt.
     fn crash(&mut self, target: ActorId) {
         let slot = target.0 as usize;
         if self.crashed[slot] {
@@ -175,6 +147,37 @@ impl<M> Kernel<M> {
         self.crashed[slot] = true;
         self.epochs[slot] += 1;
         self.metrics.incr("fault.crashes", 1);
+        self.maybe_compact_stale();
+    }
+
+    /// Sweeps epoch-guard-stale events out of the queue in one pass,
+    /// applying exactly the checks (and metric counts) that pop-time
+    /// dropping would have applied, so observable totals are unchanged.
+    fn maybe_compact_stale(&mut self) {
+        if self.queue.len() < COMPACT_MIN_QUEUE {
+            return;
+        }
+        let crashed = &self.crashed;
+        let epochs = &self.epochs;
+        let cancelled = &mut self.cancelled;
+        let mut dropped = 0u64;
+        self.queue.compact(|item| {
+            if item.restart {
+                return true;
+            }
+            if item.timer_id != 0 && cancelled.remove(&item.timer_id) {
+                return false; // cancelled timer: silently discarded
+            }
+            let slot = item.target.0 as usize;
+            if crashed[slot] || item.epoch != epochs[slot] {
+                dropped += 1;
+                return false;
+            }
+            true
+        });
+        if dropped > 0 {
+            self.metrics.incr("fault.dropped_events", dropped);
+        }
     }
 
     /// Schedules a restart marker for `target` at the current instant.
@@ -443,7 +446,7 @@ impl<M> Simulation<M> {
             kernel: Kernel {
                 now: SimTime::ZERO,
                 seq: 0,
-                queue: BinaryHeap::new(),
+                queue: EventQueue::new(),
                 network: Network::new(crate::net::LinkSpec::lan()),
                 cpus: Vec::new(),
                 rngs: Vec::new(),
@@ -451,7 +454,7 @@ impl<M> Simulation<M> {
                 tracer: Tracer::new(TracerConfig::default()),
                 slo: SloMonitor::disabled(),
                 hot: HotCounters::default(),
-                cancelled: HashSet::new(),
+                cancelled: FxHashSet::default(),
                 next_timer: 0,
                 stopped: false,
                 events_processed: 0,
@@ -710,8 +713,8 @@ impl<M> Simulation<M> {
             if self.kernel.stopped {
                 break;
             }
-            match self.kernel.queue.peek() {
-                Some(item) if item.time <= limit => {
+            match self.kernel.queue.peek_time() {
+                Some(time) if time <= limit => {
                     self.step();
                 }
                 _ => break,
@@ -990,6 +993,26 @@ mod tests {
         assert_eq!(sim.metrics().counter("fault.crashes"), 1);
         assert_eq!(sim.metrics().counter("fault.restarts"), 1);
         assert_eq!(sim.metrics().counter("rebuilt"), 1);
+    }
+
+    #[test]
+    fn crash_on_large_queue_compacts_stale_events_eagerly() {
+        let mut sim = Simulation::new(1);
+        let victim = sim.add_actor(Box::new(Crashable { restarts: 0 }));
+        let bystander = sim.add_actor(Box::new(Crashable { restarts: 0 }));
+        let n = (COMPACT_MIN_QUEUE + 200) as u64;
+        for i in 0..n {
+            sim.start_timer(victim, SimDuration::from_millis(i + 1), 1);
+        }
+        sim.start_timer(bystander, SimDuration::from_millis(1), 1);
+        sim.crash_actor(victim);
+        // The sweep ran at crash time: every stale event is already
+        // counted, not left to trickle out at pop time.
+        assert_eq!(sim.metrics().counter("fault.dropped_events"), n);
+        sim.run();
+        // Totals match what pure pop-time dropping would have produced.
+        assert_eq!(sim.metrics().counter("fault.dropped_events"), n);
+        assert_eq!(sim.metrics().counter("timer_fired"), 1, "bystander ran");
     }
 
     #[test]

@@ -32,6 +32,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use crate::engine::{ActorId, Context};
+use crate::metrics::{GaugeId, HistogramId, Metrics};
 use crate::time::SimDuration;
 
 /// Tag bit identifying timer tokens allocated by a [`ServiceHarness`].
@@ -136,6 +137,53 @@ struct Deferred<M> {
     request: bool,
 }
 
+/// Queue metric names, formatted once per queue instead of per event,
+/// with lazily resolved handles for the per-request hot ones. Handles are
+/// resolved against the simulation's [`Metrics`] at first use — lazily,
+/// so a metric appears in exports only once it is actually recorded.
+#[derive(Debug)]
+struct QueueMetricNames {
+    depth: String,
+    dropped: String,
+    nacked: String,
+    parked: String,
+    blocked: String,
+    wait: String,
+    util: String,
+    depth_id: Option<GaugeId>,
+    parked_id: Option<GaugeId>,
+    util_id: Option<GaugeId>,
+    wait_id: Option<HistogramId>,
+}
+
+impl QueueMetricNames {
+    fn new(name: &str) -> Self {
+        QueueMetricNames {
+            depth: format!("queue.depth.{name}"),
+            dropped: format!("queue.dropped.{name}"),
+            nacked: format!("queue.nacked.{name}"),
+            parked: format!("queue.parked.{name}"),
+            blocked: format!("queue.blocked.{name}"),
+            wait: format!("queue.wait.{name}"),
+            util: format!("queue.util.{name}"),
+            depth_id: None,
+            parked_id: None,
+            util_id: None,
+            wait_id: None,
+        }
+    }
+}
+
+fn set_gauge_cached(m: &mut Metrics, slot: &mut Option<GaugeId>, name: &str, value: f64) {
+    let id = *slot.get_or_insert_with(|| m.gauge_id(name));
+    m.set_gauge_id(id, value);
+}
+
+fn record_cached(m: &mut Metrics, slot: &mut Option<HistogramId>, name: &str, value: u64) {
+    let id = *slot.get_or_insert_with(|| m.histogram_id(name));
+    m.record_id(id, value);
+}
+
 #[derive(Debug)]
 struct QueueState<M> {
     config: QueueConfig,
@@ -143,6 +191,7 @@ struct QueueState<M> {
     in_flight: usize,
     /// Requests parked under [`OverloadPolicy::Block`].
     parked: VecDeque<(ActorId, M)>,
+    metric: QueueMetricNames,
 }
 
 /// The per-actor service runtime. See the [module docs](self).
@@ -182,6 +231,7 @@ impl<M> ServiceHarness<M> {
             config,
             in_flight: 0,
             parked: VecDeque::new(),
+            metric: QueueMetricNames::new(&self.name),
         });
     }
 
@@ -248,28 +298,33 @@ impl<M> ServiceHarness<M> {
         if q.in_flight < q.config.capacity {
             q.in_flight += 1;
             let depth = q.in_flight as f64;
-            let key = format!("queue.depth.{}", self.name);
-            ctx.metrics().set_gauge(&key, depth);
+            set_gauge_cached(
+                ctx.metrics(),
+                &mut q.metric.depth_id,
+                &q.metric.depth,
+                depth,
+            );
             return Admission::Admit(msg);
         }
         match q.config.policy {
             OverloadPolicy::Drop => {
-                let key = format!("queue.dropped.{}", self.name);
-                ctx.metrics().incr(&key, 1);
+                ctx.metrics().incr(&q.metric.dropped, 1);
                 Admission::Done
             }
             OverloadPolicy::Nack => {
-                let key = format!("queue.nacked.{}", self.name);
-                ctx.metrics().incr(&key, 1);
+                ctx.metrics().incr(&q.metric.nacked, 1);
                 Admission::Nack(msg)
             }
             OverloadPolicy::Block => {
                 q.parked.push_back((src, msg));
                 let parked = q.parked.len() as f64;
-                let key = format!("queue.parked.{}", self.name);
-                ctx.metrics().set_gauge(&key, parked);
-                ctx.metrics()
-                    .incr(&format!("queue.blocked.{}", self.name), 1);
+                set_gauge_cached(
+                    ctx.metrics(),
+                    &mut q.metric.parked_id,
+                    &q.metric.parked,
+                    parked,
+                );
+                ctx.metrics().incr(&q.metric.blocked, 1);
                 Admission::Done
             }
         }
@@ -301,15 +356,19 @@ impl<M> ServiceHarness<M> {
         sends: Vec<Outbound<M>>,
         closes: Vec<SpanClose>,
     ) -> u64 {
-        if self.queue.is_some() {
+        if let Some(q) = &mut self.queue {
             let arrival = ctx.now();
             let start = arrival.max(ctx.cpu().busy_until());
             let tracer = ctx.tracer();
             tracer.span_start(arrival, trace, "queue.wait", &self.name);
             tracer.span_end(start, trace, "queue.wait", &self.name);
-            let key = format!("queue.wait.{}", self.name);
             let wait = start.saturating_duration_since(arrival);
-            ctx.metrics().record(&key, wait.as_nanos());
+            record_cached(
+                ctx.metrics(),
+                &mut q.metric.wait_id,
+                &q.metric.wait,
+                wait.as_nanos(),
+            );
         }
         self.defer_inner(ctx, cost, sends, closes, true)
     }
@@ -389,16 +448,23 @@ impl<M> ServiceHarness<M> {
         let depth = q.in_flight as f64;
         let woken = q.parked.pop_front();
         let parked = q.parked.len() as f64;
-        let key = format!("queue.depth.{}", self.name);
-        ctx.metrics().set_gauge(&key, depth);
+        set_gauge_cached(
+            ctx.metrics(),
+            &mut q.metric.depth_id,
+            &q.metric.depth,
+            depth,
+        );
         if woken.is_some() {
-            let key = format!("queue.parked.{}", self.name);
-            ctx.metrics().set_gauge(&key, parked);
+            set_gauge_cached(
+                ctx.metrics(),
+                &mut q.metric.parked_id,
+                &q.metric.parked,
+                parked,
+            );
         }
         let now = ctx.now();
         let util = ctx.cpu().utilization(crate::time::SimTime::ZERO, now);
-        let key = format!("queue.util.{}", self.name);
-        ctx.metrics().set_gauge(&key, util);
+        set_gauge_cached(ctx.metrics(), &mut q.metric.util_id, &q.metric.util, util);
         if let Some((src, msg)) = woken {
             // Re-enter the actor's handler; the request passes admission
             // again against the freed slot.

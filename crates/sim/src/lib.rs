@@ -57,7 +57,9 @@
 
 mod cpu;
 mod engine;
+mod equeue;
 mod fault;
+mod fxhash;
 mod harness;
 mod histogram;
 pub mod json;
@@ -77,7 +79,7 @@ pub use harness::{
     Admission, Outbound, OverloadPolicy, QueueConfig, ServiceHarness, SpanClose, HARNESS_TOKEN_BIT,
 };
 pub use histogram::Histogram;
-pub use metrics::Metrics;
+pub use metrics::{CounterId, GaugeId, HistogramId, Metrics};
 pub use net::{Delivery, LinkSpec, Network};
 pub use perfetto::chrome_trace_json;
 pub use profile::{peak_rss_bytes, HotCounters, SimProfiler};

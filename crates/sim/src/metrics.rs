@@ -3,29 +3,107 @@
 //! A [`Metrics`] registry holds named counters, gauges, latency histograms
 //! and time series. Components record into it through [`crate::Context`];
 //! the benchmark harness reads it back after the run.
+//!
+//! Hot-path design: each kind of metric lives in a flat `Vec` indexed by a
+//! dense `u32` handle, with a deterministic hash index mapping names to
+//! handles. A by-name operation costs one hash lookup (no allocation, no
+//! ordered-map traversal); call sites on the kernel's fast path resolve a
+//! handle once ([`Metrics::counter_id`] and friends) and then update by
+//! index. Exports sort names lazily, so output stays byte-identical to the
+//! previous ordered-map representation.
 
-use std::collections::BTreeMap;
+use std::fmt::Write as _;
 
+use crate::fxhash::FxHashMap;
 use crate::histogram::Histogram;
 use crate::time::{SimDuration, SimTime};
+
+/// A dense name→slot registry: the storage scheme behind every metric
+/// kind.
+#[derive(Debug, Clone, Default)]
+struct Registry<T> {
+    index: FxHashMap<Box<str>, u32>,
+    names: Vec<Box<str>>,
+    values: Vec<T>,
+}
+
+impl<T: Default> Registry<T> {
+    /// Existing slot for `name`, if any (never allocates).
+    fn lookup(&self, name: &str) -> Option<u32> {
+        self.index.get(name).copied()
+    }
+
+    /// Slot for `name`, created zeroed on first use. Allocates only on
+    /// creation.
+    fn id(&mut self, name: &str) -> u32 {
+        if let Some(id) = self.lookup(name) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        let boxed: Box<str> = name.into();
+        self.index.insert(boxed.clone(), id);
+        self.names.push(boxed);
+        self.values.push(T::default());
+        id
+    }
+
+    fn get(&self, name: &str) -> Option<&T> {
+        self.lookup(name).map(|id| &self.values[id as usize])
+    }
+
+    fn slot(&mut self, id: u32) -> &mut T {
+        &mut self.values[id as usize]
+    }
+
+    /// Slot ids sorted by name — export order, computed only when needed.
+    fn sorted_ids(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = (0..self.names.len() as u32).collect();
+        ids.sort_by(|&a, &b| self.names[a as usize].cmp(&self.names[b as usize]));
+        ids
+    }
+
+    fn iter_sorted(&self) -> impl Iterator<Item = (&str, &T)> {
+        self.sorted_ids()
+            .into_iter()
+            .map(|id| (&*self.names[id as usize], &self.values[id as usize]))
+    }
+}
+
+/// One time series: points plus the push counter downsampling uses.
+#[derive(Debug, Clone, Default)]
+struct Series {
+    points: Vec<(SimTime, f64)>,
+    pushes: u64,
+}
+
+/// Handle to a counter slot, resolved once with [`Metrics::counter_id`].
+/// Valid only for the registry (or clones of it) that created it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(u32);
+
+/// Handle to a gauge slot (see [`Metrics::gauge_id`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(u32);
+
+/// Handle to a histogram slot (see [`Metrics::histogram_id`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId(u32);
 
 /// A named registry of counters, gauges, histograms and time series.
 ///
 /// Names are free-form dotted strings such as `"peer0.commit.latency"`.
-/// All maps are ordered so report output is deterministic.
+/// Exports are sorted by name so report output is deterministic.
 #[derive(Debug, Clone, Default)]
 pub struct Metrics {
-    counters: BTreeMap<String, u64>,
-    gauges: BTreeMap<String, f64>,
-    histograms: BTreeMap<String, Histogram>,
-    series: BTreeMap<String, Vec<(SimTime, f64)>>,
+    counters: Registry<u64>,
+    gauges: Registry<f64>,
+    histograms: Registry<Histogram>,
+    series: Registry<Series>,
     /// Once a series holds this many points, further pushes are
     /// downsampled; `0` (the default) keeps every point.
     series_cap: usize,
     /// Past the cap, keep one push in `series_keep_every`.
     series_keep_every: u64,
-    /// Per-series push counters, maintained only while a cap is set.
-    series_pushes: BTreeMap<String, u64>,
     /// Points discarded by downsampling.
     series_dropped: u64,
 }
@@ -38,7 +116,19 @@ impl Metrics {
 
     /// Adds `delta` to the named counter, creating it at zero if absent.
     pub fn incr(&mut self, name: &str, delta: u64) {
-        *self.counters.entry(name.to_owned()).or_insert(0) += delta;
+        let id = self.counters.id(name);
+        *self.counters.slot(id) += delta;
+    }
+
+    /// Resolves a reusable handle for the named counter (creating it at
+    /// zero), so hot call sites can skip the name lookup.
+    pub fn counter_id(&mut self, name: &str) -> CounterId {
+        CounterId(self.counters.id(name))
+    }
+
+    /// Adds `delta` through a pre-resolved handle.
+    pub fn incr_id(&mut self, id: CounterId, delta: u64) {
+        *self.counters.slot(id.0) += delta;
     }
 
     /// Reads a counter; absent counters read as zero.
@@ -48,7 +138,19 @@ impl Metrics {
 
     /// Sets the named gauge to `value`.
     pub fn set_gauge(&mut self, name: &str, value: f64) {
-        self.gauges.insert(name.to_owned(), value);
+        let id = self.gauges.id(name);
+        *self.gauges.slot(id) = value;
+    }
+
+    /// Resolves a reusable handle for the named gauge (creating it at
+    /// zero).
+    pub fn gauge_id(&mut self, name: &str) -> GaugeId {
+        GaugeId(self.gauges.id(name))
+    }
+
+    /// Sets a gauge through a pre-resolved handle.
+    pub fn set_gauge_id(&mut self, id: GaugeId, value: f64) {
+        *self.gauges.slot(id.0) = value;
     }
 
     /// Reads a gauge, if present.
@@ -58,10 +160,19 @@ impl Metrics {
 
     /// Records a raw sample into the named histogram.
     pub fn record(&mut self, name: &str, value: u64) {
-        self.histograms
-            .entry(name.to_owned())
-            .or_default()
-            .record(value);
+        let id = self.histograms.id(name);
+        self.histograms.slot(id).record(value);
+    }
+
+    /// Resolves a reusable handle for the named histogram (creating it
+    /// empty).
+    pub fn histogram_id(&mut self, name: &str) -> HistogramId {
+        HistogramId(self.histograms.id(name))
+    }
+
+    /// Records a sample through a pre-resolved handle.
+    pub fn record_id(&mut self, id: HistogramId, value: u64) {
+        self.histograms.slot(id.0).record(value);
     }
 
     /// Records a duration (as nanoseconds) into the named histogram.
@@ -84,7 +195,9 @@ impl Metrics {
         self.series_cap = cap;
         self.series_keep_every = keep_every.max(1);
         if cap == 0 {
-            self.series_pushes.clear();
+            for s in &mut self.series.values {
+                s.pushes = 0;
+            }
         }
     }
 
@@ -97,56 +210,56 @@ impl Metrics {
     /// subject to the downsampling policy set with
     /// [`Metrics::set_series_downsample`] (off by default).
     pub fn push_series(&mut self, name: &str, t: SimTime, value: f64) {
-        if self.series_cap > 0 {
-            let pushes = self.series_pushes.entry(name.to_owned()).or_insert(0);
-            *pushes += 1;
-            let nth = *pushes;
-            let s = self.series.entry(name.to_owned()).or_default();
-            if s.len() >= self.series_cap && !nth.is_multiple_of(self.series_keep_every) {
+        let id = self.series.id(name);
+        let cap = self.series_cap;
+        let keep_every = self.series_keep_every;
+        let s = self.series.slot(id);
+        if cap > 0 {
+            s.pushes += 1;
+            if s.points.len() >= cap && !s.pushes.is_multiple_of(keep_every) {
                 self.series_dropped += 1;
                 return;
             }
-            s.push((t, value));
-        } else {
-            self.series
-                .entry(name.to_owned())
-                .or_default()
-                .push((t, value));
         }
+        s.points.push((t, value));
     }
 
     /// Reads a time series, if present.
     pub fn series(&self, name: &str) -> Option<&[(SimTime, f64)]> {
-        self.series.get(name).map(Vec::as_slice)
+        self.series.get(name).map(|s| s.points.as_slice())
     }
 
     /// Iterates over all counters in name order.
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+        self.counters.iter_sorted().map(|(k, v)| (k, *v))
     }
 
     /// Iterates over all histograms in name order.
     pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
-        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+        self.histograms.iter_sorted()
     }
 
     /// Merges another registry into this one (counters add, gauges take the
     /// other's value, histograms merge, series concatenate).
     pub fn merge(&mut self, other: &Metrics) {
-        for (k, v) in &other.counters {
-            *self.counters.entry(k.clone()).or_insert(0) += v;
+        for (i, name) in other.counters.names.iter().enumerate() {
+            let id = self.counters.id(name);
+            *self.counters.slot(id) += other.counters.values[i];
         }
-        for (k, v) in &other.gauges {
-            self.gauges.insert(k.clone(), *v);
+        for (i, name) in other.gauges.names.iter().enumerate() {
+            let id = self.gauges.id(name);
+            *self.gauges.slot(id) = other.gauges.values[i];
         }
-        for (k, h) in &other.histograms {
-            self.histograms.entry(k.clone()).or_default().merge(h);
+        for (i, name) in other.histograms.names.iter().enumerate() {
+            let id = self.histograms.id(name);
+            self.histograms.slot(id).merge(&other.histograms.values[i]);
         }
-        for (k, s) in &other.series {
+        for (i, name) in other.series.names.iter().enumerate() {
+            let id = self.series.id(name);
             self.series
-                .entry(k.clone())
-                .or_default()
-                .extend_from_slice(s);
+                .slot(id)
+                .points
+                .extend_from_slice(&other.series.values[i].points);
         }
     }
 
@@ -155,25 +268,31 @@ impl Metrics {
     /// summary statistics). Two registries with identical contents
     /// produce byte-identical output.
     pub fn snapshot_json(&self) -> String {
-        use crate::json::{array, fmt_f64, Obj};
+        use crate::json::{fmt_f64, Obj};
         let mut counters = Obj::new();
-        for (k, v) in &self.counters {
+        for (k, v) in self.counters.iter_sorted() {
             counters = counters.u64(k, *v);
         }
         let mut gauges = Obj::new();
-        for (k, v) in &self.gauges {
+        for (k, v) in self.gauges.iter_sorted() {
             gauges = gauges.f64(k, *v);
         }
         let mut histograms = Obj::new();
-        for (k, h) in &self.histograms {
+        for (k, h) in self.histograms.iter_sorted() {
             histograms = histograms.raw(k, &histogram_json(h));
         }
         let mut series = Obj::new();
-        for (k, s) in &self.series {
-            let points = s
-                .iter()
-                .map(|(t, v)| format!("[{},{}]", t.as_nanos(), fmt_f64(*v)));
-            series = series.raw(k, &array(points));
+        for (k, s) in self.series.iter_sorted() {
+            let mut points = String::with_capacity(s.points.len() * 16 + 2);
+            points.push('[');
+            for (i, (t, v)) in s.points.iter().enumerate() {
+                if i > 0 {
+                    points.push(',');
+                }
+                let _ = write!(points, "[{},{}]", t.as_nanos(), fmt_f64(*v));
+            }
+            points.push(']');
+            series = series.raw(k, &points);
         }
         Obj::new()
             .raw("counters", &counters.build())
@@ -186,17 +305,17 @@ impl Metrics {
     /// Renders a human-readable dump of all metrics, for debugging.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        for (k, v) in &self.counters {
-            out.push_str(&format!("counter {k} = {v}\n"));
+        for (k, v) in self.counters.iter_sorted() {
+            let _ = writeln!(out, "counter {k} = {v}");
         }
-        for (k, v) in &self.gauges {
-            out.push_str(&format!("gauge   {k} = {v}\n"));
+        for (k, v) in self.gauges.iter_sorted() {
+            let _ = writeln!(out, "gauge   {k} = {v}");
         }
-        for (k, h) in &self.histograms {
-            out.push_str(&format!("hist    {k}: {}\n", h.summary()));
+        for (k, h) in self.histograms.iter_sorted() {
+            let _ = writeln!(out, "hist    {k}: {}", h.summary());
         }
-        for (k, s) in &self.series {
-            out.push_str(&format!("series  {k}: {} points\n", s.len()));
+        for (k, s) in self.series.iter_sorted() {
+            let _ = writeln!(out, "series  {k}: {} points", s.points.len());
         }
         out
     }
@@ -238,6 +357,26 @@ mod tests {
         m.set_gauge("w", 1.5);
         m.set_gauge("w", 2.5);
         assert_eq!(m.gauge("w"), Some(2.5));
+    }
+
+    #[test]
+    fn handles_alias_their_names() {
+        let mut m = Metrics::new();
+        m.incr("tx", 1);
+        let c = m.counter_id("tx");
+        m.incr_id(c, 4);
+        assert_eq!(m.counter("tx"), 5);
+        let g = m.gauge_id("load");
+        m.set_gauge_id(g, 0.5);
+        assert_eq!(m.gauge("load"), Some(0.5));
+        let h = m.histogram_id("lat");
+        m.record_id(h, 10);
+        m.record("lat", 30);
+        assert_eq!(m.histogram("lat").unwrap().count(), 2);
+        // Handles survive cloning (same dense slots).
+        let mut copy = m.clone();
+        copy.incr_id(c, 1);
+        assert_eq!(copy.counter("tx"), 6);
     }
 
     #[test]
@@ -344,6 +483,26 @@ mod tests {
         let g = a.find("\"gauges\"").unwrap();
         let h = a.find("\"histograms\"").unwrap();
         assert!(c < g && g < h);
+    }
+
+    #[test]
+    fn snapshot_json_sorts_names_regardless_of_insertion_order() {
+        // The registry stores slots in first-use order; exports must sort
+        // lexicographically exactly like the old BTreeMap representation.
+        let mut fwd = Metrics::new();
+        fwd.incr("a.x", 1);
+        fwd.incr("b.y", 2);
+        fwd.record("h.a", 1);
+        fwd.record("h.b", 2);
+        let mut rev = Metrics::new();
+        rev.incr("b.y", 2);
+        rev.incr("a.x", 1);
+        rev.record("h.b", 2);
+        rev.record("h.a", 1);
+        assert_eq!(fwd.snapshot_json(), rev.snapshot_json());
+        assert_eq!(fwd.render(), rev.render());
+        let names: Vec<&str> = rev.counters().map(|(k, _)| k).collect();
+        assert_eq!(names, ["a.x", "b.y"]);
     }
 
     #[test]

@@ -21,6 +21,7 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
+use crate::fxhash::FxHashMap;
 use crate::histogram::Histogram;
 use crate::time::{SimDuration, SimTime};
 
@@ -95,17 +96,12 @@ pub struct TraceEvent {
     pub seq: u64,
 }
 
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
-struct SpanKey {
-    trace: String,
-    stage: &'static str,
-    detail: String,
-}
-
 #[derive(Debug, Clone)]
 struct OpenSpan {
     id: SpanId,
     parent: Option<SpanId>,
+    stage: &'static str,
+    detail: String,
     start: SimTime,
     seq: u64,
     sampled: bool,
@@ -117,7 +113,12 @@ pub struct Tracer {
     config: TracerConfig,
     enabled: bool,
     next_seq: u64,
-    open: BTreeMap<SpanKey, OpenSpan>,
+    /// Open spans, grouped per trace. Each trace's spans stay in open
+    /// (= seq) order, so the parent of a new span is simply the last
+    /// entry — no global scan. Stacks are tiny (nesting depth), so the
+    /// by-key close below is a short linear probe.
+    open: FxHashMap<Box<str>, Vec<OpenSpan>>,
+    open_count: usize,
     finished: VecDeque<Span>,
     events: VecDeque<TraceEvent>,
     stage_hist: BTreeMap<&'static str, Histogram>,
@@ -173,27 +174,33 @@ impl Tracer {
         self.next_seq += 1;
         let seq = self.next_seq;
         let id = SpanId(seq);
-        let parent = self
-            .open
+        let sampled = self.is_sampled(trace);
+        if !self.open.contains_key(trace) {
+            self.open.insert(Box::from(trace), Vec::new());
+        }
+        let stack = self.open.get_mut(trace).expect("just inserted");
+        // Parent is the most recently opened span of this trace — even a
+        // same-key duplicate about to be replaced, matching the old
+        // whole-map max-seq scan.
+        let parent = stack.last().map(|o| o.id);
+        if let Some(pos) = stack
             .iter()
-            .filter(|(k, _)| k.trace == trace)
-            .max_by_key(|(_, v)| v.seq)
-            .map(|(_, v)| v.id);
-        let key = SpanKey {
-            trace: trace.to_owned(),
-            stage,
-            detail: detail.to_owned(),
-        };
-        let open = OpenSpan {
-            id,
-            parent,
-            start: now,
-            seq,
-            sampled: self.is_sampled(trace),
-        };
-        if self.open.insert(key, open).is_some() {
+            .position(|o| o.stage == stage && o.detail == detail)
+        {
+            stack.remove(pos);
+            self.open_count -= 1;
             self.duplicate_starts += 1;
         }
+        stack.push(OpenSpan {
+            id,
+            parent,
+            stage,
+            detail: detail.to_owned(),
+            start: now,
+            seq,
+            sampled,
+        });
+        self.open_count += 1;
         self.spans_started += 1;
         id
     }
@@ -212,15 +219,21 @@ impl Tracer {
         if !self.enabled {
             return None;
         }
-        let key = SpanKey {
-            trace: trace.to_owned(),
-            stage,
-            detail: detail.to_owned(),
-        };
-        let Some(open) = self.open.remove(&key) else {
+        let pos = self.open.get_mut(trace).and_then(|stack| {
+            stack
+                .iter()
+                .position(|o| o.stage == stage && o.detail == detail)
+        });
+        let Some(pos) = pos else {
             self.unmatched_ends += 1;
             return None;
         };
+        let stack = self.open.get_mut(trace).expect("stack exists");
+        let open = stack.remove(pos);
+        if stack.is_empty() {
+            self.open.remove(trace);
+        }
+        self.open_count -= 1;
         let duration = now - open.start;
         self.stage_hist
             .entry(stage)
@@ -236,9 +249,9 @@ impl Tracer {
                 self.finished.push_back(Span {
                     id: open.id,
                     parent: open.parent,
-                    trace: key.trace,
+                    trace: trace.to_owned(),
                     stage,
-                    detail: key.detail,
+                    detail: open.detail,
                     start: open.start,
                     end: now,
                     seq: open.seq,
@@ -305,7 +318,7 @@ impl Tracer {
 
     /// Number of spans currently open (work in flight).
     pub fn open_spans(&self) -> usize {
-        self.open.len()
+        self.open_count
     }
 
     /// Spans still open, counted per stage (in stage-name order). At
@@ -313,8 +326,10 @@ impl Tracer {
     /// run opens should be closed (or the work it models is stuck).
     pub fn unclosed_by_stage(&self) -> BTreeMap<&'static str, u64> {
         let mut by_stage: BTreeMap<&'static str, u64> = BTreeMap::new();
-        for key in self.open.keys() {
-            *by_stage.entry(key.stage).or_insert(0) += 1;
+        for stack in self.open.values() {
+            for open in stack {
+                *by_stage.entry(open.stage).or_insert(0) += 1;
+            }
         }
         by_stage
     }
@@ -363,16 +378,16 @@ impl Tracer {
         let mut out = Obj::new()
             .u64("spans_started", self.spans_started)
             .u64("spans_finished", self.spans_finished)
-            .u64("spans_open", self.open.len() as u64)
+            .u64("spans_open", self.open_count as u64)
             .u64("spans_evicted", self.spans_evicted)
             .u64("events_recorded", self.events_recorded)
             .u64("unmatched_ends", self.unmatched_ends)
             .u64("duplicate_starts", self.duplicate_starts);
-        if !self.open.is_empty() {
+        if self.open_count > 0 {
             // Leak report: spans opened but never closed. Emitted only
             // when leaks exist so clean runs' exports stay byte-stable
             // across releases.
-            let mut unclosed = Obj::new().u64("count", self.open.len() as u64);
+            let mut unclosed = Obj::new().u64("count", self.open_count as u64);
             let mut per_stage = Obj::new();
             for (stage, n) in self.unclosed_by_stage() {
                 per_stage = per_stage.u64(stage, n);
